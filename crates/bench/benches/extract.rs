@@ -1,0 +1,60 @@
+//! Criterion bench: extraction throughput per source format (supports the
+//! E1 extraction-time row).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use semex_corpus::{generate_personal, CorpusConfig};
+use semex_extract::{
+    bibtex::extract_bibtex, email::extract_mbox, vcard::extract_vcards, ExtractContext,
+};
+use semex_store::{SourceInfo, SourceKind, Store};
+
+fn corpus_file(suffix: &str) -> String {
+    let corpus = generate_personal(&CorpusConfig {
+        seed: 3,
+        ..CorpusConfig::default()
+    });
+    corpus
+        .files
+        .iter()
+        .filter(|(p, _)| p.ends_with(suffix))
+        .map(|(_, c)| c.as_str())
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+fn bench_format(c: &mut Criterion, name: &str, suffix: &str, f: fn(&str, &mut ExtractContext<'_>)) {
+    let content = corpus_file(suffix);
+    let mut group = c.benchmark_group("extract");
+    group.throughput(Throughput::Bytes(content.len() as u64));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let mut st = Store::with_builtin_model();
+            let src = st.register_source(SourceInfo::new("b", SourceKind::Synthetic));
+            let mut ctx = ExtractContext::new(&mut st, src);
+            f(&content, &mut ctx);
+            st.object_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_mbox(c: &mut Criterion) {
+    bench_format(c, "mbox", ".mbox", |s, ctx| {
+        extract_mbox(s, ctx).unwrap();
+    });
+}
+
+fn bench_bibtex(c: &mut Criterion) {
+    bench_format(c, "bibtex", ".bib", |s, ctx| {
+        extract_bibtex(s, ctx).unwrap();
+    });
+}
+
+fn bench_vcard(c: &mut Criterion) {
+    bench_format(c, "vcard", ".vcf", |s, ctx| {
+        extract_vcards(s, ctx).unwrap();
+    });
+}
+
+criterion_group!(benches, bench_mbox, bench_bibtex, bench_vcard);
+criterion_main!(benches);

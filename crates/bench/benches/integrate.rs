@@ -1,0 +1,69 @@
+//! Criterion bench backing experiment E8: schema matching and import
+//! throughput for on-the-fly integration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semex_bench::extract_corpus;
+use semex_corpus::{generate_personal, CorpusConfig};
+use semex_extract::csv::{parse_csv, Table};
+use semex_integrate::{import, SchemaMatcher};
+use semex_recon::{reconcile, ReconConfig, Variant};
+use semex_store::Store;
+
+fn base_store() -> Store {
+    let cfg = CorpusConfig {
+        seed: 17,
+        ..CorpusConfig::default()
+    }
+    .scaled_size(0.5);
+    let mut store = extract_corpus(&generate_personal(&cfg));
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    store
+}
+
+fn attendee_table(rows: usize) -> Table {
+    let cfg = CorpusConfig {
+        seed: 17,
+        ..CorpusConfig::default()
+    }
+    .scaled_size(0.5);
+    let corpus = generate_personal(&cfg);
+    let mut csv = String::from("attendee,e-mail address\n");
+    for p in corpus.world.people.iter().cycle().take(rows) {
+        csv.push_str(&format!("{},{}\n", p.canonical_name(), p.emails[0]));
+    }
+    parse_csv(&csv).unwrap()
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let store = base_store();
+    let table = attendee_table(40);
+    let mut group = c.benchmark_group("integrate");
+    group.bench_function("matcher_build", |b| {
+        b.iter(|| SchemaMatcher::new(&store));
+    });
+    let matcher = SchemaMatcher::new(&store);
+    group.bench_function("match_table", |b| {
+        b.iter(|| matcher.match_table(&table));
+    });
+    group.finish();
+}
+
+fn bench_import(c: &mut Criterion) {
+    let store = base_store();
+    let mut group = c.benchmark_group("integrate_import");
+    group.sample_size(10);
+    for rows in [10usize, 40] {
+        let table = attendee_table(rows);
+        let mapping = SchemaMatcher::new(&store).match_table(&table).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &table, |b, table| {
+            b.iter(|| {
+                let mut s = store.clone();
+                import(&mut s, "bench", table, &mapping, &ReconConfig::sequential()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher, bench_import);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion bench backing experiment E5: reconciliation throughput per
+//! variant, plus the blocking and scoring phases in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semex_bench::extract_corpus;
+use semex_corpus::{generate_personal, CorpusConfig};
+use semex_recon::{blocking, reconcile, ReconConfig, RefTable, Variant};
+
+fn bench_corpus(scale: f64) -> semex_store::Store {
+    let cfg = CorpusConfig {
+        seed: 7,
+        people: 40,
+        organizations: 4,
+        venues: 6,
+        publications: 80,
+        messages: 300,
+        ..CorpusConfig::default()
+    }
+    .scaled_size(scale);
+    extract_corpus(&generate_personal(&cfg))
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let store = bench_corpus(1.0);
+    let mut group = c.benchmark_group("recon_variants");
+    group.sample_size(10);
+    for v in Variant::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
+            b.iter(|| {
+                let mut s = store.clone();
+                reconcile(&mut s, v, &ReconConfig::sequential())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recon_scaling");
+    group.sample_size(10);
+    for scale in [0.5, 1.0, 2.0] {
+        let store = bench_corpus(scale);
+        let refs = RefTable::build(&store, 64).len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{refs}refs")),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut s = store.clone();
+                    reconcile(&mut s, Variant::Full, &ReconConfig::sequential())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let store = bench_corpus(1.0);
+    let mut group = c.benchmark_group("recon_phases");
+    group.bench_function("ref_table_build", |b| {
+        b.iter(|| RefTable::build(&store, 64));
+    });
+    let table = RefTable::build(&store, 64);
+    group.bench_function("blocking", |b| {
+        b.iter(|| blocking::candidate_pairs(&table));
+    });
+    group.finish();
+}
+
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let store = bench_corpus(2.0);
+    let mut group = c.benchmark_group("recon_threads");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut s = store.clone();
+                    let cfg = ReconConfig {
+                        threads,
+                        ..ReconConfig::default()
+                    };
+                    reconcile(&mut s, Variant::Full, &cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variants,
+    bench_scaling,
+    bench_phases,
+    bench_parallel_scoring
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench backing experiment E6: index construction and query
+//! latency of the object-centric keyword search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semex_bench::extract_corpus;
+use semex_corpus::{generate_personal, CorpusConfig};
+use semex_index::SearchIndex;
+use semex_recon::{reconcile, ReconConfig, Variant};
+use semex_store::Store;
+
+fn reconciled_store(scale: f64) -> Store {
+    let cfg = CorpusConfig {
+        seed: 11,
+        ..CorpusConfig::default()
+    }
+    .scaled_size(scale);
+    let mut store = extract_corpus(&generate_personal(&cfg));
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    store
+}
+
+fn bench_build(c: &mut Criterion) {
+    let store = reconciled_store(0.5);
+    c.bench_function("index_build", |b| {
+        b.iter(|| SearchIndex::build(&store));
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = reconciled_store(0.5);
+    let index = SearchIndex::build(&store);
+    let mut group = c.benchmark_group("search_query");
+    for (label, query) in [
+        ("one_term", "reconciliation"),
+        ("two_terms", "michael carey"),
+        ("class_filtered", "class:Person michael carey"),
+        ("email", "luna@cs.example.edu"),
+        ("rare_miss", "zyzzyva quux"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, q| {
+            b.iter(|| index.search_str(&store, q, 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

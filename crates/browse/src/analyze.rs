@@ -1,0 +1,356 @@
+//! Analysis over the association database.
+//!
+//! The platform paper's point is that once personal information is a
+//! *database*, the user can analyze it, not just retrieve from it. This
+//! module provides the analyses the paper sketches:
+//!
+//! * [`importance`] — rank objects of a class by weighted association
+//!   degree with an iterative propagation step (important people are those
+//!   connected to important artifacts — a PageRank-flavoured refinement);
+//! * [`timeline`] — bucket an object's dated neighbourhood (messages,
+//!   events, files) into monthly activity counts;
+//! * [`communities`] — connected components of a derived association
+//!   (e.g. `CoAuthor`), surfacing research groups / social circles;
+//! * [`fragmentation`] — the paper's motivating measure: surface forms and
+//!   provenance sources per entity, before vs. after reconciliation.
+
+use crate::Browser;
+use semex_model::names::attr;
+use semex_model::{ClassId, DerivedDef};
+use semex_store::{ObjectId, Store};
+use std::collections::HashMap;
+
+/// Rank the live objects of `class` by importance.
+///
+/// Importance starts as total association degree (in + out) and is refined
+/// by `iterations` rounds of neighbour averaging: half an object's score
+/// stays local, half flows from its neighbours' normalized scores. Returns
+/// `(object, score)` sorted descending, capped at `top_k`.
+pub fn importance(
+    store: &Store,
+    class: ClassId,
+    iterations: usize,
+    top_k: usize,
+) -> Vec<(ObjectId, f64)> {
+    let model = store.model();
+    let members: Vec<ObjectId> = store.objects_of_class(class).collect();
+    if members.is_empty() {
+        return Vec::new();
+    }
+    let index: HashMap<ObjectId, usize> =
+        members.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+
+    // Neighbour lists within any class (importance flows through shared
+    // artifacts: person -> message -> person, person -> publication ->
+    // person, one hop out and back).
+    let mut neighbor_objs: Vec<Vec<ObjectId>> = vec![Vec::new(); members.len()];
+    let mut degree = vec![0.0f64; members.len()];
+    for (i, &obj) in members.iter().enumerate() {
+        for (assoc, _) in model.assocs() {
+            for &n in store
+                .neighbors(obj, assoc)
+                .iter()
+                .chain(store.inverse_neighbors(obj, assoc))
+            {
+                degree[i] += 1.0;
+                neighbor_objs[i].push(n);
+            }
+        }
+    }
+
+    // Project two-hop, same-class neighbours (through any shared artifact).
+    let mut peers: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
+    for (i, ns) in neighbor_objs.iter().enumerate() {
+        for &artifact in ns {
+            for (assoc, _) in model.assocs() {
+                for &m in store
+                    .neighbors(artifact, assoc)
+                    .iter()
+                    .chain(store.inverse_neighbors(artifact, assoc))
+                {
+                    if let Some(&j) = index.get(&m) {
+                        if j != i {
+                            peers[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in &mut peers {
+        p.sort_unstable();
+        p.dedup();
+    }
+
+    let total: f64 = degree.iter().sum::<f64>().max(1.0);
+    let mut score: Vec<f64> = degree.iter().map(|d| d / total).collect();
+    for _ in 0..iterations {
+        let mut next = vec![0.0f64; members.len()];
+        for (i, ps) in peers.iter().enumerate() {
+            let inflow: f64 = ps
+                .iter()
+                .map(|&j| score[j] / peers[j].len().max(1) as f64)
+                .sum();
+            next[i] = 0.5 * score[i] + 0.5 * inflow;
+        }
+        score = next;
+    }
+
+    let mut ranked: Vec<(ObjectId, f64)> = members.into_iter().zip(score).collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(top_k);
+    ranked
+}
+
+/// Monthly activity of an object: counts of dated neighbours (messages
+/// sent/received, attended events, touched files) bucketed by `(year,
+/// month)`, ascending.
+pub fn timeline(store: &Store, obj: ObjectId) -> Vec<((i64, u32), usize)> {
+    let model = store.model();
+    let a_date = model.attr(attr::DATE).expect("builtin date");
+    let b = Browser::new(store);
+    let mut buckets: HashMap<(i64, u32), usize> = HashMap::new();
+    for link in b.neighborhood(obj) {
+        let neighbor = store.object(link.target);
+        if let Some(epoch) = neighbor.values(a_date).find_map(|v| v.as_date()) {
+            buckets
+                .entry(year_month(epoch))
+                .and_modify(|c| *c += 1)
+                .or_insert(1);
+        }
+    }
+    let mut out: Vec<((i64, u32), usize)> = buckets.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Epoch seconds → `(year, month)` (civil, UTC).
+pub fn year_month(epoch: i64) -> (i64, u32) {
+    let days = epoch.div_euclid(86_400);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y, m)
+}
+
+/// The paper's motivating measure: how fragmented is the information about
+/// each entity? Computed over a class's live objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentationStats {
+    /// Live objects of the class.
+    pub entities: usize,
+    /// Mean distinct surface forms (label-attribute values) per object —
+    /// before reconciliation this is ~1 by construction; after, it shows
+    /// how many spellings each consolidated entity pooled.
+    pub avg_forms: f64,
+    /// Mean distinct provenance sources per object.
+    pub avg_sources: f64,
+    /// Fraction of objects whose facts span more than one source — the
+    /// cross-application fragmentation SEMEX exists to heal.
+    pub cross_source_fraction: f64,
+}
+
+/// Compute [`FragmentationStats`] for a class.
+pub fn fragmentation(store: &Store, class: ClassId) -> FragmentationStats {
+    let model = store.model();
+    let label_attr = model.class_def(class).label_attr;
+    let mut entities = 0usize;
+    let mut forms = 0usize;
+    let mut sources = 0usize;
+    let mut cross = 0usize;
+    for obj in store.objects_of_class(class) {
+        entities += 1;
+        let o = store.object(obj);
+        if let Some(a) = label_attr {
+            forms += o.values(a).count().max(1);
+        } else {
+            forms += 1;
+        }
+        sources += o.sources.len().max(1);
+        if o.sources.len() > 1 {
+            cross += 1;
+        }
+    }
+    let n = entities.max(1) as f64;
+    FragmentationStats {
+        entities,
+        avg_forms: forms as f64 / n,
+        avg_sources: sources as f64 / n,
+        cross_source_fraction: cross as f64 / n,
+    }
+}
+
+/// Connected components of a derived association over its domain class,
+/// largest first. Singleton components are omitted.
+pub fn communities(store: &Store, def: &DerivedDef) -> Vec<Vec<ObjectId>> {
+    let b = Browser::new(store);
+    let members: Vec<ObjectId> = store.objects_of_class(def.domain).collect();
+    let index: HashMap<ObjectId, usize> =
+        members.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let mut parent: Vec<usize> = (0..members.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, &obj) in members.iter().enumerate() {
+        for peer in b.derived(obj, def) {
+            if let Some(&j) = index.get(&peer) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<ObjectId>> = HashMap::new();
+    for (i, &obj) in members.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(obj);
+    }
+    let mut out: Vec<Vec<ObjectId>> = groups
+        .into_values()
+        .filter(|g| g.len() > 1)
+        .collect();
+    for g in &mut out {
+        g.sort();
+    }
+    out.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_extract::{bibtex::extract_bibtex, email::extract_mbox, ExtractContext};
+    use semex_model::names::{class, derived};
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn store() -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{a, title={P1 one}, author={Hub Person and Spoke One}, booktitle={V}, year=2001}\n\
+             @inproceedings{b, title={P2 two}, author={Hub Person and Spoke Two}, booktitle={V}, year=2002}\n\
+             @inproceedings{c, title={P3 three}, author={Hub Person and Spoke Three}, booktitle={V}, year=2003}\n\
+             @inproceedings{d, title={P4 four}, author={Loner Fourth}, booktitle={W}, year=2004}",
+            &mut ctx,
+        )
+        .unwrap();
+        extract_mbox(
+            "From: Hub Person <hub@x.edu>\nTo: Spoke One <s1@x.edu>\nSubject: s\nDate: 2004-02-10\n\nb\n\
+             \nFrom corpus 2\nFrom: Hub Person <hub@x.edu>\nTo: Spoke Two <s2@x.edu>\nSubject: t\nDate: 2004-03-11\n\nb",
+            &mut ctx,
+        )
+        .unwrap();
+        st
+    }
+
+    fn person(st: &Store, name: &str) -> ObjectId {
+        let c = st.model().class(class::PERSON).unwrap();
+        st.objects_of_class(c)
+            .find(|&p| st.label(p) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn hub_ranks_first() {
+        let st = store();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let ranked = importance(&st, c_person, 3, 10);
+        assert!(!ranked.is_empty());
+        // The bib "Hub Person" (3 papers) outranks every spoke and the loner.
+        let hub_bib = person(&st, "Hub Person");
+        let top_labels: Vec<String> = ranked.iter().take(2).map(|(o, _)| st.label(*o)).collect();
+        assert!(
+            ranked[0].0 == hub_bib || top_labels.iter().all(|l| l == "Hub Person"),
+            "{top_labels:?}"
+        );
+        let loner = person(&st, "Loner Fourth");
+        let loner_rank = ranked.iter().position(|(o, _)| *o == loner);
+        assert!(loner_rank.is_none() || loner_rank.unwrap() > 2);
+    }
+
+    #[test]
+    fn timeline_buckets_by_month() {
+        let mut st = store();
+        // Merge the two Hub Person references (bib + mail) so the timeline
+        // sees the mail dates.
+        let c = st.model().class(class::PERSON).unwrap();
+        let hubs: Vec<ObjectId> = st
+            .objects_of_class(c)
+            .filter(|&p| st.label(p) == "Hub Person")
+            .collect();
+        if hubs.len() == 2 {
+            st.merge(hubs[0], hubs[1]).unwrap();
+        }
+        let hub = person(&st, "Hub Person");
+        let tl = timeline(&st, hub);
+        assert_eq!(tl.len(), 2, "{tl:?}");
+        assert_eq!(tl[0].0, (2004, 2));
+        assert_eq!(tl[1].0, (2004, 3));
+        assert_eq!(tl[0].1, 1);
+    }
+
+    #[test]
+    fn coauthor_communities() {
+        let st = store();
+        let def = st.model().derived(derived::CO_AUTHOR).unwrap().clone();
+        let groups = communities(&st, &def);
+        // One community: Hub + three spokes. The loner is a singleton and
+        // omitted.
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].len(), 4);
+        let labels: Vec<String> = groups[0].iter().map(|&o| st.label(o)).collect();
+        assert!(labels.contains(&"Hub Person".to_owned()));
+        assert!(!labels.contains(&"Loner Fourth".to_owned()));
+    }
+
+    #[test]
+    fn year_month_math() {
+        assert_eq!(year_month(0), (1970, 1));
+        assert_eq!(year_month(86_400 * 31), (1970, 2));
+        assert_eq!(year_month(1_110_844_800), (2005, 3));
+        // Negative epochs (pre-1970) stay civil.
+        assert_eq!(year_month(-86_400), (1969, 12));
+    }
+
+    #[test]
+    fn fragmentation_reflects_merging() {
+        let mut st = store();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let before = fragmentation(&st, c_person);
+        assert!((before.avg_forms - 1.0).abs() < 0.2, "{before:?}");
+        // Merge the two Hub Person references: forms per entity rise,
+        // entity count falls.
+        let hubs: Vec<ObjectId> = st
+            .objects_of_class(c_person)
+            .filter(|&p| st.label(p) == "Hub Person")
+            .collect();
+        st.merge(hubs[0], hubs[1]).unwrap();
+        let after = fragmentation(&st, c_person);
+        assert_eq!(after.entities, before.entities - 1);
+        assert!(after.avg_forms >= before.avg_forms);
+    }
+
+    #[test]
+    fn empty_class_is_fine() {
+        let st = Store::with_builtin_model();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        assert!(importance(&st, c_person, 2, 5).is_empty());
+        let def = st.model().derived(derived::CO_AUTHOR).unwrap().clone();
+        assert!(communities(&st, &def).is_empty());
+    }
+}

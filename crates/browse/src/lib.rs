@@ -1,0 +1,350 @@
+#![warn(missing_docs)]
+
+//! Association browsing and queries over the SEMEX association database.
+//!
+//! The SEMEX demo's signature interaction is *browsing by association*: the
+//! user lands on an object (via search) and navigates its semantically
+//! meaningful neighbourhood — a Person's publications, co-authors,
+//! correspondents; a Publication's authors, venue and citations. This crate
+//! provides:
+//!
+//! * [`Browser`] — labelled neighbourhood expansion over extracted
+//!   associations (both directions) and evaluation of the domain model's
+//!   *derived* associations (`CoAuthor`, `CorrespondedWith`, …) by
+//!   interpreting their [`semex_model::PathExpr`] rules against the store;
+//! * [`pattern`] — a small triple-pattern query engine with variable joins
+//!   (`(?p AuthoredBy ?pub)(?pub PublishedIn ?v)`), the analytical query
+//!   capability the platform paper describes;
+//! * [`Browser::path_between`] — shortest association path between two
+//!   objects, the "how do I know this person?" demo query;
+//! * [`analyze`] — analyses over the association database: importance
+//!   ranking, activity timelines, community detection.
+
+pub mod analyze;
+pub mod pattern;
+
+use semex_model::{DerivedDef, PathExpr, PathStep};
+use semex_store::{ObjectId, Store};
+use std::collections::{HashSet, VecDeque};
+
+/// One labelled link in a neighbourhood listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Association (or derived association) name as displayed.
+    pub label: String,
+    /// The neighbouring object.
+    pub target: ObjectId,
+    /// The neighbour's display label.
+    pub target_label: String,
+}
+
+/// A browsing view over a store.
+pub struct Browser<'a> {
+    store: &'a Store,
+}
+
+impl<'a> Browser<'a> {
+    /// A browser over the given store.
+    pub fn new(store: &'a Store) -> Self {
+        Browser { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        self.store
+    }
+
+    /// All direct links of an object: forward associations under their own
+    /// name, inverse associations under their `inverse_label`. Results are
+    /// sorted by label then target for deterministic display.
+    pub fn neighborhood(&self, obj: ObjectId) -> Vec<Link> {
+        let model = self.store.model();
+        let mut out = Vec::new();
+        for (assoc, def) in model.assocs() {
+            for &t in self.store.neighbors(obj, assoc) {
+                out.push(Link {
+                    label: def.name.clone(),
+                    target: t,
+                    target_label: self.store.label(t),
+                });
+            }
+            for &t in self.store.inverse_neighbors(obj, assoc) {
+                out.push(Link {
+                    label: def.inverse_label.clone(),
+                    target: t,
+                    target_label: self.store.label(t),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.label.cmp(&b.label).then(a.target.cmp(&b.target)));
+        out
+    }
+
+    /// Group the neighbourhood by label: `(label, count)` pairs, sorted.
+    pub fn neighborhood_summary(&self, obj: ObjectId) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for link in self.neighborhood(obj) {
+            match counts.last_mut() {
+                Some((label, c)) if *label == link.label => *c += 1,
+                _ => counts.push((link.label, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Follow one step of a rule from a set of objects.
+    fn step(&self, from: &[ObjectId], step: PathStep) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        for &o in from {
+            let targets = match step {
+                PathStep::Forward(a) => self.store.neighbors(o, a),
+                PathStep::Inverse(a) => self.store.inverse_neighbors(o, a),
+            };
+            out.extend_from_slice(targets);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evaluate a derived-association rule from a start object.
+    pub fn eval_rule(&self, start: ObjectId, rule: &PathExpr) -> Vec<ObjectId> {
+        match rule {
+            PathExpr::Path(steps) => {
+                let mut cur = vec![self.store.resolve(start)];
+                for &s in steps {
+                    cur = self.step(&cur, s);
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                cur
+            }
+            PathExpr::Union(alts) => {
+                let mut out = Vec::new();
+                for alt in alts {
+                    out.extend(self.eval_rule(start, alt));
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Evaluate a derived association definition from a start object
+    /// (drops the start itself when the definition is irreflexive).
+    pub fn derived(&self, start: ObjectId, def: &DerivedDef) -> Vec<ObjectId> {
+        let start = self.store.resolve(start);
+        let mut out = self.eval_rule(start, &def.rule);
+        if def.irreflexive {
+            out.retain(|&o| o != start);
+        }
+        out
+    }
+
+    /// Evaluate a derived association by name. Returns `None` for an
+    /// unknown name.
+    pub fn derived_by_name(&self, start: ObjectId, name: &str) -> Option<Vec<ObjectId>> {
+        let def = self.store.model().derived(name)?.clone();
+        Some(self.derived(start, &def))
+    }
+
+    /// Breadth-first shortest path between two objects over all
+    /// associations (both directions). Returns the node sequence with the
+    /// labels of the traversed edges, or `None` when disconnected (search
+    /// is capped at `max_depth` hops).
+    pub fn path_between(
+        &self,
+        from: ObjectId,
+        to: ObjectId,
+        max_depth: usize,
+    ) -> Option<Vec<(ObjectId, Option<String>)>> {
+        let from = self.store.resolve(from);
+        let to = self.store.resolve(to);
+        if from == to {
+            return Some(vec![(from, None)]);
+        }
+        let model = self.store.model();
+        let mut prev: std::collections::HashMap<ObjectId, (ObjectId, String)> =
+            std::collections::HashMap::new();
+        let mut seen: HashSet<ObjectId> = HashSet::from([from]);
+        let mut frontier = VecDeque::from([(from, 0usize)]);
+        while let Some((cur, d)) = frontier.pop_front() {
+            if d >= max_depth {
+                continue;
+            }
+            for (assoc, def) in model.assocs() {
+                let expansions = [
+                    (self.store.neighbors(cur, assoc), &def.name),
+                    (self.store.inverse_neighbors(cur, assoc), &def.inverse_label),
+                ];
+                for (targets, label) in expansions {
+                    for &t in targets {
+                        if seen.insert(t) {
+                            prev.insert(t, (cur, label.clone()));
+                            if t == to {
+                                // Reconstruct.
+                                let mut path = vec![(to, None)];
+                                let mut at = to;
+                                while at != from {
+                                    let (p, label) = prev.get(&at).unwrap().clone();
+                                    path.last_mut().unwrap().1 = Some(label);
+                                    path.push((p, None));
+                                    at = p;
+                                }
+                                path.reverse();
+                                return Some(path);
+                            }
+                            frontier.push_back((t, d + 1));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: evaluate a derived association over every instance of its
+/// domain class, returning `(subject, object)` pairs — materializing the
+/// association the way the SEMEX browser's "show all CoAuthor pairs" view
+/// does.
+pub fn materialize_derived(store: &Store, def: &DerivedDef) -> Vec<(ObjectId, ObjectId)> {
+    let b = Browser::new(store);
+    let mut out = Vec::new();
+    for s in store.objects_of_class(def.domain) {
+        for t in b.derived(s, def) {
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_extract::{bibtex::extract_bibtex, email::extract_mbox, ExtractContext};
+    use semex_model::names::{class, derived};
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn store() -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{a, title={Paper One}, author={Ann Walker and Bob Fisher}, booktitle={SIGMOD}, year=2004}\n\
+             @inproceedings{b, title={Paper Two}, author={Ann Walker and Carol Reyes}, booktitle={VLDB}, year=2005}",
+            &mut ctx,
+        )
+        .unwrap();
+        extract_mbox(
+            "From: Ann Walker <ann@x.edu>\nTo: Dave Moss <dave@y.org>\nSubject: hi\n\nbody",
+            &mut ctx,
+        )
+        .unwrap();
+        st
+    }
+
+    fn person(st: &Store, name: &str) -> ObjectId {
+        let c = st.model().class(class::PERSON).unwrap();
+        st.objects_of_class(c)
+            .find(|&p| st.label(p) == name)
+            .unwrap_or_else(|| panic!("person {name}"))
+    }
+
+    #[test]
+    fn neighborhood_lists_both_directions() {
+        let st = store();
+        let b = Browser::new(&st);
+        let ann = person(&st, "Ann Walker");
+        let links = b.neighborhood(ann);
+        // Ann authored two papers (inverse AuthoredBy = "AuthorOf").
+        let authored: Vec<&Link> = links.iter().filter(|l| l.label == "AuthorOf").collect();
+        assert_eq!(authored.len(), 2);
+        let summary = b.neighborhood_summary(ann);
+        assert!(summary.contains(&("AuthorOf".to_owned(), 2)));
+    }
+
+    #[test]
+    fn coauthor_derived_association() {
+        let st = store();
+        let b = Browser::new(&st);
+        let ann = person(&st, "Ann Walker");
+        let coauthors = b.derived_by_name(ann, derived::CO_AUTHOR).unwrap();
+        let labels: Vec<String> = coauthors.iter().map(|&o| st.label(o)).collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"Bob Fisher".to_owned()));
+        assert!(labels.contains(&"Carol Reyes".to_owned()));
+        // Irreflexive: Ann is not her own co-author.
+        assert!(!coauthors.contains(&ann));
+        assert!(b.derived_by_name(ann, "NoSuchRule").is_none());
+    }
+
+    #[test]
+    fn corresponded_with_union_rule() {
+        let mut st = store();
+        // "Ann Walker" appears as two references (bib author and mail
+        // sender); merge them the way reconciliation would, then browse.
+        let c = st.model().class(class::PERSON).unwrap();
+        let anns: Vec<_> = st
+            .objects_of_class(c)
+            .filter(|&p| st.label(p) == "Ann Walker")
+            .collect();
+        assert_eq!(anns.len(), 2);
+        st.merge(anns[0], anns[1]).unwrap();
+        let b = Browser::new(&st);
+        let ann = person(&st, "Ann Walker");
+        let dave = person(&st, "Dave Moss");
+        let corr = b.derived_by_name(ann, derived::CORRESPONDED_WITH).unwrap();
+        assert_eq!(corr, vec![dave]);
+        // Symmetric from Dave's side (the union covers both directions).
+        let corr = b.derived_by_name(dave, derived::CORRESPONDED_WITH).unwrap();
+        assert_eq!(corr, vec![ann]);
+    }
+
+    #[test]
+    fn path_between_objects() {
+        let st = store();
+        let b = Browser::new(&st);
+        let bob = person(&st, "Bob Fisher");
+        let carol = person(&st, "Carol Reyes");
+        // Bob -> Paper One -> Ann -> Paper Two -> Carol.
+        let path = b.path_between(bob, carol, 6).unwrap();
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0].0, bob);
+        assert_eq!(path.last().unwrap().0, carol);
+        assert!(path[0].1.is_none());
+        assert!(path[1].1.is_some());
+        // Unreachable within depth 1.
+        assert!(b.path_between(bob, carol, 1).is_none());
+        // Self-path.
+        assert_eq!(b.path_between(bob, bob, 3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn materialize_counts_pairs() {
+        let st = store();
+        let def = st.model().derived(derived::CO_AUTHOR).unwrap().clone();
+        let pairs = materialize_derived(&st, &def);
+        // Ann-Bob, Ann-Carol in both directions.
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn derived_respects_merges() {
+        let mut st = store();
+        // Merge Bob and Carol (hypothetically the same person) and check
+        // CoAuthor reflects the merged graph.
+        let bob = person(&st, "Bob Fisher");
+        let carol = person(&st, "Carol Reyes");
+        st.merge(bob, carol).unwrap();
+        let b = Browser::new(&st);
+        let ann = person(&st, "Ann Walker");
+        let coauthors = b.derived_by_name(ann, derived::CO_AUTHOR).unwrap();
+        assert_eq!(coauthors.len(), 1);
+        // Querying through the stale id still works.
+        let via_stale = b.derived_by_name(carol, derived::CO_AUTHOR).unwrap();
+        assert_eq!(via_stale, vec![ann]);
+    }
+}

@@ -1,0 +1,445 @@
+//! Triple-pattern queries with variable joins.
+//!
+//! A query is a conjunction of patterns over the association graph:
+//!
+//! ```text
+//! (?p  AuthoredBy⁻¹ ?pub)   — ?p wrote ?pub
+//! (?pub PublishedIn ?v)     — ?pub appeared at ?v
+//! ```
+//!
+//! Variables bind objects; constants pin them. Evaluation is a simple
+//! backtracking join that picks, at each step, the most-bound remaining
+//! pattern (constants and already-bound variables first).
+
+use semex_model::AssocId;
+use semex_store::{ObjectId, Store};
+use std::collections::HashMap;
+
+/// A subject or object position in a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A named variable (`?p`).
+    Var(String),
+    /// A fixed object.
+    Const(ObjectId),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_owned())
+    }
+}
+
+/// One triple pattern: `subject --assoc--> object`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Subject position.
+    pub subject: Term,
+    /// The association to traverse.
+    pub assoc: AssocId,
+    /// Object position.
+    pub object: Term,
+}
+
+impl Pattern {
+    /// A new pattern.
+    pub fn new(subject: Term, assoc: AssocId, object: Term) -> Self {
+        Pattern {
+            subject,
+            assoc,
+            object,
+        }
+    }
+}
+
+/// A variable binding set for one solution.
+pub type Binding = HashMap<String, ObjectId>;
+
+fn resolve(term: &Term, binding: &Binding) -> Option<ObjectId> {
+    match term {
+        Term::Const(o) => Some(*o),
+        Term::Var(v) => binding.get(v).copied(),
+    }
+}
+
+/// How bound a pattern is under the current bindings (higher = cheaper).
+fn boundness(p: &Pattern, binding: &Binding) -> u32 {
+    u32::from(resolve(&p.subject, binding).is_some())
+        + u32::from(resolve(&p.object, binding).is_some())
+}
+
+/// Evaluate a conjunctive pattern query, returning all variable bindings.
+/// Solutions are deduplicated and returned in a deterministic order.
+pub fn query(store: &Store, patterns: &[Pattern]) -> Vec<Binding> {
+    let mut results = Vec::new();
+    let mut binding = Binding::new();
+    let mut used = vec![false; patterns.len()];
+    solve(store, patterns, &mut used, &mut binding, &mut results);
+    // Deterministic order: sort by the rendered binding.
+    results.sort_by_key(|b| {
+        let mut items: Vec<(&String, &ObjectId)> = b.iter().collect();
+        items.sort();
+        items
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v};"))
+            .collect::<String>()
+    });
+    results.dedup();
+    results
+}
+
+fn solve(
+    store: &Store,
+    patterns: &[Pattern],
+    used: &mut [bool],
+    binding: &mut Binding,
+    results: &mut Vec<Binding>,
+) {
+    // Pick the most-bound unused pattern.
+    let next = (0..patterns.len())
+        .filter(|&i| !used[i])
+        .max_by_key(|&i| boundness(&patterns[i], binding));
+    let Some(i) = next else {
+        results.push(binding.clone());
+        return;
+    };
+    used[i] = true;
+    let p = &patterns[i];
+    let s = resolve(&p.subject, binding);
+    let o = resolve(&p.object, binding);
+
+    // Enumerate matching (subject, object) pairs for this pattern.
+    let candidates: Vec<(ObjectId, ObjectId)> = match (s, o) {
+        (Some(s), Some(o)) => {
+            if store.neighbors(s, p.assoc).contains(&store.resolve(o)) {
+                vec![(s, o)]
+            } else {
+                Vec::new()
+            }
+        }
+        (Some(s), None) => store
+            .neighbors(s, p.assoc)
+            .iter()
+            .map(|&t| (s, t))
+            .collect(),
+        (None, Some(o)) => store
+            .inverse_neighbors(o, p.assoc)
+            .iter()
+            .map(|&t| (t, o))
+            .collect(),
+        (None, None) => {
+            // Unbound pattern: enumerate every instance of the domain class.
+            let domain = store.model().assoc_def(p.assoc).domain;
+            let mut out = Vec::new();
+            for s in store.objects_of_class(domain) {
+                for &t in store.neighbors(s, p.assoc) {
+                    out.push((s, t));
+                }
+            }
+            out
+        }
+    };
+
+    for (sv, ov) in candidates {
+        let mut added: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (term, value) in [(&p.subject, sv), (&p.object, ov)] {
+            if let Term::Var(name) = term {
+                match binding.get(name) {
+                    Some(&bound) if store.resolve(bound) != store.resolve(value) => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(name.clone(), store.resolve(value));
+                        added.push(name.clone());
+                    }
+                }
+            }
+        }
+        if ok {
+            solve(store, patterns, used, binding, results);
+        }
+        for name in added {
+            binding.remove(&name);
+        }
+    }
+    used[i] = false;
+}
+
+/// Errors from the textual query parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A clause did not have the `subject Assoc object` shape.
+    BadClause(String),
+    /// The association name is not in the domain model.
+    UnknownAssoc(String),
+    /// A quoted label matched no object (or a raw `oN` id was out of range).
+    UnknownObject(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadClause(c) => write!(f, "bad clause (want `subj Assoc obj`): {c:?}"),
+            ParseError::UnknownAssoc(a) => write!(f, "unknown association: {a:?}"),
+            ParseError::UnknownObject(o) => write!(f, "no object matches {o:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Split a query text into clauses on `.` and `;` (outside quotes).
+fn clauses(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            '.' | ';' if !in_quote => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Split one clause into three fields, keeping quoted strings intact.
+fn fields(clause: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in clause.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_quote => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn term(store: &Store, token: &str) -> Result<Term, ParseError> {
+    if let Some(var) = token.strip_prefix('?') {
+        if !var.is_empty() {
+            return Ok(Term::var(var));
+        }
+    }
+    if let Some(id) = token.strip_prefix('o').and_then(|n| n.parse::<u64>().ok()) {
+        let obj = ObjectId(id);
+        if store.object_raw(obj).is_none() {
+            return Err(ParseError::UnknownObject(token.to_owned()));
+        }
+        return Ok(Term::Const(obj));
+    }
+    if token.starts_with('"') && token.ends_with('"') && token.len() >= 2 {
+        let label = &token[1..token.len() - 1];
+        let found = store.objects().find(|&o| store.label(o) == label);
+        return match found {
+            Some(o) => Ok(Term::Const(o)),
+            None => Err(ParseError::UnknownObject(label.to_owned())),
+        };
+    }
+    Err(ParseError::BadClause(token.to_owned()))
+}
+
+/// Parse a textual conjunctive query into patterns:
+///
+/// ```text
+/// ?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD"
+/// ```
+///
+/// Subjects/objects are `?variables`, raw ids (`o42`) or `"exact labels"`;
+/// clauses are separated by `.` or `;`. Association names are the domain
+/// model's (forward direction).
+pub fn parse_patterns(store: &Store, text: &str) -> Result<Vec<Pattern>, ParseError> {
+    let mut out = Vec::new();
+    for clause in clauses(text) {
+        let f = fields(&clause);
+        let [s, a, o] = f.as_slice() else {
+            return Err(ParseError::BadClause(clause.trim().to_owned()));
+        };
+        let assoc = store
+            .model()
+            .assoc(a)
+            .ok_or_else(|| ParseError::UnknownAssoc(a.clone()))?;
+        out.push(Pattern::new(term(store, s)?, assoc, term(store, o)?));
+    }
+    Ok(out)
+}
+
+/// Parse and run a textual query in one call.
+pub fn query_str(store: &Store, text: &str) -> Result<Vec<Binding>, ParseError> {
+    Ok(query(store, &parse_patterns(store, text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_extract::{bibtex::extract_bibtex, ExtractContext};
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn store() -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{a, title={Paper One}, author={Ann Walker and Bob Fisher}, booktitle={SIGMOD}, year=2004}\n\
+             @inproceedings{b, title={Paper Two}, author={Ann Walker}, booktitle={SIGMOD}, year=2005}\n\
+             @inproceedings{c, title={Paper Three}, author={Bob Fisher}, booktitle={VLDB}, year=2005}",
+            &mut ctx,
+        )
+        .unwrap();
+        st
+    }
+
+    #[test]
+    fn join_authors_with_venues() {
+        let st = store();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let published = st.model().assoc(assoc::PUBLISHED_IN).unwrap();
+        // Who published at SIGMOD? (?pub AuthoredBy ?p), (?pub PublishedIn sigmod)
+        let c_venue = st.model().class(class::VENUE).unwrap();
+        let sigmod = st
+            .objects_of_class(c_venue)
+            .find(|&v| st.label(v) == "SIGMOD")
+            .unwrap();
+        let solutions = query(
+            &st,
+            &[
+                Pattern::new(Term::var("pub"), authored, Term::var("p")),
+                Pattern::new(Term::var("pub"), published, Term::Const(sigmod)),
+            ],
+        );
+        let people: std::collections::HashSet<String> = solutions
+            .iter()
+            .map(|b| st.label(b["p"]))
+            .collect();
+        assert_eq!(people.len(), 2, "Ann and Bob both published at SIGMOD");
+        // Three (pub, person) pairs: PaperOne×2 authors + PaperTwo×1.
+        assert_eq!(solutions.len(), 3);
+    }
+
+    #[test]
+    fn shared_variable_joins() {
+        let st = store();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        // Co-author pairs: (?pub AuthoredBy ?x), (?pub AuthoredBy ?y).
+        let solutions = query(
+            &st,
+            &[
+                Pattern::new(Term::var("pub"), authored, Term::var("x")),
+                Pattern::new(Term::var("pub"), authored, Term::var("y")),
+            ],
+        );
+        // Paper One yields 2x2, Papers Two/Three 1 each → 6 bindings.
+        assert_eq!(solutions.len(), 6);
+        let crossed = solutions
+            .iter()
+            .filter(|b| b["x"] != b["y"])
+            .count();
+        assert_eq!(crossed, 2, "Ann-Bob both ways");
+    }
+
+    #[test]
+    fn fully_bound_pattern_checks_edges() {
+        let st = store();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let c_pub = st.model().class(class::PUBLICATION).unwrap();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let paper_one = st
+            .objects_of_class(c_pub)
+            .find(|&p| st.label(p) == "Paper One")
+            .unwrap();
+        let ann = st
+            .objects_of_class(c_person)
+            .find(|&p| st.label(p) == "Ann Walker")
+            .unwrap();
+        let sols = query(
+            &st,
+            &[Pattern::new(Term::Const(paper_one), authored, Term::Const(ann))],
+        );
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty(), "no variables to bind");
+        // Negative case.
+        let paper_three = st
+            .objects_of_class(c_pub)
+            .find(|&p| st.label(p) == "Paper Three")
+            .unwrap();
+        let sols = query(
+            &st,
+            &[Pattern::new(Term::Const(paper_three), authored, Term::Const(ann))],
+        );
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn empty_patterns_yield_one_empty_binding() {
+        let st = store();
+        let sols = query(&st, &[]);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn textual_queries_parse_and_run() {
+        let st = store();
+        let sols = query_str(&st, r#"?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD""#).unwrap();
+        assert_eq!(sols.len(), 3);
+        let people: std::collections::HashSet<String> =
+            sols.iter().map(|b| st.label(b["p"])).collect();
+        assert!(people.contains("Ann Walker"));
+        assert!(people.contains("Bob Fisher"));
+
+        // Quoted label as subject; semicolon separator.
+        let sols = query_str(&st, r#""Paper One" AuthoredBy ?who; ?pub2 AuthoredBy ?who"#).unwrap();
+        assert!(!sols.is_empty());
+    }
+
+    #[test]
+    fn textual_query_errors() {
+        let st = store();
+        assert!(matches!(
+            query_str(&st, "?a Bogus ?b"),
+            Err(ParseError::UnknownAssoc(_))
+        ));
+        assert!(matches!(
+            query_str(&st, "?a AuthoredBy"),
+            Err(ParseError::BadClause(_))
+        ));
+        assert!(matches!(
+            query_str(&st, r#"?a AuthoredBy "No Such Label""#),
+            Err(ParseError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            query_str(&st, "?a AuthoredBy o99999"),
+            Err(ParseError::UnknownObject(_))
+        ));
+        // Empty text: one empty binding (no constraints).
+        assert_eq!(query_str(&st, "").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,512 @@
+//! The [`Semex`] facade: search, browse, integrate, inspect, persist.
+
+use crate::pipeline::{BuildReport, SemexConfig};
+use semex_browse::{Browser, Link};
+use semex_extract::csv::{parse_csv, Table};
+use semex_index::SearchIndex;
+use semex_integrate::{import, ImportReport, SchemaMatcher};
+use semex_store::{ObjectId, SnapshotError, Store, StoreStats};
+use std::fmt;
+
+/// One search result, resolved to display form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The matching object.
+    pub object: ObjectId,
+    /// Its display label.
+    pub label: String,
+    /// Its class name.
+    pub class: String,
+    /// Relevance score.
+    pub score: f64,
+}
+
+/// A display-oriented view of one object: label, class, attributes,
+/// associations — what the SEMEX browser pane shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectView {
+    /// The object.
+    pub object: ObjectId,
+    /// Display label.
+    pub label: String,
+    /// Class name.
+    pub class: String,
+    /// `(attribute name, rendered value)` pairs.
+    pub attrs: Vec<(String, String)>,
+    /// Outgoing and incoming links, labelled.
+    pub links: Vec<Link>,
+    /// Names of the sources this object was extracted from.
+    pub sources: Vec<String>,
+}
+
+impl fmt::Display for ObjectView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}", self.class, self.label)?;
+        for (a, v) in &self.attrs {
+            writeln!(f, "  {a}: {v}")?;
+        }
+        for l in &self.links {
+            writeln!(f, "  --{}--> {}", l.label, l.target_label)?;
+        }
+        if !self.sources.is_empty() {
+            writeln!(f, "  (from: {})", self.sources.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The assembled SEMEX platform.
+pub struct Semex {
+    store: Store,
+    index: SearchIndex,
+    config: SemexConfig,
+    report: BuildReport,
+}
+
+impl fmt::Debug for Semex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semex")
+            .field("objects", &self.store.object_count())
+            .field("indexed", &self.index.doc_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Semex {
+    pub(crate) fn assemble(
+        store: Store,
+        index: SearchIndex,
+        config: SemexConfig,
+        report: BuildReport,
+    ) -> Self {
+        Semex {
+            store,
+            index,
+            config,
+            report,
+        }
+    }
+
+    /// The association database.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The keyword index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// What the build pipeline did.
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SemexConfig {
+        &self.config
+    }
+
+    /// A browser over the association database.
+    pub fn browser(&self) -> Browser<'_> {
+        Browser::new(&self.store)
+    }
+
+    /// Keyword search: top-`k` objects for a query string (supports the
+    /// `class:Name` filter syntax).
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.index
+            .search_str(&self.store, query, k)
+            .into_iter()
+            .map(|h| SearchResult {
+                object: h.object,
+                label: self.store.label(h.object),
+                class: self
+                    .store
+                    .model()
+                    .class_def(self.store.class_of(h.object))
+                    .name
+                    .clone(),
+                score: h.score,
+            })
+            .collect()
+    }
+
+    /// A full display view of one object.
+    pub fn view(&self, obj: ObjectId) -> ObjectView {
+        let obj = self.store.resolve(obj);
+        let o = self.store.object(obj);
+        let model = self.store.model();
+        let attrs = o
+            .attrs
+            .iter()
+            .map(|(a, v)| (model.attr_def(*a).name.clone(), v.render()))
+            .collect();
+        let sources = o
+            .sources
+            .iter()
+            .filter_map(|&s| self.store.source(s).map(|i| i.name.clone()))
+            .collect();
+        ObjectView {
+            object: obj,
+            label: self.store.label(obj),
+            class: model.class_def(o.class).name.clone(),
+            attrs,
+            links: self.browser().neighborhood(obj),
+            sources,
+        }
+    }
+
+    /// Integrate an external CSV source on the fly: match its schema,
+    /// import its rows, reconcile against the existing space, and refresh
+    /// the keyword index. Returns the mapping quality and import report, or
+    /// `None` when no usable mapping was found.
+    pub fn integrate(&mut self, name: &str, csv: &str) -> Option<(f64, ImportReport)> {
+        let table = parse_csv(csv).ok()?;
+        self.integrate_table(name, &table)
+    }
+
+    /// [`Semex::integrate`] over an already-parsed table.
+    pub fn integrate_table(&mut self, name: &str, table: &Table) -> Option<(f64, ImportReport)> {
+        let mapping = SchemaMatcher::new(&self.store).match_table(table)?;
+        let score = mapping.score;
+        let report = import(&mut self.store, name, table, &mapping, &self.config.recon)
+            .expect("mapping only references model attributes");
+        self.index = SearchIndex::build(&self.store);
+        Some((score, report))
+    }
+
+    /// Incrementally ingest a new source into a built platform: extract,
+    /// reconcile the grown reference graph, and rebuild the keyword index.
+    /// This is the demo's "desktop monitor noticed new mail" path. Returns
+    /// the extraction stats for the new source.
+    ///
+    /// Cross-source registries (reply threading to *old* messages, BibTeX
+    /// keys from *old* bibliographies) do not span ingest calls; batch
+    /// related sources into one [`crate::SemexBuilder`] build when that
+    /// matters.
+    pub fn ingest(
+        &mut self,
+        spec: crate::SourceSpec,
+    ) -> Result<semex_extract::ExtractStats, crate::SemexError> {
+        use semex_extract::{
+            bibtex::extract_bibtex, email::extract_mbox, fswalk::extract_tree,
+            ical::extract_ical, latex::extract_latex, vcard::extract_vcards, ExtractContext,
+        };
+        let name = match &spec {
+            crate::SourceSpec::Mbox { name, .. }
+            | crate::SourceSpec::Vcard { name, .. }
+            | crate::SourceSpec::Bibtex { name, .. }
+            | crate::SourceSpec::Latex { name, .. }
+            | crate::SourceSpec::Ical { name, .. }
+            | crate::SourceSpec::Directory { name, .. } => name.clone(),
+        };
+        let kind = match &spec {
+            crate::SourceSpec::Mbox { .. } => semex_store::SourceKind::Email,
+            crate::SourceSpec::Vcard { .. } => semex_store::SourceKind::Contacts,
+            crate::SourceSpec::Bibtex { .. } => semex_store::SourceKind::Bibliography,
+            crate::SourceSpec::Latex { .. } => semex_store::SourceKind::Latex,
+            crate::SourceSpec::Ical { .. } => semex_store::SourceKind::Calendar,
+            crate::SourceSpec::Directory { .. } => semex_store::SourceKind::FileSystem,
+        };
+        let sid = self
+            .store
+            .register_source(semex_store::SourceInfo::new(&name, kind));
+        let first_new_slot = self.store.slot_count() as u64;
+        let mut ctx = ExtractContext::new(&mut self.store, sid);
+        let result = match &spec {
+            crate::SourceSpec::Mbox { content, .. } => extract_mbox(content, &mut ctx),
+            crate::SourceSpec::Vcard { content, .. } => extract_vcards(content, &mut ctx),
+            crate::SourceSpec::Bibtex { content, .. } => extract_bibtex(content, &mut ctx),
+            crate::SourceSpec::Latex { content, .. } => {
+                extract_latex(content, &mut ctx).map(|(s, _)| s)
+            }
+            crate::SourceSpec::Ical { content, .. } => extract_ical(content, &mut ctx),
+            crate::SourceSpec::Directory { root, .. } => extract_tree(root, &mut ctx),
+        };
+        let stats = result.map_err(|error| crate::SemexError::Extract {
+            source: name,
+            error,
+        })?;
+        if !self.config.skip_recon {
+            // Incremental: only pairs touching the just-extracted
+            // references are (re)considered — old-old pairs were settled by
+            // the build-time run.
+            let new_objects: Vec<ObjectId> = (first_new_slot..self.store.slot_count() as u64)
+                .map(ObjectId)
+                .collect();
+            semex_recon::reconcile_incremental(
+                &mut self.store,
+                &new_objects,
+                self.config.recon_variant,
+                &self.config.recon,
+            );
+        }
+        self.index = SearchIndex::build(&self.store);
+        Ok(stats)
+    }
+
+    /// Explain an object: its asserted facts grouped by provenance source —
+    /// `(source name, rendered fact)` pairs. The demo's "where does SEMEX
+    /// know this from?" affordance.
+    pub fn explain(&self, obj: ObjectId) -> Vec<(String, String)> {
+        let obj = self.store.resolve(obj);
+        let model = self.store.model();
+        let mut out = Vec::new();
+        for t in self.store.triples() {
+            if t.subject != obj && t.object != obj {
+                continue;
+            }
+            let source = self
+                .store
+                .source(t.source)
+                .map(|i| i.name.clone())
+                .unwrap_or_else(|| t.source.to_string());
+            let def = model.assoc_def(t.assoc);
+            let fact = format!(
+                "{} --{}--> {}",
+                self.store.label(t.subject),
+                def.name,
+                self.store.label(t.object)
+            );
+            out.push((source, fact));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// User feedback: assert that two objects denote the same entity.
+    /// Merges them immediately (pooling attributes and re-pointing edges),
+    /// records the pair as a must-link constraint for future
+    /// reconciliation runs, and refreshes the index.
+    pub fn assert_same(
+        &mut self,
+        a: ObjectId,
+        b: ObjectId,
+    ) -> Result<(), semex_store::StoreError> {
+        self.config.recon.must_link.push((a, b));
+        if self.store.resolve(a) != self.store.resolve(b) {
+            self.store.merge(a, b)?;
+        }
+        self.index = SearchIndex::build(&self.store);
+        Ok(())
+    }
+
+    /// User feedback: assert that two objects denote different entities.
+    /// Recorded as a cannot-link constraint respected by every future
+    /// reconciliation run (ingest, integrate). Already-merged objects
+    /// cannot be split — returns `false` in that case so the caller can
+    /// tell the user.
+    pub fn assert_distinct(&mut self, a: ObjectId, b: ObjectId) -> bool {
+        if self.store.resolve(a) == self.store.resolve(b) {
+            return false;
+        }
+        self.config.recon.cannot_link.push((a, b));
+        true
+    }
+
+    /// Store statistics (the numbers the demo's status pane shows).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::compute(&self.store)
+    }
+
+    /// Snapshot the association database to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        self.store.save(path)
+    }
+
+    /// Snapshot a *compacted* copy of the association database: merge-alias
+    /// slots are dropped and objects renumbered, shrinking the file after
+    /// heavy reconciliation. Note that object ids in the snapshot differ
+    /// from this session's ids (the store itself is untouched).
+    pub fn save_compacted(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        let (compact, _mapping) = self.store.compacted();
+        compact.save(path)
+    }
+
+    /// Restore a platform from a snapshot (rebuilds the keyword index).
+    pub fn load(path: &std::path::Path, config: SemexConfig) -> Result<Semex, SnapshotError> {
+        let store = Store::load(path)?;
+        let index = SearchIndex::build(&store);
+        let indexed = index.doc_count();
+        Ok(Semex {
+            store,
+            index,
+            config,
+            report: BuildReport {
+                extraction: Vec::new(),
+                recon: None,
+                indexed,
+                elapsed: std::time::Duration::ZERO,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SemexBuilder;
+    use semex_model::names::class;
+
+    fn demo() -> Semex {
+        SemexBuilder::new()
+            .add_bibtex(
+                "library",
+                "@inproceedings{d5, title={Reference Reconciliation in Complex Spaces}, author={Dong, Xin and Halevy, Alon}, booktitle={SIGMOD}, year=2005}",
+            )
+            .add_mbox(
+                "inbox",
+                "From: Xin Dong <luna@cs.example.edu>\nTo: Alon Halevy <alon@cs.example.edu>\nSubject: demo plan\n\nSee you Friday.",
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn view_renders_object() {
+        let semex = demo();
+        let hits = semex.search("class:Person dong", 5);
+        assert_eq!(hits.len(), 1);
+        let view = semex.view(hits[0].object);
+        assert_eq!(view.class, class::PERSON);
+        assert!(view.attrs.iter().any(|(a, _)| a == "name"));
+        assert!(!view.links.is_empty(), "authored + sender links");
+        let text = view.to_string();
+        assert!(text.contains("[Person]"));
+        assert!(text.contains("-->"));
+    }
+
+    #[test]
+    fn integrate_csv_end_to_end() {
+        let mut semex = demo();
+        let c_person = semex.store().model().class(class::PERSON).unwrap();
+        let before = semex.store().class_count(c_person);
+        let (score, report) = semex
+            .integrate(
+                "attendees",
+                "name,email\nXin Dong,luna@cs.example.edu\nCarol Reyes,carol@z.net\n",
+            )
+            .unwrap();
+        assert!(score > 0.5);
+        assert_eq!(report.created, 2);
+        assert_eq!(report.merged_into_existing, 1);
+        assert_eq!(semex.store().class_count(c_person), before + 1);
+        // The new person is searchable immediately.
+        assert_eq!(semex.search("carol", 5).len(), 1);
+    }
+
+    #[test]
+    fn integrate_rejects_hopeless_tables() {
+        let mut semex = demo();
+        assert!(semex.integrate("junk", "qty,sku\n1,AB\n").is_none());
+        assert!(semex.integrate("junk", "not a csv").is_none());
+    }
+
+    #[test]
+    fn compacted_snapshot_is_smaller_and_equivalent() {
+        let semex = demo();
+        let dir = std::env::temp_dir().join(format!("semex-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.json");
+        let compact = dir.join("compact.json");
+        semex.save(&full).unwrap();
+        semex.save_compacted(&compact).unwrap();
+        let full_len = std::fs::metadata(&full).unwrap().len();
+        let compact_len = std::fs::metadata(&compact).unwrap().len();
+        assert!(compact_len < full_len, "{compact_len} < {full_len}");
+        let restored = Semex::load(&compact, SemexConfig::default()).unwrap();
+        assert_eq!(restored.store().object_count(), semex.store().object_count());
+        assert_eq!(restored.store().alias_count(), 0);
+        assert_eq!(
+            restored.search("reconciliation", 5).len(),
+            semex.search("reconciliation", 5).len()
+        );
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&compact).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let semex = demo();
+        let dir = std::env::temp_dir().join(format!("semex-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        semex.save(&path).unwrap();
+        let restored = Semex::load(&path, SemexConfig::default()).unwrap();
+        assert_eq!(
+            restored.store().object_count(),
+            semex.store().object_count()
+        );
+        assert_eq!(restored.search("reconciliation", 5).len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_grows_and_reconciles() {
+        let mut semex = demo();
+        let c_person = semex.store().model().class(class::PERSON).unwrap();
+        let before = semex.store().class_count(c_person);
+        let stats = semex
+            .ingest(crate::SourceSpec::Mbox {
+                name: "new-mail".into(),
+                content: "From: Xin Dong <luna@cs.example.edu>\nTo: Carol Reyes <carol@z.net>\nSubject: welcome\n\nhi".into(),
+            })
+            .unwrap();
+        assert_eq!(stats.records, 1);
+        // Xin Dong reconciles into the existing object; Carol is new.
+        assert_eq!(semex.store().class_count(c_person), before + 1);
+        assert_eq!(semex.search("carol", 3).len(), 1, "index refreshed");
+        // Bad input surfaces as an error with the source name.
+        let err = semex
+            .ingest(crate::SourceSpec::Bibtex {
+                name: "broken".into(),
+                content: "@article{x, title={oops".into(),
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn explain_groups_facts_by_source() {
+        let semex = demo();
+        let dong = semex.search("class:Person dong", 1)[0].object;
+        let facts = semex.explain(dong);
+        assert!(!facts.is_empty());
+        let sources: std::collections::HashSet<&str> =
+            facts.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(sources.contains("library"), "{sources:?}");
+        assert!(sources.contains("inbox"), "{sources:?}");
+        assert!(facts.iter().any(|(_, f)| f.contains("AuthoredBy")));
+        assert!(facts.iter().any(|(_, f)| f.contains("Sender")));
+    }
+
+    #[test]
+    fn feedback_constraints_stick() {
+        let mut semex = demo();
+        // Assert the reconciled Dong and Halevy are the same (a wrong but
+        // legal user action): they merge and the constraint persists.
+        let dong = semex.search("class:Person dong", 1)[0].object;
+        let halevy = semex.search("class:Person halevy", 1)[0].object;
+        semex.assert_same(dong, halevy).unwrap();
+        assert_eq!(semex.store().resolve(dong), semex.store().resolve(halevy));
+        assert!(!semex.assert_distinct(dong, halevy), "cannot split a merge");
+
+        // A cannot-link on distinct objects survives future ingests.
+        let c_person = semex.store().model().class(class::PERSON).unwrap();
+        let objs: Vec<_> = semex.store().objects_of_class(c_person).take(2).collect();
+        if objs.len() == 2 {
+            assert!(semex.assert_distinct(objs[0], objs[1]));
+            assert_eq!(semex.config().recon.cannot_link.len(), 1);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_reconciled_store() {
+        let semex = demo();
+        let stats = semex.stats();
+        assert!(stats.class(class::PERSON) >= 2);
+        assert!(stats.aliases > 0, "reconciliation merged duplicates");
+    }
+}

@@ -1,0 +1,181 @@
+//! Corpus generation parameters.
+
+/// Noise knobs controlling how many surface variants each entity exhibits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability that a person mention uses a non-canonical form
+    /// (initials, `Last, First`, nickname) instead of `First Last`.
+    pub name_variant: f64,
+    /// Probability that a mention's family name carries a typo
+    /// (adjacent-character transposition or substitution).
+    pub typo: f64,
+    /// Probability that an e-mail mention uses the person's secondary
+    /// address instead of the primary one.
+    pub email_alias: f64,
+    /// Probability that a rendered publication title drops or typos a word.
+    pub title_noise: f64,
+    /// Probability that a venue mention uses its abbreviation.
+    pub venue_abbrev: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            name_variant: 0.45,
+            typo: 0.06,
+            email_alias: 0.25,
+            title_noise: 0.12,
+            venue_abbrev: 0.5,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noise-free configuration (every mention canonical).
+    pub fn none() -> Self {
+        NoiseConfig {
+            name_variant: 0.0,
+            typo: 0.0,
+            email_alias: 0.0,
+            title_noise: 0.0,
+            venue_abbrev: 0.0,
+        }
+    }
+
+    /// Scale every probability by `f` (clamped to `[0, 1]`), for noise
+    /// sweeps.
+    pub fn scaled(&self, f: f64) -> Self {
+        let c = |p: f64| (p * f).clamp(0.0, 1.0);
+        NoiseConfig {
+            name_variant: c(self.name_variant),
+            typo: c(self.typo),
+            email_alias: c(self.email_alias),
+            title_noise: c(self.title_noise),
+            venue_abbrev: c(self.venue_abbrev),
+        }
+    }
+}
+
+/// Size and noise parameters of a personal corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// RNG seed; equal seeds produce byte-identical corpora.
+    pub seed: u64,
+    /// Distinct real people in the world.
+    pub people: usize,
+    /// Organizations people work for.
+    pub organizations: usize,
+    /// Publication venues.
+    pub venues: usize,
+    /// Publications (each authored by 1–4 people).
+    pub publications: usize,
+    /// E-mail messages in the mail archive.
+    pub messages: usize,
+    /// Fraction of people present in the vCard contact file.
+    pub contacts_fraction: f64,
+    /// Noise model.
+    pub noise: NoiseConfig,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 2005,
+            people: 120,
+            organizations: 12,
+            venues: 15,
+            publications: 260,
+            messages: 1400,
+            contacts_fraction: 0.4,
+            noise: NoiseConfig::default(),
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CorpusConfig {
+            seed,
+            people: 20,
+            organizations: 3,
+            venues: 4,
+            publications: 25,
+            messages: 80,
+            contacts_fraction: 0.5,
+            noise: NoiseConfig::default(),
+        }
+    }
+
+    /// Scale the corpus size by roughly `f` (people, publications,
+    /// messages), used for scalability sweeps.
+    pub fn scaled_size(&self, f: f64) -> Self {
+        let s = |n: usize| ((n as f64 * f).round() as usize).max(2);
+        CorpusConfig {
+            people: s(self.people),
+            organizations: s(self.organizations).min(40),
+            venues: s(self.venues).min(40),
+            publications: s(self.publications),
+            messages: s(self.messages),
+            ..self.clone()
+        }
+    }
+}
+
+/// Parameters of the Cora-style citation corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoraConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Underlying distinct papers.
+    pub papers: usize,
+    /// Distinct authors papers draw from.
+    pub authors: usize,
+    /// Distinct venues.
+    pub venues: usize,
+    /// Citation records per paper: uniform in `1..=max_citations_per_paper`.
+    pub max_citations_per_paper: usize,
+    /// Noise model applied to each citation record.
+    pub noise: NoiseConfig,
+}
+
+impl Default for CoraConfig {
+    fn default() -> Self {
+        CoraConfig {
+            seed: 1993,
+            papers: 120,
+            authors: 90,
+            venues: 12,
+            max_citations_per_paper: 5,
+            noise: NoiseConfig {
+                name_variant: 0.6,
+                typo: 0.08,
+                email_alias: 0.0,
+                title_noise: 0.2,
+                venue_abbrev: 0.6,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_clamps() {
+        let n = NoiseConfig::default().scaled(10.0);
+        assert!(n.name_variant <= 1.0 && n.typo <= 1.0);
+        let z = NoiseConfig::default().scaled(0.0);
+        assert_eq!(z, NoiseConfig::none());
+    }
+
+    #[test]
+    fn size_scaling() {
+        let c = CorpusConfig::default().scaled_size(2.0);
+        assert_eq!(c.people, 240);
+        assert_eq!(c.messages, 2800);
+        let small = CorpusConfig::default().scaled_size(0.001);
+        assert!(small.people >= 2);
+    }
+}

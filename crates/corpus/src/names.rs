@@ -1,0 +1,103 @@
+//! Name, word and domain pools for synthetic generation.
+
+/// Given names (with the nicknames the similarity library knows about well
+/// represented, so nickname noise is realistic).
+pub const FIRST_NAMES: &[&str] = &[
+    "Michael", "William", "Robert", "James", "David", "Thomas", "Elizabeth", "Katherine",
+    "Christopher", "Daniel", "Samuel", "Alexander", "Jennifer", "Andrew", "Anthony", "Susan",
+    "Richard", "Edward", "Joseph", "John", "Margaret", "Nicholas", "Steven", "Xin", "Alon",
+    "Jayant", "Ann", "Laura", "Rachel", "Pedro", "Maria", "Wei", "Yuki", "Omar", "Nina",
+    "Carlos", "Priya", "Igor", "Fatima", "Hannah", "George", "Olga", "Hiro", "Elena", "Marc",
+    "Sofia", "Dana", "Victor", "Irene", "Paul",
+];
+
+/// Middle initials pool.
+pub const MIDDLE_INITIALS: &[&str] = &[
+    "A", "B", "C", "D", "E", "F", "G", "H", "J", "K", "L", "M", "N", "P", "R", "S", "T", "W",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Carey", "Halevy", "Dong", "Madhavan", "Smith", "Johnson", "Williams", "Brown", "Jones",
+    "Garcia", "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams",
+    "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Chen", "Wang", "Kumar",
+    "Ivanov", "Tanaka", "Müller", "Rossi", "Silva", "Kowalski",
+];
+
+/// Organization name stems (rendered as "<stem> <suffix>").
+pub const ORG_STEMS: &[&str] = &[
+    "Evergreen", "Cascade", "Rainier", "Puget", "Olympic", "Aurora", "Meridian", "Summit",
+    "Harbor", "Pioneer", "Horizon", "Northgate", "Lakeview", "Crestwood", "Fernwood", "Alder",
+];
+
+/// Organization suffixes.
+pub const ORG_SUFFIXES: &[&str] = &["University", "Labs", "Research", "Systems", "Institute", "Corp"];
+
+/// Venue name stems (conference-like).
+pub const VENUE_STEMS: &[&str] = &[
+    ("Management of Data"),
+    ("Very Large Data Bases"),
+    ("Innovative Data Systems"),
+    ("Data Engineering"),
+    ("Information and Knowledge Management"),
+    ("Digital Libraries"),
+    ("Web Search and Data Mining"),
+    ("Artificial Intelligence"),
+    ("Machine Learning"),
+    ("Human Factors in Computing"),
+    ("Operating Systems Principles"),
+    ("Networked Systems"),
+    ("Database Theory"),
+    ("Semantic Web"),
+    ("Information Retrieval"),
+    ("Knowledge Discovery"),
+    ("Distributed Computing"),
+    ("Programming Languages"),
+];
+
+/// Title vocabulary (technical words combined into plausible paper titles).
+/// Deliberately large: real paper titles in a personal corpus rarely
+/// near-collide, and an impoverished vocabulary would manufacture
+/// publication false positives the real system never faces.
+pub const TITLE_WORDS: &[&str] = &[
+    "adaptive", "scalable", "efficient", "personal", "semantic", "distributed", "incremental",
+    "robust", "declarative", "probabilistic", "streaming", "federated", "malleable", "unified",
+    "queries", "indexes", "integration", "reconciliation", "extraction", "browsing", "search",
+    "schemas", "mappings", "associations", "references", "desktops", "archives", "ontologies",
+    "caches", "joins", "views", "triggers", "workflows", "provenance", "lineage", "matching",
+    "optimization", "sampling", "sketches", "histograms", "partitioning", "replication",
+    "consensus", "transactions", "recovery", "logging", "compression", "encryption", "privacy",
+    "crawling", "ranking", "clustering", "classification", "annotation", "curation", "cleaning",
+    "deduplication", "wrappers", "mediators", "warehouses", "cubes", "aggregation", "windows",
+    "latency", "throughput", "elasticity", "virtualization", "containers", "monitoring",
+    "anomalies", "forecasting", "summarization", "visualization", "navigation", "bookmarks",
+    "calendars", "contacts", "attachments", "threads", "folders", "tagging", "versioning",
+    "synchronization", "offline", "mobile", "sensors", "lifelogging", "timelines", "entities",
+    "relations", "graphs", "paths", "reachability", "similarity", "embeddings", "lattices",
+];
+
+/// Subject-line vocabulary for e-mail generation.
+pub const SUBJECT_WORDS: &[&str] = &[
+    "meeting", "draft", "review", "deadline", "slides", "demo", "budget", "proposal", "agenda",
+    "notes", "feedback", "schedule", "paper", "revision", "experiments", "dataset", "release",
+];
+
+/// Body filler sentences for e-mails and notes.
+pub const BODY_SENTENCES: &[&str] = &[
+    "Please find the latest version attached.",
+    "Can we move the meeting to Thursday?",
+    "The numbers look much better after the fix.",
+    "I pushed the changes to the repository.",
+    "Let me know if the deadline still works.",
+    "The reviewers asked for another experiment.",
+    "Lunch after the talk?",
+    "The demo machine is reserved for Friday.",
+    "I will send the camera-ready tonight.",
+    "Thanks for the quick turnaround.",
+];
+
+/// Free-mail domains used for alias addresses.
+pub const FREEMAIL: &[&str] = &["mailhub.example", "postbox.example", "webmail.example"];

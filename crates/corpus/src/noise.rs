@@ -1,0 +1,131 @@
+//! Surface-form noise: name variants and typos.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Nickname pairs the generator draws from (a subset of what the similarity
+/// library can undo, so some nicknames are genuinely hard).
+const NICKNAMES: &[(&str, &str)] = &[
+    ("Michael", "Mike"),
+    ("William", "Bill"),
+    ("Robert", "Bob"),
+    ("James", "Jim"),
+    ("David", "Dave"),
+    ("Thomas", "Tom"),
+    ("Elizabeth", "Liz"),
+    ("Katherine", "Kate"),
+    ("Christopher", "Chris"),
+    ("Daniel", "Dan"),
+    ("Samuel", "Sam"),
+    ("Alexander", "Alex"),
+    ("Jennifer", "Jen"),
+    ("Andrew", "Andy"),
+    ("Anthony", "Tony"),
+    ("Susan", "Sue"),
+    ("Richard", "Rick"),
+    ("Edward", "Ted"),
+    ("Joseph", "Joe"),
+    ("John", "Jack"),
+    ("Margaret", "Peggy"),
+    ("Nicholas", "Nick"),
+    ("Steven", "Steve"),
+];
+
+/// The nickname of a given name, when one exists.
+pub fn nickname(first: &str) -> Option<&'static str> {
+    NICKNAMES.iter().find(|(f, _)| *f == first).map(|&(_, n)| n)
+}
+
+/// Introduce a single typo into a word: adjacent transposition, substitution
+/// or deletion, chosen by the RNG. Words shorter than 4 characters are
+/// returned unchanged (typos there destroy identity).
+pub fn typo(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 4 {
+        return word.to_owned();
+    }
+    // Never touch the first character: keeps blocking keys realistic.
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            let c = (b'a' + rng.gen_range(0..26u8)) as char;
+            out[i] = c;
+        }
+        _ => {
+            out.remove(i);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// The surface variants of a person name, most canonical first:
+/// `First [M.] Last`, `First Last`, `F. Last`, `Last, First`, `Last, F.`,
+/// `Nickname Last` (when one exists).
+pub fn name_variants(first: &str, middle: Option<&str>, last: &str) -> Vec<String> {
+    let fi: String = first.chars().take(1).collect();
+    let mut out = Vec::with_capacity(7);
+    if let Some(m) = middle {
+        out.push(format!("{first} {m}. {last}"));
+    }
+    out.push(format!("{first} {last}"));
+    out.push(format!("{fi}. {last}"));
+    out.push(format!("{last}, {first}"));
+    out.push(format!("{last}, {fi}."));
+    if let Some(m) = middle {
+        out.push(format!("{fi}. {m}. {last}"));
+    }
+    if let Some(n) = nickname(first) {
+        out.push(format!("{n} {last}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variants_cover_expected_forms() {
+        let v = name_variants("Michael", Some("J"), "Carey");
+        assert!(v.contains(&"Michael J. Carey".to_owned()));
+        assert!(v.contains(&"Michael Carey".to_owned()));
+        assert!(v.contains(&"M. Carey".to_owned()));
+        assert!(v.contains(&"Carey, Michael".to_owned()));
+        assert!(v.contains(&"Carey, M.".to_owned()));
+        assert!(v.contains(&"Mike Carey".to_owned()));
+        let v = name_variants("Alon", None, "Halevy");
+        assert!(!v.iter().any(|s| s.contains("None")));
+        assert_eq!(v[0], "Alon Halevy");
+    }
+
+    #[test]
+    fn typo_changes_longer_words_only() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(typo("Ann", &mut rng), "Ann");
+        let mut changed = 0;
+        for _ in 0..50 {
+            let t = typo("Halevy", &mut rng);
+            assert!(t.starts_with('H'), "first char preserved: {t}");
+            if t != "Halevy" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "typos should nearly always change the word");
+    }
+
+    #[test]
+    fn typo_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(typo("Madhavan", &mut a), typo("Madhavan", &mut b));
+    }
+
+    #[test]
+    fn nickname_lookup() {
+        assert_eq!(nickname("Michael"), Some("Mike"));
+        assert_eq!(nickname("Xin"), None);
+    }
+}

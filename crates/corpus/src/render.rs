@@ -1,0 +1,626 @@
+//! Rendering a [`World`] into the personal-corpus file tree.
+
+use crate::names::{BODY_SENTENCES, SUBJECT_WORDS};
+use crate::noise::{name_variants, typo};
+use crate::truth::{EntityKind, GroundTruth};
+use crate::world::World;
+use crate::CorpusConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::path::Path;
+
+/// A rendered personal corpus: relative paths + file contents, the ground
+/// truth oracle, and the world it was rendered from.
+#[derive(Debug, Clone)]
+pub struct PersonalCorpus {
+    /// `(relative path, content)` pairs in deterministic order.
+    pub files: Vec<(String, String)>,
+    /// Surface-form → entity oracle.
+    pub truth: GroundTruth,
+    /// The underlying world.
+    pub world: World,
+}
+
+impl PersonalCorpus {
+    /// Write the corpus under `dir` (creating directories as needed).
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        for (rel, content) in &self.files {
+            let path = dir.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, content)?;
+        }
+        Ok(())
+    }
+
+    /// Total size of the rendered corpus in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.files.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+/// Pick a surface name form for a person mention, register it with the
+/// oracle, and return it. Falls back through the variant list — ending at
+/// the globally unique canonical form — whenever a variant collides with a
+/// form already owned by another person.
+fn person_form(
+    world: &World,
+    truth: &mut GroundTruth,
+    cfg: &CorpusConfig,
+    person: usize,
+    rng: &mut StdRng,
+) -> String {
+    let p = &world.people[person];
+    let canonical = p.canonical_name();
+    let mut chosen = canonical.clone();
+    if rng.gen_bool(cfg.noise.name_variant) {
+        let variants = name_variants(&p.first, p.middle.as_deref(), &p.last);
+        let pick = variants[rng.gen_range(0..variants.len())].clone();
+        chosen = pick;
+    }
+    if rng.gen_bool(cfg.noise.typo) {
+        let t = typo(&p.last, rng);
+        if t != p.last {
+            chosen = chosen.replace(&p.last, &t);
+        }
+    }
+    if truth.assign(EntityKind::Person, &chosen, p.id) {
+        return chosen;
+    }
+    // Collision with another person's form: use the canonical name, which is
+    // unique by construction.
+    let ok = truth.assign(EntityKind::Person, &canonical, p.id);
+    debug_assert!(ok, "canonical names are unique");
+    canonical
+}
+
+/// Pick and register an e-mail address for a person mention.
+fn person_email(
+    world: &World,
+    truth: &mut GroundTruth,
+    cfg: &CorpusConfig,
+    person: usize,
+    rng: &mut StdRng,
+) -> String {
+    let p = &world.people[person];
+    let addr = if p.emails.len() > 1 && rng.gen_bool(cfg.noise.email_alias) {
+        p.emails[1].clone()
+    } else {
+        p.emails[0].clone()
+    };
+    let ok = truth.assign(EntityKind::Person, &addr, p.id);
+    debug_assert!(ok, "e-mail addresses are unique per person");
+    addr
+}
+
+/// Pick and register a title form for a publication mention.
+fn title_form(
+    world: &World,
+    truth: &mut GroundTruth,
+    cfg: &CorpusConfig,
+    pubn: usize,
+    rng: &mut StdRng,
+) -> String {
+    let p = &world.pubs[pubn];
+    let mut chosen = p.title.clone();
+    if rng.gen_bool(cfg.noise.title_noise) {
+        let words: Vec<&str> = p.title.split_whitespace().collect();
+        if words.len() > 3 {
+            match rng.gen_range(0..2) {
+                0 => {
+                    // Drop a non-leading word.
+                    let drop = rng.gen_range(1..words.len());
+                    let kept: Vec<&str> = words
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, w)| *w)
+                        .collect();
+                    chosen = kept.join(" ");
+                }
+                _ => {
+                    // Typo a non-leading word.
+                    let at = rng.gen_range(1..words.len());
+                    let mut out: Vec<String> = words.iter().map(|w| (*w).to_owned()).collect();
+                    out[at] = typo(&out[at], rng);
+                    chosen = out.join(" ");
+                }
+            }
+        }
+    }
+    if truth.assign(EntityKind::Publication, &chosen, p.id) {
+        return chosen;
+    }
+    let ok = truth.assign(EntityKind::Publication, &p.title, p.id);
+    debug_assert!(ok, "canonical titles are unique");
+    p.title.clone()
+}
+
+/// Pick and register a venue form (full name or abbreviation).
+fn venue_form(
+    world: &World,
+    truth: &mut GroundTruth,
+    cfg: &CorpusConfig,
+    venue: usize,
+    rng: &mut StdRng,
+) -> String {
+    let v = &world.venues[venue];
+    let chosen = if rng.gen_bool(cfg.noise.venue_abbrev) {
+        v.abbrev.clone()
+    } else {
+        v.name.clone()
+    };
+    if truth.assign(EntityKind::Venue, &chosen, v.id) {
+        return chosen;
+    }
+    let ok = truth.assign(EntityKind::Venue, &v.name, v.id);
+    debug_assert!(ok, "canonical venue names are unique");
+    v.name.clone()
+}
+
+/// Render the world into files + ground truth.
+pub fn render(cfg: &CorpusConfig, world: &World, rng: &mut StdRng) -> PersonalCorpus {
+    let mut truth = GroundTruth::new();
+    truth.set_entity_count(EntityKind::Person, world.people.len() as u32);
+    truth.set_entity_count(EntityKind::Publication, world.pubs.len() as u32);
+    truth.set_entity_count(EntityKind::Venue, world.venues.len() as u32);
+    truth.set_entity_count(EntityKind::Organization, world.orgs.len() as u32);
+    for o in &world.orgs {
+        let ok = truth.assign(EntityKind::Organization, &o.name, o.id);
+        debug_assert!(ok);
+    }
+
+    let mut files = Vec::new();
+    files.push((
+        "papers/library.bib".to_owned(),
+        render_bibtex(cfg, world, &mut truth, rng),
+    ));
+    let (inbox, archive) = render_mbox(cfg, world, &mut truth, rng);
+    files.push(("mail/inbox.mbox".to_owned(), inbox));
+    files.push(("mail/archive.mbox".to_owned(), archive));
+    files.push((
+        "contacts/addressbook.vcf".to_owned(),
+        render_vcards(cfg, world, &mut truth, rng),
+    ));
+    for (i, content) in render_latex(cfg, world, &mut truth, rng).into_iter().enumerate() {
+        files.push((format!("papers/drafts/draft{i}.tex"), content));
+    }
+    files.push((
+        "calendar/events.ics".to_owned(),
+        render_ics(cfg, world, &mut truth, rng),
+    ));
+    for (i, content) in render_home_pages(cfg, world, &mut truth, rng).into_iter().enumerate() {
+        files.push((format!("web/cache/home{i}.html"), content));
+    }
+    files.push(("notes/people.txt".to_owned(), render_notes(world, &mut truth, rng)));
+
+    PersonalCorpus {
+        files,
+        truth,
+        world: world.clone(),
+    }
+}
+
+fn render_bibtex(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> String {
+    let mut out = String::from("% synthetic personal bibliography\n");
+    for (i, p) in world.pubs.iter().enumerate() {
+        let title = title_form(world, truth, cfg, i, rng);
+        let authors: Vec<String> = p
+            .authors
+            .iter()
+            .map(|&a| {
+                let form = person_form(world, truth, cfg, a, rng);
+                // BibTeX prefers "Last, First"; emit the form as-is when it
+                // already contains a comma.
+                form
+            })
+            .collect();
+        let venue = venue_form(world, truth, cfg, p.venue, rng);
+        out.push_str(&format!(
+            "@inproceedings{{pub{i},\n  title = {{{title}}},\n  author = {{{}}},\n  booktitle = {{{venue}}},\n  year = {{{}}},\n  pages = {{{}--{}}}\n}}\n\n",
+            authors.join(" and "),
+            p.year,
+            rng.gen_range(1..400),
+            rng.gen_range(400..800),
+        ));
+    }
+    out
+}
+
+fn render_mbox(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> (String, String) {
+    let mut inbox = String::new();
+    let mut archive = String::new();
+    let mut prev_ids: Vec<(String, String)> = Vec::new(); // (message-id, subject)
+    let mut date = 1_075_000_000i64; // late Jan 2004
+    for i in 0..cfg.messages {
+        date += rng.gen_range(600..40_000);
+        let sender = rng.gen_range(0..world.people.len());
+        let colleagues = world.colleagues(sender);
+        let mut recipients = Vec::new();
+        let recip_count = rng.gen_range(1..=3usize);
+        for _ in 0..recip_count {
+            let r = if !colleagues.is_empty() && rng.gen_bool(0.6) {
+                colleagues[rng.gen_range(0..colleagues.len())]
+            } else {
+                rng.gen_range(0..world.people.len())
+            };
+            if r != sender && !recipients.contains(&r) {
+                recipients.push(r);
+            }
+        }
+        if recipients.is_empty() {
+            recipients.push((sender + 1) % world.people.len());
+        }
+        let cc: Option<usize> = rng.gen_bool(0.25).then(|| rng.gen_range(0..world.people.len()));
+
+        let mut msg = String::new();
+        msg.push_str(&format!("From corpus {i}\n"));
+        // Sender header: usually name + address, sometimes bare address.
+        let s_email = person_email(world, truth, cfg, sender, rng);
+        if rng.gen_bool(0.6) {
+            let s_name = person_form(world, truth, cfg, sender, rng);
+            msg.push_str(&format!("From: {s_name} <{s_email}>\n"));
+        } else {
+            msg.push_str(&format!("From: {s_email}\n"));
+        }
+        let to_parts: Vec<String> = recipients
+            .iter()
+            .map(|&r| {
+                let e = person_email(world, truth, cfg, r, rng);
+                if rng.gen_bool(0.55) {
+                    let n = person_form(world, truth, cfg, r, rng);
+                    if n.contains(',') {
+                        format!("\"{n}\" <{e}>")
+                    } else {
+                        format!("{n} <{e}>")
+                    }
+                } else {
+                    e
+                }
+            })
+            .collect();
+        msg.push_str(&format!("To: {}\n", to_parts.join(", ")));
+        if let Some(c) = cc {
+            let e = person_email(world, truth, cfg, c, rng);
+            msg.push_str(&format!("Cc: {e}\n"));
+        }
+
+        // Subject: fresh, or a reply to a previous message.
+        let reply_to = (!prev_ids.is_empty() && rng.gen_bool(0.3))
+            .then(|| prev_ids[rng.gen_range(0..prev_ids.len())].clone());
+        let subject = match &reply_to {
+            Some((_, s)) => format!("Re: {}", s.strip_prefix("Re: ").unwrap_or(s)),
+            None if rng.gen_bool(0.2) => {
+                // Reference a publication title (ties mail to papers).
+                let p = rng.gen_range(0..world.pubs.len());
+                let t: Vec<&str> = world.pubs[p].title.split_whitespace().take(4).collect();
+                format!("about {}", t.join(" "))
+            }
+            None => {
+                let w1 = SUBJECT_WORDS[rng.gen_range(0..SUBJECT_WORDS.len())];
+                let w2 = SUBJECT_WORDS[rng.gen_range(0..SUBJECT_WORDS.len())];
+                format!("{w1} {w2}")
+            }
+        };
+        msg.push_str(&format!("Subject: {subject}\n"));
+
+        // Date in RFC form.
+        let days = date / 86_400;
+        let secs = date % 86_400;
+        // Render via a simple civil conversion (inverse of extract's parser
+        // is unnecessary: we emit ISO in a Date header the parser accepts).
+        msg.push_str(&format!(
+            "Date: {}\n",
+            iso_date(days, secs),
+        ));
+        let mid = format!("msg{i}@corpus.example");
+        msg.push_str(&format!("Message-ID: <{mid}>\n"));
+        if let Some((parent, _)) = &reply_to {
+            msg.push_str(&format!("In-Reply-To: <{parent}>\n"));
+        }
+        if rng.gen_bool(0.15) {
+            let p = rng.gen_range(0..world.pubs.len());
+            msg.push_str(&format!("X-Attachment: draft-pub{p}.tex\n"));
+        }
+        msg.push('\n');
+        let s1 = BODY_SENTENCES[rng.gen_range(0..BODY_SENTENCES.len())];
+        let s2 = BODY_SENTENCES[rng.gen_range(0..BODY_SENTENCES.len())];
+        msg.push_str(&format!("{s1} {s2}\n\n"));
+
+        prev_ids.push((mid, subject));
+        if prev_ids.len() > 40 {
+            prev_ids.remove(0);
+        }
+        if i % 2 == 0 {
+            inbox.push_str(&msg);
+        } else {
+            archive.push_str(&msg);
+        }
+    }
+    (inbox, archive)
+}
+
+/// ISO date string from days-since-epoch + seconds-of-day (civil algorithm).
+fn iso_date(days: i64, secs: i64) -> String {
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    )
+}
+
+fn render_vcards(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> String {
+    let mut out = String::new();
+    let count = ((world.people.len() as f64) * cfg.contacts_fraction).round() as usize;
+    for i in 0..count.min(world.people.len()) {
+        let p = &world.people[i];
+        let name = person_form(world, truth, cfg, i, rng);
+        let email = person_email(world, truth, cfg, i, rng);
+        out.push_str("BEGIN:VCARD\nVERSION:3.0\n");
+        out.push_str(&format!("FN:{name}\n"));
+        out.push_str(&format!("N:{};{};{}\n", p.last, p.first, p.middle.as_deref().unwrap_or("")));
+        out.push_str(&format!("EMAIL;TYPE=work:{email}\n"));
+        if p.emails.len() > 1 && rng.gen_bool(0.5) {
+            let alias = person_email(world, truth, cfg, i, rng);
+            if alias != email {
+                out.push_str(&format!("EMAIL;TYPE=home:{alias}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "TEL;TYPE=cell:+1-555-{:04}\n",
+            rng.gen_range(0..10_000)
+        ));
+        let org = &world.orgs[p.org];
+        out.push_str(&format!("ORG:{}\n", org.name));
+        out.push_str("END:VCARD\n");
+    }
+    out
+}
+
+fn render_latex(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> Vec<String> {
+    let drafts = (world.pubs.len() / 12).max(1);
+    let mut out = Vec::with_capacity(drafts);
+    for _ in 0..drafts {
+        let pi = rng.gen_range(0..world.pubs.len());
+        let p = &world.pubs[pi];
+        let title = title_form(world, truth, cfg, pi, rng);
+        let authors: Vec<String> = p
+            .authors
+            .iter()
+            .map(|&a| person_form(world, truth, cfg, a, rng))
+            .collect();
+        let mut tex = String::from("\\documentclass{article}\n");
+        tex.push_str(&format!("\\title{{{title}}}\n"));
+        tex.push_str(&format!("\\author{{{}}}\n", authors.join(" \\and ")));
+        tex.push_str("\\begin{document}\n\\maketitle\n");
+        let mut cite_keys: Vec<String> = p.cites.iter().map(|c| format!("pub{c}")).collect();
+        for _ in 0..rng.gen_range(0..3usize) {
+            cite_keys.push(format!("pub{}", rng.gen_range(0..world.pubs.len())));
+        }
+        if !cite_keys.is_empty() {
+            tex.push_str(&format!("Prior work \\cite{{{}}} applies.\n", cite_keys.join(",")));
+        }
+        tex.push_str("\\bibliography{library}\n\\end{document}\n");
+        out.push(tex);
+    }
+    out
+}
+
+fn render_ics(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> String {
+    let mut out = String::from("BEGIN:VCALENDAR\nVERSION:2.0\n");
+    let events = (cfg.messages / 20).max(2);
+    let mut day = 0i64;
+    for i in 0..events {
+        day += rng.gen_range(0..3);
+        let organizer = rng.gen_range(0..world.people.len());
+        let colleagues = world.colleagues(organizer);
+        let mut attendees = Vec::new();
+        for _ in 0..rng.gen_range(1..=4usize) {
+            let a = if !colleagues.is_empty() && rng.gen_bool(0.7) {
+                colleagues[rng.gen_range(0..colleagues.len())]
+            } else {
+                rng.gen_range(0..world.people.len())
+            };
+            if a != organizer && !attendees.contains(&a) {
+                attendees.push(a);
+            }
+        }
+        let w1 = SUBJECT_WORDS[rng.gen_range(0..SUBJECT_WORDS.len())];
+        let w2 = SUBJECT_WORDS[rng.gen_range(0..SUBJECT_WORDS.len())];
+        out.push_str("BEGIN:VEVENT\n");
+        out.push_str(&format!("UID:event{i}@corpus.example\n"));
+        out.push_str(&format!("SUMMARY:{w1} {w2}\n"));
+        // Spread through 2004; hours 9-16.
+        let d = 1 + (day % 28) as u32;
+        let m = 1 + ((day / 28) % 12) as u32;
+        out.push_str(&format!(
+            "DTSTART:2004{m:02}{d:02}T{:02}0000Z\n",
+            9 + rng.gen_range(0..8)
+        ));
+        if rng.gen_bool(0.5) {
+            out.push_str(&format!("LOCATION:Room {}\n", rng.gen_range(100..500)));
+        }
+        let o_name = person_form(world, truth, cfg, organizer, rng);
+        let o_mail = person_email(world, truth, cfg, organizer, rng);
+        out.push_str(&format!("ORGANIZER;CN={o_name}:mailto:{o_mail}\n"));
+        for &a in &attendees {
+            let mail = person_email(world, truth, cfg, a, rng);
+            if rng.gen_bool(0.7) {
+                let name = person_form(world, truth, cfg, a, rng);
+                out.push_str(&format!("ATTENDEE;CN=\"{name}\":mailto:{mail}\n"));
+            } else {
+                out.push_str(&format!("ATTENDEE:mailto:{mail}\n"));
+            }
+        }
+        out.push_str("END:VEVENT\n");
+    }
+    out.push_str("END:VCALENDAR\n");
+    out
+}
+
+/// Cached author home pages: title + owner's address + mailto links to
+/// co-authors + publication titles in the visible text.
+fn render_home_pages(
+    cfg: &CorpusConfig,
+    world: &World,
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+) -> Vec<String> {
+    let count = (world.people.len() / 8).max(1);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let owner = rng.gen_range(0..world.people.len());
+        let name = person_form(world, truth, cfg, owner, rng);
+        let email = person_email(world, truth, cfg, owner, rng);
+        let mut html = String::from("<html><head>");
+        html.push_str(&format!("<title>{name}</title></head><body>\n"));
+        html.push_str(&format!("<h1>{name}</h1>\n"));
+        html.push_str(&format!(
+            "<p>Contact: <a href=\"mailto:{email}\">{email}</a></p>\n<ul>\n"
+        ));
+        // The owner's publications with mailto links to co-authors.
+        let pubs: Vec<usize> = world
+            .pubs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.authors.contains(&owner))
+            .map(|(i, _)| i)
+            .collect();
+        for &pi in pubs.iter().take(6) {
+            let title = title_form(world, truth, cfg, pi, rng);
+            html.push_str(&format!("<li>{title}"));
+            for &a in &world.pubs[pi].authors {
+                if a != owner && rng.gen_bool(0.5) {
+                    let co_name = person_form(world, truth, cfg, a, rng);
+                    let co_mail = person_email(world, truth, cfg, a, rng);
+                    html.push_str(&format!(
+                        " with <a href=\"mailto:{co_mail}\">{co_name}</a>"
+                    ));
+                }
+            }
+            html.push_str("</li>\n");
+        }
+        html.push_str("</ul>\n<p>Hosted at <a href=\"https://www.example.edu/dept\">the department</a>.</p>\n");
+        html.push_str("</body></html>\n");
+        out.push(html);
+    }
+    out
+}
+
+fn render_notes(world: &World, truth: &mut GroundTruth, rng: &mut StdRng) -> String {
+    let mut out = String::from("people to follow up with:\n");
+    for _ in 0..8.min(world.people.len()) {
+        let i = rng.gen_range(0..world.people.len());
+        let p = &world.people[i];
+        let name = p.canonical_name();
+        let ok = truth.assign(EntityKind::Person, &name, p.id);
+        debug_assert!(ok);
+        out.push_str(&format!("- {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_personal;
+
+    #[test]
+    fn corpus_renders_all_file_kinds() {
+        let corpus = generate_personal(&CorpusConfig::tiny(11));
+        let paths: Vec<&str> = corpus.files.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"papers/library.bib"));
+        assert!(paths.contains(&"mail/inbox.mbox"));
+        assert!(paths.contains(&"mail/archive.mbox"));
+        assert!(paths.contains(&"contacts/addressbook.vcf"));
+        assert!(paths.contains(&"calendar/events.ics"));
+        assert!(paths.iter().any(|p| p.starts_with("web/cache/")));
+        assert!(paths.contains(&"notes/people.txt"));
+        assert!(paths.iter().any(|p| p.starts_with("papers/drafts/")));
+        assert!(corpus.byte_size() > 5_000);
+    }
+
+    #[test]
+    fn truth_labels_every_person_form() {
+        let corpus = generate_personal(&CorpusConfig::tiny(12));
+        // Every canonical name and every e-mail must be resolvable.
+        for p in &corpus.world.people {
+            if let Some(id) = corpus.truth.entity_of(EntityKind::Person, &p.canonical_name()) {
+                assert_eq!(id, p.id);
+            }
+            for e in &p.emails {
+                if let Some(id) = corpus.truth.entity_of(EntityKind::Person, e) {
+                    assert_eq!(id, p.id);
+                }
+            }
+        }
+        assert!(corpus.truth.form_count(EntityKind::Person) >= corpus.world.people.len());
+        assert!(corpus.truth.form_count(EntityKind::Publication) >= corpus.world.pubs.len());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_personal(&CorpusConfig::tiny(99));
+        let b = generate_personal(&CorpusConfig::tiny(99));
+        assert_eq!(a.files, b.files);
+        let c = generate_personal(&CorpusConfig::tiny(100));
+        assert_ne!(a.files, c.files, "different seeds differ");
+    }
+
+    #[test]
+    fn write_to_disk_roundtrip() {
+        let corpus = generate_personal(&CorpusConfig::tiny(13));
+        let dir = std::env::temp_dir().join(format!("semex-corpus-{}", std::process::id()));
+        corpus.write_to(&dir).unwrap();
+        let bib = std::fs::read_to_string(dir.join("papers/library.bib")).unwrap();
+        assert!(bib.contains("@inproceedings"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn iso_date_is_valid() {
+        assert_eq!(iso_date(0, 0), "1970-01-01 00:00:00");
+        assert_eq!(iso_date(12_857, 3_661), "2005-03-15 01:01:01");
+    }
+}

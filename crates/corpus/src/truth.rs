@@ -1,0 +1,132 @@
+//! The ground-truth oracle: surface form → true entity.
+
+use std::collections::HashMap;
+
+/// The kinds of reconcilable entities the generators label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A real person.
+    Person,
+    /// A real publication.
+    Publication,
+    /// A publication venue.
+    Venue,
+    /// An organization.
+    Organization,
+}
+
+/// Maps every surface form the generator emitted (name spelling, e-mail
+/// address, title variant, …) to the id of the true entity it denotes.
+///
+/// The generator guarantees the map is *functional*: a form is never reused
+/// for two different entities (colliding variants are rejected at generation
+/// time), so evaluation can label extracted references unambiguously.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    forms: HashMap<(EntityKind, String), u32>,
+    entity_counts: HashMap<EntityKind, u32>,
+}
+
+impl GroundTruth {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record how many true entities of each kind exist.
+    pub fn set_entity_count(&mut self, kind: EntityKind, count: u32) {
+        self.entity_counts.insert(kind, count);
+    }
+
+    /// Number of true entities of a kind.
+    pub fn entity_count(&self, kind: EntityKind) -> u32 {
+        self.entity_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Try to bind `form` (case-insensitive) to `entity`. Returns `false`
+    /// when the form is already bound to a *different* entity — the caller
+    /// must then pick another variant. Binding the same pair twice is fine.
+    pub fn assign(&mut self, kind: EntityKind, form: &str, entity: u32) -> bool {
+        let key = (kind, form.trim().to_lowercase());
+        match self.forms.get(&key) {
+            Some(&e) => e == entity,
+            None => {
+                self.forms.insert(key, entity);
+                true
+            }
+        }
+    }
+
+    /// Whether a form is free or already owned by `entity`.
+    pub fn available(&self, kind: EntityKind, form: &str, entity: u32) -> bool {
+        match self.forms.get(&(kind, form.trim().to_lowercase())) {
+            Some(&e) => e == entity,
+            None => true,
+        }
+    }
+
+    /// Resolve a surface form to its true entity.
+    pub fn entity_of(&self, kind: EntityKind, form: &str) -> Option<u32> {
+        self.forms.get(&(kind, form.trim().to_lowercase())).copied()
+    }
+
+    /// Number of recorded forms of a kind.
+    pub fn form_count(&self, kind: EntityKind) -> usize {
+        self.forms.keys().filter(|(k, _)| *k == kind).count()
+    }
+
+    /// Iterate all `(form, entity)` bindings of a kind.
+    pub fn forms_of(&self, kind: EntityKind) -> impl Iterator<Item = (&str, u32)> {
+        self.forms
+            .iter()
+            .filter(move |((k, _), _)| *k == kind)
+            .map(|((_, f), &e)| (f.as_str(), e))
+    }
+
+    /// Merge another oracle into this one (panics on conflicting bindings —
+    /// generators must share entity id spaces before merging).
+    pub fn absorb(&mut self, other: GroundTruth) {
+        for ((kind, form), entity) in other.forms {
+            let ok = self.assign(kind, &form, entity);
+            assert!(ok, "conflicting ground-truth binding for {form:?}");
+        }
+        for (kind, count) in other.entity_counts {
+            let c = self.entity_counts.entry(kind).or_insert(0);
+            *c = (*c).max(count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_is_functional() {
+        let mut t = GroundTruth::new();
+        assert!(t.assign(EntityKind::Person, "Ann Smith", 1));
+        assert!(t.assign(EntityKind::Person, "ann smith", 1), "idempotent");
+        assert!(!t.assign(EntityKind::Person, "Ann Smith", 2), "collision");
+        assert!(t.assign(EntityKind::Publication, "Ann Smith", 2), "kinds are separate");
+        assert_eq!(t.entity_of(EntityKind::Person, "ANN SMITH "), Some(1));
+        assert_eq!(t.entity_of(EntityKind::Person, "nobody"), None);
+        assert_eq!(t.form_count(EntityKind::Person), 1);
+    }
+
+    #[test]
+    fn availability() {
+        let mut t = GroundTruth::new();
+        t.assign(EntityKind::Venue, "SIGMOD", 3);
+        assert!(t.available(EntityKind::Venue, "sigmod", 3));
+        assert!(!t.available(EntityKind::Venue, "sigmod", 4));
+        assert!(t.available(EntityKind::Venue, "VLDB", 4));
+    }
+
+    #[test]
+    fn entity_counts() {
+        let mut t = GroundTruth::new();
+        t.set_entity_count(EntityKind::Person, 42);
+        assert_eq!(t.entity_count(EntityKind::Person), 42);
+        assert_eq!(t.entity_count(EntityKind::Venue), 0);
+    }
+}

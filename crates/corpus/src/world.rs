@@ -1,0 +1,371 @@
+//! The underlying "true world" a personal corpus renders.
+
+use crate::names;
+use crate::CorpusConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A real person in the synthetic world.
+#[derive(Debug, Clone)]
+pub struct TruePerson {
+    /// Ground-truth entity id.
+    pub id: u32,
+    /// Given name.
+    pub first: String,
+    /// Optional middle initial (no dot).
+    pub middle: Option<String>,
+    /// Family name.
+    pub last: String,
+    /// E-mail addresses, primary first. Globally unique.
+    pub emails: Vec<String>,
+    /// Index into [`World::orgs`].
+    pub org: usize,
+}
+
+impl TruePerson {
+    /// Canonical display name (`First [M.] Last`).
+    pub fn canonical_name(&self) -> String {
+        match &self.middle {
+            Some(m) => format!("{} {}. {}", self.first, m, self.last),
+            None => format!("{} {}", self.first, self.last),
+        }
+    }
+}
+
+/// An organization.
+#[derive(Debug, Clone)]
+pub struct TrueOrg {
+    /// Ground-truth entity id.
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// E-mail domain.
+    pub domain: String,
+}
+
+/// A publication venue.
+#[derive(Debug, Clone)]
+pub struct TrueVenue {
+    /// Ground-truth entity id.
+    pub id: u32,
+    /// Full name ("International Conference on …").
+    pub name: String,
+    /// Abbreviation ("ICMD").
+    pub abbrev: String,
+}
+
+/// A publication.
+#[derive(Debug, Clone)]
+pub struct TruePublication {
+    /// Ground-truth entity id.
+    pub id: u32,
+    /// Canonical title.
+    pub title: String,
+    /// Publication year.
+    pub year: i64,
+    /// Author indexes into [`World::people`], in order.
+    pub authors: Vec<usize>,
+    /// Venue index into [`World::venues`].
+    pub venue: usize,
+    /// Indexes of earlier publications this one cites.
+    pub cites: Vec<usize>,
+}
+
+/// The complete true world behind a personal corpus.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All people.
+    pub people: Vec<TruePerson>,
+    /// All organizations.
+    pub orgs: Vec<TrueOrg>,
+    /// All venues.
+    pub venues: Vec<TrueVenue>,
+    /// All publications.
+    pub pubs: Vec<TruePublication>,
+}
+
+impl World {
+    /// Sample a world from the configuration.
+    pub fn generate(cfg: &CorpusConfig, rng: &mut StdRng) -> World {
+        let orgs = gen_orgs(cfg, rng);
+        let people = gen_people(cfg, &orgs, rng);
+        let venues = gen_venues(cfg, rng);
+        let pubs = gen_pubs(cfg, &people, venues.len(), rng);
+        World {
+            people,
+            orgs,
+            venues,
+            pubs,
+        }
+    }
+
+    /// Indexes of people in the same organization as `p` (excluding `p`).
+    pub fn colleagues(&self, p: usize) -> Vec<usize> {
+        let org = self.people[p].org;
+        (0..self.people.len())
+            .filter(|&i| i != p && self.people[i].org == org)
+            .collect()
+    }
+}
+
+fn gen_orgs(cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<TrueOrg> {
+    let mut out = Vec::with_capacity(cfg.organizations);
+    let mut used = HashSet::new();
+    let mut i = 0;
+    while out.len() < cfg.organizations {
+        let stem = names::ORG_STEMS[rng.gen_range(0..names::ORG_STEMS.len())];
+        let suffix = names::ORG_SUFFIXES[rng.gen_range(0..names::ORG_SUFFIXES.len())];
+        let name = format!("{stem} {suffix}");
+        if !used.insert(name.clone()) {
+            i += 1;
+            // Pools are finite: disambiguate once combinations run dry.
+            if i > 200 {
+                let name = format!("{stem} {suffix} {}", out.len());
+                let domain = format!("{}{}.example.edu", stem.to_lowercase(), out.len());
+                out.push(TrueOrg {
+                    id: out.len() as u32,
+                    name,
+                    domain,
+                });
+            }
+            continue;
+        }
+        let domain = format!("{}.example.edu", stem.to_lowercase());
+        out.push(TrueOrg {
+            id: out.len() as u32,
+            name,
+            domain,
+        });
+    }
+    out
+}
+
+fn gen_people(cfg: &CorpusConfig, orgs: &[TrueOrg], rng: &mut StdRng) -> Vec<TruePerson> {
+    let mut out = Vec::with_capacity(cfg.people);
+    let mut used_names = HashSet::new();
+    let mut used_emails: HashSet<String> = HashSet::new();
+    while out.len() < cfg.people {
+        let first = names::FIRST_NAMES[rng.gen_range(0..names::FIRST_NAMES.len())].to_owned();
+        let last = names::LAST_NAMES[rng.gen_range(0..names::LAST_NAMES.len())].to_owned();
+        if !used_names.insert((first.clone(), last.clone())) {
+            continue;
+        }
+        let middle = rng
+            .gen_bool(0.4)
+            .then(|| names::MIDDLE_INITIALS[rng.gen_range(0..names::MIDDLE_INITIALS.len())].to_owned());
+        let org = rng.gen_range(0..orgs.len());
+        let domain = orgs[org].domain.clone();
+        let fl = first.to_lowercase();
+        let ll = last_ascii(&last);
+        let local = match rng.gen_range(0..4) {
+            0 => format!("{fl}.{ll}"),
+            1 => format!("{}{ll}", &fl[..1]),
+            2 => fl.clone(),
+            _ => format!("{ll}{}", &fl[..1]),
+        };
+        let mut primary = format!("{local}@{domain}");
+        let mut bump = 1;
+        while used_emails.contains(&primary) {
+            primary = format!("{local}{bump}@{domain}");
+            bump += 1;
+        }
+        used_emails.insert(primary.clone());
+        let mut emails = vec![primary];
+        if rng.gen_bool(0.5) {
+            let free = names::FREEMAIL[rng.gen_range(0..names::FREEMAIL.len())];
+            let mut alias = format!("{fl}{ll}@{free}");
+            let mut bump = 1;
+            while used_emails.contains(&alias) {
+                alias = format!("{fl}{ll}{bump}@{free}");
+                bump += 1;
+            }
+            used_emails.insert(alias.clone());
+            emails.push(alias);
+        }
+        out.push(TruePerson {
+            id: out.len() as u32,
+            first,
+            middle,
+            last,
+            emails,
+            org,
+        });
+    }
+    out
+}
+
+/// Lowercased ASCII-folded family name for e-mail locals.
+fn last_ascii(last: &str) -> String {
+    last.to_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect()
+}
+
+fn gen_venues(cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<TrueVenue> {
+    let mut stems: Vec<&str> = names::VENUE_STEMS.to_vec();
+    stems.shuffle(rng);
+    let mut out = Vec::with_capacity(cfg.venues);
+    let mut used_abbrevs = HashSet::new();
+    for i in 0..cfg.venues {
+        let stem = stems[i % stems.len()];
+        let name = if i < stems.len() {
+            format!("International Conference on {stem}")
+        } else {
+            format!("Workshop on {stem}")
+        };
+        let mut abbrev: String = name
+            .split_whitespace()
+            .filter(|w| w.len() > 2 || w.chars().next().is_some_and(char::is_uppercase))
+            .filter(|w| !matches!(*w, "on" | "and" | "of" | "the" | "in"))
+            .filter_map(|w| w.chars().next())
+            .collect::<String>()
+            .to_uppercase();
+        while !used_abbrevs.insert(abbrev.clone()) {
+            abbrev.push('X');
+        }
+        out.push(TrueVenue {
+            id: i as u32,
+            name,
+            abbrev,
+        });
+    }
+    out
+}
+
+fn gen_pubs(
+    cfg: &CorpusConfig,
+    people: &[TruePerson],
+    venues: usize,
+    rng: &mut StdRng,
+) -> Vec<TruePublication> {
+    let mut out: Vec<TruePublication> = Vec::with_capacity(cfg.publications);
+    let mut used_titles = HashSet::new();
+    while out.len() < cfg.publications {
+        let word_count = rng.gen_range(3..=6);
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(names::TITLE_WORDS[rng.gen_range(0..names::TITLE_WORDS.len())]);
+        }
+        let mut title = words.join(" ");
+        // Capitalize the first word.
+        if let Some(c) = title.get(..1) {
+            title = format!("{}{}", c.to_uppercase(), &title[1..]);
+        }
+        if !used_titles.insert(title.clone()) {
+            continue;
+        }
+        // Authors cluster by organization: seed author, then colleagues.
+        let seed = rng.gen_range(0..people.len());
+        let mut authors = vec![seed];
+        let colleagues: Vec<usize> = (0..people.len())
+            .filter(|&i| i != seed && people[i].org == people[seed].org)
+            .collect();
+        let extra = rng.gen_range(0..=3usize);
+        for _ in 0..extra {
+            let pick = if !colleagues.is_empty() && rng.gen_bool(0.7) {
+                colleagues[rng.gen_range(0..colleagues.len())]
+            } else {
+                rng.gen_range(0..people.len())
+            };
+            if !authors.contains(&pick) {
+                authors.push(pick);
+            }
+        }
+        let venue = rng.gen_range(0..venues);
+        let year = rng.gen_range(1995..=2005);
+        let mut cites = Vec::new();
+        if !out.is_empty() {
+            for _ in 0..rng.gen_range(0..=4usize) {
+                let c = rng.gen_range(0..out.len());
+                if !cites.contains(&c) {
+                    cites.push(c);
+                }
+            }
+        }
+        out.push(TruePublication {
+            id: out.len() as u32,
+            title,
+            year,
+            authors,
+            venue,
+            cites,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        let cfg = CorpusConfig::tiny(42);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        World::generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let w = world();
+        assert_eq!(w.people.len(), 20);
+        assert_eq!(w.orgs.len(), 3);
+        assert_eq!(w.venues.len(), 4);
+        assert_eq!(w.pubs.len(), 25);
+    }
+
+    #[test]
+    fn identities_are_unique() {
+        let w = world();
+        let names: HashSet<String> = w.people.iter().map(|p| p.canonical_name()).collect();
+        assert_eq!(names.len(), w.people.len());
+        let emails: Vec<&String> = w.people.iter().flat_map(|p| &p.emails).collect();
+        let uniq: HashSet<&&String> = emails.iter().collect();
+        assert_eq!(uniq.len(), emails.len());
+        let titles: HashSet<&String> = w.pubs.iter().map(|p| &p.title).collect();
+        assert_eq!(titles.len(), w.pubs.len());
+        let abbrevs: HashSet<&String> = w.venues.iter().map(|v| &v.abbrev).collect();
+        assert_eq!(abbrevs.len(), w.venues.len());
+    }
+
+    #[test]
+    fn citations_point_backwards() {
+        let w = world();
+        for (i, p) in w.pubs.iter().enumerate() {
+            for &c in &p.cites {
+                assert!(c < i);
+            }
+            assert!(!p.authors.is_empty() && p.authors.len() <= 4);
+            assert!(p.venue < w.venues.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CorpusConfig::tiny(7);
+        let mut r1 = StdRng::seed_from_u64(cfg.seed);
+        let mut r2 = StdRng::seed_from_u64(cfg.seed);
+        let w1 = World::generate(&cfg, &mut r1);
+        let w2 = World::generate(&cfg, &mut r2);
+        assert_eq!(w1.people.len(), w2.people.len());
+        for (a, b) in w1.people.iter().zip(&w2.people) {
+            assert_eq!(a.canonical_name(), b.canonical_name());
+            assert_eq!(a.emails, b.emails);
+        }
+        for (a, b) in w1.pubs.iter().zip(&w2.pubs) {
+            assert_eq!(a.title, b.title);
+        }
+    }
+
+    #[test]
+    fn colleagues_share_org() {
+        let w = world();
+        for c in w.colleagues(0) {
+            assert_eq!(w.people[c].org, w.people[0].org);
+            assert_ne!(c, 0);
+        }
+    }
+}

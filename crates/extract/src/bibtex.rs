@@ -1,0 +1,447 @@
+//! BibTeX bibliography extraction.
+//!
+//! A from-scratch BibTeX parser handling brace-delimited and quote-delimited
+//! field values with arbitrary brace nesting, numeric values, `and`-separated
+//! author lists in both `First Last` and `Last, First` forms, and the
+//! `@string` / `@comment` / `@preamble` directives (skipped). Each entry
+//! yields a `Publication` reference (title, year, pages), `Person`
+//! references with `AuthoredBy` edges, and a `Venue` reference (from
+//! `booktitle` or `journal`) with a `PublishedIn` edge. Entry keys are
+//! registered with the context so LaTeX `\cite` commands can resolve to the
+//! same publications.
+
+use semex_model::names::assoc as assoc_names;
+use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::attr;
+use semex_model::Value;
+
+/// One parsed BibTeX entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry type, lowercase (`article`, `inproceedings`, …).
+    pub kind: String,
+    /// Citation key.
+    pub key: String,
+    /// `(field-name-lowercase, value)` pairs with delimiters stripped.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Entry {
+    /// First value of a field (case-insensitive name).
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Split an author field on top-level `" and "` separators.
+pub fn split_authors(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let chars: Vec<char> = s.chars().collect();
+    let mut start = 0;
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            'a' | 'A' if depth == 0 => {
+                // match " and " word boundary
+                let is_boundary = i >= 1 && chars[i - 1].is_whitespace();
+                if is_boundary
+                    && i + 3 < chars.len()
+                    && chars[i + 1].eq_ignore_ascii_case(&'n')
+                    && chars[i + 2].eq_ignore_ascii_case(&'d')
+                    && chars[i + 3].is_whitespace()
+                {
+                    let piece: String = chars[start..i - 1].iter().collect();
+                    if !piece.trim().is_empty() {
+                        out.push(clean_braces(piece.trim()));
+                    }
+                    i += 4;
+                    start = i;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let piece: String = chars[start..].iter().collect();
+    if !piece.trim().is_empty() {
+        out.push(clean_braces(piece.trim()));
+    }
+    out
+}
+
+/// Strip protective braces and collapse whitespace.
+fn clean_braces(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c != '{' && c != '}' {
+            out.push(c);
+        }
+    }
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Normalize an author name to display order (`"Last, First"` → `"First
+/// Last"`).
+pub fn author_display(s: &str) -> String {
+    match s.split_once(',') {
+        Some((last, first)) => format!("{} {}", first.trim(), last.trim()),
+        None => s.trim().to_owned(),
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> ExtractError {
+        ExtractError::Malformed {
+            format: "bibtex",
+            line: Some(self.line),
+            reason: reason.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.input.get(self.pos).copied();
+        if let Some(b'\n') = b {
+            self.line += 1;
+        }
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b"_-:.+/'".contains(&b))
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned()
+    }
+
+    /// Read a `{...}`-balanced or `"..."` or bare value.
+    fn value(&mut self) -> Result<String, ExtractError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.bump();
+                let start = self.pos;
+                let mut depth = 1;
+                loop {
+                    match self.bump() {
+                        Some(b'{') => depth += 1,
+                        Some(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated braced value")),
+                    }
+                }
+                Ok(clean_braces(&String::from_utf8_lossy(
+                    &self.input[start..self.pos - 1],
+                )))
+            }
+            Some(b'"') => {
+                self.bump();
+                let start = self.pos;
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated quoted value")),
+                    }
+                }
+                Ok(clean_braces(&String::from_utf8_lossy(
+                    &self.input[start..self.pos - 1],
+                )))
+            }
+            Some(b) if b.is_ascii_alphanumeric() => Ok(self.ident()),
+            _ => Err(self.err("expected a field value")),
+        }
+    }
+
+    fn entry(&mut self) -> Result<Option<Entry>, ExtractError> {
+        // Scan to the next '@'.
+        while let Some(b) = self.peek() {
+            if b == b'@' {
+                break;
+            }
+            self.bump();
+        }
+        if self.peek().is_none() {
+            return Ok(None);
+        }
+        self.bump(); // '@'
+        let kind = self.ident().to_lowercase();
+        if kind.is_empty() {
+            return Err(self.err("missing entry type after '@'"));
+        }
+        self.skip_ws();
+        // Directives without bodies we care about.
+        if kind == "comment" || kind == "preamble" || kind == "string" {
+            // Skip the balanced body if present.
+            if matches!(self.peek(), Some(b'{') | Some(b'(')) {
+                let open = self.bump().unwrap();
+                let close = if open == b'{' { b'}' } else { b')' };
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.bump() {
+                        Some(b) if b == open => depth += 1,
+                        Some(b) if b == close => depth -= 1,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated directive")),
+                    }
+                }
+            }
+            return self.entry();
+        }
+        match self.peek() {
+            Some(b'{') | Some(b'(') => {
+                self.bump();
+            }
+            _ => return Err(self.err(format!("expected '{{' after @{kind}"))),
+        }
+        self.skip_ws();
+        let key = self.ident();
+        if key.is_empty() {
+            return Err(self.err("missing citation key"));
+        }
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                    self.skip_ws();
+                }
+                Some(b'}') | Some(b')') => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.err("unterminated entry")),
+                _ => {}
+            }
+            self.skip_ws();
+            if matches!(self.peek(), Some(b'}') | Some(b')')) {
+                self.bump();
+                break;
+            }
+            let name = self.ident().to_lowercase();
+            if name.is_empty() {
+                return Err(self.err("expected a field name"));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return Err(self.err(format!("expected '=' after field {name}")));
+            }
+            self.bump();
+            let value = self.value()?;
+            fields.push((name, value));
+        }
+        Ok(Some(Entry { kind, key, fields }))
+    }
+}
+
+/// Parse all entries of a BibTeX file.
+pub fn parse_bibtex(input: &str) -> Result<Vec<Entry>, ExtractError> {
+    let mut p = Parser::new(input);
+    let mut out = Vec::new();
+    while let Some(e) = p.entry()? {
+        out.push(e);
+    }
+    Ok(out)
+}
+
+/// Extract a BibTeX file into the context's store.
+pub fn extract_bibtex(
+    input: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<ExtractStats, ExtractError> {
+    let before = ctx.stats;
+    let a_year = ctx.attr(attr::YEAR);
+    let a_pages = ctx.attr(attr::PAGES);
+
+    for entry in parse_bibtex(input)? {
+        let Some(title) = entry.field("title") else {
+            ctx.stats.skipped += 1;
+            continue;
+        };
+        ctx.stats.records += 1;
+        let mut extra = Vec::new();
+        if let Some(y) = entry.field("year").and_then(|y| y.parse::<i64>().ok()) {
+            extra.push((a_year, Value::Int(y)));
+        }
+        if let Some(p) = entry.field("pages") {
+            extra.push((a_pages, Value::from(p)));
+        }
+        let pubn = ctx.publication(title, &extra)?;
+        ctx.register_bib_key(&entry.key, pubn);
+
+        if let Some(authors) = entry.field("author") {
+            for raw in split_authors(authors) {
+                // Keep the raw surface form ("Last, First" stays as
+                // written): normalizing here would silently pre-reconcile
+                // name variants that the reconciliation engine is supposed
+                // to handle (and be measured on).
+                if let Some(p) = ctx.person(Some(&raw), None)? {
+                    ctx.link_named(pubn, assoc_names::AUTHORED_BY, p)?;
+                }
+            }
+        }
+        let venue_name = entry.field("booktitle").or_else(|| entry.field("journal"));
+        if let Some(v) = venue_name {
+            if !v.trim().is_empty() {
+                let venue = ctx.venue(v)?;
+                ctx.link_named(pubn, assoc_names::PUBLISHED_IN, venue)?;
+            }
+        }
+    }
+
+    Ok(ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = r#"
+% a comment line
+@string{sigmod = "SIGMOD Conference"}
+
+@inproceedings{dong05,
+  title     = {Reference Reconciliation in Complex Information Spaces},
+  author    = {Dong, Xin and Halevy, Alon and Madhavan, Jayant},
+  booktitle = {Proceedings of the {ACM} {SIGMOD} Conference},
+  year      = 2005,
+  pages     = {85--96},
+}
+
+@article{carey95,
+  title   = "Towards Heterogeneous Multimedia Information Systems",
+  author  = {Michael J. Carey and Laura M. Haas},
+  journal = {RIDE},
+  year    = {1995}
+}
+
+@misc{nokey-title,
+  author = {Somebody},
+  year = 2001
+}
+"#;
+
+    #[test]
+    fn parse_entries() {
+        let entries = parse_bibtex(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].kind, "inproceedings");
+        assert_eq!(entries[0].key, "dong05");
+        assert_eq!(
+            entries[0].field("title"),
+            Some("Reference Reconciliation in Complex Information Spaces")
+        );
+        assert_eq!(entries[0].field("year"), Some("2005"));
+        assert_eq!(entries[0].field("pages"), Some("85--96"));
+        assert_eq!(
+            entries[0].field("booktitle"),
+            Some("Proceedings of the ACM SIGMOD Conference")
+        );
+        assert_eq!(entries[1].field("journal"), Some("RIDE"));
+    }
+
+    #[test]
+    fn author_splitting() {
+        assert_eq!(
+            split_authors("Dong, Xin and Halevy, Alon and Madhavan, Jayant"),
+            vec!["Dong, Xin", "Halevy, Alon", "Madhavan, Jayant"]
+        );
+        assert_eq!(
+            split_authors("Michael J. Carey and Laura M. Haas"),
+            vec!["Michael J. Carey", "Laura M. Haas"]
+        );
+        // Braces protect an "and" inside a corporate author.
+        assert_eq!(
+            split_authors("{Barns and Noble Inc.} and Ann Smith"),
+            vec!["Barns and Noble Inc.", "Ann Smith"]
+        );
+        assert_eq!(author_display("Dong, Xin"), "Xin Dong");
+        assert_eq!(author_display("Xin Dong"), "Xin Dong");
+    }
+
+    #[test]
+    fn extraction_builds_graph() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("refs.bib", SourceKind::Bibliography));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_bibtex(SAMPLE, &mut ctx).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.skipped, 1); // the title-less @misc
+
+        assert!(ctx.publication_by_key("dong05").is_some());
+        assert!(ctx.publication_by_key("carey95").is_some());
+
+        let model = st.model();
+        assert_eq!(st.class_count(model.class(class::PUBLICATION).unwrap()), 2);
+        assert_eq!(st.class_count(model.class(class::PERSON).unwrap()), 5);
+        assert_eq!(st.class_count(model.class(class::VENUE).unwrap()), 2);
+        assert_eq!(st.assoc_count(model.assoc(assoc::AUTHORED_BY).unwrap()), 5);
+        assert_eq!(st.assoc_count(model.assoc(assoc::PUBLISHED_IN).unwrap()), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_line() {
+        let err = parse_bibtex("@inproceedings{x, title = {unterminated").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bibtex"), "{msg}");
+        assert!(parse_bibtex("@{nokind}").is_err());
+        assert!(parse_bibtex("@article nokey").is_err());
+        // Plain prose without '@' is fine (zero entries).
+        assert!(parse_bibtex("no entries here").unwrap().is_empty());
+    }
+
+    #[test]
+    fn paren_delimited_entries() {
+        let entries = parse_bibtex("@article(k, title = {T}, year = 1999)").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].field("title"), Some("T"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Shared extraction context: reference creation with per-source exact
+//! deduplication, plus cross-extractor key registries (message-ids, BibTeX
+//! keys).
+
+use semex_model::names::{attr, class};
+use semex_model::{AssocId, AttrId, ClassId, Value};
+use semex_store::{ObjectId, SourceId, Store, StoreError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during extraction.
+#[derive(Debug)]
+pub enum ExtractError {
+    /// The input text violates the source format beyond recovery.
+    Malformed {
+        /// Which format was being parsed.
+        format: &'static str,
+        /// Line number (1-based) where parsing failed, when known.
+        line: Option<usize>,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The underlying store rejected an operation (model mismatch).
+    Store(StoreError),
+    /// File-system access failed (fswalk only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Malformed { format, line, reason } => match line {
+                Some(l) => write!(f, "malformed {format} input at line {l}: {reason}"),
+                None => write!(f, "malformed {format} input: {reason}"),
+            },
+            ExtractError::Store(e) => write!(f, "store error during extraction: {e}"),
+            ExtractError::Io(e) => write!(f, "I/O error during extraction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<StoreError> for ExtractError {
+    fn from(e: StoreError) -> Self {
+        ExtractError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ExtractError {
+    fn from(e: std::io::Error) -> Self {
+        ExtractError::Io(e)
+    }
+}
+
+/// Counters reported by an extractor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Input records consumed (messages, cards, entries, files…).
+    pub records: usize,
+    /// References (objects) newly created.
+    pub objects: usize,
+    /// Association triples newly asserted.
+    pub triples: usize,
+    /// Records skipped as unparseable (extraction is best-effort).
+    pub skipped: usize,
+}
+
+impl ExtractStats {
+    /// Accumulate another run's counters.
+    pub fn merge(&mut self, other: ExtractStats) {
+        self.records += other.records;
+        self.objects += other.objects;
+        self.triples += other.triples;
+        self.skipped += other.skipped;
+    }
+}
+
+/// Mutable extraction state around a store: creates references with exact
+/// within-source deduplication and tracks cross-extractor keys.
+pub struct ExtractContext<'a> {
+    store: &'a mut Store,
+    source: SourceId,
+    /// Exact-signature dedup: (class, canonical signature) → object.
+    signatures: HashMap<(ClassId, String), ObjectId>,
+    /// RFC-2822 Message-ID → Message object (for reply threading).
+    message_ids: HashMap<String, ObjectId>,
+    /// BibTeX key → Publication object (for `\cite` resolution).
+    bib_keys: HashMap<String, ObjectId>,
+    /// Running counters.
+    pub stats: ExtractStats,
+    // Cached model ids.
+    c_person: ClassId,
+    c_message: ClassId,
+    c_publication: ClassId,
+    c_venue: ClassId,
+    c_organization: ClassId,
+    a_name: AttrId,
+    a_email: AttrId,
+    a_title: AttrId,
+}
+
+impl<'a> ExtractContext<'a> {
+    /// A fresh context writing into `store`, attributing facts to `source`.
+    pub fn new(store: &'a mut Store, source: SourceId) -> Self {
+        let m = store.model();
+        let c_person = m.class(class::PERSON).expect("builtin Person");
+        let c_message = m.class(class::MESSAGE).expect("builtin Message");
+        let c_publication = m.class(class::PUBLICATION).expect("builtin Publication");
+        let c_venue = m.class(class::VENUE).expect("builtin Venue");
+        let c_organization = m.class(class::ORGANIZATION).expect("builtin Organization");
+        let a_name = m.attr(attr::NAME).expect("builtin name");
+        let a_email = m.attr(attr::EMAIL).expect("builtin email");
+        let a_title = m.attr(attr::TITLE).expect("builtin title");
+        ExtractContext {
+            store,
+            source,
+            signatures: HashMap::new(),
+            message_ids: HashMap::new(),
+            bib_keys: HashMap::new(),
+            stats: ExtractStats::default(),
+            c_person,
+            c_message,
+            c_publication,
+            c_venue,
+            c_organization,
+            a_name,
+            a_email,
+            a_title,
+        }
+    }
+
+    /// The store being written to.
+    pub fn store(&self) -> &Store {
+        self.store
+    }
+
+    /// Mutable access to the store (for extractor-specific attributes).
+    pub fn store_mut(&mut self) -> &mut Store {
+        self.store
+    }
+
+    /// The provenance source of this extraction run.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// Switch the provenance source for subsequent extraction while keeping
+    /// the cross-source registries (Message-IDs, BibTeX keys) and the
+    /// exact-signature cache — a reference re-encountered in a later source
+    /// reuses its object and gains the new source's provenance.
+    pub fn set_source(&mut self, source: SourceId) {
+        self.source = source;
+    }
+
+    /// Create (or reuse, on exact signature match within this source) a
+    /// reference of `class` with the given attributes. The signature is the
+    /// class plus the exact attribute values in order.
+    pub fn reference(
+        &mut self,
+        class: ClassId,
+        attrs: &[(AttrId, Value)],
+    ) -> Result<ObjectId, ExtractError> {
+        let mut sig = String::new();
+        for (a, v) in attrs {
+            sig.push_str(&a.to_string());
+            sig.push('=');
+            sig.push_str(&v.render());
+            sig.push('\u{1}');
+        }
+        if let Some(&id) = self.signatures.get(&(class, sig.clone())) {
+            self.store.add_source_to(id, self.source);
+            return Ok(id);
+        }
+        let id = self.store.add_object(class);
+        self.stats.objects += 1;
+        for (a, v) in attrs {
+            self.store.add_attr(id, *a, v.clone())?;
+        }
+        self.store.add_source_to(id, self.source);
+        self.signatures.insert((class, sig), id);
+        Ok(id)
+    }
+
+    /// A Person reference from an optional display name and optional e-mail.
+    /// At least one must be present.
+    pub fn person(
+        &mut self,
+        name: Option<&str>,
+        email: Option<&str>,
+    ) -> Result<Option<ObjectId>, ExtractError> {
+        let mut attrs: Vec<(AttrId, Value)> = Vec::new();
+        if let Some(n) = name {
+            let n = n.trim();
+            if !n.is_empty() {
+                attrs.push((self.a_name, Value::from(n)));
+            }
+        }
+        if let Some(e) = email {
+            let e = e.trim();
+            if !e.is_empty() {
+                attrs.push((self.a_email, Value::from(e.to_lowercase().as_str())));
+            }
+        }
+        if attrs.is_empty() {
+            return Ok(None);
+        }
+        let (c_person, attrs) = (self.c_person, attrs);
+        Ok(Some(self.reference(c_person, &attrs)?))
+    }
+
+    /// A Venue reference by name.
+    pub fn venue(&mut self, name: &str) -> Result<ObjectId, ExtractError> {
+        let (c, a) = (self.c_venue, self.a_name);
+        self.reference(c, &[(a, Value::from(name.trim()))])
+    }
+
+    /// An Organization reference by name.
+    pub fn organization(&mut self, name: &str) -> Result<ObjectId, ExtractError> {
+        let (c, a) = (self.c_organization, self.a_name);
+        self.reference(c, &[(a, Value::from(name.trim()))])
+    }
+
+    /// A Publication reference by title (plus any extra attributes).
+    pub fn publication(
+        &mut self,
+        title: &str,
+        extra: &[(AttrId, Value)],
+    ) -> Result<ObjectId, ExtractError> {
+        let mut attrs = vec![(self.a_title, Value::from(title.trim()))];
+        attrs.extend_from_slice(extra);
+        let c = self.c_publication;
+        self.reference(c, &attrs)
+    }
+
+    /// Assert a triple by association id, counting it in the stats.
+    pub fn link(
+        &mut self,
+        subject: ObjectId,
+        assoc: AssocId,
+        object: ObjectId,
+    ) -> Result<(), ExtractError> {
+        if self.store.add_triple(subject, assoc, object, self.source)? {
+            self.stats.triples += 1;
+        }
+        Ok(())
+    }
+
+    /// Assert a triple by association name.
+    pub fn link_named(
+        &mut self,
+        subject: ObjectId,
+        assoc_name: &str,
+        object: ObjectId,
+    ) -> Result<(), ExtractError> {
+        let a = self
+            .store
+            .model()
+            .assoc(assoc_name)
+            .unwrap_or_else(|| panic!("builtin association {assoc_name}"));
+        self.link(subject, a, object)
+    }
+
+    /// Register a Message object under its RFC-2822 Message-ID.
+    pub fn register_message_id(&mut self, mid: &str, obj: ObjectId) {
+        self.message_ids.insert(mid.trim().to_owned(), obj);
+    }
+
+    /// Look up a previously registered Message-ID.
+    pub fn message_by_id(&self, mid: &str) -> Option<ObjectId> {
+        self.message_ids.get(mid.trim()).copied()
+    }
+
+    /// Register a Publication under its BibTeX key.
+    pub fn register_bib_key(&mut self, key: &str, obj: ObjectId) {
+        self.bib_keys.insert(key.trim().to_owned(), obj);
+    }
+
+    /// Look up a BibTeX key.
+    pub fn publication_by_key(&self, key: &str) -> Option<ObjectId> {
+        self.bib_keys.get(key.trim()).copied()
+    }
+
+    /// All registered BibTeX keys (used by tests and the LaTeX extractor).
+    pub fn bib_key_count(&self) -> usize {
+        self.bib_keys.len()
+    }
+
+    /// Cached id of the Message class.
+    pub fn message_class(&self) -> ClassId {
+        self.c_message
+    }
+
+    /// Cached id of the Person class.
+    pub fn person_class(&self) -> ClassId {
+        self.c_person
+    }
+
+    /// Cached id of the Publication class.
+    pub fn publication_class(&self) -> ClassId {
+        self.c_publication
+    }
+
+    /// Cached id of the Organization class.
+    pub fn organization_class(&self) -> ClassId {
+        self.c_organization
+    }
+
+    /// Convenience: the assoc id for a built-in association name.
+    pub fn assoc(&self, name: &str) -> AssocId {
+        self.store
+            .model()
+            .assoc(name)
+            .unwrap_or_else(|| panic!("builtin association {name}"))
+    }
+
+    /// Convenience: the attr id for a built-in attribute name.
+    pub fn attr(&self, name: &str) -> AttrId {
+        self.store
+            .model()
+            .attr(name)
+            .unwrap_or_else(|| panic!("builtin attribute {name}"))
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::assoc;
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn ctx_store() -> (Store, SourceId) {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        (st, src)
+    }
+
+    #[test]
+    fn person_dedups_exact_signature() {
+        let (mut st, src) = ctx_store();
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let a = ctx.person(Some("Ann Smith"), Some("ann@x.edu")).unwrap().unwrap();
+        let b = ctx.person(Some("Ann Smith"), Some("ANN@x.edu")).unwrap().unwrap();
+        let c = ctx.person(Some("A. Smith"), Some("ann@x.edu")).unwrap().unwrap();
+        assert_eq!(a, b, "identical (case-normalized) references deduplicate");
+        assert_ne!(a, c, "different name spellings stay distinct for recon");
+        assert_eq!(ctx.person(None, None).unwrap(), None);
+        assert_eq!(ctx.stats.objects, 2);
+    }
+
+    #[test]
+    fn link_counts_only_new_facts() {
+        let (mut st, src) = ctx_store();
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let p = ctx.person(Some("Ann"), None).unwrap().unwrap();
+        let pubn = ctx.publication("A Title", &[]).unwrap();
+        ctx.link_named(pubn, assoc::AUTHORED_BY, p).unwrap();
+        ctx.link_named(pubn, assoc::AUTHORED_BY, p).unwrap();
+        assert_eq!(ctx.stats.triples, 1);
+    }
+
+    #[test]
+    fn key_registries() {
+        let (mut st, src) = ctx_store();
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let pubn = ctx.publication("T", &[]).unwrap();
+        ctx.register_bib_key("dong05", pubn);
+        assert_eq!(ctx.publication_by_key("dong05"), Some(pubn));
+        assert_eq!(ctx.publication_by_key("other"), None);
+        assert_eq!(ctx.bib_key_count(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! A small CSV parser (RFC-4180 style) shared by extraction and on-the-fly
+//! integration.
+
+use crate::ExtractError;
+
+/// A parsed tabular source: header row plus data rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Column names from the header row.
+    pub headers: Vec<String>,
+    /// Data rows; every row has exactly `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Index of a column by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.headers
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(name))
+    }
+
+    /// Iterate the values of one column.
+    pub fn values(&self, col: usize) -> impl Iterator<Item = &str> {
+        self.rows.iter().map(move |r| r[col].as_str())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parse one CSV record starting at `chars[pos]`; returns the cells and the
+/// position after the record's terminating newline.
+fn record(chars: &[char], mut pos: usize) -> (Vec<String>, usize) {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    while pos < chars.len() {
+        let c = chars[pos];
+        if in_quotes {
+            if c == '"' {
+                if chars.get(pos + 1) == Some(&'"') {
+                    cell.push('"');
+                    pos += 2;
+                    continue;
+                }
+                in_quotes = false;
+                pos += 1;
+                continue;
+            }
+            cell.push(c);
+            pos += 1;
+            continue;
+        }
+        match c {
+            '"' if cell.is_empty() => {
+                in_quotes = true;
+                pos += 1;
+            }
+            ',' => {
+                cells.push(std::mem::take(&mut cell));
+                pos += 1;
+            }
+            '\r' => {
+                pos += 1;
+            }
+            '\n' => {
+                pos += 1;
+                break;
+            }
+            _ => {
+                cell.push(c);
+                pos += 1;
+            }
+        }
+    }
+    cells.push(cell);
+    (cells, pos)
+}
+
+/// Parse a CSV document. The first record is the header; subsequent records
+/// are padded or truncated to the header width. Returns an error for an
+/// empty input (no header).
+pub fn parse_csv(input: &str) -> Result<Table, ExtractError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut pos = 0;
+    // Skip leading blank lines.
+    while pos < chars.len() && (chars[pos] == '\n' || chars[pos] == '\r') {
+        pos += 1;
+    }
+    if pos >= chars.len() {
+        return Err(ExtractError::Malformed {
+            format: "csv",
+            line: Some(1),
+            reason: "empty input: no header row".into(),
+        });
+    }
+    let (headers, mut pos) = record(&chars, pos);
+    let headers: Vec<String> = headers.into_iter().map(|h| h.trim().to_owned()).collect();
+    let width = headers.len();
+    let mut rows = Vec::new();
+    while pos < chars.len() {
+        // Skip blank lines between records.
+        if chars[pos] == '\n' || chars[pos] == '\r' {
+            pos += 1;
+            continue;
+        }
+        let (mut cells, next) = record(&chars, pos);
+        pos = next;
+        if cells.iter().all(|c| c.trim().is_empty()) {
+            continue;
+        }
+        cells.resize(width, String::new());
+        cells.truncate(width);
+        rows.push(cells);
+    }
+    Ok(Table { headers, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_table() {
+        let t = parse_csv("name,email\nAnn,ann@x.edu\nBob,bob@y.org\n").unwrap();
+        assert_eq!(t.headers, vec!["name", "email"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0], vec!["Ann", "ann@x.edu"]);
+        assert_eq!(t.column("EMAIL"), Some(1));
+        assert_eq!(t.column("missing"), None);
+        assert_eq!(t.values(0).collect::<Vec<_>>(), vec!["Ann", "Bob"]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse_csv("name,quote\n\"Carey, Michael\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.rows[0][0], "Carey, Michael");
+        assert_eq!(t.rows[0][1], "said \"hi\"");
+    }
+
+    #[test]
+    fn multiline_quoted_field() {
+        let t = parse_csv("a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(t.rows[0][0], "line1\nline2");
+        assert_eq!(t.rows[0][1], "x");
+    }
+
+    #[test]
+    fn ragged_rows_normalized() {
+        let t = parse_csv("a,b,c\n1,2\n1,2,3,4\n").unwrap();
+        assert_eq!(t.rows[0], vec!["1", "2", ""]);
+        assert_eq!(t.rows[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn blank_lines_and_crlf() {
+        let t = parse_csv("a,b\r\n\r\n1,2\r\n\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows[0], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("\n\n").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_simple_cells(rows in prop::collection::vec(prop::collection::vec("[a-z0-9 ]{0,8}", 3), 1..6)) {
+            let mut text = String::from("c1,c2,c3\n");
+            for r in &rows {
+                text.push_str(&r.join(","));
+                text.push('\n');
+            }
+            let t = parse_csv(&text).unwrap();
+            let kept: Vec<&Vec<String>> = rows.iter().filter(|r| !r.iter().all(|c| c.trim().is_empty())).collect();
+            prop_assert_eq!(t.len(), kept.len());
+            for (parsed, original) in t.rows.iter().zip(kept) {
+                prop_assert_eq!(parsed, original);
+            }
+        }
+
+        #[test]
+        fn never_panics(s in ".{0,80}") {
+            let _ = parse_csv(&s);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal date parsing (no external chrono dependency).
+
+/// Days from civil date to days-since-epoch (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Convert a civil date + time to seconds since the Unix epoch (UTC).
+pub fn ymd_to_epoch(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> i64 {
+    days_from_civil(year, month, day) * 86_400 + (hour * 3600 + min * 60 + sec) as i64
+}
+
+const MONTHS: &[(&str, u32)] = &[
+    ("jan", 1),
+    ("feb", 2),
+    ("mar", 3),
+    ("apr", 4),
+    ("may", 5),
+    ("jun", 6),
+    ("jul", 7),
+    ("aug", 8),
+    ("sep", 9),
+    ("oct", 10),
+    ("nov", 11),
+    ("dec", 12),
+];
+
+fn month_by_name(s: &str) -> Option<u32> {
+    let s = s.to_lowercase();
+    MONTHS
+        .iter()
+        .find(|(n, _)| s.starts_with(n))
+        .map(|&(_, m)| m)
+}
+
+/// Parse a date string to epoch seconds. Supports:
+///
+/// * RFC-2822 style: `"Tue, 15 Mar 2005 10:11:12 -0800"` (day name and
+///   timezone optional; the offset is applied);
+/// * ISO style: `"2005-03-15"` or `"2005-03-15 10:11:12"` /
+///   `"2005-03-15T10:11:12"`;
+/// * bare year: `"2005"` (January 1st).
+///
+/// Returns `None` for anything unrecognized.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // ISO formats.
+    if let Some(epoch) = parse_iso(s) {
+        return Some(epoch);
+    }
+    // Bare year.
+    if s.len() == 4 && s.chars().all(|c| c.is_ascii_digit()) {
+        let y: i64 = s.parse().ok()?;
+        return Some(ymd_to_epoch(y, 1, 1, 0, 0, 0));
+    }
+    parse_rfc2822(s)
+}
+
+fn parse_iso(s: &str) -> Option<i64> {
+    let (date, time) = match s.split_once(['T', ' ']) {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut it = date.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (mut hh, mut mm, mut ss) = (0u32, 0u32, 0u32);
+    if let Some(t) = time {
+        let mut tt = t.trim_end_matches('Z').split(':');
+        hh = tt.next()?.parse().ok()?;
+        mm = tt.next().unwrap_or("0").parse().ok()?;
+        ss = tt
+            .next()
+            .unwrap_or("0")
+            .split('.')
+            .next()
+            .unwrap_or("0")
+            .parse()
+            .ok()?;
+        if hh > 23 || mm > 59 || ss > 60 {
+            return None;
+        }
+    }
+    Some(ymd_to_epoch(y, m, d, hh, mm, ss))
+}
+
+fn parse_rfc2822(s: &str) -> Option<i64> {
+    // Drop an optional leading day-of-week ("Tue,").
+    let s = match s.split_once(',') {
+        Some((dow, rest)) if dow.len() <= 3 && dow.chars().all(|c| c.is_ascii_alphabetic()) => {
+            rest.trim()
+        }
+        _ => s,
+    };
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() < 3 {
+        return None;
+    }
+    let d: u32 = parts[0].parse().ok()?;
+    let m = month_by_name(parts[1])?;
+    let y: i64 = parts[2].parse().ok()?;
+    let y = if y < 100 { 1900 + y + if y < 70 { 100 } else { 0 } } else { y };
+    if !(1..=31).contains(&d) {
+        return None;
+    }
+    let (mut hh, mut mm, mut ss) = (0u32, 0u32, 0u32);
+    if let Some(t) = parts.get(3) {
+        let mut tt = t.split(':');
+        hh = tt.next()?.parse().ok()?;
+        mm = tt.next().unwrap_or("0").parse().ok()?;
+        ss = tt.next().unwrap_or("0").parse().ok()?;
+        if hh > 23 || mm > 59 || ss > 60 {
+            return None;
+        }
+    }
+    let mut epoch = ymd_to_epoch(y, m, d, hh, mm, ss);
+    // Apply a numeric timezone offset like -0800 / +0130.
+    if let Some(tz) = parts.get(4) {
+        if let Some(stripped) = tz.strip_prefix(['-', '+']) {
+            if stripped.len() == 4 && stripped.chars().all(|c| c.is_ascii_digit()) {
+                let h: i64 = stripped[..2].parse().ok()?;
+                let mi: i64 = stripped[2..].parse().ok()?;
+                let off = h * 3600 + mi * 60;
+                epoch += if tz.starts_with('-') { off } else { -off };
+            }
+        }
+    }
+    Some(epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_reference_points() {
+        assert_eq!(ymd_to_epoch(1970, 1, 1, 0, 0, 0), 0);
+        assert_eq!(ymd_to_epoch(1970, 1, 2, 0, 0, 0), 86_400);
+        assert_eq!(ymd_to_epoch(2000, 1, 1, 0, 0, 0), 946_684_800);
+        assert_eq!(ymd_to_epoch(2005, 3, 15, 0, 0, 0), 1_110_844_800);
+    }
+
+    #[test]
+    fn iso_formats() {
+        assert_eq!(parse_date("2005-03-15"), Some(1_110_844_800));
+        assert_eq!(parse_date("2005-03-15 10:00:00"), Some(1_110_844_800 + 36_000));
+        assert_eq!(parse_date("2005-03-15T10:00:00Z"), Some(1_110_844_800 + 36_000));
+        assert_eq!(parse_date("2005"), Some(ymd_to_epoch(2005, 1, 1, 0, 0, 0)));
+        assert_eq!(parse_date("2005-13-01"), None);
+        assert_eq!(parse_date("not a date"), None);
+        assert_eq!(parse_date(""), None);
+    }
+
+    #[test]
+    fn rfc2822_formats() {
+        assert_eq!(
+            parse_date("Tue, 15 Mar 2005 10:00:00 +0000"),
+            Some(1_110_844_800 + 36_000)
+        );
+        // Negative offset means later UTC.
+        assert_eq!(
+            parse_date("15 Mar 2005 10:00:00 -0800"),
+            Some(1_110_844_800 + 36_000 + 8 * 3600)
+        );
+        assert_eq!(parse_date("15 Mar 2005"), Some(1_110_844_800));
+        // Two-digit years follow the mail convention.
+        assert_eq!(parse_date("15 Mar 99"), Some(ymd_to_epoch(1999, 3, 15, 0, 0, 0)));
+        assert_eq!(parse_date("15 Mar 05"), Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0)));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(
+            parse_date("2004-02-29"),
+            Some(ymd_to_epoch(2004, 2, 29, 0, 0, 0))
+        );
+        assert_eq!(
+            ymd_to_epoch(2004, 3, 1, 0, 0, 0) - ymd_to_epoch(2004, 2, 28, 0, 0, 0),
+            2 * 86_400
+        );
+        assert_eq!(
+            ymd_to_epoch(2005, 3, 1, 0, 0, 0) - ymd_to_epoch(2005, 2, 28, 0, 0, 0),
+            86_400
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn never_panics(s in ".{0,40}") {
+            let _ = parse_date(&s);
+        }
+
+        #[test]
+        fn iso_roundtrip(y in 1970i64..2100, m in 1u32..=12, d in 1u32..=28) {
+            let s = format!("{y:04}-{m:02}-{d:02}");
+            let e = parse_date(&s).unwrap();
+            prop_assert_eq!(e, ymd_to_epoch(y, m, d, 0, 0, 0));
+            prop_assert_eq!(e % 86_400, 0);
+        }
+
+        #[test]
+        fn dates_are_monotonic(y in 1970i64..2100, m in 1u32..=11, d in 1u32..=28) {
+            prop_assert!(ymd_to_epoch(y, m, d, 0, 0, 0) < ymd_to_epoch(y, m + 1, d, 0, 0, 0));
+            prop_assert!(ymd_to_epoch(y, m, d, 0, 0, 0) < ymd_to_epoch(y + 1, m, d, 0, 0, 0));
+        }
+    }
+}

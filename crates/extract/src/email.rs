@@ -1,0 +1,436 @@
+//! mbox / RFC-2822 e-mail extraction.
+//!
+//! Parses an mbox archive (messages delimited by `From ` separator lines)
+//! or a single message. Each message yields a `Message` object with
+//! subject, date, body and message-id; `Person` references for the sender
+//! and every recipient; `Sender` / `Recipient` / `CcRecipient` edges;
+//! `RepliedTo` edges resolved through `In-Reply-To` headers; and `File` +
+//! `AttachedTo` facts for declared attachments (`X-Attachment` headers, the
+//! plain-text stand-in for MIME parts).
+
+use semex_model::names::assoc as assoc_names;
+use crate::{parse_date, ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::attr;
+use semex_model::Value;
+
+/// One parsed address: optional display name plus optional address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Address {
+    /// Display name, unquoted.
+    pub name: Option<String>,
+    /// The bare address.
+    pub email: Option<String>,
+}
+
+/// Parse one mailbox-style address: `Name <a@b>`, `"Last, First" <a@b>`,
+/// `a@b (Name)` or a bare `a@b`.
+pub fn parse_address(s: &str) -> Address {
+    let s = s.trim();
+    if s.is_empty() {
+        return Address::default();
+    }
+    // Comment form: addr (Name)
+    if let Some(open) = s.find('(') {
+        if let Some(close) = s.rfind(')') {
+            if close > open {
+                let name = s[open + 1..close].trim();
+                let addr = s[..open].trim();
+                return Address {
+                    name: (!name.is_empty()).then(|| name.to_owned()),
+                    email: (!addr.is_empty()).then(|| addr.to_owned()),
+                };
+            }
+        }
+    }
+    // Angle form: Name <addr>
+    if let Some(open) = s.find('<') {
+        let close = s.rfind('>').unwrap_or(s.len());
+        let name = s[..open].trim().trim_matches('"').trim();
+        let addr = s[open + 1..close.min(s.len())].trim_end_matches('>').trim();
+        return Address {
+            name: (!name.is_empty()).then(|| name.to_owned()),
+            email: (!addr.is_empty()).then(|| addr.to_owned()),
+        };
+    }
+    // Bare address or bare name.
+    if s.contains('@') {
+        Address {
+            name: None,
+            email: Some(s.to_owned()),
+        }
+    } else {
+        Address {
+            name: Some(s.trim_matches('"').to_owned()),
+            email: None,
+        }
+    }
+}
+
+/// Split a header value into addresses on commas that are outside quotes
+/// and angle brackets (so `"Carey, Michael" <m@x>` stays intact).
+pub fn parse_address_list(s: &str) -> Vec<Address> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_quote = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            '<' if !in_quote => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' if !in_quote => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_quote && depth <= 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(parse_address(&cur));
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(parse_address(&cur));
+    }
+    out
+}
+
+/// A message split into unfolded headers and a body.
+#[derive(Debug, Clone, Default)]
+pub struct RawMessage {
+    /// `(header-name-lowercase, value)` pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: String,
+}
+
+impl RawMessage {
+    /// First value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable header.
+    pub fn headers_named(&self, name: &str) -> impl Iterator<Item = &str> {
+        let name = name.to_lowercase();
+        self.headers
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a single RFC-2822 message: headers (with continuation-line
+/// unfolding) up to the first blank line, then the body.
+pub fn parse_message(text: &str) -> RawMessage {
+    let mut msg = RawMessage::default();
+    let mut lines = text.lines();
+    let mut pending: Option<(String, String)> = None;
+    for line in lines.by_ref() {
+        if line.trim().is_empty() {
+            break;
+        }
+        if (line.starts_with(' ') || line.starts_with('\t')) && pending.is_some() {
+            if let Some((_, v)) = pending.as_mut() {
+                v.push(' ');
+                v.push_str(line.trim());
+            }
+            continue;
+        }
+        if let Some(h) = pending.take() {
+            msg.headers.push(h);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            pending = Some((name.trim().to_lowercase(), value.trim().to_owned()));
+        }
+        // Lines without a colon outside a continuation are ignored
+        // (extraction is best-effort).
+    }
+    if let Some(h) = pending.take() {
+        msg.headers.push(h);
+    }
+    msg.body = lines.collect::<Vec<_>>().join("\n");
+    msg
+}
+
+/// Split an mbox archive into message texts on `From ` separator lines.
+/// Content before the first separator (a bare message pasted above an
+/// archive, or a lone message with no separator at all) is kept as a
+/// message of its own.
+pub fn split_mbox(input: &str) -> Vec<&str> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut start: Option<usize> = Some(0);
+    let mut offset = 0;
+    for line in input.split_inclusive('\n') {
+        if line.starts_with("From ") {
+            if let Some(s) = start.take() {
+                if !input[s..offset].trim().is_empty() {
+                    out.push((s, offset));
+                }
+            }
+            start = Some(offset + line.len());
+        }
+        offset += line.len();
+    }
+    if let Some(s) = start {
+        if !input[s..].trim().is_empty() {
+            out.push((s, input.len()));
+        }
+    }
+    out.iter().map(|&(s, e)| &input[s..e]).collect()
+}
+
+/// Maximum body length stored on a Message object (longer bodies are
+/// truncated at a character boundary; the keyword index works on this
+/// stored prefix, like the original system's snippet indexing).
+pub const MAX_BODY: usize = 4096;
+
+/// Extract an mbox archive (or single message) into the context's store.
+pub fn extract_mbox(input: &str, ctx: &mut ExtractContext<'_>) -> Result<ExtractStats, ExtractError> {
+    let before = ctx.stats;
+    let a_subject = ctx.attr(attr::SUBJECT);
+    let a_date = ctx.attr(attr::DATE);
+    let a_body = ctx.attr(attr::BODY);
+    let a_mid = ctx.attr(attr::MESSAGE_ID);
+    let a_name = ctx.attr(attr::NAME);
+    let a_ext = ctx.attr(attr::EXTENSION);
+    let c_message = ctx.message_class();
+    let c_file = ctx
+        .store()
+        .model()
+        .class(semex_model::names::class::FILE)
+        .expect("builtin File");
+
+    for text in split_mbox(input) {
+        let raw = parse_message(text);
+        if raw.headers.is_empty() {
+            ctx.stats.skipped += 1;
+            continue;
+        }
+        ctx.stats.records += 1;
+
+        let m = ctx.store_mut().add_object(c_message);
+        ctx.stats.objects += 1;
+        let src = ctx.source();
+        ctx.store_mut().add_source_to(m, src);
+        if let Some(s) = raw.header("subject") {
+            ctx.store_mut().add_attr(m, a_subject, Value::from(s))?;
+        }
+        if let Some(d) = raw.header("date").and_then(parse_date) {
+            ctx.store_mut().add_attr(m, a_date, Value::Date(d))?;
+        }
+        if let Some(mid) = raw.header("message-id") {
+            let mid = mid.trim_matches(|c| c == '<' || c == '>').to_owned();
+            ctx.store_mut().add_attr(m, a_mid, Value::from(mid.as_str()))?;
+            ctx.register_message_id(&mid, m);
+        }
+        if !raw.body.trim().is_empty() {
+            let mut body = raw.body.trim().to_owned();
+            if body.len() > MAX_BODY {
+                let mut cut = MAX_BODY;
+                while !body.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                body.truncate(cut);
+            }
+            ctx.store_mut().add_attr(m, a_body, Value::from(body))?;
+        }
+
+        // People and their roles.
+        if let Some(from) = raw.header("from") {
+            for addr in parse_address_list(from) {
+                if let Some(p) = ctx.person(addr.name.as_deref(), addr.email.as_deref())? {
+                    ctx.link_named(m, assoc_names::SENDER, p)?;
+                }
+            }
+        }
+        for (header, assoc) in [("to", assoc_names::RECIPIENT), ("cc", assoc_names::CC_RECIPIENT)] {
+            // Collect first: ctx is borrowed mutably per call below.
+            let lists: Vec<String> = raw.headers_named(header).map(str::to_owned).collect();
+            for list in lists {
+                for addr in parse_address_list(&list) {
+                    if let Some(p) = ctx.person(addr.name.as_deref(), addr.email.as_deref())? {
+                        ctx.link_named(m, assoc, p)?;
+                    }
+                }
+            }
+        }
+
+        // Reply threading.
+        if let Some(irt) = raw.header("in-reply-to") {
+            let irt = irt.trim_matches(|c| c == '<' || c == '>');
+            if let Some(parent) = ctx.message_by_id(irt) {
+                ctx.link_named(m, assoc_names::REPLIED_TO, parent)?;
+            }
+        }
+
+        // Attachments (plain-text stand-in for MIME parts).
+        let attachments: Vec<String> = raw.headers_named("x-attachment").map(str::to_owned).collect();
+        for filename in attachments {
+            let filename = filename.trim();
+            if filename.is_empty() {
+                continue;
+            }
+            let ext = filename.rsplit_once('.').map(|(_, e)| e.to_lowercase());
+            let mut attrs = vec![(a_name, Value::from(filename))];
+            if let Some(e) = ext {
+                attrs.push((a_ext, Value::from(e.as_str())));
+            }
+            let f = ctx.reference(c_file, &attrs)?;
+            ctx.link_named(f, assoc_names::ATTACHED_TO, m)?;
+        }
+    }
+
+    Ok(ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = "\
+From ann@x.edu Tue Mar 15 10:00:00 2005
+From: Ann Smith <ann@x.edu>
+To: \"Carey, Michael\" <mcarey@ibm.com>, bob@y.org
+Cc: luna@cs.wash.edu (Xin Dong)
+Subject: Re: reconciliation draft
+Date: Tue, 15 Mar 2005 10:00:00 +0000
+Message-ID: <m1@x.edu>
+X-Attachment: draft-v2.tex
+
+Please find the draft attached.
+
+From mcarey@ibm.com Tue Mar 15 11:00:00 2005
+From: \"Carey, Michael\" <mcarey@ibm.com>
+To: Ann Smith <ann@x.edu>
+Subject: Re: Re: reconciliation draft
+Date: Tue, 15 Mar 2005 11:00:00 +0000
+Message-ID: <m2@ibm.com>
+In-Reply-To: <m1@x.edu>
+
+Looks good. -- M
+";
+
+    #[test]
+    fn address_forms() {
+        assert_eq!(
+            parse_address("Ann Smith <ann@x.edu>"),
+            Address { name: Some("Ann Smith".into()), email: Some("ann@x.edu".into()) }
+        );
+        assert_eq!(
+            parse_address("\"Carey, Michael\" <m@x>"),
+            Address { name: Some("Carey, Michael".into()), email: Some("m@x".into()) }
+        );
+        assert_eq!(
+            parse_address("a@b (Ann)"),
+            Address { name: Some("Ann".into()), email: Some("a@b".into()) }
+        );
+        assert_eq!(
+            parse_address("bare@addr.com"),
+            Address { name: None, email: Some("bare@addr.com".into()) }
+        );
+        assert_eq!(
+            parse_address("Just A Name"),
+            Address { name: Some("Just A Name".into()), email: None }
+        );
+        assert_eq!(parse_address(""), Address::default());
+    }
+
+    #[test]
+    fn address_list_respects_quotes() {
+        let list = parse_address_list("\"Carey, Michael\" <m@x>, bob@y.org");
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].name.as_deref(), Some("Carey, Michael"));
+        assert_eq!(list[1].email.as_deref(), Some("bob@y.org"));
+    }
+
+    #[test]
+    fn header_unfolding() {
+        let msg = parse_message("Subject: a very\n long subject\nFrom: a@b\n\nbody");
+        assert_eq!(msg.header("subject"), Some("a very long subject"));
+        assert_eq!(msg.header("from"), Some("a@b"));
+        assert_eq!(msg.body, "body");
+    }
+
+    #[test]
+    fn mbox_splitting() {
+        assert_eq!(split_mbox(SAMPLE).len(), 2);
+        assert_eq!(split_mbox("no separator, single message\n").len(), 1);
+        assert!(split_mbox("").is_empty());
+        assert!(split_mbox("From only-a-separator\n").is_empty());
+        // A bare message above a separated archive keeps both messages.
+        let mixed = "From: a@b\nSubject: first\n\nx\nFrom sep\nFrom: c@d\nSubject: second\n\ny\n";
+        assert_eq!(split_mbox(mixed).len(), 2);
+    }
+
+    #[test]
+    fn full_extraction() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("inbox", SourceKind::Email));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_mbox(SAMPLE, &mut ctx).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.skipped, 0);
+
+        let model = st.model();
+        let c_msg = model.class(class::MESSAGE).unwrap();
+        let c_person = model.class(class::PERSON).unwrap();
+        let c_file = model.class(class::FILE).unwrap();
+        assert_eq!(st.class_count(c_msg), 2);
+        // ann (angle form), carey (quoted), bob (bare), luna (comment) —
+        // carey appears identically twice and deduplicates.
+        assert_eq!(st.class_count(c_person), 4);
+        assert_eq!(st.class_count(c_file), 1);
+
+        let replied = model.assoc(assoc::REPLIED_TO).unwrap();
+        assert_eq!(st.assoc_count(replied), 1);
+        let sender = model.assoc(assoc::SENDER).unwrap();
+        assert_eq!(st.assoc_count(sender), 2);
+        let attached = model.assoc(assoc::ATTACHED_TO).unwrap();
+        assert_eq!(st.assoc_count(attached), 1);
+        let cc = model.assoc(assoc::CC_RECIPIENT).unwrap();
+        assert_eq!(st.assoc_count(cc), 1);
+    }
+
+    #[test]
+    fn body_truncation() {
+        let long_body = "x".repeat(MAX_BODY * 2);
+        let text = format!("From: a@b\nSubject: s\n\n{long_body}");
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("m", SourceKind::Email));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_mbox(&text, &mut ctx).unwrap();
+        let c_msg = st.model().class(class::MESSAGE).unwrap();
+        let a_body = st.model().attr(semex_model::names::attr::BODY).unwrap();
+        let m = st.objects_of_class(c_msg).next().unwrap();
+        assert_eq!(st.object(m).first_str(a_body).unwrap().len(), MAX_BODY);
+    }
+
+    #[test]
+    fn garbage_is_skipped_not_fatal() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("m", SourceKind::Email));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_mbox("From separator\nno colon lines here\n\n", &mut ctx).unwrap();
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.skipped, 1);
+    }
+}

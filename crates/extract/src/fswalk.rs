@@ -1,0 +1,282 @@
+//! File-system extraction.
+//!
+//! Walks a directory tree, creating `Folder` / `File` objects with
+//! `InFolder` / `SubfolderOf` structure, and dispatches recognized file
+//! types to the inner extractors:
+//!
+//! * `.mbox` / `.eml` → [`crate::email`]
+//! * `.vcf` → [`crate::vcard`]
+//! * `.ics` → [`crate::ical`]
+//! * `.bib` → [`crate::bibtex`]
+//! * `.tex` → [`crate::latex`] (processed after all `.bib` files so `\cite`
+//!   keys resolve), with a `DescribedBy` edge from the extracted
+//!   publication to the `File` object
+//! * `.html` / `.htm` → [`crate::html`] (cached web pages)
+//! * `.txt` / `.md` → scanned for mentions of already-known person names
+//!   (`Mentions` edges)
+//!
+//! Traversal order is deterministic (paths sorted) so extraction runs are
+//! reproducible.
+
+use semex_model::names::assoc as assoc_names;
+use crate::{bibtex, email, html, ical, latex, vcard, ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::{attr, class};
+use semex_model::Value;
+use semex_store::ObjectId;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Extract a directory tree rooted at `root` into the context's store.
+///
+/// The returned stats are cumulative over the walk *and* the inner
+/// extractors it dispatched to (`records` counts files plus messages,
+/// cards, bibliography entries and documents parsed out of them).
+pub fn extract_tree(root: &Path, ctx: &mut ExtractContext<'_>) -> Result<ExtractStats, ExtractError> {
+    let before = ctx.stats;
+    let a_name = ctx.attr(attr::NAME);
+    let a_path = ctx.attr(attr::PATH);
+    let a_ext = ctx.attr(attr::EXTENSION);
+    let a_date = ctx.attr(attr::DATE);
+    let c_file = ctx.store().model().class_req(class::FILE).expect("builtin File");
+    let c_folder = ctx.store().model().class_req(class::FOLDER).expect("builtin Folder");
+
+    // Deterministic walk.
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect(root, &mut dirs, &mut files)?;
+    dirs.sort();
+    files.sort();
+
+    // Folders and their nesting.
+    let mut folder_ids: HashMap<PathBuf, ObjectId> = HashMap::new();
+    for d in std::iter::once(root.to_path_buf()).chain(dirs.iter().cloned()) {
+        let name = d
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| d.to_string_lossy().into_owned());
+        let id = ctx.reference(
+            c_folder,
+            &[
+                (a_name, Value::from(name.as_str())),
+                (a_path, Value::from(d.to_string_lossy().as_ref())),
+            ],
+        )?;
+        folder_ids.insert(d.clone(), id);
+        if let Some(parent) = d.parent() {
+            if let Some(&pid) = folder_ids.get(parent) {
+                if pid != id {
+                    ctx.link_named(id, assoc_names::SUBFOLDER_OF, pid)?;
+                }
+            }
+        }
+    }
+
+    // Files: create objects, remember typed ones for dispatch.
+    let mut bibs: Vec<(PathBuf, ObjectId)> = Vec::new();
+    let mut texs: Vec<(PathBuf, ObjectId)> = Vec::new();
+    let mut texts: Vec<(PathBuf, ObjectId)> = Vec::new();
+    let mut pages: Vec<(PathBuf, ObjectId)> = Vec::new();
+    for f in &files {
+        ctx.stats.records += 1;
+        let name = f
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let ext = f
+            .extension()
+            .map(|e| e.to_string_lossy().to_lowercase())
+            .unwrap_or_default();
+        let mut attrs = vec![
+            (a_name, Value::from(name.as_str())),
+            (a_path, Value::from(f.to_string_lossy().as_ref())),
+        ];
+        if !ext.is_empty() {
+            attrs.push((a_ext, Value::from(ext.as_str())));
+        }
+        if let Ok(meta) = std::fs::metadata(f) {
+            if let Ok(modified) = meta.modified() {
+                if let Ok(d) = modified.duration_since(std::time::UNIX_EPOCH) {
+                    attrs.push((a_date, Value::Date(d.as_secs() as i64)));
+                }
+            }
+        }
+        let fid = ctx.reference(c_file, &attrs)?;
+        if let Some(parent) = f.parent() {
+            if let Some(&pid) = folder_ids.get(parent) {
+                ctx.link_named(fid, assoc_names::IN_FOLDER, pid)?;
+            }
+        }
+        match ext.as_str() {
+            "mbox" | "eml" => {
+                let content = std::fs::read_to_string(f)?;
+                email::extract_mbox(&content, ctx)?;
+            }
+            "vcf" => {
+                let content = std::fs::read_to_string(f)?;
+                vcard::extract_vcards(&content, ctx)?;
+            }
+            "ics" => {
+                let content = std::fs::read_to_string(f)?;
+                ical::extract_ical(&content, ctx)?;
+            }
+            "bib" => bibs.push((f.clone(), fid)),
+            "tex" => texs.push((f.clone(), fid)),
+            "txt" | "md" => texts.push((f.clone(), fid)),
+            "html" | "htm" => pages.push((f.clone(), fid)),
+            _ => {}
+        }
+    }
+
+    // Bibliographies first, so LaTeX citations resolve.
+    for (path, _fid) in &bibs {
+        let content = std::fs::read_to_string(path)?;
+        bibtex::extract_bibtex(&content, ctx)?;
+    }
+    for (path, fid) in &texs {
+        let content = std::fs::read_to_string(path)?;
+        let (_stats, pubn) = latex::extract_latex(&content, ctx)?;
+        if let Some(p) = pubn {
+            ctx.link_named(p, assoc_names::DESCRIBED_BY, *fid)?;
+        }
+    }
+
+    // Cached web pages last, so name-mention spotting sees every person
+    // extracted above. The page object is DescribedBy its cache file.
+    for (path, fid) in &pages {
+        let content = std::fs::read_to_string(path)?;
+        let url = format!("file://{}", path.to_string_lossy());
+        let (_stats, _page) = html::extract_html(&content, &url, ctx)?;
+        let _ = fid;
+    }
+
+    // Mention spotting in plain-text files against already-known names.
+    if !texts.is_empty() {
+        let needles = known_names(ctx);
+        for (path, fid) in &texts {
+            let content = std::fs::read_to_string(path)?.to_lowercase();
+            for (needle, person) in &needles {
+                if content.contains(needle) {
+                    ctx.link_named(*fid, assoc_names::MENTIONS, *person)?;
+                }
+            }
+        }
+    }
+
+    Ok(ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    })
+}
+
+/// Person names usable as mention needles: lowercase full names with at
+/// least two tokens and five characters.
+fn known_names(ctx: &ExtractContext<'_>) -> Vec<(String, ObjectId)> {
+    let store = ctx.store();
+    let a_name = store.model().attr(attr::NAME).expect("builtin name");
+    let c_person = store.model().class(class::PERSON).expect("builtin Person");
+    let mut out = Vec::new();
+    for p in store.objects_of_class(c_person) {
+        for name in store.object(p).strs(a_name) {
+            let lower = name.to_lowercase();
+            if lower.len() >= 5 && lower.split_whitespace().count() >= 2 {
+                out.push((lower, p));
+            }
+        }
+    }
+    out
+}
+
+fn collect(dir: &Path, dirs: &mut Vec<PathBuf>, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            dirs.push(path.clone());
+            collect(&path, dirs, files)?;
+        } else if ty.is_file() {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::assoc;
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    fn write(path: &Path, content: &str) {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, content).unwrap();
+    }
+
+    fn temp_tree() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "semex-fswalk-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        write(
+            &dir.join("papers/refs.bib"),
+            "@inproceedings{dong05, title={Reference Reconciliation}, author={Dong, Xin and Halevy, Alon}, booktitle={SIGMOD}, year=2005}",
+        );
+        write(
+            &dir.join("papers/semex.tex"),
+            "\\title{SEMEX Demo}\n\\author{Xin Dong \\and Alon Halevy}\n\\cite{dong05}\n",
+        );
+        write(
+            &dir.join("mail/inbox.mbox"),
+            "From x\nFrom: Xin Dong <luna@cs.edu>\nTo: halevy@cs.edu\nSubject: demo\n\nhello\n",
+        );
+        write(
+            &dir.join("contacts/team.vcf"),
+            "BEGIN:VCARD\nFN:Alon Halevy\nEMAIL:alon@cs.edu\nEND:VCARD\n",
+        );
+        write(&dir.join("notes/todo.txt"), "ping Xin Dong about the demo\n");
+        write(&dir.join("notes/data.bin.skip"), "binary-ish\n");
+        dir
+    }
+
+    #[test]
+    fn walks_and_dispatches() {
+        let root = temp_tree();
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("home", SourceKind::FileSystem));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_tree(&root, &mut ctx).unwrap();
+        assert_eq!(stats.records, 10, "six files + four inner records (message, card, bib entry, tex doc)");
+
+        let m = st.model();
+        let c_file = m.class(class::FILE).unwrap();
+        let c_folder = m.class(class::FOLDER).unwrap();
+        let c_pub = m.class(class::PUBLICATION).unwrap();
+        assert_eq!(st.class_count(c_file), 6);
+        assert_eq!(st.class_count(c_folder), 5); // root + 4 subdirs
+        assert_eq!(st.class_count(c_pub), 2); // bib entry + tex doc
+
+        assert_eq!(st.assoc_count(m.assoc(assoc::SUBFOLDER_OF).unwrap()), 4);
+        assert_eq!(st.assoc_count(m.assoc(assoc::IN_FOLDER).unwrap()), 6);
+        assert_eq!(st.assoc_count(m.assoc(assoc::CITES).unwrap()), 1);
+        assert_eq!(st.assoc_count(m.assoc(assoc::DESCRIBED_BY).unwrap()), 1);
+        // "Xin Dong" appears in todo.txt and is a known person.
+        assert!(st.assoc_count(m.assoc(assoc::MENTIONS).unwrap()) >= 1);
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_root_errors() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("x", SourceKind::FileSystem));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let err = extract_tree(Path::new("/definitely/not/here"), &mut ctx);
+        assert!(matches!(err, Err(ExtractError::Io(_))));
+    }
+}

@@ -1,0 +1,307 @@
+//! Cached-web-page (HTML) extraction.
+//!
+//! The platform paper lists cached web pages — author home pages,
+//! conference sites — among SEMEX's sources. This extractor parses a
+//! pragmatic subset of HTML with a small hand-rolled tokenizer (no external
+//! dependency): the `<title>`, anchor tags (`href` targets, splitting
+//! `mailto:` links from hyperlinks), and the visible text. Each document
+//! yields a `WebPage` object; `mailto:` anchors yield `Person` references
+//! (anchor text as display name) with `PageMentions` edges; `http(s)`
+//! anchors yield linked `WebPage` objects with `LinksTo` edges; and known
+//! person names appearing in the visible text yield further `PageMentions`
+//! edges.
+
+use semex_model::names::{assoc as assoc_names, attr, class};
+use semex_model::Value;
+use semex_store::ObjectId;
+
+use crate::{ExtractContext, ExtractError, ExtractStats};
+
+/// A parsed page: title, visible text, and outgoing links.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Page {
+    /// `<title>` content, entity-decoded and whitespace-collapsed.
+    pub title: Option<String>,
+    /// Visible text (tags stripped, script/style dropped).
+    pub text: String,
+    /// `mailto:` anchors as `(anchor text, address)`.
+    pub mailtos: Vec<(String, String)>,
+    /// `http(s)` anchors as `(anchor text, url)`.
+    pub links: Vec<(String, String)>,
+}
+
+/// Decode the handful of HTML entities that matter for names and titles.
+fn decode_entities(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&nbsp;", " ")
+}
+
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Extract the value of an attribute from a tag's raw interior
+/// (`a href="x" class=y`). Handles quoted and bare values.
+fn tag_attr(tag_body: &str, name: &str) -> Option<String> {
+    let lower = tag_body.to_lowercase();
+    let mut search_from = 0;
+    while let Some(pos) = lower[search_from..].find(name) {
+        let at = search_from + pos;
+        let after = &tag_body[at + name.len()..];
+        let after_trim = after.trim_start();
+        if let Some(rest) = after_trim.strip_prefix('=') {
+            let rest = rest.trim_start();
+            let value = if let Some(stripped) = rest.strip_prefix('"') {
+                stripped.split('"').next().unwrap_or("")
+            } else if let Some(stripped) = rest.strip_prefix('\'') {
+                stripped.split('\'').next().unwrap_or("")
+            } else {
+                rest.split(|c: char| c.is_whitespace() || c == '>').next().unwrap_or("")
+            };
+            return Some(decode_entities(value.trim()));
+        }
+        search_from = at + name.len();
+    }
+    None
+}
+
+/// Parse a pragmatic subset of HTML.
+pub fn parse_html(input: &str) -> Page {
+    let mut page = Page::default();
+    let mut text = String::new();
+    let mut i = 0;
+    let bytes = input.as_bytes();
+    let mut in_title = false;
+    let mut skip_until: Option<&'static str> = None; // </script> / </style>
+    let mut pending_anchor: Option<(String, String)> = None; // (href, text-so-far)
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let close = match input[i..].find('>') {
+                Some(c) => i + c,
+                None => break,
+            };
+            let raw_tag = &input[i + 1..close];
+            let tag_lower = raw_tag.trim().to_lowercase();
+            let tag_name: String = tag_lower
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            let closing = tag_lower.starts_with('/');
+
+            if let Some(end_tag) = skip_until {
+                if closing && tag_name == end_tag {
+                    skip_until = None;
+                }
+                i = close + 1;
+                continue;
+            }
+            match (tag_name.as_str(), closing) {
+                ("title", false) => in_title = true,
+                ("title", true) => in_title = false,
+                ("script", false) => skip_until = Some("script"),
+                ("style", false) => skip_until = Some("style"),
+                ("a", false) => {
+                    if let Some(href) = tag_attr(raw_tag, "href") {
+                        pending_anchor = Some((href, String::new()));
+                    }
+                }
+                ("a", true) => {
+                    if let Some((href, anchor_text)) = pending_anchor.take() {
+                        let label = collapse_ws(&decode_entities(&anchor_text));
+                        if let Some(addr) = href.strip_prefix("mailto:") {
+                            if !addr.trim().is_empty() {
+                                page.mailtos.push((label, addr.trim().to_owned()));
+                            }
+                        } else if href.starts_with("http://") || href.starts_with("https://") {
+                            page.links.push((label, href));
+                        }
+                    }
+                }
+                // Block-level tags break words in the visible text.
+                ("p" | "br" | "div" | "li" | "td" | "tr" | "h1" | "h2" | "h3", _) => {
+                    text.push(' ');
+                }
+                _ => {}
+            }
+            i = close + 1;
+            continue;
+        }
+        // Text content.
+        let next_tag = input[i..].find('<').map(|p| i + p).unwrap_or(input.len());
+        let chunk = &input[i..next_tag];
+        if skip_until.is_none() {
+            if in_title {
+                let t = page.title.get_or_insert_with(String::new);
+                t.push_str(chunk);
+            } else {
+                if let Some((_, anchor_text)) = pending_anchor.as_mut() {
+                    anchor_text.push_str(chunk);
+                }
+                text.push_str(chunk);
+                text.push(' ');
+            }
+        }
+        i = next_tag;
+    }
+
+    page.title = page
+        .title
+        .map(|t| collapse_ws(&decode_entities(&t)))
+        .filter(|t| !t.is_empty());
+    page.text = collapse_ws(&decode_entities(&text));
+    page
+}
+
+/// Extract an HTML page into the context's store. `url` is the page's own
+/// address (cached pages carry one; pass the file path otherwise). Returns
+/// the `WebPage` object.
+pub fn extract_html(
+    input: &str,
+    url: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<(ExtractStats, ObjectId), ExtractError> {
+    let before = ctx.stats;
+    let page = parse_html(input);
+    ctx.stats.records += 1;
+
+    let a_title = ctx.attr(attr::TITLE);
+    let a_url = ctx.attr(attr::URL);
+    let c_page = ctx
+        .store()
+        .model()
+        .class_req(class::WEB_PAGE)
+        .expect("builtin WebPage");
+
+    let mut attrs = vec![(a_url, Value::from(url))];
+    if let Some(t) = &page.title {
+        attrs.insert(0, (a_title, Value::from(t.as_str())));
+    }
+    let me = ctx.reference(c_page, &attrs)?;
+
+    // mailto anchors: people with display names.
+    for (label, addr) in &page.mailtos {
+        let name = (!label.is_empty() && !label.contains('@')).then_some(label.as_str());
+        if let Some(p) = ctx.person(name, Some(addr))? {
+            ctx.link_named(me, assoc_names::PAGE_MENTIONS, p)?;
+        }
+    }
+    // Hyperlinks: linked pages (titled by their anchor text when present).
+    for (label, href) in &page.links {
+        let mut link_attrs = vec![(a_url, Value::from(href.as_str()))];
+        if !label.is_empty() {
+            link_attrs.insert(0, (a_title, Value::from(label.as_str())));
+        }
+        let target = ctx.reference(c_page, &link_attrs)?;
+        if target != me {
+            ctx.link_named(me, assoc_names::LINKS_TO, target)?;
+        }
+    }
+    // Known-person mentions in the visible text.
+    let needles: Vec<(String, ObjectId)> = {
+        let store = ctx.store();
+        let a_name = store.model().attr(attr::NAME).expect("builtin name");
+        let c_person = store.model().class(class::PERSON).expect("builtin Person");
+        store
+            .objects_of_class(c_person)
+            .flat_map(|p| {
+                store
+                    .object(p)
+                    .strs(a_name)
+                    .map(move |n| (n.to_lowercase(), p))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|(n, _)| n.len() >= 5 && n.split_whitespace().count() >= 2)
+            .collect()
+    };
+    let haystack = page.text.to_lowercase();
+    for (needle, person) in needles {
+        if haystack.contains(&needle) {
+            ctx.link_named(me, assoc_names::PAGE_MENTIONS, person)?;
+        }
+    }
+
+    let stats = ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    };
+    Ok((stats, me))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::assoc;
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = r#"<html>
+<head><title>Xin  Dong &mdash; Home &amp; Research</title>
+<style>body { color: red }</style>
+<script>var x = "<b>not text</b>";</script>
+</head>
+<body>
+<h1>Xin Dong</h1>
+<p>I work on data integration with <a href="mailto:alon@cs.example.edu">Alon Halevy</a>.</p>
+<p>See the <a href="https://sigmod.example.org/2005">SIGMOD 2005</a> page,
+or <a href='/relative/ignored'>local link</a>.</p>
+<p>Contact: <a href="mailto:luna@cs.example.edu">luna@cs.example.edu</a></p>
+</body></html>"#;
+
+    #[test]
+    fn parse_title_links_and_text() {
+        let p = parse_html(SAMPLE);
+        assert_eq!(p.title.as_deref(), Some("Xin Dong &mdash; Home & Research"));
+        assert_eq!(p.mailtos.len(), 2);
+        assert_eq!(p.mailtos[0], ("Alon Halevy".to_owned(), "alon@cs.example.edu".to_owned()));
+        assert_eq!(p.mailtos[1].1, "luna@cs.example.edu");
+        assert_eq!(p.links.len(), 1, "relative links dropped: {:?}", p.links);
+        assert_eq!(p.links[0].0, "SIGMOD 2005");
+        assert!(p.text.contains("data integration"));
+        assert!(!p.text.contains("not text"), "script content stripped");
+        assert!(!p.text.contains("color: red"), "style content stripped");
+    }
+
+    #[test]
+    fn degenerate_html() {
+        assert_eq!(parse_html(""), Page::default());
+        let p = parse_html("just plain text, no tags");
+        assert_eq!(p.text, "just plain text, no tags");
+        // Lenient: an unclosed <title> still captures its text.
+        let p = parse_html("<title>unclosed");
+        assert_eq!(p.title.as_deref(), Some("unclosed"));
+        let p = parse_html("<a href=bare-no-quotes.html>x</a> <a>no href</a>");
+        assert!(p.links.is_empty());
+    }
+
+    #[test]
+    fn extraction_builds_pages_and_mentions() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("cache", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        // Seed a known person so text-mention spotting fires.
+        ctx.person(Some("Jayant Madhavan"), None).unwrap();
+        let html = format!(
+            "{}<p>Joint work with Jayant Madhavan.</p>",
+            SAMPLE.trim_end_matches("</body></html>")
+        );
+        let (stats, me) = extract_html(&html, "https://cs.example.edu/~luna/", &mut ctx).unwrap();
+        assert_eq!(stats.records, 1);
+
+        let m = st.model();
+        let c_page = m.class(class::WEB_PAGE).unwrap();
+        assert_eq!(st.class_count(c_page), 2, "self + SIGMOD link");
+        let mentions = m.assoc(assoc::PAGE_MENTIONS).unwrap();
+        // Alon (mailto w/ name), luna (bare mailto), Jayant (text mention).
+        assert_eq!(st.neighbors(me, mentions).len(), 3);
+        let links = m.assoc(assoc::LINKS_TO).unwrap();
+        assert_eq!(st.neighbors(me, links).len(), 1);
+        assert_eq!(st.label(me), "Xin Dong &mdash; Home & Research");
+    }
+}

@@ -1,0 +1,282 @@
+//! iCalendar (RFC 5545) extraction.
+//!
+//! Parses `BEGIN:VEVENT … END:VEVENT` blocks (with line unfolding shared
+//! with the vCard conventions): `SUMMARY`, `DTSTART`, `LOCATION`,
+//! `ORGANIZER` and `ATTENDEE` properties, including `CN=` display-name
+//! parameters and `mailto:` values. Each event yields an `Event` object
+//! with `Attendee` and `OrganizedBy` edges to `Person` references — the
+//! calendar side of the SEMEX domain model.
+
+use crate::{ExtractContext, ExtractError, ExtractStats, ymd_to_epoch};
+use semex_model::names::{assoc as assoc_names, attr, class};
+use semex_model::Value;
+
+/// One parsed calendar event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VEvent {
+    /// `SUMMARY` (title).
+    pub summary: Option<String>,
+    /// `DTSTART` as epoch seconds.
+    pub start: Option<i64>,
+    /// `LOCATION`.
+    pub location: Option<String>,
+    /// Organizer as `(display name, email)`.
+    pub organizer: Option<(Option<String>, Option<String>)>,
+    /// Attendees as `(display name, email)` pairs.
+    pub attendees: Vec<(Option<String>, Option<String>)>,
+}
+
+/// Unfold physical lines (continuations start with space/tab).
+fn unfold(input: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in input.lines() {
+        if (line.starts_with(' ') || line.starts_with('\t')) && !out.is_empty() {
+            out.last_mut().unwrap().push_str(line.trim_start());
+        } else {
+            out.push(line.to_owned());
+        }
+    }
+    out
+}
+
+/// Parse an iCalendar date-time: `20050315T100000Z`, `20050315T100000` or
+/// a bare date `20050315`.
+pub fn parse_ical_datetime(s: &str) -> Option<i64> {
+    let s = s.trim().trim_end_matches('Z');
+    let (date, time) = match s.split_once('T') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    if date.len() != 8 || !date.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let y: i64 = date[..4].parse().ok()?;
+    let m: u32 = date[4..6].parse().ok()?;
+    let d: u32 = date[6..8].parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (mut hh, mut mm, mut ss) = (0u32, 0u32, 0u32);
+    if let Some(t) = time {
+        if t.len() < 4 || !t.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        hh = t[..2].parse().ok()?;
+        mm = t[2..4].parse().ok()?;
+        ss = t.get(4..6).unwrap_or("00").parse().ok()?;
+        if hh > 23 || mm > 59 || ss > 60 {
+            return None;
+        }
+    }
+    Some(ymd_to_epoch(y, m, d, hh, mm, ss))
+}
+
+/// A property's parameters: `(name, value)` pairs.
+type Params = Vec<(String, String)>;
+
+/// Split a property line into name, parameters and value:
+/// `ATTENDEE;CN=Ann Walker:mailto:ann@x.edu`.
+fn property(line: &str) -> Option<(String, Params, String)> {
+    // The value separator is the first ':' not inside a quoted parameter.
+    let mut in_quote = false;
+    let mut split_at = None;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quote = !in_quote,
+            ':' if !in_quote => {
+                split_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let at = split_at?;
+    let (lhs, value) = (&line[..at], &line[at + 1..]);
+    let mut parts = lhs.split(';');
+    let name = parts.next()?.trim().to_uppercase();
+    let params = parts
+        .filter_map(|p| {
+            let (k, v) = p.split_once('=')?;
+            Some((k.trim().to_uppercase(), v.trim().trim_matches('"').to_owned()))
+        })
+        .collect();
+    Some((name, params, value.trim().to_owned()))
+}
+
+fn person_of(params: &Params, value: &str) -> (Option<String>, Option<String>) {
+    let name = params
+        .iter()
+        .find(|(k, _)| k == "CN")
+        .map(|(_, v)| v.clone());
+    let email = value
+        .strip_prefix("mailto:")
+        .or_else(|| value.strip_prefix("MAILTO:"))
+        .map(|e| e.trim().to_owned())
+        .filter(|e| !e.is_empty());
+    (name, email)
+}
+
+/// Parse every `VEVENT` in the input. Events missing `END:VEVENT` are
+/// dropped; unknown properties are ignored.
+pub fn parse_ical(input: &str) -> Vec<VEvent> {
+    let mut out = Vec::new();
+    let mut cur: Option<VEvent> = None;
+    for line in unfold(input) {
+        let Some((name, params, value)) = property(&line) else {
+            continue;
+        };
+        match (name.as_str(), &mut cur) {
+            ("BEGIN", _) if value.eq_ignore_ascii_case("vevent") => cur = Some(VEvent::default()),
+            ("END", slot @ Some(_)) if value.eq_ignore_ascii_case("vevent") => {
+                out.push(slot.take().unwrap());
+            }
+            ("SUMMARY", Some(e)) => e.summary = Some(value),
+            ("DTSTART", Some(e)) => e.start = parse_ical_datetime(&value),
+            ("LOCATION", Some(e)) if !value.is_empty() => e.location = Some(value),
+            ("ORGANIZER", Some(e)) => e.organizer = Some(person_of(&params, &value)),
+            ("ATTENDEE", Some(e)) => e.attendees.push(person_of(&params, &value)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extract an iCalendar file into the context's store.
+pub fn extract_ical(
+    input: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<ExtractStats, ExtractError> {
+    let before = ctx.stats;
+    let a_title = ctx.attr(attr::TITLE);
+    let a_date = ctx.attr(attr::DATE);
+    let a_loc = ctx.attr(attr::LOCATION);
+    let c_event = ctx
+        .store()
+        .model()
+        .class_req(class::EVENT)
+        .expect("builtin Event");
+
+    for ev in parse_ical(input) {
+        let Some(summary) = &ev.summary else {
+            ctx.stats.skipped += 1;
+            continue;
+        };
+        ctx.stats.records += 1;
+        let e = ctx.store_mut().add_object(c_event);
+        ctx.stats.objects += 1;
+        let src = ctx.source();
+        ctx.store_mut().add_source_to(e, src);
+        ctx.store_mut().add_attr(e, a_title, Value::from(summary.as_str()))?;
+        if let Some(start) = ev.start {
+            ctx.store_mut().add_attr(e, a_date, Value::Date(start))?;
+        }
+        if let Some(loc) = &ev.location {
+            ctx.store_mut().add_attr(e, a_loc, Value::from(loc.as_str()))?;
+        }
+        if let Some((name, email)) = &ev.organizer {
+            if let Some(p) = ctx.person(name.as_deref(), email.as_deref())? {
+                ctx.link_named(e, assoc_names::ORGANIZED_BY, p)?;
+            }
+        }
+        for (name, email) in &ev.attendees {
+            if let Some(p) = ctx.person(name.as_deref(), email.as_deref())? {
+                ctx.link_named(e, assoc_names::ATTENDEE, p)?;
+            }
+        }
+    }
+
+    Ok(ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = "\
+BEGIN:VCALENDAR
+VERSION:2.0
+BEGIN:VEVENT
+SUMMARY:SIGMOD demo rehearsal
+DTSTART:20050315T100000Z
+LOCATION:CSE 403
+ORGANIZER;CN=Xin Dong:mailto:luna@cs.example.edu
+ATTENDEE;CN=Alon Halevy:mailto:alon@cs.example.edu
+ATTENDEE;CN=\"Madhavan, Jayant\":mailto:jayant@cs.example.edu
+ATTENDEE:mailto:guest@elsewhere.example
+END:VEVENT
+BEGIN:VEVENT
+SUMMARY:Group lunch
+DTSTART:20050316
+END:VEVENT
+BEGIN:VEVENT
+DTSTART:20050317T120000Z
+END:VEVENT
+END:VCALENDAR
+";
+
+    #[test]
+    fn parse_events() {
+        let events = parse_ical(SAMPLE);
+        assert_eq!(events.len(), 3);
+        let e = &events[0];
+        assert_eq!(e.summary.as_deref(), Some("SIGMOD demo rehearsal"));
+        assert_eq!(e.start, Some(ymd_to_epoch(2005, 3, 15, 10, 0, 0)));
+        assert_eq!(e.location.as_deref(), Some("CSE 403"));
+        let (name, email) = e.organizer.as_ref().unwrap();
+        assert_eq!(name.as_deref(), Some("Xin Dong"));
+        assert_eq!(email.as_deref(), Some("luna@cs.example.edu"));
+        assert_eq!(e.attendees.len(), 3);
+        assert_eq!(e.attendees[1].0.as_deref(), Some("Madhavan, Jayant"));
+        assert_eq!(e.attendees[2].0, None);
+        // All-day event.
+        assert_eq!(events[1].start, Some(ymd_to_epoch(2005, 3, 16, 0, 0, 0)));
+    }
+
+    #[test]
+    fn datetime_forms() {
+        assert_eq!(
+            parse_ical_datetime("20050315T100000Z"),
+            Some(ymd_to_epoch(2005, 3, 15, 10, 0, 0))
+        );
+        assert_eq!(
+            parse_ical_datetime("20050315T1000"),
+            Some(ymd_to_epoch(2005, 3, 15, 10, 0, 0))
+        );
+        assert_eq!(parse_ical_datetime("20050315"), Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0)));
+        assert_eq!(parse_ical_datetime("2005"), None);
+        assert_eq!(parse_ical_datetime("20051315"), None);
+        assert_eq!(parse_ical_datetime("garbage"), None);
+    }
+
+    #[test]
+    fn extraction_builds_events_and_attendance() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("cal", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_ical(SAMPLE, &mut ctx).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.skipped, 1, "summary-less event dropped");
+
+        let m = st.model();
+        assert_eq!(st.class_count(m.class(class::EVENT).unwrap()), 2);
+        assert_eq!(st.class_count(m.class(class::PERSON).unwrap()), 4);
+        assert_eq!(st.assoc_count(m.assoc(assoc::ATTENDEE).unwrap()), 3);
+        assert_eq!(st.assoc_count(m.assoc(assoc::ORGANIZED_BY).unwrap()), 1);
+    }
+
+    #[test]
+    fn quoted_params_with_colons_and_commas() {
+        let events = parse_ical(
+            "BEGIN:VEVENT\nSUMMARY:X\nATTENDEE;CN=\"Dr. Who: The Colon\":mailto:w@x.y\nEND:VEVENT\n",
+        );
+        assert_eq!(events[0].attendees[0].0.as_deref(), Some("Dr. Who: The Colon"));
+        assert_eq!(events[0].attendees[0].1.as_deref(), Some("w@x.y"));
+    }
+}

@@ -1,0 +1,249 @@
+//! LaTeX source extraction.
+//!
+//! Scans a LaTeX document for `\title{…}`, `\author{…}` (with `\and`
+//! separators), `\cite{key,…}` commands and `\bibliography{…}` references.
+//! The document itself becomes a `Publication` reference with `AuthoredBy`
+//! edges; every `\cite` key that resolves against a previously extracted
+//! bibliography (via the shared [`ExtractContext`] key registry) yields a
+//! `Cites` edge.
+
+use semex_model::names::assoc as assoc_names;
+use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_store::ObjectId;
+
+/// The salient commands scanned out of a LaTeX source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatexDoc {
+    /// `\title{…}` argument, brace-stripped.
+    pub title: Option<String>,
+    /// Author display names (split on `\and`).
+    pub authors: Vec<String>,
+    /// All `\cite{…}` keys in order of appearance (deduplicated).
+    pub cites: Vec<String>,
+    /// `\bibliography{…}` base names.
+    pub bibliographies: Vec<String>,
+}
+
+/// Read the brace-balanced argument starting at `input[start]` (which must
+/// be `{`). Returns the argument body and the index one past the closing
+/// brace.
+fn braced_arg(input: &str, start: usize) -> Option<(String, usize)> {
+    let bytes = input.as_bytes();
+    if bytes.get(start) != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((input[start + 1..i].to_owned(), i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn strip_commands(s: &str) -> String {
+    // Remove simple inline commands (\textbf, \\, \thanks{...} bodies kept).
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            // Skip the command name.
+            while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                chars.next();
+            }
+            out.push(' ');
+        } else if c != '{' && c != '}' {
+            out.push(c);
+        }
+    }
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Scan a LaTeX source for the commands SEMEX extracts.
+pub fn parse_latex(input: &str) -> LatexDoc {
+    let mut doc = LatexDoc::default();
+    let mut seen_cites = std::collections::HashSet::new();
+    let mut i = 0;
+    let bytes = input.as_bytes();
+    while i < bytes.len() {
+        if bytes[i] != b'\\' {
+            i += 1;
+            continue;
+        }
+        let rest = &input[i + 1..];
+        let cmd: String = rest.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        let arg_at = i + 1 + cmd.len();
+        match cmd.as_str() {
+            "title" => {
+                if let Some((arg, next)) = braced_arg(input, arg_at) {
+                    doc.title = Some(strip_commands(&arg));
+                    i = next;
+                    continue;
+                }
+            }
+            "author" => {
+                if let Some((arg, next)) = braced_arg(input, arg_at) {
+                    for piece in arg.split("\\and") {
+                        let name = strip_commands(piece);
+                        if !name.is_empty() {
+                            doc.authors.push(name);
+                        }
+                    }
+                    i = next;
+                    continue;
+                }
+            }
+            "cite" | "citep" | "citet" => {
+                if let Some((arg, next)) = braced_arg(input, arg_at) {
+                    for key in arg.split(',') {
+                        let key = key.trim().to_owned();
+                        if !key.is_empty() && seen_cites.insert(key.clone()) {
+                            doc.cites.push(key);
+                        }
+                    }
+                    i = next;
+                    continue;
+                }
+            }
+            "bibliography" => {
+                if let Some((arg, next)) = braced_arg(input, arg_at) {
+                    for name in arg.split(',') {
+                        let name = name.trim().to_owned();
+                        if !name.is_empty() {
+                            doc.bibliographies.push(name);
+                        }
+                    }
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1 + cmd.len().max(1);
+    }
+    doc
+}
+
+/// Extract a LaTeX source into the context's store. Returns the document's
+/// `Publication` object when a `\title` was present.
+pub fn extract_latex(
+    input: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<(ExtractStats, Option<ObjectId>), ExtractError> {
+    let before = ctx.stats;
+    let doc = parse_latex(input);
+    let Some(title) = &doc.title else {
+        ctx.stats.skipped += 1;
+        return Ok((
+            ExtractStats {
+                skipped: 1,
+                ..Default::default()
+            },
+            None,
+        ));
+    };
+    ctx.stats.records += 1;
+    let pubn = ctx.publication(title, &[])?;
+    for author in &doc.authors {
+        if let Some(p) = ctx.person(Some(author), None)? {
+            ctx.link_named(pubn, assoc_names::AUTHORED_BY, p)?;
+        }
+    }
+    for key in &doc.cites {
+        if let Some(cited) = ctx.publication_by_key(key) {
+            if cited != pubn {
+                ctx.link_named(pubn, assoc_names::CITES, cited)?;
+            }
+        }
+    }
+    let stats = ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    };
+    Ok((stats, Some(pubn)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bibtex::extract_bibtex;
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = r#"
+\documentclass{article}
+\title{Personal Information Management with \textsc{Semex}}
+\author{Xin Dong \and Alon Halevy}
+\begin{document}
+\maketitle
+As shown in \cite{dong05, carey95} and again in \cite{dong05},
+reconciliation matters.
+\bibliography{refs}
+\end{document}
+"#;
+
+    #[test]
+    fn parse_commands() {
+        let doc = parse_latex(SAMPLE);
+        assert_eq!(
+            doc.title.as_deref(),
+            Some("Personal Information Management with Semex")
+        );
+        assert_eq!(doc.authors, vec!["Xin Dong", "Alon Halevy"]);
+        assert_eq!(doc.cites, vec!["dong05", "carey95"]);
+        assert_eq!(doc.bibliographies, vec!["refs"]);
+    }
+
+    #[test]
+    fn empty_and_unclosed_inputs() {
+        assert_eq!(parse_latex(""), LatexDoc::default());
+        let doc = parse_latex("\\title{unclosed");
+        assert_eq!(doc.title, None);
+        let doc = parse_latex("\\cite{a}\\cite{a,b}");
+        assert_eq!(doc.cites, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn extraction_resolves_citations() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("paper.tex", SourceKind::Latex));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{dong05, title={Reference Reconciliation}, author={Dong, Xin}, year=2005}",
+            &mut ctx,
+        )
+        .unwrap();
+        let (stats, pubn) = extract_latex(SAMPLE, &mut ctx).unwrap();
+        assert_eq!(stats.records, 1);
+        let pubn = pubn.unwrap();
+
+        let model = st.model();
+        let cites = model.assoc(assoc::CITES).unwrap();
+        // Only dong05 resolves; carey95 was never in a bibliography.
+        assert_eq!(st.neighbors(pubn, cites).len(), 1);
+        assert_eq!(st.class_count(model.class(class::PUBLICATION).unwrap()), 2);
+        // Xin Dong appears as the raw bib form "Dong, Xin" and the LaTeX
+        // form "Xin Dong": the surface forms differ, so they remain two
+        // references (for reconciliation to merge), plus Alon Halevy.
+        assert_eq!(st.class_count(model.class(class::PERSON).unwrap()), 3);
+    }
+
+    #[test]
+    fn titleless_doc_skipped() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("x.tex", SourceKind::Latex));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let (stats, pubn) = extract_latex("\\section{hi}", &mut ctx).unwrap();
+        assert_eq!(stats.skipped, 1);
+        assert!(pubn.is_none());
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! From-scratch extractors for personal information sources.
+//!
+//! SEMEX's extraction layer turns heterogeneous desktop data into
+//! *references* (objects) and *association triples* in the association
+//! database. Per the reproduction notes in `DESIGN.md`, every parser is
+//! implemented from scratch and binary document formats are represented by
+//! their text-equivalent stand-ins:
+//!
+//! * [`email`] — mbox archives / RFC-2822 messages: `Message` objects,
+//!   `Person` references for senders and recipients, reply chains,
+//!   attachments;
+//! * [`vcard`] — vCard 3.0 contact files: `Person` references with names,
+//!   e-mail addresses, phones, and `WorksFor` links to organizations;
+//! * [`bibtex`] — BibTeX bibliographies: `Publication`, `Person` (authors)
+//!   and `Venue` references;
+//! * [`latex`] — LaTeX sources: the document's own `Publication` reference
+//!   plus `Cites` edges through `\cite` keys resolved against extracted
+//!   bibliographies;
+//! * [`ical`] — iCalendar (RFC 5545) events: `Event` objects with
+//!   `Attendee` / `OrganizedBy` links;
+//! * [`html`] — cached web pages: `WebPage` objects with `LinksTo` edges,
+//!   plus `Person` references from `mailto:` anchors and name mentions;
+//! * [`fswalk`] — a file-system walker creating `File` / `Folder` objects
+//!   and dispatching recognized file types to the inner extractors;
+//! * [`csv`] — a small CSV parser shared with on-the-fly integration.
+//!
+//! Extractors share an [`ExtractContext`] that deduplicates exactly
+//! identical references *within a source* (the same `"Ann <ann@x.edu>"`
+//! header in fifty messages is one reference) while leaving cross-source
+//! and near-duplicate references for reconciliation to merge — exactly the
+//! reference granularity the reconciliation paper assumes.
+
+mod context;
+pub mod bibtex;
+pub mod csv;
+mod date;
+pub mod email;
+pub mod fswalk;
+pub mod html;
+pub mod ical;
+pub mod latex;
+pub mod vcard;
+
+pub use context::{ExtractContext, ExtractError, ExtractStats};
+pub use date::{parse_date, ymd_to_epoch};

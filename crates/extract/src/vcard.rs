@@ -1,0 +1,224 @@
+//! vCard 3.0 contact extraction.
+//!
+//! Parses `BEGIN:VCARD … END:VCARD` blocks with line unfolding and the
+//! common properties: `FN` (formatted name), `N` (structured name),
+//! `EMAIL`, `TEL`, `ORG` and `TITLE`. Each card yields a `Person` reference
+//! (names + e-mails + phones) and, when `ORG` is present, an `Organization`
+//! reference with a `WorksFor` edge.
+
+use semex_model::names::assoc as assoc_names;
+use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::attr;
+use semex_model::Value;
+
+/// One parsed vCard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Card {
+    /// `FN` formatted name.
+    pub formatted_name: Option<String>,
+    /// `N` components: (family, given, additional).
+    pub structured_name: Option<(String, String, String)>,
+    /// `EMAIL` values.
+    pub emails: Vec<String>,
+    /// `TEL` values.
+    pub phones: Vec<String>,
+    /// `ORG` value (first component).
+    pub org: Option<String>,
+}
+
+impl Card {
+    /// The best display name: `FN`, or `"Given Additional Family"` from `N`.
+    pub fn display_name(&self) -> Option<String> {
+        if let Some(fn_) = &self.formatted_name {
+            return Some(fn_.clone());
+        }
+        self.structured_name.as_ref().map(|(family, given, additional)| {
+            [given.as_str(), additional.as_str(), family.as_str()]
+                .iter()
+                .filter(|p| !p.is_empty())
+                .copied()
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+    }
+}
+
+/// Unfold vCard physical lines (continuations begin with space or tab).
+fn unfold(input: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in input.lines() {
+        if (line.starts_with(' ') || line.starts_with('\t')) && !out.is_empty() {
+            let last = out.last_mut().unwrap();
+            last.push_str(line.trim_start());
+        } else {
+            out.push(line.to_owned());
+        }
+    }
+    out
+}
+
+/// Split a property line into (name, value), dropping parameters:
+/// `EMAIL;TYPE=work:a@b` → `("EMAIL", "a@b")`.
+fn property(line: &str) -> Option<(String, String)> {
+    let (lhs, value) = line.split_once(':')?;
+    let name = lhs.split(';').next().unwrap_or(lhs).trim().to_uppercase();
+    Some((name, value.trim().to_owned()))
+}
+
+/// Parse every vCard in the input. Cards missing `END:VCARD` are dropped;
+/// unknown properties are ignored.
+pub fn parse_vcards(input: &str) -> Vec<Card> {
+    let mut out = Vec::new();
+    let mut cur: Option<Card> = None;
+    for line in unfold(input) {
+        let Some((name, value)) = property(&line) else {
+            continue;
+        };
+        match (name.as_str(), &mut cur) {
+            ("BEGIN", _) if value.eq_ignore_ascii_case("vcard") => cur = Some(Card::default()),
+            ("END", slot @ Some(_)) if value.eq_ignore_ascii_case("vcard") => {
+                out.push(slot.take().unwrap());
+            }
+            ("FN", Some(c)) => c.formatted_name = Some(value),
+            ("N", Some(c)) => {
+                let mut parts = value.split(';');
+                let family = parts.next().unwrap_or("").trim().to_owned();
+                let given = parts.next().unwrap_or("").trim().to_owned();
+                let additional = parts.next().unwrap_or("").trim().to_owned();
+                c.structured_name = Some((family, given, additional));
+            }
+            ("EMAIL", Some(c)) if !value.is_empty() => c.emails.push(value),
+            ("TEL", Some(c)) if !value.is_empty() => c.phones.push(value),
+            ("ORG", Some(c)) => {
+                let first = value.split(';').next().unwrap_or("").trim();
+                if !first.is_empty() {
+                    c.org = Some(first.to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extract a vCard file into the context's store.
+pub fn extract_vcards(
+    input: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<ExtractStats, ExtractError> {
+    let before = ctx.stats;
+    let a_first = ctx.attr(attr::FIRST_NAME);
+    let a_last = ctx.attr(attr::LAST_NAME);
+    let a_email = ctx.attr(attr::EMAIL);
+    let a_phone = ctx.attr(attr::PHONE);
+
+    for card in parse_vcards(input) {
+        let name = card.display_name();
+        let primary_email = card.emails.first().map(String::as_str);
+        let Some(p) = ctx.person(name.as_deref(), primary_email)? else {
+            ctx.stats.skipped += 1;
+            continue;
+        };
+        ctx.stats.records += 1;
+        if let Some((family, given, _)) = &card.structured_name {
+            if !given.is_empty() {
+                ctx.store_mut().add_attr(p, a_first, Value::from(given.as_str()))?;
+            }
+            if !family.is_empty() {
+                ctx.store_mut().add_attr(p, a_last, Value::from(family.as_str()))?;
+            }
+        }
+        for e in card.emails.iter().skip(1) {
+            ctx.store_mut()
+                .add_attr(p, a_email, Value::from(e.to_lowercase().as_str()))?;
+        }
+        for t in &card.phones {
+            ctx.store_mut().add_attr(p, a_phone, Value::from(t.as_str()))?;
+        }
+        if let Some(org) = &card.org {
+            let o = ctx.organization(org)?;
+            ctx.link_named(p, assoc_names::WORKS_FOR, o)?;
+        }
+    }
+
+    Ok(ExtractStats {
+        records: ctx.stats.records - before.records,
+        objects: ctx.stats.objects - before.objects,
+        triples: ctx.stats.triples - before.triples,
+        skipped: ctx.stats.skipped - before.skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::{assoc, class};
+    use semex_store::{SourceInfo, SourceKind, Store};
+
+    const SAMPLE: &str = "\
+BEGIN:VCARD
+VERSION:3.0
+FN:Michael J. Carey
+N:Carey;Michael;J.
+EMAIL;TYPE=work:mcarey@ibm.com
+EMAIL:mike@example.org
+TEL;TYPE=cell:+1-555-0100
+ORG:IBM Almaden;Database Group
+END:VCARD
+BEGIN:VCARD
+VERSION:3.0
+N:Dong;Xin;
+EMAIL:luna@cs.wash
+ ington.edu
+END:VCARD
+BEGIN:VCARD
+VERSION:3.0
+END:VCARD
+";
+
+    #[test]
+    fn parse_cards() {
+        let cards = parse_vcards(SAMPLE);
+        assert_eq!(cards.len(), 3);
+        assert_eq!(cards[0].formatted_name.as_deref(), Some("Michael J. Carey"));
+        assert_eq!(cards[0].emails, vec!["mcarey@ibm.com", "mike@example.org"]);
+        assert_eq!(cards[0].phones, vec!["+1-555-0100"]);
+        assert_eq!(cards[0].org.as_deref(), Some("IBM Almaden"));
+        // Line unfolding joins the split address.
+        assert_eq!(cards[1].emails, vec!["luna@cs.washington.edu"]);
+        assert_eq!(cards[1].display_name().as_deref(), Some("Xin Dong"));
+        assert_eq!(cards[2].display_name(), None);
+    }
+
+    #[test]
+    fn unterminated_card_dropped() {
+        let cards = parse_vcards("BEGIN:VCARD\nFN:Lost Soul\n");
+        assert!(cards.is_empty());
+    }
+
+    #[test]
+    fn extraction_builds_people_and_orgs() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("contacts", SourceKind::Contacts));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        let stats = extract_vcards(SAMPLE, &mut ctx).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.skipped, 1); // the empty card
+
+        let model = st.model();
+        let c_person = model.class(class::PERSON).unwrap();
+        let c_org = model.class(class::ORGANIZATION).unwrap();
+        assert_eq!(st.class_count(c_person), 2);
+        assert_eq!(st.class_count(c_org), 1);
+        let works = model.assoc(assoc::WORKS_FOR).unwrap();
+        assert_eq!(st.assoc_count(works), 1);
+
+        let a_email = model.attr(attr::EMAIL).unwrap();
+        let a_last = model.attr(attr::LAST_NAME).unwrap();
+        let carey = st
+            .objects_of_class(c_person)
+            .find(|&p| st.object(p).first_str(a_last) == Some("Carey"))
+            .unwrap();
+        assert_eq!(st.object(carey).strs(a_email).count(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: rendered sources parse back to what was rendered.
+//!
+//! These close the loop between the corpus generator's output formats and
+//! the extractors — any drift between writer and parser conventions
+//! surfaces here rather than as silent extraction loss.
+
+use proptest::prelude::*;
+use semex_extract::bibtex::{parse_bibtex, split_authors};
+use semex_extract::email::{parse_address, parse_message, split_mbox};
+use semex_extract::ical::parse_ical;
+use semex_extract::vcard::parse_vcards;
+
+/// Words safe inside BibTeX values and mail headers.
+fn word() -> impl Strategy<Value = String> {
+    "[A-Za-z][a-z]{1,9}"
+}
+
+proptest! {
+    #[test]
+    fn bibtex_roundtrip(
+        titles in prop::collection::vec(prop::collection::vec(word(), 2..6), 1..6),
+        years in prop::collection::vec(1980i32..2010, 1..6),
+        author_counts in prop::collection::vec(1usize..4, 1..6),
+    ) {
+        let n = titles.len().min(years.len()).min(author_counts.len());
+        let mut bib = String::new();
+        for i in 0..n {
+            let title = titles[i].join(" ");
+            let authors: Vec<String> = (0..author_counts[i])
+                .map(|a| format!("First{a} Last{a}"))
+                .collect();
+            bib.push_str(&format!(
+                "@inproceedings{{k{i}, title = {{{title}}}, author = {{{}}}, year = {}}}\n",
+                authors.join(" and "),
+                years[i],
+            ));
+        }
+        let entries = parse_bibtex(&bib).unwrap();
+        prop_assert_eq!(entries.len(), n);
+        for (i, e) in entries.iter().enumerate() {
+            prop_assert_eq!(e.field("title").unwrap(), titles[i].join(" "));
+            prop_assert_eq!(e.field("year").unwrap(), years[i].to_string());
+            let parsed_authors = split_authors(e.field("author").unwrap());
+            prop_assert_eq!(parsed_authors.len(), author_counts[i]);
+        }
+    }
+
+    #[test]
+    fn mbox_roundtrip(
+        subjects in prop::collection::vec(prop::collection::vec(word(), 1..4), 1..8),
+    ) {
+        let mut mbox = String::new();
+        for (i, s) in subjects.iter().enumerate() {
+            mbox.push_str(&format!(
+                "From gen {i}\nFrom: sender{i}@x.example\nTo: rcpt{i}@y.example\nSubject: {}\n\nbody {i}\n",
+                s.join(" ")
+            ));
+        }
+        let messages = split_mbox(&mbox);
+        prop_assert_eq!(messages.len(), subjects.len());
+        for (i, m) in messages.iter().enumerate() {
+            let raw = parse_message(m);
+            prop_assert_eq!(raw.header("subject").unwrap(), subjects[i].join(" "));
+            let from = parse_address(raw.header("from").unwrap());
+            prop_assert_eq!(from.email.unwrap(), format!("sender{i}@x.example"));
+            prop_assert_eq!(raw.body.trim(), format!("body {i}"));
+        }
+    }
+
+    #[test]
+    fn vcard_roundtrip(
+        people in prop::collection::vec((word(), word(), "[a-z]{2,8}"), 1..8),
+    ) {
+        let mut vcf = String::new();
+        for (first, last, local) in &people {
+            vcf.push_str(&format!(
+                "BEGIN:VCARD\nVERSION:3.0\nFN:{first} {last}\nN:{last};{first};\nEMAIL:{local}@x.example\nEND:VCARD\n"
+            ));
+        }
+        let cards = parse_vcards(&vcf);
+        prop_assert_eq!(cards.len(), people.len());
+        for (card, (first, last, local)) in cards.iter().zip(&people) {
+            prop_assert_eq!(card.display_name().unwrap(), format!("{first} {last}"));
+            prop_assert_eq!(&card.emails[0], &format!("{local}@x.example"));
+            let (f, g, _) = card.structured_name.clone().unwrap();
+            prop_assert_eq!(&f, last);
+            prop_assert_eq!(&g, first);
+        }
+    }
+
+    #[test]
+    fn ical_roundtrip(
+        events in prop::collection::vec((word(), 1u32..=28, 1u32..=12, 0u32..24), 1..8),
+    ) {
+        let mut ics = String::from("BEGIN:VCALENDAR\n");
+        for (summary, day, month, hour) in &events {
+            ics.push_str(&format!(
+                "BEGIN:VEVENT\nSUMMARY:{summary}\nDTSTART:2004{month:02}{day:02}T{hour:02}0000Z\nATTENDEE;CN=A Person:mailto:a@x.example\nEND:VEVENT\n"
+            ));
+        }
+        ics.push_str("END:VCALENDAR\n");
+        let parsed = parse_ical(&ics);
+        prop_assert_eq!(parsed.len(), events.len());
+        for (ev, (summary, day, month, hour)) in parsed.iter().zip(&events) {
+            prop_assert_eq!(ev.summary.as_deref().unwrap(), summary);
+            let expected = semex_extract::ymd_to_epoch(2004, *month, *day, *hour, 0, 0);
+            prop_assert_eq!(ev.start, Some(expected));
+            prop_assert_eq!(ev.attendees.len(), 1);
+        }
+    }
+
+    #[test]
+    fn no_parser_panics_on_arbitrary_input(s in ".{0,400}") {
+        let _ = parse_bibtex(&s);
+        for m in split_mbox(&s) {
+            let _ = parse_message(m);
+        }
+        let _ = parse_vcards(&s);
+        let _ = parse_ical(&s);
+        let _ = semex_extract::html::parse_html(&s);
+        let _ = semex_extract::csv::parse_csv(&s);
+        let _ = semex_extract::latex::parse_latex(&s);
+        let _ = semex_extract::parse_date(&s);
+    }
+}

@@ -1,0 +1,79 @@
+//! BM25 scoring parameters and formula.
+
+/// BM25 tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (classic default 1.2).
+    pub k1: f64,
+    /// Length normalization (classic default 0.75).
+    pub b: f64,
+    /// Score multiplier for objects matching *every* query term.
+    pub all_terms_boost: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params {
+            k1: 1.2,
+            b: 0.75,
+            all_terms_boost: 1.5,
+        }
+    }
+}
+
+impl Bm25Params {
+    /// The BM25 contribution of one term in one document.
+    ///
+    /// * `tf` — weighted term frequency in the document,
+    /// * `df` — number of documents containing the term,
+    /// * `n_docs` — corpus size,
+    /// * `dl` / `avg_dl` — document length and corpus average.
+    pub fn score(&self, tf: f64, df: usize, n_docs: usize, dl: f64, avg_dl: f64) -> f64 {
+        if tf <= 0.0 || df == 0 || n_docs == 0 {
+            return 0.0;
+        }
+        let idf = (((n_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5)) + 1.0).ln();
+        let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_dl.max(1.0));
+        idf * tf * (self.k1 + 1.0) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rarer_terms_score_higher() {
+        let p = Bm25Params::default();
+        let rare = p.score(1.0, 1, 1000, 10.0, 10.0);
+        let common = p.score(1.0, 900, 1000, 10.0, 10.0);
+        assert!(rare > common);
+        assert!(common > 0.0, "idf stays positive via +1 smoothing");
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let p = Bm25Params::default();
+        let s1 = p.score(1.0, 10, 1000, 10.0, 10.0);
+        let s2 = p.score(2.0, 10, 1000, 10.0, 10.0);
+        let s10 = p.score(10.0, 10, 1000, 10.0, 10.0);
+        assert!(s2 > s1);
+        assert!(s10 < 10.0 * s1, "sub-linear in tf");
+    }
+
+    #[test]
+    fn longer_docs_penalized() {
+        let p = Bm25Params::default();
+        let short = p.score(1.0, 10, 1000, 5.0, 10.0);
+        let long = p.score(1.0, 10, 1000, 100.0, 10.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let p = Bm25Params::default();
+        assert_eq!(p.score(0.0, 10, 100, 10.0, 10.0), 0.0);
+        assert_eq!(p.score(1.0, 0, 100, 10.0, 10.0), 0.0);
+        assert_eq!(p.score(1.0, 10, 0, 10.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Keyword search over SEMEX objects.
+//!
+//! SEMEX search is *object-centric*: a query returns ranked domain objects
+//! (people, publications, messages, files…), not documents. The index is a
+//! from-scratch inverted index over every indexed string attribute of every
+//! live object, with BM25 ranking, field weighting (a hit in a `name` or
+//! `title` outweighs a hit deep in a message body), conjunctive boosting
+//! (objects matching *all* query terms rank above partial matches) and an
+//! optional class filter (`class:Person luna`).
+
+mod bm25;
+mod query;
+mod search;
+mod tokenizer;
+
+pub use bm25::Bm25Params;
+pub use query::Query;
+pub use search::{Hit, SearchIndex};
+pub use tokenizer::{index_tokens, STOPWORDS};

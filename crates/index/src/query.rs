@@ -1,0 +1,73 @@
+//! Query parsing.
+
+use crate::tokenizer::index_tokens;
+
+/// A parsed keyword query: free terms plus an optional class filter
+/// (`class:Person luna dong`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Query {
+    /// Search terms (tokenized like indexed text).
+    pub terms: Vec<String>,
+    /// Restrict results to this class name, when present.
+    pub class_filter: Option<String>,
+}
+
+impl Query {
+    /// Parse a user query string.
+    pub fn parse(input: &str) -> Query {
+        let mut terms = Vec::new();
+        let mut class_filter = None;
+        for word in input.split_whitespace() {
+            if let Some(rest) = word.strip_prefix("class:") {
+                if !rest.is_empty() {
+                    class_filter = Some(rest.to_owned());
+                }
+                continue;
+            }
+            terms.extend(index_tokens(word));
+        }
+        Query {
+            terms,
+            class_filter,
+        }
+    }
+
+    /// True when the query has no usable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_terms_and_filter() {
+        let q = Query::parse("class:Person Luna Dong");
+        assert_eq!(q.class_filter.as_deref(), Some("Person"));
+        assert_eq!(q.terms, vec!["luna", "dong"]);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn stopwords_dropped_from_query() {
+        let q = Query::parse("the reconciliation of references");
+        assert_eq!(q.terms, vec!["reconciliation", "references"]);
+    }
+
+    #[test]
+    fn empty_and_filter_only() {
+        assert!(Query::parse("").is_empty());
+        let q = Query::parse("class:File");
+        assert!(q.is_empty());
+        assert_eq!(q.class_filter.as_deref(), Some("File"));
+        assert_eq!(Query::parse("class:").class_filter, None);
+    }
+
+    #[test]
+    fn email_query_matches_index_form() {
+        let q = Query::parse("luna@cs.edu");
+        assert!(q.terms.contains(&"luna@cs.edu".to_owned()));
+    }
+}

@@ -1,0 +1,319 @@
+//! The inverted index and ranked retrieval.
+
+use crate::{Bm25Params, Query};
+use crate::tokenizer::index_tokens;
+use semex_model::names::attr;
+use semex_model::ClassId;
+use semex_store::{ObjectId, Store};
+use std::collections::HashMap;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching object.
+    pub object: ObjectId,
+    /// BM25 relevance score (higher is better).
+    pub score: f64,
+    /// Number of distinct query terms the object matched.
+    pub matched_terms: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    doc: u32, // dense doc index
+    weighted_tf: f32,
+}
+
+/// Field weights: hits in identity fields outrank body hits.
+fn field_weight(attr_name: &str) -> f64 {
+    match attr_name {
+        attr::NAME | attr::TITLE | attr::SUBJECT => 3.0,
+        attr::EMAIL | attr::ABBREVIATION => 2.5,
+        attr::PATH | attr::URL | attr::LOCATION => 1.5,
+        _ => 1.0,
+    }
+}
+
+/// An inverted index over the indexed string attributes of store objects.
+///
+/// Build with [`SearchIndex::build`] (after reconciliation, so merged
+/// objects are single documents pooling all their surface forms), or grow
+/// incrementally with [`SearchIndex::add_object`].
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    docs: Vec<ObjectId>,
+    doc_class: Vec<ClassId>,
+    doc_len: Vec<f32>,
+    doc_of: HashMap<ObjectId, u32>,
+    total_len: f64,
+    params: Bm25Params,
+}
+
+impl SearchIndex {
+    /// An empty index.
+    pub fn new(params: Bm25Params) -> Self {
+        SearchIndex {
+            params,
+            ..Default::default()
+        }
+    }
+
+    /// Index every live object of the store.
+    pub fn build(store: &Store) -> Self {
+        let mut idx = SearchIndex::new(Bm25Params::default());
+        for obj in store.objects() {
+            idx.add_object(store, obj);
+        }
+        idx
+    }
+
+    /// Add (or re-add) one object. Re-adding an object replaces nothing —
+    /// call only for fresh objects; after reconciliation rebuild instead.
+    pub fn add_object(&mut self, store: &Store, obj: ObjectId) {
+        let obj = store.resolve(obj);
+        if self.doc_of.contains_key(&obj) {
+            return;
+        }
+        let o = store.object(obj);
+        let model = store.model();
+        let doc = self.docs.len() as u32;
+        let mut terms: HashMap<String, f64> = HashMap::new();
+        let mut dl = 0.0f64;
+        for (a, v) in &o.attrs {
+            let def = model.attr_def(*a);
+            if !def.indexed {
+                continue;
+            }
+            let Some(text) = v.as_str() else { continue };
+            let w = field_weight(&def.name);
+            for t in index_tokens(text) {
+                *terms.entry(t).or_insert(0.0) += w;
+                dl += 1.0;
+            }
+        }
+        if terms.is_empty() {
+            return;
+        }
+        self.docs.push(obj);
+        self.doc_class.push(o.class);
+        self.doc_len.push(dl as f32);
+        self.doc_of.insert(obj, doc);
+        self.total_len += dl;
+        for (t, weighted_tf) in terms {
+            self.postings.entry(t).or_default().push(Posting {
+                doc,
+                weighted_tf: weighted_tf as f32,
+            });
+        }
+    }
+
+    /// Number of indexed documents (objects).
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings.get(term).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Run a parsed query, returning the top `k` hits ranked by BM25 with
+    /// an all-terms boost. The class filter (if any) is resolved against
+    /// the store's model.
+    pub fn search(&self, store: &Store, query: &Query, k: usize) -> Vec<Hit> {
+        if query.is_empty() || self.docs.is_empty() {
+            return Vec::new();
+        }
+        let class_filter: Option<ClassId> = query
+            .class_filter
+            .as_deref()
+            .and_then(|name| store.model().class(name));
+        if query.class_filter.is_some() && class_filter.is_none() {
+            return Vec::new(); // unknown class matches nothing
+        }
+        let n = self.docs.len();
+        let avg_dl = self.total_len / n as f64;
+        let mut scores: HashMap<u32, (f64, usize)> = HashMap::new();
+        for term in &query.terms {
+            let Some(postings) = self.postings.get(term) else {
+                continue;
+            };
+            let df = postings.len();
+            for p in postings {
+                let dl = self.doc_len[p.doc as usize] as f64;
+                let s = self
+                    .params
+                    .score(p.weighted_tf as f64, df, n, dl, avg_dl);
+                let e = scores.entry(p.doc).or_insert((0.0, 0));
+                e.0 += s;
+                e.1 += 1;
+            }
+        }
+        let n_terms = query.terms.len();
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .filter(|(doc, _)| {
+                class_filter
+                    .map(|c| self.doc_class[*doc as usize] == c)
+                    .unwrap_or(true)
+            })
+            .map(|(doc, (mut score, matched))| {
+                if matched == n_terms && n_terms > 1 {
+                    score *= self.params.all_terms_boost;
+                }
+                Hit {
+                    object: self.docs[doc as usize],
+                    score,
+                    matched_terms: matched,
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.object.cmp(&b.object))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Convenience: parse and run a query string.
+    pub fn search_str(&self, store: &Store, query: &str, k: usize) -> Vec<Hit> {
+        self.search(store, &Query::parse(query), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::class;
+    use semex_model::Value;
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn sample_store() -> Store {
+        let mut st = Store::with_builtin_model();
+        let _ = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let model = st.model();
+        let person = model.class(class::PERSON).unwrap();
+        let publication = model.class(class::PUBLICATION).unwrap();
+        let message = model.class(class::MESSAGE).unwrap();
+        let a_name = model.attr(attr::NAME).unwrap();
+        let a_email = model.attr(attr::EMAIL).unwrap();
+        let a_title = model.attr(attr::TITLE).unwrap();
+        let a_subject = model.attr(attr::SUBJECT).unwrap();
+        let a_body = model.attr(attr::BODY).unwrap();
+
+        let p1 = st.add_object(person);
+        st.add_attr(p1, a_name, Value::from("Xin Luna Dong")).unwrap();
+        st.add_attr(p1, a_email, Value::from("luna@cs.example.edu")).unwrap();
+        let p2 = st.add_object(person);
+        st.add_attr(p2, a_name, Value::from("Alon Halevy")).unwrap();
+
+        let pb = st.add_object(publication);
+        st.add_attr(pb, a_title, Value::from("Reference Reconciliation in Complex Information Spaces"))
+            .unwrap();
+
+        let m = st.add_object(message);
+        st.add_attr(m, a_subject, Value::from("reconciliation demo")).unwrap();
+        st.add_attr(
+            m,
+            a_body,
+            Value::from("long body mentioning reconciliation and more reconciliation text about the demo session"),
+        )
+        .unwrap();
+        st
+    }
+
+    #[test]
+    fn finds_objects_by_any_field() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        assert_eq!(idx.doc_count(), 4);
+        let hits = idx.search_str(&st, "luna", 10);
+        assert_eq!(hits.len(), 1);
+        let hits = idx.search_str(&st, "luna@cs.example.edu", 10);
+        assert_eq!(hits.len(), 1);
+        let hits = idx.search_str(&st, "reconciliation", 10);
+        assert_eq!(hits.len(), 2, "publication and message");
+    }
+
+    #[test]
+    fn identity_fields_outrank_bodies() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        let hits = idx.search_str(&st, "reconciliation", 10);
+        // The publication (title field, weight 3) must outrank the message
+        // despite the message's higher raw term frequency in the body.
+        let model = st.model();
+        let top_class = st.object(hits[0].object).class;
+        assert_eq!(model.class_def(top_class).name, class::PUBLICATION);
+    }
+
+    #[test]
+    fn class_filter() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        let hits = idx.search_str(&st, "class:Message reconciliation", 10);
+        assert_eq!(hits.len(), 1);
+        let hits = idx.search_str(&st, "class:Venue reconciliation", 10);
+        assert!(hits.is_empty());
+        let hits = idx.search_str(&st, "class:Bogus reconciliation", 10);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn all_terms_boost_orders_results() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        let hits = idx.search_str(&st, "reconciliation demo", 10);
+        assert!(hits.len() >= 2);
+        // The message matches both terms; the publication only one.
+        assert_eq!(hits[0].matched_terms, 2);
+        let model = st.model();
+        assert_eq!(
+            model.class_def(st.object(hits[0].object).class).name,
+            class::MESSAGE
+        );
+    }
+
+    #[test]
+    fn empty_query_and_k_truncation() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        assert!(idx.search_str(&st, "", 10).is_empty());
+        assert!(idx.search_str(&st, "the of", 10).is_empty());
+        let hits = idx.search_str(&st, "reconciliation", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn merged_objects_are_single_documents() {
+        let mut st = sample_store();
+        let model = st.model();
+        let person = model.class(class::PERSON).unwrap();
+        let a_name = model.attr(attr::NAME).unwrap();
+        let p3 = st.add_object(person);
+        st.add_attr(p3, a_name, Value::from("X. Dong")).unwrap();
+        let p1 = st.objects_of_class(person).next().unwrap();
+        st.merge(p1, p3).unwrap();
+        let idx = SearchIndex::build(&st);
+        let hits = idx.search_str(&st, "dong", 10);
+        assert_eq!(hits.len(), 1, "one merged person document");
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        assert!(idx.term_count() > 5);
+        assert_eq!(idx.df("reconciliation"), 2);
+        assert_eq!(idx.df("nonexistentterm"), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Index tokenization.
+
+/// Stopwords excluded from the index (query terms that are stopwords are
+/// also dropped, so "the demo" and "demo" match the same objects).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "i",
+    "in", "is", "it", "its", "no", "not", "of", "on", "or", "our", "re", "so", "that", "the",
+    "their", "then", "there", "these", "they", "this", "to", "was", "we", "were", "will",
+    "with", "you", "your",
+];
+
+/// Tokenize text for indexing: lowercase alphanumeric runs, stopwords
+/// removed, single characters dropped. E-mail-ish tokens (`a@b.c`) are
+/// additionally split so both the full address and its parts match.
+pub fn index_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        // Keep a joined form of address-like tokens.
+        if raw.contains('@') {
+            let joined: String = raw
+                .chars()
+                .filter(|c| c.is_alphanumeric() || *c == '@' || *c == '.')
+                .collect::<String>()
+                .to_lowercase();
+            let trimmed = joined.trim_matches('.');
+            if trimmed.len() > 2 {
+                out.push(trimmed.to_owned());
+            }
+        }
+        let mut cur = String::new();
+        for c in raw.chars() {
+            if c.is_alphanumeric() {
+                cur.extend(c.to_lowercase());
+            } else if !cur.is_empty() {
+                push_token(&mut out, std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            push_token(&mut out, cur);
+        }
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    if tok.chars().count() > 1 && !STOPWORDS.contains(&tok.as_str()) {
+        out.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            index_tokens("The Reconciliation of References!"),
+            vec!["reconciliation", "references"]
+        );
+        assert_eq!(index_tokens("a I x"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn email_tokens_kept_whole_and_split() {
+        let toks = index_tokens("mail luna@cs.example.edu now");
+        assert!(toks.contains(&"luna@cs.example.edu".to_owned()));
+        assert!(toks.contains(&"luna".to_owned()));
+        assert!(toks.contains(&"cs".to_owned()));
+        assert!(toks.contains(&"mail".to_owned()));
+    }
+
+    #[test]
+    fn stopwords_removed_consistently() {
+        assert_eq!(index_tokens("the demo"), index_tokens("demo"));
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_are_lowercase_and_multichar(s in ".{0,60}") {
+            for t in index_tokens(&s) {
+                prop_assert!(t.chars().count() > 1);
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the keyword index: self-retrieval, df consistency,
+//! ranking stability.
+
+use proptest::prelude::*;
+use semex_index::{index_tokens, Query, SearchIndex};
+use semex_model::names::{attr, class};
+use semex_model::Value;
+use semex_store::Store;
+
+fn store_of(titles: &[Vec<String>]) -> Store {
+    let mut st = Store::with_builtin_model();
+    let c_pub = st.model().class(class::PUBLICATION).unwrap();
+    let a_title = st.model().attr(attr::TITLE).unwrap();
+    for words in titles {
+        let p = st.add_object(c_pub);
+        st.add_attr(p, a_title, Value::from(words.join(" ").as_str()))
+            .unwrap();
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_document_finds_itself(
+        titles in prop::collection::vec(prop::collection::vec("[a-z]{3,9}", 2..6), 1..12),
+    ) {
+        let st = store_of(&titles);
+        let idx = SearchIndex::build(&st);
+        for (i, words) in titles.iter().enumerate() {
+            let hits = idx.search_str(&st, &words.join(" "), titles.len());
+            let expected = semex_store::ObjectId(i as u64);
+            prop_assert!(
+                hits.iter().any(|h| h.object == expected),
+                "document {i} must match its own title"
+            );
+        }
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences(
+        word in "[a-z]{4,8}",
+        repeats in 1usize..5,
+        docs in 1usize..6,
+    ) {
+        // Each document repeats the word several times; df counts documents.
+        let titles: Vec<Vec<String>> = (0..docs)
+            .map(|i| {
+                let mut t = vec![word.clone(); repeats];
+                t.push(format!("unique{i}"));
+                t
+            })
+            .collect();
+        let st = store_of(&titles);
+        let idx = SearchIndex::build(&st);
+        prop_assert_eq!(idx.df(&word), docs);
+    }
+
+    #[test]
+    fn results_are_sorted_and_truncated(
+        titles in prop::collection::vec(prop::collection::vec("[a-m]{3,6}", 2..5), 2..14),
+        k in 1usize..6,
+    ) {
+        let st = store_of(&titles);
+        let idx = SearchIndex::build(&st);
+        // Query with the most common token so several docs match.
+        let mut counts = std::collections::HashMap::new();
+        for t in &titles {
+            for w in t {
+                *counts.entry(w.clone()).or_insert(0usize) += 1;
+            }
+        }
+        let (common, _) = counts.into_iter().max_by_key(|(_, c)| *c).unwrap();
+        let hits = idx.search_str(&st, &common, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "descending scores");
+        }
+    }
+
+    #[test]
+    fn query_tokens_match_index_tokens(text in "[A-Za-z0-9@. ]{0,60}") {
+        // Whatever the tokenizer indexes, the query parser produces the
+        // same terms — no silent mismatch between the two paths.
+        let q = Query::parse(&text);
+        prop_assert_eq!(q.terms, index_tokens(&text));
+    }
+}
+
+#[test]
+fn incremental_add_matches_batch_build() {
+    let titles: Vec<Vec<String>> = (0..8)
+        .map(|i| vec![format!("alpha{i}"), "shared".to_owned()])
+        .collect();
+    let st = store_of(&titles);
+    let batch = SearchIndex::build(&st);
+    let mut inc = SearchIndex::new(semex_index::Bm25Params::default());
+    for obj in st.objects() {
+        inc.add_object(&st, obj);
+    }
+    assert_eq!(batch.doc_count(), inc.doc_count());
+    assert_eq!(batch.term_count(), inc.term_count());
+    let a = batch.search_str(&st, "shared alpha3", 5);
+    let b = inc.search_str(&st, "shared alpha3", 5);
+    assert_eq!(
+        a.iter().map(|h| h.object).collect::<Vec<_>>(),
+        b.iter().map(|h| h.object).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,380 @@
+//! Schema matching for on-the-fly integration.
+
+use semex_extract::csv::Table;
+use semex_extract::parse_date;
+use semex_model::names::attr as attr_names;
+use semex_model::{AttrId, ClassId, ValueKind};
+use semex_similarity::name::PersonName;
+use semex_similarity::{jaro_winkler, tokenize_lower};
+use semex_store::Store;
+use std::collections::HashSet;
+
+/// Column-header synonyms for the built-in attributes.
+const SYNONYMS: &[(&str, &[&str])] = &[
+    (attr_names::NAME, &["name", "full name", "fullname", "person", "contact", "author", "attendee", "who"]),
+    (attr_names::EMAIL, &["email", "e-mail", "mail", "email address", "e-mail address"]),
+    (attr_names::PHONE, &["phone", "tel", "telephone", "mobile", "cell", "phone number"]),
+    (attr_names::TITLE, &["title", "paper", "publication", "talk"]),
+    (attr_names::YEAR, &["year", "yr", "published"]),
+    (attr_names::DATE, &["date", "when", "time", "day"]),
+    (attr_names::URL, &["url", "link", "website", "homepage", "web"]),
+    (attr_names::LOCATION, &["location", "place", "city", "venue location", "room"]),
+    (attr_names::FIRST_NAME, &["first", "first name", "given", "given name"]),
+    (attr_names::LAST_NAME, &["last", "last name", "family", "surname", "family name"]),
+];
+
+/// Statistical profile of one column's values (over a sample).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnProfile {
+    /// Column header.
+    pub header: String,
+    /// Fraction of non-empty values that parse as e-mail addresses.
+    pub email_frac: f64,
+    /// Fraction that parse as dates.
+    pub date_frac: f64,
+    /// Fraction that are plausible years (1800–2100).
+    pub year_frac: f64,
+    /// Fraction that parse as integers.
+    pub int_frac: f64,
+    /// Fraction that look like person names (given + family parsed).
+    pub name_frac: f64,
+    /// Fraction that look like phone numbers.
+    pub phone_frac: f64,
+    /// Non-empty values seen.
+    pub non_empty: usize,
+}
+
+impl ColumnProfile {
+    /// Profile a column from its values.
+    pub fn from_values<'a>(header: &str, values: impl Iterator<Item = &'a str>) -> ColumnProfile {
+        let mut p = ColumnProfile {
+            header: header.to_owned(),
+            ..Default::default()
+        };
+        let mut counts = [0usize; 6];
+        for v in values {
+            let v = v.trim();
+            if v.is_empty() {
+                continue;
+            }
+            p.non_empty += 1;
+            if semex_similarity::email::EmailAddr::parse(v).is_some() {
+                counts[0] += 1;
+            }
+            if parse_date(v).is_some() {
+                counts[1] += 1;
+            }
+            if let Ok(n) = v.parse::<i64>() {
+                counts[3] += 1;
+                if (1800..=2100).contains(&n) {
+                    counts[2] += 1;
+                }
+            }
+            let name = PersonName::parse(v);
+            if name.first.is_some() && name.last.is_some() && !v.contains('@') {
+                counts[4] += 1;
+            }
+            let digits = v.chars().filter(char::is_ascii_digit).count();
+            if digits >= 7 && v.chars().all(|c| c.is_ascii_digit() || "+-() .".contains(c)) {
+                counts[5] += 1;
+            }
+        }
+        if p.non_empty > 0 {
+            let n = p.non_empty as f64;
+            p.email_frac = counts[0] as f64 / n;
+            p.date_frac = counts[1] as f64 / n;
+            p.year_frac = counts[2] as f64 / n;
+            p.int_frac = counts[3] as f64 / n;
+            p.name_frac = counts[4] as f64 / n;
+            p.phone_frac = counts[5] as f64 / n;
+        }
+        p
+    }
+}
+
+/// One matched column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedColumn {
+    /// Index into the table's columns.
+    pub column: usize,
+    /// The attribute the column maps to.
+    pub attr: AttrId,
+    /// Matcher confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// A complete table → class mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Target class for each row.
+    pub class: ClassId,
+    /// Column assignments (at most one column per attribute).
+    pub columns: Vec<MatchedColumn>,
+    /// Overall mapping quality (mean matched confidence, weighted by
+    /// coverage).
+    pub score: f64,
+}
+
+/// The schema matcher: knows the store's model and samples its instance
+/// values for overlap signals.
+pub struct SchemaMatcher<'a> {
+    store: &'a Store,
+    /// Lowercased sample values per attribute, for instance overlap.
+    samples: Vec<HashSet<String>>,
+}
+
+/// How many store values to sample per attribute.
+const SAMPLE_CAP: usize = 2000;
+/// Minimum per-column confidence to accept an assignment.
+const MIN_CONFIDENCE: f64 = 0.45;
+
+impl<'a> SchemaMatcher<'a> {
+    /// Build a matcher over the store (samples instance values once).
+    pub fn new(store: &'a Store) -> Self {
+        let model = store.model();
+        let mut samples: Vec<HashSet<String>> = vec![HashSet::new(); model.attr_count()];
+        'outer: for obj in store.objects() {
+            for (a, v) in &store.object(obj).attrs {
+                if let Some(s) = v.as_str() {
+                    let set = &mut samples[a.index()];
+                    if set.len() < SAMPLE_CAP {
+                        set.insert(s.to_lowercase());
+                    }
+                }
+            }
+            if samples.iter().all(|s| s.len() >= SAMPLE_CAP) {
+                break 'outer;
+            }
+        }
+        SchemaMatcher { store, samples }
+    }
+
+    /// Header-name similarity against an attribute (synonyms + fuzzy).
+    fn header_score(&self, header: &str, attr: AttrId) -> f64 {
+        let def = self.store.model().attr_def(attr);
+        let h = tokenize_lower(header).join(" ");
+        if h.is_empty() {
+            return 0.0;
+        }
+        let attr_lower = def.name.to_lowercase();
+        if h == attr_lower {
+            return 1.0;
+        }
+        let mut best = jaro_winkler(&h, &attr_lower) * 0.8;
+        if let Some((_, syns)) = SYNONYMS.iter().find(|(n, _)| *n == def.name) {
+            for s in *syns {
+                // Normalize synonyms the same way headers are normalized
+                // ("e-mail" and "E-Mail" both become "e mail").
+                let s_norm = tokenize_lower(s).join(" ");
+                if h == s_norm {
+                    return 0.95;
+                }
+                best = best.max(jaro_winkler(&h, &s_norm) * 0.85);
+            }
+        }
+        best
+    }
+
+    /// Instance-based score of a column profile against an attribute.
+    fn instance_score(&self, table: &Table, col: usize, profile: &ColumnProfile, attr: AttrId) -> f64 {
+        let def = self.store.model().attr_def(attr);
+        let mut score: f64 = match (def.name.as_str(), def.kind) {
+            (attr_names::EMAIL, _) => profile.email_frac,
+            (attr_names::YEAR, _) => profile.year_frac,
+            (attr_names::DATE, _) => profile.date_frac * 0.9,
+            (attr_names::PHONE, _) => profile.phone_frac,
+            (attr_names::NAME | attr_names::FIRST_NAME | attr_names::LAST_NAME, _) => {
+                profile.name_frac * 0.8
+            }
+            (_, ValueKind::Int) => profile.int_frac * 0.6,
+            _ => 0.0,
+        };
+        // Value overlap with what the store already holds for this attr.
+        let sample = &self.samples[attr.index()];
+        if !sample.is_empty() && profile.non_empty > 0 {
+            let hits = table
+                .values(col)
+                .filter(|v| !v.trim().is_empty())
+                .filter(|v| sample.contains(&v.trim().to_lowercase()))
+                .count();
+            let overlap = hits as f64 / profile.non_empty as f64;
+            score = score.max(overlap);
+        }
+        score
+    }
+
+    /// Match a table against one class: greedy best assignment of columns
+    /// to the class's declared attributes.
+    pub fn match_class(&self, table: &Table, class: ClassId) -> Mapping {
+        let model = self.store.model();
+        let attrs = &model.class_def(class).attrs;
+        let profiles: Vec<ColumnProfile> = (0..table.headers.len())
+            .map(|c| ColumnProfile::from_values(&table.headers[c], table.values(c)))
+            .collect();
+
+        // Score every (column, attr) pair.
+        let mut scored: Vec<(f64, usize, AttrId)> = Vec::new();
+        for (c, profile) in profiles.iter().enumerate() {
+            for &a in attrs {
+                let s = 0.55 * self.header_score(&profile.header, a)
+                    + 0.45 * self.instance_score(table, c, profile, a);
+                if s >= MIN_CONFIDENCE {
+                    scored.push((s, c, a));
+                }
+            }
+        }
+        scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut used_cols = HashSet::new();
+        let mut used_attrs = HashSet::new();
+        let mut columns = Vec::new();
+        for (s, c, a) in scored {
+            if used_cols.contains(&c) || used_attrs.contains(&a) {
+                continue;
+            }
+            used_cols.insert(c);
+            used_attrs.insert(a);
+            columns.push(MatchedColumn {
+                column: c,
+                attr: a,
+                confidence: s,
+            });
+        }
+        columns.sort_by_key(|m| m.column);
+        let coverage = columns.len() as f64 / table.headers.len().max(1) as f64;
+        let mean: f64 = if columns.is_empty() {
+            0.0
+        } else {
+            columns.iter().map(|m| m.confidence).sum::<f64>() / columns.len() as f64
+        };
+        Mapping {
+            class,
+            columns,
+            score: mean * (0.5 + 0.5 * coverage),
+        }
+    }
+
+    /// Match a table against every reconcilable class and pick the best
+    /// mapping. Returns `None` when nothing clears the confidence bar.
+    pub fn match_table(&self, table: &Table) -> Option<Mapping> {
+        let model = self.store.model();
+        let mut best: Option<Mapping> = None;
+        for (class, def) in model.classes() {
+            if !def.reconcilable {
+                continue;
+            }
+            let m = self.match_class(table, class);
+            if m.columns.is_empty() {
+                continue;
+            }
+            if best.as_ref().map(|b| m.score > b.score).unwrap_or(true) {
+                best = Some(m);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_extract::csv::parse_csv;
+    use semex_model::names::class;
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn empty_store() -> Store {
+        let mut st = Store::with_builtin_model();
+        st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        st
+    }
+
+    #[test]
+    fn profiles_detect_value_shapes() {
+        let p = ColumnProfile::from_values(
+            "col",
+            ["ann@x.edu", "bob@y.org", ""].iter().copied(),
+        );
+        assert_eq!(p.non_empty, 2);
+        assert_eq!(p.email_frac, 1.0);
+        let p = ColumnProfile::from_values("col", ["2004", "1999"].iter().copied());
+        assert_eq!(p.year_frac, 1.0);
+        assert_eq!(p.int_frac, 1.0);
+        let p = ColumnProfile::from_values("col", ["Ann Walker", "Bob M. Fisher"].iter().copied());
+        assert_eq!(p.name_frac, 1.0);
+        let p = ColumnProfile::from_values("col", ["+1-555-0100", "555 010 1234"].iter().copied());
+        assert_eq!(p.phone_frac, 1.0);
+    }
+
+    #[test]
+    fn header_synonyms_match() {
+        let st = empty_store();
+        let m = SchemaMatcher::new(&st);
+        let a_email = st.model().attr(attr_names::EMAIL).unwrap();
+        assert!(m.header_score("E-Mail", a_email) > 0.9);
+        assert!(m.header_score("email address", a_email) > 0.9);
+        assert!(m.header_score("quantity", a_email) < 0.5);
+    }
+
+    #[test]
+    fn people_table_maps_to_person() {
+        let st = empty_store();
+        let table = parse_csv(
+            "full name,e-mail,phone\nAnn Walker,ann@x.edu,555-0101\nBob Fisher,bob@y.org,555-0102\n",
+        )
+        .unwrap();
+        let matcher = SchemaMatcher::new(&st);
+        let mapping = matcher.match_table(&table).unwrap();
+        assert_eq!(st.model().class_def(mapping.class).name, class::PERSON);
+        assert_eq!(mapping.columns.len(), 3, "{mapping:?}");
+        let attrs: Vec<&str> = mapping
+            .columns
+            .iter()
+            .map(|c| st.model().attr_def(c.attr).name.as_str())
+            .collect();
+        assert_eq!(attrs, vec!["name", "email", "phone"]);
+    }
+
+    #[test]
+    fn publications_table_maps_to_publication() {
+        let st = empty_store();
+        let table = parse_csv(
+            "title,year\nAdaptive Queries,2004\nSemantic Browsing,2005\n",
+        )
+        .unwrap();
+        let matcher = SchemaMatcher::new(&st);
+        let mapping = matcher.match_table(&table).unwrap();
+        assert_eq!(st.model().class_def(mapping.class).name, class::PUBLICATION);
+    }
+
+    #[test]
+    fn instance_overlap_rescues_cryptic_headers() {
+        // Headers are useless ("c1", "c2") but the values match what the
+        // store already knows about people.
+        let mut st = empty_store();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr_names::NAME).unwrap();
+        let a_email = st.model().attr(attr_names::EMAIL).unwrap();
+        for (n, e) in [("Ann Walker", "ann@x.edu"), ("Bob Fisher", "bob@y.org")] {
+            let p = st.add_object(c_person);
+            st.add_attr(p, a_name, semex_model::Value::from(n)).unwrap();
+            st.add_attr(p, a_email, semex_model::Value::from(e)).unwrap();
+        }
+        let table = parse_csv("c1,c2\nAnn Walker,ann@x.edu\nBob Fisher,bob@y.org\n").unwrap();
+        let matcher = SchemaMatcher::new(&st);
+        let mapping = matcher.match_table(&table).unwrap();
+        assert_eq!(st.model().class_def(mapping.class).name, class::PERSON);
+        assert_eq!(mapping.columns.len(), 2);
+    }
+
+    #[test]
+    fn hopeless_table_yields_nothing() {
+        let st = empty_store();
+        let table = parse_csv("qty,sku\n3,AB-1\n7,CD-2\n").unwrap();
+        let matcher = SchemaMatcher::new(&st);
+        let mapping = matcher.match_table(&table);
+        assert!(
+            mapping.is_none() || mapping.as_ref().unwrap().score < 0.6,
+            "{mapping:?}"
+        );
+    }
+}

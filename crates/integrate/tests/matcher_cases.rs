@@ -1,0 +1,101 @@
+//! Schema-matcher behaviour across realistic table shapes.
+
+use semex_extract::csv::parse_csv;
+use semex_integrate::{import, ColumnProfile, SchemaMatcher};
+use semex_model::names::class;
+use semex_recon::ReconConfig;
+use semex_store::{SourceInfo, SourceKind, Store};
+
+fn empty_store() -> Store {
+    let mut st = Store::with_builtin_model();
+    st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+    st
+}
+
+#[test]
+fn split_name_columns_map_to_first_and_last() {
+    let st = empty_store();
+    let table = parse_csv(
+        "first name,surname,e-mail\nAnn,Walker,ann@x.edu\nBob,Fisher,bob@y.org\n",
+    )
+    .unwrap();
+    let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
+    assert_eq!(st.model().class_def(mapping.class).name, class::PERSON);
+    let attrs: Vec<&str> = mapping
+        .columns
+        .iter()
+        .map(|c| st.model().attr_def(c.attr).name.as_str())
+        .collect();
+    assert!(attrs.contains(&"firstName"), "{attrs:?}");
+    assert!(attrs.contains(&"lastName"), "{attrs:?}");
+    assert!(attrs.contains(&"email"), "{attrs:?}");
+}
+
+#[test]
+fn each_attr_claims_at_most_one_column() {
+    let st = empty_store();
+    // Two columns that both look like e-mails: only one may map to email.
+    let table = parse_csv(
+        "mail,backup mail\nann@x.edu,ann@alt.example\nbob@y.org,bob@alt.example\n",
+    )
+    .unwrap();
+    let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
+    let email_cols = mapping
+        .columns
+        .iter()
+        .filter(|c| st.model().attr_def(c.attr).name == "email")
+        .count();
+    assert_eq!(email_cols, 1);
+}
+
+#[test]
+fn date_and_url_detection() {
+    let p = ColumnProfile::from_values(
+        "when",
+        ["2005-03-15", "15 Mar 2005", "2004-12-01"].iter().copied(),
+    );
+    assert_eq!(p.date_frac, 1.0);
+    let p = ColumnProfile::from_values("c", ["", "", ""].iter().copied());
+    assert_eq!(p.non_empty, 0);
+    assert_eq!(p.email_frac, 0.0);
+}
+
+#[test]
+fn venue_like_table_is_not_forced_onto_person() {
+    let st = empty_store();
+    // Titles + years: should go to Publication, never Person.
+    let table = parse_csv(
+        "title,year\nStreaming joins revisited,2003\nAdaptive indexing,2004\n",
+    )
+    .unwrap();
+    let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
+    assert_eq!(st.model().class_def(mapping.class).name, class::PUBLICATION);
+}
+
+#[test]
+fn import_is_idempotent_for_identical_rows() {
+    let mut st = empty_store();
+    let table = parse_csv("name,email\nAnn Walker,ann@x.edu\n").unwrap();
+    let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
+    let r1 = import(&mut st, "a", &table, &mapping, &ReconConfig::sequential()).unwrap();
+    assert_eq!(r1.merged_into_existing, 0, "first import is all-new");
+    let r2 = import(&mut st, "b", &table, &mapping, &ReconConfig::sequential()).unwrap();
+    assert_eq!(r2.merged_into_existing, 1, "second import merges into the first");
+    let c_person = st.model().class(class::PERSON).unwrap();
+    assert_eq!(st.class_count(c_person), 1);
+    // Both imports are recorded as provenance on the single object.
+    let ann = st.objects_of_class(c_person).next().unwrap();
+    assert!(st.object(ann).sources.len() >= 2);
+}
+
+#[test]
+fn single_column_of_emails_still_maps() {
+    let st = empty_store();
+    let table = parse_csv("contact\nann@x.edu\nbob@y.org\n").unwrap();
+    let mapping = SchemaMatcher::new(&st).match_table(&table);
+    // "contact" is a name synonym but the values are e-mails; either way a
+    // Person mapping must come out with at least one confident column.
+    let mapping = mapping.expect("person mapping");
+    assert_eq!(st.model().class_def(mapping.class).name, class::PERSON);
+    assert_eq!(mapping.columns.len(), 1);
+}

@@ -1,0 +1,101 @@
+//! Attribute definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an attribute in a [`crate::DomainModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The dense index of this attribute.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The type an attribute's values are expected to have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// UTF-8 text.
+    Str,
+    /// Signed integer.
+    Int,
+    /// Floating point.
+    Float,
+    /// Epoch-seconds timestamp.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Str => "str",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Date => "date",
+            ValueKind::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Definition of an attribute: a globally unique name and an expected value
+/// kind.
+///
+/// Attributes are global (not scoped to a class) so that schema matching and
+/// keyword search can treat `name` uniformly whether it appears on a Person
+/// or an Organization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttrDef {
+    /// Unique attribute name, e.g. `"email"`.
+    pub name: String,
+    /// The expected value kind. Stores enforce this on insertion.
+    pub kind: ValueKind,
+    /// Whether the attribute's text should be fed to the keyword index.
+    pub indexed: bool,
+}
+
+impl AttrDef {
+    /// A new indexed attribute of the given kind.
+    pub fn new(name: impl Into<String>, kind: ValueKind) -> Self {
+        AttrDef {
+            name: name.into(),
+            kind,
+            indexed: kind == ValueKind::Str,
+        }
+    }
+
+    /// Builder-style: exclude the attribute from the keyword index (used for
+    /// opaque identifiers such as `messageId`).
+    pub fn unindexed(mut self) -> Self {
+        self.indexed = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_attrs_indexed_by_default() {
+        assert!(AttrDef::new("name", ValueKind::Str).indexed);
+        assert!(!AttrDef::new("year", ValueKind::Int).indexed);
+        assert!(!AttrDef::new("messageId", ValueKind::Str).unindexed().indexed);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ValueKind::Str.to_string(), "str");
+        assert_eq!(ValueKind::Date.to_string(), "date");
+    }
+}

@@ -1,0 +1,110 @@
+//! Class definitions.
+
+use crate::AttrId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a class in a [`crate::DomainModel`].
+///
+/// Ids are dense indices assigned at registration time and are stable for the
+/// lifetime of the model (classes are never removed, only added — the model
+/// is malleable by extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The dense index of this class.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Definition of a class: its name and the attributes instances of the class
+/// are expected to carry.
+///
+/// The attribute list is advisory (SEMEX is open-world: extraction may attach
+/// any attribute to any instance), but it drives schema matching during
+/// on-the-fly integration and the display order in browsers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Unique class name, e.g. `"Person"`.
+    pub name: String,
+    /// Declared attributes in display order.
+    pub attrs: Vec<AttrId>,
+    /// The attribute whose value labels an instance in listings (usually
+    /// `name`, `title` or `subject`).
+    pub label_attr: Option<AttrId>,
+    /// True for the classes whose instances denote real-world entities that
+    /// reference reconciliation should consolidate (Person, Publication,
+    /// Venue, Organization). Structural classes (Message, File, …) have
+    /// system-assigned identity and are not reconciled by similarity.
+    pub reconcilable: bool,
+}
+
+impl ClassDef {
+    /// Create a class definition with no declared attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef {
+            name: name.into(),
+            attrs: Vec::new(),
+            label_attr: None,
+            reconcilable: false,
+        }
+    }
+
+    /// Builder-style: declare attributes.
+    pub fn with_attrs(mut self, attrs: Vec<AttrId>) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Builder-style: set the labelling attribute.
+    pub fn with_label(mut self, attr: AttrId) -> Self {
+        self.label_attr = Some(attr);
+        self
+    }
+
+    /// Builder-style: mark the class as subject to reference reconciliation.
+    pub fn reconcilable(mut self) -> Self {
+        self.reconcilable = true;
+        self
+    }
+
+    /// Whether the class declares the given attribute.
+    pub fn declares(&self, attr: AttrId) -> bool {
+        self.attrs.contains(&attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let c = ClassDef::new("Person")
+            .with_attrs(vec![a, b])
+            .with_label(a)
+            .reconcilable();
+        assert_eq!(c.name, "Person");
+        assert!(c.declares(a));
+        assert!(c.declares(b));
+        assert!(!c.declares(AttrId(9)));
+        assert_eq!(c.label_attr, Some(a));
+        assert!(c.reconcilable);
+    }
+
+    #[test]
+    fn class_id_display() {
+        assert_eq!(ClassId(4).to_string(), "c4");
+        assert_eq!(ClassId(4).index(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! The SEMEX *malleable domain model*.
+//!
+//! SEMEX mediates all personal information through a domain model: a set of
+//! **classes** (Person, Message, Publication, …), **attributes** on those
+//! classes, and directed, named **associations** between classes
+//! (`AuthoredBy: Publication -> Person`). On top of the extracted
+//! associations, **derived associations** are defined declaratively by rules
+//! combining inversion, composition and union
+//! (`CoAuthor = AuthoredBy⁻¹ ∘ AuthoredBy`).
+//!
+//! The model is *malleable*: the built-in SEMEX vocabulary
+//! ([`DomainModel::builtin`]) can be extended at runtime with new classes,
+//! attributes, associations and rules, so a user can personalize the model to
+//! their own information space — one of the design points of the paper.
+//!
+//! This crate is purely schematic: it holds no instances. Instances live in
+//! the association database (`semex-store`).
+
+mod attribute;
+mod class;
+mod derived;
+mod model;
+mod relation;
+mod value;
+
+pub use attribute::{AttrDef, AttrId, ValueKind};
+pub use class::{ClassDef, ClassId};
+pub use derived::{DerivedDef, PathExpr, PathStep};
+pub use model::{DomainModel, ModelError};
+pub use relation::{AssocDef, AssocId};
+pub use value::Value;
+
+/// Well-known names of the built-in SEMEX vocabulary, kept in one place so
+/// extractors, reconciliation and the examples never disagree on spelling.
+/// The constants are their own documentation.
+#[allow(missing_docs)]
+pub mod names {
+    /// Built-in class names.
+    pub mod class {
+        pub const PERSON: &str = "Person";
+        pub const MESSAGE: &str = "Message";
+        pub const PUBLICATION: &str = "Publication";
+        pub const VENUE: &str = "Venue";
+        pub const ORGANIZATION: &str = "Organization";
+        pub const FILE: &str = "File";
+        pub const FOLDER: &str = "Folder";
+        pub const EVENT: &str = "Event";
+        pub const PROJECT: &str = "Project";
+        pub const WEB_PAGE: &str = "WebPage";
+    }
+
+    /// Built-in attribute names.
+    pub mod attr {
+        pub const NAME: &str = "name";
+        pub const FIRST_NAME: &str = "firstName";
+        pub const LAST_NAME: &str = "lastName";
+        pub const EMAIL: &str = "email";
+        pub const PHONE: &str = "phone";
+        pub const TITLE: &str = "title";
+        pub const SUBJECT: &str = "subject";
+        pub const BODY: &str = "body";
+        pub const DATE: &str = "date";
+        pub const YEAR: &str = "year";
+        pub const PAGES: &str = "pages";
+        pub const PATH: &str = "path";
+        pub const EXTENSION: &str = "extension";
+        pub const URL: &str = "url";
+        pub const MESSAGE_ID: &str = "messageId";
+        pub const LOCATION: &str = "location";
+        pub const ABBREVIATION: &str = "abbreviation";
+    }
+
+    /// Built-in (extracted) association names.
+    pub mod assoc {
+        pub const SENDER: &str = "Sender";
+        pub const RECIPIENT: &str = "Recipient";
+        pub const CC_RECIPIENT: &str = "CcRecipient";
+        pub const REPLIED_TO: &str = "RepliedTo";
+        pub const ATTACHED_TO: &str = "AttachedTo";
+        pub const AUTHORED_BY: &str = "AuthoredBy";
+        pub const PUBLISHED_IN: &str = "PublishedIn";
+        pub const CITES: &str = "Cites";
+        pub const WORKS_FOR: &str = "WorksFor";
+        pub const MEMBER_OF: &str = "MemberOf";
+        pub const IN_FOLDER: &str = "InFolder";
+        pub const SUBFOLDER_OF: &str = "SubfolderOf";
+        pub const DESCRIBED_BY: &str = "DescribedBy";
+        pub const MENTIONS: &str = "Mentions";
+        pub const ATTENDEE: &str = "Attendee";
+        pub const ORGANIZED_BY: &str = "OrganizedBy";
+        pub const LINKS_TO: &str = "LinksTo";
+        pub const PAGE_MENTIONS: &str = "PageMentions";
+    }
+
+    /// Built-in derived association names.
+    pub mod derived {
+        pub const CO_AUTHOR: &str = "CoAuthor";
+        pub const CORRESPONDED_WITH: &str = "CorrespondedWith";
+        pub const COLLEAGUE: &str = "Colleague";
+        pub const CITED_AUTHOR: &str = "CitedAuthor";
+        pub const CO_ATTENDEE: &str = "CoAttendee";
+    }
+}

@@ -1,0 +1,83 @@
+//! Association (relation) definitions.
+
+use crate::ClassId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an association type in a [`crate::DomainModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AssocId(pub u16);
+
+impl AssocId {
+    /// The dense index of this association type.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AssocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Definition of a directed association type.
+///
+/// An association instance is a triple `(subject, assoc, object)` where
+/// `subject` is an instance of `domain` and `object` an instance of `range`.
+/// Every association is navigable in both directions; `inverse_label` names
+/// the reverse direction for display (`AuthoredBy` ⇄ `AuthorOf`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssocDef {
+    /// Unique association name, e.g. `"AuthoredBy"`.
+    pub name: String,
+    /// Class of the subject.
+    pub domain: ClassId,
+    /// Class of the object.
+    pub range: ClassId,
+    /// Human-readable label for the inverse direction.
+    pub inverse_label: String,
+    /// Whether two subjects sharing an object of this association is evidence
+    /// that the subjects are related (used by reconciliation's dependency
+    /// graph; e.g. two Publication references sharing a Venue).
+    pub recon_evidence: bool,
+}
+
+impl AssocDef {
+    /// A new association from `domain` to `range`.
+    pub fn new(
+        name: impl Into<String>,
+        domain: ClassId,
+        range: ClassId,
+        inverse_label: impl Into<String>,
+    ) -> Self {
+        AssocDef {
+            name: name.into(),
+            domain,
+            range,
+            inverse_label: inverse_label.into(),
+            recon_evidence: true,
+        }
+    }
+
+    /// Builder-style: exclude this association from reconciliation evidence
+    /// (e.g. `InFolder`, which groups unrelated files).
+    pub fn without_recon_evidence(mut self) -> Self {
+        self.recon_evidence = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let d = AssocDef::new("AuthoredBy", ClassId(2), ClassId(0), "AuthorOf");
+        assert_eq!(d.domain, ClassId(2));
+        assert_eq!(d.range, ClassId(0));
+        assert!(d.recon_evidence);
+        assert!(!d.clone().without_recon_evidence().recon_evidence);
+    }
+}

@@ -1,0 +1,158 @@
+//! Attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scalar attribute value.
+///
+/// Associations (references between objects) are *not* values: they are
+/// first-class edges in the association database. Values carry only scalar
+/// payloads attached to an object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// UTF-8 text (names, titles, bodies, …).
+    Str(String),
+    /// Signed integer (years, page counts, …).
+    Int(i64),
+    /// Floating point (scores, sizes, …).
+    Float(f64),
+    /// A timestamp in seconds since the Unix epoch.
+    Date(i64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Text content if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float content if this is a [`Value::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Epoch seconds if this is a [`Value::Date`].
+    pub fn as_date(&self) -> Option<i64> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Boolean content if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The [`super::ValueKind`] of this value.
+    pub fn kind(&self) -> super::ValueKind {
+        use super::ValueKind;
+        match self {
+            Value::Str(_) => ValueKind::Str,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Date(_) => ValueKind::Date,
+            Value::Bool(_) => ValueKind::Bool,
+        }
+    }
+
+    /// Canonical textual rendering, used for indexing and display.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Date(d) => write!(f, "@{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Date(99).as_date(), Some(99));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_int(), None);
+        assert_eq!(Value::from(3i64).as_str(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::from("hello").to_string(), "hello");
+        assert_eq!(Value::from(42i64).to_string(), "42");
+        assert_eq!(Value::Date(7).to_string(), "@7");
+        assert_eq!(Value::from(false).to_string(), "false");
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        use crate::ValueKind;
+        assert_eq!(Value::from("a").kind(), ValueKind::Str);
+        assert_eq!(Value::from(1i64).kind(), ValueKind::Int);
+        assert_eq!(Value::from(1.0).kind(), ValueKind::Float);
+        assert_eq!(Value::Date(0).kind(), ValueKind::Date);
+        assert_eq!(Value::from(true).kind(), ValueKind::Bool);
+    }
+}

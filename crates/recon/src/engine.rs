@@ -1,0 +1,756 @@
+//! The reconciliation engine: dependency-graph propagation with reference
+//! enrichment over blocked candidate pairs.
+
+use crate::blocking::{self, BlockingStats};
+use crate::refs::{RefKind, RefTable};
+use crate::score::{organization_score, person_score, publication_score, venue_score, Pool};
+use crate::{ReconConfig, UnionFind, Variant};
+use semex_model::names::assoc as an;
+use semex_store::{ObjectId, Store};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Outcome of a reconciliation run.
+#[derive(Debug, Clone)]
+pub struct ReconReport {
+    /// The variant that ran.
+    pub variant: Variant,
+    /// References considered.
+    pub refs: usize,
+    /// Candidate pairs after blocking.
+    pub candidates: usize,
+    /// Blocking statistics.
+    pub blocking: BlockingStats,
+    /// Merges applied to the store.
+    pub merges: usize,
+    /// Worklist iterations (candidate evaluations, including re-runs).
+    pub iterations: usize,
+    /// Wall-clock time of the reconciliation (excluding store mutation).
+    pub elapsed: Duration,
+    /// Clusters with more than one member, as store object ids.
+    pub clusters: Vec<Vec<ObjectId>>,
+}
+
+/// Run reconciliation on a store and apply the resulting merges.
+pub fn reconcile(store: &mut Store, variant: Variant, cfg: &ReconConfig) -> ReconReport {
+    run(store, variant, cfg, None)
+}
+
+/// Incremental reconciliation: consider only candidate pairs that involve
+/// at least one of `new_objects` (the references added since the last
+/// run). Evidence still flows through the *whole* reference graph, so a
+/// new reference can merge with any existing one; what is skipped is the
+/// re-evaluation of old-old pairs, which previous runs already settled.
+/// This is the fast path behind the platform's ingest-a-new-source loop —
+/// on a settled store it costs milliseconds where a full run costs
+/// seconds.
+pub fn reconcile_incremental(
+    store: &mut Store,
+    new_objects: &[semex_store::ObjectId],
+    variant: Variant,
+    cfg: &ReconConfig,
+) -> ReconReport {
+    run(store, variant, cfg, Some(new_objects))
+}
+
+fn run(
+    store: &mut Store,
+    variant: Variant,
+    cfg: &ReconConfig,
+    only_touching: Option<&[semex_store::ObjectId]>,
+) -> ReconReport {
+    let start = Instant::now();
+    let table = RefTable::build(store, cfg.max_fanout);
+    let mut pairs = blocking::candidate_pairs(&table);
+    if let Some(new_objects) = only_touching {
+        let new_refs: std::collections::HashSet<u32> = new_objects
+            .iter()
+            .filter_map(|o| {
+                store.object_raw(*o)?;
+                table.index_of.get(&store.resolve(*o)).copied()
+            })
+            .collect();
+        pairs.retain(|(a, b)| new_refs.contains(a) || new_refs.contains(b));
+    }
+    let blocking_stats = BlockingStats::compute(&table, &pairs);
+
+    // Base attribute scores over singleton pools.
+    let base = score_pairs(&table, &pairs, cfg.threads);
+
+    let n = table.len();
+    let mut uf = UnionFind::new(n);
+    let mut members: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+    let mut iterations = 0usize;
+
+    // User feedback: seed must-link pairs, collect cannot-link pairs as
+    // reference indices. Constraints naming non-reconcilable or unknown
+    // objects are ignored.
+    let ref_index = |o: semex_store::ObjectId| -> Option<u32> {
+        store.object_raw(o)?; // unknown ids are ignored, not fatal
+        table.index_of.get(&store.resolve(o)).copied()
+    };
+    let cannot: Vec<(usize, usize)> = cfg
+        .cannot_link
+        .iter()
+        .filter_map(|&(a, b)| Some((ref_index(a)? as usize, ref_index(b)? as usize)))
+        .collect();
+    for &(a, b) in &cfg.must_link {
+        let (Some(ia), Some(ib)) = (ref_index(a), ref_index(b)) else {
+            continue;
+        };
+        let (ra, rb) = (uf.find(ia as usize), uf.find(ib as usize));
+        if ra != rb {
+            uf.union(ra, rb);
+            let root = uf.find(ra);
+            let other = if root == ra { rb } else { ra };
+            let moved = std::mem::take(&mut members[other]);
+            members[root].extend(moved);
+        }
+    }
+    // A union of (a, b) is allowed iff it would not connect any
+    // cannot-link pair.
+    let allowed = |uf: &mut UnionFind, a: usize, b: usize, cannot: &[(usize, usize)]| -> bool {
+        if cannot.is_empty() {
+            return true;
+        }
+        let (ra, rb) = (uf.find(a), uf.find(b));
+        for &(x, y) in cannot {
+            let (rx, ry) = (uf.find(x), uf.find(y));
+            if (rx == ra && ry == rb) || (rx == rb && ry == ra) {
+                return false;
+            }
+        }
+        true
+    };
+
+    // Candidate bookkeeping.
+    let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
+    for (ci, &p) in pairs.iter().enumerate() {
+        pair_index.insert(p, ci);
+    }
+    // Candidates each reference participates in (for re-activation).
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ci, &(a, b)) in pairs.iter().enumerate() {
+        incident[a as usize].push(ci as u32);
+        incident[b as usize].push(ci as u32);
+    }
+
+    let weights = channel_weights(store);
+
+    match variant {
+        Variant::AttrOnly => {
+            for (ci, &(a, b)) in pairs.iter().enumerate() {
+                iterations += 1;
+                if base[ci] >= cfg.threshold && allowed(&mut uf, a as usize, b as usize, &cannot) {
+                    uf.union(a as usize, b as usize);
+                }
+            }
+        }
+        Variant::Context => {
+            // Static association evidence: a neighbour pair counts as
+            // "matching" when its *attribute* score is conclusive — no
+            // decisions feed back.
+            let strong = |x: u32, y: u32| -> bool {
+                if x == y {
+                    return true;
+                }
+                let key = if x < y { (x, y) } else { (y, x) };
+                pair_index
+                    .get(&key)
+                    .map(|&ci| base[ci] >= 0.9)
+                    .unwrap_or(false)
+            };
+            for (ci, &(a, b)) in pairs.iter().enumerate() {
+                iterations += 1;
+                let ev = evidence(&table, &weights, a, b, cfg, &strong);
+                let combined = combine(base[ci], ev, cfg);
+                if combined >= cfg.threshold && allowed(&mut uf, a as usize, b as usize, &cannot) {
+                    uf.union(a as usize, b as usize);
+                }
+            }
+        }
+        Variant::Propagation | Variant::Full => {
+            let enrich = variant.enriches();
+            // Worklist of candidate ids; start with everything.
+            let mut queue: std::collections::VecDeque<u32> = (0..pairs.len() as u32).collect();
+            let mut queued = vec![true; pairs.len()];
+            let mut decided = vec![false; pairs.len()];
+            let cap = pairs.len().saturating_mul(64).max(1024);
+            while let Some(ci) = queue.pop_front() {
+                queued[ci as usize] = false;
+                if decided[ci as usize] {
+                    continue;
+                }
+                iterations += 1;
+                if iterations > cap {
+                    break; // safety valve; monotone merging makes this unreachable in practice
+                }
+                let (a, b) = pairs[ci as usize];
+                if uf.same(a as usize, b as usize) {
+                    decided[ci as usize] = true;
+                    continue;
+                }
+                let attr = if enrich {
+                    let pa = pooled(&table, &members[uf.find(a as usize)]);
+                    let pb = pooled(&table, &members[uf.find(b as usize)]);
+                    attr_score(table.entries[a as usize].kind, &pa, &pb)
+                } else {
+                    base[ci as usize]
+                };
+                let ev = evidence_roots(&table, &weights, a, b, &uf);
+                let combined = combine(attr, ev, cfg);
+                if combined < cfg.threshold {
+                    continue; // may be re-activated by a future merge
+                }
+                if !allowed(&mut uf, a as usize, b as usize, &cannot) {
+                    decided[ci as usize] = true; // permanently vetoed
+                    continue;
+                }
+                // Merge the clusters.
+                let (ra, rb) = (uf.find(a as usize), uf.find(b as usize));
+                uf.union(a as usize, b as usize);
+                let root = uf.find(a as usize);
+                let other = if root == ra { rb } else { ra };
+                let moved = std::mem::take(&mut members[other]);
+                members[root].extend(moved);
+                decided[ci as usize] = true;
+
+                // Re-activate candidates whose evidence (or pool) changed:
+                // everything incident to the merged references' neighbours,
+                // and — under enrichment — to the merged cluster itself.
+                let mut touched: Vec<u32> = Vec::new();
+                for &r in [a, b].iter() {
+                    touched.extend(table.entries[r as usize].all_neighbors());
+                    if enrich {
+                        touched.extend(members[root].iter().copied());
+                    }
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                for t in touched {
+                    for &cid in &incident[t as usize] {
+                        if !queued[cid as usize] && !decided[cid as usize] {
+                            queued[cid as usize] = true;
+                            queue.push_back(cid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let elapsed = start.elapsed();
+
+    // Materialize clusters and apply merges to the store.
+    let mut clusters = Vec::new();
+    let mut merge_pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
+    for cluster in uf.clusters() {
+        if cluster.len() < 2 {
+            continue;
+        }
+        let mut objs: Vec<ObjectId> = cluster.iter().map(|&i| table.entries[i].obj).collect();
+        objs.sort();
+        for &loser in &objs[1..] {
+            merge_pairs.push((objs[0], loser));
+        }
+        clusters.push(objs);
+    }
+    let merges = store
+        .merge_all(&merge_pairs)
+        .expect("reconciliation merges are class-consistent by construction");
+
+    ReconReport {
+        variant,
+        refs: table.len(),
+        candidates: pairs.len(),
+        blocking: blocking_stats,
+        merges,
+        iterations,
+        elapsed,
+        clusters,
+    }
+}
+
+/// Combined score: attribute similarity lifted toward 1 by association
+/// evidence.
+fn combine(attr: f64, ev: f64, cfg: &ReconConfig) -> f64 {
+    (attr + cfg.evidence_weight * ev * (1.0 - attr)).clamp(0.0, 1.0)
+}
+
+/// Association evidence under the current clustering (propagation path):
+/// per shared channel, resolve both neighbour lists to their union-find
+/// roots once, then count matches by sorted-set intersection — O(n log n)
+/// per channel instead of O(n²) `find` calls.
+fn evidence_roots(
+    table: &RefTable,
+    weights: &HashMap<u32, f64>,
+    a: u32,
+    b: u32,
+    uf: &UnionFind,
+) -> f64 {
+    let ea = &table.entries[a as usize];
+    let eb = &table.entries[b as usize];
+    let mut ev = 0.0f64;
+    let mut roots_b: Vec<u32> = Vec::new();
+    for (ch, na) in &ea.neighbors {
+        let nb = eb.channel(*ch);
+        if na.is_empty() || nb.is_empty() {
+            continue;
+        }
+        // Typical neighbour lists are tiny (one venue, a few co-authors);
+        // a direct scan beats sorting there. Large channels use the sorted
+        // root-set intersection to avoid the quadratic find blow-up.
+        let shared = if na.len() * nb.len() <= 64 {
+            na.iter()
+                .filter(|&&x| {
+                    let rx = uf.find_const(x as usize);
+                    nb.iter().any(|&y| y == x || uf.find_const(y as usize) == rx)
+                })
+                .count()
+        } else {
+            roots_b.clear();
+            roots_b.extend(nb.iter().map(|&y| uf.find_const(y as usize) as u32));
+            roots_b.sort_unstable();
+            na.iter()
+                .filter(|&&x| {
+                    roots_b
+                        .binary_search(&(uf.find_const(x as usize) as u32))
+                        .is_ok()
+                })
+                .count()
+        };
+        if shared == 0 {
+            continue;
+        }
+        let frac = shared as f64 / na.len().min(nb.len()) as f64;
+        let default = if ch & (1 << 24) != 0 { 0.25 } else { 0.4 };
+        let w = weights.get(ch).copied().unwrap_or(default);
+        ev = 1.0 - (1.0 - ev) * (1.0 - w * frac);
+    }
+    ev
+}
+
+/// Association evidence for a pair: per shared channel, the fraction of the
+/// smaller neighbour set that matches the other side (under `same`),
+/// weighted by the channel's evidential strength and combined noisy-or.
+fn evidence(
+    table: &RefTable,
+    weights: &HashMap<u32, f64>,
+    a: u32,
+    b: u32,
+    _cfg: &ReconConfig,
+    same: &dyn Fn(u32, u32) -> bool,
+) -> f64 {
+    let ea = &table.entries[a as usize];
+    let eb = &table.entries[b as usize];
+    let mut ev = 0.0f64;
+    for (ch, na) in &ea.neighbors {
+        let nb = eb.channel(*ch);
+        if na.is_empty() || nb.is_empty() {
+            continue;
+        }
+        let mut shared = 0usize;
+        for &x in na {
+            if nb.iter().any(|&y| same(x, y)) {
+                shared += 1;
+            }
+        }
+        if shared == 0 {
+            continue;
+        }
+        let frac = shared as f64 / na.len().min(nb.len()) as f64;
+        // Unlisted direct channels default to 0.4; unlisted two-hop
+        // channels (e.g. correspondence through messages) are weaker —
+        // people e-mail overlapping circles all the time.
+        let default = if ch & (1 << 24) != 0 { 0.25 } else { 0.4 };
+        let w = weights.get(ch).copied().unwrap_or(default);
+        ev = 1.0 - (1.0 - ev) * (1.0 - w * frac);
+    }
+    ev
+}
+
+/// Evidential strength per channel. Sharing a venue is weak (every SIGMOD
+/// paper shares it); sharing an author or a publication is strong.
+fn channel_weights(store: &Store) -> HashMap<u32, f64> {
+    use crate::refs::direct_channel;
+    let model = store.model();
+    let mut w = HashMap::new();
+    let mut set = |name: &str, fwd: f64, inv: f64| {
+        if let Some(a) = model.assoc(name) {
+            w.insert(direct_channel(a.0, false), fwd);
+            w.insert(direct_channel(a.0, true), inv);
+        }
+    };
+    // Two *publication* references sharing an author is weak (the same
+    // author writes many papers); two *person* references sharing a merged
+    // publication is strong (an author list names each person once).
+    set(an::AUTHORED_BY, 0.15, 0.85);
+    set(an::PUBLISHED_IN, 0.15, 0.9); // pubs sharing a venue (weak) / venues sharing pubs (strong)
+    set(an::WORKS_FOR, 0.25, 0.7); // people sharing an employer (weak-ish)
+    set(an::CITES, 0.5, 0.5);
+    set(an::MENTIONS, 0.3, 0.3);
+    set(an::ATTENDEE, 0.4, 0.4);
+    // Two-hop channels. The co-author channel (person → publication →
+    // person) carries the strongest signal in the paper's PIM domain; hops
+    // landing on venues or organizations are nearly vacuous and must not
+    // lift ambiguous pairs on their own. Unlisted hop channels default to
+    // 0.4 via the lookup fallback in `evidence`.
+    {
+        use crate::refs::hop_channel;
+        let mut hop = |first: &str, second: &str, weight: f64| {
+            if let (Some(a), Some(b)) = (model.assoc(first), model.assoc(second)) {
+                w.insert(hop_channel(a.0, b.0), weight);
+            }
+        };
+        hop(an::AUTHORED_BY, an::AUTHORED_BY, 0.85); // co-authors
+        hop(an::AUTHORED_BY, an::PUBLISHED_IN, 0.05); // shared venue via papers
+        hop(an::AUTHORED_BY, an::CITES, 0.1);
+        hop(an::AUTHORED_BY, an::WORKS_FOR, 0.1); // papers sharing author employers
+        hop(an::PUBLISHED_IN, an::AUTHORED_BY, 0.3); // venues sharing paper authors
+        hop(an::WORKS_FOR, an::WORKS_FOR, 0.25);
+        hop(an::MENTIONS, an::MENTIONS, 0.2);
+        hop(an::ATTENDEE, an::ATTENDEE, 0.35); // co-attendees
+    }
+    w
+}
+
+/// Pool the attribute values of a cluster's members (capped per field so a
+/// runaway cluster cannot make scoring quadratic).
+fn pooled<'a>(table: &'a RefTable, members: &[u32]) -> Pool<'a> {
+    const CAP: usize = 12;
+    let mut p = Pool::default();
+    for &m in members {
+        let e = &table.entries[m as usize];
+        // Non-person kinds have no parse cache; keep the vectors parallel
+        // for persons and names-only for everything else.
+        if e.parsed_names.len() == e.names.len() {
+            for (v, parsed) in e.names.iter().zip(&e.parsed_names) {
+                if p.names.len() < CAP {
+                    p.names.push(v.as_str());
+                    p.parsed_names.push(parsed);
+                }
+            }
+        } else {
+            for v in &e.names {
+                if p.names.len() < CAP {
+                    p.names.push(v.as_str());
+                }
+            }
+        }
+        for v in &e.emails {
+            if p.emails.len() < CAP {
+                p.emails.push(v.as_str());
+            }
+        }
+        for v in &e.titles {
+            if p.titles.len() < CAP {
+                p.titles.push(v.as_str());
+            }
+        }
+        for v in &e.abbrevs {
+            if p.abbrevs.len() < CAP {
+                p.abbrevs.push(v.as_str());
+            }
+        }
+        for &y in &e.years {
+            if p.years.len() < CAP {
+                p.years.push(y);
+            }
+        }
+    }
+    p
+}
+
+/// Singleton pool of one reference.
+fn singleton<'a>(table: &'a RefTable, i: u32) -> Pool<'a> {
+    let e = &table.entries[i as usize];
+    Pool {
+        names: e.names.iter().map(String::as_str).collect(),
+        parsed_names: e.parsed_names.iter().collect(),
+        emails: e.emails.iter().map(String::as_str).collect(),
+        titles: e.titles.iter().map(String::as_str).collect(),
+        abbrevs: e.abbrevs.iter().map(String::as_str).collect(),
+        years: e.years.clone(),
+    }
+}
+
+/// Dispatch the per-class comparator.
+fn attr_score(kind: RefKind, a: &Pool<'_>, b: &Pool<'_>) -> f64 {
+    match kind {
+        RefKind::Person => person_score(a, b),
+        RefKind::Publication => publication_score(a, b),
+        RefKind::Venue => venue_score(a, b),
+        RefKind::Organization | RefKind::Other => organization_score(a, b),
+    }
+}
+
+/// Score all candidate pairs over singleton pools, optionally in parallel.
+fn score_pairs(table: &RefTable, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let score_one = |&(a, b): &(u32, u32)| -> f64 {
+        let pa = singleton(table, a);
+        let pb = singleton(table, b);
+        attr_score(table.entries[a as usize].kind, &pa, &pb)
+    };
+    if threads <= 1 || pairs.len() < 512 {
+        return pairs.iter().map(score_one).collect();
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut out = vec![0.0; pairs.len()];
+    crossbeam::scope(|s| {
+        for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+            s.spawn(move |_| {
+                for (o, p) in slot.iter_mut().zip(work) {
+                    *o = score_one(p);
+                }
+            });
+        }
+    })
+    .expect("scoring threads do not panic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_extract::{bibtex::extract_bibtex, email::extract_mbox, vcard::extract_vcards, ExtractContext};
+    use semex_model::names::{attr, class};
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn store_with(bib: &str, mbox: &str, vcf: &str) -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        if !bib.is_empty() {
+            extract_bibtex(bib, &mut ctx).unwrap();
+        }
+        if !mbox.is_empty() {
+            extract_mbox(mbox, &mut ctx).unwrap();
+        }
+        if !vcf.is_empty() {
+            extract_vcards(vcf, &mut ctx).unwrap();
+        }
+        st
+    }
+
+    fn person_count(st: &Store) -> usize {
+        st.class_count(st.model().class(class::PERSON).unwrap())
+    }
+
+    #[test]
+    fn attr_only_merges_obvious_duplicates() {
+        let mut st = store_with(
+            "@inproceedings{a, title={T1 alpha beta}, author={Michael Carey}, booktitle={V}, year=2001}\n\
+             @inproceedings{b, title={T2 gamma delta}, author={Michael J. Carey}, booktitle={V}, year=2002}",
+            "",
+            "",
+        );
+        assert_eq!(person_count(&st), 2);
+        let r = reconcile(&mut st, Variant::AttrOnly, &ReconConfig::sequential());
+        assert_eq!(person_count(&st), 1);
+        assert_eq!(r.merges, 1);
+        assert_eq!(r.clusters.len(), 1);
+    }
+
+    #[test]
+    fn attr_only_leaves_ambiguous_initials_apart() {
+        let mut st = store_with(
+            "@inproceedings{a, title={T1 alpha beta}, author={M. Carey}, booktitle={V1}, year=2001}\n\
+             @inproceedings{b, title={T2 gamma delta}, author={Michael Carey}, booktitle={V2}, year=2002}",
+            "",
+            "",
+        );
+        reconcile(&mut st, Variant::AttrOnly, &ReconConfig::sequential());
+        assert_eq!(person_count(&st), 2, "initials alone must not merge");
+    }
+
+    #[test]
+    fn context_uses_shared_coauthors() {
+        // "M. Carey" and "Michael Carey" share a co-author who matches
+        // conclusively on attributes → context evidence tips the pair.
+        let bib = "@inproceedings{a, title={T1 alpha beta}, author={M. Carey and Alon Halevy}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{b, title={T2 gamma delta}, author={Michael Carey and Alon Halevy}, booktitle={V2}, year=2002}";
+        let mut st1 = store_with(bib, "", "");
+        reconcile(&mut st1, Variant::AttrOnly, &ReconConfig::sequential());
+        // attr-only: Halevy merges (identical), Carey does not.
+        assert_eq!(person_count(&st1), 3);
+
+        let mut st2 = store_with(bib, "", "");
+        let r = reconcile(&mut st2, Variant::Context, &ReconConfig::sequential());
+        assert_eq!(person_count(&st2), 2, "context must merge the Careys: {r:?}");
+    }
+
+    #[test]
+    fn propagation_chains_decisions() {
+        // A two-link chain of ambiguity: the Dong pair is conclusive on
+        // attributes; merging it gives the Carey pair its co-author
+        // evidence; merging the Careys gives the Halevy pair *its*
+        // co-author evidence. Context (static, one inference step) merges
+        // the Careys but cannot reach the Halevys; propagation chains
+        // through to all three.
+        let bib = "@inproceedings{t1, title={T1 alpha beta}, author={M. Carey and Alon Halevy and Xin Dong}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{t2, title={T2 gamma delta}, author={Michael Carey and Dong, Xin}, booktitle={V2}, year=2002}\n\
+                   @inproceedings{t3, title={T3 epsilon zeta}, author={Michael Carey and A. Halevy}, booktitle={V3}, year=2003}";
+        // References: "M. Carey", "Michael Carey", "Alon Halevy",
+        // "A. Halevy", "Xin Dong", "Dong, Xin" — three true people.
+        let mut ctx_store = store_with(bib, "", "");
+        reconcile(&mut ctx_store, Variant::Context, &ReconConfig::sequential());
+        let after_context = person_count(&ctx_store);
+
+        let mut prop_store = store_with(bib, "", "");
+        let r = reconcile(&mut prop_store, Variant::Propagation, &ReconConfig::sequential());
+        let after_prop = person_count(&prop_store);
+        assert!(
+            after_prop <= after_context,
+            "propagation can only consolidate further ({after_prop} vs {after_context}); {r:?}"
+        );
+        assert_eq!(after_prop, 3, "Carey, Halevy and Dong all consolidate: {r:?}");
+        assert!(after_context > 3, "context alone must not finish the chain");
+    }
+
+    #[test]
+    fn enrichment_pools_emails() {
+        // Reference 1: "M. Carey" + mcarey@ibm.com (from e-mail).
+        // Reference 2: "Michael Carey" + mcarey@ibm.com (vCard) — merges
+        // with 1 via the shared address. Reference 3: "Michael Carey"
+        // (bib, no e-mail) — ambiguous against 1, conclusive against 2;
+        // after 2 and 3 merge, enrichment gives the cluster the address.
+        let mbox = "From: M. Carey <mcarey@ibm.com>\nTo: someone@x.edu\nSubject: s\n\nb";
+        let vcf = "BEGIN:VCARD\nFN:Michael Carey\nEMAIL:mcarey@ibm.com\nEND:VCARD\n";
+        let bib = "@inproceedings{a, title={T1 alpha}, author={Michael Carey}, booktitle={V}, year=2001}";
+        let mut st = store_with(bib, mbox, vcf);
+        assert_eq!(person_count(&st), 4); // 3 Carey refs + someone@x.edu
+        let r = reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
+        assert_eq!(person_count(&st), 2, "{r:?}");
+    }
+
+    #[test]
+    fn publications_and_venues_reconcile() {
+        let bib = "@inproceedings{a, title={Adaptive federated queries over archives}, author={Ann Walker}, booktitle={International Conference on Management of Data}, year=2004}\n\
+                   @inproceedings{b, title={Adaptive federated queries archives}, author={Walker, Ann}, booktitle={ICMD}, year=2004}";
+        let mut st = store_with(bib, "", "");
+        let model_pub = st.model().class(class::PUBLICATION).unwrap();
+        let model_venue = st.model().class(class::VENUE).unwrap();
+        assert_eq!(st.class_count(model_pub), 2);
+        assert_eq!(st.class_count(model_venue), 2);
+        reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
+        assert_eq!(st.class_count(model_pub), 1);
+        assert_eq!(st.class_count(model_venue), 1);
+        assert_eq!(person_count(&st), 1);
+    }
+
+    #[test]
+    fn merged_objects_pool_attributes_in_store() {
+        let mbox = "From: Michael Carey <mcarey@ibm.com>\nTo: a@b.c\nSubject: s\n\nb";
+        let vcf = "BEGIN:VCARD\nFN:Michael J. Carey\nEMAIL:mcarey@ibm.com\nTEL:+1-555-1234\nEND:VCARD\n";
+        let mut st = store_with("", mbox, vcf);
+        reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let carey = st
+            .objects_of_class(c_person)
+            .find(|&p| st.object(p).strs(a_name).any(|n| n.contains("Carey")))
+            .unwrap();
+        let names: Vec<&str> = st.object(carey).strs(a_name).collect();
+        assert!(names.len() >= 2, "both spellings survive on the merged object: {names:?}");
+    }
+
+    #[test]
+    fn variant_ladder_is_monotone_on_a_small_corpus() {
+        let bib = "@inproceedings{a, title={Alpha beta gamma delta}, author={M. Carey and A. Halevy and Xin Dong}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{b, title={Epsilon zeta eta theta}, author={Michael Carey and Alon Halevy}, booktitle={V2}, year=2002}\n\
+                   @inproceedings{c, title={Iota kappa lambda mu}, author={Mike Carey and Halevy, Alon and Dong, Xin}, booktitle={V1}, year=2003}";
+        let mut counts = Vec::new();
+        for v in Variant::ALL {
+            let mut st = store_with(bib, "", "");
+            reconcile(&mut st, v, &ReconConfig::sequential());
+            counts.push(person_count(&st));
+        }
+        // More machinery ⇒ at most as many surviving person objects.
+        assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn parallel_scoring_matches_sequential() {
+        let bib: String = (0..40)
+            .map(|i| {
+                format!(
+                    "@inproceedings{{k{i}, title={{Paper number {i} on caches}}, author={{Person{} Name{}}}, booktitle={{V{}}}, year={}}}\n",
+                    i % 7, i % 7, i % 3, 2000 + (i % 5)
+                )
+            })
+            .collect();
+        let mut st1 = store_with(&bib, "", "");
+        let mut st2 = store_with(&bib, "", "");
+        let seq = reconcile(&mut st1, Variant::Full, &ReconConfig::sequential());
+        let par = reconcile(
+            &mut st2,
+            Variant::Full,
+            &ReconConfig {
+                threads: 4,
+                ..ReconConfig::default()
+            },
+        );
+        assert_eq!(seq.merges, par.merges);
+        assert_eq!(seq.clusters, par.clusters);
+    }
+
+    #[test]
+    fn cannot_link_vetoes_transitively() {
+        // Two identical-name references would merge; the user says no.
+        let bib = "@inproceedings{a, title={T1 alpha beta}, author={Michael Carey}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{b, title={T2 gamma delta}, author={Michael J. Carey}, booktitle={V2}, year=2002}";
+        let mut st = store_with(bib, "", "");
+        let c = st.model().class(class::PERSON).unwrap();
+        let people: Vec<_> = st.objects_of_class(c).collect();
+        assert_eq!(people.len(), 2);
+        let cfg = ReconConfig {
+            cannot_link: vec![(people[0], people[1])],
+            ..ReconConfig::sequential()
+        };
+        let r = reconcile(&mut st, Variant::Full, &cfg);
+        assert_eq!(person_count(&st), 2, "{r:?}");
+    }
+
+    #[test]
+    fn must_link_seeds_and_propagates() {
+        // "Q. Carey" and "Zed Nobody" would never merge on their own; the
+        // user asserts they are the same, and that seed survives into the
+        // final clustering.
+        let bib = "@inproceedings{a, title={T1 alpha beta}, author={Q. Carey}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{b, title={T2 gamma delta}, author={Zed Nobody}, booktitle={V2}, year=2002}";
+        let mut st = store_with(bib, "", "");
+        let c = st.model().class(class::PERSON).unwrap();
+        let people: Vec<_> = st.objects_of_class(c).collect();
+        let cfg = ReconConfig {
+            must_link: vec![(people[0], people[1])],
+            ..ReconConfig::sequential()
+        };
+        reconcile(&mut st, Variant::Full, &cfg);
+        assert_eq!(person_count(&st), 1);
+    }
+
+    #[test]
+    fn constraints_on_unknown_objects_are_ignored() {
+        let bib = "@inproceedings{a, title={T1 alpha}, author={Solo Author}, booktitle={V}, year=2001}";
+        let mut st = store_with(bib, "", "");
+        let cfg = ReconConfig {
+            must_link: vec![(semex_store::ObjectId(9999), semex_store::ObjectId(10000))],
+            cannot_link: vec![(semex_store::ObjectId(9999), semex_store::ObjectId(10000))],
+            ..ReconConfig::sequential()
+        };
+        let r = reconcile(&mut st, Variant::Full, &cfg);
+        assert_eq!(r.merges, 0);
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let mut st = Store::with_builtin_model();
+        let r = reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
+        assert_eq!(r.refs, 0);
+        assert_eq!(r.merges, 0);
+        assert!(r.clusters.is_empty());
+    }
+}

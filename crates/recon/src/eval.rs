@@ -1,0 +1,171 @@
+//! Pairwise precision / recall / F1 evaluation against ground truth.
+
+use semex_store::ObjectId;
+use std::collections::HashMap;
+
+/// Pairwise reconciliation quality. All counts are over pairs of *labelled*
+/// references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Correctly merged pairs.
+    pub tp: u64,
+    /// Wrongly merged pairs.
+    pub fp: u64,
+    /// Missed pairs.
+    pub fn_: u64,
+    /// `tp / (tp + fp)` (1 when no pairs were predicted).
+    pub precision: f64,
+    /// `tp / (tp + fn)` (1 when no pairs were expected).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Build from raw counts.
+    pub fn from_counts(tp: u64, fp: u64, fn_: u64) -> Metrics {
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics {
+            tp,
+            fp,
+            fn_,
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} (tp={} fp={} fn={})",
+            self.precision, self.recall, self.f1, self.tp, self.fp, self.fn_
+        )
+    }
+}
+
+fn pairs_of(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Pairwise metrics of predicted clusters against entity labels.
+///
+/// * `clusters` — the predicted clusters (clusters of size 1 may be
+///   omitted; they contribute no predicted pairs).
+/// * `labels` — true entity label per reference. References absent from
+///   `labels` are ignored entirely (the generator could not identify them).
+///
+/// The label value should encode the entity *and its kind* (e.g. kind
+/// tag × 2³² + entity id) so cross-kind collisions are impossible.
+pub fn pair_metrics(clusters: &[Vec<ObjectId>], labels: &HashMap<ObjectId, u64>) -> Metrics {
+    // True pairs: C(n,2) per label group.
+    let mut label_sizes: HashMap<u64, u64> = HashMap::new();
+    for &l in labels.values() {
+        *label_sizes.entry(l).or_insert(0) += 1;
+    }
+    let truth_pairs: u64 = label_sizes.values().map(|&n| pairs_of(n)).sum();
+
+    // Predicted and correct pairs.
+    let mut predicted_pairs = 0u64;
+    let mut tp = 0u64;
+    for cluster in clusters {
+        let labelled: Vec<u64> = cluster.iter().filter_map(|o| labels.get(o)).copied().collect();
+        predicted_pairs += pairs_of(labelled.len() as u64);
+        let mut within: HashMap<u64, u64> = HashMap::new();
+        for l in labelled {
+            *within.entry(l).or_insert(0) += 1;
+        }
+        tp += within.values().map(|&n| pairs_of(n)).sum::<u64>();
+    }
+    let fp = predicted_pairs - tp;
+    let fn_ = truth_pairs - tp;
+    Metrics::from_counts(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(u64, u64)]) -> HashMap<ObjectId, u64> {
+        pairs.iter().map(|&(o, l)| (ObjectId(o), l)).collect()
+    }
+
+    #[test]
+    fn perfect_clustering() {
+        let labels = labels(&[(0, 1), (1, 1), (2, 2), (3, 2), (4, 2)]);
+        let clusters = vec![
+            vec![ObjectId(0), ObjectId(1)],
+            vec![ObjectId(2), ObjectId(3), ObjectId(4)],
+        ];
+        let m = pair_metrics(&clusters, &labels);
+        assert_eq!(m.tp, 1 + 3);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn under_merging_hits_recall() {
+        let labels = labels(&[(0, 1), (1, 1), (2, 1)]);
+        let clusters = vec![vec![ObjectId(0), ObjectId(1)]];
+        let m = pair_metrics(&clusters, &labels);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fn_, 2);
+        assert!((m.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_merging_hits_precision() {
+        let labels = labels(&[(0, 1), (1, 1), (2, 2)]);
+        let clusters = vec![vec![ObjectId(0), ObjectId(1), ObjectId(2)]];
+        let m = pair_metrics(&clusters, &labels);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 2);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.precision - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabelled_references_ignored() {
+        let labels = labels(&[(0, 1), (1, 1)]);
+        let clusters = vec![vec![ObjectId(0), ObjectId(1), ObjectId(99)]];
+        let m = pair_metrics(&clusters, &labels);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let m = pair_metrics(&[], &HashMap::new());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Metrics::from_counts(3, 1, 2);
+        let s = m.to_string();
+        assert!(s.contains("P=0.750"));
+        assert!(s.contains("R=0.600"));
+    }
+}

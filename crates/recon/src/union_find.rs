@@ -1,0 +1,168 @@
+//! Union-find over reference indices.
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Representative without mutation (no compression).
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns false when already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Group all elements by representative.
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn clusters_partition_everything() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 5);
+        uf.union(1, 2);
+        let cs = uf.clusters();
+        assert_eq!(cs.len(), 4);
+        let total: usize = cs.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        for i in 0..4 {
+            assert_eq!(uf.find_const(i), {
+                let mut c = uf.clone();
+                c.find(i)
+            });
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_equivalence(ops in prop::collection::vec((0usize..12, 0usize..12), 0..40)) {
+            let mut uf = UnionFind::new(12);
+            for (a, b) in &ops {
+                uf.union(*a, *b);
+            }
+            // Reflexive, symmetric, and set count is consistent.
+            for i in 0..12 {
+                prop_assert!(uf.same(i, i));
+            }
+            for (a, b) in &ops {
+                prop_assert!(uf.same(*a, *b));
+                prop_assert!(uf.same(*b, *a));
+            }
+            let clusters = uf.clusters();
+            prop_assert_eq!(clusters.len(), uf.set_count());
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, 12);
+        }
+    }
+}

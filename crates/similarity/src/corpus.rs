@@ -1,0 +1,93 @@
+//! Corpus statistics (document frequencies) backing IDF weighting.
+
+use std::collections::{HashMap, HashSet};
+
+/// Document-frequency table over a corpus of token documents.
+///
+/// Reconciliation builds one table per attribute (e.g. over all publication
+/// titles) so that rare words carry more matching weight than ubiquitous
+/// ones. Unknown tokens get the maximum IDF (they are rarer than anything
+/// observed).
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    docs: usize,
+    df: HashMap<String, usize>,
+}
+
+impl CorpusStats {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one document's tokens (counted once per document).
+    pub fn add_doc<S: AsRef<str>>(&mut self, tokens: impl IntoIterator<Item = S>) {
+        self.docs += 1;
+        let uniq: HashSet<String> = tokens
+            .into_iter()
+            .map(|t| t.as_ref().to_owned())
+            .collect();
+        for t in uniq {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents seen.
+    pub fn doc_count(&self) -> usize {
+        self.docs
+    }
+
+    /// Document frequency of a token.
+    pub fn df(&self, token: &str) -> usize {
+        self.df.get(token).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    /// Always positive; unseen tokens score highest.
+    pub fn idf(&self, token: &str) -> f64 {
+        let n = self.docs as f64;
+        let df = self.df(token) as f64;
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Number of distinct tokens observed.
+    pub fn vocab_size(&self) -> usize {
+        self.df.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn df_counts_once_per_doc() {
+        let mut s = CorpusStats::new();
+        s.add_doc(["a", "a", "b"].iter());
+        s.add_doc(["a", "c"].iter());
+        assert_eq!(s.doc_count(), 2);
+        assert_eq!(s.df("a"), 2);
+        assert_eq!(s.df("b"), 1);
+        assert_eq!(s.df("zzz"), 0);
+        assert_eq!(s.vocab_size(), 3);
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let mut s = CorpusStats::new();
+        for _ in 0..50 {
+            s.add_doc(["the"].iter());
+        }
+        s.add_doc(["rare", "the"].iter());
+        assert!(s.idf("unseen") > s.idf("rare"));
+        assert!(s.idf("rare") > s.idf("the"));
+        assert!(s.idf("the") >= 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let s = CorpusStats::new();
+        assert!(s.idf("x") > 0.0);
+        assert_eq!(s.doc_count(), 0);
+    }
+}

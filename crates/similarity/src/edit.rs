@@ -1,0 +1,204 @@
+//! Edit-distance metrics.
+
+/// Levenshtein distance between two strings, computed over Unicode scalar
+/// values with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance with early exit: returns `None` as soon as the
+/// distance is guaranteed to exceed `bound`. Used in hot reconciliation
+/// loops where most pairs are far apart.
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    if a.is_empty() {
+        return Some(b.len());
+    }
+    if b.is_empty() {
+        return Some(a.len());
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[b.len()];
+    (d <= bound).then_some(d)
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant: counts
+/// adjacent transpositions as a single edit).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let w = b.len() + 1;
+    // Three rolling rows: i-2, i-1, i.
+    let mut r2 = vec![0usize; w];
+    let mut r1: Vec<usize> = (0..w).collect();
+    let mut r0 = vec![0usize; w];
+    for (i, &ca) in a.iter().enumerate() {
+        r0[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let mut d = (r1[j] + cost).min(r1[j + 1] + 1).min(r0[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                d = d.min(r2[j - 1] + 1);
+            }
+            r0[j + 1] = d;
+        }
+        std::mem::swap(&mut r2, &mut r1);
+        std::mem::swap(&mut r1, &mut r0);
+    }
+    r1[b.len()]
+}
+
+/// Levenshtein similarity in `[0, 1]`: `1 - d / max(|a|, |b|)`.
+/// Two empty strings are identical (similarity 1).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Damerau similarity in `[0, 1]`.
+pub fn normalized_damerau(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("abcdef", "abdcef"), 1);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+        assert_eq!(damerau_levenshtein("halevy", "haelvy"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_within_bound() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_bounded("abcdefgh", "z", 2), None);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        assert!(normalized_damerau("dong", "dnog") > normalized_levenshtein("dong", "dnog"));
+    }
+
+    #[test]
+    fn unicode_is_counted_by_scalar() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in ".{0,24}", b in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+            prop_assert_eq!(normalized_levenshtein(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn damerau_never_exceeds_levenshtein(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn distance_bounded_by_longer_string(a in ".{0,16}", b in ".{0,16}") {
+            let d = levenshtein(&a, &b);
+            let max = a.chars().count().max(b.chars().count());
+            let min_len_diff = a.chars().count().abs_diff(b.chars().count());
+            prop_assert!(d <= max);
+            prop_assert!(d >= min_len_diff);
+        }
+
+        #[test]
+        fn bounded_agrees_with_full(a in "[a-c]{0,10}", b in "[a-c]{0,10}", bound in 0usize..6) {
+            let full = levenshtein(&a, &b);
+            match levenshtein_bounded(&a, &b, bound) {
+                Some(d) => { prop_assert_eq!(d, full); prop_assert!(d <= bound); }
+                None => prop_assert!(full > bound),
+            }
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+    }
+}

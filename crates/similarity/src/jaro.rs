@@ -1,0 +1,120 @@
+//! Jaro and Jaro–Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matches are characters equal within the standard window
+/// `max(|a|,|b|)/2 - 1`; transpositions are half-counted per the classic
+/// definition. Empty-vs-empty is 1, empty-vs-nonempty is 0.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with the standard scaling factor 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944_444_444_444_444_4));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.766_666_666_666_666_6));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896_296_296_296_296_2));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961_111_111_111_111_1));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813_333_333_333_333_3));
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn winkler_boosts_prefix_matches() {
+        // Same Jaro-level difference, but a shared prefix scores higher.
+        assert!(jaro_winkler("halevy", "halevi") > jaro_winkler("yhalev", "ihalev"));
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_and_symmetry(a in "[a-f]{0,16}", b in "[a-f]{0,16}") {
+            let j = jaro(&a, &b);
+            let w = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert!(w >= j - 1e-12);
+            prop_assert!(close(j, jaro(&b, &a)));
+            prop_assert!(close(w, jaro_winkler(&b, &a)));
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-f]{1,16}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

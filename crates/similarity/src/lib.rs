@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! String, name and record similarity measures for SEMEX reference
+//! reconciliation.
+//!
+//! Reconciliation compares *references* — small records of attribute values —
+//! and needs robust, domain-aware comparators: person names appear as
+//! `"Michael J. Carey"`, `"Carey, M."` and `"mike carey"`; venues as
+//! `"Proceedings of SIGMOD"` and `"SIGMOD '05"`; titles with typos and
+//! truncation. This crate provides:
+//!
+//! * classic character-level metrics — Levenshtein / Damerau edit distance
+//!   (plain, bounded and normalized), Jaro and Jaro–Winkler;
+//! * token-level metrics — Jaccard / Dice over token sets and n-grams,
+//!   cosine over term-frequency vectors, IDF-weighted cosine backed by a
+//!   [`CorpusStats`] document-frequency table, and the Monge–Elkan hybrid;
+//! * a Soundex phonetic code;
+//! * domain comparators — person-name parsing and compatibility
+//!   ([`name`]), e-mail address comparison ([`email`]), publication-title
+//!   similarity ([`title`]) and venue similarity with abbreviation handling
+//!   ([`venue`]).
+//!
+//! All similarity functions return values in `[0, 1]`, are symmetric, and
+//! score identical inputs as `1`.
+//!
+//! ```
+//! use semex_similarity::name::name_similarity;
+//! use semex_similarity::email::email_matches_name;
+//!
+//! assert!(name_similarity("Michael J. Carey", "Carey, Michael") > 0.9);
+//! assert!(name_similarity("Mike Carey", "Michael Carey") > 0.8);
+//! assert!(name_similarity("Michael Carey", "Alon Halevy") < 0.5);
+//! assert!(email_matches_name("mcarey@ibm.com", "Michael Carey"));
+//! ```
+
+mod corpus;
+mod edit;
+pub mod email;
+mod jaro;
+pub mod name;
+mod phonetic;
+pub mod title;
+mod tokens;
+pub mod venue;
+
+pub use corpus::CorpusStats;
+pub use edit::{
+    damerau_levenshtein, levenshtein, levenshtein_bounded, normalized_damerau,
+    normalized_levenshtein,
+};
+pub use jaro::{jaro, jaro_winkler};
+pub use phonetic::soundex;
+pub use tokens::{
+    cosine, dice, jaccard, monge_elkan, ngrams, tf_idf_cosine, tokenize, tokenize_lower,
+};

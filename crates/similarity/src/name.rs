@@ -1,0 +1,356 @@
+//! Person-name parsing and comparison.
+//!
+//! The same person appears in a PIM corpus as `"Michael J. Carey"`,
+//! `"Carey, M."`, `"mike carey"` or `"M Carey"`. This module parses such
+//! strings into a structured [`PersonName`] and scores pairs for
+//! compatibility: last names must agree (allowing typos and phonetic
+//! variants), first names may be initials or nicknames of each other.
+
+use crate::{jaro_winkler, soundex};
+
+/// A structured person name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PersonName {
+    /// Given name (possibly a bare initial), lowercase.
+    pub first: Option<String>,
+    /// Middle names / initials, lowercase.
+    pub middle: Vec<String>,
+    /// Family name, lowercase.
+    pub last: Option<String>,
+}
+
+/// Honorifics and suffixes dropped during parsing.
+const DROPPED: &[&str] = &[
+    "dr", "prof", "professor", "mr", "mrs", "ms", "jr", "sr", "ii", "iii", "phd",
+];
+
+/// Common English nickname pairs used by first-name compatibility.
+const NICKNAMES: &[(&str, &str)] = &[
+    ("mike", "michael"),
+    ("bill", "william"),
+    ("will", "william"),
+    ("bob", "robert"),
+    ("rob", "robert"),
+    ("jim", "james"),
+    ("dave", "david"),
+    ("tom", "thomas"),
+    ("liz", "elizabeth"),
+    ("beth", "elizabeth"),
+    ("kate", "katherine"),
+    ("chris", "christopher"),
+    ("dan", "daniel"),
+    ("sam", "samuel"),
+    ("alex", "alexander"),
+    ("jen", "jennifer"),
+    ("andy", "andrew"),
+    ("drew", "andrew"),
+    ("tony", "anthony"),
+    ("sue", "susan"),
+    ("dick", "richard"),
+    ("rick", "richard"),
+    ("ted", "edward"),
+    ("ed", "edward"),
+    ("joe", "joseph"),
+    ("jack", "john"),
+    ("peggy", "margaret"),
+    ("meg", "margaret"),
+    ("nick", "nicholas"),
+    ("steve", "steven"),
+    ("steve", "stephen"),
+    ("luna", "xin"),
+];
+
+fn clean_token(t: &str) -> String {
+    t.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+impl PersonName {
+    /// Parse a display name. Handles `"First Middle Last"`,
+    /// `"Last, First Middle"`, initials with or without dots, and drops
+    /// honorifics/suffixes.
+    pub fn parse(s: &str) -> PersonName {
+        let s = s.trim();
+        let (last_first, body) = match s.split_once(',') {
+            Some((last, rest)) => (Some(clean_token(last)), rest.to_owned()),
+            None => (None, s.to_owned()),
+        };
+        let mut tokens: Vec<String> = body
+            .split_whitespace()
+            .flat_map(|w| {
+                // "J.D." style multi-initial tokens split into initials.
+                if w.contains('.') && w.chars().filter(|c| c.is_alphabetic()).count() <= 3 {
+                    w.split('.')
+                        .map(clean_token)
+                        .filter(|t| !t.is_empty())
+                        .collect::<Vec<_>>()
+                } else {
+                    vec![clean_token(w)]
+                }
+            })
+            .filter(|t| !t.is_empty() && !DROPPED.contains(&t.as_str()))
+            .collect();
+
+        let mut name = PersonName::default();
+        if let Some(last) = last_first {
+            // "Last, First Middle..."
+            if !last.is_empty() && !DROPPED.contains(&last.as_str()) {
+                name.last = Some(last);
+            }
+            if !tokens.is_empty() {
+                name.first = Some(tokens.remove(0));
+                name.middle = tokens;
+            }
+            return name;
+        }
+        match tokens.len() {
+            0 => {}
+            1 => name.last = Some(tokens.remove(0)),
+            _ => {
+                name.first = Some(tokens.remove(0));
+                name.last = tokens.pop();
+                name.middle = tokens;
+            }
+        }
+        name
+    }
+
+    /// True when the name is only initials (no token longer than one char).
+    pub fn is_initials_only(&self) -> bool {
+        self.first.iter().chain(self.last.iter()).chain(self.middle.iter())
+            .all(|t| t.chars().count() <= 1)
+    }
+
+    /// Canonical `"first middle… last"` rendering (lowercase).
+    pub fn canonical(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(f) = &self.first {
+            parts.push(f);
+        }
+        for m in &self.middle {
+            parts.push(m);
+        }
+        if let Some(l) = &self.last {
+            parts.push(l);
+        }
+        parts.join(" ")
+    }
+}
+
+/// Whether `a` and `b` could name the same given name: equal, one an initial
+/// of the other, a known nickname pair, or very close in Jaro–Winkler.
+pub fn given_names_compatible(a: &str, b: &str) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return true; // missing information does not contradict
+    }
+    if a == b {
+        return true;
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.chars().count() == 1 {
+        return long.starts_with(short);
+    }
+    if NICKNAMES
+        .iter()
+        .any(|&(n, f)| (n == short && f == long) || (n == long && f == short))
+    {
+        return true;
+    }
+    jaro_winkler(a, b) >= 0.90
+}
+
+/// Whether two family names agree, tolerating typos (Jaro–Winkler ≥ 0.92)
+/// and phonetic variants (equal Soundex with JW ≥ 0.84).
+pub fn last_names_compatible(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let jw = jaro_winkler(a, b);
+    if jw >= 0.92 {
+        return true;
+    }
+    jw >= 0.84 && soundex(a).is_some() && soundex(a) == soundex(b)
+}
+
+/// Structural compatibility of two parsed names: last names must agree and
+/// every aligned given/middle component must be compatible.
+pub fn names_compatible(a: &PersonName, b: &PersonName) -> bool {
+    match (&a.last, &b.last) {
+        (Some(la), Some(lb)) => {
+            if !last_names_compatible(la, lb) {
+                return false;
+            }
+        }
+        _ => return false, // no last name: not enough signal
+    }
+    if let (Some(fa), Some(fb)) = (&a.first, &b.first) {
+        if !given_names_compatible(fa, fb) {
+            return false;
+        }
+    }
+    // Middle names, when both present at a position, must be compatible.
+    for (ma, mb) in a.middle.iter().zip(b.middle.iter()) {
+        if !given_names_compatible(ma, mb) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Graded similarity of two name strings in `[0, 1]`.
+///
+/// Incompatible names score at most 0.4 (raw string similarity, capped);
+/// compatible names score from 0.75 (initial-only overlap) to 1.0 (full
+/// token agreement), increasing with the specificity of the agreement.
+pub fn name_similarity(raw_a: &str, raw_b: &str) -> f64 {
+    let a = PersonName::parse(raw_a);
+    let b = PersonName::parse(raw_b);
+    if a.canonical() == b.canonical() && !a.canonical().is_empty() {
+        return 1.0;
+    }
+    if !names_compatible(&a, &b) {
+        return jaro_winkler(&a.canonical(), &b.canonical()).min(0.4);
+    }
+    // Base score for compatible names; reward exact given-name agreement.
+    let mut score: f64 = 0.75;
+    match (&a.first, &b.first) {
+        (Some(fa), Some(fb)) => {
+            if fa == fb {
+                score += 0.15;
+            } else if fa.chars().count() > 1 && fb.chars().count() > 1 {
+                score += 0.10 * jaro_winkler(fa, fb);
+            } else {
+                score += 0.05; // initial match only
+            }
+        }
+        _ => score -= 0.05, // one side missing the given name entirely
+    }
+    if !a.middle.is_empty() && !b.middle.is_empty() {
+        score += 0.05;
+    }
+    if let (Some(la), Some(lb)) = (&a.last, &b.last) {
+        if la == lb {
+            score += 0.05;
+        }
+    }
+    score.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_forms() {
+        let n = PersonName::parse("Michael J. Carey");
+        assert_eq!(n.first.as_deref(), Some("michael"));
+        assert_eq!(n.middle, vec!["j"]);
+        assert_eq!(n.last.as_deref(), Some("carey"));
+
+        let n = PersonName::parse("Carey, Michael J.");
+        assert_eq!(n.first.as_deref(), Some("michael"));
+        assert_eq!(n.last.as_deref(), Some("carey"));
+
+        let n = PersonName::parse("M. Carey");
+        assert_eq!(n.first.as_deref(), Some("m"));
+        assert_eq!(n.last.as_deref(), Some("carey"));
+
+        let n = PersonName::parse("Dr. Alon Halevy");
+        assert_eq!(n.first.as_deref(), Some("alon"));
+        assert_eq!(n.last.as_deref(), Some("halevy"));
+
+        let n = PersonName::parse("Madonna");
+        assert_eq!(n.first, None);
+        assert_eq!(n.last.as_deref(), Some("madonna"));
+
+        let n = PersonName::parse("J.D. Ullman");
+        assert_eq!(n.first.as_deref(), Some("j"));
+        assert_eq!(n.middle, vec!["d"]);
+        assert_eq!(n.last.as_deref(), Some("ullman"));
+    }
+
+    #[test]
+    fn parse_degenerate() {
+        assert_eq!(PersonName::parse(""), PersonName::default());
+        assert_eq!(PersonName::parse("  ,  "), PersonName::default());
+        let n = PersonName::parse("Smith,");
+        assert_eq!(n.last.as_deref(), Some("smith"));
+        assert_eq!(n.first, None);
+    }
+
+    #[test]
+    fn initials_detection() {
+        assert!(PersonName::parse("M. C.").is_initials_only());
+        assert!(!PersonName::parse("M. Carey").is_initials_only());
+    }
+
+    #[test]
+    fn given_name_rules() {
+        assert!(given_names_compatible("michael", "michael"));
+        assert!(given_names_compatible("m", "michael"));
+        assert!(given_names_compatible("mike", "michael"));
+        assert!(given_names_compatible("jen", "jennifer"));
+        assert!(!given_names_compatible("michael", "alon"));
+        assert!(!given_names_compatible("m", "alon"));
+        assert!(given_names_compatible("", "anything"));
+    }
+
+    #[test]
+    fn last_name_rules() {
+        assert!(last_names_compatible("carey", "carey"));
+        assert!(last_names_compatible("halevy", "halevi"));
+        assert!(last_names_compatible("smith", "smyth"));
+        assert!(!last_names_compatible("carey", "halevy"));
+    }
+
+    #[test]
+    fn full_compatibility() {
+        let a = PersonName::parse("Michael J. Carey");
+        for s in ["Carey, M.", "mike carey", "M Carey", "Michael Carey"] {
+            assert!(names_compatible(&a, &PersonName::parse(s)), "{s}");
+        }
+        for s in ["Alon Halevy", "Nancy Carey", "Carey"] {
+            let other = PersonName::parse(s);
+            if s == "Carey" {
+                // Missing given name does not contradict.
+                assert!(names_compatible(&a, &other));
+            } else {
+                assert!(!names_compatible(&a, &other), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_ordering() {
+        let full = name_similarity("Michael J. Carey", "Michael J. Carey");
+        let nick = name_similarity("Michael Carey", "Mike Carey");
+        let initial = name_similarity("Michael Carey", "M. Carey");
+        let incompatible = name_similarity("Michael Carey", "Alon Halevy");
+        assert_eq!(full, 1.0);
+        assert!(nick > initial, "{nick} vs {initial}");
+        assert!(initial > incompatible);
+        assert!(incompatible <= 0.4);
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_bounds_and_symmetry(a in "[A-Za-z. ]{0,24}", b in "[A-Za-z. ]{0,24}") {
+            let s = name_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - name_similarity(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn parse_never_panics(s in ".{0,40}") {
+            let _ = PersonName::parse(&s);
+        }
+
+        #[test]
+        fn self_similarity_is_one(s in "[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}") {
+            prop_assert_eq!(name_similarity(&s, &s), 1.0);
+        }
+    }
+}

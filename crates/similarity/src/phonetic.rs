@@ -1,0 +1,98 @@
+//! Soundex phonetic coding.
+
+/// American Soundex code of a word: an uppercase letter followed by three
+/// digits (e.g. `"Robert"` → `"R163"`). Non-ASCII-alphabetic characters are
+/// ignored; an input without any letter yields `None`.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // H and W are skipped (transparent), vowels separate codes.
+            _ => 0,
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in &letters[1..] {
+        if c == 'H' || c == 'W' {
+            // Transparent: does not reset last_code, so identical codes
+            // across H/W collapse ("Ashcraft" -> A261).
+            continue;
+        }
+        let k = code(c);
+        if k != 0 && k != last_code {
+            out.push(char::from(b'0' + k));
+            if out.len() == 4 {
+                break;
+            }
+        }
+        last_code = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn phonetic_variants_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Carey"), soundex("Cary"));
+        assert_ne!(soundex("Halevy"), soundex("Madhavan"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("a").as_deref(), Some("A000"));
+        assert_eq!(soundex("  o'Neil  ").as_deref(), soundex("ONeil").as_deref());
+    }
+
+    proptest! {
+        #[test]
+        fn code_shape(w in "[a-zA-Z]{1,12}") {
+            let c = soundex(&w).unwrap();
+            prop_assert_eq!(c.len(), 4);
+            let mut chars = c.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            prop_assert!(chars.all(|d| d.is_ascii_digit()));
+        }
+
+        #[test]
+        fn case_insensitive(w in "[a-zA-Z]{1,12}") {
+            prop_assert_eq!(soundex(&w), soundex(&w.to_uppercase()));
+            prop_assert_eq!(soundex(&w), soundex(&w.to_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Publication-title comparison.
+
+use crate::{monge_elkan, normalized_damerau, tf_idf_cosine, tokenize_lower, CorpusStats};
+
+/// Stopwords removed before title comparison.
+const STOP: &[&str] = &[
+    "a", "an", "the", "of", "for", "and", "or", "in", "on", "to", "with", "at", "by",
+];
+
+/// Tokenize a title: lowercase alphanumeric tokens minus stopwords.
+pub fn title_tokens(title: &str) -> Vec<String> {
+    tokenize_lower(title)
+        .into_iter()
+        .filter(|t| !STOP.contains(&t.as_str()))
+        .collect()
+}
+
+/// Title similarity in `[0, 1]` without corpus statistics: the Monge–Elkan
+/// score over stopword-filtered tokens with a Damerau inner metric (robust
+/// to per-word typos and word reordering).
+pub fn title_similarity(a: &str, b: &str) -> f64 {
+    let ta = title_tokens(a);
+    let tb = title_tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    monge_elkan(&ta, &tb, normalized_damerau)
+}
+
+/// Title similarity weighted by corpus rarity: IDF-weighted cosine blended
+/// (60/40) with the typo-tolerant Monge–Elkan score.
+pub fn title_similarity_idf(a: &str, b: &str, stats: &CorpusStats) -> f64 {
+    let ta = title_tokens(a);
+    let tb = title_tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let cosine = tf_idf_cosine(&ta, &tb, stats);
+    let me = monge_elkan(&ta, &tb, normalized_damerau);
+    0.6 * cosine + 0.4 * me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stopwords_removed() {
+        assert_eq!(
+            title_tokens("The Design of an Index for the Web"),
+            vec!["design", "index", "web"]
+        );
+    }
+
+    #[test]
+    fn tolerates_typos_and_reorder() {
+        let a = "Reference Reconciliation in Complex Information Spaces";
+        let b = "Refrence Reconcilation in complex information spaces";
+        assert!(title_similarity(a, b) > 0.9);
+        let c = "in complex information spaces: reference reconciliation";
+        assert!(title_similarity(a, c) > 0.95);
+        let unrelated = "Query Optimization for Streams";
+        assert!(title_similarity(a, unrelated) < 0.5);
+    }
+
+    #[test]
+    fn idf_variant_prefers_rare_word_overlap() {
+        let mut stats = CorpusStats::new();
+        for _ in 0..50 {
+            stats.add_doc(title_tokens("data systems overview"));
+        }
+        stats.add_doc(title_tokens("semex reconciliation"));
+        let a = "semex data";
+        let b = "semex systems";
+        let c = "overview data";
+        assert!(
+            title_similarity_idf(a, b, &stats) > title_similarity_idf(a, c, &stats),
+            "sharing the rare token must dominate"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_and_symmetry(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+            let s = title_similarity(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prop_assert!((s - title_similarity(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn identity(a in "[a-z]{2,8}( [a-z]{2,8}){0,4}") {
+            prop_assert!((title_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Token-level similarity: Jaccard, Dice, cosine, IDF-weighted cosine and
+//! the Monge–Elkan hybrid.
+
+use crate::CorpusStats;
+use std::collections::{HashMap, HashSet};
+
+/// Split a string into alphanumeric tokens (Unicode-aware), preserving case.
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenize and lowercase.
+pub fn tokenize_lower(s: &str) -> Vec<String> {
+    tokenize(s).into_iter().map(|t| t.to_lowercase()).collect()
+}
+
+/// Character n-grams of a string (over Unicode scalars). Strings shorter
+/// than `n` yield the whole string as a single gram.
+pub fn ngrams(s: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![chars.into_iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Jaccard similarity of two token multisets (treated as sets).
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: HashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient of two token sets.
+pub fn dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: HashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+fn tf(tokens: &[impl AsRef<str>]) -> HashMap<&str, f64> {
+    let mut m: HashMap<&str, f64> = HashMap::new();
+    for t in tokens {
+        *m.entry(t.as_ref()).or_insert(0.0) += 1.0;
+    }
+    m
+}
+
+/// Cosine similarity of the term-frequency vectors of two token lists.
+pub fn cosine<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let ta = tf(a);
+    let tb = tf(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = ta
+        .iter()
+        .filter_map(|(t, &wa)| tb.get(t).map(|&wb| wa * wb))
+        .sum();
+    let na: f64 = ta.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = tb.values().map(|w| w * w).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+/// IDF-weighted cosine: rare tokens (per `stats`) dominate the score, so
+/// two titles sharing "reconciliation" match harder than two sharing "the".
+pub fn tf_idf_cosine<S: AsRef<str>>(a: &[S], b: &[S], stats: &CorpusStats) -> f64 {
+    let ta = tf(a);
+    let tb = tf(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let weigh = |m: &HashMap<&str, f64>| -> HashMap<String, f64> {
+        m.iter()
+            .map(|(t, &f)| ((*t).to_owned(), f * stats.idf(t)))
+            .collect()
+    };
+    let wa = weigh(&ta);
+    let wb = weigh(&tb);
+    let dot: f64 = wa
+        .iter()
+        .filter_map(|(t, &x)| wb.get(t).map(|&y| x * y))
+        .sum();
+    let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Monge–Elkan similarity: each token of `a` is matched to its best-scoring
+/// token of `b` under the `inner` metric, and the best scores are averaged.
+/// Asymmetric by definition; this implementation symmetrizes by averaging
+/// both directions.
+pub fn monge_elkan<S: AsRef<str>>(a: &[S], b: &[S], inner: impl Fn(&str, &str) -> f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[S], ys: &[S]| -> f64 {
+        let total: f64 = xs
+            .iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| inner(x.as_ref(), y.as_ref()))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum();
+        total / xs.len() as f64
+    };
+    (dir(a, b) + dir(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro_winkler;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tokenizer_splits_on_non_alphanumeric() {
+        assert_eq!(tokenize("Hello, world!"), vec!["Hello", "world"]);
+        assert_eq!(tokenize_lower("Re: [PIM] v2.0"), vec!["re", "pim", "v2", "0"]);
+        assert!(tokenize("   ").is_empty());
+        assert_eq!(tokenize("a"), vec!["a"]);
+    }
+
+    #[test]
+    fn ngram_windows() {
+        assert_eq!(ngrams("abcd", 2), vec!["ab", "bc", "cd"]);
+        assert_eq!(ngrams("ab", 3), vec!["ab"]);
+        assert!(ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram size must be positive")]
+    fn zero_gram_panics() {
+        ngrams("abc", 0);
+    }
+
+    #[test]
+    fn set_metrics() {
+        let a = tokenize_lower("data integration on the desktop");
+        let b = tokenize_lower("desktop data integration");
+        assert!(jaccard(&a, &b) > 0.5);
+        assert!(dice(&a, &b) > jaccard(&a, &b));
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty: Vec<String> = vec![];
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(dice(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn cosine_counts_frequencies() {
+        let a = vec!["x", "x", "y"];
+        let b = vec!["x", "y", "y"];
+        let c = cosine(&a, &b);
+        assert!(c > 0.7 && c < 1.0);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_downweights_stopwords() {
+        let mut stats = CorpusStats::new();
+        for _ in 0..99 {
+            stats.add_doc(["the", "of"].iter());
+        }
+        stats.add_doc(["the", "reconciliation"].iter());
+        let a = vec!["the", "reconciliation"];
+        let b = vec!["the", "integration"];
+        let c = vec!["a", "reconciliation"];
+        // Sharing only "the" scores lower than sharing "reconciliation".
+        assert!(tf_idf_cosine(&a, &c, &stats) > tf_idf_cosine(&a, &b, &stats));
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_token_typos() {
+        let a = vec!["michael", "carey"];
+        let b = vec!["micheal", "carey"];
+        let me = monge_elkan(&a, &b, jaro_winkler);
+        assert!(me > 0.9, "got {me}");
+        let far = monge_elkan(&a, &["zz"], jaro_winkler);
+        assert!(far < 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn bounds(a in prop::collection::vec("[a-d]{1,4}", 0..6), b in prop::collection::vec("[a-d]{1,4}", 0..6)) {
+            for v in [jaccard(&a, &b), dice(&a, &b), cosine(&a, &b), monge_elkan(&a, &b, jaro_winkler)] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "out of range: {v}");
+            }
+        }
+
+        #[test]
+        fn symmetry(a in prop::collection::vec("[a-d]{1,4}", 0..6), b in prop::collection::vec("[a-d]{1,4}", 0..6)) {
+            prop_assert!((jaccard(&a, &b) - jaccard(&b, &a)).abs() < 1e-12);
+            prop_assert!((dice(&a, &b) - dice(&b, &a)).abs() < 1e-12);
+            prop_assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-12);
+            prop_assert!((monge_elkan(&a, &b, jaro_winkler) - monge_elkan(&b, &a, jaro_winkler)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn identity(a in prop::collection::vec("[a-d]{1,4}", 1..6)) {
+            prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((monge_elkan(&a, &a, jaro_winkler) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn tokenize_roundtrip_words(words in prop::collection::vec("[a-z]{1,8}", 0..8)) {
+            let joined = words.join(" ");
+            prop_assert_eq!(tokenize(&joined), words);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Venue (conference / journal) comparison with abbreviation handling.
+
+use crate::{jaro_winkler, tokenize_lower};
+
+/// Boilerplate words that carry no venue identity.
+const BOILERPLATE: &[&str] = &[
+    "proceedings", "proc", "of", "the", "on", "in", "international", "intl", "conference",
+    "conf", "workshop", "symposium", "symp", "annual", "acm", "ieee", "journal", "trans",
+    "transactions",
+];
+
+/// Normalize a venue string: lowercase tokens, strip boilerplate, years and
+/// ordinals (`"Proceedings of the 24th ACM SIGMOD, 2005"` → `["sigmod"]`).
+pub fn venue_tokens(v: &str) -> Vec<String> {
+    tokenize_lower(v)
+        .into_iter()
+        .filter(|t| !BOILERPLATE.contains(&t.as_str()))
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .filter(|t| !is_ordinal(t))
+        .collect()
+}
+
+fn is_ordinal(t: &str) -> bool {
+    let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return false;
+    }
+    matches!(&t[digits.len()..], "st" | "nd" | "rd" | "th")
+}
+
+/// Whether `abbr` could abbreviate `full`: the initialism of `full`'s
+/// identity tokens, the initialism of *all* its non-stopword tokens
+/// (conference abbreviations usually keep the "International Conference on"
+/// letters: ICMD), or a prefix of a single dominant token.
+pub fn is_abbreviation(abbr: &str, full: &str) -> bool {
+    let a: String = abbr.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+    if a.len() < 2 {
+        return false;
+    }
+    let toks = venue_tokens(full);
+    if toks.is_empty() {
+        return false;
+    }
+    let initialism: String = toks.iter().filter_map(|t| t.chars().next()).collect();
+    if initialism == a {
+        return true;
+    }
+    // Initialism over all non-stopword tokens, boilerplate included.
+    let full_initialism: String = tokenize_lower(full)
+        .iter()
+        .filter(|t| !matches!(t.as_str(), "of" | "the" | "on" | "and" | "in" | "for"))
+        .filter_map(|t| t.chars().next())
+        .collect();
+    if full_initialism == a {
+        return true;
+    }
+    toks.len() == 1 && toks[0].starts_with(&a) && a.len() >= 3
+}
+
+/// Venue similarity in `[0, 1]`: exact normalized match scores 1,
+/// abbreviation matches score 0.95, otherwise best token-pair
+/// Jaro–Winkler over normalized tokens (so `"SIGMOD Conference"` ~
+/// `"Proc. SIGMOD"`).
+pub fn venue_similarity(a: &str, b: &str) -> f64 {
+    let ta = venue_tokens(a);
+    let tb = venue_tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    if ta == tb {
+        return 1.0;
+    }
+    let ja = ta.join(" ");
+    let jb = tb.join(" ");
+    if ja == jb {
+        return 1.0;
+    }
+    if is_abbreviation(&ja, b) || is_abbreviation(&jb, a) {
+        return 0.95;
+    }
+    // Best alignment of tokens, averaged over one side; taking the max of
+    // both directions keeps the measure symmetric while letting a short
+    // venue string match a longer one.
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        let sum: f64 = xs
+            .iter()
+            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0_f64, f64::max))
+            .sum();
+        sum / xs.len() as f64
+    };
+    dir(&ta, &tb).max(dir(&tb, &ta)) * 0.9 // cap below abbreviation confidence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization_strips_boilerplate() {
+        assert_eq!(
+            venue_tokens("Proceedings of the 24th ACM SIGMOD Conference, 2005"),
+            vec!["sigmod"]
+        );
+        assert_eq!(
+            venue_tokens("IEEE Transactions on Knowledge and Data Engineering"),
+            vec!["knowledge", "and", "data", "engineering"]
+        );
+    }
+
+    #[test]
+    fn abbreviation_detection() {
+        assert!(is_abbreviation("VLDB", "Very Large Data Bases"));
+        assert!(is_abbreviation("SIG", "SIGMOD"));
+        assert!(!is_abbreviation("X", "Very Large Data Bases"));
+        assert!(!is_abbreviation("VLDB", "SIGMOD"));
+    }
+
+    #[test]
+    fn similarity_tiers() {
+        assert_eq!(
+            venue_similarity("Proc. of SIGMOD 2005", "ACM SIGMOD Conference"),
+            1.0
+        );
+        assert_eq!(venue_similarity("VLDB", "Very Large Data Bases"), 0.95);
+        assert!(venue_similarity("SIGMOD", "SIGMOD Record") > 0.5);
+        assert!(venue_similarity("SIGMOD", "CIDR") < 0.6);
+        assert_eq!(venue_similarity("", ""), 1.0);
+        assert_eq!(venue_similarity("SIGMOD", "2005"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_and_symmetry(a in "[A-Za-z0-9 ]{0,30}", b in "[A-Za-z0-9 ]{0,30}") {
+            let s = venue_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - venue_similarity(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn identity(a in "[A-Za-z]{2,10}( [A-Za-z]{2,10}){0,3}") {
+            let s = venue_similarity(&a, &a);
+            // Either all tokens are boilerplate (both sides empty -> 1.0) or exact match.
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+}

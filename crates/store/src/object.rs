@@ -1,0 +1,140 @@
+//! Objects: class instances with multi-valued attributes.
+
+use crate::SourceId;
+use semex_model::{AttrId, ClassId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an object in a [`crate::Store`].
+///
+/// Ids are dense indices; objects are never deleted, but a merged object
+/// becomes an *alias* of its winner (see [`crate::Store::merge`]) and
+/// [`crate::Store::resolve`] follows alias chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Dense index of this object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// An instance of a domain-model class.
+///
+/// Attributes form a multimap: the same attribute may carry several values
+/// (a Person accumulated from many sources typically has several `email`
+/// values and several `name` spellings). Insertion order is preserved;
+/// duplicates of the exact same `(attr, value)` pair are suppressed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Object {
+    /// The object's class.
+    pub class: ClassId,
+    /// Attribute multimap in insertion order.
+    pub attrs: Vec<(AttrId, Value)>,
+    /// Sources this object was extracted from (deduplicated).
+    pub sources: Vec<SourceId>,
+    /// When this object lost a merge, the id it was merged into.
+    pub merged_into: Option<ObjectId>,
+}
+
+impl Object {
+    /// A fresh object of the given class.
+    pub fn new(class: ClassId) -> Self {
+        Object {
+            class,
+            attrs: Vec::new(),
+            sources: Vec::new(),
+            merged_into: None,
+        }
+    }
+
+    /// Add a value to an attribute, suppressing exact duplicates.
+    /// Returns true if the value was new.
+    pub fn add_attr(&mut self, attr: AttrId, value: Value) -> bool {
+        if self.attrs.iter().any(|(a, v)| *a == attr && *v == value) {
+            return false;
+        }
+        self.attrs.push((attr, value));
+        true
+    }
+
+    /// All values of an attribute, in insertion order.
+    pub fn values(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
+        self.attrs.iter().filter(move |(a, _)| *a == attr).map(|(_, v)| v)
+    }
+
+    /// The first value of an attribute.
+    pub fn first(&self, attr: AttrId) -> Option<&Value> {
+        self.values(attr).next()
+    }
+
+    /// The first string value of an attribute.
+    pub fn first_str(&self, attr: AttrId) -> Option<&str> {
+        self.values(attr).find_map(|v| v.as_str())
+    }
+
+    /// All string values of an attribute.
+    pub fn strs(&self, attr: AttrId) -> impl Iterator<Item = &str> {
+        self.values(attr).filter_map(|v| v.as_str())
+    }
+
+    /// Whether the object carries any value for the attribute.
+    pub fn has(&self, attr: AttrId) -> bool {
+        self.first(attr).is_some()
+    }
+
+    /// Record a provenance source (deduplicated).
+    pub fn add_source(&mut self, source: SourceId) {
+        if !self.sources.contains(&source) {
+            self.sources.push(source);
+        }
+    }
+
+    /// True when this object is an alias left behind by a merge.
+    pub fn is_alias(&self) -> bool {
+        self.merged_into.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_multimap_dedups_exact_pairs() {
+        let mut o = Object::new(ClassId(0));
+        let a = AttrId(0);
+        assert!(o.add_attr(a, Value::from("Ann")));
+        assert!(o.add_attr(a, Value::from("Ann Smith")));
+        assert!(!o.add_attr(a, Value::from("Ann")));
+        assert_eq!(o.values(a).count(), 2);
+        assert_eq!(o.first_str(a), Some("Ann"));
+    }
+
+    #[test]
+    fn different_attrs_do_not_collide() {
+        let mut o = Object::new(ClassId(0));
+        o.add_attr(AttrId(0), Value::from("x"));
+        o.add_attr(AttrId(1), Value::from("x"));
+        assert_eq!(o.values(AttrId(0)).count(), 1);
+        assert_eq!(o.values(AttrId(1)).count(), 1);
+        assert!(o.has(AttrId(1)));
+        assert!(!o.has(AttrId(2)));
+    }
+
+    #[test]
+    fn sources_dedup() {
+        let mut o = Object::new(ClassId(0));
+        o.add_source(SourceId(1));
+        o.add_source(SourceId(1));
+        o.add_source(SourceId(2));
+        assert_eq!(o.sources, vec![SourceId(1), SourceId(2)]);
+    }
+}

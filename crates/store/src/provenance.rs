@@ -1,0 +1,96 @@
+//! Provenance: where a fact came from.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The kind of personal-information source a fact was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// An mbox mail archive or a single RFC-2822 message.
+    Email,
+    /// A vCard contact file.
+    Contacts,
+    /// An iCalendar file.
+    Calendar,
+    /// A BibTeX bibliography.
+    Bibliography,
+    /// A LaTeX document.
+    Latex,
+    /// A scanned file-system tree.
+    FileSystem,
+    /// A CSV / spreadsheet export.
+    Spreadsheet,
+    /// An external source imported through on-the-fly integration.
+    External,
+    /// Synthetic or programmatic input.
+    Synthetic,
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceKind::Email => "email",
+            SourceKind::Contacts => "contacts",
+            SourceKind::Calendar => "calendar",
+            SourceKind::Bibliography => "bibliography",
+            SourceKind::Latex => "latex",
+            SourceKind::FileSystem => "filesystem",
+            SourceKind::Spreadsheet => "spreadsheet",
+            SourceKind::External => "external",
+            SourceKind::Synthetic => "synthetic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata describing a registered source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceInfo {
+    /// Human-readable name ("inbox 2004", "dblp.bib", …).
+    pub name: String,
+    /// The kind of source.
+    pub kind: SourceKind,
+    /// Optional location (path, URL).
+    pub location: Option<String>,
+}
+
+impl SourceInfo {
+    /// A new source description.
+    pub fn new(name: impl Into<String>, kind: SourceKind) -> Self {
+        SourceInfo {
+            name: name.into(),
+            kind,
+            location: None,
+        }
+    }
+
+    /// Builder-style: attach a location.
+    pub fn at(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_info_builder() {
+        let s = SourceInfo::new("inbox", SourceKind::Email).at("/mail/inbox.mbox");
+        assert_eq!(s.name, "inbox");
+        assert_eq!(s.kind, SourceKind::Email);
+        assert_eq!(s.location.as_deref(), Some("/mail/inbox.mbox"));
+        assert_eq!(SourceKind::Bibliography.to_string(), "bibliography");
+    }
+}

@@ -1,0 +1,143 @@
+//! JSON snapshot persistence.
+
+use crate::{Object, SourceInfo, Store, Triple};
+use semex_model::DomainModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while loading or saving snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Malformed snapshot JSON.
+    Json(serde_json::Error),
+    /// File I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// On-disk representation: the model plus raw (pre-merge) objects and
+/// triples; adjacency indexes are rebuilt on load.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    /// Format version, bumped on incompatible change.
+    version: u32,
+    model: DomainModel,
+    objects: Vec<Object>,
+    triples: Vec<Triple>,
+    sources: Vec<SourceInfo>,
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+impl Store {
+    /// Serialize the store (model, objects including merge aliases, triples
+    /// with original provenance, sources) to JSON.
+    pub fn to_json(&self) -> String {
+        let (model, objects, triples, sources) = self.parts();
+        let snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            model: model.clone(),
+            objects: objects.to_vec(),
+            triples: triples.to_vec(),
+            sources: sources.to_vec(),
+        };
+        serde_json::to_string(&snap).expect("store snapshot serialization cannot fail")
+    }
+
+    /// Load a store from a JSON snapshot, rebuilding all indexes.
+    pub fn from_json(json: &str) -> Result<Store, SnapshotError> {
+        let snap: Snapshot = serde_json::from_str(json)?;
+        Ok(Store::from_parts(snap.model, snap.objects, snap.triples, snap.sources))
+    }
+
+    /// Write a snapshot to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_json().as_bytes())?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Load a snapshot from a file.
+    pub fn load(path: &std::path::Path) -> Result<Store, SnapshotError> {
+        let json = std::fs::read_to_string(path)?;
+        Store::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SourceInfo, SourceKind, Store};
+    use semex_model::names::{assoc, attr, class};
+    use semex_model::Value;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        let publication = st.model().class(class::PUBLICATION).unwrap();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let name = st.model().attr(attr::NAME).unwrap();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let p1 = st.add_object(person);
+        let p2 = st.add_object(person);
+        st.add_attr(p1, name, Value::from("Ann")).unwrap();
+        st.add_attr(p2, name, Value::from("A. Smith")).unwrap();
+        let pb = st.add_object(publication);
+        st.add_triple(pb, authored, p2, src).unwrap();
+        st.merge(p1, p2).unwrap();
+
+        let json = st.to_json();
+        let st2 = Store::from_json(&json).unwrap();
+        assert_eq!(st2.object_count(), st.object_count());
+        assert_eq!(st2.alias_count(), 1);
+        assert_eq!(st2.resolve(p2), p1);
+        assert_eq!(st2.neighbors(pb, authored), &[p1]);
+        assert_eq!(st2.object(p1).strs(name).count(), 2);
+        assert_eq!(st2.source(src).unwrap().name, "t");
+        assert_eq!(st2.model().class(class::PERSON), Some(person));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        st.add_object(person);
+        let dir = std::env::temp_dir().join("semex-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        st.save(&path).unwrap();
+        let st2 = Store::load(&path).unwrap();
+        assert_eq!(st2.object_count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(Store::from_json("{not json").is_err());
+        assert!(Store::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Store statistics (per-class / per-association inventories).
+
+use crate::Store;
+
+/// A summary of a store's contents: the numbers SEMEX shows the user (and
+/// the numbers experiment E1/E2 report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// `(class name, live instance count)` in class-id order.
+    pub classes: Vec<(String, usize)>,
+    /// `(association name, distinct edge count)` in assoc-id order.
+    pub assocs: Vec<(String, usize)>,
+    /// Total live objects.
+    pub objects: usize,
+    /// Object slots consumed by merges.
+    pub aliases: usize,
+    /// Total distinct edges.
+    pub edges: usize,
+    /// Registered sources.
+    pub sources: usize,
+}
+
+impl StoreStats {
+    /// Compute statistics for a store.
+    pub fn compute(store: &Store) -> Self {
+        let model = store.model();
+        let classes = model
+            .classes()
+            .map(|(id, def)| (def.name.clone(), store.class_count(id)))
+            .collect();
+        let assocs = model
+            .assocs()
+            .map(|(id, def)| (def.name.clone(), store.assoc_count(id)))
+            .collect();
+        StoreStats {
+            classes,
+            assocs,
+            objects: store.object_count(),
+            aliases: store.alias_count(),
+            edges: store.edge_count(),
+            sources: store.sources().count(),
+        }
+    }
+
+    /// The instance count of a class, by name.
+    pub fn class(&self, name: &str) -> usize {
+        self.classes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// The edge count of an association, by name.
+    pub fn assoc(&self, name: &str) -> usize {
+        self.assocs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Render the statistics as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "objects: {}  (+{} merged aliases)   edges: {}   sources: {}\n",
+            self.objects, self.aliases, self.edges, self.sources
+        ));
+        out.push_str("  class instances:\n");
+        for (name, count) in &self.classes {
+            if *count > 0 {
+                out.push_str(&format!("    {name:<16} {count:>8}\n"));
+            }
+        }
+        out.push_str("  association edges:\n");
+        for (name, count) in &self.assocs {
+            if *count > 0 {
+                out.push_str(&format!("    {name:<16} {count:>8}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SourceInfo, SourceKind};
+    use semex_model::names::{assoc, class};
+
+    #[test]
+    fn stats_count_classes_and_edges() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        let publication = st.model().class(class::PUBLICATION).unwrap();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let p = st.add_object(person);
+        let q = st.add_object(person);
+        let b = st.add_object(publication);
+        st.add_triple(b, authored, p, src).unwrap();
+        st.add_triple(b, authored, q, src).unwrap();
+
+        let stats = StoreStats::compute(&st);
+        assert_eq!(stats.class(class::PERSON), 2);
+        assert_eq!(stats.class(class::PUBLICATION), 1);
+        assert_eq!(stats.assoc(assoc::AUTHORED_BY), 2);
+        assert_eq!(stats.objects, 3);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.sources, 1);
+        assert_eq!(stats.class("Nope"), 0);
+        assert!(stats.table().contains("Person"));
+
+        st.merge(p, q).unwrap();
+        let stats = StoreStats::compute(&st);
+        assert_eq!(stats.class(class::PERSON), 1);
+        assert_eq!(stats.assoc(assoc::AUTHORED_BY), 1);
+        assert_eq!(stats.aliases, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Association triples.
+
+use crate::{ObjectId, SourceId};
+use semex_model::AssocId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One association instance: `subject --assoc--> object`, with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// The subject object (an instance of the association's domain class).
+    pub subject: ObjectId,
+    /// The association type.
+    pub assoc: AssocId,
+    /// The object (an instance of the association's range class).
+    pub object: ObjectId,
+    /// The source the triple was extracted from.
+    pub source: SourceId,
+}
+
+impl Triple {
+    /// A new triple.
+    pub fn new(subject: ObjectId, assoc: AssocId, object: ObjectId, source: SourceId) -> Self {
+        Triple {
+            subject,
+            assoc,
+            object,
+            source,
+        }
+    }
+
+    /// The `(subject, assoc, object)` identity of the triple, ignoring
+    /// provenance — two triples with the same key state the same fact.
+    pub fn key(&self) -> (ObjectId, AssocId, ObjectId) {
+        (self.subject, self.assoc, self.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -{}-> {})", self.subject, self.assoc, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ignores_source() {
+        let t1 = Triple::new(ObjectId(1), AssocId(2), ObjectId(3), SourceId(0));
+        let t2 = Triple::new(ObjectId(1), AssocId(2), ObjectId(3), SourceId(9));
+        assert_eq!(t1.key(), t2.key());
+        assert_ne!(t1, t2);
+        assert_eq!(t1.to_string(), "(o1 -r2-> o3)");
+    }
+}

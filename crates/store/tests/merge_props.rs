@@ -1,0 +1,120 @@
+//! Property tests: store merge invariants under arbitrary merge sequences.
+//!
+//! Merging is the store primitive reconciliation rests on; these properties
+//! guarantee the adjacency indexes never desynchronize no matter the merge
+//! order.
+
+use proptest::prelude::*;
+use semex_model::names::{assoc, class};
+use semex_model::Value;
+use semex_store::{SourceInfo, SourceKind, Store};
+
+fn build_store(
+    people: usize,
+    pubs: usize,
+    edges: &[(usize, usize)],
+) -> (Store, Vec<semex_store::ObjectId>, Vec<semex_store::ObjectId>) {
+    let mut st = Store::with_builtin_model();
+    let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+    let c_person = st.model().class(class::PERSON).unwrap();
+    let c_pub = st.model().class(class::PUBLICATION).unwrap();
+    let a_name = st.model().attr("name").unwrap();
+    let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+    let ps: Vec<_> = (0..people)
+        .map(|i| {
+            let p = st.add_object(c_person);
+            st.add_attr(p, a_name, Value::from(format!("Person {i}").as_str()))
+                .unwrap();
+            p
+        })
+        .collect();
+    let bs: Vec<_> = (0..pubs).map(|_| st.add_object(c_pub)).collect();
+    for &(b, p) in edges {
+        st.add_triple(bs[b % pubs], authored, ps[p % people], src)
+            .unwrap();
+    }
+    (st, ps, bs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_sequences_preserve_invariants(
+        edges in prop::collection::vec((0usize..6, 0usize..8), 1..24),
+        merges in prop::collection::vec((0usize..8, 0usize..8), 0..10),
+    ) {
+        let (mut st, ps, bs) = build_store(8, 6, &edges);
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let edges_before = st.assoc_count(authored);
+
+        let mut applied = 0;
+        for &(w, l) in &merges {
+            if st.resolve(ps[w]) != st.resolve(ps[l]) {
+                st.merge(ps[w], ps[l]).unwrap();
+                applied += 1;
+            }
+        }
+
+        // Live count bookkeeping.
+        prop_assert_eq!(st.alias_count(), applied);
+        prop_assert_eq!(st.object_count() + st.alias_count(), st.slot_count());
+
+        // Resolution is idempotent and lands on a live object.
+        for &p in &ps {
+            let r = st.resolve(p);
+            prop_assert_eq!(st.resolve(r), r);
+            prop_assert!(!st.object(r).is_alias());
+        }
+
+        // Edges never increase under merging (dedup only shrinks).
+        let edges_after = st.assoc_count(authored);
+        prop_assert!(edges_after <= edges_before);
+
+        // Forward/inverse adjacency stay exact mirrors.
+        for &b in &bs {
+            for &p in st.neighbors(b, authored) {
+                prop_assert!(!st.object(p).is_alias(), "adjacency points at live objects");
+                prop_assert!(st.inverse_neighbors(p, authored).contains(&st.resolve(b)));
+            }
+        }
+        for &p in &ps {
+            let r = st.resolve(p);
+            for &b in st.inverse_neighbors(r, authored) {
+                prop_assert!(st.neighbors(b, authored).contains(&r));
+            }
+        }
+
+        // Snapshot round-trip preserves the merged state exactly.
+        let st2 = Store::from_json(&st.to_json()).unwrap();
+        prop_assert_eq!(st2.object_count(), st.object_count());
+        prop_assert_eq!(st2.assoc_count(authored), edges_after);
+        for &p in &ps {
+            prop_assert_eq!(st2.resolve(p), st.resolve(p));
+        }
+    }
+
+    #[test]
+    fn merged_attribute_pools_are_unions(
+        names_a in prop::collection::vec("[A-Z][a-z]{1,6}", 1..4),
+        names_b in prop::collection::vec("[A-Z][a-z]{1,6}", 1..4),
+    ) {
+        let mut st = Store::with_builtin_model();
+        let c_person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr("name").unwrap();
+        let a = st.add_object(c_person);
+        let b = st.add_object(c_person);
+        for n in &names_a {
+            st.add_attr(a, a_name, Value::from(n.as_str())).unwrap();
+        }
+        for n in &names_b {
+            st.add_attr(b, a_name, Value::from(n.as_str())).unwrap();
+        }
+        st.merge(a, b).unwrap();
+        let pooled: std::collections::HashSet<String> =
+            st.object(a).strs(a_name).map(str::to_owned).collect();
+        let expected: std::collections::HashSet<String> =
+            names_a.iter().chain(names_b.iter()).cloned().collect();
+        prop_assert_eq!(pooled, expected);
+    }
+}

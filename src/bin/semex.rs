@@ -1,0 +1,412 @@
+//! `semex` — command-line front end to the SEMEX platform.
+//!
+//! ```text
+//! semex build <dir> -o space.json        index a directory tree into a snapshot
+//! semex demo  -o space.json [--seed N] [--scale F]   build from a generated demo corpus
+//! semex stats <space.json>               show the association-DB inventory
+//! semex search <space.json> <query...>   object-centric keyword search
+//! semex show <space.json> <query...>     full view of the top hit (attrs, links, sources)
+//! semex explain <space.json> <query...>  provenance of every fact about the top hit
+//! semex coauthors <space.json> <name...> derived-association browse
+//! semex path <space.json> <from> <to>    association path between two people
+//! semex query <space.json> '<patterns>'  triple-pattern query, e.g.
+//!                                        '?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD"'
+//! semex top <space.json>                 importance-ranked people
+//! semex repl <space.json>                 interactive session (search / show /
+//!                                         browse / query / quit)
+//! semex timeline <space.json> <name...>   monthly activity of a person
+//! semex communities <space.json>          CoAuthor communities
+//! ```
+
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::{Semex, SemexBuilder, SemexConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  semex build <dir> -o <snapshot.json>\n  semex demo -o <snapshot.json> [--seed N] [--scale F]\n  semex stats <snapshot.json>\n  semex search <snapshot.json> <query...>\n  semex show <snapshot.json> <query...>\n  semex explain <snapshot.json> <query...>\n  semex coauthors <snapshot.json> <person name...>\n  semex path <snapshot.json> <from name> -- <to name>\n  semex query <snapshot.json> '<pattern query>'\n  semex top <snapshot.json>\n  semex repl <snapshot.json>\n  semex timeline <snapshot.json> <person>\n  semex communities <snapshot.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Semex, String> {
+    Semex::load(Path::new(path), SemexConfig::default())
+        .map_err(|e| format!("cannot load snapshot {path}: {e}"))
+}
+
+fn top_hit(semex: &Semex, query: &str) -> Option<semex::core::SearchResult> {
+    semex.search(query, 1).into_iter().next()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let result = match cmd {
+        "build" => cmd_build(&args[1..]),
+        "demo" => cmd_demo(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "search" => cmd_query(&args[1..], QueryMode::Search),
+        "show" => cmd_query(&args[1..], QueryMode::Show),
+        "explain" => cmd_query(&args[1..], QueryMode::Explain),
+        "coauthors" => cmd_query(&args[1..], QueryMode::CoAuthors),
+        "path" => cmd_path(&args[1..]),
+        "query" => cmd_pattern_query(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "repl" => cmd_repl(&args[1..]),
+        "timeline" => cmd_timeline(&args[1..]),
+        "communities" => cmd_communities(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("semex: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn out_flag(args: &[String]) -> Option<(PathBuf, Vec<&String>)> {
+    let mut rest = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" || a == "--out" {
+            out = it.next().map(PathBuf::from);
+        } else {
+            rest.push(a);
+        }
+    }
+    out.map(|o| (o, rest))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let Some((out, rest)) = out_flag(args) else {
+        return Err("build requires -o <snapshot.json>".into());
+    };
+    let [dir] = rest.as_slice() else {
+        return Err("build requires exactly one directory".into());
+    };
+    let semex = SemexBuilder::new()
+        .add_directory("home", dir.as_str())
+        .build()
+        .map_err(|e| e.to_string())?;
+    print_build(&semex);
+    semex.save(&out).map_err(|e| e.to_string())?;
+    println!("snapshot written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let Some((out, rest)) = out_flag(args) else {
+        return Err("demo requires -o <snapshot.json>".into());
+    };
+    let mut seed = 2005u64;
+    let mut scale = 1.0f64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--scale needs a number")?;
+            }
+            other => return Err(format!("unknown demo flag {other:?}")),
+        }
+    }
+    let corpus = generate_personal(
+        &CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        }
+        .scaled_size(scale),
+    );
+    let dir = std::env::temp_dir().join(format!("semex-demo-{}", std::process::id()));
+    corpus.write_to(&dir).map_err(|e| e.to_string())?;
+    let semex = SemexBuilder::new()
+        .add_directory("demo-corpus", &dir)
+        .build()
+        .map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&dir).ok();
+    print_build(&semex);
+    semex.save(&out).map_err(|e| e.to_string())?;
+    println!("snapshot written to {}", out.display());
+    Ok(())
+}
+
+fn print_build(semex: &Semex) {
+    let report = semex.report();
+    for (source, stats) in &report.extraction {
+        println!(
+            "extracted {source}: {} records, {} references, {} links",
+            stats.records, stats.objects, stats.triples
+        );
+    }
+    if let Some(r) = &report.recon {
+        println!(
+            "reconciled {} references: {} merges in {:.1?}",
+            r.refs, r.merges, r.elapsed
+        );
+    }
+    println!("indexed {} objects in {:.1?}", report.indexed, report.elapsed);
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("stats requires a snapshot path".into());
+    };
+    let semex = load(path)?;
+    print!("{}", semex.stats().table());
+    Ok(())
+}
+
+enum QueryMode {
+    Search,
+    Show,
+    Explain,
+    CoAuthors,
+}
+
+fn cmd_query(args: &[String], mode: QueryMode) -> Result<(), String> {
+    let [path, query @ ..] = args else {
+        return Err("missing snapshot path".into());
+    };
+    if query.is_empty() {
+        return Err("missing query".into());
+    }
+    let semex = load(path)?;
+    let query = query.join(" ");
+    match mode {
+        QueryMode::Search => {
+            let hits = semex.search(&query, 10);
+            if hits.is_empty() {
+                println!("no results");
+            }
+            for hit in hits {
+                println!("{:>7.2}  [{}] {}", hit.score, hit.class, hit.label);
+            }
+        }
+        QueryMode::Show => {
+            let hit = top_hit(&semex, &query).ok_or("no results")?;
+            print!("{}", semex.view(hit.object));
+        }
+        QueryMode::Explain => {
+            let hit = top_hit(&semex, &query).ok_or("no results")?;
+            println!("facts about [{}] {}:", hit.class, hit.label);
+            for (source, fact) in semex.explain(hit.object) {
+                println!("  [{source}] {fact}");
+            }
+        }
+        QueryMode::CoAuthors => {
+            let hit =
+                top_hit(&semex, &format!("class:Person {query}")).ok_or("no such person")?;
+            println!("co-authors of {}:", hit.label);
+            let coauthors = semex
+                .browser()
+                .derived_by_name(hit.object, "CoAuthor")
+                .expect("builtin derived association");
+            if coauthors.is_empty() {
+                println!("  (none)");
+            }
+            for c in coauthors {
+                println!("  {}", semex.store().label(c));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pattern_query(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("missing snapshot path".into());
+    };
+    if rest.is_empty() {
+        return Err("missing query text".into());
+    }
+    let semex = load(path)?;
+    let text = rest.join(" ");
+    let solutions = semex::browse::pattern::query_str(semex.store(), &text)
+        .map_err(|e| e.to_string())?;
+    println!("{} solution(s)", solutions.len());
+    for b in solutions.iter().take(50) {
+        let mut items: Vec<(&String, _)> = b.iter().collect();
+        items.sort();
+        let rendered: Vec<String> = items
+            .into_iter()
+            .map(|(k, v)| format!("?{k} = {}", semex.store().label(*v)))
+            .collect();
+        println!("  {}", rendered.join("   "));
+    }
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("top requires a snapshot path".into());
+    };
+    let semex = load(path)?;
+    let c_person = semex
+        .store()
+        .model()
+        .class("Person")
+        .ok_or("no Person class")?;
+    println!("most important people (association-weighted):");
+    for (obj, score) in semex::browse::analyze::importance(semex.store(), c_person, 3, 10) {
+        println!("  {score:>8.5}  {}", semex.store().label(obj));
+    }
+    Ok(())
+}
+
+/// Interactive session over a snapshot: the closest CLI equivalent of the
+/// demo's browser window.
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("repl requires a snapshot path".into());
+    };
+    let semex = load(path)?;
+    println!(
+        "semex repl — {} objects. Commands: s <query> | show <query> | b <query> | q <patterns> | help | quit",
+        semex.store().object_count()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        use std::io::{BufRead, Write};
+        print!("semex> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let input = line.trim();
+        let (cmd, rest) = input.split_once(' ').unwrap_or((input, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" => break,
+            "help" => println!(
+                "  s <query>      keyword search (class:Name filter supported)\n                   show <query>   full view of the top hit\n                   b <query>      neighbourhood of the top hit\n                   q <patterns>   triple-pattern query (?x Assoc ?y . ...)\n                   quit"
+            ),
+            "s" => {
+                for hit in semex.search(rest, 10) {
+                    println!("  {:>7.2}  [{}] {}", hit.score, hit.class, hit.label);
+                }
+            }
+            "show" => match top_hit(&semex, rest) {
+                Some(hit) => print!("{}", semex.view(hit.object)),
+                None => println!("  no results"),
+            },
+            "b" => match top_hit(&semex, rest) {
+                Some(hit) => {
+                    println!("  [{}] {}", hit.class, hit.label);
+                    for (label, count) in semex.browser().neighborhood_summary(hit.object) {
+                        println!("    {label}: {count}");
+                    }
+                }
+                None => println!("  no results"),
+            },
+            "q" => match semex::browse::pattern::query_str(semex.store(), rest) {
+                Ok(solutions) => {
+                    println!("  {} solution(s)", solutions.len());
+                    for b in solutions.iter().take(20) {
+                        let mut items: Vec<(&String, _)> = b.iter().collect();
+                        items.sort();
+                        let rendered: Vec<String> = items
+                            .into_iter()
+                            .map(|(k, v)| format!("?{k}={}", semex.store().label(*v)))
+                            .collect();
+                        println!("    {}", rendered.join("  "));
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            other => println!("  unknown command {other:?} (try: help)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("missing snapshot path".into());
+    };
+    if rest.is_empty() {
+        return Err("timeline requires a person query".into());
+    }
+    let semex = load(path)?;
+    let hit = top_hit(&semex, &format!("class:Person {}", rest.join(" ")))
+        .ok_or("no such person")?;
+    println!("activity of {}:", hit.label);
+    let tl = semex::browse::analyze::timeline(semex.store(), hit.object);
+    if tl.is_empty() {
+        println!("  (no dated activity)");
+    }
+    for ((year, month), count) in tl {
+        println!("  {year}-{month:02}  {}", "#".repeat(count.min(60)));
+    }
+    Ok(())
+}
+
+fn cmd_communities(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("communities requires a snapshot path".into());
+    };
+    let semex = load(path)?;
+    let def = semex
+        .store()
+        .model()
+        .derived("CoAuthor")
+        .ok_or("no CoAuthor rule")?
+        .clone();
+    let groups = semex::browse::analyze::communities(semex.store(), &def);
+    println!("{} CoAuthor communities:", groups.len());
+    for (i, g) in groups.iter().take(12).enumerate() {
+        let names: Vec<String> = g.iter().take(5).map(|&o| semex.store().label(o)).collect();
+        println!(
+            "  {}: {} people — {}{}",
+            i + 1,
+            g.len(),
+            names.join(", "),
+            if g.len() > 5 { ", …" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_path(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("missing snapshot path".into());
+    };
+    let sep = rest
+        .iter()
+        .position(|a| a == "--")
+        .ok_or("path requires: <from name> -- <to name>")?;
+    let (from_q, to_q) = (rest[..sep].join(" "), rest[sep + 1..].join(" "));
+    if from_q.is_empty() || to_q.is_empty() {
+        return Err("path requires: <from name> -- <to name>".into());
+    }
+    let semex = load(path)?;
+    let from = top_hit(&semex, &format!("class:Person {from_q}")).ok_or("from-person not found")?;
+    let to = top_hit(&semex, &format!("class:Person {to_q}")).ok_or("to-person not found")?;
+    match semex.browser().path_between(from.object, to.object, 6) {
+        None => println!("no connection within 6 hops"),
+        Some(steps) => {
+            for (obj, via) in steps {
+                match via {
+                    None => println!("{}", semex.store().label(obj)),
+                    Some(label) => println!("  --{label}--> {}", semex.store().label(obj)),
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! End-to-end test of the `semex` CLI binary: demo-build a snapshot, then
+//! exercise every read command against it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn semex_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_semex"))
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = semex_bin().args(args).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}{stderr}"))
+}
+
+fn snapshot_path() -> PathBuf {
+    std::env::temp_dir().join(format!("semex-cli-test-{}.json", std::process::id()))
+}
+
+#[test]
+fn cli_full_session() {
+    let snap = snapshot_path();
+    let snap_str = snap.to_string_lossy().into_owned();
+
+    // demo: build a snapshot from a small generated corpus.
+    let (ok, out) = run(&["demo", "-o", &snap_str, "--seed", "41", "--scale", "0.12"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("snapshot written"), "{out}");
+    assert!(out.contains("reconciled"), "{out}");
+
+    // stats
+    let (ok, out) = run(&["stats", &snap_str]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Person"), "{out}");
+    assert!(out.contains("Message"), "{out}");
+
+    // search
+    let (ok, out) = run(&["search", &snap_str, "class:Person", "michael"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[Person]") || out.contains("no results"), "{out}");
+
+    // show + explain on whatever search surfaces.
+    let (ok, out) = run(&["show", &snap_str, "class:Publication", "adaptive"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[Publication]"), "{out}");
+    let (ok, out) = run(&["explain", &snap_str, "class:Publication", "adaptive"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("facts about"), "{out}");
+
+    // pattern query
+    let (ok, out) = run(&["query", &snap_str, "?pub AuthoredBy ?p"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("solution(s)"), "{out}");
+
+    // importance ranking
+    let (ok, out) = run(&["top", &snap_str]);
+    assert!(ok, "{out}");
+    assert!(out.contains("most important people"), "{out}");
+
+    // analysis commands
+    let (ok, out) = run(&["communities", &snap_str]);
+    assert!(ok, "{out}");
+    assert!(out.contains("CoAuthor communities"), "{out}");
+    let (ok, out) = run(&["timeline", &snap_str, "class:Person", "michael"]);
+    assert!(ok || out.contains("no such person"), "{out}");
+
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn cli_repl_session() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let snap = std::env::temp_dir().join(format!("semex-repl-test-{}.json", std::process::id()));
+    let snap_str = snap.to_string_lossy().into_owned();
+    let (ok, out) = run(&["demo", "-o", &snap_str, "--seed", "43", "--scale", "0.12"]);
+    assert!(ok, "{out}");
+
+    let mut child = semex_bin()
+        .args(["repl", &snap_str])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"help\ns class:Person michael\nb class:Person michael\nq ?pub AuthoredBy ?p\nbogus\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("semex repl"), "{text}");
+    assert!(text.contains("keyword search"), "help shown: {text}");
+    assert!(text.contains("solution(s)"), "{text}");
+    assert!(text.contains("unknown command"), "{text}");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn cli_errors_cleanly() {
+    let (ok, out) = run(&[]);
+    assert!(!ok);
+    assert!(out.contains("usage"), "{out}");
+
+    let (ok, out) = run(&["bogus-command"]);
+    assert!(!ok);
+    assert!(out.contains("usage"), "{out}");
+
+    let (ok, out) = run(&["stats", "/definitely/not/here.json"]);
+    assert!(!ok);
+    assert!(out.contains("cannot load snapshot"), "{out}");
+
+    let (ok, out) = run(&["build", "/nope"]);
+    assert!(!ok);
+    assert!(out.contains("-o"), "{out}");
+}

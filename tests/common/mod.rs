@@ -1,0 +1,22 @@
+//! Shared helpers for the integration tests (thin wrappers over the
+//! harness crate so tests and experiments measure identically).
+
+#![allow(dead_code, unused_imports)] // not every test file uses every helper
+
+pub use semex_bench::{extract_corpus, label_references, labels_of_kind};
+
+use semex::corpus::PersonalCorpus;
+use semex::extract::{fswalk::extract_tree, ExtractContext};
+use semex::store::{SourceInfo, SourceKind, Store};
+
+/// Extract a corpus by writing it to a temp dir and walking the tree (the
+/// full production path). The caller owns cleanup of the returned dir.
+pub fn extract_corpus_from_disk(corpus: &PersonalCorpus, tag: &str) -> (Store, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("semex-it-{tag}-{}", std::process::id()));
+    corpus.write_to(&dir).unwrap();
+    let mut st = Store::with_builtin_model();
+    let src = st.register_source(SourceInfo::new("home", SourceKind::FileSystem));
+    let mut ctx = ExtractContext::new(&mut st, src);
+    extract_tree(&dir, &mut ctx).unwrap();
+    (st, dir)
+}

@@ -1,0 +1,98 @@
+//! On-the-fly integration measured against ground truth: external rows
+//! describing known entities must merge into their existing objects.
+
+mod common;
+
+use common::extract_corpus;
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::extract::csv::parse_csv;
+use semex::integrate::{import, SchemaMatcher};
+use semex::recon::{reconcile, ReconConfig, Variant};
+
+#[test]
+fn known_people_merge_unknown_people_do_not() {
+    let corpus = generate_personal(&CorpusConfig::tiny(41));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let people_before = store.class_count(store.model().class("Person").unwrap());
+
+    let known = 8.min(corpus.world.people.len());
+    let mut csv = String::from("participant,mail\n");
+    for p in corpus.world.people.iter().take(known) {
+        csv.push_str(&format!("{},{}\n", p.canonical_name(), p.emails[0]));
+    }
+    csv.push_str("Zz Visitor,zz@nowhere.example\n");
+    let table = parse_csv(&csv).unwrap();
+
+    let matcher = SchemaMatcher::new(&store);
+    let mapping = matcher.match_table(&table).expect("mapping");
+    assert_eq!(store.model().class_def(mapping.class).name, "Person");
+    let report = import(&mut store, "ext", &table, &mapping, &ReconConfig::default()).unwrap();
+
+    assert_eq!(report.created, known + 1);
+    assert_eq!(report.merged_into_existing, known, "{report:?}");
+    // Exactly one new person (the visitor). The count can even *drop*:
+    // an imported canonical-name + primary-address row sometimes bridges
+    // two not-yet-merged clusters of the same existing person.
+    let people_after = store.class_count(store.model().class("Person").unwrap());
+    assert!(
+        people_after <= people_before + 1,
+        "at most the visitor is new ({people_before} -> {people_after})"
+    );
+    let c_person = store.model().class("Person").unwrap();
+    assert!(
+        store
+            .objects_of_class(c_person)
+            .any(|p| store.label(p) == "Zz Visitor"),
+        "the unknown visitor exists as a new object"
+    );
+}
+
+#[test]
+fn publications_import_by_title() {
+    let corpus = generate_personal(&CorpusConfig::tiny(42));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let pubs_before = store.class_count(store.model().class("Publication").unwrap());
+
+    let mut csv = String::from("paper title,year\n");
+    for p in corpus.world.pubs.iter().take(10) {
+        csv.push_str(&format!("\"{}\",{}\n", p.title, p.year));
+    }
+    let table = parse_csv(&csv).unwrap();
+    let matcher = SchemaMatcher::new(&store);
+    let mapping = matcher.match_table(&table).expect("mapping");
+    assert_eq!(store.model().class_def(mapping.class).name, "Publication");
+    let report = import(&mut store, "reading", &table, &mapping, &ReconConfig::default()).unwrap();
+    assert_eq!(report.merged_into_existing, 10, "{report:?}");
+    let pubs_after = store.class_count(store.model().class("Publication").unwrap());
+    assert_eq!(pubs_after, pubs_before);
+}
+
+#[test]
+fn import_provenance_is_tracked() {
+    let corpus = generate_personal(&CorpusConfig::tiny(43));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+
+    let p0 = &corpus.world.people[0];
+    let csv = format!("name,email\n{},{}\n", p0.canonical_name(), p0.emails[0]);
+    let table = parse_csv(&csv).unwrap();
+    let matcher = SchemaMatcher::new(&store);
+    let mapping = matcher.match_table(&table).unwrap();
+    let report = import(&mut store, "one-row", &table, &mapping, &ReconConfig::default()).unwrap();
+
+    // The merged person's object carries the import source alongside its
+    // original extraction source.
+    let c_person = store.model().class("Person").unwrap();
+    let merged = store
+        .objects_of_class(c_person)
+        .find(|&p| {
+            store.object(p).sources.contains(&report.source)
+        })
+        .expect("an object carries the import's provenance");
+    assert!(
+        store.object(merged).sources.len() >= 2,
+        "import + original extraction sources"
+    );
+}

@@ -1,0 +1,85 @@
+//! End-to-end reconciliation quality on the synthetic personal corpus:
+//! extract → reconcile (each variant) → score against ground truth.
+//!
+//! These tests assert the *shape* claims of the paper's evaluation: every
+//! variant is high-precision; recall (and hence F1) climbs as machinery is
+//! added; the full algorithm consolidates references substantially.
+
+mod common;
+
+use common::{extract_corpus, label_references};
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::recon::{pair_metrics, reconcile, Metrics, ReconConfig, Variant};
+
+fn run_variant(cfg: &CorpusConfig, variant: Variant) -> (Metrics, usize, usize) {
+    let corpus = generate_personal(cfg);
+    let mut store = extract_corpus(&corpus);
+    let labels = label_references(&store, &corpus.truth);
+    let refs_before = store.object_count();
+    let report = reconcile(&mut store, variant, &ReconConfig::default());
+    let refs_after = store.object_count();
+    (pair_metrics(&report.clusters, &labels), refs_before, refs_after)
+}
+
+fn corpus_cfg() -> CorpusConfig {
+    CorpusConfig {
+        seed: 77,
+        people: 60,
+        organizations: 6,
+        venues: 8,
+        publications: 120,
+        messages: 500,
+        ..CorpusConfig::default()
+    }
+}
+
+#[test]
+fn full_variant_has_high_precision_and_recall() {
+    let (m, before, after) = run_variant(&corpus_cfg(), Variant::Full);
+    eprintln!("full: {m} ({before} -> {after} objects)");
+    assert!(m.precision >= 0.9, "precision too low: {m}");
+    assert!(m.recall >= 0.75, "recall too low: {m}");
+    assert!(after < before, "reconciliation must consolidate");
+}
+
+#[test]
+fn variant_ladder_improves_f1() {
+    let cfg = corpus_cfg();
+    let mut results = Vec::new();
+    for v in Variant::ALL {
+        let (m, _, _) = run_variant(&cfg, v);
+        eprintln!("{v:>12}: {m}");
+        results.push((v, m));
+    }
+    // Precision stays high everywhere…
+    for (v, m) in &results {
+        assert!(m.precision >= 0.85, "{v}: precision {m}");
+    }
+    // …while recall climbs along the ladder (allowing tiny wobble).
+    let recalls: Vec<f64> = results.iter().map(|(_, m)| m.recall).collect();
+    for w in recalls.windows(2) {
+        assert!(w[1] >= w[0] - 0.02, "recall regressed along the ladder: {recalls:?}");
+    }
+    // The evidence-using variants clearly beat the attribute-only
+    // baseline, and the full algorithm keeps (nearly all of) that gain.
+    let f1_attr = results[0].1.f1;
+    let f1_full = results[3].1.f1;
+    let f1_best = results.iter().map(|(_, m)| m.f1).fold(0.0_f64, f64::max);
+    assert!(
+        f1_best > f1_attr + 0.015,
+        "evidence must clearly beat attr-only ({f1_best:.3} vs {f1_attr:.3})"
+    );
+    assert!(
+        f1_full > f1_attr + 0.005,
+        "full ({f1_full:.3}) must beat attr-only ({f1_attr:.3})"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let cfg = corpus_cfg();
+    let (m1, _, a1) = run_variant(&cfg, Variant::Full);
+    let (m2, _, a2) = run_variant(&cfg, Variant::Full);
+    assert_eq!(m1, m2);
+    assert_eq!(a1, a2);
+}

@@ -1,0 +1,114 @@
+//! Search quality against ground truth: queries for known entities must
+//! rank the right reconciled object first.
+
+mod common;
+
+use common::{extract_corpus, label_references};
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::index::SearchIndex;
+use semex::recon::{reconcile, ReconConfig, Variant};
+
+#[test]
+fn canonical_name_queries_hit_the_right_person() {
+    let corpus = generate_personal(&CorpusConfig::tiny(31));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let labels = label_references(&store, &corpus.truth);
+    let index = SearchIndex::build(&store);
+
+    let mut rr_sum = 0.0;
+    let mut n = 0;
+    for p in &corpus.world.people {
+        let target = (1u64 << 32) | p.id as u64;
+        let hits = index.search_str(&store, &p.canonical_name(), 10);
+        n += 1;
+        if let Some(rank) = hits
+            .iter()
+            .position(|h| labels.get(&store.resolve(h.object)) == Some(&target))
+        {
+            rr_sum += 1.0 / (rank + 1) as f64;
+        }
+    }
+    let mrr = rr_sum / n as f64;
+    assert!(mrr >= 0.9, "MRR {mrr:.3} over {n} name queries");
+}
+
+#[test]
+fn title_queries_hit_the_right_publication() {
+    let corpus = generate_personal(&CorpusConfig::tiny(32));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let labels = label_references(&store, &corpus.truth);
+    let index = SearchIndex::build(&store);
+
+    let mut top1 = 0;
+    let n = corpus.world.pubs.len();
+    for p in &corpus.world.pubs {
+        let target = (2u64 << 32) | p.id as u64;
+        let hits = index.search_str(&store, &format!("class:Publication {}", p.title), 3);
+        if hits
+            .first()
+            .is_some_and(|h| labels.get(&store.resolve(h.object)) == Some(&target))
+        {
+            top1 += 1;
+        }
+    }
+    assert!(
+        top1 as f64 >= n as f64 * 0.9,
+        "{top1}/{n} title queries rank the true publication first"
+    );
+}
+
+#[test]
+fn email_queries_resolve_aliases() {
+    let corpus = generate_personal(&CorpusConfig::tiny(33));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let labels = label_references(&store, &corpus.truth);
+    let index = SearchIndex::build(&store);
+
+    let mut ok = 0;
+    let mut n = 0;
+    for p in &corpus.world.people {
+        let target = (1u64 << 32) | p.id as u64;
+        for email in &p.emails {
+            // Only query addresses that actually appeared in the corpus.
+            if corpus
+                .truth
+                .entity_of(semex::corpus::EntityKind::Person, email)
+                .is_none()
+            {
+                continue;
+            }
+            n += 1;
+            let hits = index.search_str(&store, email, 3);
+            if hits
+                .iter()
+                .any(|h| labels.get(&store.resolve(h.object)) == Some(&target))
+            {
+                ok += 1;
+            }
+        }
+    }
+    assert!(n > 0);
+    assert!(
+        ok as f64 >= n as f64 * 0.95,
+        "{ok}/{n} e-mail queries find their person"
+    );
+}
+
+#[test]
+fn class_filter_excludes_other_classes() {
+    let corpus = generate_personal(&CorpusConfig::tiny(34));
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let index = SearchIndex::build(&store);
+    let c_person = store.model().class("Person").unwrap();
+
+    // Person-name tokens also appear inside message subjects/bodies; the
+    // filter must keep only Person objects.
+    let name = corpus.world.people[0].canonical_name();
+    for hit in index.search_str(&store, &format!("class:Person {name}"), 20) {
+        assert_eq!(store.class_of(hit.object), c_person);
+    }
+}
