@@ -5,6 +5,9 @@ use semex_browse::{Browser, Link};
 use semex_extract::csv::{parse_csv, Table};
 use semex_index::SearchIndex;
 use semex_integrate::{import, ImportReport, SchemaMatcher};
+use semex_journal::{
+    CompactionReport, DurableStore, Journal, JournalConfig, JournalError, RecoveryReport,
+};
 use semex_store::{ObjectId, SnapshotError, Store, StoreStats};
 use std::fmt;
 
@@ -326,6 +329,9 @@ impl Semex {
     }
 
     /// Restore a platform from a snapshot (rebuilds the keyword index).
+    /// The returned platform's [`BuildReport`] is marked
+    /// [`restored`](BuildReport::restored): empty extraction stats mean
+    /// "loaded, not built", not "built from nothing".
     pub fn load(path: &std::path::Path, config: SemexConfig) -> Result<Semex, SnapshotError> {
         let store = Store::load(path)?;
         let index = SearchIndex::build(&store);
@@ -334,13 +340,134 @@ impl Semex {
             store,
             index,
             config,
-            report: BuildReport {
-                extraction: Vec::new(),
-                recon: None,
-                indexed,
-                elapsed: std::time::Duration::ZERO,
-            },
+            report: BuildReport::restored(indexed),
         })
+    }
+
+    /// Open a durable platform backed by a write-ahead journal directory:
+    /// recover the store from snapshot + journal replay (initializing the
+    /// directory on first use) and rebuild the keyword index. See
+    /// [`DurableSemex`].
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        config: SemexConfig,
+    ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
+        Semex::open_durable_with(dir, config, JournalConfig::default())
+    }
+
+    /// [`Semex::open_durable`] with explicit journal tunables.
+    pub fn open_durable_with(
+        dir: impl AsRef<std::path::Path>,
+        config: SemexConfig,
+        journal_config: JournalConfig,
+    ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
+        let (durable, report) = DurableStore::open(dir, journal_config)?;
+        let (store, journal) = durable.into_parts();
+        let index = SearchIndex::build(&store);
+        let indexed = index.doc_count();
+        let semex = Semex {
+            store,
+            index,
+            config,
+            report: BuildReport::restored(indexed),
+        };
+        Ok((DurableSemex { semex, journal }, report))
+    }
+
+    /// Put an already-built platform under journal protection: the
+    /// directory is initialized with a snapshot of this platform's store
+    /// (it must not already hold a journal), and every subsequent mutation
+    /// is journaled. See [`DurableSemex`].
+    pub fn into_durable(
+        mut self,
+        dir: impl AsRef<std::path::Path>,
+        journal_config: JournalConfig,
+    ) -> Result<DurableSemex, JournalError> {
+        let dir = dir.as_ref();
+        let (durable, report) = DurableStore::open_with(dir, journal_config, self.store)?;
+        if !report.initialized {
+            return Err(JournalError::Invalid {
+                dir: dir.to_path_buf(),
+                reason: "directory already holds a journal; open it with open_durable instead"
+                    .into(),
+            });
+        }
+        let (store, journal) = durable.into_parts();
+        self.store = store;
+        Ok(DurableSemex {
+            semex: self,
+            journal,
+        })
+    }
+}
+
+/// A [`Semex`] platform whose store mutations are journaled to disk.
+///
+/// Dereferences to [`Semex`], so every query and mutation API is available
+/// directly. Mutations (ingest, integrate, assert-same feedback, …) are
+/// buffered as store events; call [`commit`](DurableSemex::commit) to make
+/// them durable — after a crash, [`Semex::open_durable`] recovers exactly
+/// the committed state. [`compact`](DurableSemex::compact) folds the
+/// journal into a fresh snapshot when replay gets long.
+pub struct DurableSemex {
+    semex: Semex,
+    journal: Journal,
+}
+
+impl fmt::Debug for DurableSemex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableSemex")
+            .field("semex", &self.semex)
+            .field("journal_dir", &self.journal.dir())
+            .field("epoch", &self.journal.epoch())
+            .field("pending_events", &self.semex.store.pending_events())
+            .finish()
+    }
+}
+
+impl std::ops::Deref for DurableSemex {
+    type Target = Semex;
+
+    fn deref(&self) -> &Semex {
+        &self.semex
+    }
+}
+
+impl std::ops::DerefMut for DurableSemex {
+    fn deref_mut(&mut self) -> &mut Semex {
+        &mut self.semex
+    }
+}
+
+impl DurableSemex {
+    /// The underlying journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Store events buffered since the last commit.
+    pub fn pending_events(&self) -> usize {
+        self.semex.store.pending_events()
+    }
+
+    /// Append all buffered mutation events to the journal and fsync.
+    /// Returns the number of events made durable.
+    pub fn commit(&mut self) -> Result<usize, JournalError> {
+        self.journal.commit(&mut self.semex.store)
+    }
+
+    /// Commit, then fold the whole journal into a new snapshot and delete
+    /// the old epoch's files.
+    pub fn compact(&mut self) -> Result<CompactionReport, JournalError> {
+        self.commit()?;
+        self.journal.compact(&self.semex.store)
+    }
+
+    /// Detach the platform from its journal (for read-only use of a
+    /// recovered space). Uncommitted events are lost; the journal files
+    /// stay valid on disk.
+    pub fn into_inner(self) -> Semex {
+        self.semex
     }
 }
 
@@ -441,6 +568,85 @@ mod tests {
         );
         assert_eq!(restored.search("reconciliation", 5).len(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restored_platform_reports_itself_as_restored() {
+        let semex = demo();
+        assert!(!semex.report().restored, "a built platform is not restored");
+        let dir = std::env::temp_dir().join(format!("semex-restored-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        semex.save(&path).unwrap();
+        let restored = Semex::load(&path, SemexConfig::default()).unwrap();
+        assert!(restored.report().restored);
+        assert!(restored.report().extraction.is_empty());
+        assert_eq!(restored.report().indexed, semex.report().indexed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durable_platform_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("semex-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal_cfg = JournalConfig {
+            fsync: false,
+            ..JournalConfig::default()
+        };
+        let (mut durable, report) = Semex::open_durable_with(
+            &dir,
+            SemexConfig::default(),
+            journal_cfg.clone(),
+        )
+        .unwrap();
+        assert!(report.initialized);
+        durable
+            .ingest(crate::SourceSpec::Mbox {
+                name: "inbox".into(),
+                content: "From: Xin Dong <luna@cs.example.edu>\nTo: alon@cs.example.edu\nSubject: demo plan\n\nhi".into(),
+            })
+            .unwrap();
+        let committed = durable.commit().unwrap();
+        assert!(committed > 0);
+        let objects = durable.store().object_count();
+        assert_eq!(durable.search("demo", 5).len(), 1);
+        drop(durable);
+
+        let (reopened, report) =
+            Semex::open_durable_with(&dir, SemexConfig::default(), journal_cfg).unwrap();
+        assert!(!report.initialized);
+        assert!(report.damage.is_none(), "{report:?}");
+        assert_eq!(reopened.store().object_count(), objects);
+        assert!(reopened.report().restored);
+        // The keyword index is rebuilt over the recovered store.
+        assert_eq!(reopened.search("demo", 5).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn into_durable_adopts_a_built_platform() {
+        let dir = std::env::temp_dir().join(format!("semex-adopt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal_cfg = JournalConfig {
+            fsync: false,
+            ..JournalConfig::default()
+        };
+        let built = demo();
+        let objects = built.store().object_count();
+        let durable = built.into_durable(&dir, journal_cfg.clone()).unwrap();
+        assert_eq!(durable.store().object_count(), objects);
+        drop(durable);
+
+        // The built state was snapshotted: a plain reopen recovers it.
+        let (reopened, _) =
+            Semex::open_durable_with(&dir, SemexConfig::default(), journal_cfg.clone()).unwrap();
+        assert_eq!(reopened.store().object_count(), objects);
+        assert_eq!(reopened.search("reconciliation", 5).len(), 1);
+        drop(reopened);
+
+        // Adopting into a directory that already holds a journal is refused.
+        assert!(demo().into_durable(&dir, journal_cfg).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,5 +35,8 @@
 mod facade;
 mod pipeline;
 
-pub use facade::{ObjectView, SearchResult, Semex};
+pub use facade::{DurableSemex, ObjectView, SearchResult, Semex};
 pub use pipeline::{BuildReport, SemexBuilder, SemexConfig, SemexError, SourceSpec};
+pub use semex_journal::{
+    CompactionReport, JournalConfig, JournalError, RecoveryReport,
+};

@@ -153,6 +153,26 @@ pub struct BuildReport {
     pub indexed: usize,
     /// Total wall-clock time.
     pub elapsed: std::time::Duration,
+    /// True when this platform was restored from persisted state (snapshot
+    /// or journal) rather than built by the pipeline: extraction and
+    /// reconciliation never ran in this session, so their stats are empty
+    /// by construction, not because nothing was ever extracted.
+    pub restored: bool,
+}
+
+impl BuildReport {
+    /// The report of a platform restored from persisted state: no
+    /// extraction, no reconciliation, `indexed` objects in the rebuilt
+    /// keyword index.
+    pub fn restored(indexed: usize) -> BuildReport {
+        BuildReport {
+            extraction: Vec::new(),
+            recon: None,
+            indexed,
+            elapsed: std::time::Duration::ZERO,
+            restored: true,
+        }
+    }
 }
 
 /// Builder for a [`Semex`] platform.
@@ -297,6 +317,7 @@ impl SemexBuilder {
             recon,
             indexed: index.doc_count(),
             elapsed: start.elapsed(),
+            restored: false,
         };
         Ok(Semex::assemble(store, index, self.config, report))
     }

@@ -1,0 +1,710 @@
+//! The journal proper: appending, recovery, compaction.
+
+use crate::record::{self, Decoded};
+use crate::segment::{
+    parse_segment_name, parse_snapshot_name, segment_file_name, snapshot_file_name,
+    SegmentHeader, SEGMENT_HEADER_LEN,
+};
+use semex_store::{SnapshotError, Store, StoreEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Errors raised by journal operations.
+#[derive(Debug)]
+pub enum JournalError {
+    /// File I/O failure, with the path involved.
+    Io {
+        /// The file or directory being accessed.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// The snapshot inside the journal directory failed to load or save.
+    Snapshot(SnapshotError),
+    /// A store event failed to serialize (a bug, not a disk condition).
+    Encode(serde_json::Error),
+    /// The directory's files are not a usable journal (e.g. segments
+    /// without any snapshot, or adopting into a non-empty directory).
+    Invalid {
+        /// The journal directory.
+        dir: PathBuf,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl JournalError {
+    pub(crate) fn io(path: impl Into<PathBuf>, error: std::io::Error) -> Self {
+        JournalError::Io {
+            path: path.into(),
+            error,
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, error } => {
+                write!(f, "journal I/O error on {}: {error}", path.display())
+            }
+            JournalError::Snapshot(e) => write!(f, "journal snapshot error: {e}"),
+            JournalError::Encode(e) => write!(f, "journal event encoding error: {e}"),
+            JournalError::Invalid { dir, reason } => {
+                write!(f, "invalid journal directory {}: {reason}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { error, .. } => Some(error),
+            JournalError::Snapshot(e) => Some(e),
+            JournalError::Encode(e) => Some(e),
+            JournalError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for JournalError {
+    fn from(e: SnapshotError) -> Self {
+        JournalError::Snapshot(e)
+    }
+}
+
+impl From<serde_json::Error> for JournalError {
+    fn from(e: serde_json::Error) -> Self {
+        JournalError::Encode(e)
+    }
+}
+
+/// Journal tunables.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Rotate to a new segment once the current one reaches this many bytes.
+    pub segment_max_bytes: u64,
+    /// `fsync` segment data on every commit (and snapshots always). Disable
+    /// only for throwaway stores and benchmarks.
+    pub fsync: bool,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            segment_max_bytes: 8 * 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// Why replay stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamageKind {
+    /// The segment ends mid-record: the classic torn write of a crash.
+    Torn,
+    /// A record's checksum or length field is wrong, or its payload does
+    /// not decode to an event.
+    Corrupt,
+    /// The segment file has no valid header.
+    BadHeader,
+    /// The segment's start sequence does not continue the log (duplicated,
+    /// reordered or missing segment).
+    SequenceMismatch,
+    /// A decoded event did not apply cleanly to the recovering store.
+    Apply,
+}
+
+/// Where and why replay stopped; everything before this point was recovered.
+#[derive(Debug, Clone)]
+pub struct Damage {
+    /// The segment file in which damage was found.
+    pub segment: PathBuf,
+    /// Byte offset of the first damaged record within that segment.
+    pub offset: u64,
+    /// The kind of damage.
+    pub kind: DamageKind,
+}
+
+/// What recovery did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The epoch whose snapshot seeded the store.
+    pub epoch: u64,
+    /// Global sequence number at the snapshot.
+    pub base_seq: u64,
+    /// Events replayed from the journal on top of the snapshot.
+    pub events_applied: u64,
+    /// Segment files that contributed replayed events.
+    pub segments_replayed: usize,
+    /// Damage that stopped replay, if any. The journal is physically
+    /// repaired (damaged tail truncated, unreachable segments removed), so
+    /// a subsequent recovery is clean.
+    pub damage: Option<Damage>,
+    /// True when the directory was empty and a fresh journal was initialized.
+    pub initialized: bool,
+}
+
+/// What compaction did.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// The new epoch.
+    pub epoch: u64,
+    /// Journaled events folded into the new snapshot (since the last one).
+    pub folded_events: u64,
+    /// Old files removed.
+    pub removed_files: usize,
+    /// Total size of the removed files in bytes.
+    pub removed_bytes: u64,
+}
+
+/// First line of a snapshot file: journal bookkeeping for the store
+/// snapshot that follows on the second line.
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotMeta {
+    /// Journal format version.
+    journal_version: u32,
+    /// Compaction epoch of this snapshot.
+    epoch: u64,
+    /// Global event sequence number the snapshot folds in.
+    seq: u64,
+}
+
+/// An open, append-position segment file.
+#[derive(Debug)]
+struct OpenSegment {
+    file: File,
+    path: PathBuf,
+    written: u64,
+}
+
+/// An append-only, checksummed write-ahead log of [`StoreEvent`]s.
+///
+/// The journal owns the files inside one directory (see the module docs of
+/// [`crate::segment`] for the layout). It tracks the current epoch and the
+/// global event sequence number; [`Journal::commit`] drains a recording
+/// store's event buffer, appends one framed record per event, and fsyncs.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    config: JournalConfig,
+    epoch: u64,
+    next_seq: u64,
+    next_segment_index: u64,
+    current: Option<OpenSegment>,
+}
+
+impl Journal {
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    /// The current compaction epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Global sequence number the next appended event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append a batch of events and make them durable (one fsync per call
+    /// when the configuration asks for it). Returns the number appended.
+    pub fn append_commit(&mut self, events: &[StoreEvent]) -> Result<usize, JournalError> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let mut batch: Vec<u8> = Vec::new();
+        for event in events {
+            let payload = serde_json::to_vec(event)?;
+            // Rotate between records, never mid-record.
+            let segment_full = self
+                .current
+                .as_ref()
+                .is_some_and(|s| s.written + batch.len() as u64 >= self.config.segment_max_bytes);
+            if self.current.is_none() || segment_full {
+                self.flush_batch(&mut batch)?;
+                if segment_full {
+                    self.finish_segment()?;
+                }
+                self.open_segment()?;
+            }
+            record::encode(&payload, &mut batch);
+            self.next_seq += 1;
+        }
+        self.flush_batch(&mut batch)?;
+        self.sync()?;
+        Ok(events.len())
+    }
+
+    /// Drain a recording store's event buffer and append-commit it.
+    pub fn commit(&mut self, store: &mut Store) -> Result<usize, JournalError> {
+        let events = store.take_events();
+        self.append_commit(&events)
+    }
+
+    /// Fsync the current segment (no-op when `fsync` is off or nothing is
+    /// open).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        if let Some(seg) = &mut self.current {
+            if self.config.fsync {
+                seg.file
+                    .sync_data()
+                    .map_err(|e| JournalError::io(&seg.path, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold the journal into a fresh snapshot of `store` under `epoch + 1`
+    /// and delete the files of the previous epoch. The store must have no
+    /// undrained events (commit first); `store` must be the state produced
+    /// by snapshot + all journaled events.
+    pub fn compact(&mut self, store: &Store) -> Result<CompactionReport, JournalError> {
+        let new_epoch = self.epoch + 1;
+        write_snapshot(&self.dir, new_epoch, self.next_seq, store, self.config.fsync)?;
+        let folded = self.count_current_epoch_events();
+        let (removed_files, removed_bytes) = self.remove_stale_epochs(new_epoch);
+        self.epoch = new_epoch;
+        self.next_segment_index = 0;
+        self.current = None;
+        Ok(CompactionReport {
+            epoch: new_epoch,
+            folded_events: folded,
+            removed_files,
+            removed_bytes,
+        })
+    }
+
+    /// Sizes of the live journal files `(segment_count, segment_bytes)`.
+    pub fn segment_usage(&self) -> (usize, u64) {
+        let mut count = 0;
+        let mut bytes = 0;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some((epoch, _)) = parse_segment_name(name) {
+                    if epoch == self.epoch {
+                        count += 1;
+                        bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        (count, bytes)
+    }
+
+    fn count_current_epoch_events(&self) -> u64 {
+        // next_seq minus the base of the current snapshot; read it back
+        // lazily (compaction is rare).
+        let path = self.dir.join(snapshot_file_name(self.epoch));
+        match read_snapshot_meta(&path) {
+            Ok(meta) => self.next_seq.saturating_sub(meta.seq),
+            Err(_) => 0,
+        }
+    }
+
+    /// Write bytes buffered for the current segment.
+    fn flush_batch(&mut self, batch: &mut Vec<u8>) -> Result<(), JournalError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let seg = self
+            .current
+            .as_mut()
+            .expect("flush_batch only called with an open segment");
+        seg.file
+            .write_all(batch)
+            .map_err(|e| JournalError::io(&seg.path, e))?;
+        seg.written += batch.len() as u64;
+        batch.clear();
+        Ok(())
+    }
+
+    /// Close the current segment, fsyncing its tail.
+    fn finish_segment(&mut self) -> Result<(), JournalError> {
+        self.sync()?;
+        self.current = None;
+        Ok(())
+    }
+
+    /// Create the next segment file and write its header.
+    fn open_segment(&mut self) -> Result<(), JournalError> {
+        if self.current.is_some() {
+            return Ok(());
+        }
+        let path = self
+            .dir
+            .join(segment_file_name(self.epoch, self.next_segment_index));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| JournalError::io(&path, e))?;
+        let header = SegmentHeader {
+            epoch: self.epoch,
+            start_seq: self.next_seq,
+        };
+        file.write_all(&header.encode())
+            .map_err(|e| JournalError::io(&path, e))?;
+        if self.config.fsync {
+            sync_dir(&self.dir)?;
+        }
+        self.next_segment_index += 1;
+        self.current = Some(OpenSegment {
+            file,
+            path,
+            written: SEGMENT_HEADER_LEN as u64,
+        });
+        Ok(())
+    }
+
+    /// Delete snapshots and segments older than `keep_epoch`, plus stray
+    /// temporary files. Best-effort: failures are ignored (stale files are
+    /// ignored by recovery anyway).
+    fn remove_stale_epochs(&self, keep_epoch: u64) -> (usize, u64) {
+        let mut removed = 0usize;
+        let mut bytes = 0u64;
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = match (parse_snapshot_name(name), parse_segment_name(name)) {
+                (Some(epoch), _) => epoch < keep_epoch,
+                (_, Some((epoch, _))) => epoch < keep_epoch,
+                _ => name.ends_with(".tmp"),
+            };
+            if stale {
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                if fs::remove_file(entry.path()).is_ok() {
+                    removed += 1;
+                    bytes += len;
+                }
+            }
+        }
+        (removed, bytes)
+    }
+}
+
+/// Atomically write the `epoch` snapshot of `store` (meta line + store
+/// JSON) via a temp file and rename.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    epoch: u64,
+    seq: u64,
+    store: &Store,
+    fsync: bool,
+) -> Result<(), JournalError> {
+    let final_path = dir.join(snapshot_file_name(epoch));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
+    let meta = SnapshotMeta {
+        journal_version: crate::segment::FORMAT_VERSION,
+        epoch,
+        seq,
+    };
+    {
+        let mut f = File::create(&tmp_path).map_err(|e| JournalError::io(&tmp_path, e))?;
+        let mut contents = serde_json::to_string(&meta)?;
+        contents.push('\n');
+        contents.push_str(&store.to_json());
+        f.write_all(contents.as_bytes())
+            .map_err(|e| JournalError::io(&tmp_path, e))?;
+        if fsync {
+            f.sync_all().map_err(|e| JournalError::io(&tmp_path, e))?;
+        }
+    }
+    fs::rename(&tmp_path, &final_path).map_err(|e| JournalError::io(&final_path, e))?;
+    if fsync {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Read just the meta line of a snapshot file.
+fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, JournalError> {
+    let contents = fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
+    let meta_line = contents.lines().next().unwrap_or("");
+    Ok(serde_json::from_str(meta_line)?)
+}
+
+/// Load a snapshot file: meta line, then the store image.
+fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
+    let contents = fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
+    let (meta_line, store_json) = contents.split_once('\n').ok_or_else(|| {
+        JournalError::Invalid {
+            dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+            reason: format!("snapshot {} has no meta line", path.display()),
+        }
+    })?;
+    let meta: SnapshotMeta = serde_json::from_str(meta_line)?;
+    let store = Store::from_json(store_json)?;
+    Ok((meta, store))
+}
+
+/// Fsync a directory so renames and creations inside it are durable.
+fn sync_dir(dir: &Path) -> Result<(), JournalError> {
+    let d = File::open(dir).map_err(|e| JournalError::io(dir, e))?;
+    d.sync_all().map_err(|e| JournalError::io(dir, e))
+}
+
+/// Open a journal directory: load the newest snapshot, replay its epoch's
+/// segments (truncating at the first torn or corrupt record), and return
+/// the recovered store plus an append-ready journal.
+///
+/// An empty (or absent) directory is initialized with an empty
+/// builtin-model store. Replay damage is *repaired*: the damaged segment is
+/// truncated to its last valid record and unreachable later segments are
+/// deleted, so the next recovery is clean and appends continue from the
+/// recovered state.
+pub fn recover(
+    dir: &Path,
+    config: JournalConfig,
+) -> Result<(Store, Journal, RecoveryReport), JournalError> {
+    recover_inner(dir, config, None)
+}
+
+/// [`recover`], but an empty directory is initialized with `initial`
+/// instead of an empty builtin-model store.
+pub fn recover_or_adopt(
+    dir: &Path,
+    config: JournalConfig,
+    initial: Store,
+) -> Result<(Store, Journal, RecoveryReport), JournalError> {
+    recover_inner(dir, config, Some(initial))
+}
+
+fn recover_inner(
+    dir: &Path,
+    config: JournalConfig,
+    initial: Option<Store>,
+) -> Result<(Store, Journal, RecoveryReport), JournalError> {
+    fs::create_dir_all(dir).map_err(|e| JournalError::io(dir, e))?;
+
+    // Inventory the directory.
+    let mut snapshot_epochs: Vec<u64> = Vec::new();
+    let mut segments: Vec<(u64, u64)> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| JournalError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| JournalError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(epoch) = parse_snapshot_name(name) {
+            snapshot_epochs.push(epoch);
+        } else if let Some(key) = parse_segment_name(name) {
+            segments.push(key);
+        }
+    }
+
+    let Some(&epoch) = snapshot_epochs.iter().max() else {
+        if !segments.is_empty() {
+            return Err(JournalError::Invalid {
+                dir: dir.to_path_buf(),
+                reason: "journal segments present but no snapshot".into(),
+            });
+        }
+        // Fresh directory: initialize epoch 0.
+        let store = initial.unwrap_or_else(Store::with_builtin_model);
+        write_snapshot(dir, 0, 0, &store, config.fsync)?;
+        let journal = Journal {
+            dir: dir.to_path_buf(),
+            config,
+            epoch: 0,
+            next_seq: 0,
+            next_segment_index: 0,
+            current: None,
+        };
+        let report = RecoveryReport {
+            epoch: 0,
+            base_seq: 0,
+            events_applied: 0,
+            segments_replayed: 0,
+            damage: None,
+            initialized: true,
+        };
+        return Ok((store, journal, report));
+    };
+
+    let (meta, mut store) = read_snapshot(&dir.join(snapshot_file_name(epoch)))?;
+    if meta.epoch != epoch {
+        return Err(JournalError::Invalid {
+            dir: dir.to_path_buf(),
+            reason: format!(
+                "snapshot file for epoch {epoch} records epoch {} inside",
+                meta.epoch
+            ),
+        });
+    }
+
+    // Clean up files a crashed compaction left behind: older snapshots,
+    // other-epoch segments, temp files. Best-effort.
+    for e in &snapshot_epochs {
+        if *e < epoch {
+            fs::remove_file(dir.join(snapshot_file_name(*e))).ok();
+        }
+    }
+    for (seg_epoch, index) in &segments {
+        if *seg_epoch != epoch {
+            fs::remove_file(dir.join(segment_file_name(*seg_epoch, *index))).ok();
+        }
+    }
+
+    // Replay this epoch's segments in index order.
+    let mut live: Vec<u64> = segments
+        .iter()
+        .filter(|(e, _)| *e == epoch)
+        .map(|(_, i)| *i)
+        .collect();
+    live.sort_unstable();
+
+    let mut report = RecoveryReport {
+        epoch,
+        base_seq: meta.seq,
+        events_applied: 0,
+        segments_replayed: 0,
+        damage: None,
+        initialized: false,
+    };
+    let mut expected_seq = meta.seq;
+    let mut last_good_index: Option<u64> = None;
+
+    'segments: for (pos, &index) in live.iter().enumerate() {
+        let path = dir.join(segment_file_name(epoch, index));
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| JournalError::io(&path, e))?;
+
+        let damage_kind = match SegmentHeader::decode(&bytes) {
+            None => Some(DamageKind::BadHeader),
+            Some(h) if h.epoch != epoch || h.start_seq != expected_seq => {
+                Some(DamageKind::SequenceMismatch)
+            }
+            Some(_) => None,
+        };
+        if let Some(kind) = damage_kind {
+            report.damage = Some(Damage {
+                segment: path.clone(),
+                offset: 0,
+                kind,
+            });
+            // The whole segment (and everything after it) is unreachable.
+            remove_segments(dir, epoch, &live[pos..]);
+            break 'segments;
+        }
+
+        let mut offset = SEGMENT_HEADER_LEN;
+        loop {
+            match record::decode(&bytes[offset..]) {
+                Decoded::End => break,
+                Decoded::Record { payload, consumed } => {
+                    let applied = serde_json::from_slice::<StoreEvent>(payload)
+                        .map_err(|_| DamageKind::Corrupt)
+                        .and_then(|event| {
+                            store.apply_event(&event).map_err(|_| DamageKind::Apply)
+                        });
+                    match applied {
+                        Ok(()) => {
+                            offset += consumed;
+                            expected_seq += 1;
+                            report.events_applied += 1;
+                        }
+                        Err(kind) => {
+                            report.damage = Some(Damage {
+                                segment: path.clone(),
+                                offset: offset as u64,
+                                kind,
+                            });
+                            truncate_segment(&path, offset as u64);
+                            remove_segments(dir, epoch, &live[pos + 1..]);
+                            break 'segments;
+                        }
+                    }
+                }
+                torn_or_corrupt => {
+                    let kind = if torn_or_corrupt == Decoded::Torn {
+                        DamageKind::Torn
+                    } else {
+                        DamageKind::Corrupt
+                    };
+                    report.damage = Some(Damage {
+                        segment: path.clone(),
+                        offset: offset as u64,
+                        kind,
+                    });
+                    truncate_segment(&path, offset as u64);
+                    remove_segments(dir, epoch, &live[pos + 1..]);
+                    break 'segments;
+                }
+            }
+        }
+        report.segments_replayed += 1;
+        last_good_index = Some(index);
+    }
+
+    let next_segment_index = match report.damage {
+        // After damage, the truncated segment keeps its index; appends go
+        // to a fresh segment after it (or in its place if it was removed).
+        Some(ref d) => match d.kind {
+            DamageKind::BadHeader | DamageKind::SequenceMismatch => {
+                parse_segment_name(
+                    d.segment
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or(""),
+                )
+                .map(|(_, i)| i)
+                .unwrap_or(0)
+            }
+            _ => {
+                parse_segment_name(
+                    d.segment
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or(""),
+                )
+                .map(|(_, i)| i + 1)
+                .unwrap_or(0)
+            }
+        },
+        None => last_good_index.map(|i| i + 1).unwrap_or(0),
+    };
+
+    let journal = Journal {
+        dir: dir.to_path_buf(),
+        config,
+        epoch,
+        next_seq: expected_seq,
+        next_segment_index,
+        current: None,
+    };
+    Ok((store, journal, report))
+}
+
+/// Truncate a damaged segment to its last valid record. Best-effort.
+fn truncate_segment(path: &Path, len: u64) {
+    if let Ok(f) = OpenOptions::new().write(true).open(path) {
+        f.set_len(len).ok();
+        f.sync_all().ok();
+    }
+}
+
+/// Delete the given segment indexes of an epoch. Best-effort.
+fn remove_segments(dir: &Path, epoch: u64, indexes: &[u64]) {
+    for &i in indexes {
+        fs::remove_file(dir.join(segment_file_name(epoch, i))).ok();
+    }
+}

@@ -1,0 +1,140 @@
+//! Segment files: naming, headers, directory scanning.
+//!
+//! A journal directory holds one snapshot per *epoch* plus an ordered run of
+//! append-only segment files for the current epoch:
+//!
+//! ```text
+//! space/
+//!   snapshot-0000000003.json      epoch-3 snapshot (meta line + store JSON)
+//!   wal-0000000003-0000000000.log epoch-3 segments, in index order
+//!   wal-0000000003-0000000001.log
+//! ```
+//!
+//! Compaction folds the journal into a new snapshot under `epoch + 1` and
+//! deletes the old epoch's files; recovery always starts from the highest
+//! complete snapshot and ignores files from other epochs, so a crash at any
+//! point of compaction leaves at most stale-but-ignored files behind.
+//!
+//! Every segment opens with a fixed header recording the epoch and the
+//! global sequence number of its first event. Replay checks both: a
+//! duplicated or out-of-order segment (backup tooling gone wrong) fails the
+//! sequence check and replay stops at the boundary instead of re-applying
+//! events.
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: &[u8; 8] = b"SEMEXWAL";
+
+/// Journal format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed segment header.
+pub const SEGMENT_HEADER_LEN: usize = 28;
+
+/// The fixed header of a segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Compaction epoch this segment belongs to.
+    pub epoch: u64,
+    /// Global sequence number of the first event in this segment.
+    pub start_seq: u64,
+}
+
+impl SegmentHeader {
+    /// Serialize the header.
+    pub fn encode(&self) -> [u8; SEGMENT_HEADER_LEN] {
+        let mut out = [0u8; SEGMENT_HEADER_LEN];
+        out[..8].copy_from_slice(MAGIC);
+        out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out[12..20].copy_from_slice(&self.epoch.to_le_bytes());
+        out[20..28].copy_from_slice(&self.start_seq.to_le_bytes());
+        out
+    }
+
+    /// Parse a header from the front of a segment file. `None` when the
+    /// bytes are not a well-formed header of a version we understand.
+    pub fn decode(bytes: &[u8]) -> Option<SegmentHeader> {
+        if bytes.len() < SEGMENT_HEADER_LEN || &bytes[..8] != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        if version != FORMAT_VERSION {
+            return None;
+        }
+        let epoch = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+        let start_seq = u64::from_le_bytes(bytes[20..28].try_into().ok()?);
+        Some(SegmentHeader { epoch, start_seq })
+    }
+}
+
+/// File name of segment `index` in `epoch`.
+pub fn segment_file_name(epoch: u64, index: u64) -> String {
+    format!("wal-{epoch:010}-{index:010}.log")
+}
+
+/// Parse `(epoch, index)` out of a segment file name.
+pub fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    let (epoch, index) = rest.split_once('-')?;
+    if epoch.len() != 10 || index.len() != 10 {
+        return None;
+    }
+    Some((epoch.parse().ok()?, index.parse().ok()?))
+}
+
+/// File name of the `epoch` snapshot.
+pub fn snapshot_file_name(epoch: u64) -> String {
+    format!("snapshot-{epoch:010}.json")
+}
+
+/// Parse the epoch out of a snapshot file name.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let epoch = name.strip_prefix("snapshot-")?.strip_suffix(".json")?;
+    if epoch.len() != 10 {
+        return None;
+    }
+    epoch.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(segment_file_name(3, 12), "wal-0000000003-0000000012.log");
+        assert_eq!(parse_segment_name("wal-0000000003-0000000012.log"), Some((3, 12)));
+        assert_eq!(parse_segment_name("wal-3-12.log"), None);
+        assert_eq!(parse_segment_name("snapshot-0000000003.json"), None);
+        assert_eq!(snapshot_file_name(0), "snapshot-0000000000.json");
+        assert_eq!(parse_snapshot_name("snapshot-0000000007.json"), Some(7));
+        assert_eq!(parse_snapshot_name("snapshot-0000000007.json.tmp"), None);
+        assert_eq!(parse_snapshot_name("wal-0000000003-0000000012.log"), None);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = SegmentHeader { epoch: 5, start_seq: 12_345 };
+        let bytes = h.encode();
+        assert_eq!(SegmentHeader::decode(&bytes), Some(h));
+        // Wrong magic, short buffer, wrong version all fail.
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert_eq!(SegmentHeader::decode(&bad), None);
+        assert_eq!(SegmentHeader::decode(&bytes[..10]), None);
+        let mut wrong_version = h.encode();
+        wrong_version[8] = 99;
+        assert_eq!(SegmentHeader::decode(&wrong_version), None);
+    }
+
+    #[test]
+    fn segment_names_sort_in_replay_order() {
+        let mut names = vec![
+            segment_file_name(1, 10),
+            segment_file_name(1, 2),
+            segment_file_name(1, 0),
+        ];
+        names.sort();
+        let parsed: Vec<_> = names.iter().filter_map(|n| parse_segment_name(n)).collect();
+        assert_eq!(parsed, vec![(1, 0), (1, 2), (1, 10)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Typed store mutation events.
+//!
+//! Every mutating operation on a [`Store`] can be described by a
+//! [`StoreEvent`]. When recording is enabled ([`Store::enable_events`]) the
+//! store appends one event per *effective* mutation (no-ops such as
+//! duplicate attribute values emit nothing) to an internal buffer that an
+//! observer — the `semex-journal` write-ahead log, an incremental indexer,
+//! a replication stream — drains with [`Store::take_events`].
+//!
+//! Replaying a recorded sequence against a store in the same starting state
+//! reproduces the mutations exactly ([`Store::apply_event`]): object ids are
+//! dense indices handed out in creation order, so the ids allocated during
+//! replay coincide with the recorded ones.
+
+use crate::{ObjectId, SourceId, SourceInfo, Store, StoreError};
+use semex_model::{AssocId, AttrId, ClassId, DomainModel, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One effective mutation of a [`Store`].
+///
+/// The variants mirror the store's mutating API one-to-one. Events carry the
+/// *original* argument ids (pre-merge-resolution); resolution is
+/// deterministic given the preceding events, so replay lands on the same
+/// live objects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum StoreEvent {
+    /// A provenance source was registered ([`Store::register_source`]).
+    RegisterSource {
+        /// The source metadata.
+        info: SourceInfo,
+    },
+    /// A fresh object was created ([`Store::add_object`]).
+    AddObject {
+        /// The new object's class.
+        class: ClassId,
+    },
+    /// An attribute value was added ([`Store::add_attr`]; only emitted when
+    /// the value was new).
+    AddAttr {
+        /// The object written to (pre-resolution id).
+        object: ObjectId,
+        /// The attribute.
+        attr: AttrId,
+        /// The value.
+        value: Value,
+    },
+    /// A provenance source was recorded on an object
+    /// ([`Store::add_source_to`]; only emitted when the source was new).
+    AddSource {
+        /// The object written to (pre-resolution id).
+        object: ObjectId,
+        /// The source.
+        source: SourceId,
+    },
+    /// An association triple was asserted ([`Store::add_triple`]; only
+    /// emitted when the fact was new).
+    AddTriple {
+        /// The subject (pre-resolution id).
+        subject: ObjectId,
+        /// The association type.
+        assoc: AssocId,
+        /// The object (pre-resolution id).
+        object: ObjectId,
+        /// Provenance of the fact.
+        source: SourceId,
+    },
+    /// Two objects were merged ([`Store::merge`]).
+    Merge {
+        /// The surviving object.
+        winner: ObjectId,
+        /// The object that became an alias.
+        loser: ObjectId,
+    },
+    /// The domain model was extended and re-synced ([`Store::sync_model`]).
+    /// Carries the complete post-extension model: model growth is rare and
+    /// monotonic, so shipping the whole registry keeps replay trivial.
+    SyncModel {
+        /// The full model after the extension.
+        model: DomainModel,
+    },
+}
+
+impl StoreEvent {
+    /// A short tag naming the variant (logging, metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreEvent::RegisterSource { .. } => "register_source",
+            StoreEvent::AddObject { .. } => "add_object",
+            StoreEvent::AddAttr { .. } => "add_attr",
+            StoreEvent::AddSource { .. } => "add_source",
+            StoreEvent::AddTriple { .. } => "add_triple",
+            StoreEvent::Merge { .. } => "merge",
+            StoreEvent::SyncModel { .. } => "sync_model",
+        }
+    }
+}
+
+impl fmt::Display for StoreEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreEvent::RegisterSource { info } => write!(f, "register_source({})", info.name),
+            StoreEvent::AddObject { class } => write!(f, "add_object({class})"),
+            StoreEvent::AddAttr { object, attr, .. } => write!(f, "add_attr({object}, {attr})"),
+            StoreEvent::AddSource { object, source } => {
+                write!(f, "add_source({object}, {source})")
+            }
+            StoreEvent::AddTriple {
+                subject,
+                assoc,
+                object,
+                ..
+            } => write!(f, "add_triple({subject} -{assoc}-> {object})"),
+            StoreEvent::Merge { winner, loser } => write!(f, "merge({winner} <- {loser})"),
+            StoreEvent::SyncModel { .. } => write!(f, "sync_model"),
+        }
+    }
+}
+
+impl Store {
+    /// Start recording mutation events into the internal buffer. Idempotent;
+    /// any events already buffered are kept.
+    pub fn enable_events(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Vec::new());
+        }
+    }
+
+    /// Stop recording and discard any buffered events.
+    pub fn disable_events(&mut self) {
+        self.recorder = None;
+    }
+
+    /// Whether mutation events are being recorded.
+    pub fn events_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Number of recorded events not yet drained.
+    pub fn pending_events(&self) -> usize {
+        self.recorder.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Drain the buffered events (empty when recording is disabled).
+    /// Recording stays enabled.
+    pub fn take_events(&mut self) -> Vec<StoreEvent> {
+        match &mut self.recorder {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Internal: append an event when recording is enabled.
+    pub(crate) fn record(&mut self, event: StoreEvent) {
+        if let Some(buf) = &mut self.recorder {
+            buf.push(event);
+        }
+    }
+
+    /// Re-apply a recorded event to this store (journal replay). The store
+    /// must be in the state that preceded the event — dense id allocation
+    /// then reproduces the recorded ids exactly. Replayed mutations are not
+    /// re-recorded.
+    pub fn apply_event(&mut self, event: &StoreEvent) -> Result<(), StoreError> {
+        // Suspend recording so replay does not re-journal itself.
+        let recorder = self.recorder.take();
+        let result = self.apply_event_inner(event);
+        self.recorder = recorder;
+        result
+    }
+
+    fn apply_event_inner(&mut self, event: &StoreEvent) -> Result<(), StoreError> {
+        match event {
+            StoreEvent::RegisterSource { info } => {
+                self.register_source(info.clone());
+            }
+            StoreEvent::AddObject { class } => {
+                self.add_object(*class);
+            }
+            StoreEvent::AddAttr {
+                object,
+                attr,
+                value,
+            } => {
+                self.add_attr(*object, *attr, value.clone())?;
+            }
+            StoreEvent::AddSource { object, source } => {
+                self.add_source_to(*object, *source);
+            }
+            StoreEvent::AddTriple {
+                subject,
+                assoc,
+                object,
+                source,
+            } => {
+                self.add_triple(*subject, *assoc, *object, *source)?;
+            }
+            StoreEvent::Merge { winner, loser } => {
+                self.merge(*winner, *loser)?;
+            }
+            StoreEvent::SyncModel { model } => {
+                self.replace_model(model.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceKind;
+    use semex_model::names::{assoc, attr, class};
+
+    /// Record every mutation of a small session, replay it onto a fresh
+    /// store, and check the replica is identical slot by slot.
+    #[test]
+    fn record_and_replay_reproduce_store() {
+        let mut st = Store::with_builtin_model();
+        st.enable_events();
+        let person = st.model().class(class::PERSON).unwrap();
+        let publication = st.model().class(class::PUBLICATION).unwrap();
+        let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+        let name = st.model().attr(attr::NAME).unwrap();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let p1 = st.add_object(person);
+        let p2 = st.add_object(person);
+        st.add_attr(p1, name, Value::from("Ann")).unwrap();
+        st.add_attr(p2, name, Value::from("A. Smith")).unwrap();
+        st.add_source_to(p1, src);
+        let pb = st.add_object(publication);
+        st.add_triple(pb, authored, p2, src).unwrap();
+        st.merge(p1, p2).unwrap();
+        // No-ops do not record.
+        st.add_attr(p1, name, Value::from("Ann")).unwrap();
+        st.add_source_to(p1, src);
+        st.add_triple(pb, authored, p1, src).unwrap();
+
+        let events = st.take_events();
+        assert_eq!(st.pending_events(), 0);
+        assert_eq!(events.len(), 9, "{events:?}");
+
+        let mut replica = Store::with_builtin_model();
+        for e in &events {
+            replica.apply_event(e).unwrap();
+        }
+        assert_eq!(replica.slot_count(), st.slot_count());
+        assert_eq!(replica.object_count(), st.object_count());
+        assert_eq!(replica.triples_raw(), st.triples_raw());
+        for i in 0..st.slot_count() {
+            let id = ObjectId(i as u64);
+            assert_eq!(replica.object_raw(id), st.object_raw(id), "slot {i}");
+        }
+        assert_eq!(replica.resolve(p2), p1);
+        assert_eq!(replica.neighbors(pb, authored), &[p1]);
+    }
+
+    #[test]
+    fn model_extension_is_recorded_and_replayable() {
+        let mut st = Store::with_builtin_model();
+        st.enable_events();
+        let person = st.model().class(class::PERSON).unwrap();
+        let p = st.add_object(person);
+        let badge = st
+            .model_mut()
+            .add_class(semex_model::ClassDef::new("Badge"))
+            .unwrap();
+        let wears = st
+            .model_mut()
+            .add_assoc(semex_model::AssocDef::new("Wears", person, badge, "WornBy"))
+            .unwrap();
+        st.sync_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let b = st.add_object(badge);
+        st.add_triple(p, wears, b, src).unwrap();
+
+        let events = st.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, StoreEvent::SyncModel { .. })));
+        let mut replica = Store::with_builtin_model();
+        for e in &events {
+            replica.apply_event(e).unwrap();
+        }
+        assert_eq!(replica.model().class("Badge"), Some(badge));
+        assert_eq!(replica.neighbors(p, wears), &[b]);
+    }
+
+    #[test]
+    fn disabled_recording_buffers_nothing() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        st.add_object(person);
+        assert!(!st.events_enabled());
+        assert!(st.take_events().is_empty());
+        st.enable_events();
+        st.add_object(person);
+        assert_eq!(st.pending_events(), 1);
+        st.disable_events();
+        assert_eq!(st.pending_events(), 0);
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let e = StoreEvent::AddTriple {
+            subject: ObjectId(1),
+            assoc: AssocId(2),
+            object: ObjectId(3),
+            source: SourceId(0),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: StoreEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(e.kind(), "add_triple");
+        assert!(e.to_string().contains("o1"));
+    }
+}

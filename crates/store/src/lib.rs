@@ -16,6 +16,11 @@
 //! attributes, while keeping the loser resolvable as an alias.
 //!
 //! Persistence is a JSON snapshot ([`Store::to_json`] / [`Store::from_json`]).
+//! For durable, incremental persistence the store can additionally record a
+//! typed stream of mutation events ([`StoreEvent`], [`Store::enable_events`])
+//! that the `semex-journal` crate appends to a checksummed write-ahead log;
+//! replaying recorded events onto the snapshot's state reproduces the store
+//! exactly ([`Store::apply_event`]).
 //!
 //! ```
 //! use semex_store::{SourceInfo, SourceKind, Store};
@@ -43,6 +48,7 @@
 //! assert_eq!(store.object(ann).strs(name).count(), 2);
 //! ```
 
+mod events;
 mod object;
 mod provenance;
 mod snapshot;
@@ -50,6 +56,7 @@ mod stats;
 mod store;
 mod triple;
 
+pub use events::StoreEvent;
 pub use object::{Object, ObjectId};
 pub use provenance::{SourceId, SourceInfo, SourceKind};
 pub use snapshot::SnapshotError;

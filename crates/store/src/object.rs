@@ -32,7 +32,7 @@ impl fmt::Display for ObjectId {
 /// (a Person accumulated from many sources typically has several `email`
 /// values and several `name` spellings). Insertion order is preserved;
 /// duplicates of the exact same `(attr, value)` pair are suppressed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Object {
     /// The object's class.
     pub class: ClassId,
@@ -91,10 +91,13 @@ impl Object {
     }
 
     /// Record a provenance source (deduplicated).
-    pub fn add_source(&mut self, source: SourceId) {
-        if !self.sources.contains(&source) {
-            self.sources.push(source);
+    /// Returns true if the source was new.
+    pub fn add_source(&mut self, source: SourceId) -> bool {
+        if self.sources.contains(&source) {
+            return false;
         }
+        self.sources.push(source);
+        true
     }
 
     /// True when this object is an alias left behind by a merge.

@@ -54,7 +54,7 @@ impl fmt::Display for SourceKind {
 }
 
 /// Metadata describing a registered source.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceInfo {
     /// Human-readable name ("inbox 2004", "dblp.bib", …).
     pub name: String,

@@ -4,36 +4,66 @@ use crate::{Object, SourceInfo, Store, Triple};
 use semex_model::DomainModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Errors raised while loading or saving snapshots.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Malformed snapshot JSON.
     Json(serde_json::Error),
-    /// File I/O failure.
-    Io(std::io::Error),
+    /// File I/O failure, with the path involved.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+}
+
+impl SnapshotError {
+    /// Wrap an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, error: std::io::Error) -> Self {
+        SnapshotError::Io {
+            path: path.into(),
+            error,
+        }
+    }
 }
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
-            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Io { path, error } => {
+                write!(f, "snapshot I/O error on {}: {error}", path.display())
+            }
+            SnapshotError::Version { found, expected } => {
+                write!(f, "snapshot version {found} is not supported (expected {expected})")
+            }
         }
     }
 }
 
-impl std::error::Error for SnapshotError {}
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Json(e) => Some(e),
+            SnapshotError::Io { error, .. } => Some(error),
+            SnapshotError::Version { .. } => None,
+        }
+    }
+}
 
 impl From<serde_json::Error> for SnapshotError {
     fn from(e: serde_json::Error) -> Self {
         SnapshotError::Json(e)
-    }
-}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
     }
 }
 
@@ -66,24 +96,42 @@ impl Store {
         serde_json::to_string(&snap).expect("store snapshot serialization cannot fail")
     }
 
-    /// Load a store from a JSON snapshot, rebuilding all indexes.
+    /// Load a store from a JSON snapshot, rebuilding all indexes. A snapshot
+    /// written by an incompatible format version surfaces as
+    /// [`SnapshotError::Version`] rather than a generic JSON error.
     pub fn from_json(json: &str) -> Result<Store, SnapshotError> {
+        /// The version field alone, probed before the full parse so that a
+        /// future-format file produces a precise error.
+        #[derive(Deserialize)]
+        struct VersionProbe {
+            version: u32,
+        }
+        let probe: VersionProbe = serde_json::from_str(json)?;
+        if probe.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version {
+                found: probe.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
         let snap: Snapshot = serde_json::from_str(json)?;
         Ok(Store::from_parts(snap.model, snap.objects, snap.triples, snap.sources))
     }
 
     /// Write a snapshot to a file.
-    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
         use std::io::Write;
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        f.write_all(self.to_json().as_bytes())?;
-        f.flush()?;
+        let file = std::fs::File::create(path).map_err(|e| SnapshotError::io(path, e))?;
+        let mut f = std::io::BufWriter::new(file);
+        f.write_all(self.to_json().as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| SnapshotError::io(path, e))?;
         Ok(())
     }
 
     /// Load a snapshot from a file.
-    pub fn load(path: &std::path::Path) -> Result<Store, SnapshotError> {
-        let json = std::fs::read_to_string(path)?;
+    pub fn load(path: &Path) -> Result<Store, SnapshotError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| SnapshotError::io(path, e))?;
         Store::from_json(&json)
     }
 }
@@ -139,5 +187,26 @@ mod tests {
     fn bad_json_is_an_error() {
         assert!(Store::from_json("{not json").is_err());
         assert!(Store::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_distinct() {
+        let st = Store::with_builtin_model();
+        let future = st.to_json().replacen("\"version\":1", "\"version\":2", 1);
+        match Store::from_json(&future) {
+            Err(crate::SnapshotError::Version { found: 2, expected: 1 }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_error_names_the_path() {
+        let missing = std::path::Path::new("/nonexistent/semex/store.json");
+        match Store::load(missing) {
+            Err(e @ crate::SnapshotError::Io { .. }) => {
+                assert!(e.to_string().contains("/nonexistent/semex/store.json"), "{e}");
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
     }
 }

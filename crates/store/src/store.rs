@@ -1,6 +1,6 @@
 //! The association database proper.
 
-use crate::{Object, ObjectId, SourceId, SourceInfo, Triple};
+use crate::{Object, ObjectId, SourceId, SourceInfo, StoreEvent, Triple};
 use semex_model::{AssocId, AttrId, ClassId, DomainModel, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -55,6 +55,9 @@ pub struct Store {
     inverse: Vec<HashMap<ObjectId, Vec<ObjectId>>>,
     sources: Vec<SourceInfo>,
     live_objects: usize,
+    /// Mutation-event buffer; `Some` while recording is enabled (see
+    /// [`Store::enable_events`]). Never snapshotted.
+    pub(crate) recorder: Option<Vec<StoreEvent>>,
 }
 
 impl Store {
@@ -71,6 +74,7 @@ impl Store {
             inverse: vec![HashMap::new(); assocs],
             sources: Vec::new(),
             live_objects: 0,
+            recorder: None,
         }
     }
 
@@ -91,8 +95,19 @@ impl Store {
     }
 
     /// Re-sync index widths after the model gained classes/associations via
-    /// [`Store::model_mut`].
+    /// [`Store::model_mut`]. When event recording is enabled this emits a
+    /// [`StoreEvent::SyncModel`] carrying the full post-extension model, so
+    /// call it once per batch of model edits.
     pub fn sync_model(&mut self) {
+        self.grow_indexes();
+        if self.recorder.is_some() {
+            let model = self.model.clone();
+            self.record(StoreEvent::SyncModel { model });
+        }
+    }
+
+    /// Widen the per-class / per-assoc indexes to the model's counts.
+    fn grow_indexes(&mut self) {
         while self.by_class.len() < self.model.class_count() {
             self.by_class.push(Vec::new());
         }
@@ -102,6 +117,13 @@ impl Store {
         }
     }
 
+    /// Internal: swap in a replacement model (journal replay of
+    /// [`StoreEvent::SyncModel`]) and widen the indexes to match.
+    pub(crate) fn replace_model(&mut self, model: DomainModel) {
+        self.model = model;
+        self.grow_indexes();
+    }
+
     // ------------------------------------------------------------------
     // Sources
     // ------------------------------------------------------------------
@@ -109,6 +131,10 @@ impl Store {
     /// Register a provenance source.
     pub fn register_source(&mut self, info: SourceInfo) -> SourceId {
         let id = SourceId(self.sources.len() as u32);
+        if self.recorder.is_some() {
+            let info = info.clone();
+            self.record(StoreEvent::RegisterSource { info });
+        }
         self.sources.push(info);
         id
     }
@@ -136,6 +162,7 @@ impl Store {
         self.objects.push(Object::new(class));
         self.by_class[class.index()].push(id);
         self.live_objects += 1;
+        self.record(StoreEvent::AddObject { class });
         id
     }
 
@@ -171,14 +198,31 @@ impl Store {
         if self.model.attr_def(attr).kind != value.kind() {
             return Err(StoreError::WrongValueKind(attr));
         }
-        let id = self.resolve(id);
-        Ok(self.objects[id.index()].add_attr(attr, value))
+        let recorded = if self.recorder.is_some() {
+            Some(value.clone())
+        } else {
+            None
+        };
+        let live = self.resolve(id);
+        let added = self.objects[live.index()].add_attr(attr, value);
+        if added {
+            if let Some(value) = recorded {
+                self.record(StoreEvent::AddAttr {
+                    object: id,
+                    attr,
+                    value,
+                });
+            }
+        }
+        Ok(added)
     }
 
     /// Record a provenance source on an object.
     pub fn add_source_to(&mut self, id: ObjectId, source: SourceId) {
-        let id = self.resolve(id);
-        self.objects[id.index()].add_source(source);
+        let live = self.resolve(id);
+        if self.objects[live.index()].add_source(source) {
+            self.record(StoreEvent::AddSource { object: id, source });
+        }
     }
 
     /// Live (non-alias) objects of a class.
@@ -277,6 +321,7 @@ impl Store {
         if object.index() >= self.objects.len() {
             return Err(StoreError::UnknownObject(object));
         }
+        let (raw_subject, raw_object) = (subject, object);
         let subject = self.resolve(subject);
         let object = self.resolve(object);
         let def = self.model.assoc_def(assoc);
@@ -293,6 +338,12 @@ impl Store {
         fwd.push(object);
         self.inverse[assoc.index()].entry(object).or_default().push(subject);
         self.triples.push(Triple::new(subject, assoc, object, source));
+        self.record(StoreEvent::AddTriple {
+            subject: raw_subject,
+            assoc,
+            object: raw_object,
+            source,
+        });
         Ok(true)
     }
 
@@ -403,6 +454,7 @@ impl Store {
 
         self.objects[loser.index()].merged_into = Some(winner);
         self.live_objects -= 1;
+        self.record(StoreEvent::Merge { winner, loser });
         Ok(())
     }
 
@@ -507,6 +559,7 @@ impl Store {
             inverse: Vec::new(),
             sources,
             live_objects: 0,
+            recorder: None,
         };
         s.rebuild_indexes();
         s

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! semex build <dir> -o space.json        index a directory tree into a snapshot
-//! semex demo  -o space.json [--seed N] [--scale F]   build from a generated demo corpus
+//! semex build <dir> --durable -o space.journal/   ...into a journal directory instead
+//! semex demo  -o space.json [--seed N] [--scale F] [--durable]   build from a generated demo corpus
+//! semex journal-compact <space.journal>  fold a journal into a fresh snapshot
 //! semex stats <space.json>               show the association-DB inventory
 //! semex search <space.json> <query...>   object-centric keyword search
 //! semex show <space.json> <query...>     full view of the top hit (attrs, links, sources)
@@ -17,22 +19,43 @@
 //! semex timeline <space.json> <name...>   monthly activity of a person
 //! semex communities <space.json>          CoAuthor communities
 //! ```
+//!
+//! Wherever a command takes a `<space.json>` snapshot, a journal directory
+//! (created with `--durable`) works too: the space is recovered from its
+//! snapshot plus write-ahead-log replay.
 
 use semex::corpus::{generate_personal, CorpusConfig};
-use semex::{Semex, SemexBuilder, SemexConfig};
+use semex::{JournalConfig, Semex, SemexBuilder, SemexConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> -o <snapshot.json>\n  semex demo -o <snapshot.json> [--seed N] [--scale F]\n  semex stats <snapshot.json>\n  semex search <snapshot.json> <query...>\n  semex show <snapshot.json> <query...>\n  semex explain <snapshot.json> <query...>\n  semex coauthors <snapshot.json> <person name...>\n  semex path <snapshot.json> <from name> -- <to name>\n  semex query <snapshot.json> '<pattern query>'\n  semex top <snapshot.json>\n  semex repl <snapshot.json>\n  semex timeline <snapshot.json> <person>\n  semex communities <snapshot.json>"
+        "usage:\n  semex build <dir> [--durable] -o <snapshot.json | journal-dir>\n  semex demo [--durable] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
     );
     ExitCode::from(2)
 }
 
+/// Open a space: a snapshot file, or a journal directory (recovered from
+/// snapshot + write-ahead-log replay).
 fn load(path: &str) -> Result<Semex, String> {
-    Semex::load(Path::new(path), SemexConfig::default())
-        .map_err(|e| format!("cannot load snapshot {path}: {e}"))
+    let p = Path::new(path);
+    if p.is_dir() {
+        let (durable, report) = Semex::open_durable(p, SemexConfig::default())
+            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+        if let Some(d) = &report.damage {
+            eprintln!(
+                "semex: journal damage ({:?} in {}) repaired; {} event(s) recovered",
+                d.kind,
+                d.segment.display(),
+                report.events_applied
+            );
+        }
+        Ok(durable.into_inner())
+    } else {
+        Semex::load(p, SemexConfig::default())
+            .map_err(|e| format!("cannot load snapshot {path}: {e}"))
+    }
 }
 
 fn top_hit(semex: &Semex, query: &str) -> Option<semex::core::SearchResult> {
@@ -47,6 +70,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "build" => cmd_build(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
+        "journal-compact" => cmd_journal_compact(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "search" => cmd_query(&args[1..], QueryMode::Search),
         "show" => cmd_query(&args[1..], QueryMode::Show),
@@ -83,10 +107,31 @@ fn out_flag(args: &[String]) -> Option<(PathBuf, Vec<&String>)> {
     out.map(|o| (o, rest))
 }
 
+/// Persist a freshly built platform: plain snapshot, or (`--durable`) a
+/// journal directory seeded with the built state.
+fn persist(semex: Semex, out: &Path, durable: bool) -> Result<(), String> {
+    if durable {
+        let d = semex
+            .into_durable(out, JournalConfig::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "journal initialized at {} (epoch {})",
+            out.display(),
+            d.journal().epoch()
+        );
+    } else {
+        semex.save(out).map_err(|e| e.to_string())?;
+        println!("snapshot written to {}", out.display());
+    }
+    Ok(())
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let Some((out, rest)) = out_flag(args) else {
-        return Err("build requires -o <snapshot.json>".into());
+        return Err("build requires -o <snapshot.json | journal-dir>".into());
     };
+    let durable = rest.iter().any(|a| a.as_str() == "--durable");
+    let rest: Vec<&String> = rest.into_iter().filter(|a| a.as_str() != "--durable").collect();
     let [dir] = rest.as_slice() else {
         return Err("build requires exactly one directory".into());
     };
@@ -95,20 +140,46 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .build()
         .map_err(|e| e.to_string())?;
     print_build(&semex);
-    semex.save(&out).map_err(|e| e.to_string())?;
-    println!("snapshot written to {}", out.display());
+    persist(semex, &out, durable)
+}
+
+fn cmd_journal_compact(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err("journal-compact requires a journal directory".into());
+    };
+    let (mut durable, report) = Semex::open_durable(Path::new(dir), SemexConfig::default())
+        .map_err(|e| format!("cannot open journal {dir}: {e}"))?;
+    if let Some(d) = &report.damage {
+        eprintln!(
+            "semex: journal damage ({:?} in {}) repaired; {} event(s) recovered",
+            d.kind,
+            d.segment.display(),
+            report.events_applied
+        );
+    }
+    println!(
+        "recovered epoch {}: snapshot + {} replayed event(s) across {} segment(s)",
+        report.epoch, report.events_applied, report.segments_replayed
+    );
+    let c = durable.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted into epoch {}: folded {} event(s), removed {} file(s) ({} bytes)",
+        c.epoch, c.folded_events, c.removed_files, c.removed_bytes
+    );
     Ok(())
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
     let Some((out, rest)) = out_flag(args) else {
-        return Err("demo requires -o <snapshot.json>".into());
+        return Err("demo requires -o <snapshot.json | journal-dir>".into());
     };
     let mut seed = 2005u64;
     let mut scale = 1.0f64;
+    let mut durable = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--durable" => durable = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -139,9 +210,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     std::fs::remove_dir_all(&dir).ok();
     print_build(&semex);
-    semex.save(&out).map_err(|e| e.to_string())?;
-    println!("snapshot written to {}", out.display());
-    Ok(())
+    persist(semex, &out, durable)
 }
 
 fn print_build(semex: &Semex) {

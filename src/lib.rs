@@ -14,9 +14,10 @@ pub use semex_corpus as corpus;
 pub use semex_extract as extract;
 pub use semex_index as index;
 pub use semex_integrate as integrate;
+pub use semex_journal as journal;
 pub use semex_model as model;
 pub use semex_recon as recon;
 pub use semex_similarity as similarity;
 pub use semex_store as store;
 
-pub use semex_core::{Semex, SemexBuilder, SemexConfig};
+pub use semex_core::{DurableSemex, JournalConfig, Semex, SemexBuilder, SemexConfig};

@@ -102,6 +102,46 @@ fn cli_repl_session() {
 }
 
 #[test]
+fn cli_durable_session() {
+    let dir = std::env::temp_dir().join(format!("semex-cli-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_string_lossy().into_owned();
+
+    // demo --durable: build into a journal directory instead of a snapshot.
+    let (ok, out) = run(&[
+        "demo", "--durable", "-o", &dir_str, "--seed", "47", "--scale", "0.12",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("journal initialized"), "{out}");
+    assert!(dir.is_dir());
+    assert!(
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().starts_with("snapshot-")),
+        "journal directory holds an epoch snapshot"
+    );
+
+    // Read commands accept the journal directory wherever a snapshot goes.
+    let (ok, out) = run(&["stats", &dir_str]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Person"), "{out}");
+    let (ok, out) = run(&["search", &dir_str, "class:Publication", "adaptive"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[Publication]") || out.contains("no results"), "{out}");
+
+    // journal-compact folds the log into the next epoch.
+    let (ok, out) = run(&["journal-compact", &dir_str]);
+    assert!(ok, "{out}");
+    assert!(out.contains("compacted into epoch 1"), "{out}");
+    let (ok, out) = run(&["stats", &dir_str]);
+    assert!(ok, "post-compaction open: {out}");
+    assert!(out.contains("Person"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_errors_cleanly() {
     let (ok, out) = run(&[]);
     assert!(!ok);
