@@ -105,6 +105,7 @@ fn e2_consolidation() {
     let cfg = paper_corpus();
     let corpus = generate_personal(&cfg);
     let mut store = extract_corpus(&corpus);
+    let pristine = store.clone();
 
     let classes = [class::PERSON, class::PUBLICATION, class::VENUE, class::ORGANIZATION];
     let truth_counts = [
@@ -155,6 +156,69 @@ fn e2_consolidation() {
         ]);
     }
     println!("{}", t.render());
+
+    // Sequential vs. parallel wall-clock per variant, recorded to
+    // BENCH_recon.json so CI can track the sharded reconciler's speedup.
+    let threads = ReconConfig::default().threads;
+    let par_col = format!("{threads}-thread ms");
+    let mut t = TextTable::new(&[
+        "variant",
+        "seq ms",
+        par_col.as_str(),
+        "speedup",
+        "shards",
+        "memo hits",
+    ]);
+    let mut variants_json = Vec::new();
+    let mut full_speedup = 0.0f64;
+    for v in Variant::ALL {
+        let mut s = pristine.clone();
+        let seq = reconcile(&mut s, v, &ReconConfig::sequential());
+        let mut s = pristine.clone();
+        let par = reconcile(&mut s, v, &ReconConfig::default());
+        assert_eq!(seq.merges, par.merges, "{v}: parallel equivalence");
+        assert_eq!(seq.clusters, par.clusters, "{v}: parallel equivalence");
+        let (seq_ms, par_ms) = (
+            seq.elapsed.as_secs_f64() * 1e3,
+            par.elapsed.as_secs_f64() * 1e3,
+        );
+        let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
+        if v == Variant::Full {
+            full_speedup = speedup;
+        }
+        t.row(vec![
+            v.to_string(),
+            format!("{seq_ms:.1}"),
+            format!("{par_ms:.1}"),
+            format!("{speedup:.2}x"),
+            par.shards.to_string(),
+            par.memo_hits.to_string(),
+        ]);
+        variants_json.push(serde_json::json!({
+            "variant": v.name(),
+            "sequential_ms": seq_ms,
+            "parallel_ms": par_ms,
+            "speedup": speedup,
+            "merges": par.merges,
+            "shards": par.shards,
+            "memo_hits": par.memo_hits,
+        }));
+    }
+    println!("{}", t.render());
+    let bench = serde_json::json!({
+        "experiment": "e2-consolidation",
+        "refs": report.refs,
+        "candidate_pairs": report.candidates,
+        "threads": threads,
+        "variants": variants_json,
+        "full_speedup": full_speedup,
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_recon.json", record) {
+        eprintln!("could not write BENCH_recon.json: {e}\n");
+    } else {
+        println!("wrote BENCH_recon.json (Full speedup {full_speedup:.2}x at {threads} threads)\n");
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -15,65 +15,101 @@
 //! Buckets larger than [`MAX_BUCKET`] are dropped (a key shared by hundreds
 //! of references carries no discriminative power and would reintroduce the
 //! quadratic blow-up).
+//!
+//! Keys never materialize as owned strings on the hot path: [`visit_keys`]
+//! streams `(namespace, body)` pairs out of reused scratch buffers, each key
+//! is folded to a 64-bit FNV-1a fingerprint, and buckets are formed by
+//! sorting one flat `(class, hash, ref)` row table — no per-key `String`,
+//! no hash map of owned keys, no `HashSet` of pairs.
 
 use crate::refs::RefTable;
 use semex_similarity::name::PersonName;
-use semex_similarity::venue::venue_tokens;
-use semex_similarity::{soundex, tokenize_lower};
-use std::collections::{HashMap, HashSet};
+use semex_similarity::venue::for_each_venue_token;
+use semex_similarity::{lowercase_into, soundex, token_spans};
+use std::collections::HashMap;
 
 /// Buckets larger than this are considered non-discriminative and skipped.
 pub const MAX_BUCKET: usize = 256;
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a fingerprint of `namespace ++ body` — the same bytes the owned
+/// string key would hold. A 64-bit collision across a class's key space is
+/// vanishingly unlikely, and its worst case is one spurious candidate pair
+/// that still has to clear the scorer, so blocking stays sound.
+fn key_hash(ns: &str, body: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in ns.as_bytes().iter().chain(body.as_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Generate candidate pairs `(a, b)` with `a < b`, both of the same class.
 pub fn candidate_pairs(table: &RefTable) -> Vec<(u32, u32)> {
-    let mut buckets: HashMap<(u16, String), Vec<u32>> = HashMap::new();
+    // One row per (reference, distinct key): sorting the flat table groups
+    // same-class same-key rows into adjacent runs — the buckets.
+    let mut rows: Vec<(u16, u64, u32)> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
     for (i, e) in table.entries.iter().enumerate() {
-        let mut keys: HashSet<String> = HashSet::new();
-        for k in keys_for(e) {
-            keys.insert(k);
-        }
-        for k in keys {
-            buckets.entry((e.class.0, k)).or_default().push(i as u32);
+        hashes.clear();
+        visit_keys(e, |ns, body| hashes.push(key_hash(ns, body)));
+        hashes.sort_unstable();
+        hashes.dedup();
+        for &h in &hashes {
+            rows.push((e.class.0, h, i as u32));
         }
     }
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
-    for ((_, _), members) in buckets {
-        if members.len() < 2 || members.len() > MAX_BUCKET {
+    rows.sort_unstable();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for bucket in rows.chunk_by(|x, y| (x.0, x.1) == (y.0, y.1)) {
+        if bucket.len() < 2 || bucket.len() > MAX_BUCKET {
             continue;
         }
-        for (x, &a) in members.iter().enumerate() {
-            for &b in &members[x + 1..] {
-                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-                pairs.insert((lo, hi));
+        for (x, &(_, _, a)) in bucket.iter().enumerate() {
+            for &(_, _, b) in &bucket[x + 1..] {
+                pairs.push(if a < b { (a, b) } else { (b, a) });
             }
         }
     }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
-/// The blocking keys of one reference, dispatched on its [`crate::RefKind`].
-pub fn keys_for(e: &crate::RefEntry) -> Vec<String> {
+/// Visit the blocking keys of one reference as `(namespace, body)` pairs,
+/// dispatched on its [`crate::RefKind`]. Bodies may point into scratch
+/// buffers that are overwritten by the next callback — hash or copy them
+/// inside the closure. [`keys_for`] is the collecting wrapper.
+pub fn visit_keys(e: &crate::RefEntry, mut visit: impl FnMut(&str, &str)) {
     use crate::RefKind;
-    let mut keys = Vec::new();
+    let mut scratch = String::new();
     // Person-style: names parsed as people + e-mails.
     if e.kind == RefKind::Person {
-        for n in &e.names {
-            let p = PersonName::parse(n);
+        // The reference table caches person-name parses at build time;
+        // hand-assembled entries fall back to parsing here.
+        let parsed_storage: Vec<PersonName>;
+        let parsed: &[PersonName] = if e.parsed_names.len() == e.names.len() {
+            &e.parsed_names
+        } else {
+            parsed_storage = e.names.iter().map(|n| PersonName::parse(n)).collect();
+            &parsed_storage
+        };
+        for p in parsed {
             if let Some(last) = &p.last {
-                keys.push(format!("l:{last}"));
+                visit("l:", last);
                 if let Some(sx) = soundex(last) {
-                    keys.push(format!("sx:{sx}"));
+                    visit("sx:", &sx);
                 }
             }
         }
         for em in &e.emails {
-            keys.push(format!("e:{em}"));
+            visit("e:", em);
             if let Some((local, _)) = em.split_once('@') {
                 if local.len() >= 3 {
-                    keys.push(format!("el:{local}"));
+                    visit("el:", local);
                 }
                 // Derive name-shaped keys from the local part so a bare
                 // address buckets with name-only references of the same
@@ -82,60 +118,82 @@ pub fn keys_for(e: &crate::RefEntry) -> Vec<String> {
                 // stripped). These go into the family-name namespace.
                 for seg in local.split(|c: char| !c.is_ascii_alphabetic()) {
                     if seg.len() >= 3 {
-                        keys.push(format!("l:{seg}"));
+                        visit("l:", seg);
                         if let Some(sx) = soundex(seg) {
-                            keys.push(format!("sx:{sx}"));
+                            visit("sx:", &sx);
                         }
                     }
                     if seg.len() >= 4 {
-                        keys.push(format!("l:{}", &seg[1..]));
-                        keys.push(format!("l:{}", &seg[..seg.len() - 1]));
+                        visit("l:", &seg[1..]);
+                        visit("l:", &seg[..seg.len() - 1]);
                     }
                 }
             }
         }
     }
-    // Publication-style: titles.
+    // Publication-style: titles. The two longest tokens (by lowercased byte
+    // length, earliest wins ties) and a normalized 10-char prefix.
+    let mut lowered = String::new();
     for t in &e.titles {
-        let toks = tokenize_lower(t);
-        let mut sorted: Vec<&String> = toks.iter().collect();
-        sorted.sort_by_key(|s| std::cmp::Reverse(s.len()));
-        for tok in sorted.iter().take(2) {
-            keys.push(format!("tt:{tok}"));
+        let (mut best, mut second) = ("", "");
+        let (mut best_len, mut second_len) = (0usize, 0usize);
+        for tok in token_spans(t) {
+            // Lowercasing never changes a char's UTF-8 length except via
+            // 1:N expansions, which both paths count identically.
+            let len: usize = tok.chars().flat_map(char::to_lowercase).map(char::len_utf8).sum();
+            if len > best_len {
+                (second, second_len) = (best, best_len);
+                (best, best_len) = (tok, len);
+            } else if len > second_len {
+                (second, second_len) = (tok, len);
+            }
         }
-        let norm: String = t
-            .to_lowercase()
-            .chars()
-            .filter(|c| c.is_alphanumeric())
-            .take(10)
-            .collect();
-        if !norm.is_empty() {
-            keys.push(format!("tp:{norm}"));
+        for tok in [best, second] {
+            if !tok.is_empty() {
+                lowercase_into(tok, &mut scratch);
+                visit("tt:", &scratch);
+            }
+        }
+        lowercase_into(t, &mut lowered);
+        scratch.clear();
+        scratch.extend(lowered.chars().filter(|c| c.is_alphanumeric()).take(10));
+        if !scratch.is_empty() {
+            visit("tp:", &scratch);
         }
     }
     // Venue-style: identity tokens + abbreviations + initialism.
     // Organizations and user-defined classes block on name tokens too.
     if matches!(e.kind, RefKind::Venue | RefKind::Organization | RefKind::Other) {
         for n in &e.names {
-            let toks = venue_tokens(n);
-            for tok in &toks {
-                keys.push(format!("vt:{tok}"));
+            for_each_venue_token(n, |tok| visit("vt:", tok));
+            lowered.clear();
+            for tok in token_spans(n) {
+                lowercase_into(tok, &mut scratch);
+                if matches!(scratch.as_str(), "of" | "the" | "on" | "and" | "in" | "for") {
+                    continue;
+                }
+                if let Some(c) = scratch.chars().next() {
+                    lowered.push(c);
+                }
             }
-            let initialism: String = tokenize_lower(n)
-                .iter()
-                .filter(|t| !matches!(t.as_str(), "of" | "the" | "on" | "and" | "in" | "for"))
-                .filter_map(|t| t.chars().next())
-                .collect();
-            if initialism.len() >= 2 {
+            if lowered.len() >= 2 {
                 // Same namespace as plain tokens so an abbreviation
                 // reference ("ICMD") buckets with the spelt-out name.
-                keys.push(format!("vt:{initialism}"));
+                visit("vt:", &lowered);
             }
         }
         for a in &e.abbrevs {
-            keys.push(format!("vt:{}", a.to_lowercase()));
+            lowercase_into(a, &mut scratch);
+            visit("vt:", &scratch);
         }
     }
+}
+
+/// The blocking keys of one reference as owned strings — a convenience
+/// wrapper over [`visit_keys`] for diagnostics and tests.
+pub fn keys_for(e: &crate::RefEntry) -> Vec<String> {
+    let mut keys = Vec::new();
+    visit_keys(e, |ns, body| keys.push(format!("{ns}{body}")));
     keys
 }
 
@@ -180,6 +238,7 @@ mod tests {
     use super::*;
     use semex_extract::{bibtex::extract_bibtex, ExtractContext};
     use semex_store::{SourceInfo, SourceKind, Store};
+    use std::collections::HashSet;
 
     fn table_from_bib(bib: &str) -> RefTable {
         let mut st = Store::with_builtin_model();
@@ -232,6 +291,41 @@ mod tests {
                 && t.entries[*b as usize].titles.is_empty()
         });
         assert!(person_pair, "Halevy/Halevi must be candidates via Soundex");
+    }
+
+    #[test]
+    fn hashed_buckets_match_string_buckets() {
+        // Reference implementation: bucket by owned (class, key-string);
+        // the hashed row table must produce the identical pair set.
+        let t = table_from_bib(
+            "@inproceedings{a, title={Adaptive Reconciliation of References}, author={Dong, Xin and Halevy, Alon}, booktitle={Proceedings of the 24th ACM SIGMOD Conference}, year=2004}\n\
+             @inproceedings{b, title={Adaptive Reconciliation for References}, author={X. Dong}, booktitle={SIGMOD}, year=2004}\n\
+             @inproceedings{c, title={Streaming joins}, author={Ann Walker and A. Halevy}, booktitle={Very Large Data Bases}, year=2001}\n\
+             @inproceedings{d, title={Streaming joins redux}, author={ann.walker@x.edu}, booktitle={VLDB}, year=2002}",
+        );
+        let mut buckets: HashMap<(u16, String), Vec<u32>> = HashMap::new();
+        for (i, e) in t.entries.iter().enumerate() {
+            let keys: HashSet<String> = keys_for(e).into_iter().collect();
+            for k in keys {
+                buckets.entry((e.class.0, k)).or_default().push(i as u32);
+            }
+        }
+        let mut expect: HashSet<(u32, u32)> = HashSet::new();
+        for ((_, _), mut members) in buckets {
+            members.sort_unstable();
+            if members.len() < 2 || members.len() > MAX_BUCKET {
+                continue;
+            }
+            for (x, &a) in members.iter().enumerate() {
+                for &b in &members[x + 1..] {
+                    expect.insert(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        let mut expect: Vec<(u32, u32)> = expect.into_iter().collect();
+        expect.sort_unstable();
+        assert!(!expect.is_empty(), "fixture must produce candidates");
+        assert_eq!(candidate_pairs(&t), expect);
     }
 
     #[test]

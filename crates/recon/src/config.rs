@@ -77,8 +77,10 @@ pub struct ReconConfig {
     /// Neighbour-list cap when computing association evidence and
     /// propagating decisions (bounds worst-case fan-out).
     pub max_fanout: usize,
-    /// Score the pairwise phase in parallel with this many threads
-    /// (1 = sequential).
+    /// Thread budget for the parallel phases (pairwise scoring and the
+    /// per-shard propagation worklists); 1 = sequential. Any value
+    /// produces byte-identical clusters and merges. Defaults to the
+    /// machine's available parallelism.
     pub threads: usize,
     /// User feedback (the demo's merge-correction affordance): pairs the
     /// user asserted to denote the same entity. Seeded into the clustering
@@ -95,11 +97,15 @@ impl Default for ReconConfig {
             threshold: 0.82,
             evidence_weight: 0.45,
             max_fanout: 64,
-            threads: 4,
+            threads: default_threads(),
             must_link: Vec::new(),
             cannot_link: Vec::new(),
         }
     }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 impl ReconConfig {
@@ -133,6 +139,7 @@ mod tests {
         let c = ReconConfig::default();
         assert!(c.threshold > 0.5 && c.threshold < 1.0);
         assert!(c.evidence_weight > 0.0 && c.evidence_weight < 1.0);
+        assert!(c.threads >= 1, "available_parallelism is at least one");
         assert_eq!(ReconConfig::sequential().threads, 1);
     }
 }

@@ -1,12 +1,15 @@
 //! The reconciliation engine: dependency-graph propagation with reference
-//! enrichment over blocked candidate pairs.
+//! enrichment over blocked candidate pairs, sharded across cores.
 
 use crate::blocking::{self, BlockingStats};
 use crate::refs::{RefKind, RefTable};
 use crate::score::{organization_score, person_score, publication_score, venue_score, Pool};
+use crate::shard::{self, Shard};
+use crate::worklist::{run_shard, Oracle, ShardOutcome};
 use crate::{ReconConfig, UnionFind, Variant};
 use semex_model::names::assoc as an;
 use semex_store::{ObjectId, Store};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -25,6 +28,12 @@ pub struct ReconReport {
     pub merges: usize,
     /// Worklist iterations (candidate evaluations, including re-runs).
     pub iterations: usize,
+    /// Independent worklist shards (0 for non-propagating variants, which
+    /// evaluate each candidate exactly once and need no partitioning).
+    pub shards: usize,
+    /// Pooled-score memo hits: re-activated candidates whose clusters had
+    /// not changed, skipping pooling and attribute scoring entirely.
+    pub memo_hits: usize,
     /// Wall-clock time of the reconciliation (excluding store mutation).
     pub elapsed: Duration,
     /// Clusters with more than one member, as store object ids.
@@ -79,61 +88,48 @@ fn run(
 
     let n = table.len();
     let mut uf = UnionFind::new(n);
-    let mut members: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
     let mut iterations = 0usize;
+    let mut memo_hits = 0usize;
+    let mut shard_count = 0usize;
 
-    // User feedback: seed must-link pairs, collect cannot-link pairs as
-    // reference indices. Constraints naming non-reconcilable or unknown
-    // objects are ignored.
+    // User feedback: resolve must-link and cannot-link pairs to reference
+    // indices. Constraints naming non-reconcilable or unknown objects are
+    // ignored.
     let ref_index = |o: semex_store::ObjectId| -> Option<u32> {
         store.object_raw(o)?; // unknown ids are ignored, not fatal
         table.index_of.get(&store.resolve(o)).copied()
     };
-    let cannot: Vec<(usize, usize)> = cfg
+    let cannot: Vec<(u32, u32)> = cfg
         .cannot_link
         .iter()
-        .filter_map(|&(a, b)| Some((ref_index(a)? as usize, ref_index(b)? as usize)))
+        .filter_map(|&(a, b)| Some((ref_index(a)?, ref_index(b)?)))
         .collect();
-    for &(a, b) in &cfg.must_link {
-        let (Some(ia), Some(ib)) = (ref_index(a), ref_index(b)) else {
-            continue;
-        };
-        let (ra, rb) = (uf.find(ia as usize), uf.find(ib as usize));
-        if ra != rb {
-            uf.union(ra, rb);
-            let root = uf.find(ra);
-            let other = if root == ra { rb } else { ra };
-            let moved = std::mem::take(&mut members[other]);
-            members[root].extend(moved);
-        }
+    let must_refs: Vec<(u32, u32)> = cfg
+        .must_link
+        .iter()
+        .filter_map(|&(a, b)| Some((ref_index(a)?, ref_index(b)?)))
+        .collect();
+    // Seed must-link pairs into the global clustering. Sharded variants
+    // additionally seed them per shard (where member pooling happens); the
+    // global unions cover components with no candidate pairs at all.
+    for &(a, b) in &must_refs {
+        uf.union(a as usize, b as usize);
     }
     // A union of (a, b) is allowed iff it would not connect any
     // cannot-link pair.
-    let allowed = |uf: &mut UnionFind, a: usize, b: usize, cannot: &[(usize, usize)]| -> bool {
+    let allowed = |uf: &mut UnionFind, a: usize, b: usize, cannot: &[(u32, u32)]| -> bool {
         if cannot.is_empty() {
             return true;
         }
         let (ra, rb) = (uf.find(a), uf.find(b));
         for &(x, y) in cannot {
-            let (rx, ry) = (uf.find(x), uf.find(y));
+            let (rx, ry) = (uf.find(x as usize), uf.find(y as usize));
             if (rx == ra && ry == rb) || (rx == rb && ry == ra) {
                 return false;
             }
         }
         true
     };
-
-    // Candidate bookkeeping.
-    let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
-    for (ci, &p) in pairs.iter().enumerate() {
-        pair_index.insert(p, ci);
-    }
-    // Candidates each reference participates in (for re-activation).
-    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (ci, &(a, b)) in pairs.iter().enumerate() {
-        incident[a as usize].push(ci as u32);
-        incident[b as usize].push(ci as u32);
-    }
 
     let weights = channel_weights(store);
 
@@ -150,6 +146,10 @@ fn run(
             // Static association evidence: a neighbour pair counts as
             // "matching" when its *attribute* score is conclusive — no
             // decisions feed back.
+            let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
+            for (ci, &p) in pairs.iter().enumerate() {
+                pair_index.insert(p, ci);
+            }
             let strong = |x: u32, y: u32| -> bool {
                 if x == y {
                     return true;
@@ -170,69 +170,43 @@ fn run(
             }
         }
         Variant::Propagation | Variant::Full => {
-            let enrich = variant.enriches();
-            // Worklist of candidate ids; start with everything.
-            let mut queue: std::collections::VecDeque<u32> = (0..pairs.len() as u32).collect();
-            let mut queued = vec![true; pairs.len()];
-            let mut decided = vec![false; pairs.len()];
-            let cap = pairs.len().saturating_mul(64).max(1024);
-            while let Some(ci) = queue.pop_front() {
-                queued[ci as usize] = false;
-                if decided[ci as usize] {
-                    continue;
-                }
-                iterations += 1;
-                if iterations > cap {
-                    break; // safety valve; monotone merging makes this unreachable in practice
-                }
-                let (a, b) = pairs[ci as usize];
-                if uf.same(a as usize, b as usize) {
-                    decided[ci as usize] = true;
-                    continue;
-                }
-                let attr = if enrich {
-                    let pa = pooled(&table, &members[uf.find(a as usize)]);
-                    let pb = pooled(&table, &members[uf.find(b as usize)]);
-                    attr_score(table.entries[a as usize].kind, &pa, &pb)
-                } else {
-                    base[ci as usize]
-                };
-                let ev = evidence_roots(&table, &weights, a, b, &uf);
-                let combined = combine(attr, ev, cfg);
-                if combined < cfg.threshold {
-                    continue; // may be re-activated by a future merge
-                }
-                if !allowed(&mut uf, a as usize, b as usize, &cannot) {
-                    decided[ci as usize] = true; // permanently vetoed
-                    continue;
-                }
-                // Merge the clusters.
-                let (ra, rb) = (uf.find(a as usize), uf.find(b as usize));
-                uf.union(a as usize, b as usize);
-                let root = uf.find(a as usize);
-                let other = if root == ra { rb } else { ra };
-                let moved = std::mem::take(&mut members[other]);
-                members[root].extend(moved);
-                decided[ci as usize] = true;
-
-                // Re-activate candidates whose evidence (or pool) changed:
-                // everything incident to the merged references' neighbours,
-                // and — under enrichment — to the merged cluster itself.
-                let mut touched: Vec<u32> = Vec::new();
-                for &r in [a, b].iter() {
-                    touched.extend(table.entries[r as usize].all_neighbors());
-                    if enrich {
-                        touched.extend(members[root].iter().copied());
+            // Partition into independent worklist shards: candidate edges,
+            // the evidence closure (every neighbour a pair's evidence can
+            // consult, i.e. both sides of every channel both endpoints
+            // populate), and must-link edges. See `shard` for why this
+            // closure makes shards fully independent.
+            let shards = shard::partition(n, &pairs, &must_refs, |a, b, sink| {
+                let ea = &table.entries[a as usize];
+                let eb = &table.entries[b as usize];
+                for (ch, na) in &ea.neighbors {
+                    let nb = eb.channel(*ch);
+                    if na.is_empty() || nb.is_empty() {
+                        continue;
+                    }
+                    for &x in na {
+                        sink(x);
+                    }
+                    for &y in nb {
+                        sink(y);
                     }
                 }
-                touched.sort_unstable();
-                touched.dedup();
-                for t in touched {
-                    for &cid in &incident[t as usize] {
-                        if !queued[cid as usize] && !decided[cid as usize] {
-                            queued[cid as usize] = true;
-                            queue.push_back(cid);
-                        }
+            });
+            shard_count = shards.len();
+            let oracle = TableOracle {
+                table: &table,
+                weights: &weights,
+                base: &base,
+                pairs: &pairs,
+                cfg,
+                enrich: variant.enriches(),
+            };
+            let outcomes = run_shards(&shards, &pairs, &must_refs, &cannot, &oracle, cfg.threads);
+            for o in outcomes {
+                iterations += o.iterations;
+                memo_hits += o.memo_hits;
+                for cl in o.clusters {
+                    for &x in &cl[1..] {
+                        uf.union(cl[0] as usize, x as usize);
                     }
                 }
             }
@@ -266,9 +240,105 @@ fn run(
         blocking: blocking_stats,
         merges,
         iterations,
+        shards: shard_count,
+        memo_hits,
         elapsed,
         clusters,
     }
+}
+
+/// The production [`Oracle`]: scores from the reference table, evidence
+/// over its channel graph.
+struct TableOracle<'a> {
+    table: &'a RefTable,
+    weights: &'a HashMap<u32, f64>,
+    base: &'a [f64],
+    pairs: &'a [(u32, u32)],
+    cfg: &'a ReconConfig,
+    enrich: bool,
+}
+
+impl Oracle for TableOracle<'_> {
+    fn base(&self, ci: u32) -> f64 {
+        self.base[ci as usize]
+    }
+    fn pooled_attr(&self, ci: u32, ma: &[u32], mb: &[u32]) -> f64 {
+        let (a, _) = self.pairs[ci as usize];
+        let pa = pooled(self.table, ma);
+        let pb = pooled(self.table, mb);
+        attr_score(self.table.entries[a as usize].kind, &pa, &pb)
+    }
+    fn evidence(&self, a: u32, b: u32, root_of: &mut dyn FnMut(u32) -> u64) -> f64 {
+        evidence_tokens(self.table, self.weights, a, b, root_of)
+    }
+    fn combine(&self, attr: f64, ev: f64) -> f64 {
+        combine(attr, ev, self.cfg)
+    }
+    fn threshold(&self) -> f64 {
+        self.cfg.threshold
+    }
+    fn enrich(&self) -> bool {
+        self.enrich
+    }
+    fn neighbors(&self, r: u32, sink: &mut dyn FnMut(u32)) {
+        for x in self.table.entries[r as usize].all_neighbors() {
+            sink(x);
+        }
+    }
+}
+
+/// Run every shard's worklist, across `threads` workers when it pays.
+/// Outcomes come back in shard order regardless of which worker ran what,
+/// so the caller's stitching is deterministic.
+fn run_shards<O: Oracle + Sync>(
+    shards: &[Shard],
+    pairs: &[(u32, u32)],
+    must: &[(u32, u32)],
+    cannot: &[(u32, u32)],
+    oracle: &O,
+    threads: usize,
+) -> Vec<ShardOutcome> {
+    if threads <= 1 || shards.len() <= 1 {
+        return shards
+            .iter()
+            .map(|s| run_shard(s, pairs, must, cannot, oracle))
+            .collect();
+    }
+    // Largest shards first: the biggest component dominates wall-clock, so
+    // it must start immediately, with small shards filling the tail.
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(shards[i].pairs.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(shards.len());
+    let mut slots: Vec<Option<ShardOutcome>> = Vec::new();
+    slots.resize_with(shards.len(), || None);
+    let per_worker: Vec<Vec<(usize, ShardOutcome)>> = std::thread::scope(|scope| {
+        let (order, next) = (&order, &next);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&si) = order.get(k) else { break };
+                        done.push((si, run_shard(&shards[si], pairs, must, cannot, oracle)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard workers do not panic"))
+            .collect()
+    });
+    for (si, outcome) in per_worker.into_iter().flatten() {
+        slots[si] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every shard ran exactly once"))
+        .collect()
 }
 
 /// Combined score: attribute similarity lifted toward 1 by association
@@ -278,20 +348,21 @@ fn combine(attr: f64, ev: f64, cfg: &ReconConfig) -> f64 {
 }
 
 /// Association evidence under the current clustering (propagation path):
-/// per shared channel, resolve both neighbour lists to their union-find
-/// roots once, then count matches by sorted-set intersection — O(n log n)
-/// per channel instead of O(n²) `find` calls.
-fn evidence_roots(
+/// per shared channel, resolve both neighbour lists to opaque cluster
+/// tokens via `root_of`, then count matches — a direct scan for tiny
+/// channels, a sorted-token intersection for large ones (O(n log n)
+/// instead of the quadratic blow-up).
+fn evidence_tokens(
     table: &RefTable,
     weights: &HashMap<u32, f64>,
     a: u32,
     b: u32,
-    uf: &UnionFind,
+    root_of: &mut dyn FnMut(u32) -> u64,
 ) -> f64 {
     let ea = &table.entries[a as usize];
     let eb = &table.entries[b as usize];
     let mut ev = 0.0f64;
-    let mut roots_b: Vec<u32> = Vec::new();
+    let mut roots_b: Vec<u64> = Vec::new();
     for (ch, na) in &ea.neighbors {
         let nb = eb.channel(*ch);
         if na.is_empty() || nb.is_empty() {
@@ -299,26 +370,30 @@ fn evidence_roots(
         }
         // Typical neighbour lists are tiny (one venue, a few co-authors);
         // a direct scan beats sorting there. Large channels use the sorted
-        // root-set intersection to avoid the quadratic find blow-up.
-        let shared = if na.len() * nb.len() <= 64 {
-            na.iter()
-                .filter(|&&x| {
-                    let rx = uf.find_const(x as usize);
-                    nb.iter().any(|&y| y == x || uf.find_const(y as usize) == rx)
-                })
-                .count()
+        // token intersection to avoid the quadratic blow-up.
+        let mut shared = 0usize;
+        if na.len() * nb.len() <= 64 {
+            for &x in na {
+                let rx = root_of(x);
+                for &y in nb {
+                    if y == x || root_of(y) == rx {
+                        shared += 1;
+                        break;
+                    }
+                }
+            }
         } else {
             roots_b.clear();
-            roots_b.extend(nb.iter().map(|&y| uf.find_const(y as usize) as u32));
+            for &y in nb {
+                roots_b.push(root_of(y));
+            }
             roots_b.sort_unstable();
-            na.iter()
-                .filter(|&&x| {
-                    roots_b
-                        .binary_search(&(uf.find_const(x as usize) as u32))
-                        .is_ok()
-                })
-                .count()
-        };
+            for &x in na {
+                if roots_b.binary_search(&root_of(x)).is_ok() {
+                    shared += 1;
+                }
+            }
+        }
         if shared == 0 {
             continue;
         }
@@ -454,14 +529,14 @@ fn pooled<'a>(table: &'a RefTable, members: &[u32]) -> Pool<'a> {
         }
         for &y in &e.years {
             if p.years.len() < CAP {
-                p.years.push(y);
+                p.years.to_mut().push(y);
             }
         }
     }
     p
 }
 
-/// Singleton pool of one reference.
+/// Singleton pool of one reference — every field borrows from the table.
 fn singleton<'a>(table: &'a RefTable, i: u32) -> Pool<'a> {
     let e = &table.entries[i as usize];
     Pool {
@@ -470,7 +545,7 @@ fn singleton<'a>(table: &'a RefTable, i: u32) -> Pool<'a> {
         emails: e.emails.iter().map(String::as_str).collect(),
         titles: e.titles.iter().map(String::as_str).collect(),
         abbrevs: e.abbrevs.iter().map(String::as_str).collect(),
-        years: e.years.clone(),
+        years: Cow::Borrowed(e.years.as_slice()),
     }
 }
 
@@ -499,16 +574,16 @@ fn score_pairs(table: &RefTable, pairs: &[(u32, u32)], threads: usize) -> Vec<f6
     }
     let chunk = pairs.len().div_ceil(threads);
     let mut out = vec![0.0; pairs.len()];
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
+        let score_one = &score_one;
         for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, p) in slot.iter_mut().zip(work) {
                     *o = score_one(p);
                 }
             });
         }
-    })
-    .expect("scoring threads do not panic");
+    });
     out
 }
 
@@ -695,6 +770,24 @@ mod tests {
         );
         assert_eq!(seq.merges, par.merges);
         assert_eq!(seq.clusters, par.clusters);
+        assert_eq!(seq.iterations, par.iterations, "same per-shard work");
+        assert_eq!(seq.shards, par.shards);
+    }
+
+    #[test]
+    fn sharded_runs_report_shards_and_memo() {
+        // Two independent families of duplicates → at least two shards.
+        let bib = "@inproceedings{a, title={T1 alpha beta}, author={Michael Carey}, booktitle={V1}, year=2001}\n\
+                   @inproceedings{b, title={T2 gamma delta}, author={Michael J. Carey}, booktitle={V1}, year=2002}\n\
+                   @inproceedings{c, title={T3 epsilon zeta}, author={Laura Bennett}, booktitle={V2}, year=2003}\n\
+                   @inproceedings{d, title={T4 eta theta}, author={Laura J. Bennett}, booktitle={V2}, year=2004}";
+        let mut st = store_with(bib, "", "");
+        let r = reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
+        assert!(r.shards >= 2, "disjoint families shard independently: {r:?}");
+        let mut st2 = store_with(bib, "", "");
+        let attr = reconcile(&mut st2, Variant::AttrOnly, &ReconConfig::sequential());
+        assert_eq!(attr.shards, 0, "non-propagating variants do not shard");
+        assert_eq!(attr.memo_hits, 0);
     }
 
     #[test]

@@ -51,16 +51,26 @@
 //! assert_eq!(store.class_count(person), 1);
 //! ```
 
+//! The propagation fixed point is computed **sharded**: [`shard`] splits
+//! the reference graph into connected components closed under cluster
+//! sharing and evidence flow, each component's worklist runs independently
+//! (in parallel when [`ReconConfig::threads`] allows), and the per-shard
+//! clusterings are stitched back together — with the hard guarantee that
+//! any thread count produces byte-identical clusters and merges.
+
 pub mod blocking;
 mod config;
 mod engine;
 pub mod eval;
 mod refs;
 pub mod score;
+pub mod shard;
 mod union_find;
+mod worklist;
 
 pub use config::{ReconConfig, Variant};
 pub use engine::{reconcile, reconcile_incremental, ReconReport};
 pub use eval::{pair_metrics, Metrics};
 pub use refs::{RefEntry, RefKind, RefTable};
+pub use shard::{partition, Shard};
 pub use union_find::UnionFind;

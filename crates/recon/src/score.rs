@@ -12,9 +12,10 @@ use semex_similarity::email::{email_matches_parsed_name, email_similarity};
 use semex_similarity::name::{names_compatible, PersonName};
 use semex_similarity::venue::venue_similarity;
 use semex_similarity::{jaro_winkler, monge_elkan, normalized_damerau, title::title_similarity};
+use std::borrow::Cow;
 
 /// A pooled view of the attribute values the scorers compare.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Pool<'a> {
     /// Person/organization/venue names.
     pub names: Vec<&'a str>,
@@ -29,18 +30,58 @@ pub struct Pool<'a> {
     pub titles: Vec<&'a str>,
     /// Venue abbreviations.
     pub abbrevs: Vec<&'a str>,
-    /// Publication years.
-    pub years: Vec<i64>,
+    /// Publication years: borrowed straight from a single reference's
+    /// cached values (the hot singleton-scoring path allocates nothing),
+    /// owned only when a multi-member cluster actually pools them.
+    pub years: Cow<'a, [i64]>,
 }
 
-/// Parsed views of a pool's names: cached when available, parsed here
-/// otherwise.
-fn parsed_views<'p>(pool: &'p Pool<'_>, scratch: &'p mut Vec<PersonName>) -> Vec<&'p PersonName> {
-    if pool.parsed_names.len() == pool.names.len() {
-        return pool.parsed_names.clone();
+impl Default for Pool<'_> {
+    fn default() -> Self {
+        Pool {
+            names: Vec::new(),
+            parsed_names: Vec::new(),
+            emails: Vec::new(),
+            titles: Vec::new(),
+            abbrevs: Vec::new(),
+            years: Cow::Borrowed(&[]),
+        }
     }
-    *scratch = pool.names.iter().map(|n| PersonName::parse(n)).collect();
-    scratch.iter().collect()
+}
+
+/// Parsed views of a pool's names: borrowed from the cache when available,
+/// parsed here otherwise. Scoring a cached pool allocates nothing.
+enum ParsedView<'p> {
+    Cached(&'p [&'p PersonName]),
+    Owned(Vec<PersonName>),
+}
+
+impl ParsedView<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ParsedView::Cached(s) => s.len(),
+            ParsedView::Owned(v) => v.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> &PersonName {
+        match self {
+            ParsedView::Cached(s) => s[i],
+            ParsedView::Owned(v) => &v[i],
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &PersonName> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+fn parsed_views<'p>(pool: &'p Pool<'_>) -> ParsedView<'p> {
+    if pool.parsed_names.len() == pool.names.len() {
+        ParsedView::Cached(&pool.parsed_names)
+    } else {
+        ParsedView::Owned(pool.names.iter().map(|n| PersonName::parse(n)).collect())
+    }
 }
 
 /// Score two Person pools.
@@ -73,13 +114,10 @@ pub fn person_score(a: &Pool<'_>, b: &Pool<'_>) -> f64 {
     let mut name_best: f64 = 0.0;
     let mut any_compatible = false;
     let mut contradiction = false;
-    let (mut scratch_a, mut scratch_b) = (Vec::new(), Vec::new());
-    let parsed_a = parsed_views(a, &mut scratch_a);
-    let parsed_b = parsed_views(b, &mut scratch_b);
-    for (na, pa) in a.names.iter().zip(&parsed_a) {
-        let pa = *pa;
-        for (nb, pb) in b.names.iter().zip(&parsed_b) {
-            let pb = *pb;
+    let parsed_a = parsed_views(a);
+    let parsed_b = parsed_views(b);
+    for (na, pa) in a.names.iter().zip(parsed_a.iter()) {
+        for (nb, pb) in b.names.iter().zip(parsed_b.iter()) {
             if !names_compatible(pa, pb) {
                 name_best = name_best.max(jaro_winkler(na, nb).min(0.4));
                 // Spelt-out given names disagreeing on the same family name
@@ -132,14 +170,14 @@ pub fn person_score(a: &Pool<'_>, b: &Pool<'_>) -> f64 {
     let mut cross = false;
     if !any_compatible || name_best < 0.92 {
         for e in &a.emails {
-            for n in &parsed_b {
+            for n in parsed_b.iter() {
                 if email_matches_parsed_name(e, n) {
                     cross = true;
                 }
             }
         }
         for e in &b.emails {
-            for n in &parsed_a {
+            for n in parsed_a.iter() {
                 if email_matches_parsed_name(e, n) {
                     cross = true;
                 }
@@ -290,17 +328,17 @@ mod tests {
     fn publication_years_matter() {
         let a = Pool {
             titles: vec!["Adaptive scalable queries integration"],
-            years: vec![2004],
+            years: vec![2004].into(),
             ..Default::default()
         };
         let same = Pool {
             titles: vec!["Adaptive scalable queries integration"],
-            years: vec![2004],
+            years: vec![2004].into(),
             ..Default::default()
         };
         let other_year = Pool {
             titles: vec!["Adaptive scalable queries integration"],
-            years: vec![1999],
+            years: vec![1999].into(),
             ..Default::default()
         };
         assert!(publication_score(&a, &same) > 0.95);

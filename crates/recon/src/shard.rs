@@ -1,0 +1,224 @@
+//! Sharding: partition the reference graph into independent worklist units.
+//!
+//! The `Propagation`/`Full` worklist is a fixed-point computation whose
+//! state (union-find roots, pooled members) is only ever read and written
+//! along *edges* of the candidate graph. Two candidate pairs can influence
+//! each other in exactly two ways:
+//!
+//! 1. **Cluster sharing** — they touch the same reference (directly, or
+//!    transitively through a chain of merges), so one pair's merge changes
+//!    the other's pooled attribute values.
+//! 2. **Evidence flow** — [`evidence`](crate::reconcile) for pair `(a, b)`
+//!    resolves the union-find roots of the neighbours `a` and `b` share a
+//!    channel on, so a merge *among those neighbours* changes the pair's
+//!    association evidence.
+//!
+//! A partition is therefore safe only when it is closed under both
+//! relations. [`partition`] builds connected components over:
+//!
+//! * an edge `a — b` for every candidate pair `(a, b)` (cluster sharing);
+//! * edges from each candidate endpoint to every neighbour that the pair's
+//!   evidence computation can consult — for each channel on which *both*
+//!   endpoints have neighbours, all of both sides' neighbours on that
+//!   channel (evidence flow). This is strictly stronger than linking
+//!   references that share a neighbour: two distinct neighbours `x ∈ N(a)`,
+//!   `y ∈ N(b)` can merge *with each other* elsewhere and thereby lift
+//!   `(a, b)`'s evidence, so both must live in `(a, b)`'s shard even when
+//!   no neighbour is shared;
+//! * an edge for every resolved must-link pair (seeded merges pool
+//!   attributes and emit evidence exactly like decided candidates).
+//!
+//! With that closure, every union-find root a shard's worklist ever reads
+//! belongs to the shard, so shards are fully independent: they can run on
+//! any number of threads, in any order, and produce byte-identical
+//! clusters. Merges never cross shards (all merge sources are partition
+//! edges), so stitching is a plain union of each shard's clusters into the
+//! global union-find.
+
+use crate::UnionFind;
+use std::collections::HashMap;
+
+/// One independent unit of worklist execution.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    /// Global reference indices in this shard, ascending.
+    pub refs: Vec<u32>,
+    /// Global candidate-pair indices in this shard, ascending.
+    pub pairs: Vec<u32>,
+}
+
+/// Partition `n` references into shards closed under cluster sharing and
+/// evidence flow (see the module docs). `pair_reach` must invoke its sink
+/// with every reference the evidence computation for the given candidate
+/// pair may consult; `must` lists resolved must-link pairs. Components
+/// without any candidate pair produce no shard (nothing to evaluate).
+/// Shards are ordered by their first candidate index, so the output is
+/// deterministic for a given input.
+pub fn partition(
+    n: usize,
+    pairs: &[(u32, u32)],
+    must: &[(u32, u32)],
+    mut pair_reach: impl FnMut(u32, u32, &mut dyn FnMut(u32)),
+) -> Vec<Shard> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in pairs {
+        uf.union(a as usize, b as usize);
+        pair_reach(a, b, &mut |x| {
+            uf.union(a as usize, x as usize);
+        });
+    }
+    for &(a, b) in must {
+        uf.union(a as usize, b as usize);
+    }
+
+    let mut shard_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut shards: Vec<Shard> = Vec::new();
+    for (ci, &(a, _)) in pairs.iter().enumerate() {
+        let root = uf.find(a as usize);
+        let s = *shard_of_root.entry(root).or_insert_with(|| {
+            shards.push(Shard::default());
+            shards.len() - 1
+        });
+        shards[s].pairs.push(ci as u32);
+    }
+    for r in 0..n {
+        let root = uf.find(r);
+        if let Some(&s) = shard_of_root.get(&root) {
+            shards[s].refs.push(r as u32);
+        }
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic RNG (xorshift64*) so the partition invariants
+    /// can be property-tested without external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn no_reach(_: u32, _: u32, _: &mut dyn FnMut(u32)) {}
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        assert!(partition(5, &[], &[], no_reach).is_empty());
+        assert!(partition(0, &[], &[], no_reach).is_empty());
+    }
+
+    #[test]
+    fn disjoint_pairs_get_their_own_shards() {
+        let pairs = [(0, 1), (2, 3)];
+        let shards = partition(4, &pairs, &[], no_reach);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].refs, vec![0, 1]);
+        assert_eq!(shards[0].pairs, vec![0]);
+        assert_eq!(shards[1].refs, vec![2, 3]);
+        assert_eq!(shards[1].pairs, vec![1]);
+    }
+
+    #[test]
+    fn reach_links_merge_shards() {
+        // Pairs (0,1) and (2,3) are disjoint, but pair (0,1)'s evidence
+        // consults reference 2 — they must share a shard.
+        let pairs = [(0, 1), (2, 3)];
+        let shards = partition(4, &pairs, &[], |a, _, sink| {
+            if a == 0 {
+                sink(2);
+            }
+        });
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].refs, vec![0, 1, 2, 3]);
+        assert_eq!(shards[0].pairs, vec![0, 1]);
+    }
+
+    #[test]
+    fn must_links_merge_shards() {
+        let pairs = [(0, 1), (2, 3)];
+        let shards = partition(4, &pairs, &[(1, 2)], no_reach);
+        assert_eq!(shards.len(), 1);
+    }
+
+    #[test]
+    fn pairless_components_produce_no_shard() {
+        // A must-link between two references nobody compares stays out of
+        // every shard (the global pass seeds it directly).
+        let pairs = [(0, 1)];
+        let shards = partition(5, &pairs, &[(3, 4)], no_reach);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].refs, vec![0, 1]);
+    }
+
+    #[test]
+    fn randomized_partition_invariants() {
+        let mut rng = Rng(0x5eed_2005);
+        for _ in 0..50 {
+            let n = 2 + rng.below(40) as usize;
+            let np = rng.below(30) as usize;
+            let mut pairs = Vec::new();
+            for _ in 0..np {
+                let a = rng.below(n as u64) as u32;
+                let b = rng.below(n as u64) as u32;
+                if a != b {
+                    pairs.push((a.min(b), a.max(b)));
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            // Random sparse neighbour structure.
+            let mut neigh: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (i, ns) in neigh.iter_mut().enumerate() {
+                for _ in 0..rng.below(3) {
+                    let x = rng.below(n as u64) as u32;
+                    if x as usize != i {
+                        ns.push(x);
+                    }
+                }
+            }
+            let shards = partition(n, &pairs, &[], |a, b, sink| {
+                for &x in &neigh[a as usize] {
+                    sink(x);
+                }
+                for &x in &neigh[b as usize] {
+                    sink(x);
+                }
+            });
+
+            // Every pair appears exactly once, with both endpoints and
+            // every reachable neighbour in the same shard.
+            let mut seen_pairs = 0usize;
+            for (si, s) in shards.iter().enumerate() {
+                assert!(s.refs.windows(2).all(|w| w[0] < w[1]), "refs sorted");
+                assert!(s.pairs.windows(2).all(|w| w[0] < w[1]), "pairs sorted");
+                let refset: std::collections::HashSet<u32> = s.refs.iter().copied().collect();
+                for &ci in &s.pairs {
+                    seen_pairs += 1;
+                    let (a, b) = pairs[ci as usize];
+                    assert!(refset.contains(&a) && refset.contains(&b), "shard {si}");
+                    for &x in neigh[a as usize].iter().chain(&neigh[b as usize]) {
+                        assert!(refset.contains(&x), "evidence closure in shard {si}");
+                    }
+                }
+            }
+            assert_eq!(seen_pairs, pairs.len());
+            // No reference lands in two shards.
+            let mut owner: HashMap<u32, usize> = HashMap::new();
+            for (si, s) in shards.iter().enumerate() {
+                for &r in &s.refs {
+                    assert!(owner.insert(r, si).is_none(), "ref {r} in two shards");
+                }
+            }
+        }
+    }
+}

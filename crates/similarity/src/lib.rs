@@ -51,5 +51,6 @@ pub use edit::{
 pub use jaro::{jaro, jaro_winkler};
 pub use phonetic::soundex;
 pub use tokens::{
-    cosine, dice, jaccard, monge_elkan, ngrams, tf_idf_cosine, tokenize, tokenize_lower,
+    cosine, dice, jaccard, lowercase_into, monge_elkan, ngrams, tf_idf_cosine, token_spans,
+    tokenize, tokenize_lower,
 };

@@ -4,26 +4,35 @@
 use crate::CorpusStats;
 use std::collections::{HashMap, HashSet};
 
+/// Iterate over a string's alphanumeric token spans (Unicode-aware) without
+/// allocating. [`tokenize`] is this plus an owned `String` per token; hot
+/// paths (blocking-key generation) borrow the spans directly.
+pub fn token_spans(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+}
+
 /// Split a string into alphanumeric tokens (Unicode-aware), preserving case.
 pub fn tokenize(s: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    for c in s.chars() {
-        if c.is_alphanumeric() {
-            cur.push(c);
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
-        }
-    }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
-    out
+    token_spans(s).map(str::to_owned).collect()
 }
 
 /// Tokenize and lowercase.
 pub fn tokenize_lower(s: &str) -> Vec<String> {
     tokenize(s).into_iter().map(|t| t.to_lowercase()).collect()
+}
+
+/// Lowercase `s` into a caller-provided buffer (cleared first), avoiding a
+/// fresh allocation per call. Produces exactly [`str::to_lowercase`]'s
+/// output, including the context-dependent Greek final-sigma mapping.
+pub fn lowercase_into(s: &str, buf: &mut String) {
+    buf.clear();
+    if s.contains('\u{03A3}') {
+        // 'Σ' is the only char whose lowercase depends on its position in
+        // the word; defer to std for the rare string that contains it.
+        buf.push_str(&s.to_lowercase());
+    } else {
+        buf.extend(s.chars().flat_map(char::to_lowercase));
+    }
 }
 
 /// Character n-grams of a string (over Unicode scalars). Strings shorter
@@ -160,6 +169,22 @@ mod tests {
         assert_eq!(tokenize_lower("Re: [PIM] v2.0"), vec!["re", "pim", "v2", "0"]);
         assert!(tokenize("   ").is_empty());
         assert_eq!(tokenize("a"), vec!["a"]);
+    }
+
+    #[test]
+    fn spans_borrow_the_input() {
+        let spans: Vec<&str> = token_spans("Hello, world!").collect();
+        assert_eq!(spans, vec!["Hello", "world"]);
+        assert_eq!(token_spans("   ").count(), 0);
+    }
+
+    #[test]
+    fn lowercase_into_matches_std() {
+        let mut buf = String::from("junk");
+        for s in ["MiXeD CaSe", "ΟΔΥΣΣΕΥΣ", "İstanbul", ""] {
+            lowercase_into(s, &mut buf);
+            assert_eq!(buf, s.to_lowercase());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Venue (conference / journal) comparison with abbreviation handling.
 
-use crate::{jaro_winkler, tokenize_lower};
+use crate::{jaro_winkler, lowercase_into, token_spans, tokenize_lower};
 
 /// Boilerplate words that carry no venue identity.
 const BOILERPLATE: &[&str] = &[
@@ -9,15 +9,34 @@ const BOILERPLATE: &[&str] = &[
     "transactions",
 ];
 
+/// Visit a venue string's identity tokens — lowercased, with boilerplate,
+/// years and ordinals stripped — without materializing a token list. The
+/// `&str` handed to `f` points into a buffer that is reused between tokens,
+/// so hash or copy it before the next call. [`venue_tokens`] is the
+/// collecting wrapper.
+pub fn for_each_venue_token(v: &str, mut f: impl FnMut(&str)) {
+    let mut buf = String::new();
+    for tok in token_spans(v) {
+        lowercase_into(tok, &mut buf);
+        if BOILERPLATE.contains(&buf.as_str()) {
+            continue;
+        }
+        if buf.chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if is_ordinal(&buf) {
+            continue;
+        }
+        f(&buf);
+    }
+}
+
 /// Normalize a venue string: lowercase tokens, strip boilerplate, years and
 /// ordinals (`"Proceedings of the 24th ACM SIGMOD, 2005"` → `["sigmod"]`).
 pub fn venue_tokens(v: &str) -> Vec<String> {
-    tokenize_lower(v)
-        .into_iter()
-        .filter(|t| !BOILERPLATE.contains(&t.as_str()))
-        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
-        .filter(|t| !is_ordinal(t))
-        .collect()
+    let mut out = Vec::new();
+    for_each_venue_token(v, |t| out.push(t.to_owned()));
+    out
 }
 
 fn is_ordinal(t: &str) -> bool {

@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> OK"

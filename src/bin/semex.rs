@@ -4,6 +4,10 @@
 //! semex build <dir> -o space.json        index a directory tree into a snapshot
 //! semex build <dir> --durable -o space.journal/   ...into a journal directory instead
 //! semex demo  -o space.json [--seed N] [--scale F] [--durable]   build from a generated demo corpus
+//!
+//! `build` and `demo` accept `--recon-threads N` to pin the reconciliation
+//! thread budget (defaults to the machine's parallelism; results are
+//! identical at any setting).
 //! semex journal-compact <space.journal>  fold a journal into a fresh snapshot
 //! semex stats <space.json>               show the association-DB inventory
 //! semex search <space.json> <query...>   object-centric keyword search
@@ -31,7 +35,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] -o <snapshot.json | journal-dir>\n  semex demo [--durable] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
+        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
     );
     ExitCode::from(2)
 }
@@ -126,16 +130,38 @@ fn persist(semex: Semex, out: &Path, durable: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--recon-threads N` out of an argument list, returning the
+/// remaining arguments and the configuration to build with.
+fn recon_threads_flag<'a>(args: Vec<&'a String>) -> Result<(Vec<&'a String>, SemexConfig), String> {
+    let mut config = SemexConfig::default();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--recon-threads" {
+            config.recon.threads = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .ok_or("--recon-threads needs a positive number")?;
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((rest, config))
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let Some((out, rest)) = out_flag(args) else {
         return Err("build requires -o <snapshot.json | journal-dir>".into());
     };
     let durable = rest.iter().any(|a| a.as_str() == "--durable");
     let rest: Vec<&String> = rest.into_iter().filter(|a| a.as_str() != "--durable").collect();
+    let (rest, config) = recon_threads_flag(rest)?;
     let [dir] = rest.as_slice() else {
         return Err("build requires exactly one directory".into());
     };
     let semex = SemexBuilder::new()
+        .with_config(config)
         .add_directory("home", dir.as_str())
         .build()
         .map_err(|e| e.to_string())?;
@@ -173,6 +199,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     let Some((out, rest)) = out_flag(args) else {
         return Err("demo requires -o <snapshot.json | journal-dir>".into());
     };
+    let (rest, config) = recon_threads_flag(rest)?;
     let mut seed = 2005u64;
     let mut scale = 1.0f64;
     let mut durable = false;
@@ -205,6 +232,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     let dir = std::env::temp_dir().join(format!("semex-demo-{}", std::process::id()));
     corpus.write_to(&dir).map_err(|e| e.to_string())?;
     let semex = SemexBuilder::new()
+        .with_config(config)
         .add_directory("demo-corpus", &dir)
         .build()
         .map_err(|e| e.to_string())?;

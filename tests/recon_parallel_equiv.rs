@@ -1,0 +1,55 @@
+//! End-to-end parallel-equivalence check on the scaled synthetic corpus:
+//! the sharded reconciler at 4 threads must report byte-identical merges,
+//! clusters, shard counts and iteration counts to the sequential run —
+//! the E2-consolidation setting, scaled up.
+
+mod common;
+
+use common::extract_corpus;
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::recon::{reconcile, ReconConfig, Variant};
+
+fn assert_equivalent_at_scale(scale: f64) {
+    let corpus = generate_personal(
+        &CorpusConfig {
+            seed: 2005,
+            ..CorpusConfig::default()
+        }
+        .scaled_size(scale),
+    );
+    let store = extract_corpus(&corpus);
+    for variant in [Variant::Propagation, Variant::Full] {
+        let mut seq_store = store.clone();
+        let seq = reconcile(&mut seq_store, variant, &ReconConfig::sequential());
+        let mut par_store = store.clone();
+        let par = reconcile(
+            &mut par_store,
+            variant,
+            &ReconConfig {
+                threads: 4,
+                ..ReconConfig::default()
+            },
+        );
+        assert_eq!(seq.merges, par.merges, "{variant}: merges diverged");
+        assert_eq!(seq.iterations, par.iterations, "{variant}: per-shard work diverged");
+        assert_eq!(seq.shards, par.shards, "{variant}: partition diverged");
+        assert_eq!(seq.clusters, par.clusters, "{variant}: clusters diverged");
+        assert_eq!(
+            seq_store.object_count(),
+            par_store.object_count(),
+            "{variant}: store consolidation diverged"
+        );
+        assert!(par.shards >= 1, "{variant}: scaled corpus must shard");
+    }
+}
+
+#[test]
+fn parallel_equivalence_at_2x_scale() {
+    assert_equivalent_at_scale(2.0);
+}
+
+#[test]
+#[ignore = "slow in debug builds; covered by the 2x test, run with --ignored"]
+fn parallel_equivalence_at_4x_scale() {
+    assert_equivalent_at_scale(4.0);
+}
