@@ -9,7 +9,8 @@ use semex_store::Store;
 use std::path::PathBuf;
 
 fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("semex-bench-journal-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("semex-bench-journal-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     dir
 }

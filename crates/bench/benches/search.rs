@@ -1,10 +1,13 @@
-//! Criterion bench backing experiment E6: index construction and query
-//! latency of the object-centric keyword search.
+//! Criterion bench backing experiments E6/E11: index construction
+//! (sequential vs sharded), query latency (pruned vs exhaustive) and
+//! incremental maintenance vs full rebuild.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use semex_bench::extract_corpus;
 use semex_corpus::{generate_personal, CorpusConfig};
 use semex_index::SearchIndex;
+use semex_model::names::{attr, class};
+use semex_model::Value;
 use semex_recon::{reconcile, ReconConfig, Variant};
 use semex_store::Store;
 
@@ -24,6 +27,9 @@ fn bench_build(c: &mut Criterion) {
     c.bench_function("index_build", |b| {
         b.iter(|| SearchIndex::build(&store));
     });
+    c.bench_function("index_build_parallel", |b| {
+        b.iter(|| SearchIndex::build_parallel(&store));
+    });
 }
 
 fn bench_queries(c: &mut Criterion) {
@@ -37,12 +43,34 @@ fn bench_queries(c: &mut Criterion) {
         ("email", "luna@cs.example.edu"),
         ("rare_miss", "zyzzyva quux"),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, q| {
+        group.bench_with_input(BenchmarkId::new("pruned", label), &query, |b, q| {
             b.iter(|| index.search_str(&store, q, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", label), &query, |b, q| {
+            b.iter(|| index.search_str_exhaustive(&store, q, 10));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_queries);
+fn bench_incremental(c: &mut Criterion) {
+    let mut store = reconciled_store(0.5);
+    store.enable_events();
+    let mut index = SearchIndex::build(&store);
+    store.take_events();
+    let person = store.model().class(class::PERSON).unwrap();
+    let a_name = store.model().attr(attr::NAME).unwrap();
+    c.bench_function("index_incremental_update", |b| {
+        b.iter(|| {
+            let p = store.add_object(person);
+            store
+                .add_attr(p, a_name, Value::from("Benchmark Person"))
+                .unwrap();
+            let events = store.take_events();
+            index.apply_events(&store, &events);
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_queries, bench_incremental);
 criterion_main!(benches);

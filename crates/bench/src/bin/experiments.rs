@@ -11,7 +11,8 @@ use semex_browse::Browser;
 use semex_corpus::{generate_cora, generate_personal, CoraConfig, CorpusConfig, EntityKind};
 use semex_index::SearchIndex;
 use semex_integrate::SchemaMatcher;
-use semex_model::names::{class, derived};
+use semex_model::names::{attr, class, derived};
+use semex_model::Value;
 use semex_recon::{pair_metrics, reconcile, Metrics, ReconConfig, Variant};
 use semex_store::{Store, StoreStats};
 use std::time::Instant;
@@ -58,6 +59,9 @@ fn main() {
     }
     if want("e10") {
         e10_blocking_ablation();
+    }
+    if want("e11") {
+        e11_search_perf();
     }
 }
 
@@ -107,7 +111,12 @@ fn e2_consolidation() {
     let mut store = extract_corpus(&corpus);
     let pristine = store.clone();
 
-    let classes = [class::PERSON, class::PUBLICATION, class::VENUE, class::ORGANIZATION];
+    let classes = [
+        class::PERSON,
+        class::PUBLICATION,
+        class::VENUE,
+        class::ORGANIZATION,
+    ];
     let truth_counts = [
         corpus.truth.entity_count(EntityKind::Person),
         corpus.truth.entity_count(EntityKind::Publication),
@@ -145,7 +154,10 @@ fn e2_consolidation() {
         report.elapsed.as_secs_f64() * 1e3
     );
     let mut t = TextTable::new(&[
-        "Person fragmentation", "name forms / entity", "sources / entity", "cross-source share",
+        "Person fragmentation",
+        "name forms / entity",
+        "sources / entity",
+        "cross-source share",
     ]);
     for (label, f) in [("before recon", &frag_before), ("after recon", &frag_after)] {
         t.row(vec![
@@ -247,7 +259,13 @@ fn e3_pim_variants() {
         cfg.noise = cfg.noise.scaled(noise_scale);
         println!("noise x{noise_scale}:");
         let mut t = TextTable::new(&[
-            "variant", "precision", "recall", "F1", "person-P", "person-R", "person-F1",
+            "variant",
+            "precision",
+            "recall",
+            "F1",
+            "person-P",
+            "person-R",
+            "person-F1",
         ]);
         for (v, m, mp) in run_variants(&cfg) {
             t.row(vec![
@@ -300,7 +318,12 @@ fn e4_cora_variants() {
 fn e5_scalability() {
     println!("## E5 (Figure 3) — reconciliation runtime vs. corpus size\n");
     let mut t = TextTable::new(&[
-        "scale", "references", "candidates", "pair-space", "attr-only (ms)", "full (ms)",
+        "scale",
+        "references",
+        "candidates",
+        "pair-space",
+        "attr-only (ms)",
+        "full (ms)",
     ]);
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let cfg = paper_corpus().scaled_size(scale);
@@ -311,7 +334,11 @@ fn e5_scalability() {
         for v in [Variant::AttrOnly, Variant::Full] {
             let mut store = extract_corpus(&corpus);
             let report = reconcile(&mut store, v, &ReconConfig::default());
-            shared = Some((report.refs, report.candidates, report.blocking.exhaustive_pairs));
+            shared = Some((
+                report.refs,
+                report.candidates,
+                report.blocking.exhaustive_pairs,
+            ));
             times.push(report.elapsed.as_secs_f64() * 1e3);
         }
         let (refs, cands, exhaustive) = shared.unwrap();
@@ -383,7 +410,13 @@ fn e6_search() {
     }
     let scan_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
-    let mut t = TextTable::new(&["system", "avg latency (ms)", "MRR", "hit@1", "result granularity"]);
+    let mut t = TextTable::new(&[
+        "system",
+        "avg latency (ms)",
+        "MRR",
+        "hit@1",
+        "result granularity",
+    ]);
     t.row(vec![
         "SEMEX search".into(),
         format!("{semex_ms:.3}"),
@@ -413,7 +446,12 @@ fn e6_search() {
 fn e7_browsing() {
     println!("## E7 (Figure 4) — association browsing latency vs. store size\n");
     let mut t = TextTable::new(&[
-        "scale", "objects", "edges", "neighborhood (us)", "CoAuthor (us)", "path<=4 (us)",
+        "scale",
+        "objects",
+        "edges",
+        "neighborhood (us)",
+        "CoAuthor (us)",
+        "path<=4 (us)",
     ]);
     for scale in [0.5, 1.0, 2.0, 4.0] {
         let cfg = paper_corpus().scaled_size(scale);
@@ -471,10 +509,18 @@ fn e8_integration() {
     // primary address) and 10 unknown, under foreign headers.
     let mut csv = String::from("attendee,e-mail address,badge\n");
     for p in corpus.world.people.iter().take(30) {
-        csv.push_str(&format!("{},{},{}\n", p.canonical_name(), p.emails[0], p.id));
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            p.canonical_name(),
+            p.emails[0],
+            p.id
+        ));
     }
     for i in 0..10 {
-        csv.push_str(&format!("Visitor Number{i},visitor{i}@elsewhere.example,{}\n", 900 + i));
+        csv.push_str(&format!(
+            "Visitor Number{i},visitor{i}@elsewhere.example,{}\n",
+            900 + i
+        ));
     }
     let table = semex_extract::csv::parse_csv(&csv).unwrap();
 
@@ -486,7 +532,12 @@ fn e8_integration() {
     let table2 = semex_extract::csv::parse_csv(&csv2).unwrap();
 
     let mut t = TextTable::new(&[
-        "source", "mapped class", "mapping score", "rows", "merged into existing", "expected",
+        "source",
+        "mapped class",
+        "mapping score",
+        "rows",
+        "merged into existing",
+        "expected",
     ]);
     for (name, tab, expected, known) in [
         ("attendees.csv", &table, "30 of 40", 30usize),
@@ -526,7 +577,13 @@ fn e9_pr_curve() {
     let cfg = paper_corpus().scaled_size(0.5);
     let corpus = generate_personal(&cfg);
     let mut t = TextTable::new(&[
-        "threshold", "attr-P", "attr-R", "attr-F1", "full-P", "full-R", "full-F1",
+        "threshold",
+        "attr-P",
+        "attr-R",
+        "attr-F1",
+        "full-P",
+        "full-R",
+        "full-F1",
     ]);
     for step in 0..6 {
         let threshold = 0.70 + 0.05 * step as f64;
@@ -556,7 +613,11 @@ fn e10_blocking_ablation() {
     use semex_recon::{blocking, RefTable};
     println!("## E10 (ablation) — blocking recall vs. pair-space reduction\n");
     let mut t = TextTable::new(&[
-        "scale", "true pairs", "covered by blocking", "blocking recall", "pair-space scored",
+        "scale",
+        "true pairs",
+        "covered by blocking",
+        "blocking recall",
+        "pair-space scored",
     ]);
     for scale in [0.5, 1.0, 2.0] {
         let cfg = paper_corpus().scaled_size(scale);
@@ -598,7 +659,173 @@ fn e10_blocking_ablation() {
         ]);
     }
     println!("{}", t.render());
-    println!("(a missed true pair can never be merged: blocking recall bounds end-to-end recall)\n");
+    println!(
+        "(a missed true pair can never be merged: blocking recall bounds end-to-end recall)\n"
+    );
+}
+
+// ---------------------------------------------------------------------
+// E11: retrieval-core performance — sharded build, pruned top-k queries,
+// incremental maintenance. Writes BENCH_search.json for CI tracking.
+// ---------------------------------------------------------------------
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn e11_search_perf() {
+    println!("## E11 — retrieval core: build, pruned queries, incremental updates\n");
+    let cfg = paper_corpus();
+    let corpus = generate_personal(&cfg);
+    let mut store = extract_corpus(&corpus);
+    reconcile(&mut store, Variant::Full, &ReconConfig::default());
+    let threads = ReconConfig::default().threads;
+
+    let t0 = Instant::now();
+    let index = SearchIndex::build(&store);
+    let build_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let par = SearchIndex::build_parallel(&store);
+    let build_par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        index.doc_count(),
+        par.doc_count(),
+        "sharded build equivalence"
+    );
+
+    // Query set biased to multi-term queries (full person names plus title
+    // words) — the shape MaxScore pruning pays off on.
+    let mut queries: Vec<String> = corpus
+        .world
+        .people
+        .iter()
+        .take(60)
+        .map(|p| p.canonical_name())
+        .collect();
+    queries.extend(
+        [
+            "reference reconciliation",
+            "information spaces",
+            "class:Person michael carey",
+        ]
+        .iter()
+        .map(|q| (*q).to_string()),
+    );
+
+    let mut pruned_us: Vec<f64> = Vec::new();
+    let mut exhaustive_us: Vec<f64> = Vec::new();
+    for _round in 0..3 {
+        for q in &queries {
+            let t0 = Instant::now();
+            let a = index.search_str(&store, q, 10);
+            pruned_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            let t0 = Instant::now();
+            let b = index.search_str_exhaustive(&store, q, 10);
+            exhaustive_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(a, b, "pruned/exhaustive equivalence on {q:?}");
+        }
+    }
+    pruned_us.sort_by(f64::total_cmp);
+    exhaustive_us.sort_by(f64::total_cmp);
+    let (p50_pruned, p99_pruned) = (percentile(&pruned_us, 0.5), percentile(&pruned_us, 0.99));
+    let (p50_ex, p99_ex) = (
+        percentile(&exhaustive_us, 0.5),
+        percentile(&exhaustive_us, 0.99),
+    );
+
+    // Incremental maintenance: add one person per update, fold the events
+    // in, and compare against rebuilding the whole index from scratch.
+    let mut inc_store = store.clone();
+    inc_store.enable_events();
+    let mut inc_index = SearchIndex::build(&inc_store);
+    inc_store.take_events();
+    let person = inc_store.model().class(class::PERSON).unwrap();
+    let a_name = inc_store.model().attr(attr::NAME).unwrap();
+    let updates = 200;
+    let t0 = Instant::now();
+    for i in 0..updates {
+        let p = inc_store.add_object(person);
+        inc_store
+            .add_attr(p, a_name, Value::from(format!("Delta Person{i}").as_str()))
+            .unwrap();
+        let events = inc_store.take_events();
+        inc_index.apply_events(&inc_store, &events);
+    }
+    let incremental_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(updates);
+    let t0 = Instant::now();
+    let rebuilt = SearchIndex::build(&inc_store);
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        inc_index.doc_count(),
+        rebuilt.doc_count(),
+        "incremental equivalence"
+    );
+
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(vec![
+        "build sequential (ms)".into(),
+        format!("{build_seq_ms:.1}"),
+    ]);
+    t.row(vec![
+        format!("build {threads}-thread (ms)"),
+        format!("{build_par_ms:.1}"),
+    ]);
+    t.row(vec![
+        "query p50 pruned (us)".into(),
+        format!("{p50_pruned:.1}"),
+    ]);
+    t.row(vec![
+        "query p50 exhaustive (us)".into(),
+        format!("{p50_ex:.1}"),
+    ]);
+    t.row(vec![
+        "query p99 pruned (us)".into(),
+        format!("{p99_pruned:.1}"),
+    ]);
+    t.row(vec![
+        "query p99 exhaustive (us)".into(),
+        format!("{p99_ex:.1}"),
+    ]);
+    t.row(vec![
+        "incremental update (us)".into(),
+        format!("{incremental_us:.1}"),
+    ]);
+    t.row(vec!["full rebuild (ms)".into(), format!("{rebuild_ms:.1}")]);
+    println!("{}", t.render());
+
+    let bench = serde_json::json!({
+        "experiment": "e11-search-perf",
+        "docs": index.doc_count(),
+        "terms": index.term_count(),
+        "threads": threads,
+        "build_sequential_ms": build_seq_ms,
+        "build_parallel_ms": build_par_ms,
+        "query_p50_pruned_us": p50_pruned,
+        "query_p99_pruned_us": p99_pruned,
+        "query_p50_exhaustive_us": p50_ex,
+        "query_p99_exhaustive_us": p99_ex,
+        "pruned_p50_speedup": if p50_pruned > 0.0 { p50_ex / p50_pruned } else { 1.0 },
+        "incremental_update_us": incremental_us,
+        "full_rebuild_ms": rebuild_ms,
+        "update_vs_rebuild": if incremental_us > 0.0 {
+            rebuild_ms * 1e3 / incremental_us
+        } else {
+            1.0
+        },
+        "queries": queries.len(),
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_search.json", record) {
+        eprintln!("could not write BENCH_search.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_search.json (pruned p50 {:.1} us vs exhaustive {:.1} us; update {:.1} us vs rebuild {:.1} ms)\n",
+            p50_pruned, p50_ex, incremental_us, rebuild_ms
+        );
+    }
 }
 
 // Quiet the unused-import warning when a subset of experiments runs.

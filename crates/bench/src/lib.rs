@@ -36,7 +36,10 @@ pub fn extract_corpus(corpus: &PersonalCorpus) -> Store {
             "html" | "htm" => SourceKind::FileSystem,
             _ => SourceKind::Synthetic,
         };
-        sources.insert(path.as_str(), st.register_source(SourceInfo::new(path, kind)));
+        sources.insert(
+            path.as_str(),
+            st.register_source(SourceInfo::new(path, kind)),
+        );
     }
     let mut ctx = ExtractContext::new(&mut st, seed);
     for (path, content) in &corpus.files {
@@ -101,7 +104,11 @@ pub fn label_references(store: &Store, truth: &GroundTruth) -> HashMap<ObjectId,
                 entity = o.strs(a_email).find_map(|e| truth.entity_of(kind, e));
             }
             if entity.is_none() {
-                let a = if kind == EntityKind::Publication { a_title } else { a_name };
+                let a = if kind == EntityKind::Publication {
+                    a_title
+                } else {
+                    a_name
+                };
                 entity = o.strs(a).find_map(|f| truth.entity_of(kind, f));
             }
             if let Some(e) = entity {

@@ -219,10 +219,7 @@ pub fn communities(store: &Store, def: &DerivedDef) -> Vec<Vec<ObjectId>> {
     for (i, &obj) in members.iter().enumerate() {
         groups.entry(find(&mut parent, i)).or_default().push(obj);
     }
-    let mut out: Vec<Vec<ObjectId>> = groups
-        .into_values()
-        .filter(|g| g.len() > 1)
-        .collect();
+    let mut out: Vec<Vec<ObjectId>> = groups.into_values().filter(|g| g.len() > 1).collect();
     for g in &mut out {
         g.sort();
     }

@@ -335,10 +335,8 @@ mod tests {
                 Pattern::new(Term::var("pub"), published, Term::Const(sigmod)),
             ],
         );
-        let people: std::collections::HashSet<String> = solutions
-            .iter()
-            .map(|b| st.label(b["p"]))
-            .collect();
+        let people: std::collections::HashSet<String> =
+            solutions.iter().map(|b| st.label(b["p"])).collect();
         assert_eq!(people.len(), 2, "Ann and Bob both published at SIGMOD");
         // Three (pub, person) pairs: PaperOne×2 authors + PaperTwo×1.
         assert_eq!(solutions.len(), 3);
@@ -358,10 +356,7 @@ mod tests {
         );
         // Paper One yields 2x2, Papers Two/Three 1 each → 6 bindings.
         assert_eq!(solutions.len(), 6);
-        let crossed = solutions
-            .iter()
-            .filter(|b| b["x"] != b["y"])
-            .count();
+        let crossed = solutions.iter().filter(|b| b["x"] != b["y"]).count();
         assert_eq!(crossed, 2, "Ann-Bob both ways");
     }
 
@@ -381,7 +376,11 @@ mod tests {
             .unwrap();
         let sols = query(
             &st,
-            &[Pattern::new(Term::Const(paper_one), authored, Term::Const(ann))],
+            &[Pattern::new(
+                Term::Const(paper_one),
+                authored,
+                Term::Const(ann),
+            )],
         );
         assert_eq!(sols.len(), 1);
         assert!(sols[0].is_empty(), "no variables to bind");
@@ -392,7 +391,11 @@ mod tests {
             .unwrap();
         let sols = query(
             &st,
-            &[Pattern::new(Term::Const(paper_three), authored, Term::Const(ann))],
+            &[Pattern::new(
+                Term::Const(paper_three),
+                authored,
+                Term::Const(ann),
+            )],
         );
         assert!(sols.is_empty());
     }

@@ -8,7 +8,7 @@ use semex_integrate::{import, ImportReport, SchemaMatcher};
 use semex_journal::{
     CompactionReport, DurableStore, Journal, JournalConfig, JournalError, RecoveryReport,
 };
-use semex_store::{ObjectId, SnapshotError, Store, StoreStats};
+use semex_store::{ObjectId, SnapshotError, Store, StoreEvent, StoreStats};
 use std::fmt;
 
 /// One search result, resolved to display form.
@@ -64,6 +64,11 @@ pub struct Semex {
     index: SearchIndex,
     config: SemexConfig,
     report: BuildReport,
+    /// Events already folded into the index but not yet journaled. Only
+    /// populated when `retain_events` is set (durable mode); otherwise
+    /// drained events are dropped after indexing.
+    pending_events: Vec<StoreEvent>,
+    retain_events: bool,
 }
 
 impl fmt::Debug for Semex {
@@ -77,16 +82,36 @@ impl fmt::Debug for Semex {
 
 impl Semex {
     pub(crate) fn assemble(
-        store: Store,
+        mut store: Store,
         index: SearchIndex,
         config: SemexConfig,
         report: BuildReport,
     ) -> Self {
+        // From here on every mutation is recorded, so the index is kept
+        // current with deltas instead of rebuilds (and durable mode can
+        // journal the same stream).
+        store.enable_events();
         Semex {
             store,
             index,
             config,
             report,
+            pending_events: Vec::new(),
+            retain_events: false,
+        }
+    }
+
+    /// Fold any recorded store mutations into the keyword index. Called by
+    /// every mutating facade path; a full [`SearchIndex::build`] remains
+    /// only as the restore/recovery fallback when no event stream exists.
+    fn refresh_index(&mut self) {
+        let events = self.store.take_events();
+        if events.is_empty() {
+            return;
+        }
+        self.index.apply_events(&self.store, &events);
+        if self.retain_events {
+            self.pending_events.extend(events);
         }
     }
 
@@ -116,11 +141,20 @@ impl Semex {
     }
 
     /// Keyword search: top-`k` objects for a query string (supports the
-    /// `class:Name` filter syntax).
+    /// `class:Name` filter syntax). Runs the pruned top-k evaluator.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        self.index
-            .search_str(&self.store, query, k)
-            .into_iter()
+        self.to_results(self.index.search_str(&self.store, query, k))
+    }
+
+    /// [`Semex::search`] through the exhaustive reference scorer. Returns
+    /// identical results; kept as the oracle for verification and for
+    /// benchmarking the pruned path against.
+    pub fn search_exhaustive(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.to_results(self.index.search_str_exhaustive(&self.store, query, k))
+    }
+
+    fn to_results(&self, hits: Vec<semex_index::Hit>) -> Vec<SearchResult> {
+        hits.into_iter()
             .map(|h| SearchResult {
                 object: h.object,
                 label: self.store.label(h.object),
@@ -175,12 +209,13 @@ impl Semex {
         let score = mapping.score;
         let report = import(&mut self.store, name, table, &mapping, &self.config.recon)
             .expect("mapping only references model attributes");
-        self.index = SearchIndex::build(&self.store);
+        self.refresh_index();
         Some((score, report))
     }
 
     /// Incrementally ingest a new source into a built platform: extract,
-    /// reconcile the grown reference graph, and rebuild the keyword index.
+    /// reconcile the grown reference graph, and fold the mutations into
+    /// the keyword index.
     /// This is the demo's "desktop monitor noticed new mail" path. Returns
     /// the extraction stats for the new source.
     ///
@@ -193,8 +228,8 @@ impl Semex {
         spec: crate::SourceSpec,
     ) -> Result<semex_extract::ExtractStats, crate::SemexError> {
         use semex_extract::{
-            bibtex::extract_bibtex, email::extract_mbox, fswalk::extract_tree,
-            ical::extract_ical, latex::extract_latex, vcard::extract_vcards, ExtractContext,
+            bibtex::extract_bibtex, email::extract_mbox, fswalk::extract_tree, ical::extract_ical,
+            latex::extract_latex, vcard::extract_vcards, ExtractContext,
         };
         let name = match &spec {
             crate::SourceSpec::Mbox { name, .. }
@@ -245,7 +280,7 @@ impl Semex {
                 &self.config.recon,
             );
         }
-        self.index = SearchIndex::build(&self.store);
+        self.refresh_index();
         Ok(stats)
     }
 
@@ -283,16 +318,12 @@ impl Semex {
     /// Merges them immediately (pooling attributes and re-pointing edges),
     /// records the pair as a must-link constraint for future
     /// reconciliation runs, and refreshes the index.
-    pub fn assert_same(
-        &mut self,
-        a: ObjectId,
-        b: ObjectId,
-    ) -> Result<(), semex_store::StoreError> {
+    pub fn assert_same(&mut self, a: ObjectId, b: ObjectId) -> Result<(), semex_store::StoreError> {
         self.config.recon.must_link.push((a, b));
         if self.store.resolve(a) != self.store.resolve(b) {
             self.store.merge(a, b)?;
         }
-        self.index = SearchIndex::build(&self.store);
+        self.refresh_index();
         Ok(())
     }
 
@@ -334,14 +365,14 @@ impl Semex {
     /// "loaded, not built", not "built from nothing".
     pub fn load(path: &std::path::Path, config: SemexConfig) -> Result<Semex, SnapshotError> {
         let store = Store::load(path)?;
-        let index = SearchIndex::build(&store);
+        let index = SearchIndex::build_threaded(&store, config.recon.threads.max(1));
         let indexed = index.doc_count();
-        Ok(Semex {
+        Ok(Semex::assemble(
             store,
             index,
             config,
-            report: BuildReport::restored(indexed),
-        })
+            BuildReport::restored(indexed),
+        ))
     }
 
     /// Open a durable platform backed by a write-ahead journal directory:
@@ -363,14 +394,10 @@ impl Semex {
     ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
         let (durable, report) = DurableStore::open(dir, journal_config)?;
         let (store, journal) = durable.into_parts();
-        let index = SearchIndex::build(&store);
+        let index = SearchIndex::build_threaded(&store, config.recon.threads.max(1));
         let indexed = index.doc_count();
-        let semex = Semex {
-            store,
-            index,
-            config,
-            report: BuildReport::restored(indexed),
-        };
+        let mut semex = Semex::assemble(store, index, config, BuildReport::restored(indexed));
+        semex.retain_events = true;
         Ok((DurableSemex { semex, journal }, report))
     }
 
@@ -384,6 +411,9 @@ impl Semex {
         journal_config: JournalConfig,
     ) -> Result<DurableSemex, JournalError> {
         let dir = dir.as_ref();
+        // The initial snapshot captures the store as-is; make sure no
+        // recorded-but-unindexed (and thus unjournaled) events stay behind.
+        self.refresh_index();
         let (durable, report) = DurableStore::open_with(dir, journal_config, self.store)?;
         if !report.initialized {
             return Err(JournalError::Invalid {
@@ -394,6 +424,9 @@ impl Semex {
         }
         let (store, journal) = durable.into_parts();
         self.store = store;
+        self.store.enable_events();
+        self.retain_events = true;
+        self.pending_events.clear();
         Ok(DurableSemex {
             semex: self,
             journal,
@@ -420,7 +453,10 @@ impl fmt::Debug for DurableSemex {
             .field("semex", &self.semex)
             .field("journal_dir", &self.journal.dir())
             .field("epoch", &self.journal.epoch())
-            .field("pending_events", &self.semex.store.pending_events())
+            .field(
+                "pending_events",
+                &(self.semex.pending_events.len() + self.semex.store.pending_events()),
+            )
             .finish()
     }
 }
@@ -445,15 +481,26 @@ impl DurableSemex {
         &self.journal
     }
 
-    /// Store events buffered since the last commit.
+    /// Store events buffered since the last commit: those already folded
+    /// into the index plus any the store recorded since.
     pub fn pending_events(&self) -> usize {
-        self.semex.store.pending_events()
+        self.semex.pending_events.len() + self.semex.store.pending_events()
     }
 
     /// Append all buffered mutation events to the journal and fsync.
-    /// Returns the number of events made durable.
+    /// Returns the number of events made durable. On failure the events are
+    /// kept buffered (the index already reflects them), so a retry commits
+    /// them.
     pub fn commit(&mut self) -> Result<usize, JournalError> {
-        self.journal.commit(&mut self.semex.store)
+        self.semex.refresh_index();
+        let events = std::mem::take(&mut self.semex.pending_events);
+        match self.journal.append_commit(&events) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                self.semex.pending_events = events;
+                Err(e)
+            }
+        }
     }
 
     /// Commit, then fold the whole journal into a new snapshot and delete
@@ -544,7 +591,10 @@ mod tests {
         let compact_len = std::fs::metadata(&compact).unwrap().len();
         assert!(compact_len < full_len, "{compact_len} < {full_len}");
         let restored = Semex::load(&compact, SemexConfig::default()).unwrap();
-        assert_eq!(restored.store().object_count(), semex.store().object_count());
+        assert_eq!(
+            restored.store().object_count(),
+            semex.store().object_count()
+        );
         assert_eq!(restored.store().alias_count(), 0);
         assert_eq!(
             restored.search("reconciliation", 5).len(),
@@ -593,12 +643,8 @@ mod tests {
             fsync: false,
             ..JournalConfig::default()
         };
-        let (mut durable, report) = Semex::open_durable_with(
-            &dir,
-            SemexConfig::default(),
-            journal_cfg.clone(),
-        )
-        .unwrap();
+        let (mut durable, report) =
+            Semex::open_durable_with(&dir, SemexConfig::default(), journal_cfg.clone()).unwrap();
         assert!(report.initialized);
         durable
             .ingest(crate::SourceSpec::Mbox {
@@ -706,6 +752,48 @@ mod tests {
             assert!(semex.assert_distinct(objs[0], objs[1]));
             assert_eq!(semex.config().recon.cannot_link.len(), 1);
         }
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_rebuild() {
+        let mut semex = demo();
+        semex
+            .integrate(
+                "attendees",
+                "name,email\nXin Dong,luna@cs.example.edu\nCarol Reyes,carol@z.net\n",
+            )
+            .unwrap();
+        semex
+            .ingest(crate::SourceSpec::Mbox {
+                name: "new-mail".into(),
+                content: "From: Carol Reyes <carol@z.net>\nTo: luna@cs.example.edu\nSubject: thanks\n\nbye".into(),
+            })
+            .unwrap();
+        let dong = semex.search("class:Person dong", 1)[0].object;
+        let halevy = semex.search("class:Person halevy", 1)[0].object;
+        semex.assert_same(dong, halevy).unwrap();
+        // Every refresh site above was incremental; the index must still be
+        // indistinguishable from a from-scratch build.
+        let rebuilt = SearchIndex::build(semex.store());
+        assert_eq!(semex.index().doc_count(), rebuilt.doc_count());
+        assert_eq!(semex.index().avg_doc_len(), rebuilt.avg_doc_len());
+        for q in [
+            "carol",
+            "reconciliation demo",
+            "class:Person dong",
+            "thanks",
+        ] {
+            assert_eq!(
+                semex.index().search_str(semex.store(), q, 10),
+                rebuilt.search_str(semex.store(), q, 10),
+                "{q}"
+            );
+        }
+        // Pruned and exhaustive agree through the facade too.
+        assert_eq!(
+            semex.search("reconciliation demo", 5),
+            semex.search_exhaustive("reconciliation demo", 5)
+        );
     }
 
     #[test]

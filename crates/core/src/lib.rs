@@ -37,6 +37,4 @@ mod pipeline;
 
 pub use facade::{DurableSemex, ObjectView, SearchResult, Semex};
 pub use pipeline::{BuildReport, SemexBuilder, SemexConfig, SemexError, SourceSpec};
-pub use semex_journal::{
-    CompactionReport, JournalConfig, JournalError, RecoveryReport,
-};
+pub use semex_journal::{CompactionReport, JournalConfig, JournalError, RecoveryReport};

@@ -311,7 +311,9 @@ impl SemexBuilder {
             ))
         };
 
-        let index = SearchIndex::build(&store);
+        // Reuse the reconciliation thread budget for the sharded index
+        // build; results are identical at any thread count.
+        let index = SearchIndex::build_threaded(&store, self.config.recon.threads.max(1));
         let report = BuildReport {
             extraction,
             recon,
@@ -347,7 +349,11 @@ mod tests {
         // Bibliography was extracted first regardless of add order, so the
         // LaTeX \cite resolved.
         assert_eq!(report.extraction[0].0, "library");
-        let cites = semex.store().model().assoc(semex_model::names::assoc::CITES).unwrap();
+        let cites = semex
+            .store()
+            .model()
+            .assoc(semex_model::names::assoc::CITES)
+            .unwrap();
         assert_eq!(semex.store().assoc_count(cites), 1);
         let recon = report.recon.as_ref().unwrap();
         assert!(recon.merges > 0, "the three Xin Dong references merge");

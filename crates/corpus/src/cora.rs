@@ -60,9 +60,9 @@ pub fn generate_cora(cfg: &CoraConfig) -> CoraCorpus {
         if !used.insert((first.clone(), last.clone())) {
             continue;
         }
-        let middle = rng
-            .gen_bool(0.3)
-            .then(|| names::MIDDLE_INITIALS[rng.gen_range(0..names::MIDDLE_INITIALS.len())].to_owned());
+        let middle = rng.gen_bool(0.3).then(|| {
+            names::MIDDLE_INITIALS[rng.gen_range(0..names::MIDDLE_INITIALS.len())].to_owned()
+        });
         authors.push(Author {
             first,
             middle,
@@ -82,7 +82,14 @@ pub fn generate_cora(cfg: &CoraConfig) -> CoraCorpus {
             .filter_map(|w| w.chars().next())
             .collect::<String>()
             .to_uppercase();
-        let abbrev = format!("C{abbrev}{}", if i >= names::VENUE_STEMS.len() { "W" } else { "" });
+        let abbrev = format!(
+            "C{abbrev}{}",
+            if i >= names::VENUE_STEMS.len() {
+                "W"
+            } else {
+                ""
+            }
+        );
         venues.push((name, abbrev));
     }
     truth.set_entity_count(EntityKind::Venue, venues.len() as u32);

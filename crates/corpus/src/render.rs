@@ -183,17 +183,26 @@ pub fn render(cfg: &CorpusConfig, world: &World, rng: &mut StdRng) -> PersonalCo
         "contacts/addressbook.vcf".to_owned(),
         render_vcards(cfg, world, &mut truth, rng),
     ));
-    for (i, content) in render_latex(cfg, world, &mut truth, rng).into_iter().enumerate() {
+    for (i, content) in render_latex(cfg, world, &mut truth, rng)
+        .into_iter()
+        .enumerate()
+    {
         files.push((format!("papers/drafts/draft{i}.tex"), content));
     }
     files.push((
         "calendar/events.ics".to_owned(),
         render_ics(cfg, world, &mut truth, rng),
     ));
-    for (i, content) in render_home_pages(cfg, world, &mut truth, rng).into_iter().enumerate() {
+    for (i, content) in render_home_pages(cfg, world, &mut truth, rng)
+        .into_iter()
+        .enumerate()
+    {
         files.push((format!("web/cache/home{i}.html"), content));
     }
-    files.push(("notes/people.txt".to_owned(), render_notes(world, &mut truth, rng)));
+    files.push((
+        "notes/people.txt".to_owned(),
+        render_notes(world, &mut truth, rng),
+    ));
 
     PersonalCorpus {
         files,
@@ -262,7 +271,9 @@ fn render_mbox(
         if recipients.is_empty() {
             recipients.push((sender + 1) % world.people.len());
         }
-        let cc: Option<usize> = rng.gen_bool(0.25).then(|| rng.gen_range(0..world.people.len()));
+        let cc: Option<usize> = rng
+            .gen_bool(0.25)
+            .then(|| rng.gen_range(0..world.people.len()));
 
         let mut msg = String::new();
         msg.push_str(&format!("From corpus {i}\n"));
@@ -320,10 +331,7 @@ fn render_mbox(
         let secs = date % 86_400;
         // Render via a simple civil conversion (inverse of extract's parser
         // is unnecessary: we emit ISO in a Date header the parser accepts).
-        msg.push_str(&format!(
-            "Date: {}\n",
-            iso_date(days, secs),
-        ));
+        msg.push_str(&format!("Date: {}\n", iso_date(days, secs),));
         let mid = format!("msg{i}@corpus.example");
         msg.push_str(&format!("Message-ID: <{mid}>\n"));
         if let Some((parent, _)) = &reply_to {
@@ -389,7 +397,12 @@ fn render_vcards(
         let email = person_email(world, truth, cfg, i, rng);
         out.push_str("BEGIN:VCARD\nVERSION:3.0\n");
         out.push_str(&format!("FN:{name}\n"));
-        out.push_str(&format!("N:{};{};{}\n", p.last, p.first, p.middle.as_deref().unwrap_or("")));
+        out.push_str(&format!(
+            "N:{};{};{}\n",
+            p.last,
+            p.first,
+            p.middle.as_deref().unwrap_or("")
+        ));
         out.push_str(&format!("EMAIL;TYPE=work:{email}\n"));
         if p.emails.len() > 1 && rng.gen_bool(0.5) {
             let alias = person_email(world, truth, cfg, i, rng);
@@ -434,7 +447,10 @@ fn render_latex(
             cite_keys.push(format!("pub{}", rng.gen_range(0..world.pubs.len())));
         }
         if !cite_keys.is_empty() {
-            tex.push_str(&format!("Prior work \\cite{{{}}} applies.\n", cite_keys.join(",")));
+            tex.push_str(&format!(
+                "Prior work \\cite{{{}}} applies.\n",
+                cite_keys.join(",")
+            ));
         }
         tex.push_str("\\bibliography{library}\n\\end{document}\n");
         out.push(tex);
@@ -534,9 +550,7 @@ fn render_home_pages(
                 if a != owner && rng.gen_bool(0.5) {
                     let co_name = person_form(world, truth, cfg, a, rng);
                     let co_mail = person_email(world, truth, cfg, a, rng);
-                    html.push_str(&format!(
-                        " with <a href=\"mailto:{co_mail}\">{co_name}</a>"
-                    ));
+                    html.push_str(&format!(" with <a href=\"mailto:{co_mail}\">{co_name}</a>"));
                 }
             }
             html.push_str("</li>\n");
@@ -586,7 +600,10 @@ mod tests {
         let corpus = generate_personal(&CorpusConfig::tiny(12));
         // Every canonical name and every e-mail must be resolvable.
         for p in &corpus.world.people {
-            if let Some(id) = corpus.truth.entity_of(EntityKind::Person, &p.canonical_name()) {
+            if let Some(id) = corpus
+                .truth
+                .entity_of(EntityKind::Person, &p.canonical_name())
+            {
                 assert_eq!(id, p.id);
             }
             for e in &p.emails {

@@ -107,7 +107,10 @@ mod tests {
         assert!(t.assign(EntityKind::Person, "Ann Smith", 1));
         assert!(t.assign(EntityKind::Person, "ann smith", 1), "idempotent");
         assert!(!t.assign(EntityKind::Person, "Ann Smith", 2), "collision");
-        assert!(t.assign(EntityKind::Publication, "Ann Smith", 2), "kinds are separate");
+        assert!(
+            t.assign(EntityKind::Publication, "Ann Smith", 2),
+            "kinds are separate"
+        );
         assert_eq!(t.entity_of(EntityKind::Person, "ANN SMITH "), Some(1));
         assert_eq!(t.entity_of(EntityKind::Person, "nobody"), None);
         assert_eq!(t.form_count(EntityKind::Person), 1);

@@ -152,9 +152,9 @@ fn gen_people(cfg: &CorpusConfig, orgs: &[TrueOrg], rng: &mut StdRng) -> Vec<Tru
         if !used_names.insert((first.clone(), last.clone())) {
             continue;
         }
-        let middle = rng
-            .gen_bool(0.4)
-            .then(|| names::MIDDLE_INITIALS[rng.gen_range(0..names::MIDDLE_INITIALS.len())].to_owned());
+        let middle = rng.gen_bool(0.4).then(|| {
+            names::MIDDLE_INITIALS[rng.gen_range(0..names::MIDDLE_INITIALS.len())].to_owned()
+        });
         let org = rng.gen_range(0..orgs.len());
         let domain = orgs[org].domain.clone();
         let fl = first.to_lowercase();

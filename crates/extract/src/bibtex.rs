@@ -10,8 +10,8 @@
 //! registered with the context so LaTeX `\cite` commands can resolve to the
 //! same publications.
 
-use semex_model::names::assoc as assoc_names;
 use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::assoc as assoc_names;
 use semex_model::names::attr;
 use semex_model::Value;
 

@@ -29,7 +29,11 @@ pub enum ExtractError {
 impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExtractError::Malformed { format, line, reason } => match line {
+            ExtractError::Malformed {
+                format,
+                line,
+                reason,
+            } => match line {
                 Some(l) => write!(f, "malformed {format} input at line {l}: {reason}"),
                 None => write!(f, "malformed {format} input: {reason}"),
             },
@@ -323,7 +327,6 @@ impl<'a> ExtractContext<'a> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,9 +343,18 @@ mod tests {
     fn person_dedups_exact_signature() {
         let (mut st, src) = ctx_store();
         let mut ctx = ExtractContext::new(&mut st, src);
-        let a = ctx.person(Some("Ann Smith"), Some("ann@x.edu")).unwrap().unwrap();
-        let b = ctx.person(Some("Ann Smith"), Some("ANN@x.edu")).unwrap().unwrap();
-        let c = ctx.person(Some("A. Smith"), Some("ann@x.edu")).unwrap().unwrap();
+        let a = ctx
+            .person(Some("Ann Smith"), Some("ann@x.edu"))
+            .unwrap()
+            .unwrap();
+        let b = ctx
+            .person(Some("Ann Smith"), Some("ANN@x.edu"))
+            .unwrap()
+            .unwrap();
+        let c = ctx
+            .person(Some("A. Smith"), Some("ann@x.edu"))
+            .unwrap()
+            .unwrap();
         assert_eq!(a, b, "identical (case-normalized) references deduplicate");
         assert_ne!(a, c, "different name spellings stay distinct for recon");
         assert_eq!(ctx.person(None, None).unwrap(), None);

@@ -112,7 +112,11 @@ fn parse_rfc2822(s: &str) -> Option<i64> {
     let d: u32 = parts[0].parse().ok()?;
     let m = month_by_name(parts[1])?;
     let y: i64 = parts[2].parse().ok()?;
-    let y = if y < 100 { 1900 + y + if y < 70 { 100 } else { 0 } } else { y };
+    let y = if y < 100 {
+        1900 + y + if y < 70 { 100 } else { 0 }
+    } else {
+        y
+    };
     if !(1..=31).contains(&d) {
         return None;
     }
@@ -157,8 +161,14 @@ mod tests {
     #[test]
     fn iso_formats() {
         assert_eq!(parse_date("2005-03-15"), Some(1_110_844_800));
-        assert_eq!(parse_date("2005-03-15 10:00:00"), Some(1_110_844_800 + 36_000));
-        assert_eq!(parse_date("2005-03-15T10:00:00Z"), Some(1_110_844_800 + 36_000));
+        assert_eq!(
+            parse_date("2005-03-15 10:00:00"),
+            Some(1_110_844_800 + 36_000)
+        );
+        assert_eq!(
+            parse_date("2005-03-15T10:00:00Z"),
+            Some(1_110_844_800 + 36_000)
+        );
         assert_eq!(parse_date("2005"), Some(ymd_to_epoch(2005, 1, 1, 0, 0, 0)));
         assert_eq!(parse_date("2005-13-01"), None);
         assert_eq!(parse_date("not a date"), None);
@@ -178,8 +188,14 @@ mod tests {
         );
         assert_eq!(parse_date("15 Mar 2005"), Some(1_110_844_800));
         // Two-digit years follow the mail convention.
-        assert_eq!(parse_date("15 Mar 99"), Some(ymd_to_epoch(1999, 3, 15, 0, 0, 0)));
-        assert_eq!(parse_date("15 Mar 05"), Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0)));
+        assert_eq!(
+            parse_date("15 Mar 99"),
+            Some(ymd_to_epoch(1999, 3, 15, 0, 0, 0))
+        );
+        assert_eq!(
+            parse_date("15 Mar 05"),
+            Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0))
+        );
     }
 
     #[test]

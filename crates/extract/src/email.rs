@@ -8,8 +8,8 @@
 //! `AttachedTo` facts for declared attachments (`X-Attachment` headers, the
 //! plain-text stand-in for MIME parts).
 
-use semex_model::names::assoc as assoc_names;
 use crate::{parse_date, ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::assoc as assoc_names;
 use semex_model::names::attr;
 use semex_model::Value;
 
@@ -197,7 +197,10 @@ pub fn split_mbox(input: &str) -> Vec<&str> {
 pub const MAX_BODY: usize = 4096;
 
 /// Extract an mbox archive (or single message) into the context's store.
-pub fn extract_mbox(input: &str, ctx: &mut ExtractContext<'_>) -> Result<ExtractStats, ExtractError> {
+pub fn extract_mbox(
+    input: &str,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<ExtractStats, ExtractError> {
     let before = ctx.stats;
     let a_subject = ctx.attr(attr::SUBJECT);
     let a_date = ctx.attr(attr::DATE);
@@ -232,7 +235,8 @@ pub fn extract_mbox(input: &str, ctx: &mut ExtractContext<'_>) -> Result<Extract
         }
         if let Some(mid) = raw.header("message-id") {
             let mid = mid.trim_matches(|c| c == '<' || c == '>').to_owned();
-            ctx.store_mut().add_attr(m, a_mid, Value::from(mid.as_str()))?;
+            ctx.store_mut()
+                .add_attr(m, a_mid, Value::from(mid.as_str()))?;
             ctx.register_message_id(&mid, m);
         }
         if !raw.body.trim().is_empty() {
@@ -255,7 +259,10 @@ pub fn extract_mbox(input: &str, ctx: &mut ExtractContext<'_>) -> Result<Extract
                 }
             }
         }
-        for (header, assoc) in [("to", assoc_names::RECIPIENT), ("cc", assoc_names::CC_RECIPIENT)] {
+        for (header, assoc) in [
+            ("to", assoc_names::RECIPIENT),
+            ("cc", assoc_names::CC_RECIPIENT),
+        ] {
             // Collect first: ctx is borrowed mutably per call below.
             let lists: Vec<String> = raw.headers_named(header).map(str::to_owned).collect();
             for list in lists {
@@ -276,7 +283,10 @@ pub fn extract_mbox(input: &str, ctx: &mut ExtractContext<'_>) -> Result<Extract
         }
 
         // Attachments (plain-text stand-in for MIME parts).
-        let attachments: Vec<String> = raw.headers_named("x-attachment").map(str::to_owned).collect();
+        let attachments: Vec<String> = raw
+            .headers_named("x-attachment")
+            .map(str::to_owned)
+            .collect();
         for filename in attachments {
             let filename = filename.trim();
             if filename.is_empty() {
@@ -333,23 +343,38 @@ Looks good. -- M
     fn address_forms() {
         assert_eq!(
             parse_address("Ann Smith <ann@x.edu>"),
-            Address { name: Some("Ann Smith".into()), email: Some("ann@x.edu".into()) }
+            Address {
+                name: Some("Ann Smith".into()),
+                email: Some("ann@x.edu".into())
+            }
         );
         assert_eq!(
             parse_address("\"Carey, Michael\" <m@x>"),
-            Address { name: Some("Carey, Michael".into()), email: Some("m@x".into()) }
+            Address {
+                name: Some("Carey, Michael".into()),
+                email: Some("m@x".into())
+            }
         );
         assert_eq!(
             parse_address("a@b (Ann)"),
-            Address { name: Some("Ann".into()), email: Some("a@b".into()) }
+            Address {
+                name: Some("Ann".into()),
+                email: Some("a@b".into())
+            }
         );
         assert_eq!(
             parse_address("bare@addr.com"),
-            Address { name: None, email: Some("bare@addr.com".into()) }
+            Address {
+                name: None,
+                email: Some("bare@addr.com".into())
+            }
         );
         assert_eq!(
             parse_address("Just A Name"),
-            Address { name: Some("Just A Name".into()), email: None }
+            Address {
+                name: Some("Just A Name".into()),
+                email: None
+            }
         );
         assert_eq!(parse_address(""), Address::default());
     }

@@ -18,8 +18,8 @@
 //! Traversal order is deterministic (paths sorted) so extraction runs are
 //! reproducible.
 
-use semex_model::names::assoc as assoc_names;
 use crate::{bibtex, email, html, ical, latex, vcard, ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::assoc as assoc_names;
 use semex_model::names::{attr, class};
 use semex_model::Value;
 use semex_store::ObjectId;
@@ -31,14 +31,25 @@ use std::path::{Path, PathBuf};
 /// The returned stats are cumulative over the walk *and* the inner
 /// extractors it dispatched to (`records` counts files plus messages,
 /// cards, bibliography entries and documents parsed out of them).
-pub fn extract_tree(root: &Path, ctx: &mut ExtractContext<'_>) -> Result<ExtractStats, ExtractError> {
+pub fn extract_tree(
+    root: &Path,
+    ctx: &mut ExtractContext<'_>,
+) -> Result<ExtractStats, ExtractError> {
     let before = ctx.stats;
     let a_name = ctx.attr(attr::NAME);
     let a_path = ctx.attr(attr::PATH);
     let a_ext = ctx.attr(attr::EXTENSION);
     let a_date = ctx.attr(attr::DATE);
-    let c_file = ctx.store().model().class_req(class::FILE).expect("builtin File");
-    let c_folder = ctx.store().model().class_req(class::FOLDER).expect("builtin Folder");
+    let c_file = ctx
+        .store()
+        .model()
+        .class_req(class::FILE)
+        .expect("builtin File");
+    let c_folder = ctx
+        .store()
+        .model()
+        .class_req(class::FOLDER)
+        .expect("builtin Folder");
 
     // Deterministic walk.
     let mut dirs: Vec<PathBuf> = Vec::new();
@@ -239,7 +250,10 @@ mod tests {
             &dir.join("contacts/team.vcf"),
             "BEGIN:VCARD\nFN:Alon Halevy\nEMAIL:alon@cs.edu\nEND:VCARD\n",
         );
-        write(&dir.join("notes/todo.txt"), "ping Xin Dong about the demo\n");
+        write(
+            &dir.join("notes/todo.txt"),
+            "ping Xin Dong about the demo\n",
+        );
         write(&dir.join("notes/data.bin.skip"), "binary-ish\n");
         dir
     }
@@ -251,7 +265,10 @@ mod tests {
         let src = st.register_source(SourceInfo::new("home", SourceKind::FileSystem));
         let mut ctx = ExtractContext::new(&mut st, src);
         let stats = extract_tree(&root, &mut ctx).unwrap();
-        assert_eq!(stats.records, 10, "six files + four inner records (message, card, bib entry, tex doc)");
+        assert_eq!(
+            stats.records, 10,
+            "six files + four inner records (message, card, bib entry, tex doc)"
+        );
 
         let m = st.model();
         let c_file = m.class(class::FILE).unwrap();

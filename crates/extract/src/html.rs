@@ -60,7 +60,9 @@ fn tag_attr(tag_body: &str, name: &str) -> Option<String> {
             } else if let Some(stripped) = rest.strip_prefix('\'') {
                 stripped.split('\'').next().unwrap_or("")
             } else {
-                rest.split(|c: char| c.is_whitespace() || c == '>').next().unwrap_or("")
+                rest.split(|c: char| c.is_whitespace() || c == '>')
+                    .next()
+                    .unwrap_or("")
             };
             return Some(decode_entities(value.trim()));
         }
@@ -259,7 +261,10 @@ or <a href='/relative/ignored'>local link</a>.</p>
         let p = parse_html(SAMPLE);
         assert_eq!(p.title.as_deref(), Some("Xin Dong &mdash; Home & Research"));
         assert_eq!(p.mailtos.len(), 2);
-        assert_eq!(p.mailtos[0], ("Alon Halevy".to_owned(), "alon@cs.example.edu".to_owned()));
+        assert_eq!(
+            p.mailtos[0],
+            ("Alon Halevy".to_owned(), "alon@cs.example.edu".to_owned())
+        );
         assert_eq!(p.mailtos[1].1, "luna@cs.example.edu");
         assert_eq!(p.links.len(), 1, "relative links dropped: {:?}", p.links);
         assert_eq!(p.links[0].0, "SIGMOD 2005");

@@ -7,7 +7,7 @@
 //! with `Attendee` and `OrganizedBy` edges to `Person` references — the
 //! calendar side of the SEMEX domain model.
 
-use crate::{ExtractContext, ExtractError, ExtractStats, ymd_to_epoch};
+use crate::{ymd_to_epoch, ExtractContext, ExtractError, ExtractStats};
 use semex_model::names::{assoc as assoc_names, attr, class};
 use semex_model::Value;
 
@@ -97,7 +97,10 @@ fn property(line: &str) -> Option<(String, Params, String)> {
     let params = parts
         .filter_map(|p| {
             let (k, v) = p.split_once('=')?;
-            Some((k.trim().to_uppercase(), v.trim().trim_matches('"').to_owned()))
+            Some((
+                k.trim().to_uppercase(),
+                v.trim().trim_matches('"').to_owned(),
+            ))
         })
         .collect();
     Some((name, params, value.trim().to_owned()))
@@ -166,12 +169,14 @@ pub fn extract_ical(
         ctx.stats.objects += 1;
         let src = ctx.source();
         ctx.store_mut().add_source_to(e, src);
-        ctx.store_mut().add_attr(e, a_title, Value::from(summary.as_str()))?;
+        ctx.store_mut()
+            .add_attr(e, a_title, Value::from(summary.as_str()))?;
         if let Some(start) = ev.start {
             ctx.store_mut().add_attr(e, a_date, Value::Date(start))?;
         }
         if let Some(loc) = &ev.location {
-            ctx.store_mut().add_attr(e, a_loc, Value::from(loc.as_str()))?;
+            ctx.store_mut()
+                .add_attr(e, a_loc, Value::from(loc.as_str()))?;
         }
         if let Some((name, email)) = &ev.organizer {
             if let Some(p) = ctx.person(name.as_deref(), email.as_deref())? {
@@ -249,7 +254,10 @@ END:VCALENDAR
             parse_ical_datetime("20050315T1000"),
             Some(ymd_to_epoch(2005, 3, 15, 10, 0, 0))
         );
-        assert_eq!(parse_ical_datetime("20050315"), Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0)));
+        assert_eq!(
+            parse_ical_datetime("20050315"),
+            Some(ymd_to_epoch(2005, 3, 15, 0, 0, 0))
+        );
         assert_eq!(parse_ical_datetime("2005"), None);
         assert_eq!(parse_ical_datetime("20051315"), None);
         assert_eq!(parse_ical_datetime("garbage"), None);
@@ -276,7 +284,10 @@ END:VCALENDAR
         let events = parse_ical(
             "BEGIN:VEVENT\nSUMMARY:X\nATTENDEE;CN=\"Dr. Who: The Colon\":mailto:w@x.y\nEND:VEVENT\n",
         );
-        assert_eq!(events[0].attendees[0].0.as_deref(), Some("Dr. Who: The Colon"));
+        assert_eq!(
+            events[0].attendees[0].0.as_deref(),
+            Some("Dr. Who: The Colon")
+        );
         assert_eq!(events[0].attendees[0].1.as_deref(), Some("w@x.y"));
     }
 }

@@ -7,8 +7,8 @@
 //! bibliography (via the shared [`ExtractContext`] key registry) yields a
 //! `Cites` edge.
 
-use semex_model::names::assoc as assoc_names;
 use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::assoc as assoc_names;
 use semex_store::ObjectId;
 
 /// The salient commands scanned out of a LaTeX source.
@@ -78,7 +78,10 @@ pub fn parse_latex(input: &str) -> LatexDoc {
             continue;
         }
         let rest = &input[i + 1..];
-        let cmd: String = rest.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        let cmd: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphabetic())
+            .collect();
         let arg_at = i + 1 + cmd.len();
         match cmd.as_str() {
             "title" => {

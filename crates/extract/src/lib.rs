@@ -32,8 +32,8 @@
 //! and near-duplicate references for reconciliation to merge — exactly the
 //! reference granularity the reconciliation paper assumes.
 
-mod context;
 pub mod bibtex;
+mod context;
 pub mod csv;
 mod date;
 pub mod email;

@@ -6,8 +6,8 @@
 //! (names + e-mails + phones) and, when `ORG` is present, an `Organization`
 //! reference with a `WorksFor` edge.
 
-use semex_model::names::assoc as assoc_names;
 use crate::{ExtractContext, ExtractError, ExtractStats};
+use semex_model::names::assoc as assoc_names;
 use semex_model::names::attr;
 use semex_model::Value;
 
@@ -32,14 +32,16 @@ impl Card {
         if let Some(fn_) = &self.formatted_name {
             return Some(fn_.clone());
         }
-        self.structured_name.as_ref().map(|(family, given, additional)| {
-            [given.as_str(), additional.as_str(), family.as_str()]
-                .iter()
-                .filter(|p| !p.is_empty())
-                .copied()
-                .collect::<Vec<_>>()
-                .join(" ")
-        })
+        self.structured_name
+            .as_ref()
+            .map(|(family, given, additional)| {
+                [given.as_str(), additional.as_str(), family.as_str()]
+                    .iter()
+                    .filter(|p| !p.is_empty())
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
     }
 }
 
@@ -122,10 +124,12 @@ pub fn extract_vcards(
         ctx.stats.records += 1;
         if let Some((family, given, _)) = &card.structured_name {
             if !given.is_empty() {
-                ctx.store_mut().add_attr(p, a_first, Value::from(given.as_str()))?;
+                ctx.store_mut()
+                    .add_attr(p, a_first, Value::from(given.as_str()))?;
             }
             if !family.is_empty() {
-                ctx.store_mut().add_attr(p, a_last, Value::from(family.as_str()))?;
+                ctx.store_mut()
+                    .add_attr(p, a_last, Value::from(family.as_str()))?;
             }
         }
         for e in card.emails.iter().skip(1) {
@@ -133,7 +137,8 @@ pub fn extract_vcards(
                 .add_attr(p, a_email, Value::from(e.to_lowercase().as_str()))?;
         }
         for t in &card.phones {
-            ctx.store_mut().add_attr(p, a_phone, Value::from(t.as_str()))?;
+            ctx.store_mut()
+                .add_attr(p, a_phone, Value::from(t.as_str()))?;
         }
         if let Some(org) = &card.org {
             let o = ctx.organization(org)?;

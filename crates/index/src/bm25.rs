@@ -36,6 +36,18 @@ impl Bm25Params {
         let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_dl.max(1.0));
         idf * tf * (self.k1 + 1.0) / denom
     }
+
+    /// Upper bound on [`Bm25Params::score`] for a term, over every document
+    /// it can appear in: the score at the term's maximum weighted tf and
+    /// document length zero. Dominance holds because the score is
+    /// non-decreasing in `tf` (the `tf/(tf + c)` form with `c > 0`) and
+    /// strictly decreasing in `dl`, so no live posting — whose tf is at
+    /// most `max_tf` and whose length is at least zero — can exceed it.
+    /// The pruned query path multiplies this by the all-terms-boost
+    /// headroom to bound full-match scores too.
+    pub fn impact_bound(&self, max_tf: f64, df: usize, n_docs: usize, avg_dl: f64) -> f64 {
+        self.score(max_tf, df, n_docs, 0.0, avg_dl)
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +79,20 @@ mod tests {
         let short = p.score(1.0, 10, 1000, 5.0, 10.0);
         let long = p.score(1.0, 10, 1000, 100.0, 10.0);
         assert!(short > long);
+    }
+
+    #[test]
+    fn impact_bound_dominates_sampled_scores() {
+        let p = Bm25Params::default();
+        let max_tf = 7.5;
+        let (df, n, avg_dl) = (13, 1000, 12.0);
+        let bound = p.impact_bound(max_tf, df, n, avg_dl);
+        for tf_tenths in 1..=75 {
+            for dl in [0.0, 0.5, 1.0, 5.0, 12.0, 200.0] {
+                let s = p.score(f64::from(tf_tenths) / 10.0, df, n, dl, avg_dl);
+                assert!(s <= bound, "score {s} exceeds bound {bound}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Term interning: tokens ↔ dense `u32` term ids.
+
+use std::collections::HashMap;
+
+/// A term dictionary mapping tokens to dense `u32` term ids.
+///
+/// Ids are handed out in first-encounter order and never reused, so they
+/// double as indices into the index's flat per-term posting arrays: the
+/// query path hashes each query term exactly once and then works with
+/// integers. Shard dictionaries built by parallel workers merge into a
+/// global one by interning their terms in local-id order, which reproduces
+/// the sequential assignment exactly (see `SearchIndex::build_threaded`).
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    ids: HashMap<String, u32>,
+    terms: Vec<String>,
+}
+
+impl TermDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        TermDict::default()
+    }
+
+    /// Intern a term, returning its dense id (allocating the next id when
+    /// the term is new). The hit path allocates nothing.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = u32::try_from(self.terms.len()).expect("term id space exceeded");
+        self.ids.insert(term.to_owned(), id);
+        self.terms.push(term.to_owned());
+        id
+    }
+
+    /// The id of a term, if it has ever been interned.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term behind an id. Panics on an id this dictionary never issued.
+    pub fn term(&self, id: u32) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of interned terms (dead terms included — interning is
+    /// append-only; liveness lives in the posting lists).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term was ever interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut d = TermDict::new();
+        assert!(d.is_empty());
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.intern("alpha"), a, "re-interning returns the same id");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.term(a), "alpha");
+        assert_eq!(d.lookup("beta"), Some(b));
+        assert_eq!(d.lookup("gamma"), None);
+    }
+}

@@ -9,13 +9,35 @@
 //! `title` outweighs a hit deep in a message body), conjunctive boosting
 //! (objects matching *all* query terms rank above partial matches) and an
 //! optional class filter (`class:Person luna`).
+//!
+//! The retrieval core is production-shaped:
+//!
+//! * **Term interning** — a [`TermDict`] maps tokens to dense `u32` term
+//!   ids; postings live in flat doc-sorted [`PostingList`]s indexed by term
+//!   id, each carrying a per-term max-impact upper bound.
+//! * **Top-k pruned queries** — [`SearchIndex::search`] runs MaxScore-style
+//!   early termination over those bounds with a bounded min-heap, and
+//!   returns results byte-identical to the exhaustive reference scorer
+//!   ([`SearchIndex::search_exhaustive`]).
+//! * **Parallel sharded build** — [`SearchIndex::build_parallel`] tokenizes
+//!   store shards on scoped threads and merges shard dictionaries
+//!   deterministically, ranking identically to the sequential build.
+//! * **Incremental maintenance** — [`SearchIndex::apply_events`] consumes
+//!   the store's mutation events to update or tombstone documents in
+//!   place, with periodic compaction, so index refresh is a delta rather
+//!   than a rebuild.
 
 mod bm25;
+mod dict;
+mod postings;
 mod query;
 mod search;
 mod tokenizer;
+mod topk;
 
 pub use bm25::Bm25Params;
+pub use dict::TermDict;
+pub use postings::{Posting, PostingList};
 pub use query::Query;
 pub use search::{Hit, SearchIndex};
-pub use tokenizer::{index_tokens, STOPWORDS};
+pub use tokenizer::{index_tokens, index_tokens_into, STOPWORDS};

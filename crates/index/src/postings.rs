@@ -1,0 +1,60 @@
+//! Flat, doc-sorted posting lists with per-term impact bookkeeping.
+
+/// One posting: a document and the field-weighted frequency of one term in
+/// it. Documents are the index's dense `u32` doc slots, not object ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// Dense doc slot (ascending within a list).
+    pub doc: u32,
+    /// Field-weighted term frequency.
+    pub weighted_tf: f32,
+}
+
+/// The postings of one term id: a flat `Vec` sorted by doc slot, plus the
+/// two numbers the pruned query path needs without touching the postings —
+/// the live document frequency and an upper bound on any live posting's
+/// weighted tf.
+#[derive(Debug, Clone, Default)]
+pub struct PostingList {
+    /// Postings in ascending doc-slot order. Tombstoned docs linger here
+    /// until the next compaction; `live` already excludes them.
+    pub postings: Vec<Posting>,
+    /// Number of postings whose document is live — the df BM25 uses.
+    pub live: u32,
+    /// Upper bound on the weighted tf of any *live* posting. Tombstoning
+    /// never lowers it (a stale bound is loose but still dominates);
+    /// compaction recomputes it exactly.
+    pub max_tf: f32,
+}
+
+impl PostingList {
+    /// Append a posting for a freshly allocated doc slot. Slots are handed
+    /// out in ascending order, so appending keeps the list sorted.
+    pub fn push(&mut self, doc: u32, weighted_tf: f32) {
+        if let Some(last) = self.postings.last() {
+            debug_assert!(last.doc < doc, "doc slots must be appended in order");
+        }
+        self.postings.push(Posting { doc, weighted_tf });
+        self.live += 1;
+        if weighted_tf > self.max_tf {
+            self.max_tf = weighted_tf;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_live_count_and_max_tf() {
+        let mut l = PostingList::default();
+        l.push(0, 2.0);
+        l.push(3, 5.0);
+        l.push(7, 1.0);
+        assert_eq!(l.live, 3);
+        assert_eq!(l.max_tf, 5.0);
+        assert_eq!(l.postings.len(), 3);
+        assert!(l.postings.windows(2).all(|w| w[0].doc < w[1].doc));
+    }
+}

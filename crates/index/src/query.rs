@@ -1,6 +1,6 @@
 //! Query parsing.
 
-use crate::tokenizer::index_tokens;
+use crate::tokenizer::index_tokens_into;
 
 /// A parsed keyword query: free terms plus an optional class filter
 /// (`class:Person luna dong`).
@@ -24,7 +24,7 @@ impl Query {
                 }
                 continue;
             }
-            terms.extend(index_tokens(word));
+            index_tokens_into(word, &mut terms);
         }
         Query {
             terms,

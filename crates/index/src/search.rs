@@ -1,10 +1,14 @@
-//! The inverted index and ranked retrieval.
+//! The inverted index: interned terms, flat postings, incremental
+//! maintenance. Ranked retrieval lives in the `topk` module (pruned) and
+//! [`SearchIndex::search_exhaustive`] (reference scorer).
 
+use crate::dict::TermDict;
+use crate::postings::PostingList;
+use crate::tokenizer::index_tokens_into;
 use crate::{Bm25Params, Query};
-use crate::tokenizer::index_tokens;
 use semex_model::names::attr;
 use semex_model::ClassId;
-use semex_store::{ObjectId, Store};
+use semex_store::{ObjectId, Store, StoreEvent};
 use std::collections::HashMap;
 
 /// One ranked search result.
@@ -14,14 +18,17 @@ pub struct Hit {
     pub object: ObjectId,
     /// BM25 relevance score (higher is better).
     pub score: f64,
-    /// Number of distinct query terms the object matched.
+    /// Number of query terms the object matched.
     pub matched_terms: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Posting {
-    doc: u32, // dense doc index
-    weighted_tf: f32,
+/// Per-document bookkeeping for one dense doc slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DocEntry {
+    pub(crate) object: ObjectId,
+    pub(crate) class: ClassId,
+    pub(crate) len: f32,
+    pub(crate) live: bool,
 }
 
 /// Field weights: hits in identity fields outrank body hits.
@@ -34,20 +41,96 @@ fn field_weight(attr_name: &str) -> f64 {
     }
 }
 
+/// The tokenized documents of one build shard: a local term dictionary
+/// (ids in shard-wide first-encounter order) plus per-document term lists
+/// in first-occurrence order. Workers produce shards independently;
+/// [`SearchIndex::absorb`] merges them in shard order, which reproduces the
+/// sequential build bit for bit.
+struct Shard {
+    dict: TermDict,
+    docs: Vec<ShardDoc>,
+}
+
+struct ShardDoc {
+    object: ObjectId,
+    class: ClassId,
+    len: f64,
+    /// `(local term id, weighted tf)` in first-occurrence order.
+    terms: Vec<(u32, f64)>,
+}
+
+/// Tokenize a slice of store objects into a self-contained shard.
+fn tokenize_shard(store: &Store, objects: &[ObjectId]) -> Shard {
+    let model = store.model();
+    let mut dict = TermDict::new();
+    let mut docs = Vec::new();
+    let mut toks: Vec<String> = Vec::new();
+    let mut slot: HashMap<u32, usize> = HashMap::new();
+    for &obj in objects {
+        let o = store.object(obj);
+        let mut terms: Vec<(u32, f64)> = Vec::new();
+        let mut len = 0.0f64;
+        slot.clear();
+        for (a, v) in &o.attrs {
+            let def = model.attr_def(*a);
+            if !def.indexed {
+                continue;
+            }
+            let Some(text) = v.as_str() else { continue };
+            let w = field_weight(&def.name);
+            toks.clear();
+            index_tokens_into(text, &mut toks);
+            for t in toks.drain(..) {
+                len += 1.0;
+                let tid = dict.intern(&t);
+                match slot.get(&tid) {
+                    Some(&i) => terms[i].1 += w,
+                    None => {
+                        slot.insert(tid, terms.len());
+                        terms.push((tid, w));
+                    }
+                }
+            }
+        }
+        if !terms.is_empty() {
+            docs.push(ShardDoc {
+                object: obj,
+                class: o.class,
+                len,
+                terms,
+            });
+        }
+    }
+    Shard { dict, docs }
+}
+
 /// An inverted index over the indexed string attributes of store objects.
 ///
-/// Build with [`SearchIndex::build`] (after reconciliation, so merged
-/// objects are single documents pooling all their surface forms), or grow
-/// incrementally with [`SearchIndex::add_object`].
+/// Terms are interned to dense `u32` ids ([`TermDict`]); each term id owns a
+/// flat doc-sorted [`PostingList`] carrying its live document frequency and
+/// a max-impact bound for pruned top-k evaluation. Build with
+/// [`SearchIndex::build`] / [`SearchIndex::build_threaded`] (after
+/// reconciliation, so merged objects are single documents pooling all their
+/// surface forms), then keep it current with [`SearchIndex::apply_events`]:
+/// mutations tombstone and re-tokenize only the touched documents, and the
+/// index compacts itself when enough tombstones accumulate.
 #[derive(Debug, Default)]
 pub struct SearchIndex {
-    postings: HashMap<String, Vec<Posting>>,
-    docs: Vec<ObjectId>,
-    doc_class: Vec<ClassId>,
-    doc_len: Vec<f32>,
+    pub(crate) dict: TermDict,
+    /// Indexed by term id.
+    pub(crate) postings: Vec<PostingList>,
+    /// Indexed by dense doc slot; tombstoned entries stay until compaction.
+    pub(crate) docs: Vec<DocEntry>,
+    /// Forward index: `(term id, weighted tf)` per live doc slot, in
+    /// first-occurrence order. Emptied when a doc is tombstoned (its df
+    /// contributions are retracted at that moment).
+    doc_terms: Vec<Vec<(u32, f32)>>,
     doc_of: HashMap<ObjectId, u32>,
-    total_len: f64,
-    params: Bm25Params,
+    pub(crate) live_docs: usize,
+    /// Sum of live doc lengths. Lengths are integer-valued, so adds and
+    /// retractions are exact and `avg_doc_len` matches a fresh build.
+    pub(crate) total_len: f64,
+    pub(crate) params: Bm25Params,
 }
 
 impl SearchIndex {
@@ -59,75 +142,263 @@ impl SearchIndex {
         }
     }
 
-    /// Index every live object of the store.
+    /// Index every live object of the store, sequentially.
     pub fn build(store: &Store) -> Self {
+        SearchIndex::build_threaded(store, 1)
+    }
+
+    /// [`SearchIndex::build_threaded`] at the machine's parallelism.
+    pub fn build_parallel(store: &Store) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SearchIndex::build_threaded(store, threads)
+    }
+
+    /// Index every live object across `threads` workers: store objects are
+    /// partitioned into contiguous chunks, tokenized independently into
+    /// per-shard dictionaries, and merged in chunk order. Term ids, posting
+    /// order and every ranked result are identical to the sequential build
+    /// at any thread count.
+    pub fn build_threaded(store: &Store, threads: usize) -> Self {
         let mut idx = SearchIndex::new(Bm25Params::default());
-        for obj in store.objects() {
-            idx.add_object(store, obj);
+        let objects: Vec<ObjectId> = store.objects().collect();
+        if objects.is_empty() {
+            return idx;
+        }
+        let workers = threads.max(1).min(objects.len());
+        if workers <= 1 {
+            idx.absorb(tokenize_shard(store, &objects));
+            return idx;
+        }
+        let chunk = objects.len().div_ceil(workers);
+        let shards: Vec<Shard> = std::thread::scope(|scope| {
+            let handles: Vec<_> = objects
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || tokenize_shard(store, c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index shard workers do not panic"))
+                .collect()
+        });
+        for shard in shards {
+            idx.absorb(shard);
         }
         idx
     }
 
-    /// Add (or re-add) one object. Re-adding an object replaces nothing —
-    /// call only for fresh objects; after reconciliation rebuild instead.
+    /// Intern a term into the global dictionary, growing the posting array.
+    fn intern_term(&mut self, term: &str) -> u32 {
+        let id = self.dict.intern(term);
+        if self.postings.len() <= id as usize {
+            self.postings
+                .resize_with(id as usize + 1, PostingList::default);
+        }
+        id
+    }
+
+    /// Merge one shard into the index: remap its local term ids (in local
+    /// order, so global ids come out exactly as a sequential build would
+    /// assign them) and append its documents in order.
+    fn absorb(&mut self, shard: Shard) {
+        let mut remap: Vec<u32> = Vec::with_capacity(shard.dict.len());
+        for lid in 0..shard.dict.len() {
+            remap.push(self.intern_term(shard.dict.term(lid as u32)));
+        }
+        for d in shard.docs {
+            debug_assert!(
+                !self.doc_of.contains_key(&d.object),
+                "absorb expects unseen objects; add_object replaces first"
+            );
+            let doc = u32::try_from(self.docs.len()).expect("doc slot space exceeded");
+            let mut fwd = Vec::with_capacity(d.terms.len());
+            for (lid, tf) in d.terms {
+                let gid = remap[lid as usize];
+                let tf = tf as f32;
+                self.postings[gid as usize].push(doc, tf);
+                fwd.push((gid, tf));
+            }
+            let len = d.len as f32;
+            self.docs.push(DocEntry {
+                object: d.object,
+                class: d.class,
+                len,
+                live: true,
+            });
+            self.doc_terms.push(fwd);
+            self.doc_of.insert(d.object, doc);
+            self.live_docs += 1;
+            self.total_len += f64::from(len);
+        }
+    }
+
+    /// Add — or re-add — one object. A re-add *replaces* the object's
+    /// document (tombstone + fresh slot), so post-merge re-indexing picks
+    /// up pooled surface forms instead of silently keeping the stale ones.
     pub fn add_object(&mut self, store: &Store, obj: ObjectId) {
         let obj = store.resolve(obj);
-        if self.doc_of.contains_key(&obj) {
+        self.remove_object(obj);
+        self.absorb(tokenize_shard(store, std::slice::from_ref(&obj)));
+    }
+
+    /// Tombstone an object's document, if it has one: the doc slot is
+    /// marked dead, its length leaves the corpus totals and its postings'
+    /// live counts (the df BM25 uses) are retracted immediately. The
+    /// posting entries themselves linger until [`SearchIndex::compact`].
+    /// Returns whether a document was removed.
+    pub fn remove_object(&mut self, obj: ObjectId) -> bool {
+        let Some(doc) = self.doc_of.remove(&obj) else {
+            return false;
+        };
+        let entry = &mut self.docs[doc as usize];
+        entry.live = false;
+        self.total_len -= f64::from(entry.len);
+        self.live_docs -= 1;
+        for (tid, _) in std::mem::take(&mut self.doc_terms[doc as usize]) {
+            self.postings[tid as usize].live -= 1;
+        }
+        true
+    }
+
+    /// Apply a drained batch of store mutation events: merges tombstone
+    /// every alias on the loser's chain, and objects whose indexed text
+    /// grew (new indexed string attribute, merge winners pooling attrs) are
+    /// re-tokenized in place. Ends with an automatic compaction when the
+    /// tombstone fraction is high. The result is identical to
+    /// [`SearchIndex::build`] over the post-mutation store.
+    pub fn apply_events(&mut self, store: &Store, events: &[StoreEvent]) {
+        if events.is_empty() {
             return;
         }
-        let o = store.object(obj);
         let model = store.model();
-        let doc = self.docs.len() as u32;
-        let mut terms: HashMap<String, f64> = HashMap::new();
-        let mut dl = 0.0f64;
-        for (a, v) in &o.attrs {
-            let def = model.attr_def(*a);
-            if !def.indexed {
-                continue;
+        let mut dirty: Vec<ObjectId> = Vec::new();
+        for e in events {
+            if let Some(loser) = e.tombstones() {
+                // The event may carry a pre-resolution loser; every alias
+                // on its chain (in the *final* store state) is dead.
+                let mut cur = loser;
+                while let Some(next) = store.object_raw(cur).and_then(|o| o.merged_into) {
+                    self.remove_object(cur);
+                    cur = next;
+                }
             }
-            let Some(text) = v.as_str() else { continue };
-            let w = field_weight(&def.name);
-            for t in index_tokens(text) {
-                *terms.entry(t).or_insert(0.0) += w;
-                dl += 1.0;
+            if let Some(obj) = e.retokenizes(model) {
+                dirty.push(obj);
             }
         }
-        if terms.is_empty() {
+        for obj in &mut dirty {
+            *obj = store.resolve(*obj);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for obj in dirty {
+            self.add_object(store, obj);
+        }
+        self.maybe_compact();
+    }
+
+    /// Compact when at least a quarter of the doc slots (and a minimum
+    /// worth bothering about) are tombstones.
+    fn maybe_compact(&mut self) {
+        let dead = self.docs.len() - self.live_docs;
+        if dead >= 64 && dead * 4 >= self.docs.len() {
+            self.compact();
+        }
+    }
+
+    /// Drop tombstoned doc slots and their postings, renumbering the
+    /// survivors. Purely index-local (no store access): the forward index
+    /// of live docs carries everything needed. Per-term `max_tf` bounds are
+    /// recomputed exactly, so pruning tightens back up after heavy churn.
+    pub fn compact(&mut self) {
+        if self.live_docs == self.docs.len() {
             return;
         }
-        self.docs.push(obj);
-        self.doc_class.push(o.class);
-        self.doc_len.push(dl as f32);
-        self.doc_of.insert(obj, doc);
-        self.total_len += dl;
-        for (t, weighted_tf) in terms {
-            self.postings.entry(t).or_default().push(Posting {
-                doc,
-                weighted_tf: weighted_tf as f32,
-            });
+        let mut remap: Vec<u32> = vec![u32::MAX; self.docs.len()];
+        let mut new_docs: Vec<DocEntry> = Vec::with_capacity(self.live_docs);
+        let mut new_terms: Vec<Vec<(u32, f32)>> = Vec::with_capacity(self.live_docs);
+        for i in 0..self.docs.len() {
+            if self.docs[i].live {
+                remap[i] = new_docs.len() as u32;
+                new_docs.push(self.docs[i]);
+                new_terms.push(std::mem::take(&mut self.doc_terms[i]));
+            }
         }
+        for list in &mut self.postings {
+            let mut max_tf = 0.0f32;
+            list.postings.retain_mut(|p| {
+                let nd = remap[p.doc as usize];
+                if nd == u32::MAX {
+                    return false;
+                }
+                p.doc = nd;
+                if p.weighted_tf > max_tf {
+                    max_tf = p.weighted_tf;
+                }
+                true
+            });
+            list.max_tf = max_tf;
+            debug_assert_eq!(list.live as usize, list.postings.len());
+        }
+        self.docs = new_docs;
+        self.doc_terms = new_terms;
+        self.doc_of = self
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.object, i as u32))
+            .collect();
     }
 
-    /// Number of indexed documents (objects).
+    /// Number of live indexed documents (objects).
     pub fn doc_count(&self) -> usize {
-        self.docs.len()
+        self.live_docs
     }
 
-    /// Number of distinct terms.
+    /// Number of tombstoned doc slots awaiting compaction.
+    pub fn dead_doc_count(&self) -> usize {
+        self.docs.len() - self.live_docs
+    }
+
+    /// Number of distinct terms with at least one live posting.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.postings.iter().filter(|l| l.live > 0).count()
     }
 
-    /// Document frequency of a term.
+    /// Document frequency of a term (live documents only).
     pub fn df(&self, term: &str) -> usize {
-        self.postings.get(term).map(Vec::len).unwrap_or(0)
+        self.dict
+            .lookup(term)
+            .map_or(0, |id| self.postings[id as usize].live as usize)
+    }
+
+    /// Average live-document length (0 when the index is empty). Stays
+    /// equal to a fresh build's average across tombstones: lengths are
+    /// integer-valued, so incremental retraction is exact.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.live_docs == 0 {
+            0.0
+        } else {
+            self.total_len / self.live_docs as f64
+        }
     }
 
     /// Run a parsed query, returning the top `k` hits ranked by BM25 with
     /// an all-terms boost. The class filter (if any) is resolved against
     /// the store's model.
+    ///
+    /// This is the pruned MaxScore evaluator: per-term impact bounds let it
+    /// skip documents that cannot reach the current top-k floor. Results
+    /// are identical — scores included — to
+    /// [`SearchIndex::search_exhaustive`].
     pub fn search(&self, store: &Store, query: &Query, k: usize) -> Vec<Hit> {
-        if query.is_empty() || self.docs.is_empty() {
+        crate::topk::search_pruned(self, store, query, k)
+    }
+
+    /// The reference scorer: score every posting of every query term, sort,
+    /// truncate. Kept as the oracle the pruned path is verified against
+    /// (equivalence tests, benches).
+    pub fn search_exhaustive(&self, store: &Store, query: &Query, k: usize) -> Vec<Hit> {
+        if query.is_empty() || self.live_docs == 0 || k == 0 {
             return Vec::new();
         }
         let class_filter: Option<ClassId> = query
@@ -137,19 +408,26 @@ impl SearchIndex {
         if query.class_filter.is_some() && class_filter.is_none() {
             return Vec::new(); // unknown class matches nothing
         }
-        let n = self.docs.len();
+        let n = self.live_docs;
         let avg_dl = self.total_len / n as f64;
         let mut scores: HashMap<u32, (f64, usize)> = HashMap::new();
         for term in &query.terms {
-            let Some(postings) = self.postings.get(term) else {
+            let Some(tid) = self.dict.lookup(term) else {
                 continue;
             };
-            let df = postings.len();
-            for p in postings {
-                let dl = self.doc_len[p.doc as usize] as f64;
-                let s = self
-                    .params
-                    .score(p.weighted_tf as f64, df, n, dl, avg_dl);
+            let list = &self.postings[tid as usize];
+            let df = list.live as usize;
+            if df == 0 {
+                continue;
+            }
+            for p in &list.postings {
+                let d = &self.docs[p.doc as usize];
+                if !d.live {
+                    continue;
+                }
+                let s =
+                    self.params
+                        .score(f64::from(p.weighted_tf), df, n, f64::from(d.len), avg_dl);
                 let e = scores.entry(p.doc).or_insert((0.0, 0));
                 e.0 += s;
                 e.1 += 1;
@@ -160,7 +438,7 @@ impl SearchIndex {
             .into_iter()
             .filter(|(doc, _)| {
                 class_filter
-                    .map(|c| self.doc_class[*doc as usize] == c)
+                    .map(|c| self.docs[*doc as usize].class == c)
                     .unwrap_or(true)
             })
             .map(|(doc, (mut score, matched))| {
@@ -168,25 +446,26 @@ impl SearchIndex {
                     score *= self.params.all_terms_boost;
                 }
                 Hit {
-                    object: self.docs[doc as usize],
+                    object: self.docs[doc as usize].object,
                     score,
                     matched_terms: matched,
                 }
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.object.cmp(&b.object))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.object.cmp(&b.object)));
         hits.truncate(k);
         hits
     }
 
-    /// Convenience: parse and run a query string.
+    /// Convenience: parse and run a query string (pruned evaluator).
     pub fn search_str(&self, store: &Store, query: &str, k: usize) -> Vec<Hit> {
         self.search(store, &Query::parse(query), k)
+    }
+
+    /// Convenience: parse and run a query string through the reference
+    /// scorer.
+    pub fn search_str_exhaustive(&self, store: &Store, query: &str, k: usize) -> Vec<Hit> {
+        self.search_exhaustive(store, &Query::parse(query), k)
     }
 }
 
@@ -211,17 +490,24 @@ mod tests {
         let a_body = model.attr(attr::BODY).unwrap();
 
         let p1 = st.add_object(person);
-        st.add_attr(p1, a_name, Value::from("Xin Luna Dong")).unwrap();
-        st.add_attr(p1, a_email, Value::from("luna@cs.example.edu")).unwrap();
+        st.add_attr(p1, a_name, Value::from("Xin Luna Dong"))
+            .unwrap();
+        st.add_attr(p1, a_email, Value::from("luna@cs.example.edu"))
+            .unwrap();
         let p2 = st.add_object(person);
         st.add_attr(p2, a_name, Value::from("Alon Halevy")).unwrap();
 
         let pb = st.add_object(publication);
-        st.add_attr(pb, a_title, Value::from("Reference Reconciliation in Complex Information Spaces"))
-            .unwrap();
+        st.add_attr(
+            pb,
+            a_title,
+            Value::from("Reference Reconciliation in Complex Information Spaces"),
+        )
+        .unwrap();
 
         let m = st.add_object(message);
-        st.add_attr(m, a_subject, Value::from("reconciliation demo")).unwrap();
+        st.add_attr(m, a_subject, Value::from("reconciliation demo"))
+            .unwrap();
         st.add_attr(
             m,
             a_body,
@@ -289,6 +575,7 @@ mod tests {
         let idx = SearchIndex::build(&st);
         assert!(idx.search_str(&st, "", 10).is_empty());
         assert!(idx.search_str(&st, "the of", 10).is_empty());
+        assert!(idx.search_str(&st, "reconciliation", 0).is_empty());
         let hits = idx.search_str(&st, "reconciliation", 1);
         assert_eq!(hits.len(), 1);
     }
@@ -315,5 +602,202 @@ mod tests {
         assert!(idx.term_count() > 5);
         assert_eq!(idx.df("reconciliation"), 2);
         assert_eq!(idx.df("nonexistentterm"), 0);
+        assert_eq!(idx.dead_doc_count(), 0);
+        assert!(idx.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential() {
+        let st = sample_store();
+        let seq = SearchIndex::build(&st);
+        let par = SearchIndex::build_threaded(&st, 3);
+        assert_eq!(seq.doc_count(), par.doc_count());
+        assert_eq!(seq.term_count(), par.term_count());
+        for q in ["reconciliation demo", "luna dong", "class:Person dong"] {
+            assert_eq!(
+                seq.search_str(&st, q, 10),
+                par.search_str(&st, q, 10),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_samples() {
+        let st = sample_store();
+        let idx = SearchIndex::build(&st);
+        for q in [
+            "reconciliation",
+            "reconciliation demo",
+            "class:Message reconciliation demo",
+            "luna@cs.example.edu",
+            "dong halevy reconciliation",
+            "missingterm reconciliation",
+        ] {
+            for k in [1, 2, 10] {
+                assert_eq!(
+                    idx.search_str(&st, q, k),
+                    idx.search_str_exhaustive(&st, q, k),
+                    "query {q:?} k {k}"
+                );
+            }
+        }
+    }
+
+    /// Satellite regression: equal scores must tie-break on ascending
+    /// object id, under both evaluators (`total_cmp` ordering).
+    #[test]
+    fn equal_scores_tie_break_on_object_id() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let p = st.add_object(person);
+            st.add_attr(p, a_name, Value::from("Twin Smith")).unwrap();
+            ids.push(p);
+        }
+        let idx = SearchIndex::build(&st);
+        let hits = idx.search_str(&st, "twin", 5);
+        assert_eq!(hits.len(), 5);
+        let order: Vec<ObjectId> = hits.iter().map(|h| h.object).collect();
+        assert_eq!(order, ids, "identical scores sort by object id");
+        assert!(hits.windows(2).all(|w| w[0].score == w[1].score));
+        // Truncation keeps the smallest ids, in both evaluators.
+        let top2 = idx.search_str(&st, "twin", 2);
+        assert_eq!(top2, idx.search_str_exhaustive(&st, "twin", 2));
+        assert_eq!(top2[0].object, ids[0]);
+        assert_eq!(top2[1].object, ids[1]);
+    }
+
+    /// Satellite regression: re-adding an object replaces its document
+    /// instead of silently keeping the stale one.
+    #[test]
+    fn re_add_replaces_document() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let a_email = st.model().attr(attr::EMAIL).unwrap();
+        let p = st.add_object(person);
+        st.add_attr(p, a_name, Value::from("Ann Example")).unwrap();
+        let mut idx = SearchIndex::new(Bm25Params::default());
+        idx.add_object(&st, p);
+        assert_eq!(idx.doc_count(), 1);
+        assert!(idx.search_str(&st, "ann", 5).len() == 1);
+
+        st.add_attr(p, a_email, Value::from("ann@z.example"))
+            .unwrap();
+        idx.add_object(&st, p);
+        assert_eq!(idx.doc_count(), 1, "replaced, not duplicated");
+        assert_eq!(idx.search_str(&st, "ann@z.example", 5).len(), 1);
+        assert_eq!(idx.df("ann"), 1, "stale posting retracted from df");
+    }
+
+    /// Satellite regression: merged-away objects leave the corpus totals —
+    /// `avg_doc_len` must match a fresh build once deletions exist.
+    #[test]
+    fn removal_maintains_lengths_and_counts() {
+        let st = sample_store();
+        let mut idx = SearchIndex::build(&st);
+        let message = st.model().class(class::MESSAGE).unwrap();
+        let m = st.objects_of_class(message).next().unwrap();
+        assert!(idx.remove_object(m));
+        assert!(!idx.remove_object(m), "second removal is a no-op");
+        assert_eq!(idx.doc_count(), 3);
+        assert_eq!(idx.dead_doc_count(), 1);
+        assert_eq!(idx.df("reconciliation"), 1, "df excludes the tombstone");
+
+        // The oracle: an index built without the message at all.
+        let mut st2 = Store::with_builtin_model();
+        let person = st2.model().class(class::PERSON).unwrap();
+        let publication = st2.model().class(class::PUBLICATION).unwrap();
+        let a_name = st2.model().attr(attr::NAME).unwrap();
+        let a_email = st2.model().attr(attr::EMAIL).unwrap();
+        let a_title = st2.model().attr(attr::TITLE).unwrap();
+        let p1 = st2.add_object(person);
+        st2.add_attr(p1, a_name, Value::from("Xin Luna Dong"))
+            .unwrap();
+        st2.add_attr(p1, a_email, Value::from("luna@cs.example.edu"))
+            .unwrap();
+        let p2 = st2.add_object(person);
+        st2.add_attr(p2, a_name, Value::from("Alon Halevy"))
+            .unwrap();
+        let pb = st2.add_object(publication);
+        st2.add_attr(
+            pb,
+            a_title,
+            Value::from("Reference Reconciliation in Complex Information Spaces"),
+        )
+        .unwrap();
+        let fresh = SearchIndex::build(&st2);
+        assert_eq!(idx.avg_doc_len(), fresh.avg_doc_len());
+        let a = idx.search_str(&st, "reconciliation", 10);
+        let b = fresh.search_str(&st2, "reconciliation", 10);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].score, b[0].score, "scores agree across tombstones");
+    }
+
+    /// Satellite regression: event-driven maintenance re-indexes merge
+    /// winners, so pooled surface forms become searchable.
+    #[test]
+    fn merge_events_reindex_winner() {
+        let mut st = sample_store();
+        st.enable_events();
+        let person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let mut idx = SearchIndex::build(&st);
+        st.take_events(); // the index already covers the base store
+
+        let p3 = st.add_object(person);
+        st.add_attr(p3, a_name, Value::from("Luna D. Zyzzx"))
+            .unwrap();
+        let p1 = st.objects_of_class(person).next().unwrap();
+        st.merge(p1, p3).unwrap();
+        let events = st.take_events();
+        idx.apply_events(&st, &events);
+
+        assert_eq!(idx.doc_count(), 4, "loser tombstoned, winner re-indexed");
+        let hits = idx.search_str(&st, "zyzzx", 10);
+        assert_eq!(hits.len(), 1, "pooled surface form is searchable");
+        assert_eq!(hits[0].object, st.resolve(p1));
+        // Byte-identical to a from-scratch build.
+        let rebuilt = SearchIndex::build(&st);
+        for q in ["dong", "zyzzx", "reconciliation demo", "class:Person luna"] {
+            assert_eq!(
+                idx.search_str(&st, q, 10),
+                rebuilt.search_str(&st, q, 10),
+                "{q}"
+            );
+        }
+        assert_eq!(idx.doc_count(), rebuilt.doc_count());
+        assert_eq!(idx.term_count(), rebuilt.term_count());
+        assert_eq!(idx.avg_doc_len(), rebuilt.avg_doc_len());
+    }
+
+    #[test]
+    fn compaction_preserves_results() {
+        let mut st = Store::with_builtin_model();
+        let person = st.model().class(class::PERSON).unwrap();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            let p = st.add_object(person);
+            st.add_attr(p, a_name, Value::from(format!("Person{i} Shared").as_str()))
+                .unwrap();
+            ids.push(p);
+        }
+        let mut idx = SearchIndex::build(&st);
+        for p in ids.iter().skip(20) {
+            idx.remove_object(*p);
+        }
+        let before = idx.search_str(&st, "shared person5", 10);
+        assert_eq!(idx.dead_doc_count(), 20);
+        idx.compact();
+        assert_eq!(idx.dead_doc_count(), 0);
+        assert_eq!(idx.doc_count(), 20);
+        let after = idx.search_str(&st, "shared person5", 10);
+        assert_eq!(before, after, "compaction never changes results");
+        assert_eq!(idx.df("shared"), 20);
+        assert_eq!(idx.df("person25"), 0, "dead term has no live postings");
     }
 }

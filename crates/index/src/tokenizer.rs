@@ -5,8 +5,8 @@
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "i",
     "in", "is", "it", "its", "no", "not", "of", "on", "or", "our", "re", "so", "that", "the",
-    "their", "then", "there", "these", "they", "this", "to", "was", "we", "were", "will",
-    "with", "you", "your",
+    "their", "then", "there", "these", "they", "this", "to", "was", "we", "were", "will", "with",
+    "you", "your",
 ];
 
 /// Tokenize text for indexing: lowercase alphanumeric runs, stopwords
@@ -14,6 +14,13 @@ pub const STOPWORDS: &[&str] = &[
 /// additionally split so both the full address and its parts match.
 pub fn index_tokens(text: &str) -> Vec<String> {
     let mut out = Vec::new();
+    index_tokens_into(text, &mut out);
+    out
+}
+
+/// Like [`index_tokens`], but appends into a caller-supplied buffer so bulk
+/// indexing can reuse one allocation across documents.
+pub fn index_tokens_into(text: &str, out: &mut Vec<String>) {
     for raw in text.split_whitespace() {
         // Keep a joined form of address-like tokens.
         if raw.contains('@') {
@@ -32,14 +39,13 @@ pub fn index_tokens(text: &str) -> Vec<String> {
             if c.is_alphanumeric() {
                 cur.extend(c.to_lowercase());
             } else if !cur.is_empty() {
-                push_token(&mut out, std::mem::take(&mut cur));
+                push_token(out, std::mem::take(&mut cur));
             }
         }
         if !cur.is_empty() {
-            push_token(&mut out, cur);
+            push_token(out, cur);
         }
     }
-    out
 }
 
 fn push_token(out: &mut Vec<String>, tok: String) {
@@ -74,6 +80,13 @@ mod tests {
     #[test]
     fn stopwords_removed_consistently() {
         assert_eq!(index_tokens("the demo"), index_tokens("demo"));
+    }
+
+    #[test]
+    fn into_variant_appends_to_existing_buffer() {
+        let mut buf = vec!["seed".to_owned()];
+        index_tokens_into("Luna Dong", &mut buf);
+        assert_eq!(buf, vec!["seed", "luna", "dong"]);
     }
 
     proptest! {

@@ -1,0 +1,326 @@
+//! Top-k pruned query evaluation: MaxScore-style early termination over
+//! the interned posting lists.
+//!
+//! The pruning invariant: each query term's [`crate::Bm25Params::impact_bound`]
+//! — evaluated at the term's `max_tf` with document length zero, times the
+//! all-terms-boost headroom and [`BOUND_SLACK`] — dominates every BM25
+//! contribution any live document can earn from that term. Cursors are
+//! sorted by ascending bound; once the running prefix sum of bounds falls
+//! strictly below the current top-k floor, documents appearing *only* in
+//! that prefix cannot enter the results and their lists stop generating
+//! candidates. Documents that do get scored are scored over all query
+//! terms in query order, so the floating-point sums — and therefore the
+//! returned `Vec<Hit>` — are bit-identical to the exhaustive scorer's.
+
+use crate::postings::Posting;
+use crate::search::Hit;
+use crate::{Query, SearchIndex};
+use semex_model::ClassId;
+use semex_store::{ObjectId, Store};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Multiplicative slack applied to every per-term bound before comparing
+/// against the top-k floor. The bound's dominance argument is exact over
+/// the reals but each factor is computed in floating point; one part in
+/// 10⁹ absorbs any ulp-level rounding without costing measurable pruning
+/// power.
+const BOUND_SLACK: f64 = 1.0 + 1e-9;
+
+/// A document-at-a-time cursor over one query term's posting list.
+struct TermCursor<'a> {
+    /// Position of this term in the query — the accumulation order that
+    /// keeps scores bit-identical to the exhaustive path.
+    qpos: usize,
+    postings: &'a [Posting],
+    pos: usize,
+    /// Live document frequency (the df BM25 uses).
+    df: usize,
+    /// Slack-inflated upper bound on this term's total contribution,
+    /// boost headroom included.
+    bound: f64,
+}
+
+impl TermCursor<'_> {
+    fn current(&self) -> Option<Posting> {
+        self.postings.get(self.pos).copied()
+    }
+
+    /// Advance to the first posting with `doc >= target` (galloping then
+    /// binary search, so lagging non-essential cursors catch up cheaply).
+    fn advance_to(&mut self, target: u32) {
+        let s = self.postings;
+        if self.pos >= s.len() || s[self.pos].doc >= target {
+            return;
+        }
+        let mut step = 1usize;
+        let mut prev = self.pos;
+        loop {
+            let next = self.pos + step;
+            if next >= s.len() || s[next].doc >= target {
+                let mut lo = prev + 1;
+                let mut hi = next.min(s.len());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if s[mid].doc < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                self.pos = lo;
+                return;
+            }
+            prev = next;
+            step <<= 1;
+        }
+    }
+}
+
+/// A scored document in the bounded min-heap. `Ord` is "better result":
+/// higher score, ties broken toward the *smaller* object id — exactly the
+/// final ranking order, so heap eviction and result sorting agree.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    score: f64,
+    object: ObjectId,
+    matched: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.object.cmp(&self.object))
+    }
+}
+
+/// The pruned evaluator behind [`SearchIndex::search`].
+pub(crate) fn search_pruned(
+    index: &SearchIndex,
+    store: &Store,
+    query: &Query,
+    k: usize,
+) -> Vec<Hit> {
+    if query.is_empty() || index.live_docs == 0 || k == 0 {
+        return Vec::new();
+    }
+    let class_filter: Option<ClassId> = query
+        .class_filter
+        .as_deref()
+        .and_then(|name| store.model().class(name));
+    if query.class_filter.is_some() && class_filter.is_none() {
+        return Vec::new(); // unknown class matches nothing
+    }
+    let n = index.live_docs;
+    let avg_dl = index.total_len / n as f64;
+    let n_terms = query.terms.len();
+    // Boost headroom: a multiplier below 1 can only shrink a true score,
+    // so only boosts above 1 widen the bound.
+    let boost_bound = if n_terms > 1 {
+        index.params.all_terms_boost.max(1.0)
+    } else {
+        1.0
+    };
+    let mut cursors: Vec<TermCursor> = Vec::new();
+    for (qpos, term) in query.terms.iter().enumerate() {
+        let Some(tid) = index.dict.lookup(term) else {
+            continue;
+        };
+        let list = &index.postings[tid as usize];
+        if list.live == 0 {
+            continue;
+        }
+        let ub = index
+            .params
+            .impact_bound(f64::from(list.max_tf), list.live as usize, n, avg_dl);
+        cursors.push(TermCursor {
+            qpos,
+            postings: &list.postings,
+            pos: 0,
+            df: list.live as usize,
+            bound: ub * boost_bound * BOUND_SLACK,
+        });
+    }
+    if cursors.is_empty() {
+        return Vec::new();
+    }
+    // Ascending bound order; prefix[i] bounds the total score of any doc
+    // matching only cursors[0..=i].
+    cursors.sort_by(|a, b| a.bound.total_cmp(&b.bound).then(a.qpos.cmp(&b.qpos)));
+    let prefix: Vec<f64> = cursors
+        .iter()
+        .scan(0.0f64, |acc, c| {
+            *acc += c.bound;
+            Some(*acc)
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
+    let mut first_essential = 0usize;
+    let mut parts: Vec<(usize, f64)> = Vec::with_capacity(cursors.len());
+    loop {
+        if first_essential >= cursors.len() {
+            break; // every remaining doc is bounded below the top-k floor
+        }
+        // Next candidate: smallest current doc among the essential lists.
+        let mut d = u32::MAX;
+        for c in &cursors[first_essential..] {
+            if let Some(p) = c.current() {
+                d = d.min(p.doc);
+            }
+        }
+        if d == u32::MAX {
+            break; // essential lists exhausted
+        }
+        let entry = index.docs[d as usize];
+        let viable = entry.live && class_filter.map(|c| entry.class == c).unwrap_or(true);
+        if viable {
+            // Score over *all* query terms, accumulating in query order so
+            // the floating-point sum matches the exhaustive scorer's.
+            parts.clear();
+            for c in &mut cursors {
+                c.advance_to(d);
+                if let Some(p) = c.current() {
+                    if p.doc == d {
+                        let s = index.params.score(
+                            f64::from(p.weighted_tf),
+                            c.df,
+                            n,
+                            f64::from(entry.len),
+                            avg_dl,
+                        );
+                        parts.push((c.qpos, s));
+                        c.pos += 1;
+                    }
+                }
+            }
+            parts.sort_unstable_by_key(|&(q, _)| q);
+            let matched = parts.len();
+            let mut score = 0.0f64;
+            for &(_, s) in &parts {
+                score += s;
+            }
+            if matched == n_terms && n_terms > 1 {
+                score *= index.params.all_terms_boost;
+            }
+            let cand = Candidate {
+                score,
+                object: entry.object,
+                matched,
+            };
+            if heap.len() < k {
+                heap.push(Reverse(cand));
+            } else if cand > heap.peek().expect("heap holds k candidates").0 {
+                heap.pop();
+                heap.push(Reverse(cand));
+            }
+            if heap.len() == k {
+                let floor = heap.peek().expect("heap holds k candidates").0.score;
+                // Strictly below the floor only: a doc whose bound *equals*
+                // the floor could still tie on score and win the object-id
+                // tie-break, so its lists stay essential.
+                while first_essential < cursors.len() && prefix[first_essential] < floor {
+                    first_essential += 1;
+                }
+            }
+        } else {
+            // Tombstoned or class-filtered: step the essential cursors past
+            // it; non-essential cursors catch up lazily at the next scored
+            // candidate.
+            for c in &mut cursors[first_essential..] {
+                if let Some(p) = c.current() {
+                    if p.doc == d {
+                        c.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<Candidate> = heap.into_iter().map(|r| r.0).collect();
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out.into_iter()
+        .map(|c| Hit {
+            object: c.object,
+            score: c.score,
+            matched_terms: c.matched,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_advances_with_galloping() {
+        let postings: Vec<Posting> = [1u32, 4, 9, 12, 40, 41, 100]
+            .iter()
+            .map(|&doc| Posting {
+                doc,
+                weighted_tf: 1.0,
+            })
+            .collect();
+        let mut c = TermCursor {
+            qpos: 0,
+            postings: &postings,
+            pos: 0,
+            df: postings.len(),
+            bound: 1.0,
+        };
+        c.advance_to(4);
+        assert_eq!(c.current().unwrap().doc, 4);
+        c.advance_to(10);
+        assert_eq!(c.current().unwrap().doc, 12);
+        c.advance_to(12);
+        assert_eq!(c.current().unwrap().doc, 12);
+        c.advance_to(99);
+        assert_eq!(c.current().unwrap().doc, 100);
+        c.advance_to(101);
+        assert!(c.current().is_none(), "exhausted past the last posting");
+    }
+
+    #[test]
+    fn candidate_order_prefers_high_score_then_small_id() {
+        let a = Candidate {
+            score: 2.0,
+            object: ObjectId(7),
+            matched: 1,
+        };
+        let b = Candidate {
+            score: 1.0,
+            object: ObjectId(1),
+            matched: 1,
+        };
+        let c = Candidate {
+            score: 2.0,
+            object: ObjectId(3),
+            matched: 1,
+        };
+        assert!(a > b, "higher score wins");
+        assert!(c > a, "equal score: smaller object id wins");
+        // total_cmp gives NaN a consistent slot (positive NaN sorts above
+        // every real) instead of panicking or breaking transitivity; BM25
+        // scores are always finite, so this never surfaces in results.
+        let nan = Candidate {
+            score: f64::NAN,
+            object: ObjectId(0),
+            matched: 1,
+        };
+        assert!(nan > a);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+}

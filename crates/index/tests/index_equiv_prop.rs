@@ -1,0 +1,166 @@
+//! Equivalence properties of the retrieval core, mirroring
+//! `tests/recon_parallel_equiv.rs` at the repo root:
+//!
+//! * parallel sharded build ≡ sequential build,
+//! * events-driven incremental maintenance ≡ a from-scratch
+//!   [`SearchIndex::build`] over the mutated store (random merges included),
+//! * the pruned top-k evaluator ≡ the exhaustive reference scorer,
+//!
+//! all asserted as exact `Vec<Hit>` equality — scores, order and
+//! tie-breaks, not just the hit sets.
+
+use proptest::prelude::*;
+use semex_index::SearchIndex;
+use semex_model::names::{attr, class};
+use semex_model::Value;
+use semex_store::{ObjectId, Store};
+
+/// A query mix hitting short/long, single/multi-term, class-filtered and
+/// partially-unknown shapes over the tiny [ab]* vocabulary (chosen small so
+/// random docs collide on terms constantly).
+const QUERIES: &[&str] = &[
+    "aa",
+    "ab ba",
+    "aa bb",
+    "class:Person ab",
+    "ab aa ba bb",
+    "class:Message aa",
+    "zz aa",
+];
+
+fn doc_strategy() -> impl Strategy<Value = (bool, Vec<String>)> {
+    (any::<bool>(), prop::collection::vec("[ab]{2,3}", 1..5))
+}
+
+/// Add one object per doc: persons get the words as a `name` (field weight
+/// 3), messages as a `body` (weight 1), so ranking depends on class mix.
+fn add_docs(st: &mut Store, docs: &[(bool, Vec<String>)]) -> Vec<ObjectId> {
+    let person = st.model().class(class::PERSON).unwrap();
+    let message = st.model().class(class::MESSAGE).unwrap();
+    let a_name = st.model().attr(attr::NAME).unwrap();
+    let a_body = st.model().attr(attr::BODY).unwrap();
+    let mut ids = Vec::new();
+    for (is_person, words) in docs {
+        let text = words.join(" ");
+        let o = if *is_person {
+            let o = st.add_object(person);
+            st.add_attr(o, a_name, Value::from(text.as_str())).unwrap();
+            o
+        } else {
+            let o = st.add_object(message);
+            st.add_attr(o, a_body, Value::from(text.as_str())).unwrap();
+            o
+        };
+        ids.push(o);
+    }
+    ids
+}
+
+/// Attempt random merges; class mismatches and self-merges just no-op.
+/// Indices deliberately use the *original* ids, so later merges can name
+/// already-merged-away aliases.
+fn apply_merges(st: &mut Store, ids: &[ObjectId], merges: &[(usize, usize)]) {
+    if ids.is_empty() {
+        return;
+    }
+    for &(a, b) in merges {
+        let (a, b) = (ids[a % ids.len()], ids[b % ids.len()]);
+        let _ = st.merge(a, b);
+    }
+}
+
+fn build_store(docs: &[(bool, Vec<String>)], merges: &[(usize, usize)]) -> Store {
+    let mut st = Store::with_builtin_model();
+    let ids = add_docs(&mut st, docs);
+    apply_merges(&mut st, &ids, merges);
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_build_matches_sequential(
+        docs in prop::collection::vec(doc_strategy(), 1..14),
+        merges in prop::collection::vec((0..14usize, 0..14usize), 0..8),
+        threads in 2..5usize,
+    ) {
+        let st = build_store(&docs, &merges);
+        let seq = SearchIndex::build(&st);
+        let par = SearchIndex::build_threaded(&st, threads);
+        prop_assert_eq!(seq.doc_count(), par.doc_count());
+        prop_assert_eq!(seq.term_count(), par.term_count());
+        prop_assert_eq!(seq.avg_doc_len(), par.avg_doc_len());
+        for q in QUERIES {
+            for k in [1usize, 3, 10] {
+                let a = seq.search_str(&st, q, k);
+                let b = par.search_str(&st, q, k);
+                prop_assert_eq!(a, b, "query {} k {}", q, k);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_events_match_scratch_build(
+        base in prop::collection::vec(doc_strategy(), 1..10),
+        extra in prop::collection::vec(doc_strategy(), 0..8),
+        grow in prop::collection::vec((0..18usize, "[ab]{2,3}"), 0..8),
+        merges in prop::collection::vec((0..18usize, 0..18usize), 0..8),
+    ) {
+        let mut st = Store::with_builtin_model();
+        st.enable_events();
+        let mut ids = add_docs(&mut st, &base);
+        let mut idx = SearchIndex::build(&st);
+        st.take_events(); // the build already covers the base state
+
+        // Batch 1: fresh documents.
+        ids.extend(add_docs(&mut st, &extra));
+        let events = st.take_events();
+        idx.apply_events(&st, &events);
+
+        // Batch 2: attribute growth on existing objects (class-appropriate
+        // attr) and random merges, possibly addressing alias ids.
+        let all_docs: Vec<(bool, Vec<String>)> =
+            base.iter().chain(extra.iter()).cloned().collect();
+        let a_name = st.model().attr(attr::NAME).unwrap();
+        let a_body = st.model().attr(attr::BODY).unwrap();
+        for (i, word) in &grow {
+            let slot = i % ids.len();
+            let a = if all_docs[slot].0 { a_name } else { a_body };
+            st.add_attr(ids[slot], a, Value::from(word.as_str())).unwrap();
+        }
+        apply_merges(&mut st, &ids, &merges);
+        let events = st.take_events();
+        idx.apply_events(&st, &events);
+
+        let scratch = SearchIndex::build(&st);
+        prop_assert_eq!(idx.doc_count(), scratch.doc_count());
+        prop_assert_eq!(idx.term_count(), scratch.term_count());
+        prop_assert_eq!(idx.avg_doc_len(), scratch.avg_doc_len());
+        for q in QUERIES {
+            let a = idx.search_str(&st, q, 10);
+            let b = scratch.search_str(&st, q, 10);
+            prop_assert_eq!(&a, &b, "query {}", q);
+            // The maintained index stays prunable: both evaluators agree.
+            let c = idx.search_str_exhaustive(&st, q, 10);
+            prop_assert_eq!(a, c, "pruned vs exhaustive on query {}", q);
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive(
+        docs in prop::collection::vec(doc_strategy(), 1..16),
+        merges in prop::collection::vec((0..16usize, 0..16usize), 0..6),
+        k in 1..6usize,
+    ) {
+        let st = build_store(&docs, &merges);
+        let idx = SearchIndex::build(&st);
+        for q in QUERIES {
+            prop_assert_eq!(
+                idx.search_str(&st, q, k),
+                idx.search_str_exhaustive(&st, q, k),
+                "query {} k {}", q, k
+            );
+        }
+    }
+}

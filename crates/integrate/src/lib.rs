@@ -144,8 +144,14 @@ mod tests {
             "people-shaped table maps to Person"
         );
 
-        let report = import(&mut st, "attendees.csv", &table, &mapping, &ReconConfig::sequential())
-            .unwrap();
+        let report = import(
+            &mut st,
+            "attendees.csv",
+            &table,
+            &mapping,
+            &ReconConfig::sequential(),
+        )
+        .unwrap();
         // The all-blank third line is dropped by the CSV parser itself.
         assert_eq!(report.rows, 2);
         assert_eq!(report.created, 2);
@@ -173,12 +179,27 @@ mod tests {
         let mapping = Mapping {
             class: c_pub,
             columns: vec![
-                MatchedColumn { column: 0, attr: a_title, confidence: 1.0 },
-                MatchedColumn { column: 1, attr: a_year, confidence: 1.0 },
+                MatchedColumn {
+                    column: 0,
+                    attr: a_title,
+                    confidence: 1.0,
+                },
+                MatchedColumn {
+                    column: 1,
+                    attr: a_year,
+                    confidence: 1.0,
+                },
             ],
             score: 1.0,
         };
-        let report = import(&mut st, "pubs.csv", &table, &mapping, &ReconConfig::sequential()).unwrap();
+        let report = import(
+            &mut st,
+            "pubs.csv",
+            &table,
+            &mapping,
+            &ReconConfig::sequential(),
+        )
+        .unwrap();
         assert_eq!(report.created, 2);
         let with_year = st
             .objects_of_class(c_pub)

@@ -11,16 +11,56 @@ use std::collections::HashSet;
 
 /// Column-header synonyms for the built-in attributes.
 const SYNONYMS: &[(&str, &[&str])] = &[
-    (attr_names::NAME, &["name", "full name", "fullname", "person", "contact", "author", "attendee", "who"]),
-    (attr_names::EMAIL, &["email", "e-mail", "mail", "email address", "e-mail address"]),
-    (attr_names::PHONE, &["phone", "tel", "telephone", "mobile", "cell", "phone number"]),
-    (attr_names::TITLE, &["title", "paper", "publication", "talk"]),
+    (
+        attr_names::NAME,
+        &[
+            "name",
+            "full name",
+            "fullname",
+            "person",
+            "contact",
+            "author",
+            "attendee",
+            "who",
+        ],
+    ),
+    (
+        attr_names::EMAIL,
+        &["email", "e-mail", "mail", "email address", "e-mail address"],
+    ),
+    (
+        attr_names::PHONE,
+        &[
+            "phone",
+            "tel",
+            "telephone",
+            "mobile",
+            "cell",
+            "phone number",
+        ],
+    ),
+    (
+        attr_names::TITLE,
+        &["title", "paper", "publication", "talk"],
+    ),
     (attr_names::YEAR, &["year", "yr", "published"]),
     (attr_names::DATE, &["date", "when", "time", "day"]),
-    (attr_names::URL, &["url", "link", "website", "homepage", "web"]),
-    (attr_names::LOCATION, &["location", "place", "city", "venue location", "room"]),
-    (attr_names::FIRST_NAME, &["first", "first name", "given", "given name"]),
-    (attr_names::LAST_NAME, &["last", "last name", "family", "surname", "family name"]),
+    (
+        attr_names::URL,
+        &["url", "link", "website", "homepage", "web"],
+    ),
+    (
+        attr_names::LOCATION,
+        &["location", "place", "city", "venue location", "room"],
+    ),
+    (
+        attr_names::FIRST_NAME,
+        &["first", "first name", "given", "given name"],
+    ),
+    (
+        attr_names::LAST_NAME,
+        &["last", "last name", "family", "surname", "family name"],
+    ),
 ];
 
 /// Statistical profile of one column's values (over a sample).
@@ -75,7 +115,10 @@ impl ColumnProfile {
                 counts[4] += 1;
             }
             let digits = v.chars().filter(char::is_ascii_digit).count();
-            if digits >= 7 && v.chars().all(|c| c.is_ascii_digit() || "+-() .".contains(c)) {
+            if digits >= 7
+                && v.chars()
+                    .all(|c| c.is_ascii_digit() || "+-() .".contains(c))
+            {
                 counts[5] += 1;
             }
         }
@@ -176,7 +219,13 @@ impl<'a> SchemaMatcher<'a> {
     }
 
     /// Instance-based score of a column profile against an attribute.
-    fn instance_score(&self, table: &Table, col: usize, profile: &ColumnProfile, attr: AttrId) -> f64 {
+    fn instance_score(
+        &self,
+        table: &Table,
+        col: usize,
+        profile: &ColumnProfile,
+        attr: AttrId,
+    ) -> f64 {
         let def = self.store.model().attr_def(attr);
         let mut score: f64 = match (def.name.as_str(), def.kind) {
             (attr_names::EMAIL, _) => profile.email_frac,
@@ -290,10 +339,7 @@ mod tests {
 
     #[test]
     fn profiles_detect_value_shapes() {
-        let p = ColumnProfile::from_values(
-            "col",
-            ["ann@x.edu", "bob@y.org", ""].iter().copied(),
-        );
+        let p = ColumnProfile::from_values("col", ["ann@x.edu", "bob@y.org", ""].iter().copied());
         assert_eq!(p.non_empty, 2);
         assert_eq!(p.email_frac, 1.0);
         let p = ColumnProfile::from_values("col", ["2004", "1999"].iter().copied());
@@ -337,10 +383,8 @@ mod tests {
     #[test]
     fn publications_table_maps_to_publication() {
         let st = empty_store();
-        let table = parse_csv(
-            "title,year\nAdaptive Queries,2004\nSemantic Browsing,2005\n",
-        )
-        .unwrap();
+        let table =
+            parse_csv("title,year\nAdaptive Queries,2004\nSemantic Browsing,2005\n").unwrap();
         let matcher = SchemaMatcher::new(&st);
         let mapping = matcher.match_table(&table).unwrap();
         assert_eq!(st.model().class_def(mapping.class).name, class::PUBLICATION);
@@ -357,7 +401,8 @@ mod tests {
         for (n, e) in [("Ann Walker", "ann@x.edu"), ("Bob Fisher", "bob@y.org")] {
             let p = st.add_object(c_person);
             st.add_attr(p, a_name, semex_model::Value::from(n)).unwrap();
-            st.add_attr(p, a_email, semex_model::Value::from(e)).unwrap();
+            st.add_attr(p, a_email, semex_model::Value::from(e))
+                .unwrap();
         }
         let table = parse_csv("c1,c2\nAnn Walker,ann@x.edu\nBob Fisher,bob@y.org\n").unwrap();
         let matcher = SchemaMatcher::new(&st);

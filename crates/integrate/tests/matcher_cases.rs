@@ -15,10 +15,9 @@ fn empty_store() -> Store {
 #[test]
 fn split_name_columns_map_to_first_and_last() {
     let st = empty_store();
-    let table = parse_csv(
-        "first name,surname,e-mail\nAnn,Walker,ann@x.edu\nBob,Fisher,bob@y.org\n",
-    )
-    .unwrap();
+    let table =
+        parse_csv("first name,surname,e-mail\nAnn,Walker,ann@x.edu\nBob,Fisher,bob@y.org\n")
+            .unwrap();
     let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
     assert_eq!(st.model().class_def(mapping.class).name, class::PERSON);
     let attrs: Vec<&str> = mapping
@@ -35,10 +34,9 @@ fn split_name_columns_map_to_first_and_last() {
 fn each_attr_claims_at_most_one_column() {
     let st = empty_store();
     // Two columns that both look like e-mails: only one may map to email.
-    let table = parse_csv(
-        "mail,backup mail\nann@x.edu,ann@alt.example\nbob@y.org,bob@alt.example\n",
-    )
-    .unwrap();
+    let table =
+        parse_csv("mail,backup mail\nann@x.edu,ann@alt.example\nbob@y.org,bob@alt.example\n")
+            .unwrap();
     let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
     let email_cols = mapping
         .columns
@@ -64,10 +62,8 @@ fn date_and_url_detection() {
 fn venue_like_table_is_not_forced_onto_person() {
     let st = empty_store();
     // Titles + years: should go to Publication, never Person.
-    let table = parse_csv(
-        "title,year\nStreaming joins revisited,2003\nAdaptive indexing,2004\n",
-    )
-    .unwrap();
+    let table =
+        parse_csv("title,year\nStreaming joins revisited,2003\nAdaptive indexing,2004\n").unwrap();
     let mapping = SchemaMatcher::new(&st).match_table(&table).unwrap();
     assert_eq!(st.model().class_def(mapping.class).name, class::PUBLICATION);
 }
@@ -80,7 +76,10 @@ fn import_is_idempotent_for_identical_rows() {
     let r1 = import(&mut st, "a", &table, &mapping, &ReconConfig::sequential()).unwrap();
     assert_eq!(r1.merged_into_existing, 0, "first import is all-new");
     let r2 = import(&mut st, "b", &table, &mapping, &ReconConfig::sequential()).unwrap();
-    assert_eq!(r2.merged_into_existing, 1, "second import merges into the first");
+    assert_eq!(
+        r2.merged_into_existing, 1,
+        "second import merges into the first"
+    );
     let c_person = st.model().class(class::PERSON).unwrap();
     assert_eq!(st.class_count(c_person), 1);
     // Both imports are recorded as provenance on the single object.

@@ -2,8 +2,8 @@
 
 use crate::record::{self, Decoded};
 use crate::segment::{
-    parse_segment_name, parse_snapshot_name, segment_file_name, snapshot_file_name,
-    SegmentHeader, SEGMENT_HEADER_LEN,
+    parse_segment_name, parse_snapshot_name, segment_file_name, snapshot_file_name, SegmentHeader,
+    SEGMENT_HEADER_LEN,
 };
 use semex_store::{SnapshotError, Store, StoreEvent};
 use serde::{Deserialize, Serialize};
@@ -273,7 +273,13 @@ impl Journal {
     /// by snapshot + all journaled events.
     pub fn compact(&mut self, store: &Store) -> Result<CompactionReport, JournalError> {
         let new_epoch = self.epoch + 1;
-        write_snapshot(&self.dir, new_epoch, self.next_seq, store, self.config.fsync)?;
+        write_snapshot(
+            &self.dir,
+            new_epoch,
+            self.next_seq,
+            store,
+            self.config.fsync,
+        )?;
         let folded = self.count_current_epoch_events();
         let (removed_files, removed_bytes) = self.remove_stale_epochs(new_epoch);
         self.epoch = new_epoch;
@@ -444,12 +450,13 @@ fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, JournalError> {
 /// Load a snapshot file: meta line, then the store image.
 fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
     let contents = fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
-    let (meta_line, store_json) = contents.split_once('\n').ok_or_else(|| {
-        JournalError::Invalid {
-            dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
-            reason: format!("snapshot {} has no meta line", path.display()),
-        }
-    })?;
+    let (meta_line, store_json) =
+        contents
+            .split_once('\n')
+            .ok_or_else(|| JournalError::Invalid {
+                dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+                reason: format!("snapshot {} has no meta line", path.display()),
+            })?;
     let meta: SnapshotMeta = serde_json::from_str(meta_line)?;
     let store = Store::from_json(store_json)?;
     Ok((meta, store))
@@ -613,9 +620,7 @@ fn recover_inner(
                 Decoded::Record { payload, consumed } => {
                     let applied = serde_json::from_slice::<StoreEvent>(payload)
                         .map_err(|_| DamageKind::Corrupt)
-                        .and_then(|event| {
-                            store.apply_event(&event).map_err(|_| DamageKind::Apply)
-                        });
+                        .and_then(|event| store.apply_event(&event).map_err(|_| DamageKind::Apply));
                     match applied {
                         Ok(()) => {
                             offset += consumed;
@@ -660,25 +665,13 @@ fn recover_inner(
         // to a fresh segment after it (or in its place if it was removed).
         Some(ref d) => match d.kind {
             DamageKind::BadHeader | DamageKind::SequenceMismatch => {
-                parse_segment_name(
-                    d.segment
-                        .file_name()
-                        .and_then(|n| n.to_str())
-                        .unwrap_or(""),
-                )
-                .map(|(_, i)| i)
-                .unwrap_or(0)
+                parse_segment_name(d.segment.file_name().and_then(|n| n.to_str()).unwrap_or(""))
+                    .map(|(_, i)| i)
+                    .unwrap_or(0)
             }
-            _ => {
-                parse_segment_name(
-                    d.segment
-                        .file_name()
-                        .and_then(|n| n.to_str())
-                        .unwrap_or(""),
-                )
+            _ => parse_segment_name(d.segment.file_name().and_then(|n| n.to_str()).unwrap_or(""))
                 .map(|(_, i)| i + 1)
-                .unwrap_or(0)
-            }
+                .unwrap_or(0),
         },
         None => last_good_index.map(|i| i + 1).unwrap_or(0),
     };

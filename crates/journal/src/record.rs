@@ -90,7 +90,10 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        assert_eq!(seen, vec![b"first".to_vec(), b"".to_vec(), b"third record".to_vec()]);
+        assert_eq!(
+            seen,
+            vec![b"first".to_vec(), b"".to_vec(), b"third record".to_vec()]
+        );
     }
 
     #[test]

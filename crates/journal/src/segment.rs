@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn names_round_trip() {
         assert_eq!(segment_file_name(3, 12), "wal-0000000003-0000000012.log");
-        assert_eq!(parse_segment_name("wal-0000000003-0000000012.log"), Some((3, 12)));
+        assert_eq!(
+            parse_segment_name("wal-0000000003-0000000012.log"),
+            Some((3, 12))
+        );
         assert_eq!(parse_segment_name("wal-3-12.log"), None);
         assert_eq!(parse_segment_name("snapshot-0000000003.json"), None);
         assert_eq!(snapshot_file_name(0), "snapshot-0000000000.json");
@@ -113,7 +116,10 @@ mod tests {
 
     #[test]
     fn header_round_trip() {
-        let h = SegmentHeader { epoch: 5, start_seq: 12_345 };
+        let h = SegmentHeader {
+            epoch: 5,
+            start_seq: 12_345,
+        };
         let bytes = h.encode();
         assert_eq!(SegmentHeader::decode(&bytes), Some(h));
         // Wrong magic, short buffer, wrong version all fail.

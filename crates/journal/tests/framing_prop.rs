@@ -28,14 +28,14 @@ fn event_strategy() -> impl Strategy<Value = StoreEvent> {
             object: ObjectId(o),
             source: SourceId(s),
         }),
-        (any::<u64>(), any::<u16>(), any::<u64>(), any::<u32>()).prop_map(
-            |(s, a, o, src)| StoreEvent::AddTriple {
+        (any::<u64>(), any::<u16>(), any::<u64>(), any::<u32>()).prop_map(|(s, a, o, src)| {
+            StoreEvent::AddTriple {
                 subject: ObjectId(s),
                 assoc: AssocId(a),
                 object: ObjectId(o),
                 source: SourceId(src),
             }
-        ),
+        }),
         (any::<u64>(), any::<u64>()).prop_map(|(w, l)| StoreEvent::Merge {
             winner: ObjectId(w),
             loser: ObjectId(l),

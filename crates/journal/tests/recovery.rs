@@ -42,7 +42,8 @@ fn scenario(st: &mut Store) {
     st.add_attr(smith, name, Value::from("A. Smith")).unwrap();
     st.add_source_to(ann, src);
     let paper = st.add_object(publication);
-    st.add_attr(paper, title, Value::from("On Journals")).unwrap();
+    st.add_attr(paper, title, Value::from("On Journals"))
+        .unwrap();
     st.add_triple(paper, authored, smith, src).unwrap();
     st.merge(ann, smith).unwrap();
 }
@@ -64,15 +65,33 @@ fn extra_event(st: &mut Store) {
 /// Every slot, triple, source and merge alias must coincide.
 fn assert_same_store(recovered: &Store, expected: &Store) {
     assert_eq!(recovered.slot_count(), expected.slot_count(), "slot count");
-    assert_eq!(recovered.object_count(), expected.object_count(), "live objects");
+    assert_eq!(
+        recovered.object_count(),
+        expected.object_count(),
+        "live objects"
+    );
     assert_eq!(recovered.triples_raw(), expected.triples_raw(), "triples");
     for i in 0..expected.slot_count() {
         let id = ObjectId(i as u64);
-        assert_eq!(recovered.object_raw(id), expected.object_raw(id), "slot {i}");
-        assert_eq!(recovered.resolve(id), expected.resolve(id), "alias of slot {i}");
+        assert_eq!(
+            recovered.object_raw(id),
+            expected.object_raw(id),
+            "slot {i}"
+        );
+        assert_eq!(
+            recovered.resolve(id),
+            expected.resolve(id),
+            "alias of slot {i}"
+        );
     }
-    let rs: Vec<_> = recovered.sources().map(|(id, info)| (id, info.clone())).collect();
-    let es: Vec<_> = expected.sources().map(|(id, info)| (id, info.clone())).collect();
+    let rs: Vec<_> = recovered
+        .sources()
+        .map(|(id, info)| (id, info.clone()))
+        .collect();
+    let es: Vec<_> = expected
+        .sources()
+        .map(|(id, info)| (id, info.clone()))
+        .collect();
     assert_eq!(rs, es, "sources");
 }
 
@@ -155,7 +174,10 @@ fn torn_tail_recovers_everything_before_the_tear() {
     let (reopened, report) = DurableStore::open(&dir, config()).unwrap();
     let damage = report.damage.expect("torn tail must be reported");
     assert_eq!(damage.kind, DamageKind::Torn);
-    assert_eq!(damage.offset, len_before, "damage at the last record's start");
+    assert_eq!(
+        damage.offset, len_before,
+        "damage at the last record's start"
+    );
     assert_same_store(reopened.store(), &expected_after_scenario());
     drop(reopened);
 
@@ -255,7 +277,10 @@ fn duplicated_segment_stops_replay_at_the_boundary() {
         })
         .collect();
     segments.sort();
-    assert!(segments.len() >= 2, "scenario should span multiple segments");
+    assert!(
+        segments.len() >= 2,
+        "scenario should span multiple segments"
+    );
 
     // Backup tooling gone wrong: the first segment reappears under the next
     // free index. Its start_seq does not continue the log.
@@ -291,8 +316,12 @@ fn compaction_folds_journal_and_state_survives() {
     assert!(report.removed_files >= 2, "old snapshot + segment removed");
     assert_eq!(durable.journal().epoch(), 1);
     // Old-epoch files are gone; the new snapshot exists.
-    assert!(!dir.join(semex_journal::segment::snapshot_file_name(0)).exists());
-    assert!(dir.join(semex_journal::segment::snapshot_file_name(1)).exists());
+    assert!(!dir
+        .join(semex_journal::segment::snapshot_file_name(0))
+        .exists());
+    assert!(dir
+        .join(semex_journal::segment::snapshot_file_name(1))
+        .exists());
 
     // Keep writing after compaction.
     extra_event(durable.store_mut());
@@ -303,7 +332,10 @@ fn compaction_folds_journal_and_state_survives() {
     let (reopened, report) = DurableStore::open(&dir, config()).unwrap();
     assert!(report.damage.is_none(), "{report:?}");
     assert_eq!(report.epoch, 1);
-    assert_eq!(report.events_applied, 1, "only the post-compaction event replays");
+    assert_eq!(
+        report.events_applied, 1,
+        "only the post-compaction event replays"
+    );
     assert_same_store(reopened.store(), &live);
     fs::remove_dir_all(&dir).ok();
 }
@@ -327,7 +359,10 @@ fn segment_rotation_produces_multiple_segments_and_replays_in_order() {
         durable.commit().unwrap();
     }
     let (count, _) = durable.journal().segment_usage();
-    assert!(count >= 2, "rotation should have produced several segments, got {count}");
+    assert!(
+        count >= 2,
+        "rotation should have produced several segments, got {count}"
+    );
     let live = durable.store().clone();
     drop(durable);
 

@@ -90,7 +90,11 @@ mod tests {
     fn string_attrs_indexed_by_default() {
         assert!(AttrDef::new("name", ValueKind::Str).indexed);
         assert!(!AttrDef::new("year", ValueKind::Int).indexed);
-        assert!(!AttrDef::new("messageId", ValueKind::Str).unindexed().indexed);
+        assert!(
+            !AttrDef::new("messageId", ValueKind::Str)
+                .unindexed()
+                .indexed
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::fmt;
 /// Ids are dense indices assigned at registration time and are stable for the
 /// lifetime of the model (classes are never removed, only added — the model
 /// is malleable by extension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct ClassId(pub u16);
 
 impl ClassId {

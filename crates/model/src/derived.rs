@@ -127,12 +127,7 @@ pub struct DerivedDef {
 
 impl DerivedDef {
     /// A new derived association.
-    pub fn new(
-        name: impl Into<String>,
-        domain: ClassId,
-        range: ClassId,
-        rule: PathExpr,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, domain: ClassId, range: ClassId, rule: PathExpr) -> Self {
         DerivedDef {
             name: name.into(),
             domain,
@@ -162,7 +157,10 @@ mod tests {
     #[test]
     fn union_collects_all_assocs() {
         let e = PathExpr::Union(vec![
-            PathExpr::path(vec![PathStep::Forward(AssocId(1)), PathStep::Inverse(AssocId(2))]),
+            PathExpr::path(vec![
+                PathStep::Forward(AssocId(1)),
+                PathStep::Inverse(AssocId(2)),
+            ]),
             PathExpr::path(vec![PathStep::Forward(AssocId(2))]),
         ]);
         assert_eq!(e.assocs(), vec![AssocId(1), AssocId(2)]);
@@ -177,9 +175,19 @@ mod tests {
 
     #[test]
     fn same_domain_range_defaults_irreflexive() {
-        let d = DerivedDef::new("CoAuthor", ClassId(0), ClassId(0), PathExpr::share_subject(AssocId(0)));
+        let d = DerivedDef::new(
+            "CoAuthor",
+            ClassId(0),
+            ClassId(0),
+            PathExpr::share_subject(AssocId(0)),
+        );
         assert!(d.irreflexive);
-        let d2 = DerivedDef::new("CitedAuthor", ClassId(1), ClassId(0), PathExpr::path(vec![]));
+        let d2 = DerivedDef::new(
+            "CitedAuthor",
+            ClassId(1),
+            ClassId(0),
+            PathExpr::path(vec![]),
+        );
         assert!(!d2.irreflexive);
     }
 }

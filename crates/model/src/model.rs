@@ -121,7 +121,8 @@ impl DomainModel {
                 return Err(ModelError::BadRule(def.name));
             }
         }
-        self.derived_by_name.insert(def.name.clone(), self.deriveds.len());
+        self.derived_by_name
+            .insert(def.name.clone(), self.deriveds.len());
         self.deriveds.push(def);
         Ok(())
     }
@@ -133,7 +134,8 @@ impl DomainModel {
 
     /// Look up a class by name, erroring when absent.
     pub fn class_req(&self, name: &str) -> Result<ClassId, ModelError> {
-        self.class(name).ok_or_else(|| ModelError::Unknown(name.to_owned()))
+        self.class(name)
+            .ok_or_else(|| ModelError::Unknown(name.to_owned()))
     }
 
     /// Look up an attribute by name.
@@ -143,7 +145,8 @@ impl DomainModel {
 
     /// Look up an attribute by name, erroring when absent.
     pub fn attr_req(&self, name: &str) -> Result<AttrId, ModelError> {
-        self.attr(name).ok_or_else(|| ModelError::Unknown(name.to_owned()))
+        self.attr(name)
+            .ok_or_else(|| ModelError::Unknown(name.to_owned()))
     }
 
     /// Look up an association by name.
@@ -153,7 +156,8 @@ impl DomainModel {
 
     /// Look up an association by name, erroring when absent.
     pub fn assoc_req(&self, name: &str) -> Result<AssocId, ModelError> {
-        self.assoc(name).ok_or_else(|| ModelError::Unknown(name.to_owned()))
+        self.assoc(name)
+            .ok_or_else(|| ModelError::Unknown(name.to_owned()))
     }
 
     /// The definition of a class.
@@ -178,17 +182,26 @@ impl DomainModel {
 
     /// All classes, in id order.
     pub fn classes(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
-        self.classes.iter().enumerate().map(|(i, d)| (ClassId(i as u16), d))
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u16), d))
     }
 
     /// All attributes, in id order.
     pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &AttrDef)> {
-        self.attrs.iter().enumerate().map(|(i, d)| (AttrId(i as u16), d))
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AttrId(i as u16), d))
     }
 
     /// All associations, in id order.
     pub fn assocs(&self) -> impl Iterator<Item = (AssocId, &AssocDef)> {
-        self.assocs.iter().enumerate().map(|(i, d)| (AssocId(i as u16), d))
+        self.assocs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AssocId(i as u16), d))
     }
 
     /// All derived associations.
@@ -217,23 +230,55 @@ impl DomainModel {
         let mut m = DomainModel::empty();
 
         // Attributes ----------------------------------------------------
-        let a_name = m.add_attr(AttrDef::new(attr::NAME, ValueKind::Str)).unwrap();
-        let a_first = m.add_attr(AttrDef::new(attr::FIRST_NAME, ValueKind::Str)).unwrap();
-        let a_last = m.add_attr(AttrDef::new(attr::LAST_NAME, ValueKind::Str)).unwrap();
-        let a_email = m.add_attr(AttrDef::new(attr::EMAIL, ValueKind::Str)).unwrap();
-        let a_phone = m.add_attr(AttrDef::new(attr::PHONE, ValueKind::Str).unindexed()).unwrap();
-        let a_title = m.add_attr(AttrDef::new(attr::TITLE, ValueKind::Str)).unwrap();
-        let a_subject = m.add_attr(AttrDef::new(attr::SUBJECT, ValueKind::Str)).unwrap();
-        let a_body = m.add_attr(AttrDef::new(attr::BODY, ValueKind::Str)).unwrap();
-        let a_date = m.add_attr(AttrDef::new(attr::DATE, ValueKind::Date)).unwrap();
-        let a_year = m.add_attr(AttrDef::new(attr::YEAR, ValueKind::Int)).unwrap();
-        let a_pages = m.add_attr(AttrDef::new(attr::PAGES, ValueKind::Str).unindexed()).unwrap();
-        let a_path = m.add_attr(AttrDef::new(attr::PATH, ValueKind::Str)).unwrap();
-        let a_ext = m.add_attr(AttrDef::new(attr::EXTENSION, ValueKind::Str).unindexed()).unwrap();
+        let a_name = m
+            .add_attr(AttrDef::new(attr::NAME, ValueKind::Str))
+            .unwrap();
+        let a_first = m
+            .add_attr(AttrDef::new(attr::FIRST_NAME, ValueKind::Str))
+            .unwrap();
+        let a_last = m
+            .add_attr(AttrDef::new(attr::LAST_NAME, ValueKind::Str))
+            .unwrap();
+        let a_email = m
+            .add_attr(AttrDef::new(attr::EMAIL, ValueKind::Str))
+            .unwrap();
+        let a_phone = m
+            .add_attr(AttrDef::new(attr::PHONE, ValueKind::Str).unindexed())
+            .unwrap();
+        let a_title = m
+            .add_attr(AttrDef::new(attr::TITLE, ValueKind::Str))
+            .unwrap();
+        let a_subject = m
+            .add_attr(AttrDef::new(attr::SUBJECT, ValueKind::Str))
+            .unwrap();
+        let a_body = m
+            .add_attr(AttrDef::new(attr::BODY, ValueKind::Str))
+            .unwrap();
+        let a_date = m
+            .add_attr(AttrDef::new(attr::DATE, ValueKind::Date))
+            .unwrap();
+        let a_year = m
+            .add_attr(AttrDef::new(attr::YEAR, ValueKind::Int))
+            .unwrap();
+        let a_pages = m
+            .add_attr(AttrDef::new(attr::PAGES, ValueKind::Str).unindexed())
+            .unwrap();
+        let a_path = m
+            .add_attr(AttrDef::new(attr::PATH, ValueKind::Str))
+            .unwrap();
+        let a_ext = m
+            .add_attr(AttrDef::new(attr::EXTENSION, ValueKind::Str).unindexed())
+            .unwrap();
         let a_url = m.add_attr(AttrDef::new(attr::URL, ValueKind::Str)).unwrap();
-        let a_mid = m.add_attr(AttrDef::new(attr::MESSAGE_ID, ValueKind::Str).unindexed()).unwrap();
-        let a_loc = m.add_attr(AttrDef::new(attr::LOCATION, ValueKind::Str)).unwrap();
-        let a_abbr = m.add_attr(AttrDef::new(attr::ABBREVIATION, ValueKind::Str)).unwrap();
+        let a_mid = m
+            .add_attr(AttrDef::new(attr::MESSAGE_ID, ValueKind::Str).unindexed())
+            .unwrap();
+        let a_loc = m
+            .add_attr(AttrDef::new(attr::LOCATION, ValueKind::Str))
+            .unwrap();
+        let a_abbr = m
+            .add_attr(AttrDef::new(attr::ABBREVIATION, ValueKind::Str))
+            .unwrap();
 
         // Classes -------------------------------------------------------
         let person = m
@@ -316,10 +361,20 @@ impl DomainModel {
             .add_assoc(AssocDef::new(assoc::SENDER, message, person, "SenderOf"))
             .unwrap();
         let recipient = m
-            .add_assoc(AssocDef::new(assoc::RECIPIENT, message, person, "RecipientOf"))
+            .add_assoc(AssocDef::new(
+                assoc::RECIPIENT,
+                message,
+                person,
+                "RecipientOf",
+            ))
             .unwrap();
         let _cc = m
-            .add_assoc(AssocDef::new(assoc::CC_RECIPIENT, message, person, "CcRecipientOf"))
+            .add_assoc(AssocDef::new(
+                assoc::CC_RECIPIENT,
+                message,
+                person,
+                "CcRecipientOf",
+            ))
             .unwrap();
         let _replied = m
             .add_assoc(
@@ -328,27 +383,56 @@ impl DomainModel {
             )
             .unwrap();
         let _attached = m
-            .add_assoc(AssocDef::new(assoc::ATTACHED_TO, file, message, "HasAttachment"))
+            .add_assoc(AssocDef::new(
+                assoc::ATTACHED_TO,
+                file,
+                message,
+                "HasAttachment",
+            ))
             .unwrap();
         let authored_by = m
-            .add_assoc(AssocDef::new(assoc::AUTHORED_BY, publication, person, "AuthorOf"))
+            .add_assoc(AssocDef::new(
+                assoc::AUTHORED_BY,
+                publication,
+                person,
+                "AuthorOf",
+            ))
             .unwrap();
         let _published_in = m
-            .add_assoc(AssocDef::new(assoc::PUBLISHED_IN, publication, venue, "Published"))
+            .add_assoc(AssocDef::new(
+                assoc::PUBLISHED_IN,
+                publication,
+                venue,
+                "Published",
+            ))
             .unwrap();
         let cites = m
-            .add_assoc(AssocDef::new(assoc::CITES, publication, publication, "CitedBy"))
+            .add_assoc(AssocDef::new(
+                assoc::CITES,
+                publication,
+                publication,
+                "CitedBy",
+            ))
             .unwrap();
         let works_for = m
-            .add_assoc(AssocDef::new(assoc::WORKS_FOR, person, organization, "Employs"))
+            .add_assoc(AssocDef::new(
+                assoc::WORKS_FOR,
+                person,
+                organization,
+                "Employs",
+            ))
             .unwrap();
         let _member_of = m
-            .add_assoc(AssocDef::new(assoc::MEMBER_OF, person, project, "HasMember"))
+            .add_assoc(AssocDef::new(
+                assoc::MEMBER_OF,
+                person,
+                project,
+                "HasMember",
+            ))
             .unwrap();
         let _in_folder = m
             .add_assoc(
-                AssocDef::new(assoc::IN_FOLDER, file, folder, "Contains")
-                    .without_recon_evidence(),
+                AssocDef::new(assoc::IN_FOLDER, file, folder, "Contains").without_recon_evidence(),
             )
             .unwrap();
         let _subfolder = m
@@ -358,7 +442,12 @@ impl DomainModel {
             )
             .unwrap();
         let _described_by = m
-            .add_assoc(AssocDef::new(assoc::DESCRIBED_BY, publication, file, "Describes"))
+            .add_assoc(AssocDef::new(
+                assoc::DESCRIBED_BY,
+                publication,
+                file,
+                "Describes",
+            ))
             .unwrap();
         let _mentions = m
             .add_assoc(AssocDef::new(assoc::MENTIONS, file, person, "MentionedIn"))
@@ -367,7 +456,12 @@ impl DomainModel {
             .add_assoc(AssocDef::new(assoc::ATTENDEE, event, person, "Attends"))
             .unwrap();
         let _organized_by = m
-            .add_assoc(AssocDef::new(assoc::ORGANIZED_BY, event, person, "Organizes"))
+            .add_assoc(AssocDef::new(
+                assoc::ORGANIZED_BY,
+                event,
+                person,
+                "Organizes",
+            ))
             .unwrap();
         let _links_to = m
             .add_assoc(
@@ -376,7 +470,12 @@ impl DomainModel {
             )
             .unwrap();
         let _page_mentions = m
-            .add_assoc(AssocDef::new(assoc::PAGE_MENTIONS, web_page, person, "MentionedOnPage"))
+            .add_assoc(AssocDef::new(
+                assoc::PAGE_MENTIONS,
+                web_page,
+                person,
+                "MentionedOnPage",
+            ))
             .unwrap();
 
         // Derived associations -------------------------------------------
@@ -392,8 +491,14 @@ impl DomainModel {
             person,
             person,
             PathExpr::Union(vec![
-                PathExpr::path(vec![PathStep::Inverse(sender), PathStep::Forward(recipient)]),
-                PathExpr::path(vec![PathStep::Inverse(recipient), PathStep::Forward(sender)]),
+                PathExpr::path(vec![
+                    PathStep::Inverse(sender),
+                    PathStep::Forward(recipient),
+                ]),
+                PathExpr::path(vec![
+                    PathStep::Inverse(recipient),
+                    PathStep::Forward(sender),
+                ]),
             ]),
         ))
         .unwrap();
@@ -401,14 +506,20 @@ impl DomainModel {
             derived::COLLEAGUE,
             person,
             person,
-            PathExpr::path(vec![PathStep::Forward(works_for), PathStep::Inverse(works_for)]),
+            PathExpr::path(vec![
+                PathStep::Forward(works_for),
+                PathStep::Inverse(works_for),
+            ]),
         ))
         .unwrap();
         m.add_derived(DerivedDef::new(
             derived::CITED_AUTHOR,
             publication,
             person,
-            PathExpr::path(vec![PathStep::Forward(cites), PathStep::Forward(authored_by)]),
+            PathExpr::path(vec![
+                PathStep::Forward(cites),
+                PathStep::Forward(authored_by),
+            ]),
         ))
         .unwrap();
         m.add_derived(DerivedDef::new(

@@ -140,7 +140,11 @@ pub fn visit_keys(e: &crate::RefEntry, mut visit: impl FnMut(&str, &str)) {
         for tok in token_spans(t) {
             // Lowercasing never changes a char's UTF-8 length except via
             // 1:N expansions, which both paths count identically.
-            let len: usize = tok.chars().flat_map(char::to_lowercase).map(char::len_utf8).sum();
+            let len: usize = tok
+                .chars()
+                .flat_map(char::to_lowercase)
+                .map(char::len_utf8)
+                .sum();
             if len > best_len {
                 (second, second_len) = (best, best_len);
                 (best, best_len) = (tok, len);
@@ -163,7 +167,10 @@ pub fn visit_keys(e: &crate::RefEntry, mut visit: impl FnMut(&str, &str)) {
     }
     // Venue-style: identity tokens + abbreviations + initialism.
     // Organizations and user-defined classes block on name tokens too.
-    if matches!(e.kind, RefKind::Venue | RefKind::Organization | RefKind::Other) {
+    if matches!(
+        e.kind,
+        RefKind::Venue | RefKind::Organization | RefKind::Other
+    ) {
         for n in &e.names {
             for_each_venue_token(n, |tok| visit("vt:", tok));
             lowered.clear();
@@ -286,7 +293,8 @@ mod tests {
         );
         let pairs = candidate_pairs(&t);
         let person_pair = pairs.iter().any(|(a, b)| {
-            !t.entries[*a as usize].names.is_empty() && !t.entries[*b as usize].names.is_empty()
+            !t.entries[*a as usize].names.is_empty()
+                && !t.entries[*b as usize].names.is_empty()
                 && t.entries[*a as usize].titles.is_empty()
                 && t.entries[*b as usize].titles.is_empty()
         });

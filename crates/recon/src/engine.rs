@@ -590,7 +590,9 @@ fn score_pairs(table: &RefTable, pairs: &[(u32, u32)], threads: usize) -> Vec<f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semex_extract::{bibtex::extract_bibtex, email::extract_mbox, vcard::extract_vcards, ExtractContext};
+    use semex_extract::{
+        bibtex::extract_bibtex, email::extract_mbox, vcard::extract_vcards, ExtractContext,
+    };
     use semex_model::names::{attr, class};
     use semex_store::{SourceInfo, SourceKind};
 
@@ -654,7 +656,11 @@ mod tests {
 
         let mut st2 = store_with(bib, "", "");
         let r = reconcile(&mut st2, Variant::Context, &ReconConfig::sequential());
-        assert_eq!(person_count(&st2), 2, "context must merge the Careys: {r:?}");
+        assert_eq!(
+            person_count(&st2),
+            2,
+            "context must merge the Careys: {r:?}"
+        );
     }
 
     #[test]
@@ -675,13 +681,20 @@ mod tests {
         let after_context = person_count(&ctx_store);
 
         let mut prop_store = store_with(bib, "", "");
-        let r = reconcile(&mut prop_store, Variant::Propagation, &ReconConfig::sequential());
+        let r = reconcile(
+            &mut prop_store,
+            Variant::Propagation,
+            &ReconConfig::sequential(),
+        );
         let after_prop = person_count(&prop_store);
         assert!(
             after_prop <= after_context,
             "propagation can only consolidate further ({after_prop} vs {after_context}); {r:?}"
         );
-        assert_eq!(after_prop, 3, "Carey, Halevy and Dong all consolidate: {r:?}");
+        assert_eq!(
+            after_prop, 3,
+            "Carey, Halevy and Dong all consolidate: {r:?}"
+        );
         assert!(after_context > 3, "context alone must not finish the chain");
     }
 
@@ -694,7 +707,8 @@ mod tests {
         // after 2 and 3 merge, enrichment gives the cluster the address.
         let mbox = "From: M. Carey <mcarey@ibm.com>\nTo: someone@x.edu\nSubject: s\n\nb";
         let vcf = "BEGIN:VCARD\nFN:Michael Carey\nEMAIL:mcarey@ibm.com\nEND:VCARD\n";
-        let bib = "@inproceedings{a, title={T1 alpha}, author={Michael Carey}, booktitle={V}, year=2001}";
+        let bib =
+            "@inproceedings{a, title={T1 alpha}, author={Michael Carey}, booktitle={V}, year=2001}";
         let mut st = store_with(bib, mbox, vcf);
         assert_eq!(person_count(&st), 4); // 3 Carey refs + someone@x.edu
         let r = reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
@@ -719,7 +733,8 @@ mod tests {
     #[test]
     fn merged_objects_pool_attributes_in_store() {
         let mbox = "From: Michael Carey <mcarey@ibm.com>\nTo: a@b.c\nSubject: s\n\nb";
-        let vcf = "BEGIN:VCARD\nFN:Michael J. Carey\nEMAIL:mcarey@ibm.com\nTEL:+1-555-1234\nEND:VCARD\n";
+        let vcf =
+            "BEGIN:VCARD\nFN:Michael J. Carey\nEMAIL:mcarey@ibm.com\nTEL:+1-555-1234\nEND:VCARD\n";
         let mut st = store_with("", mbox, vcf);
         reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
         let c_person = st.model().class(class::PERSON).unwrap();
@@ -729,7 +744,10 @@ mod tests {
             .find(|&p| st.object(p).strs(a_name).any(|n| n.contains("Carey")))
             .unwrap();
         let names: Vec<&str> = st.object(carey).strs(a_name).collect();
-        assert!(names.len() >= 2, "both spellings survive on the merged object: {names:?}");
+        assert!(
+            names.len() >= 2,
+            "both spellings survive on the merged object: {names:?}"
+        );
     }
 
     #[test]
@@ -783,7 +801,10 @@ mod tests {
                    @inproceedings{d, title={T4 eta theta}, author={Laura J. Bennett}, booktitle={V2}, year=2004}";
         let mut st = store_with(bib, "", "");
         let r = reconcile(&mut st, Variant::Full, &ReconConfig::sequential());
-        assert!(r.shards >= 2, "disjoint families shard independently: {r:?}");
+        assert!(
+            r.shards >= 2,
+            "disjoint families shard independently: {r:?}"
+        );
         let mut st2 = store_with(bib, "", "");
         let attr = reconcile(&mut st2, Variant::AttrOnly, &ReconConfig::sequential());
         assert_eq!(attr.shards, 0, "non-propagating variants do not shard");
@@ -827,7 +848,8 @@ mod tests {
 
     #[test]
     fn constraints_on_unknown_objects_are_ignored() {
-        let bib = "@inproceedings{a, title={T1 alpha}, author={Solo Author}, booktitle={V}, year=2001}";
+        let bib =
+            "@inproceedings{a, title={T1 alpha}, author={Solo Author}, booktitle={V}, year=2001}";
         let mut st = store_with(bib, "", "");
         let cfg = ReconConfig {
             must_link: vec![(semex_store::ObjectId(9999), semex_store::ObjectId(10000))],

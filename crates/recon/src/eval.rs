@@ -85,7 +85,11 @@ pub fn pair_metrics(clusters: &[Vec<ObjectId>], labels: &HashMap<ObjectId, u64>)
     let mut predicted_pairs = 0u64;
     let mut tp = 0u64;
     for cluster in clusters {
-        let labelled: Vec<u64> = cluster.iter().filter_map(|o| labels.get(o)).copied().collect();
+        let labelled: Vec<u64> = cluster
+            .iter()
+            .filter_map(|o| labels.get(o))
+            .copied()
+            .collect();
         predicted_pairs += pairs_of(labelled.len() as u64);
         let mut within: HashMap<u64, u64> = HashMap::new();
         for l in labelled {

@@ -130,7 +130,8 @@ impl RefTable {
                     ..Default::default()
                 };
                 let collect_strs = |attr: Option<AttrId>| -> Vec<String> {
-                    attr.map(|a| o.strs(a).map(str::to_owned).collect()).unwrap_or_default()
+                    attr.map(|a| o.strs(a).map(str::to_owned).collect())
+                        .unwrap_or_default()
                 };
                 e.names = collect_strs(a_name);
                 if kind == RefKind::Person {
@@ -156,8 +157,7 @@ impl RefTable {
         }
 
         // Evidence neighbours.
-        let reconcilable =
-            |c: ClassId| -> bool { model.class_def(c).reconcilable };
+        let reconcilable = |c: ClassId| -> bool { model.class_def(c).reconcilable };
         #[allow(clippy::needless_range_loop)] // entries is mutated at [i] below
         for i in 0..entries.len() {
             let obj = entries[i].obj;
@@ -274,7 +274,9 @@ fn push_evidence(
             for &m in store.neighbors(n, assoc2) {
                 if let Some(&mi) = index_of.get(&m) {
                     if mi != me {
-                        let v = channels.entry(hop_channel(via_assoc, assoc2.0)).or_default();
+                        let v = channels
+                            .entry(hop_channel(via_assoc, assoc2.0))
+                            .or_default();
                         if v.len() < max_fanout {
                             v.push(mi);
                         }

@@ -19,8 +19,18 @@ const SURNAMES: &[&str] = &[
     "Carey", "Halevy", "Dong", "Walker", "Fisher", "Madhavan", "Bennett", "Ives",
 ];
 const WORDS: &[&str] = &[
-    "semantic", "desktop", "search", "data", "integration", "reconciliation", "references",
-    "personal", "information", "management", "streaming", "joins",
+    "semantic",
+    "desktop",
+    "search",
+    "data",
+    "integration",
+    "reconciliation",
+    "references",
+    "personal",
+    "information",
+    "management",
+    "streaming",
+    "joins",
 ];
 const VENUES: &[&str] = &["SIGMOD", "VLDB", "CIDR", "WebDB"];
 
@@ -42,8 +52,7 @@ type MailSpec = ((usize, usize), (usize, usize), usize);
 fn render(pubs: &[PubSpec], mails: &[MailSpec]) -> (String, Vec<String>) {
     let mut bib = String::new();
     for (i, (authors, title, venue, year)) in pubs.iter().enumerate() {
-        let authors: Vec<String> =
-            authors.iter().map(|&(g, s, f)| author(g, s, f)).collect();
+        let authors: Vec<String> = authors.iter().map(|&(g, s, f)| author(g, s, f)).collect();
         let title: Vec<&str> = title.iter().map(|&w| WORDS[w % WORDS.len()]).collect();
         bib.push_str(&format!(
             "@inproceedings{{p{i}, title={{{}}}, author={{{}}}, booktitle={{{}}}, year={year}}}\n",
@@ -54,11 +63,7 @@ fn render(pubs: &[PubSpec], mails: &[MailSpec]) -> (String, Vec<String>) {
     }
     let mail = |&(g, s): &(usize, usize)| {
         let (g, s) = (GIVEN[g % GIVEN.len()], SURNAMES[s % SURNAMES.len()]);
-        format!(
-            "{g} {s} <{}.{}@x.edu>",
-            g.to_lowercase(),
-            s.to_lowercase()
-        )
+        format!("{g} {s} <{}.{}@x.edu>", g.to_lowercase(), s.to_lowercase())
     };
     let mails = mails
         .iter()

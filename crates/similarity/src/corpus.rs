@@ -23,10 +23,7 @@ impl CorpusStats {
     /// Register one document's tokens (counted once per document).
     pub fn add_doc<S: AsRef<str>>(&mut self, tokens: impl IntoIterator<Item = S>) {
         self.docs += 1;
-        let uniq: HashSet<String> = tokens
-            .into_iter()
-            .map(|t| t.as_ref().to_owned())
-            .collect();
+        let uniq: HashSet<String> = tokens.into_iter().map(|t| t.as_ref().to_owned()).collect();
         for t in uniq {
             *self.df.entry(t).or_insert(0) += 1;
         }

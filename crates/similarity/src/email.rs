@@ -28,7 +28,10 @@ impl EmailAddr {
             return None;
         }
         let local = local.to_lowercase();
-        let local = local.split_once('+').map(|(l, _)| l.to_owned()).unwrap_or(local);
+        let local = local
+            .split_once('+')
+            .map(|(l, _)| l.to_owned())
+            .unwrap_or(local);
         Some(EmailAddr {
             local,
             domain: domain.to_lowercase(),

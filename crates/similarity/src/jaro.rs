@@ -78,9 +78,18 @@ mod tests {
     fn classic_examples() {
         assert!(close(jaro("MARTHA", "MARHTA"), 0.944_444_444_444_444_4));
         assert!(close(jaro("DIXON", "DICKSONX"), 0.766_666_666_666_666_6));
-        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896_296_296_296_296_2));
-        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961_111_111_111_111_1));
-        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813_333_333_333_333_3));
+        assert!(close(
+            jaro("JELLYFISH", "SMELLYFISH"),
+            0.896_296_296_296_296_2
+        ));
+        assert!(close(
+            jaro_winkler("MARTHA", "MARHTA"),
+            0.961_111_111_111_111_1
+        ));
+        assert!(close(
+            jaro_winkler("DIXON", "DICKSONX"),
+            0.813_333_333_333_333_3
+        ));
     }
 
     #[test]

@@ -21,7 +21,17 @@ pub struct PersonName {
 
 /// Honorifics and suffixes dropped during parsing.
 const DROPPED: &[&str] = &[
-    "dr", "prof", "professor", "mr", "mrs", "ms", "jr", "sr", "ii", "iii", "phd",
+    "dr",
+    "prof",
+    "professor",
+    "mr",
+    "mrs",
+    "ms",
+    "jr",
+    "sr",
+    "ii",
+    "iii",
+    "phd",
 ];
 
 /// Common English nickname pairs used by first-name compatibility.
@@ -119,7 +129,10 @@ impl PersonName {
 
     /// True when the name is only initials (no token longer than one char).
     pub fn is_initials_only(&self) -> bool {
-        self.first.iter().chain(self.last.iter()).chain(self.middle.iter())
+        self.first
+            .iter()
+            .chain(self.last.iter())
+            .chain(self.middle.iter())
             .all(|t| t.chars().count() <= 1)
     }
 

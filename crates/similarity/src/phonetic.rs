@@ -76,7 +76,10 @@ mod tests {
         assert_eq!(soundex(""), None);
         assert_eq!(soundex("123"), None);
         assert_eq!(soundex("a").as_deref(), Some("A000"));
-        assert_eq!(soundex("  o'Neil  ").as_deref(), soundex("ONeil").as_deref());
+        assert_eq!(
+            soundex("  o'Neil  ").as_deref(),
+            soundex("ONeil").as_deref()
+        );
     }
 
     proptest! {

@@ -8,7 +8,8 @@ use std::collections::{HashMap, HashSet};
 /// allocating. [`tokenize`] is this plus an owned `String` per token; hot
 /// paths (blocking-key generation) borrow the spans directly.
 pub fn token_spans(s: &str) -> impl Iterator<Item = &str> {
-    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
 }
 
 /// Split a string into alphanumeric tokens (Unicode-aware), preserving case.
@@ -166,7 +167,10 @@ mod tests {
     #[test]
     fn tokenizer_splits_on_non_alphanumeric() {
         assert_eq!(tokenize("Hello, world!"), vec!["Hello", "world"]);
-        assert_eq!(tokenize_lower("Re: [PIM] v2.0"), vec!["re", "pim", "v2", "0"]);
+        assert_eq!(
+            tokenize_lower("Re: [PIM] v2.0"),
+            vec!["re", "pim", "v2", "0"]
+        );
         assert!(tokenize("   ").is_empty());
         assert_eq!(tokenize("a"), vec!["a"]);
     }

@@ -4,8 +4,24 @@ use crate::{jaro_winkler, lowercase_into, token_spans, tokenize_lower};
 
 /// Boilerplate words that carry no venue identity.
 const BOILERPLATE: &[&str] = &[
-    "proceedings", "proc", "of", "the", "on", "in", "international", "intl", "conference",
-    "conf", "workshop", "symposium", "symp", "annual", "acm", "ieee", "journal", "trans",
+    "proceedings",
+    "proc",
+    "of",
+    "the",
+    "on",
+    "in",
+    "international",
+    "intl",
+    "conference",
+    "conf",
+    "workshop",
+    "symposium",
+    "symp",
+    "annual",
+    "acm",
+    "ieee",
+    "journal",
+    "trans",
     "transactions",
 ];
 
@@ -52,7 +68,11 @@ fn is_ordinal(t: &str) -> bool {
 /// (conference abbreviations usually keep the "International Conference on"
 /// letters: ICMD), or a prefix of a single dominant token.
 pub fn is_abbreviation(abbr: &str, full: &str) -> bool {
-    let a: String = abbr.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+    let a: String = abbr
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect::<String>()
+        .to_lowercase();
     if a.len() < 2 {
         return false;
     }
@@ -106,7 +126,11 @@ pub fn venue_similarity(a: &str, b: &str) -> f64 {
     let dir = |xs: &[String], ys: &[String]| -> f64 {
         let sum: f64 = xs
             .iter()
-            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0_f64, f64::max))
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaro_winkler(x, y))
+                    .fold(0.0_f64, f64::max)
+            })
             .sum();
         sum / xs.len() as f64
     };

@@ -11,6 +11,12 @@
 //! reproduces the mutations exactly ([`Store::apply_event`]): object ids are
 //! dense indices handed out in creation order, so the ids allocated during
 //! replay coincide with the recorded ones.
+//!
+//! The stream has two consumers today: the journal persists drained batches
+//! verbatim, and the search index folds them into itself via
+//! [`StoreEvent::retokenizes`] / [`StoreEvent::tombstones`]. A single
+//! [`Store::take_events`] call must therefore hand its batch to *every*
+//! interested consumer — the facade drains once and fans out.
 
 use crate::{ObjectId, SourceId, SourceInfo, Store, StoreError};
 use semex_model::{AssocId, AttrId, ClassId, DomainModel, Value};
@@ -92,6 +98,34 @@ impl StoreEvent {
             StoreEvent::AddTriple { .. } => "add_triple",
             StoreEvent::Merge { .. } => "merge",
             StoreEvent::SyncModel { .. } => "sync_model",
+        }
+    }
+
+    /// The object (pre-resolution id) whose indexed text this event may
+    /// change, if any: a new indexed string attribute value, or a merge
+    /// winner whose document now pools the loser's surface forms. An
+    /// incremental indexer re-tokenizes these objects (after resolving
+    /// against the post-mutation store).
+    pub fn retokenizes(&self, model: &DomainModel) -> Option<ObjectId> {
+        match self {
+            StoreEvent::AddAttr {
+                object,
+                attr,
+                value,
+            } if model.attr_def(*attr).indexed && value.as_str().is_some() => Some(*object),
+            StoreEvent::Merge { winner, .. } => Some(*winner),
+            _ => None,
+        }
+    }
+
+    /// The object (pre-resolution id) this event removes from the live set,
+    /// if any: a merge's loser stops being an independent document. Note
+    /// the id is the *original* merge argument — consumers tracking the
+    /// post-mutation store must also drop any aliases on its chain.
+    pub fn tombstones(&self) -> Option<ObjectId> {
+        match self {
+            StoreEvent::Merge { loser, .. } => Some(*loser),
+            _ => None,
         }
     }
 }
@@ -298,6 +332,31 @@ mod tests {
         assert_eq!(st.pending_events(), 1);
         st.disable_events();
         assert_eq!(st.pending_events(), 0);
+    }
+
+    #[test]
+    fn index_relevance_helpers() {
+        let st = Store::with_builtin_model();
+        let model = st.model();
+        let name = model.attr(attr::NAME).unwrap();
+        let named = StoreEvent::AddAttr {
+            object: ObjectId(4),
+            attr: name,
+            value: Value::from("Ann"),
+        };
+        assert_eq!(named.retokenizes(model), Some(ObjectId(4)));
+        assert_eq!(named.tombstones(), None);
+        let merged = StoreEvent::Merge {
+            winner: ObjectId(1),
+            loser: ObjectId(2),
+        };
+        assert_eq!(merged.retokenizes(model), Some(ObjectId(1)));
+        assert_eq!(merged.tombstones(), Some(ObjectId(2)));
+        let created = StoreEvent::AddObject {
+            class: model.class(class::PERSON).unwrap(),
+        };
+        assert_eq!(created.retokenizes(model), None);
+        assert_eq!(created.tombstones(), None);
     }
 
     #[test]

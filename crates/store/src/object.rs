@@ -10,7 +10,9 @@ use std::fmt;
 /// Ids are dense indices; objects are never deleted, but a merged object
 /// becomes an *alias* of its winner (see [`crate::Store::merge`]) and
 /// [`crate::Store::resolve`] follows alias chains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct ObjectId(pub u64);
 
 impl ObjectId {
@@ -67,7 +69,10 @@ impl Object {
 
     /// All values of an attribute, in insertion order.
     pub fn values(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
-        self.attrs.iter().filter(move |(a, _)| *a == attr).map(|(_, v)| v)
+        self.attrs
+            .iter()
+            .filter(move |(a, _)| *a == attr)
+            .map(|(_, v)| v)
     }
 
     /// The first value of an attribute.

@@ -45,7 +45,10 @@ impl fmt::Display for SnapshotError {
                 write!(f, "snapshot I/O error on {}: {error}", path.display())
             }
             SnapshotError::Version { found, expected } => {
-                write!(f, "snapshot version {found} is not supported (expected {expected})")
+                write!(
+                    f,
+                    "snapshot version {found} is not supported (expected {expected})"
+                )
             }
         }
     }
@@ -114,7 +117,12 @@ impl Store {
             });
         }
         let snap: Snapshot = serde_json::from_str(json)?;
-        Ok(Store::from_parts(snap.model, snap.objects, snap.triples, snap.sources))
+        Ok(Store::from_parts(
+            snap.model,
+            snap.objects,
+            snap.triples,
+            snap.sources,
+        ))
     }
 
     /// Write a snapshot to a file.
@@ -130,8 +138,7 @@ impl Store {
 
     /// Load a snapshot from a file.
     pub fn load(path: &Path) -> Result<Store, SnapshotError> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| SnapshotError::io(path, e))?;
+        let json = std::fs::read_to_string(path).map_err(|e| SnapshotError::io(path, e))?;
         Store::from_json(&json)
     }
 }
@@ -194,7 +201,10 @@ mod tests {
         let st = Store::with_builtin_model();
         let future = st.to_json().replacen("\"version\":1", "\"version\":2", 1);
         match Store::from_json(&future) {
-            Err(crate::SnapshotError::Version { found: 2, expected: 1 }) => {}
+            Err(crate::SnapshotError::Version {
+                found: 2,
+                expected: 1,
+            }) => {}
             other => panic!("expected version error, got {other:?}"),
         }
     }
@@ -204,7 +214,10 @@ mod tests {
         let missing = std::path::Path::new("/nonexistent/semex/store.json");
         match Store::load(missing) {
             Err(e @ crate::SnapshotError::Io { .. }) => {
-                assert!(e.to_string().contains("/nonexistent/semex/store.json"), "{e}");
+                assert!(
+                    e.to_string().contains("/nonexistent/semex/store.json"),
+                    "{e}"
+                );
             }
             other => panic!("expected io error, got {other:?}"),
         }

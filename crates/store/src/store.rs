@@ -30,7 +30,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownObject(o) => write!(f, "unknown object {o}"),
             StoreError::ClassMismatch { assoc, object } => {
-                write!(f, "object {object} has the wrong class for association {assoc}")
+                write!(
+                    f,
+                    "object {object} has the wrong class for association {assoc}"
+                )
             }
             StoreError::WrongValueKind(a) => write!(f, "wrong value kind for attribute {a}"),
             StoreError::SelfMerge(o) => write!(f, "cannot merge {o} with itself"),
@@ -191,7 +194,12 @@ impl Store {
 
     /// Add an attribute value (validated against the model's value kind).
     /// Returns true if the value was new.
-    pub fn add_attr(&mut self, id: ObjectId, attr: AttrId, value: Value) -> Result<bool, StoreError> {
+    pub fn add_attr(
+        &mut self,
+        id: ObjectId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<bool, StoreError> {
         if id.index() >= self.objects.len() {
             return Err(StoreError::UnknownObject(id));
         }
@@ -326,7 +334,10 @@ impl Store {
         let object = self.resolve(object);
         let def = self.model.assoc_def(assoc);
         if self.objects[subject.index()].class != def.domain {
-            return Err(StoreError::ClassMismatch { assoc, object: subject });
+            return Err(StoreError::ClassMismatch {
+                assoc,
+                object: subject,
+            });
         }
         if self.objects[object.index()].class != def.range {
             return Err(StoreError::ClassMismatch { assoc, object });
@@ -336,8 +347,12 @@ impl Store {
             return Ok(false);
         }
         fwd.push(object);
-        self.inverse[assoc.index()].entry(object).or_default().push(subject);
-        self.triples.push(Triple::new(subject, assoc, object, source));
+        self.inverse[assoc.index()]
+            .entry(object)
+            .or_default()
+            .push(subject);
+        self.triples
+            .push(Triple::new(subject, assoc, object, source));
         self.record(StoreEvent::AddTriple {
             subject: raw_subject,
             assoc,
@@ -388,7 +403,9 @@ impl Store {
 
     /// Total number of distinct live edges.
     pub fn edge_count(&self) -> usize {
-        (0..self.forward.len()).map(|i| self.assoc_count(AssocId(i as u16))).sum()
+        (0..self.forward.len())
+            .map(|i| self.assoc_count(AssocId(i as u16)))
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -505,7 +522,10 @@ impl Store {
             let fwd = new_store.forward[t.assoc.index()].entry(s).or_default();
             if !fwd.contains(&o) {
                 fwd.push(o);
-                new_store.inverse[t.assoc.index()].entry(o).or_default().push(s);
+                new_store.inverse[t.assoc.index()]
+                    .entry(o)
+                    .or_default()
+                    .push(s);
                 new_store.triples.push(Triple::new(s, t.assoc, o, t.source));
             }
         }
@@ -710,7 +730,10 @@ mod tests {
         // Extend the model while the store is live.
         let a_nick = st
             .model_mut()
-            .add_attr(semex_model::AttrDef::new("nickname", semex_model::ValueKind::Str))
+            .add_attr(semex_model::AttrDef::new(
+                "nickname",
+                semex_model::ValueKind::Str,
+            ))
             .unwrap();
         let badge = st
             .model_mut()

@@ -13,7 +13,11 @@ fn build_store(
     people: usize,
     pubs: usize,
     edges: &[(usize, usize)],
-) -> (Store, Vec<semex_store::ObjectId>, Vec<semex_store::ObjectId>) {
+) -> (
+    Store,
+    Vec<semex_store::ObjectId>,
+    Vec<semex_store::ObjectId>,
+) {
     let mut st = Store::with_builtin_model();
     let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
     let c_person = st.model().class(class::PERSON).unwrap();

@@ -71,7 +71,11 @@ fn main() {
     // Top correspondents: messages where the person is sender or recipient.
     let mut traffic: HashMap<_, usize> = HashMap::new();
     for m in store.objects_of_class(c_message) {
-        for &p in store.neighbors(m, sender).iter().chain(store.neighbors(m, recipient)) {
+        for &p in store
+            .neighbors(m, sender)
+            .iter()
+            .chain(store.neighbors(m, recipient))
+        {
             *traffic.entry(p).or_insert(0) += 1;
         }
     }

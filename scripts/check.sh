@@ -14,6 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> index equivalence suite (parallel/incremental/pruned vs oracle)"
+cargo test -q -p semex-index --test index_equiv_prop
+cargo test -q -p semex-index --lib search::tests
+
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

@@ -10,7 +10,9 @@
 //! identical at any setting).
 //! semex journal-compact <space.journal>  fold a journal into a fresh snapshot
 //! semex stats <space.json>               show the association-DB inventory
-//! semex search <space.json> <query...>   object-centric keyword search
+//! semex search <space.json> [--exhaustive] <query...>   object-centric keyword
+//!                                        search (--exhaustive bypasses the
+//!                                        pruned top-k evaluator)
 //! semex show <space.json> <query...>     full view of the top hit (attrs, links, sources)
 //! semex explain <space.json> <query...>  provenance of every fact about the top hit
 //! semex coauthors <space.json> <name...> derived-association browse
@@ -35,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
+        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
     );
     ExitCode::from(2)
 }
@@ -155,7 +157,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         return Err("build requires -o <snapshot.json | journal-dir>".into());
     };
     let durable = rest.iter().any(|a| a.as_str() == "--durable");
-    let rest: Vec<&String> = rest.into_iter().filter(|a| a.as_str() != "--durable").collect();
+    let rest: Vec<&String> = rest
+        .into_iter()
+        .filter(|a| a.as_str() != "--durable")
+        .collect();
     let (rest, config) = recon_threads_flag(rest)?;
     let [dir] = rest.as_slice() else {
         return Err("build requires exactly one directory".into());
@@ -255,7 +260,10 @@ fn print_build(semex: &Semex) {
             r.refs, r.merges, r.elapsed
         );
     }
-    println!("indexed {} objects in {:.1?}", report.indexed, report.elapsed);
+    println!(
+        "indexed {} objects in {:.1?}",
+        report.indexed, report.elapsed
+    );
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -278,14 +286,30 @@ fn cmd_query(args: &[String], mode: QueryMode) -> Result<(), String> {
     let [path, query @ ..] = args else {
         return Err("missing snapshot path".into());
     };
+    // `search --exhaustive` runs the reference scorer instead of the pruned
+    // top-k evaluator (results are identical; the flag exists for
+    // verification and timing comparisons).
+    let exhaustive = query.iter().any(|a| a.as_str() == "--exhaustive");
+    let query: Vec<&String> = query
+        .iter()
+        .filter(|a| a.as_str() != "--exhaustive")
+        .collect();
     if query.is_empty() {
         return Err("missing query".into());
     }
     let semex = load(path)?;
-    let query = query.join(" ");
+    let query = query
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
     match mode {
         QueryMode::Search => {
-            let hits = semex.search(&query, 10);
+            let hits = if exhaustive {
+                semex.search_exhaustive(&query, 10)
+            } else {
+                semex.search(&query, 10)
+            };
             if hits.is_empty() {
                 println!("no results");
             }
@@ -305,8 +329,7 @@ fn cmd_query(args: &[String], mode: QueryMode) -> Result<(), String> {
             }
         }
         QueryMode::CoAuthors => {
-            let hit =
-                top_hit(&semex, &format!("class:Person {query}")).ok_or("no such person")?;
+            let hit = top_hit(&semex, &format!("class:Person {query}")).ok_or("no such person")?;
             println!("co-authors of {}:", hit.label);
             let coauthors = semex
                 .browser()
@@ -332,8 +355,8 @@ fn cmd_pattern_query(args: &[String]) -> Result<(), String> {
     }
     let semex = load(path)?;
     let text = rest.join(" ");
-    let solutions = semex::browse::pattern::query_str(semex.store(), &text)
-        .map_err(|e| e.to_string())?;
+    let solutions =
+        semex::browse::pattern::query_str(semex.store(), &text).map_err(|e| e.to_string())?;
     println!("{} solution(s)", solutions.len());
     for b in solutions.iter().take(50) {
         let mut items: Vec<(&String, _)> = b.iter().collect();
@@ -440,8 +463,8 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
         return Err("timeline requires a person query".into());
     }
     let semex = load(path)?;
-    let hit = top_hit(&semex, &format!("class:Person {}", rest.join(" ")))
-        .ok_or("no such person")?;
+    let hit =
+        top_hit(&semex, &format!("class:Person {}", rest.join(" "))).ok_or("no such person")?;
     println!("activity of {}:", hit.label);
     let tl = semex::browse::analyze::timeline(semex.store(), hit.object);
     if tl.is_empty() {

@@ -39,7 +39,10 @@ fn cli_full_session() {
     // search
     let (ok, out) = run(&["search", &snap_str, "class:Person", "michael"]);
     assert!(ok, "{out}");
-    assert!(out.contains("[Person]") || out.contains("no results"), "{out}");
+    assert!(
+        out.contains("[Person]") || out.contains("no results"),
+        "{out}"
+    );
 
     // show + explain on whatever search surfaces.
     let (ok, out) = run(&["show", &snap_str, "class:Publication", "adaptive"]);
@@ -109,7 +112,14 @@ fn cli_durable_session() {
 
     // demo --durable: build into a journal directory instead of a snapshot.
     let (ok, out) = run(&[
-        "demo", "--durable", "-o", &dir_str, "--seed", "47", "--scale", "0.12",
+        "demo",
+        "--durable",
+        "-o",
+        &dir_str,
+        "--seed",
+        "47",
+        "--scale",
+        "0.12",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("journal initialized"), "{out}");
@@ -128,7 +138,10 @@ fn cli_durable_session() {
     assert!(out.contains("Person"), "{out}");
     let (ok, out) = run(&["search", &dir_str, "class:Publication", "adaptive"]);
     assert!(ok, "{out}");
-    assert!(out.contains("[Publication]") || out.contains("no results"), "{out}");
+    assert!(
+        out.contains("[Publication]") || out.contains("no results"),
+        "{out}"
+    );
 
     // journal-compact folds the log into the next epoch.
     let (ok, out) = run(&["journal-compact", &dir_str]);

@@ -7,7 +7,8 @@ use std::path::PathBuf;
 
 const BIB: &str = "@inproceedings{d5, title={Reference Reconciliation in Complex Spaces}, author={Dong, Xin and Halevy, Alon}, booktitle={SIGMOD}, year=2005}\n@inproceedings{p2, title={Personal Information Management with SEMEX}, author={Cai, Yuhan and Dong, Xin and Halevy, Alon and Liu, Jing and Madhavan, Jayant}, booktitle={SIGMOD}, year=2005}";
 const MBOX: &str = "From: Xin Dong <luna@cs.example.edu>\nTo: Alon Halevy <alon@cs.example.edu>\nSubject: demo plan for the sigmod session\nMessage-ID: <m1@x>\n\nSee you Friday.\n";
-const VCF: &str = "BEGIN:VCARD\nFN:Xin Dong\nEMAIL:luna@cs.example.edu\nORG:Evergreen University\nEND:VCARD\n";
+const VCF: &str =
+    "BEGIN:VCARD\nFN:Xin Dong\nEMAIL:luna@cs.example.edu\nORG:Evergreen University\nEND:VCARD\n";
 
 fn built() -> Semex {
     SemexBuilder::new()
@@ -37,7 +38,11 @@ fn results(semex: &Semex, query: &str) -> Vec<(String, String)> {
 
 /// Sorted outgoing/incoming link renderings of a query's top hit.
 fn browse_links(semex: &Semex, query: &str) -> Vec<String> {
-    let hit = semex.search(query, 1).into_iter().next().expect("a top hit");
+    let hit = semex
+        .search(query, 1)
+        .into_iter()
+        .next()
+        .expect("a top hit");
     let mut links: Vec<String> = semex
         .view(hit.object)
         .links
@@ -56,8 +61,15 @@ fn save_compacted_then_load_answers_queries_identically() {
     let restored = Semex::load(&path, SemexConfig::default()).unwrap();
 
     assert!(restored.report().restored);
-    assert_eq!(restored.store().object_count(), semex.store().object_count());
-    assert_eq!(restored.store().alias_count(), 0, "compaction drops alias slots");
+    assert_eq!(
+        restored.store().object_count(),
+        semex.store().object_count()
+    );
+    assert_eq!(
+        restored.store().alias_count(),
+        0,
+        "compaction drops alias slots"
+    );
 
     for query in [
         "reconciliation",
@@ -68,7 +80,11 @@ fn save_compacted_then_load_answers_queries_identically() {
         "class:Message demo",
         "evergreen",
     ] {
-        assert_eq!(results(&restored, query), results(&semex, query), "query {query:?}");
+        assert_eq!(
+            results(&restored, query),
+            results(&semex, query),
+            "query {query:?}"
+        );
     }
     for query in ["class:Person dong", "class:Publication reconciliation"] {
         assert_eq!(
@@ -137,7 +153,10 @@ fn open_durable_recovers_committed_work_and_drops_uncommitted() {
         Semex::open_durable_with(&dir, SemexConfig::default(), cfg.clone()).unwrap();
     assert!(!report.initialized);
     assert!(report.damage.is_none(), "{report:?}");
-    assert_eq!(results(&reopened, "class:Publication reconciliation"), committed_results);
+    assert_eq!(
+        results(&reopened, "class:Publication reconciliation"),
+        committed_results
+    );
     assert!(
         results(&reopened, "class:Message demo").is_empty(),
         "uncommitted ingest must not survive the crash"

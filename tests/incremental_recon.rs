@@ -32,10 +32,18 @@ fn incremental_matches_full_for_new_references() {
         new_objects.push(o);
     }
     let before = store.class_count(c_person);
-    let report =
-        reconcile_incremental(&mut store, &new_objects, Variant::Full, &ReconConfig::default());
+    let report = reconcile_incremental(
+        &mut store,
+        &new_objects,
+        Variant::Full,
+        &ReconConfig::default(),
+    );
     let after = store.class_count(c_person);
-    assert_eq!(after, before - 3, "all three merge into existing objects: {report:?}");
+    assert_eq!(
+        after,
+        before - 3,
+        "all three merge into existing objects: {report:?}"
+    );
     for o in &new_objects {
         assert_ne!(store.resolve(*o), *o, "new reference became an alias");
     }
@@ -52,7 +60,11 @@ fn incremental_is_much_cheaper_than_full() {
     let a_name = store.model().attr("name").unwrap();
     let o = store.add_object(c_person);
     store
-        .add_attr(o, a_name, corpus.world.people[0].canonical_name().as_str().into())
+        .add_attr(
+            o,
+            a_name,
+            corpus.world.people[0].canonical_name().as_str().into(),
+        )
         .unwrap();
     let inc = reconcile_incremental(&mut store, &[o], Variant::Full, &ReconConfig::default());
 

@@ -63,7 +63,14 @@ fn publications_import_by_title() {
     let matcher = SchemaMatcher::new(&store);
     let mapping = matcher.match_table(&table).expect("mapping");
     assert_eq!(store.model().class_def(mapping.class).name, "Publication");
-    let report = import(&mut store, "reading", &table, &mapping, &ReconConfig::default()).unwrap();
+    let report = import(
+        &mut store,
+        "reading",
+        &table,
+        &mapping,
+        &ReconConfig::default(),
+    )
+    .unwrap();
     assert_eq!(report.merged_into_existing, 10, "{report:?}");
     let pubs_after = store.class_count(store.model().class("Publication").unwrap());
     assert_eq!(pubs_after, pubs_before);
@@ -80,16 +87,21 @@ fn import_provenance_is_tracked() {
     let table = parse_csv(&csv).unwrap();
     let matcher = SchemaMatcher::new(&store);
     let mapping = matcher.match_table(&table).unwrap();
-    let report = import(&mut store, "one-row", &table, &mapping, &ReconConfig::default()).unwrap();
+    let report = import(
+        &mut store,
+        "one-row",
+        &table,
+        &mapping,
+        &ReconConfig::default(),
+    )
+    .unwrap();
 
     // The merged person's object carries the import source alongside its
     // original extraction source.
     let c_person = store.model().class("Person").unwrap();
     let merged = store
         .objects_of_class(c_person)
-        .find(|&p| {
-            store.object(p).sources.contains(&report.source)
-        })
+        .find(|&p| store.object(p).sources.contains(&report.source))
         .expect("an object carries the import's provenance");
     assert!(
         store.object(merged).sources.len() >= 2,

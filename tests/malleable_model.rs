@@ -52,9 +52,11 @@ fn custom_class_reconciles_and_browses() {
     // Two references to the same dataset under slightly different names,
     // plus an unrelated one.
     let d1 = st.add_object(dataset);
-    st.add_attr(d1, a_name, "Cora Citation Benchmark".into()).unwrap();
+    st.add_attr(d1, a_name, "Cora Citation Benchmark".into())
+        .unwrap();
     let d2 = st.add_object(dataset);
-    st.add_attr(d2, a_name, "Cora citation benchmrak".into()).unwrap();
+    st.add_attr(d2, a_name, "Cora citation benchmrak".into())
+        .unwrap();
     let d3 = st.add_object(dataset);
     st.add_attr(d3, a_name, "Reuters Newswire".into()).unwrap();
 

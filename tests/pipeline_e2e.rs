@@ -79,12 +79,19 @@ fn snapshot_survives_full_pipeline() {
     let path = dir.join("semex-snapshot.json");
     semex.save(&path).unwrap();
     let restored = Semex::load(&path, SemexConfig::default()).unwrap();
-    assert_eq!(restored.store().object_count(), semex.store().object_count());
+    assert_eq!(
+        restored.store().object_count(),
+        semex.store().object_count()
+    );
     assert_eq!(restored.store().edge_count(), semex.store().edge_count());
     // Search results agree object-for-object.
     let q = "class:Publication adaptive";
     let a: Vec<_> = semex.search(q, 10).into_iter().map(|h| h.object).collect();
-    let b: Vec<_> = restored.search(q, 10).into_iter().map(|h| h.object).collect();
+    let b: Vec<_> = restored
+        .search(q, 10)
+        .into_iter()
+        .map(|h| h.object)
+        .collect();
     assert_eq!(a, b);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -31,7 +31,10 @@ fn assert_equivalent_at_scale(scale: f64) {
             },
         );
         assert_eq!(seq.merges, par.merges, "{variant}: merges diverged");
-        assert_eq!(seq.iterations, par.iterations, "{variant}: per-shard work diverged");
+        assert_eq!(
+            seq.iterations, par.iterations,
+            "{variant}: per-shard work diverged"
+        );
         assert_eq!(seq.shards, par.shards, "{variant}: partition diverged");
         assert_eq!(seq.clusters, par.clusters, "{variant}: clusters diverged");
         assert_eq!(

@@ -18,7 +18,11 @@ fn run_variant(cfg: &CorpusConfig, variant: Variant) -> (Metrics, usize, usize) 
     let refs_before = store.object_count();
     let report = reconcile(&mut store, variant, &ReconConfig::default());
     let refs_after = store.object_count();
-    (pair_metrics(&report.clusters, &labels), refs_before, refs_after)
+    (
+        pair_metrics(&report.clusters, &labels),
+        refs_before,
+        refs_after,
+    )
 }
 
 fn corpus_cfg() -> CorpusConfig {
@@ -58,7 +62,10 @@ fn variant_ladder_improves_f1() {
     // …while recall climbs along the ladder (allowing tiny wobble).
     let recalls: Vec<f64> = results.iter().map(|(_, m)| m.recall).collect();
     for w in recalls.windows(2) {
-        assert!(w[1] >= w[0] - 0.02, "recall regressed along the ladder: {recalls:?}");
+        assert!(
+            w[1] >= w[0] - 0.02,
+            "recall regressed along the ladder: {recalls:?}"
+        );
     }
     // The evidence-using variants clearly beat the attribute-only
     // baseline, and the full algorithm keeps (nearly all of) that gain.
