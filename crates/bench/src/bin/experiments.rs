@@ -63,6 +63,9 @@ fn main() {
     if want("e11") {
         e11_search_perf();
     }
+    if want("e12") {
+        e12_fault_injection();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -824,6 +827,276 @@ fn e11_search_perf() {
         println!(
             "wrote BENCH_search.json (pruned p50 {:.1} us vs exhaustive {:.1} us; update {:.1} us vs rebuild {:.1} ms)\n",
             p50_pruned, p50_ex, incremental_us, rebuild_ms
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// E12: fault-injected durability. Re-runs a commit/compact workload with
+// a fault injected at every journal I/O operation (crash and transient
+// families), verifies every recovery lands on a commit boundary, and
+// exercises the facade's degraded read-only mode under a full disk.
+// ---------------------------------------------------------------------
+fn e12_fault_injection() {
+    use semex_journal::{recover_with_io, FaultIo, FaultPlan, JournalConfig, JournalIo};
+    use semex_store::{SourceInfo, SourceKind, StoreEvent};
+    use std::sync::Arc;
+
+    println!("## E12 — fault-injected durability: failure-point sweep & degraded mode\n");
+
+    fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("semex-e12-{tag}-{}-{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+    fn jcfg() -> JournalConfig {
+        JournalConfig {
+            fsync: true,
+            retry_backoff: std::time::Duration::ZERO,
+            ..JournalConfig::default()
+        }
+    }
+    // The scripted workload's event batches, recorded once from a live
+    // store so every swept run replays the identical mutation stream.
+    fn batches() -> [Vec<StoreEvent>; 2] {
+        let mut st = Store::with_builtin_model();
+        st.enable_events();
+        let person = st.model().class(class::PERSON).unwrap();
+        let name = st.model().attr(attr::NAME).unwrap();
+        let email = st.model().attr(attr::EMAIL).unwrap();
+        st.register_source(SourceInfo::new("inbox", SourceKind::Synthetic));
+        let ann = st.add_object(person);
+        st.add_attr(ann, name, Value::from("Ann Smith")).unwrap();
+        let b1 = st.take_events();
+        let bo = st.add_object(person);
+        st.add_attr(bo, name, Value::from("Bo Chen")).unwrap();
+        st.add_attr(ann, email, Value::from("ann@example.org"))
+            .unwrap();
+        let b2 = st.take_events();
+        [b1, b2]
+    }
+    // Snapshot JSON after 0, 1, 2 acked batches: the only states recovery
+    // is ever allowed to surface.
+    fn boundaries() -> [String; 3] {
+        let mut st = Store::with_builtin_model();
+        let mut states = vec![st.to_json()];
+        for batch in &batches() {
+            for e in batch {
+                st.apply_event(e).unwrap();
+            }
+            states.push(st.to_json());
+        }
+        states.try_into().unwrap()
+    }
+    struct Run {
+        acked: usize,
+        attempted: usize,
+        retries: u64,
+        converged: bool,
+    }
+    // open → commit → compact → commit; stops at the first failure the way
+    // an application would.
+    fn run_workload(dir: &std::path::Path, io: Arc<dyn JournalIo>, reference: &str) -> Run {
+        let b = batches();
+        let mut run = Run {
+            acked: 0,
+            attempted: 0,
+            retries: 0,
+            converged: false,
+        };
+        // Recovery has no internal retry; re-run it once on a transient
+        // error, the way an application supervisor would.
+        let recover_step = |io: Arc<dyn JournalIo>| match recover_with_io(dir, jcfg(), io.clone()) {
+            Ok(v) => Some(v),
+            Err(e) if e.is_transient() => recover_with_io(dir, jcfg(), io).ok(),
+            Err(_) => None,
+        };
+        let Some((_, mut j, _)) = recover_step(io.clone()) else {
+            return run;
+        };
+        let mut mirror = Store::with_builtin_model();
+        for (i, events) in b.iter().enumerate() {
+            run.attempted = i + 1;
+            if j.append_commit(events).is_err() {
+                break;
+            }
+            run.acked = i + 1;
+            for e in events {
+                mirror.apply_event(e).unwrap();
+            }
+            if i == 0 {
+                let _ = j.compact(&mirror);
+            }
+        }
+        run.retries = j.retry_count();
+        drop(j);
+        if let Some((store, _, _)) = recover_step(io) {
+            run.converged = store.to_json() == reference;
+        }
+        run
+    }
+
+    // Fault-free pass: count the workload's I/O operations and compute
+    // the reference final state.
+    let bounds = boundaries();
+    let reference = bounds[2].clone();
+    let dir = scratch("ref", 0);
+    let io = FaultIo::new(FaultPlan::None);
+    let free = run_workload(&dir, Arc::new(io.clone()), &reference);
+    assert!(free.converged, "fault-free workload must converge");
+    let total_ops = io.op_count();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Crash sweep: power fails at op N (torn write, then everything
+    // down); after restart, recovery must land on a commit boundary no
+    // earlier than the last acked batch.
+    let t0 = Instant::now();
+    let mut crash_verified = 0u64;
+    for at in 0..total_ops {
+        let dir = scratch("crash", at);
+        let io = FaultIo::new(FaultPlan::Crash { at });
+        let run = run_workload(&dir, Arc::new(io.clone()), &reference);
+        io.clear_faults();
+        let (store, _, _) = recover_with_io(&dir, jcfg(), Arc::new(io))
+            .unwrap_or_else(|e| panic!("crash at op {at}: recovery failed: {e}"));
+        let recovered = store.to_json();
+        let allowed = &bounds[run.acked..=run.attempted.max(run.acked)];
+        assert!(
+            allowed.iter().any(|s| *s == recovered),
+            "crash at op {at}: recovered state is not an acked commit boundary"
+        );
+        crash_verified += 1;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let crash_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Transient sweep: EINTR at op N; the journal's bounded retry must
+    // absorb it and the workload must converge to the reference state.
+    let t0 = Instant::now();
+    let mut retries_absorbed = 0u64;
+    let mut transient_converged = 0u64;
+    for at in 0..total_ops {
+        let dir = scratch("eintr", at);
+        let io = FaultIo::new(FaultPlan::ErrorOnce {
+            at,
+            kind: std::io::ErrorKind::Interrupted,
+        });
+        let run = run_workload(&dir, Arc::new(io.clone()), &reference);
+        retries_absorbed += run.retries;
+        if run.converged {
+            transient_converged += 1;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let transient_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Degraded read-only mode: the disk fills mid-commit, the platform
+    // degrades (reads served, writes rejected), space frees, and
+    // try_recover_journal flushes the backlog exactly once.
+    let t0 = Instant::now();
+    let cycles = 3u64;
+    let mut degraded_transitions = 0u64;
+    let mut degraded_recoveries = 0u64;
+    let mut events_flushed = 0u64;
+    let dir = scratch("degraded", 0);
+    let io = FaultIo::new(FaultPlan::None);
+    let (mut durable, _) = semex_core::Semex::open_durable_io(
+        &dir,
+        semex_core::SemexConfig::default(),
+        jcfg(),
+        Arc::new(io.clone()),
+    )
+    .expect("open durable platform");
+    for cycle in 0..cycles {
+        durable
+            .ingest(semex_core::SourceSpec::Mbox {
+                name: format!("inbox-{cycle}"),
+                content: format!(
+                    "From: Sender {cycle} <s{cycle}@example.org>\nSubject: update {cycle}\n\nbody"
+                ),
+            })
+            .expect("ingest while healthy");
+        let backlog = durable.pending_events() as u64;
+        io.set_plan(FaultPlan::DiskFull { at: io.op_count() });
+        durable
+            .commit()
+            .expect_err("commit on a full disk must fail");
+        if durable.degraded().is_some() {
+            degraded_transitions += 1;
+        }
+        // Reads keep working from the in-memory state while degraded.
+        assert!(
+            !durable.search(&format!("update {cycle}"), 5).is_empty(),
+            "degraded platform must keep serving reads"
+        );
+        io.clear_faults();
+        if let Ok(flushed) = durable.try_recover_journal() {
+            degraded_recoveries += 1;
+            events_flushed += flushed as u64;
+            assert!(flushed as u64 <= backlog, "backlog flushed at most once");
+        }
+    }
+    drop(durable);
+    let degraded_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut t = TextTable::new(&["fault family", "ops swept", "verified", "retries", "ms"]);
+    t.row(vec![
+        "crash".into(),
+        total_ops.to_string(),
+        crash_verified.to_string(),
+        "-".into(),
+        format!("{crash_ms:.0}"),
+    ]);
+    t.row(vec![
+        "transient (EINTR)".into(),
+        total_ops.to_string(),
+        transient_converged.to_string(),
+        retries_absorbed.to_string(),
+        format!("{transient_ms:.0}"),
+    ]);
+    t.row(vec![
+        "disk full (degraded)".into(),
+        cycles.to_string(),
+        degraded_recoveries.to_string(),
+        "-".into(),
+        format!("{degraded_ms:.0}"),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "degraded transitions: {degraded_transitions}, backlog events re-committed: \
+         {events_flushed}\n"
+    );
+
+    let bench = serde_json::json!({
+        "experiment": "e12-fault-injection",
+        "workload_ops": total_ops,
+        "crash": {
+            "ops_swept": total_ops,
+            "recoveries_verified": crash_verified,
+            "sweep_ms": crash_ms,
+        },
+        "transient": {
+            "ops_swept": total_ops,
+            "runs_converged": transient_converged,
+            "retries_absorbed": retries_absorbed,
+            "sweep_ms": transient_ms,
+        },
+        "degraded": {
+            "cycles": cycles,
+            "transitions": degraded_transitions,
+            "recoveries": degraded_recoveries,
+            "events_flushed": events_flushed,
+        },
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_faults.json", record) {
+        eprintln!("could not write BENCH_faults.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_faults.json ({total_ops} ops swept, {crash_verified} crash recoveries \
+             verified, {retries_absorbed} retries absorbed, {degraded_transitions} degraded \
+             transitions)\n"
         );
     }
 }

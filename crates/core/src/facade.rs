@@ -6,7 +6,7 @@ use semex_extract::csv::{parse_csv, Table};
 use semex_index::SearchIndex;
 use semex_integrate::{import, ImportReport, SchemaMatcher};
 use semex_journal::{
-    CompactionReport, DurableStore, Journal, JournalConfig, JournalError, RecoveryReport,
+    CompactionReport, DurableStore, Journal, JournalConfig, JournalError, JournalIo, RecoveryReport,
 };
 use semex_store::{ObjectId, SnapshotError, Store, StoreEvent, StoreStats};
 use std::fmt;
@@ -69,6 +69,11 @@ pub struct Semex {
     /// drained events are dropped after indexing.
     pending_events: Vec<StoreEvent>,
     retain_events: bool,
+    /// `Some(cause)` when the platform is in degraded read-only mode after
+    /// a permanent journal failure: mutations are rejected with
+    /// [`crate::SemexError::Degraded`] until
+    /// [`DurableSemex::try_recover_journal`] clears the condition.
+    degraded: Option<String>,
 }
 
 impl fmt::Debug for Semex {
@@ -98,6 +103,25 @@ impl Semex {
             report,
             pending_events: Vec::new(),
             retain_events: false,
+            degraded: None,
+        }
+    }
+
+    /// When the platform is in degraded read-only mode, the journal failure
+    /// that caused it; `None` on a healthy platform. See
+    /// [`crate::SemexError::Degraded`].
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Reject mutations while degraded: accepting them would let state
+    /// diverge from what the journal can make durable.
+    fn check_writable(&self) -> Result<(), crate::SemexError> {
+        match &self.degraded {
+            Some(cause) => Err(crate::SemexError::Degraded {
+                cause: cause.clone(),
+            }),
+            None => Ok(()),
         }
     }
 
@@ -196,21 +220,38 @@ impl Semex {
 
     /// Integrate an external CSV source on the fly: match its schema,
     /// import its rows, reconcile against the existing space, and refresh
-    /// the keyword index. Returns the mapping quality and import report, or
-    /// `None` when no usable mapping was found.
-    pub fn integrate(&mut self, name: &str, csv: &str) -> Option<(f64, ImportReport)> {
-        let table = parse_csv(csv).ok()?;
+    /// the keyword index. Returns the mapping quality and import report;
+    /// `Ok(None)` when the text is not usable CSV or no usable mapping was
+    /// found. Errors when the platform is degraded or the store rejects the
+    /// import.
+    pub fn integrate(
+        &mut self,
+        name: &str,
+        csv: &str,
+    ) -> Result<Option<(f64, ImportReport)>, crate::SemexError> {
+        let Ok(table) = parse_csv(csv) else {
+            return Ok(None);
+        };
         self.integrate_table(name, &table)
     }
 
     /// [`Semex::integrate`] over an already-parsed table.
-    pub fn integrate_table(&mut self, name: &str, table: &Table) -> Option<(f64, ImportReport)> {
-        let mapping = SchemaMatcher::new(&self.store).match_table(table)?;
+    pub fn integrate_table(
+        &mut self,
+        name: &str,
+        table: &Table,
+    ) -> Result<Option<(f64, ImportReport)>, crate::SemexError> {
+        self.check_writable()?;
+        let Some(mapping) = SchemaMatcher::new(&self.store).match_table(table) else {
+            return Ok(None);
+        };
         let score = mapping.score;
-        let report = import(&mut self.store, name, table, &mapping, &self.config.recon)
-            .expect("mapping only references model attributes");
+        let result = import(&mut self.store, name, table, &mapping, &self.config.recon);
+        // Refresh on both paths: a rejected import may have applied a prefix
+        // of the rows, and the index must track whatever the store holds.
         self.refresh_index();
-        Some((score, report))
+        let report = result.map_err(crate::SemexError::Store)?;
+        Ok(Some((score, report)))
     }
 
     /// Incrementally ingest a new source into a built platform: extract,
@@ -227,6 +268,7 @@ impl Semex {
         &mut self,
         spec: crate::SourceSpec,
     ) -> Result<semex_extract::ExtractStats, crate::SemexError> {
+        self.check_writable()?;
         use semex_extract::{
             bibtex::extract_bibtex, email::extract_mbox, fswalk::extract_tree, ical::extract_ical,
             latex::extract_latex, vcard::extract_vcards, ExtractContext,
@@ -318,10 +360,11 @@ impl Semex {
     /// Merges them immediately (pooling attributes and re-pointing edges),
     /// records the pair as a must-link constraint for future
     /// reconciliation runs, and refreshes the index.
-    pub fn assert_same(&mut self, a: ObjectId, b: ObjectId) -> Result<(), semex_store::StoreError> {
+    pub fn assert_same(&mut self, a: ObjectId, b: ObjectId) -> Result<(), crate::SemexError> {
+        self.check_writable()?;
         self.config.recon.must_link.push((a, b));
         if self.store.resolve(a) != self.store.resolve(b) {
-            self.store.merge(a, b)?;
+            self.store.merge(a, b).map_err(crate::SemexError::Store)?;
         }
         self.refresh_index();
         Ok(())
@@ -393,12 +436,28 @@ impl Semex {
         journal_config: JournalConfig,
     ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
         let (durable, report) = DurableStore::open(dir, journal_config)?;
+        Ok((Semex::assemble_durable(durable, config), report))
+    }
+
+    /// [`Semex::open_durable_with`] through an explicit [`JournalIo`]
+    /// implementation (fault injection, instrumentation).
+    pub fn open_durable_io(
+        dir: impl AsRef<std::path::Path>,
+        config: SemexConfig,
+        journal_config: JournalConfig,
+        io: std::sync::Arc<dyn JournalIo>,
+    ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
+        let (durable, report) = DurableStore::open_with_io(dir, journal_config, io)?;
+        Ok((Semex::assemble_durable(durable, config), report))
+    }
+
+    fn assemble_durable(durable: DurableStore, config: SemexConfig) -> DurableSemex {
         let (store, journal) = durable.into_parts();
         let index = SearchIndex::build_threaded(&store, config.recon.threads.max(1));
         let indexed = index.doc_count();
         let mut semex = Semex::assemble(store, index, config, BuildReport::restored(indexed));
         semex.retain_events = true;
-        Ok((DurableSemex { semex, journal }, report))
+        DurableSemex { semex, journal }
     }
 
     /// Put an already-built platform under journal protection: the
@@ -490,7 +549,10 @@ impl DurableSemex {
     /// Append all buffered mutation events to the journal and fsync.
     /// Returns the number of events made durable. On failure the events are
     /// kept buffered (the index already reflects them), so a retry commits
-    /// them.
+    /// them. Transient failures were already retried inside the journal; a
+    /// permanent failure (full disk, wedged log) additionally puts the
+    /// platform into degraded read-only mode — see
+    /// [`DurableSemex::try_recover_journal`].
     pub fn commit(&mut self) -> Result<usize, JournalError> {
         self.semex.refresh_index();
         let events = std::mem::take(&mut self.semex.pending_events);
@@ -498,6 +560,45 @@ impl DurableSemex {
             Ok(n) => Ok(n),
             Err(e) => {
                 self.semex.pending_events = events;
+                if !e.is_transient() {
+                    self.semex.degraded = Some(e.to_string());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Attempt to leave degraded read-only mode after the underlying
+    /// condition (full disk, I/O failure) has been fixed: re-open the
+    /// journal in place — repairing any damaged or un-sealed tail — then
+    /// make the buffered mutation backlog durable again. On success the
+    /// platform accepts mutations again; returns the number of backlog
+    /// events committed. On failure the platform stays degraded, with the
+    /// backlog still buffered, and the call can simply be retried.
+    ///
+    /// Also callable on a healthy platform, where it is just a reopen plus
+    /// commit.
+    pub fn try_recover_journal(&mut self) -> Result<usize, JournalError> {
+        self.semex.refresh_index();
+        let durable_seq = self.journal.next_seq();
+        self.journal.reopen()?;
+        let mut events = std::mem::take(&mut self.semex.pending_events);
+        if self.journal.next_seq() > durable_seq {
+            // The failed commit actually reached the disk in full — only its
+            // acknowledgment was lost — and recovery just replayed it.
+            // Re-appending the backlog would duplicate those events.
+            events.clear();
+        }
+        match self.journal.append_commit(&events) {
+            Ok(n) => {
+                self.semex.degraded = None;
+                Ok(n)
+            }
+            Err(e) => {
+                self.semex.pending_events = events;
+                if !e.is_transient() {
+                    self.semex.degraded = Some(e.to_string());
+                }
                 Err(e)
             }
         }
@@ -562,6 +663,7 @@ mod tests {
                 "attendees",
                 "name,email\nXin Dong,luna@cs.example.edu\nCarol Reyes,carol@z.net\n",
             )
+            .unwrap()
             .unwrap();
         assert!(score > 0.5);
         assert_eq!(report.created, 2);
@@ -574,8 +676,11 @@ mod tests {
     #[test]
     fn integrate_rejects_hopeless_tables() {
         let mut semex = demo();
-        assert!(semex.integrate("junk", "qty,sku\n1,AB\n").is_none());
-        assert!(semex.integrate("junk", "not a csv").is_none());
+        assert!(semex
+            .integrate("junk", "qty,sku\n1,AB\n")
+            .unwrap()
+            .is_none());
+        assert!(semex.integrate("junk", "not a csv").unwrap().is_none());
     }
 
     #[test]
@@ -696,6 +801,109 @@ mod tests {
     }
 
     #[test]
+    fn permanent_journal_failure_degrades_to_read_only() {
+        use semex_journal::{FaultIo, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("semex-degraded-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal_cfg = JournalConfig {
+            retry_backoff: std::time::Duration::ZERO,
+            ..JournalConfig::default()
+        };
+        let io = FaultIo::new(FaultPlan::None);
+        let (mut durable, report) = Semex::open_durable_io(
+            &dir,
+            SemexConfig::default(),
+            journal_cfg.clone(),
+            std::sync::Arc::new(io.clone()),
+        )
+        .unwrap();
+        assert!(report.initialized);
+        durable
+            .ingest(crate::SourceSpec::Mbox {
+                name: "inbox".into(),
+                content: "From: Xin Dong <luna@cs.example.edu>\nTo: alon@cs.example.edu\nSubject: kickoff\n\nhi".into(),
+            })
+            .unwrap();
+        durable.commit().unwrap();
+
+        // More mutations land in memory, then the disk fills mid-commit.
+        durable
+            .ingest(crate::SourceSpec::Mbox {
+                name: "inbox-2".into(),
+                content: "From: Carol Reyes <carol@z.net>\nTo: luna@cs.example.edu\nSubject: zanzibar\n\nbye".into(),
+            })
+            .unwrap();
+        let backlog = durable.pending_events();
+        assert!(backlog > 0);
+        io.set_plan(FaultPlan::DiskFull { at: io.op_count() });
+        let err = durable.commit().unwrap_err();
+        assert!(!err.is_transient(), "ENOSPC is permanent: {err}");
+        assert!(durable.journal().is_wedged(), "failed rollback wedges");
+        assert!(durable.degraded().is_some(), "platform must degrade");
+        assert_eq!(durable.pending_events(), backlog, "backlog preserved");
+
+        // Reads are still served from the in-memory state, un-durable
+        // mutations included.
+        assert_eq!(durable.search("kickoff", 5).len(), 1);
+        assert_eq!(durable.search("zanzibar", 5).len(), 1);
+        assert!(!durable
+            .view(durable.search("carol", 1)[0].object)
+            .attrs
+            .is_empty());
+
+        // Every mutating path is rejected with SemexError::Degraded.
+        let spec = crate::SourceSpec::Mbox {
+            name: "inbox-3".into(),
+            content: "From: a@b.c\nSubject: x\n\nx".into(),
+        };
+        match durable.ingest(spec) {
+            Err(crate::SemexError::Degraded { .. }) => {}
+            other => panic!("ingest while degraded: {other:?}"),
+        }
+        match durable.integrate("t", "name,email\nA,a@b.c\n") {
+            Err(crate::SemexError::Degraded { .. }) => {}
+            other => panic!("integrate while degraded: {other:?}"),
+        }
+        match durable.assert_same(ObjectId(0), ObjectId(1)) {
+            Err(crate::SemexError::Degraded { .. }) => {}
+            other => panic!("assert_same while degraded: {other:?}"),
+        }
+
+        // While the disk is still full, recovery fails and the platform
+        // stays degraded with the backlog intact.
+        assert!(durable.try_recover_journal().is_err());
+        assert!(durable.degraded().is_some());
+        assert_eq!(durable.pending_events(), backlog);
+
+        // Space frees up: recovery repairs the journal, flushes the backlog
+        // and lifts the degradation.
+        io.clear_faults();
+        let flushed = durable.try_recover_journal().unwrap();
+        assert_eq!(flushed, backlog);
+        assert!(durable.degraded().is_none());
+        assert_eq!(durable.pending_events(), 0);
+
+        // Mutations are accepted and journaled again.
+        durable
+            .ingest(crate::SourceSpec::Mbox {
+                name: "inbox-3".into(),
+                content: "From: a@b.c\nSubject: quetzal\n\nx".into(),
+            })
+            .unwrap();
+        durable.commit().unwrap();
+        drop(durable);
+
+        // A fresh recovery sees every commit, including the flushed backlog.
+        let (reopened, report) =
+            Semex::open_durable_with(&dir, SemexConfig::default(), journal_cfg).unwrap();
+        assert!(report.damage.is_none(), "{report:?}");
+        for q in ["kickoff", "zanzibar", "quetzal"] {
+            assert_eq!(reopened.search(q, 5).len(), 1, "{q}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn ingest_grows_and_reconciles() {
         let mut semex = demo();
         let c_person = semex.store().model().class(class::PERSON).unwrap();
@@ -762,6 +970,7 @@ mod tests {
                 "attendees",
                 "name,email\nXin Dong,luna@cs.example.edu\nCarol Reyes,carol@z.net\n",
             )
+            .unwrap()
             .unwrap();
         semex
             .ingest(crate::SourceSpec::Mbox {

@@ -117,7 +117,7 @@ impl SourceSpec {
     }
 }
 
-/// Errors from the build pipeline.
+/// Errors from the build pipeline and the mutating facade paths.
 #[derive(Debug)]
 pub enum SemexError {
     /// A source failed to extract.
@@ -127,6 +127,19 @@ pub enum SemexError {
         /// The underlying error.
         error: ExtractError,
     },
+    /// A store mutation was rejected by the association database.
+    Store(semex_store::StoreError),
+    /// The platform is in degraded read-only mode: a permanent journal
+    /// failure (full disk, wedged log, …) means new mutations could not be
+    /// made durable, so they are rejected rather than silently accepted and
+    /// lost. Queries keep working; already-buffered events stay in memory.
+    /// Once the underlying condition is fixed, call
+    /// [`crate::DurableSemex::try_recover_journal`] to repair the journal,
+    /// flush the backlog, and leave degraded mode.
+    Degraded {
+        /// The journal failure that triggered degradation.
+        cause: String,
+    },
 }
 
 impl fmt::Display for SemexError {
@@ -135,11 +148,24 @@ impl fmt::Display for SemexError {
             SemexError::Extract { source, error } => {
                 write!(f, "extraction failed for source {source:?}: {error}")
             }
+            SemexError::Store(error) => write!(f, "store mutation rejected: {error}"),
+            SemexError::Degraded { cause } => write!(
+                f,
+                "platform is in degraded read-only mode after a journal failure ({cause}); \
+                 reads are served, mutations are rejected — fix the underlying condition \
+                 and call try_recover_journal()"
+            ),
         }
     }
 }
 
 impl std::error::Error for SemexError {}
+
+impl From<semex_store::StoreError> for SemexError {
+    fn from(error: semex_store::StoreError) -> SemexError {
+        SemexError::Store(error)
+    }
+}
 
 /// What the pipeline did: per-source extraction stats plus the
 /// reconciliation report.

@@ -1,0 +1,133 @@
+//! Robustness properties for the text-format extractors: arbitrary bytes,
+//! hostile near-miss syntax, and truncated valid documents must never
+//! panic the email / vCard / iCalendar parsers, and whatever they do
+//! extract must stay bounded by the input size (no runaway object
+//! creation from pathological input).
+
+use proptest::prelude::*;
+use semex_extract::{
+    email::extract_mbox, ical::extract_ical, vcard::extract_vcards, ExtractContext, ExtractStats,
+};
+use semex_store::{SourceInfo, SourceKind, Store};
+
+type Extractor =
+    fn(&str, &mut ExtractContext<'_>) -> Result<ExtractStats, semex_extract::ExtractError>;
+
+const PARSERS: [(&str, Extractor); 3] = [
+    ("mbox", extract_mbox as Extractor),
+    ("vcard", extract_vcards as Extractor),
+    ("ical", extract_ical as Extractor),
+];
+
+/// Run one extractor over one input against a fresh store; assert the
+/// no-panic and bounded-output contracts.
+fn check(name: &str, parse: Extractor, input: &str) -> Result<(), TestCaseError> {
+    let mut store = Store::with_builtin_model();
+    let sid = store.register_source(SourceInfo::new("fuzz", SourceKind::Synthetic));
+    let slots_before = store.slot_count();
+    let mut ctx = ExtractContext::new(&mut store, sid);
+    // Err is acceptable (malformed input); panicking or unbounded output
+    // is not.
+    let result = parse(input, &mut ctx);
+    let created = store.slot_count() - slots_before;
+    // Every extracted reference needs at least a couple of input bytes
+    // (a header line, a property line); a generous linear bound catches
+    // quadratic or looping extraction.
+    let bound = input.len() + 8;
+    prop_assert!(
+        created <= bound,
+        "{name}: {created} objects from {} input bytes",
+        input.len()
+    );
+    if let Ok(stats) = result {
+        prop_assert!(
+            stats.objects <= bound,
+            "{name}: stats.objects {}",
+            stats.objects
+        );
+        prop_assert!(
+            stats.records <= bound,
+            "{name}: stats.records {}",
+            stats.records
+        );
+        prop_assert!(
+            stats.triples <= 4 * bound,
+            "{name}: stats.triples {}",
+            stats.triples
+        );
+    }
+    Ok(())
+}
+
+/// An ASCII mbox + vCard + iCal document soup whose prefixes are the
+/// truncation corpus: every format boundary (headers, BEGIN/END blocks,
+/// folded lines) appears somewhere.
+fn valid_corpus() -> String {
+    concat!(
+        "From fuzz Mon Jan  1 00:00:00 2001\n",
+        "From: Ann Smith <ann@example.org>\n",
+        "To: Bo Chen <bo@example.org>, carol@example.net\n",
+        "Subject: quarterly planning\n",
+        "Message-ID: <m1@example.org>\n",
+        "Date: Mon, 1 Jan 2001 10:00:00 +0000\n",
+        "\n",
+        "body text\n",
+        "From fuzz Mon Jan  1 00:00:01 2001\n",
+        "From: bo@example.org\n",
+        "In-Reply-To: <m1@example.org>\n",
+        "Subject: Re: quarterly planning\n",
+        "\n",
+        "reply\n",
+        "BEGIN:VCARD\n",
+        "VERSION:3.0\n",
+        "FN:Ann Smith\n",
+        "EMAIL;TYPE=work:ann@example.org\n",
+        "ORG:Evergreen University\n",
+        "TEL:+1 555 0100\n",
+        "END:VCARD\n",
+        "BEGIN:VCALENDAR\n",
+        "BEGIN:VEVENT\n",
+        "SUMMARY:planning meeting\n",
+        "DTSTART:20010101T100000Z\n",
+        "ATTENDEE;CN=Ann Smith:mailto:ann@example.org\n",
+        "END:VEVENT\n",
+        "END:VCALENDAR\n",
+    )
+    .to_owned()
+}
+
+proptest! {
+    /// Arbitrary bytes (decoded lossily) never panic any parser and never
+    /// produce unbounded output.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let input = String::from_utf8_lossy(&bytes);
+        for (name, parse) in PARSERS {
+            check(name, parse, &input)?;
+        }
+    }
+
+    /// Near-miss structured text — the characters the formats are built
+    /// from, recombined arbitrarily — never panics any parser.
+    #[test]
+    fn hostile_structured_text_never_panics(
+        input in "[A-Za-z0-9:;=@<>,.\\\\\"\\n\\r\\t -]{0,512}",
+    ) {
+        for (name, parse) in PARSERS {
+            check(name, parse, &input)?;
+        }
+    }
+
+    /// Every truncation of a valid multi-format document parses without
+    /// panicking, with bounded output — the shape half-written or
+    /// half-synced source files have after a crash.
+    #[test]
+    fn truncated_valid_input_never_panics(cut in 0usize..620) {
+        let corpus = valid_corpus();
+        let cut = cut.min(corpus.len());
+        let input = &corpus[..cut]; // ASCII-only, so any cut is a char boundary
+        for (name, parse) in PARSERS {
+            check(name, parse, input)?;
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Pluggable journal I/O: every file operation the journal performs goes
+//! through the [`JournalIo`] trait, so the same append/recovery/compaction
+//! logic runs against the real filesystem ([`RealIo`]) or a deterministic
+//! fault-injecting wrapper ([`FaultIo`]) that can fail, short-write, or
+//! "crash" the Nth operation — the substrate of the exhaustive
+//! failure-point sweep in `tests/fault_sweep.rs`.
+//!
+//! The trait is deliberately narrow: it exposes exactly the operations the
+//! journal needs (create/append/fsync/rename/remove/list/truncate), each of
+//! which counts as **one I/O operation** for fault-injection purposes.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An open, append-position journal file.
+pub trait JournalFile: fmt::Debug + Send {
+    /// Write all of `buf` at the current position.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file data (not necessarily metadata) to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush file data and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The file operations a [`crate::Journal`] performs, abstracted so tests
+/// can interpose faults. Implementations must be usable from behind an
+/// `Arc` (shared by the journal and, for [`FaultIo`], the test driving it).
+pub trait JournalIo: fmt::Debug + Send + Sync {
+    /// Create a directory and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// List a directory: `(file name, byte length)` per entry, any order.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<(String, u64)>>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create a file that must not already exist, open for appending.
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn JournalFile>>;
+    /// Create (or truncate) a file, open for writing.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn JournalFile>>;
+    /// Atomically rename a file.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Truncate an existing file to `len` bytes and sync the result.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Fsync a directory so renames and creations inside it are durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production implementation: straight calls into `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl JournalFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+}
+
+impl JournalIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+                continue;
+            };
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push((name, len));
+        }
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        Ok(Box::new(file))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// What [`FaultIo`] injects, keyed by a zero-based global operation index.
+///
+/// Every [`JournalIo`] / [`JournalFile`] call counts as one operation, in
+/// call order, so a plan is fully deterministic: re-running the same
+/// workload against the same plan reproduces the same fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Inject nothing (still counts operations — used to size a sweep).
+    None,
+    /// Fail operation `at` once with the given error kind; every other
+    /// operation succeeds. `Interrupted` models EINTR, `TimedOut` a
+    /// transient stall — faults a bounded retry must absorb.
+    ErrorOnce {
+        /// Zero-based index of the operation to fail.
+        at: u64,
+        /// The error kind the operation fails with.
+        kind: io::ErrorKind,
+    },
+    /// Short-write operation `at` once: if it is a write, only half its
+    /// bytes reach the file before it fails with `WriteZero` (transient —
+    /// retry after rollback must clean the partial bytes up). Non-write
+    /// operations just fail once with `WriteZero`.
+    ShortWrite {
+        /// Zero-based index of the operation to short-write.
+        at: u64,
+    },
+    /// Simulate a crash at operation `at`: a write in flight is torn (only
+    /// a prefix of its bytes reach the file), and that operation plus every
+    /// later one fails. Models power loss / process death mid-operation.
+    Crash {
+        /// Zero-based index of the operation the crash hits.
+        at: u64,
+    },
+    /// The disk fills up at operation `at`: that and every later *mutating*
+    /// operation fails with `ENOSPC` until [`FaultIo::clear_faults`] frees
+    /// space. Reads keep working — the degraded-mode scenario.
+    DiskFull {
+        /// Zero-based index of the first operation to hit `ENOSPC`.
+        at: u64,
+    },
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    ops: u64,
+    injected: u64,
+    crashed: bool,
+    disk_full: bool,
+}
+
+/// The outcome of consulting the fault plan for one operation.
+enum Gate {
+    Pass,
+    Fail(io::Error),
+    /// Fail, but first `keep_num / keep_den` of the write's bytes must
+    /// reach the file (torn or short write). Non-write operations treat
+    /// this as a plain failure.
+    Torn {
+        error: io::Error,
+        keep_num: usize,
+        keep_den: usize,
+    },
+}
+
+/// Raw OS error for `ENOSPC`, so `io::Error::raw_os_error` round-trips the
+/// way a real full disk would.
+const ENOSPC: i32 = 28;
+
+fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(ENOSPC)
+}
+
+/// Deterministic fault-injecting [`JournalIo`] over the real filesystem.
+///
+/// Operations are numbered globally in call order; the configured
+/// [`FaultPlan`] decides which one fails and how. Cloning shares state, so
+/// a test can keep a handle to count operations, swap plans mid-run
+/// ([`set_plan`](FaultIo::set_plan)) or clear a persistent fault
+/// ([`clear_faults`](FaultIo::clear_faults)) while the journal owns another
+/// clone behind `Arc<dyn JournalIo>`.
+#[derive(Debug, Clone)]
+pub struct FaultIo {
+    inner: RealIo,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultIo {
+    /// A fault injector with the given plan, operation counter at zero.
+    pub fn new(plan: FaultPlan) -> FaultIo {
+        FaultIo {
+            inner: RealIo,
+            state: Arc::new(Mutex::new(FaultState {
+                plan,
+                ops: 0,
+                injected: 0,
+                crashed: false,
+                disk_full: false,
+            })),
+        }
+    }
+
+    /// Operations performed so far (including failed ones).
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().unwrap().injected
+    }
+
+    /// Replace the plan (the operation counter keeps running).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut s = self.state.lock().unwrap();
+        s.plan = plan;
+    }
+
+    /// Lift every standing fault: un-crash, free disk space, drop the plan.
+    /// Subsequent operations succeed.
+    pub fn clear_faults(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.plan = FaultPlan::None;
+        s.crashed = false;
+        s.disk_full = false;
+    }
+
+    fn gate(state: &Mutex<FaultState>, mutating: bool) -> Gate {
+        let mut s = state.lock().unwrap();
+        let n = s.ops;
+        s.ops += 1;
+        if s.crashed {
+            return Gate::Fail(io::Error::other("journal I/O after simulated crash"));
+        }
+        if s.disk_full && mutating {
+            return Gate::Fail(enospc());
+        }
+        match s.plan {
+            FaultPlan::None => Gate::Pass,
+            FaultPlan::ErrorOnce { at, kind } if n == at => {
+                s.injected += 1;
+                s.plan = FaultPlan::None;
+                Gate::Fail(io::Error::new(kind, "injected transient fault"))
+            }
+            FaultPlan::ShortWrite { at } if n == at => {
+                s.injected += 1;
+                s.plan = FaultPlan::None;
+                Gate::Torn {
+                    error: io::Error::new(io::ErrorKind::WriteZero, "injected short write"),
+                    keep_num: 1,
+                    keep_den: 2,
+                }
+            }
+            FaultPlan::Crash { at } if n >= at => {
+                s.injected += 1;
+                s.crashed = true;
+                Gate::Torn {
+                    error: io::Error::other("injected crash"),
+                    keep_num: 2,
+                    keep_den: 3,
+                }
+            }
+            FaultPlan::DiskFull { at } if n >= at => {
+                s.disk_full = true;
+                if mutating {
+                    s.injected += 1;
+                    Gate::Fail(enospc())
+                } else {
+                    Gate::Pass
+                }
+            }
+            _ => Gate::Pass,
+        }
+    }
+
+    fn gated<T>(&self, mutating: bool, op: impl FnOnce(&RealIo) -> io::Result<T>) -> io::Result<T> {
+        match FaultIo::gate(&self.state, mutating) {
+            Gate::Pass => op(&self.inner),
+            Gate::Fail(e) | Gate::Torn { error: e, .. } => Err(e),
+        }
+    }
+}
+
+/// A file handle whose writes and syncs consult the shared fault plan.
+#[derive(Debug)]
+struct FaultFile {
+    inner: File,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl JournalFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match FaultIo::gate(&self.state, true) {
+            Gate::Pass => Write::write_all(&mut self.inner, buf),
+            Gate::Torn {
+                error,
+                keep_num,
+                keep_den,
+            } => {
+                // A crash or short write leaves a prefix of the bytes
+                // behind. The fractions are chosen so the cut lands inside
+                // a record often enough to exercise torn-record repair, and
+                // past whole records often enough to exercise
+                // commit-boundary truncation.
+                let torn = buf.len() * keep_num / keep_den;
+                let _ = Write::write_all(&mut self.inner, &buf[..torn]);
+                let _ = self.inner.sync_data();
+                Err(error)
+            }
+            Gate::Fail(e) => Err(e),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match FaultIo::gate(&self.state, true) {
+            Gate::Pass => self.inner.sync_data(),
+            Gate::Fail(e) | Gate::Torn { error: e, .. } => Err(e),
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match FaultIo::gate(&self.state, true) {
+            Gate::Pass => self.inner.sync_all(),
+            Gate::Fail(e) | Gate::Torn { error: e, .. } => Err(e),
+        }
+    }
+}
+
+impl JournalIo for FaultIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.gated(true, |io| io.create_dir_all(dir))
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<(String, u64)>> {
+        self.gated(false, |io| io.list_dir(dir))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gated(false, |io| io.read(path))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        match FaultIo::gate(&self.state, true) {
+            Gate::Pass => {
+                let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+                Ok(Box::new(FaultFile {
+                    inner: file,
+                    state: Arc::clone(&self.state),
+                }))
+            }
+            Gate::Fail(e) | Gate::Torn { error: e, .. } => Err(e),
+        }
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        match FaultIo::gate(&self.state, true) {
+            Gate::Pass => Ok(Box::new(FaultFile {
+                inner: File::create(path)?,
+                state: Arc::clone(&self.state),
+            })),
+            Gate::Fail(e) | Gate::Torn { error: e, .. } => Err(e),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gated(true, |io| io.rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gated(true, |io| io.remove_file(path))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.gated(true, |io| io.truncate(path, len))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gated(true, |io| io.sync_dir(dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("semex-io-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fault_io_counts_and_injects_once() {
+        let dir = scratch("count");
+        let io = FaultIo::new(FaultPlan::ErrorOnce {
+            at: 1,
+            kind: io::ErrorKind::Interrupted,
+        });
+        let p = dir.join("a");
+        let mut f = io.create_new(&p).unwrap(); // op 0
+        let err = f.write_all(b"xy").unwrap_err(); // op 1: injected
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        f.write_all(b"xy").unwrap(); // op 2: plan consumed
+        assert_eq!(io.op_count(), 3);
+        assert_eq!(io.faults_injected(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_tears_the_write_and_downs_everything_after() {
+        let dir = scratch("crash");
+        let io = FaultIo::new(FaultPlan::Crash { at: 1 });
+        let p = dir.join("a");
+        let mut f = io.create_new(&p).unwrap();
+        f.write_all(b"123456789").unwrap_err();
+        // Two-thirds of the write survived as the torn prefix.
+        assert_eq!(fs::metadata(&p).unwrap().len(), 6);
+        // Everything afterwards is down, reads included.
+        assert!(io.read(&p).is_err());
+        io.clear_faults();
+        assert_eq!(io.read(&p).unwrap().len(), 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_blocks_writes_but_not_reads() {
+        let dir = scratch("full");
+        let io = FaultIo::new(FaultPlan::None);
+        let p = dir.join("a");
+        let mut f = io.create_new(&p).unwrap();
+        f.write_all(b"data").unwrap();
+        io.set_plan(FaultPlan::DiskFull { at: 0 });
+        let err = io.rename(&p, &dir.join("b")).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+        assert_eq!(io.read(&p).unwrap(), b"data");
+        io.clear_faults();
+        io.rename(&p, &dir.join("b")).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,16 +1,34 @@
 //! The journal proper: appending, recovery, compaction.
+//!
+//! All file access goes through the [`JournalIo`] trait (see
+//! [`crate::io`]), so the exact same code path runs against the real
+//! filesystem and against the deterministic fault injector the
+//! failure-point sweep uses.
+//!
+//! ## Fault model
+//!
+//! Commits are atomic under replay: every [`Journal::append_commit`] batch
+//! ends with a commit-marker record, and recovery discards any trailing
+//! events that are not sealed by a marker. An I/O failure mid-append rolls
+//! the journal back to its pre-append state (in memory and, best effort, on
+//! disk), so a failed commit leaves nothing half-visible. Transient
+//! failures (EINTR-style interrupts, short writes) are retried with bounded
+//! exponential backoff; permanent ones surface to the caller, and when even
+//! the rollback fails the journal marks itself *wedged* and refuses further
+//! appends until [`Journal::reopen`] re-establishes a clean tail.
 
-use crate::record::{self, Decoded};
+use crate::io::{JournalFile, JournalIo, RealIo};
+use crate::record::{self, Decoded, COMMIT_MARKER};
 use crate::segment::{
     parse_segment_name, parse_snapshot_name, segment_file_name, snapshot_file_name, SegmentHeader,
-    SEGMENT_HEADER_LEN,
+    FORMAT_VERSION, SEGMENT_HEADER_LEN,
 };
 use semex_store::{SnapshotError, Store, StoreEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors raised by journal operations.
 #[derive(Debug)]
@@ -34,6 +52,27 @@ pub enum JournalError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A previous permanent failure could not be rolled back; the journal
+    /// refuses writes until [`Journal::reopen`] re-establishes a clean
+    /// tail. Reads of the in-memory store are unaffected.
+    Wedged {
+        /// The journal directory.
+        dir: PathBuf,
+    },
+}
+
+/// Whether an error is worth retrying.
+///
+/// Transient errors (an interrupted syscall, a short write) typically
+/// succeed when re-issued; permanent ones (a full disk, a vanished
+/// directory, a wedged journal) will keep failing until an operator
+/// intervenes — the caller should stop writing and degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the operation may succeed (EINTR, short write, timeout).
+    Transient,
+    /// Retrying will not help (ENOSPC, permissions, missing files, bugs).
+    Permanent,
 }
 
 impl JournalError {
@@ -42,6 +81,25 @@ impl JournalError {
             path: path.into(),
             error,
         }
+    }
+
+    /// Classify this error as transient (retryable) or permanent.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            JournalError::Io { error, .. } => match error.kind() {
+                std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WriteZero
+                | std::io::ErrorKind::TimedOut => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            },
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// True when [`class`](JournalError::class) is
+    /// [`ErrorClass::Transient`].
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
     }
 }
 
@@ -56,6 +114,11 @@ impl fmt::Display for JournalError {
             JournalError::Invalid { dir, reason } => {
                 write!(f, "invalid journal directory {}: {reason}", dir.display())
             }
+            JournalError::Wedged { dir } => write!(
+                f,
+                "journal {} is wedged after an unrecoverable I/O failure; reopen to resume",
+                dir.display()
+            ),
         }
     }
 }
@@ -66,7 +129,7 @@ impl std::error::Error for JournalError {
             JournalError::Io { error, .. } => Some(error),
             JournalError::Snapshot(e) => Some(e),
             JournalError::Encode(e) => Some(e),
-            JournalError::Invalid { .. } => None,
+            JournalError::Invalid { .. } | JournalError::Wedged { .. } => None,
         }
     }
 }
@@ -91,6 +154,12 @@ pub struct JournalConfig {
     /// `fsync` segment data on every commit (and snapshots always). Disable
     /// only for throwaway stores and benchmarks.
     pub fsync: bool,
+    /// How many times to re-issue an append/sync/compact that failed with a
+    /// transient error before giving up.
+    pub max_retries: u32,
+    /// Base delay of the exponential backoff between retries (doubled per
+    /// attempt). Zero disables sleeping, which tests use.
+    pub retry_backoff: Duration,
 }
 
 impl Default for JournalConfig {
@@ -98,6 +167,8 @@ impl Default for JournalConfig {
         JournalConfig {
             segment_max_bytes: 8 * 1024 * 1024,
             fsync: true,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -116,7 +187,14 @@ pub enum DamageKind {
     /// reordered or missing segment).
     SequenceMismatch,
     /// A decoded event did not apply cleanly to the recovering store.
+    /// Unreachable for journals produced by this crate; indicates logical
+    /// corruption, and the recovered store may include a prefix of the
+    /// damaged commit.
     Apply,
+    /// The log ends with events that were never sealed by a commit marker:
+    /// the writer crashed between appending and acknowledging. The tail is
+    /// discarded — exactly the no-partial-commit contract.
+    Uncommitted,
 }
 
 /// Where and why replay stopped; everything before this point was recovered.
@@ -147,6 +225,10 @@ pub struct RecoveryReport {
     pub damage: Option<Damage>,
     /// True when the directory was empty and a fresh journal was initialized.
     pub initialized: bool,
+    /// Repairs or cleanups that could not be carried out (failed
+    /// truncations, undeletable stale files). The recovered *state* is
+    /// unaffected, but the next recovery may re-report the same damage.
+    pub warnings: Vec<String>,
 }
 
 /// What compaction did.
@@ -177,9 +259,19 @@ struct SnapshotMeta {
 /// An open, append-position segment file.
 #[derive(Debug)]
 struct OpenSegment {
-    file: File,
+    file: Box<dyn JournalFile>,
     path: PathBuf,
     written: u64,
+}
+
+/// The pre-append state [`Journal::rollback`] restores after a failed
+/// attempt.
+struct Checkpoint {
+    next_seq: u64,
+    next_segment_index: u64,
+    /// Path and confirmed length of the segment that was open at the start
+    /// of the attempt, if any.
+    segment: Option<(PathBuf, u64)>,
 }
 
 /// An append-only, checksummed write-ahead log of [`StoreEvent`]s.
@@ -187,15 +279,19 @@ struct OpenSegment {
 /// The journal owns the files inside one directory (see the module docs of
 /// [`crate::segment`] for the layout). It tracks the current epoch and the
 /// global event sequence number; [`Journal::commit`] drains a recording
-/// store's event buffer, appends one framed record per event, and fsyncs.
+/// store's event buffer, appends one framed record per event plus a commit
+/// marker, and fsyncs.
 #[derive(Debug)]
 pub struct Journal {
     dir: PathBuf,
     config: JournalConfig,
+    io: Arc<dyn JournalIo>,
     epoch: u64,
     next_seq: u64,
     next_segment_index: u64,
     current: Option<OpenSegment>,
+    wedged: bool,
+    retries: u64,
 }
 
 impl Journal {
@@ -219,33 +315,61 @@ impl Journal {
         self.next_seq
     }
 
-    /// Append a batch of events and make them durable (one fsync per call
-    /// when the configuration asks for it). Returns the number appended.
+    /// Transient-failure retries performed over this journal's lifetime
+    /// (across appends, syncs and compactions).
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// True after a permanent failure whose rollback also failed: the
+    /// on-disk tail is in an unknown state and every mutating call returns
+    /// [`JournalError::Wedged`] until [`Journal::reopen`] repairs it.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Append a batch of events as one atomic commit and make it durable
+    /// (records, then a commit marker, then one fsync when the
+    /// configuration asks for it). Returns the number appended.
+    ///
+    /// On a transient failure the append is rolled back and retried up to
+    /// [`JournalConfig::max_retries`] times with exponential backoff. On a
+    /// permanent failure the journal is rolled back to its pre-call state
+    /// and the error is returned — nothing of the failed commit stays
+    /// visible to recovery. If even the rollback fails, the journal wedges.
     pub fn append_commit(&mut self, events: &[StoreEvent]) -> Result<usize, JournalError> {
         if events.is_empty() {
             return Ok(0);
         }
-        let mut batch: Vec<u8> = Vec::new();
-        for event in events {
-            let payload = serde_json::to_vec(event)?;
-            // Rotate between records, never mid-record.
-            let segment_full = self
-                .current
-                .as_ref()
-                .is_some_and(|s| s.written + batch.len() as u64 >= self.config.segment_max_bytes);
-            if self.current.is_none() || segment_full {
-                self.flush_batch(&mut batch)?;
-                if segment_full {
-                    self.finish_segment()?;
-                }
-                self.open_segment()?;
-            }
-            record::encode(&payload, &mut batch);
-            self.next_seq += 1;
+        if self.wedged {
+            return Err(JournalError::Wedged {
+                dir: self.dir.clone(),
+            });
         }
-        self.flush_batch(&mut batch)?;
-        self.sync()?;
-        Ok(events.len())
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(events.len());
+        for event in events {
+            payloads.push(serde_json::to_vec(event)?);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let checkpoint = self.checkpoint();
+            match self.try_append(&payloads) {
+                Ok(()) => return Ok(events.len()),
+                Err(e) => {
+                    if !self.rollback(&checkpoint) {
+                        self.wedged = true;
+                        return Err(e);
+                    }
+                    if e.is_transient() && attempt < self.config.max_retries {
+                        attempt += 1;
+                        self.retries += 1;
+                        self.backoff(attempt);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Drain a recording store's event buffer and append-commit it.
@@ -255,31 +379,59 @@ impl Journal {
     }
 
     /// Fsync the current segment (no-op when `fsync` is off or nothing is
-    /// open).
+    /// open). Transient failures are retried with backoff.
     pub fn sync(&mut self) -> Result<(), JournalError> {
-        if let Some(seg) = &mut self.current {
-            if self.config.fsync {
-                seg.file
-                    .sync_data()
-                    .map_err(|e| JournalError::io(&seg.path, e))?;
+        if self.wedged {
+            return Err(JournalError::Wedged {
+                dir: self.dir.clone(),
+            });
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.sync_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(())
     }
 
     /// Fold the journal into a fresh snapshot of `store` under `epoch + 1`
     /// and delete the files of the previous epoch. The store must have no
     /// undrained events (commit first); `store` must be the state produced
-    /// by snapshot + all journaled events.
+    /// by snapshot + all journaled events. Transient snapshot-write
+    /// failures are retried with backoff; a failed compaction leaves the
+    /// journal in its previous epoch, fully usable.
     pub fn compact(&mut self, store: &Store) -> Result<CompactionReport, JournalError> {
+        if self.wedged {
+            return Err(JournalError::Wedged {
+                dir: self.dir.clone(),
+            });
+        }
         let new_epoch = self.epoch + 1;
-        write_snapshot(
-            &self.dir,
-            new_epoch,
-            self.next_seq,
-            store,
-            self.config.fsync,
-        )?;
+        let mut attempt = 0u32;
+        loop {
+            match write_snapshot(
+                self.io.as_ref(),
+                &self.dir,
+                new_epoch,
+                self.next_seq,
+                store,
+                self.config.fsync,
+            ) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         let folded = self.count_current_epoch_events();
         let (removed_files, removed_bytes) = self.remove_stale_epochs(new_epoch);
         self.epoch = new_epoch;
@@ -293,18 +445,35 @@ impl Journal {
         })
     }
 
+    /// Re-open the journal directory in place: re-run recovery (repairing
+    /// any un-sealed or damaged tail), discard the wedged state, and
+    /// position appends at the recovered tail. Returns the recovered store
+    /// and the recovery report; the caller decides what to do with the
+    /// store (a [`crate::DurableStore`]-level caller usually keeps its
+    /// richer in-memory state and re-appends its backlog instead).
+    pub fn reopen(&mut self) -> Result<(Store, RecoveryReport), JournalError> {
+        let (store, journal, report) = recover_inner(
+            &self.dir.clone(),
+            self.config.clone(),
+            self.io.clone(),
+            None,
+        )?;
+        let lifetime_retries = self.retries;
+        *self = journal;
+        self.retries = lifetime_retries;
+        Ok((store, report))
+    }
+
     /// Sizes of the live journal files `(segment_count, segment_bytes)`.
     pub fn segment_usage(&self) -> (usize, u64) {
         let mut count = 0;
         let mut bytes = 0;
-        if let Ok(entries) = fs::read_dir(&self.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let Some(name) = name.to_str() else { continue };
-                if let Some((epoch, _)) = parse_segment_name(name) {
+        if let Ok(entries) = self.io.list_dir(&self.dir) {
+            for (name, len) in entries {
+                if let Some((epoch, _)) = parse_segment_name(&name) {
                     if epoch == self.epoch {
                         count += 1;
-                        bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                        bytes += len;
                     }
                 }
             }
@@ -316,10 +485,92 @@ impl Journal {
         // next_seq minus the base of the current snapshot; read it back
         // lazily (compaction is rare).
         let path = self.dir.join(snapshot_file_name(self.epoch));
-        match read_snapshot_meta(&path) {
+        match read_snapshot_meta(self.io.as_ref(), &path) {
             Ok(meta) => self.next_seq.saturating_sub(meta.seq),
             Err(_) => 0,
         }
+    }
+
+    /// One attempt at appending the payload batch plus its commit marker.
+    /// On failure the journal's counters and files are NOT restored — the
+    /// caller rolls back to its checkpoint.
+    fn try_append(&mut self, payloads: &[Vec<u8>]) -> Result<(), JournalError> {
+        let mut batch: Vec<u8> = Vec::new();
+        for payload in payloads {
+            // Rotate between records, never mid-record.
+            let segment_full = self
+                .current
+                .as_ref()
+                .is_some_and(|s| s.written + batch.len() as u64 >= self.config.segment_max_bytes);
+            if self.current.is_none() || segment_full {
+                self.flush_batch(&mut batch)?;
+                if segment_full {
+                    self.finish_segment()?;
+                }
+                self.open_segment()?;
+            }
+            record::encode(payload, &mut batch);
+            self.next_seq += 1;
+        }
+        // The marker seals the commit: recovery discards any trailing
+        // events that are not followed by one.
+        record::encode(COMMIT_MARKER, &mut batch);
+        self.flush_batch(&mut batch)?;
+        self.sync_once()
+    }
+
+    /// The state [`Journal::rollback`] needs to restore.
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            next_seq: self.next_seq,
+            next_segment_index: self.next_segment_index,
+            segment: self.current.as_ref().map(|s| (s.path.clone(), s.written)),
+        }
+    }
+
+    /// Undo a failed append attempt: close the handle, delete segments the
+    /// attempt created, truncate the previously-open segment back to its
+    /// confirmed length, restore the counters. Returns false when the disk
+    /// could not be restored (the journal must wedge).
+    fn rollback(&mut self, cp: &Checkpoint) -> bool {
+        self.current = None;
+        let mut ok = true;
+        for index in cp.next_segment_index..self.next_segment_index {
+            let path = self.dir.join(segment_file_name(self.epoch, index));
+            if let Err(e) = self.io.remove_file(&path) {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    ok = false;
+                }
+            }
+        }
+        if let Some((path, written)) = &cp.segment {
+            if self.io.truncate(path, *written).is_err() {
+                ok = false;
+            }
+        }
+        self.next_seq = cp.next_seq;
+        self.next_segment_index = cp.next_segment_index;
+        ok
+    }
+
+    /// Sleep the exponential-backoff delay for the given attempt number.
+    fn backoff(&self, attempt: u32) {
+        let base = self.config.retry_backoff;
+        if !base.is_zero() {
+            std::thread::sleep(base * 2u32.saturating_pow(attempt.saturating_sub(1)));
+        }
+    }
+
+    /// One fsync of the current segment, no retry.
+    fn sync_once(&mut self) -> Result<(), JournalError> {
+        if let Some(seg) = &mut self.current {
+            if self.config.fsync {
+                seg.file
+                    .sync_data()
+                    .map_err(|e| JournalError::io(&seg.path, e))?;
+            }
+        }
+        Ok(())
     }
 
     /// Write bytes buffered for the current segment.
@@ -341,7 +592,7 @@ impl Journal {
 
     /// Close the current segment, fsyncing its tail.
     fn finish_segment(&mut self) -> Result<(), JournalError> {
-        self.sync()?;
+        self.sync_once()?;
         self.current = None;
         Ok(())
     }
@@ -354,11 +605,14 @@ impl Journal {
         let path = self
             .dir
             .join(segment_file_name(self.epoch, self.next_segment_index));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
+        let mut file = self
+            .io
+            .create_new(&path)
             .map_err(|e| JournalError::io(&path, e))?;
+        // Count the segment as created *before* writing its header, so a
+        // failure past this point leaves it inside the range rollback
+        // deletes.
+        self.next_segment_index += 1;
         let header = SegmentHeader {
             epoch: self.epoch,
             start_seq: self.next_seq,
@@ -366,9 +620,10 @@ impl Journal {
         file.write_all(&header.encode())
             .map_err(|e| JournalError::io(&path, e))?;
         if self.config.fsync {
-            sync_dir(&self.dir)?;
+            self.io
+                .sync_dir(&self.dir)
+                .map_err(|e| JournalError::io(&self.dir, e))?;
         }
-        self.next_segment_index += 1;
         self.current = Some(OpenSegment {
             file,
             path,
@@ -383,23 +638,18 @@ impl Journal {
     fn remove_stale_epochs(&self, keep_epoch: u64) -> (usize, u64) {
         let mut removed = 0usize;
         let mut bytes = 0u64;
-        let Ok(entries) = fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.io.list_dir(&self.dir) else {
             return (0, 0);
         };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            let stale = match (parse_snapshot_name(name), parse_segment_name(name)) {
+        for (name, len) in entries {
+            let stale = match (parse_snapshot_name(&name), parse_segment_name(&name)) {
                 (Some(epoch), _) => epoch < keep_epoch,
                 (_, Some((epoch, _))) => epoch < keep_epoch,
                 _ => name.ends_with(".tmp"),
             };
-            if stale {
-                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
-                if fs::remove_file(entry.path()).is_ok() {
-                    removed += 1;
-                    bytes += len;
-                }
+            if stale && self.io.remove_file(&self.dir.join(&name)).is_ok() {
+                removed += 1;
+                bytes += len;
             }
         }
         (removed, bytes)
@@ -407,8 +657,10 @@ impl Journal {
 }
 
 /// Atomically write the `epoch` snapshot of `store` (meta line + store
-/// JSON) via a temp file and rename.
+/// JSON) via a temp file and rename. On failure the temp file is removed
+/// best-effort and the previous snapshot is untouched.
 pub(crate) fn write_snapshot(
+    io: &dyn JournalIo,
     dir: &Path,
     epoch: u64,
     seq: u64,
@@ -418,38 +670,55 @@ pub(crate) fn write_snapshot(
     let final_path = dir.join(snapshot_file_name(epoch));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
     let meta = SnapshotMeta {
-        journal_version: crate::segment::FORMAT_VERSION,
+        journal_version: FORMAT_VERSION,
         epoch,
         seq,
     };
-    {
-        let mut f = File::create(&tmp_path).map_err(|e| JournalError::io(&tmp_path, e))?;
-        let mut contents = serde_json::to_string(&meta)?;
-        contents.push('\n');
-        contents.push_str(&store.to_json());
+    let mut contents = serde_json::to_string(&meta)?;
+    contents.push('\n');
+    contents.push_str(&store.to_json());
+    let written = (|| -> Result<(), JournalError> {
+        let mut f = io
+            .create_truncate(&tmp_path)
+            .map_err(|e| JournalError::io(&tmp_path, e))?;
         f.write_all(contents.as_bytes())
             .map_err(|e| JournalError::io(&tmp_path, e))?;
         if fsync {
             f.sync_all().map_err(|e| JournalError::io(&tmp_path, e))?;
         }
+        Ok(())
+    })();
+    if let Err(e) = written {
+        io.remove_file(&tmp_path).ok();
+        return Err(e);
     }
-    fs::rename(&tmp_path, &final_path).map_err(|e| JournalError::io(&final_path, e))?;
+    io.rename(&tmp_path, &final_path)
+        .map_err(|e| JournalError::io(&final_path, e))?;
     if fsync {
-        sync_dir(dir)?;
+        io.sync_dir(dir).map_err(|e| JournalError::io(dir, e))?;
     }
     Ok(())
 }
 
+/// Read a whole file as UTF-8.
+fn read_utf8(io: &dyn JournalIo, path: &Path) -> Result<String, JournalError> {
+    let bytes = io.read(path).map_err(|e| JournalError::io(path, e))?;
+    String::from_utf8(bytes).map_err(|_| JournalError::Invalid {
+        dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+        reason: format!("snapshot {} is not valid UTF-8", path.display()),
+    })
+}
+
 /// Read just the meta line of a snapshot file.
-fn read_snapshot_meta(path: &Path) -> Result<SnapshotMeta, JournalError> {
-    let contents = fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
+fn read_snapshot_meta(io: &dyn JournalIo, path: &Path) -> Result<SnapshotMeta, JournalError> {
+    let contents = read_utf8(io, path)?;
     let meta_line = contents.lines().next().unwrap_or("");
     Ok(serde_json::from_str(meta_line)?)
 }
 
 /// Load a snapshot file: meta line, then the store image.
-fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
-    let contents = fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
+fn read_snapshot(io: &dyn JournalIo, path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
+    let contents = read_utf8(io, path)?;
     let (meta_line, store_json) =
         contents
             .split_once('\n')
@@ -458,30 +727,36 @@ fn read_snapshot(path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
                 reason: format!("snapshot {} has no meta line", path.display()),
             })?;
     let meta: SnapshotMeta = serde_json::from_str(meta_line)?;
+    if meta.journal_version != FORMAT_VERSION {
+        return Err(JournalError::Invalid {
+            dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+            reason: format!(
+                "snapshot {} has journal format version {}, this build reads {}",
+                path.display(),
+                meta.journal_version,
+                FORMAT_VERSION
+            ),
+        });
+    }
     let store = Store::from_json(store_json)?;
     Ok((meta, store))
 }
 
-/// Fsync a directory so renames and creations inside it are durable.
-fn sync_dir(dir: &Path) -> Result<(), JournalError> {
-    let d = File::open(dir).map_err(|e| JournalError::io(dir, e))?;
-    d.sync_all().map_err(|e| JournalError::io(dir, e))
-}
-
 /// Open a journal directory: load the newest snapshot, replay its epoch's
-/// segments (truncating at the first torn or corrupt record), and return
-/// the recovered store plus an append-ready journal.
+/// segments (truncating at the first torn, corrupt, or un-committed
+/// record run), and return the recovered store plus an append-ready
+/// journal.
 ///
 /// An empty (or absent) directory is initialized with an empty
 /// builtin-model store. Replay damage is *repaired*: the damaged segment is
-/// truncated to its last valid record and unreachable later segments are
+/// truncated to its last sealed commit and unreachable later segments are
 /// deleted, so the next recovery is clean and appends continue from the
 /// recovered state.
 pub fn recover(
     dir: &Path,
     config: JournalConfig,
 ) -> Result<(Store, Journal, RecoveryReport), JournalError> {
-    recover_inner(dir, config, None)
+    recover_inner(dir, config, Arc::new(RealIo), None)
 }
 
 /// [`recover`], but an empty directory is initialized with `initial`
@@ -491,27 +766,45 @@ pub fn recover_or_adopt(
     config: JournalConfig,
     initial: Store,
 ) -> Result<(Store, Journal, RecoveryReport), JournalError> {
-    recover_inner(dir, config, Some(initial))
+    recover_inner(dir, config, Arc::new(RealIo), Some(initial))
+}
+
+/// [`recover`] through an explicit [`JournalIo`] implementation (fault
+/// injection, instrumentation).
+pub fn recover_with_io(
+    dir: &Path,
+    config: JournalConfig,
+    io: Arc<dyn JournalIo>,
+) -> Result<(Store, Journal, RecoveryReport), JournalError> {
+    recover_inner(dir, config, io, None)
+}
+
+/// [`recover_or_adopt`] through an explicit [`JournalIo`] implementation.
+pub fn recover_or_adopt_with_io(
+    dir: &Path,
+    config: JournalConfig,
+    io: Arc<dyn JournalIo>,
+    initial: Store,
+) -> Result<(Store, Journal, RecoveryReport), JournalError> {
+    recover_inner(dir, config, io, Some(initial))
 }
 
 fn recover_inner(
     dir: &Path,
     config: JournalConfig,
+    io: Arc<dyn JournalIo>,
     initial: Option<Store>,
 ) -> Result<(Store, Journal, RecoveryReport), JournalError> {
-    fs::create_dir_all(dir).map_err(|e| JournalError::io(dir, e))?;
+    io.create_dir_all(dir)
+        .map_err(|e| JournalError::io(dir, e))?;
 
     // Inventory the directory.
     let mut snapshot_epochs: Vec<u64> = Vec::new();
     let mut segments: Vec<(u64, u64)> = Vec::new();
-    let entries = fs::read_dir(dir).map_err(|e| JournalError::io(dir, e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| JournalError::io(dir, e))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(epoch) = parse_snapshot_name(name) {
+    for (name, _) in io.list_dir(dir).map_err(|e| JournalError::io(dir, e))? {
+        if let Some(epoch) = parse_snapshot_name(&name) {
             snapshot_epochs.push(epoch);
-        } else if let Some(key) = parse_segment_name(name) {
+        } else if let Some(key) = parse_segment_name(&name) {
             segments.push(key);
         }
     }
@@ -525,14 +818,17 @@ fn recover_inner(
         }
         // Fresh directory: initialize epoch 0.
         let store = initial.unwrap_or_else(Store::with_builtin_model);
-        write_snapshot(dir, 0, 0, &store, config.fsync)?;
+        write_snapshot(io.as_ref(), dir, 0, 0, &store, config.fsync)?;
         let journal = Journal {
             dir: dir.to_path_buf(),
             config,
+            io,
             epoch: 0,
             next_seq: 0,
             next_segment_index: 0,
             current: None,
+            wedged: false,
+            retries: 0,
         };
         let report = RecoveryReport {
             epoch: 0,
@@ -541,11 +837,12 @@ fn recover_inner(
             segments_replayed: 0,
             damage: None,
             initialized: true,
+            warnings: Vec::new(),
         };
         return Ok((store, journal, report));
     };
 
-    let (meta, mut store) = read_snapshot(&dir.join(snapshot_file_name(epoch)))?;
+    let (meta, mut store) = read_snapshot(io.as_ref(), &dir.join(snapshot_file_name(epoch)))?;
     if meta.epoch != epoch {
         return Err(JournalError::Invalid {
             dir: dir.to_path_buf(),
@@ -556,16 +853,39 @@ fn recover_inner(
         });
     }
 
+    let mut report = RecoveryReport {
+        epoch,
+        base_seq: meta.seq,
+        events_applied: 0,
+        segments_replayed: 0,
+        damage: None,
+        initialized: false,
+        warnings: Vec::new(),
+    };
+
     // Clean up files a crashed compaction left behind: older snapshots,
-    // other-epoch segments, temp files. Best-effort.
+    // other-epoch segments, temp files. Failures become warnings — the
+    // files are ignored by replay either way.
     for e in &snapshot_epochs {
         if *e < epoch {
-            fs::remove_file(dir.join(snapshot_file_name(*e))).ok();
+            let path = dir.join(snapshot_file_name(*e));
+            if let Err(err) = io.remove_file(&path) {
+                report.warnings.push(format!(
+                    "stale snapshot {} not removed: {err}",
+                    path.display()
+                ));
+            }
         }
     }
     for (seg_epoch, index) in &segments {
         if *seg_epoch != epoch {
-            fs::remove_file(dir.join(segment_file_name(*seg_epoch, *index))).ok();
+            let path = dir.join(segment_file_name(*seg_epoch, *index));
+            if let Err(err) = io.remove_file(&path) {
+                report.warnings.push(format!(
+                    "stale segment {} not removed: {err}",
+                    path.display()
+                ));
+            }
         }
     }
 
@@ -577,27 +897,25 @@ fn recover_inner(
         .collect();
     live.sort_unstable();
 
-    let mut report = RecoveryReport {
-        epoch,
-        base_seq: meta.seq,
-        events_applied: 0,
-        segments_replayed: 0,
-        damage: None,
-        initialized: false,
-    };
-    let mut expected_seq = meta.seq;
-    let mut last_good_index: Option<u64> = None;
+    // Events decoded from the log (committed or not) — segment headers are
+    // checked against this.
+    let mut decoded_seq = meta.seq;
+    // Events sealed by a commit marker and applied to the store.
+    let mut committed_seq = meta.seq;
+    // Position just after the last commit marker: `(index into live, byte
+    // offset)`. Repair truncates here. `None` = no valid segment yet.
+    let mut watermark: Option<(usize, u64)> = None;
+    // Events decoded since the last marker, with the segment position of
+    // the commit's first record (for diagnostics).
+    let mut pending: Vec<StoreEvent> = Vec::new();
 
     'segments: for (pos, &index) in live.iter().enumerate() {
         let path = dir.join(segment_file_name(epoch, index));
-        let mut bytes = Vec::new();
-        File::open(&path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(|e| JournalError::io(&path, e))?;
+        let bytes = io.read(&path).map_err(|e| JournalError::io(&path, e))?;
 
         let damage_kind = match SegmentHeader::decode(&bytes) {
             None => Some(DamageKind::BadHeader),
-            Some(h) if h.epoch != epoch || h.start_seq != expected_seq => {
+            Some(h) if h.epoch != epoch || h.start_seq != decoded_seq => {
                 Some(DamageKind::SequenceMismatch)
             }
             Some(_) => None,
@@ -608,9 +926,11 @@ fn recover_inner(
                 offset: 0,
                 kind,
             });
-            // The whole segment (and everything after it) is unreachable.
-            remove_segments(dir, epoch, &live[pos..]);
             break 'segments;
+        }
+        if pending.is_empty() {
+            // A commit boundary coincides with this segment's start.
+            watermark = Some((pos, SEGMENT_HEADER_LEN as u64));
         }
 
         let mut offset = SEGMENT_HEADER_LEN;
@@ -618,24 +938,36 @@ fn recover_inner(
             match record::decode(&bytes[offset..]) {
                 Decoded::End => break,
                 Decoded::Record { payload, consumed } => {
-                    let applied = serde_json::from_slice::<StoreEvent>(payload)
-                        .map_err(|_| DamageKind::Corrupt)
-                        .and_then(|event| store.apply_event(&event).map_err(|_| DamageKind::Apply));
-                    match applied {
-                        Ok(()) => {
-                            offset += consumed;
-                            expected_seq += 1;
+                    if payload == COMMIT_MARKER {
+                        offset += consumed;
+                        for event in pending.drain(..) {
+                            if store.apply_event(&event).is_err() {
+                                report.damage = Some(Damage {
+                                    segment: path.clone(),
+                                    offset: offset as u64,
+                                    kind: DamageKind::Apply,
+                                });
+                                break 'segments;
+                            }
+                            committed_seq += 1;
                             report.events_applied += 1;
                         }
-                        Err(kind) => {
-                            report.damage = Some(Damage {
-                                segment: path.clone(),
-                                offset: offset as u64,
-                                kind,
-                            });
-                            truncate_segment(&path, offset as u64);
-                            remove_segments(dir, epoch, &live[pos + 1..]);
-                            break 'segments;
+                        watermark = Some((pos, offset as u64));
+                    } else {
+                        match serde_json::from_slice::<StoreEvent>(payload) {
+                            Ok(event) => {
+                                pending.push(event);
+                                decoded_seq += 1;
+                                offset += consumed;
+                            }
+                            Err(_) => {
+                                report.damage = Some(Damage {
+                                    segment: path.clone(),
+                                    offset: offset as u64,
+                                    kind: DamageKind::Corrupt,
+                                });
+                                break 'segments;
+                            }
                         }
                     }
                 }
@@ -650,54 +982,104 @@ fn recover_inner(
                         offset: offset as u64,
                         kind,
                     });
-                    truncate_segment(&path, offset as u64);
-                    remove_segments(dir, epoch, &live[pos + 1..]);
                     break 'segments;
                 }
             }
         }
         report.segments_replayed += 1;
-        last_good_index = Some(index);
     }
 
-    let next_segment_index = match report.damage {
-        // After damage, the truncated segment keeps its index; appends go
-        // to a fresh segment after it (or in its place if it was removed).
-        Some(ref d) => match d.kind {
-            DamageKind::BadHeader | DamageKind::SequenceMismatch => {
-                parse_segment_name(d.segment.file_name().and_then(|n| n.to_str()).unwrap_or(""))
-                    .map(|(_, i)| i)
-                    .unwrap_or(0)
+    // A log ending in events without a sealing marker is the tail of a
+    // commit that was never acknowledged: discard it.
+    if report.damage.is_none() && !pending.is_empty() {
+        let (pos, offset) = watermark.unwrap_or((0, SEGMENT_HEADER_LEN as u64));
+        report.damage = Some(Damage {
+            segment: dir.join(segment_file_name(
+                epoch,
+                live.get(pos).copied().unwrap_or(0),
+            )),
+            offset,
+            kind: DamageKind::Uncommitted,
+        });
+    }
+
+    // Physically repair damage: truncate back to the last sealed commit and
+    // delete everything unreachable after it. A failed repair leaves bytes
+    // on disk that a future append would contradict (the leftover tail
+    // would make the next segment's start_seq look like a sequence
+    // mismatch and lose acked commits), so the journal starts *wedged* —
+    // readable state, but no appends until a reopen repairs cleanly.
+    let mut repair_failed = false;
+    let next_segment_index = if report.damage.is_some() {
+        pending.clear();
+        let before = report.warnings.len();
+        let next = match watermark {
+            Some((pos, offset)) => {
+                let keep = live[pos];
+                let keep_path = dir.join(segment_file_name(epoch, keep));
+                if let Err(e) = io.truncate(&keep_path, offset) {
+                    report.warnings.push(format!(
+                        "damaged segment {} not truncated to {offset} bytes: {e}",
+                        keep_path.display()
+                    ));
+                }
+                remove_segments(
+                    io.as_ref(),
+                    dir,
+                    epoch,
+                    &live[pos + 1..],
+                    &mut report.warnings,
+                );
+                keep + 1
             }
-            _ => parse_segment_name(d.segment.file_name().and_then(|n| n.to_str()).unwrap_or(""))
-                .map(|(_, i)| i + 1)
-                .unwrap_or(0),
-        },
-        None => last_good_index.map(|i| i + 1).unwrap_or(0),
+            None => {
+                remove_segments(io.as_ref(), dir, epoch, &live, &mut report.warnings);
+                live.first().copied().unwrap_or(0)
+            }
+        };
+        repair_failed = report.warnings.len() > before;
+        if repair_failed {
+            report
+                .warnings
+                .push("repair incomplete: journal is read-only until a clean reopen".into());
+        }
+        next
+    } else {
+        live.last().map(|&i| i + 1).unwrap_or(0)
     };
 
     let journal = Journal {
         dir: dir.to_path_buf(),
         config,
+        io,
         epoch,
-        next_seq: expected_seq,
+        next_seq: committed_seq,
         next_segment_index,
         current: None,
+        wedged: repair_failed,
+        retries: 0,
     };
     Ok((store, journal, report))
 }
 
-/// Truncate a damaged segment to its last valid record. Best-effort.
-fn truncate_segment(path: &Path, len: u64) {
-    if let Ok(f) = OpenOptions::new().write(true).open(path) {
-        f.set_len(len).ok();
-        f.sync_all().ok();
-    }
-}
-
-/// Delete the given segment indexes of an epoch. Best-effort.
-fn remove_segments(dir: &Path, epoch: u64, indexes: &[u64]) {
+/// Delete the given segment indexes of an epoch, collecting failures as
+/// warnings.
+fn remove_segments(
+    io: &dyn JournalIo,
+    dir: &Path,
+    epoch: u64,
+    indexes: &[u64],
+    warnings: &mut Vec<String>,
+) {
     for &i in indexes {
-        fs::remove_file(dir.join(segment_file_name(epoch, i))).ok();
+        let path = dir.join(segment_file_name(epoch, i));
+        if let Err(e) = io.remove_file(&path) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                warnings.push(format!(
+                    "unreachable segment {} not removed: {e}",
+                    path.display()
+                ));
+            }
+        }
     }
 }

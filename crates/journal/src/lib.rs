@@ -36,17 +36,20 @@
 #![warn(missing_docs)]
 
 mod crc32;
+pub mod io;
 pub mod journal;
 pub mod record;
 pub mod segment;
 
+pub use io::{FaultIo, FaultPlan, JournalFile, JournalIo, RealIo};
 pub use journal::{
-    recover, recover_or_adopt, CompactionReport, Damage, DamageKind, Journal, JournalConfig,
-    JournalError, RecoveryReport,
+    recover, recover_or_adopt, recover_or_adopt_with_io, recover_with_io, CompactionReport, Damage,
+    DamageKind, ErrorClass, Journal, JournalConfig, JournalError, RecoveryReport,
 };
 
 use semex_store::{Store, StoreEvent};
 use std::path::Path;
+use std::sync::Arc;
 
 /// A [`Store`] paired with its [`Journal`]: every mutation made through
 /// [`store_mut`](DurableStore::store_mut) is buffered as events, and
@@ -81,6 +84,19 @@ impl DurableStore {
         initial: Store,
     ) -> Result<(DurableStore, RecoveryReport), JournalError> {
         let (mut store, journal, report) = recover_or_adopt(dir.as_ref(), config, initial)?;
+        store.enable_events();
+        Ok((DurableStore { store, journal }, report))
+    }
+
+    /// Like [`open`](DurableStore::open), but performing all file access
+    /// through an explicit [`JournalIo`] implementation — fault injection
+    /// in tests, instrumentation in benchmarks.
+    pub fn open_with_io(
+        dir: impl AsRef<Path>,
+        config: JournalConfig,
+        io: Arc<dyn JournalIo>,
+    ) -> Result<(DurableStore, RecoveryReport), JournalError> {
+        let (mut store, journal, report) = recover_with_io(dir.as_ref(), config, io)?;
         store.enable_events();
         Ok((DurableStore { store, journal }, report))
     }

@@ -24,8 +24,10 @@
 /// Magic bytes opening every segment file.
 pub const MAGIC: &[u8; 8] = b"SEMEXWAL";
 
-/// Journal format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Journal format version. Version 2 introduced commit-marker records:
+/// every committed batch ends with a marker, and replay discards trailing
+/// events that are not sealed by one.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Size of the fixed segment header.
 pub const SEGMENT_HEADER_LEN: usize = 28;

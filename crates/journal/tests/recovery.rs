@@ -260,6 +260,7 @@ fn duplicated_segment_stops_replay_at_the_boundary() {
     let cfg = JournalConfig {
         segment_max_bytes: 160,
         fsync: false,
+        ..JournalConfig::default()
     };
     let (mut durable, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
     scenario(durable.store_mut());
@@ -346,6 +347,7 @@ fn segment_rotation_produces_multiple_segments_and_replays_in_order() {
     let cfg = JournalConfig {
         segment_max_bytes: 200,
         fsync: false,
+        ..JournalConfig::default()
     };
     let (mut durable, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
     let person = durable.store().model().class(class::PERSON).unwrap();

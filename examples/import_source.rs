@@ -56,6 +56,7 @@ fn main() {
     println!("== incoming source: attendees.csv ==\n{ATTENDEES_CSV}");
     let (mapping_score, report) = semex
         .integrate("attendees.csv", ATTENDEES_CSV)
+        .expect("import accepted")
         .expect("schema matches the Person class");
 
     println!("schema mapping confidence: {mapping_score:.2}");

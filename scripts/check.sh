@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> durability fault sweep (a fault injected at every journal I/O op)"
+cargo test -q -p semex-journal --test fault_sweep -- --nocapture
+
 echo "==> index equivalence suite (parallel/incremental/pruned vs oracle)"
 cargo test -q -p semex-index --test index_equiv_prop
 cargo test -q -p semex-index --lib search::tests

@@ -42,6 +42,29 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Print what recovery had to repair: damage notes, and any repair steps
+/// that themselves failed (those leave the journal read-only until a clean
+/// reopen, so the operator must see them).
+fn print_recovery(report: &semex::core::RecoveryReport) {
+    if let Some(d) = &report.damage {
+        eprintln!(
+            "semex: journal damage ({:?} in {}) repaired; {} event(s) recovered",
+            d.kind,
+            d.segment.display(),
+            report.events_applied
+        );
+    }
+    for w in &report.warnings {
+        eprintln!("semex: journal recovery warning: {w}");
+    }
+    if !report.warnings.is_empty() {
+        eprintln!(
+            "semex: the journal could not be fully repaired; it is read-only until the \
+             underlying problem (disk space, permissions) is fixed and the space is reopened"
+        );
+    }
+}
+
 /// Open a space: a snapshot file, or a journal directory (recovered from
 /// snapshot + write-ahead-log replay).
 fn load(path: &str) -> Result<Semex, String> {
@@ -49,14 +72,7 @@ fn load(path: &str) -> Result<Semex, String> {
     if p.is_dir() {
         let (durable, report) = Semex::open_durable(p, SemexConfig::default())
             .map_err(|e| format!("cannot open journal {path}: {e}"))?;
-        if let Some(d) = &report.damage {
-            eprintln!(
-                "semex: journal damage ({:?} in {}) repaired; {} event(s) recovered",
-                d.kind,
-                d.segment.display(),
-                report.events_applied
-            );
-        }
+        print_recovery(&report);
         Ok(durable.into_inner())
     } else {
         Semex::load(p, SemexConfig::default())
@@ -180,14 +196,7 @@ fn cmd_journal_compact(args: &[String]) -> Result<(), String> {
     };
     let (mut durable, report) = Semex::open_durable(Path::new(dir), SemexConfig::default())
         .map_err(|e| format!("cannot open journal {dir}: {e}"))?;
-    if let Some(d) = &report.damage {
-        eprintln!(
-            "semex: journal damage ({:?} in {}) repaired; {} event(s) recovered",
-            d.kind,
-            d.segment.display(),
-            report.events_applied
-        );
-    }
+    print_recovery(&report);
     println!(
         "recovered epoch {}: snapshot + {} replayed event(s) across {} segment(s)",
         report.epoch, report.events_applied, report.segments_replayed

@@ -66,7 +66,7 @@ fn the_demo_script() {
     );
     let people_class = semex.store().model().class("Person").unwrap();
     let before = semex.store().class_count(people_class);
-    let (confidence, report) = semex.integrate("workshop.csv", &csv).unwrap();
+    let (confidence, report) = semex.integrate("workshop.csv", &csv).unwrap().unwrap();
     assert!(confidence > 0.5, "schema matched without user mapping");
     assert_eq!(report.created, 2);
     assert_eq!(
