@@ -66,6 +66,9 @@ fn main() {
     if want("e12") {
         e12_fault_injection();
     }
+    if want("e13") {
+        e13_serve();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1098,6 +1101,229 @@ fn e12_fault_injection() {
              verified, {retries_absorbed} retries absorbed, {degraded_transitions} degraded \
              transitions)\n"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// E13: the serving layer — read throughput scaling with server threads,
+// mixed-workload latency, write coalescing, and admission control.
+// ---------------------------------------------------------------------
+fn e13_serve() {
+    use semex_core::{Semex, SemexBuilder, SemexConfig};
+    use semex_serve::protocol::{read_response, IngestFormat, Request, Response};
+    use semex_serve::{serve, Client, Master, ServeConfig};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    println!("## E13 — concurrent query service: scaling, coalescing, admission control\n");
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 400;
+    const WRITE_EVERY: usize = 20; // 1-in-20 requests is a write: a 95/5 mix
+
+    // Build the space once, snapshot it, and reload it per round so every
+    // server-thread count starts from the identical state.
+    let cfg = paper_corpus();
+    let corpus = generate_personal(&cfg);
+    let scratch = std::env::temp_dir().join(format!("semex-e13-{}", std::process::id()));
+    let corpus_dir = scratch.join("corpus");
+    corpus.write_to(&corpus_dir).expect("corpus renders to disk");
+    let t0 = Instant::now();
+    let semex = SemexBuilder::new()
+        .add_directory("desktop", &corpus_dir)
+        .build()
+        .expect("build the platform");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let space = scratch.join("space.json");
+    semex.save(&space).expect("snapshot the platform");
+
+    // A query pool drawn from real person labels so reads do real work.
+    let c_person = semex.store().model().class(class::PERSON).unwrap();
+    let people: Vec<_> = semex.store().objects_of_class(c_person).take(200).collect();
+    let mut pool: Vec<String> = people
+        .iter()
+        .flat_map(|&o| {
+            semex
+                .store()
+                .label(o)
+                .split_whitespace()
+                .map(|w| w.to_lowercase())
+                .collect::<Vec<_>>()
+        })
+        .filter(|w| w.len() >= 3)
+        .collect();
+    pool.sort();
+    pool.dedup();
+    let pool = Arc::new(pool);
+    let objects = semex.stats().objects;
+    drop(semex);
+    println!(
+        "platform: {objects} objects ({build_ms:.0} ms build), query pool {} words\n",
+        pool.len()
+    );
+
+    let mut table = TextTable::new(&[
+        "server threads",
+        "req/s",
+        "read p50 us",
+        "read p99 us",
+        "writes ok",
+        "batches",
+        "coalesce",
+    ]);
+    let mut rounds = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let master =
+            Master::Ephemeral(Semex::load(&space, SemexConfig::default()).expect("reload"));
+        let config = ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        };
+        let handle = serve(master, "127.0.0.1:0", config).expect("bind an ephemeral port");
+        let addr = handle.addr();
+
+        let t0 = Instant::now();
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|cid| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    // Warm-up request: it absorbs this connection's wait in
+                    // the accept queue, which is contention we account for
+                    // in throughput, not in per-request service latency.
+                    client.request(&Request::Stats).expect("warm-up");
+                    // Deterministic xorshift picks the queries.
+                    let mut state = 0x9E37_79B9u64 ^ ((threads as u64) << 32) ^ cid as u64;
+                    let mut latencies = Vec::with_capacity(REQUESTS);
+                    for j in 0..REQUESTS {
+                        if j % WRITE_EVERY == WRITE_EVERY - 1 {
+                            let response = client
+                                .request(&Request::Ingest {
+                                    format: IngestFormat::Mbox,
+                                    name: format!("load-t{threads}-c{cid}-{j}"),
+                                    content: format!(
+                                        "From: c{cid}j{j}@load.example\n\
+                                         Subject: load note\n\nbody"
+                                    ),
+                                })
+                                .expect("write acked");
+                            assert!(matches!(response, Response::Ingested { .. }));
+                        } else {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            let query = pool[(state % pool.len() as u64) as usize].clone();
+                            let r0 = Instant::now();
+                            let response = client
+                                .request(&Request::Search {
+                                    query,
+                                    k: 10,
+                                    exhaustive: false,
+                                })
+                                .expect("read served");
+                            latencies.push(r0.elapsed().as_secs_f64() * 1e6);
+                            assert!(matches!(response, Response::Hits { .. }));
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("client thread"))
+            .collect();
+        let wall = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        let report = handle.join();
+
+        latencies.sort_by(f64::total_cmp);
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let throughput = (CLIENTS * REQUESTS) as f64 / wall;
+        let coalesce = report.writer.writes_ok as f64 / report.writer.batches.max(1) as f64;
+        table.row(vec![
+            threads.to_string(),
+            format!("{throughput:.0}"),
+            format!("{:.0}", pct(0.50)),
+            format!("{:.0}", pct(0.99)),
+            report.writer.writes_ok.to_string(),
+            report.writer.batches.to_string(),
+            format!("{coalesce:.2}"),
+        ]);
+        rounds.push(serde_json::json!({
+            "server_threads": threads,
+            "requests": CLIENTS * REQUESTS,
+            "throughput_rps": throughput,
+            "read_p50_us": pct(0.50),
+            "read_p99_us": pct(0.99),
+            "writes_ok": report.writer.writes_ok,
+            "writes_failed": report.writer.writes_failed,
+            "batches": report.writer.batches,
+            "coalesced_commit_ratio": coalesce,
+            "final_epoch": report.writer.final_epoch,
+        }));
+    }
+    println!("{}", table.render());
+
+    // Admission control: one busy worker, a one-slot accept queue, and a
+    // burst of connections — everything past the queue is shed with a
+    // typed `overloaded` response, never a hang or a silent close.
+    let master = Master::Ephemeral(Semex::load(&space, SemexConfig::default()).expect("reload"));
+    let config = ServeConfig {
+        threads: 1,
+        conn_queue: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(master, "127.0.0.1:0", config).expect("bind an ephemeral port");
+    let addr = handle.addr();
+    let mut held = Client::connect(addr).expect("held connection");
+    held.request(&Request::Stats).expect("held is being served");
+    let _queued = Client::connect(addr).expect("queued connection fills the slot");
+    thread::sleep(Duration::from_millis(30));
+    const BURST: usize = 8;
+    let mut shed = 0usize;
+    for _ in 0..BURST {
+        let mut stream = std::net::TcpStream::connect(addr).expect("burst connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        if let Ok(Some(Response::Overloaded { queue })) = read_response(&mut stream) {
+            assert_eq!(queue, "connections");
+            shed += 1;
+        }
+    }
+    drop(held);
+    drop(_queued);
+    handle.shutdown();
+    let overload = handle.join();
+    println!(
+        "admission control: {shed}/{BURST} burst connections shed with a typed \
+         overloaded response (server counted {})\n",
+        overload.shed_connections
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let bench = serde_json::json!({
+        "experiment": "e13-serve",
+        "workload": {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS,
+            "write_fraction": 1.0 / WRITE_EVERY as f64,
+            "objects": objects,
+        },
+        "rounds": rounds,
+        "overload": {
+            "burst": BURST,
+            "shed": shed,
+            "server_shed_connections": overload.shed_connections,
+        },
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_serve.json", record) {
+        eprintln!("could not write BENCH_serve.json: {e}\n");
+    } else {
+        println!("wrote BENCH_serve.json ({} rounds, {shed} shed)\n", 3);
     }
 }
 

@@ -58,6 +58,135 @@ impl fmt::Display for ObjectView {
     }
 }
 
+/// Resolve raw index hits to display form against a store.
+fn results_of(store: &Store, hits: Vec<semex_index::Hit>) -> Vec<SearchResult> {
+    hits.into_iter()
+        .map(|h| SearchResult {
+            object: h.object,
+            label: store.label(h.object),
+            class: store
+                .model()
+                .class_def(store.class_of(h.object))
+                .name
+                .clone(),
+            score: h.score,
+        })
+        .collect()
+}
+
+/// Assemble the full display view of one object against a store.
+fn view_of(store: &Store, obj: ObjectId) -> ObjectView {
+    let obj = store.resolve(obj);
+    let o = store.object(obj);
+    let model = store.model();
+    let attrs = o
+        .attrs
+        .iter()
+        .map(|(a, v)| (model.attr_def(*a).name.clone(), v.render()))
+        .collect();
+    let sources = o
+        .sources
+        .iter()
+        .filter_map(|&s| store.source(s).map(|i| i.name.clone()))
+        .collect();
+    ObjectView {
+        object: obj,
+        label: store.label(obj),
+        class: model.class_def(o.class).name.clone(),
+        attrs,
+        links: Browser::new(store).neighborhood(obj),
+        sources,
+    }
+}
+
+/// Group the asserted facts about one object by provenance source.
+fn explain_of(store: &Store, obj: ObjectId) -> Vec<(String, String)> {
+    let obj = store.resolve(obj);
+    let model = store.model();
+    let mut out = Vec::new();
+    for t in store.triples() {
+        if t.subject != obj && t.object != obj {
+            continue;
+        }
+        let source = store
+            .source(t.source)
+            .map(|i| i.name.clone())
+            .unwrap_or_else(|| t.source.to_string());
+        let def = model.assoc_def(t.assoc);
+        let fact = format!(
+            "{} --{}--> {}",
+            store.label(t.subject),
+            def.name,
+            store.label(t.object)
+        );
+        out.push((source, fact));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// An immutable, self-contained copy of the queryable platform state: the
+/// association store plus the keyword index, detached from the live
+/// [`Semex`].
+///
+/// This is the unit of *snapshot isolation* the serving layer is built on:
+/// the writer clones the master's state into a `Snapshot`, publishes it
+/// behind an `Arc`, and any number of reader threads query it concurrently
+/// — every read method takes `&self`, and a snapshot never observes a
+/// mutation applied after it was taken.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    store: Store,
+    index: SearchIndex,
+}
+
+impl Snapshot {
+    /// The association database at snapshot time.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The keyword index at snapshot time.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// A browser over the snapshot's association database.
+    pub fn browser(&self) -> Browser<'_> {
+        Browser::new(&self.store)
+    }
+
+    /// Keyword search (pruned top-k evaluator); see [`Semex::search`].
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        results_of(&self.store, self.index.search_str(&self.store, query, k))
+    }
+
+    /// Keyword search through the exhaustive reference scorer.
+    pub fn search_exhaustive(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        results_of(
+            &self.store,
+            self.index.search_str_exhaustive(&self.store, query, k),
+        )
+    }
+
+    /// A full display view of one object; see [`Semex::view`].
+    pub fn view(&self, obj: ObjectId) -> ObjectView {
+        view_of(&self.store, obj)
+    }
+
+    /// Facts about an object grouped by provenance source; see
+    /// [`Semex::explain`].
+    pub fn explain(&self, obj: ObjectId) -> Vec<(String, String)> {
+        explain_of(&self.store, obj)
+    }
+
+    /// Store statistics at snapshot time.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::compute(&self.store)
+    }
+}
+
 /// The assembled SEMEX platform.
 pub struct Semex {
     store: Store,
@@ -69,6 +198,12 @@ pub struct Semex {
     /// drained events are dropped after indexing.
     pending_events: Vec<StoreEvent>,
     retain_events: bool,
+    /// When set, mutating paths leave store events buffered instead of
+    /// folding them into the index per mutation; [`Semex::flush_index`]
+    /// drains the whole batch in one [`SearchIndex::apply_events`] call.
+    /// The serving layer's writer thread uses this so N coalesced writes
+    /// cost one index refresh.
+    batch_index: bool,
     /// `Some(cause)` when the platform is in degraded read-only mode after
     /// a permanent journal failure: mutations are rejected with
     /// [`crate::SemexError::Degraded`] until
@@ -103,7 +238,57 @@ impl Semex {
             report,
             pending_events: Vec::new(),
             retain_events: false,
+            batch_index: false,
             degraded: None,
+        }
+    }
+
+    /// Clone the queryable state into an immutable [`Snapshot`].
+    ///
+    /// The snapshot reflects every mutation applied so far (including
+    /// event batches not yet flushed into the master's index: those are
+    /// folded into the *snapshot's* index copy so it is always current),
+    /// and never changes afterwards. This is what the serving layer
+    /// publishes to reader threads after each write batch.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut index = self.index.clone();
+        // Don't drain the master's buffer — peeking keeps the pending
+        // journal/flush bookkeeping untouched.
+        let pending = self.store.peek_events();
+        if !pending.is_empty() {
+            index.apply_events(&self.store, pending);
+        }
+        Snapshot {
+            store: self.store.clone(),
+            index,
+        }
+    }
+
+    /// Switch index-refresh batching on or off. While batching is on,
+    /// mutating calls ([`Semex::ingest`], [`Semex::integrate`],
+    /// [`Semex::assert_same`], …) leave their store events buffered and the
+    /// master's keyword index goes stale; one [`Semex::flush_index`] call
+    /// (or a durable [`DurableSemex::commit`]) folds the whole batch in at
+    /// once. Turning batching *off* flushes implicitly, so the index is
+    /// never silently stale outside a batch.
+    pub fn set_index_batching(&mut self, on: bool) {
+        self.batch_index = on;
+        if !on {
+            self.flush_index();
+        }
+    }
+
+    /// Drain all buffered store events into the keyword index in a single
+    /// delta application. A no-op when nothing is buffered; the batched
+    /// write path calls this exactly once per published snapshot.
+    pub fn flush_index(&mut self) {
+        let events = self.store.take_events();
+        if events.is_empty() {
+            return;
+        }
+        self.index.apply_events(&self.store, &events);
+        if self.retain_events {
+            self.pending_events.extend(events);
         }
     }
 
@@ -126,17 +311,15 @@ impl Semex {
     }
 
     /// Fold any recorded store mutations into the keyword index. Called by
-    /// every mutating facade path; a full [`SearchIndex::build`] remains
-    /// only as the restore/recovery fallback when no event stream exists.
+    /// every mutating facade path; a no-op while index batching is on
+    /// (the batch is drained once by [`Semex::flush_index`]). A full
+    /// [`SearchIndex::build`] remains only as the restore/recovery fallback
+    /// when no event stream exists.
     fn refresh_index(&mut self) {
-        let events = self.store.take_events();
-        if events.is_empty() {
+        if self.batch_index {
             return;
         }
-        self.index.apply_events(&self.store, &events);
-        if self.retain_events {
-            self.pending_events.extend(events);
-        }
+        self.flush_index();
     }
 
     /// The association database.
@@ -167,55 +350,22 @@ impl Semex {
     /// Keyword search: top-`k` objects for a query string (supports the
     /// `class:Name` filter syntax). Runs the pruned top-k evaluator.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        self.to_results(self.index.search_str(&self.store, query, k))
+        results_of(&self.store, self.index.search_str(&self.store, query, k))
     }
 
     /// [`Semex::search`] through the exhaustive reference scorer. Returns
     /// identical results; kept as the oracle for verification and for
     /// benchmarking the pruned path against.
     pub fn search_exhaustive(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        self.to_results(self.index.search_str_exhaustive(&self.store, query, k))
-    }
-
-    fn to_results(&self, hits: Vec<semex_index::Hit>) -> Vec<SearchResult> {
-        hits.into_iter()
-            .map(|h| SearchResult {
-                object: h.object,
-                label: self.store.label(h.object),
-                class: self
-                    .store
-                    .model()
-                    .class_def(self.store.class_of(h.object))
-                    .name
-                    .clone(),
-                score: h.score,
-            })
-            .collect()
+        results_of(
+            &self.store,
+            self.index.search_str_exhaustive(&self.store, query, k),
+        )
     }
 
     /// A full display view of one object.
     pub fn view(&self, obj: ObjectId) -> ObjectView {
-        let obj = self.store.resolve(obj);
-        let o = self.store.object(obj);
-        let model = self.store.model();
-        let attrs = o
-            .attrs
-            .iter()
-            .map(|(a, v)| (model.attr_def(*a).name.clone(), v.render()))
-            .collect();
-        let sources = o
-            .sources
-            .iter()
-            .filter_map(|&s| self.store.source(s).map(|i| i.name.clone()))
-            .collect();
-        ObjectView {
-            object: obj,
-            label: self.store.label(obj),
-            class: model.class_def(o.class).name.clone(),
-            attrs,
-            links: self.browser().neighborhood(obj),
-            sources,
-        }
+        view_of(&self.store, obj)
     }
 
     /// Integrate an external CSV source on the fly: match its schema,
@@ -330,30 +480,7 @@ impl Semex {
     /// `(source name, rendered fact)` pairs. The demo's "where does SEMEX
     /// know this from?" affordance.
     pub fn explain(&self, obj: ObjectId) -> Vec<(String, String)> {
-        let obj = self.store.resolve(obj);
-        let model = self.store.model();
-        let mut out = Vec::new();
-        for t in self.store.triples() {
-            if t.subject != obj && t.object != obj {
-                continue;
-            }
-            let source = self
-                .store
-                .source(t.source)
-                .map(|i| i.name.clone())
-                .unwrap_or_else(|| t.source.to_string());
-            let def = model.assoc_def(t.assoc);
-            let fact = format!(
-                "{} --{}--> {}",
-                self.store.label(t.subject),
-                def.name,
-                self.store.label(t.object)
-            );
-            out.push((source, fact));
-        }
-        out.sort();
-        out.dedup();
-        out
+        explain_of(&self.store, obj)
     }
 
     /// User feedback: assert that two objects denote the same entity.
@@ -471,8 +598,9 @@ impl Semex {
     ) -> Result<DurableSemex, JournalError> {
         let dir = dir.as_ref();
         // The initial snapshot captures the store as-is; make sure no
-        // recorded-but-unindexed (and thus unjournaled) events stay behind.
-        self.refresh_index();
+        // recorded-but-unindexed (and thus unjournaled) events stay behind,
+        // even when index batching is on.
+        self.flush_index();
         let (durable, report) = DurableStore::open_with(dir, journal_config, self.store)?;
         if !report.initialized {
             return Err(JournalError::Invalid {
@@ -554,7 +682,10 @@ impl DurableSemex {
     /// platform into degraded read-only mode — see
     /// [`DurableSemex::try_recover_journal`].
     pub fn commit(&mut self) -> Result<usize, JournalError> {
-        self.semex.refresh_index();
+        // Force a drain even under index batching: commit is the batch
+        // boundary of the batched write path, and this is the single
+        // `apply_events` call its mutations cost.
+        self.semex.flush_index();
         let events = std::mem::take(&mut self.semex.pending_events);
         match self.journal.append_commit(&events) {
             Ok(n) => Ok(n),
@@ -579,7 +710,7 @@ impl DurableSemex {
     /// Also callable on a healthy platform, where it is just a reopen plus
     /// commit.
     pub fn try_recover_journal(&mut self) -> Result<usize, JournalError> {
-        self.semex.refresh_index();
+        self.semex.flush_index();
         let durable_seq = self.journal.next_seq();
         self.journal.reopen()?;
         let mut events = std::mem::take(&mut self.semex.pending_events);
@@ -1003,6 +1134,94 @@ mod tests {
             semex.search("reconciliation demo", 5),
             semex.search_exhaustive("reconciliation demo", 5)
         );
+    }
+
+    #[test]
+    fn batched_mutations_refresh_index_once() {
+        let mut semex = demo();
+        let base = semex.index().apply_calls();
+        semex.set_index_batching(true);
+        for (i, token) in ["quokka", "axolotl", "pangolin"].iter().enumerate() {
+            semex
+                .ingest(crate::SourceSpec::Mbox {
+                    name: format!("batch-{i}"),
+                    content: format!(
+                        "From: w{i}@batch.example\nSubject: {token}\n\nbody {token}"
+                    ),
+                })
+                .unwrap();
+        }
+        assert_eq!(
+            semex.index().apply_calls(),
+            base,
+            "no per-mutation index deltas while batching"
+        );
+        assert!(semex.store().pending_events() > 0, "events stay buffered");
+        semex.flush_index();
+        assert_eq!(
+            semex.index().apply_calls(),
+            base + 1,
+            "one drain per published batch, not one per mutation"
+        );
+        assert_eq!(semex.store().pending_events(), 0);
+        for token in ["quokka", "axolotl", "pangolin"] {
+            assert_eq!(semex.search(token, 5).len(), 1, "{token}");
+        }
+        // The batched deltas leave the index indistinguishable from a
+        // from-scratch build.
+        let rebuilt = SearchIndex::build(semex.store());
+        assert_eq!(semex.index().doc_count(), rebuilt.doc_count());
+        assert_eq!(semex.index().avg_doc_len(), rebuilt.avg_doc_len());
+
+        // Turning batching off flushes implicitly.
+        semex.set_index_batching(true);
+        semex
+            .ingest(crate::SourceSpec::Mbox {
+                name: "batch-4".into(),
+                content: "From: w4@batch.example\nSubject: capybara\n\nbody".into(),
+            })
+            .unwrap();
+        semex.set_index_batching(false);
+        assert_eq!(semex.index().apply_calls(), base + 2);
+        assert_eq!(semex.search("capybara", 5).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_isolates_reads_from_later_writes() {
+        let mut semex = demo();
+        let snap = semex.snapshot();
+        let before_objects = snap.store().object_count();
+        assert_eq!(snap.search("reconciliation", 5).len(), 1);
+        semex
+            .ingest(crate::SourceSpec::Mbox {
+                name: "later".into(),
+                content: "From: new@person.example\nSubject: wombat\n\nhi".into(),
+            })
+            .unwrap();
+        // The live platform sees the write; the snapshot never does.
+        assert_eq!(semex.search("wombat", 5).len(), 1);
+        assert!(snap.search("wombat", 5).is_empty());
+        assert_eq!(snap.store().object_count(), before_objects);
+        // Snapshot views and explanations match the live ones for
+        // pre-existing objects.
+        let dong = snap.search("class:Person dong", 1)[0].object;
+        assert_eq!(snap.view(dong), semex.view(dong));
+        assert_eq!(snap.explain(dong), semex.explain(dong));
+        // A snapshot taken mid-batch folds the buffered events into its
+        // own index copy without draining the master's buffer.
+        semex.set_index_batching(true);
+        semex
+            .ingest(crate::SourceSpec::Mbox {
+                name: "mid".into(),
+                content: "From: mid@person.example\nSubject: numbat\n\nhi".into(),
+            })
+            .unwrap();
+        let pending = semex.store().pending_events();
+        assert!(pending > 0);
+        let mid = semex.snapshot();
+        assert_eq!(mid.search("numbat", 5).len(), 1, "snapshot is current");
+        assert_eq!(semex.store().pending_events(), pending, "not drained");
+        semex.set_index_batching(false);
     }
 
     #[test]

@@ -35,6 +35,6 @@
 mod facade;
 mod pipeline;
 
-pub use facade::{DurableSemex, ObjectView, SearchResult, Semex};
+pub use facade::{DurableSemex, ObjectView, SearchResult, Semex, Snapshot};
 pub use pipeline::{BuildReport, SemexBuilder, SemexConfig, SemexError, SourceSpec};
 pub use semex_journal::{CompactionReport, JournalConfig, JournalError, RecoveryReport};

@@ -114,7 +114,7 @@ fn tokenize_shard(store: &Store, objects: &[ObjectId]) -> Shard {
 /// surface forms), then keep it current with [`SearchIndex::apply_events`]:
 /// mutations tombstone and re-tokenize only the touched documents, and the
 /// index compacts itself when enough tombstones accumulate.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SearchIndex {
     pub(crate) dict: TermDict,
     /// Indexed by term id.
@@ -131,6 +131,10 @@ pub struct SearchIndex {
     /// retractions are exact and `avg_doc_len` matches a fresh build.
     pub(crate) total_len: f64,
     pub(crate) params: Bm25Params,
+    /// Non-empty [`SearchIndex::apply_events`] batches folded in so far.
+    /// Write-batching layers assert on this: N coalesced mutations must
+    /// cost one delta application, not N.
+    apply_calls: u64,
 }
 
 impl SearchIndex {
@@ -269,6 +273,7 @@ impl SearchIndex {
         if events.is_empty() {
             return;
         }
+        self.apply_calls += 1;
         let model = store.model();
         let mut dirty: Vec<ObjectId> = Vec::new();
         for e in events {
@@ -357,6 +362,14 @@ impl SearchIndex {
     /// Number of tombstoned doc slots awaiting compaction.
     pub fn dead_doc_count(&self) -> usize {
         self.docs.len() - self.live_docs
+    }
+
+    /// How many non-empty event batches [`SearchIndex::apply_events`] has
+    /// folded in over this index's lifetime. A batched write path that
+    /// coalesces N mutations into one published snapshot must advance this
+    /// by exactly one per batch.
+    pub fn apply_calls(&self) -> u64 {
+        self.apply_calls
     }
 
     /// Number of distinct terms with at least one live posting.

@@ -1,0 +1,45 @@
+//! A blocking client for the serve protocol: one request, one response,
+//! over a persistent connection.
+
+use crate::protocol::{read_response, write_request, FrameError, Request, Response};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected client. Requests are answered in order on one connection;
+/// open several clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with the default 30-second socket timeouts.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit timeout applied to the connection attempt
+    /// and to every subsequent read and write.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response. The server closing the
+    /// connection instead of answering surfaces as an `UnexpectedEof` I/O
+    /// error.
+    pub fn request(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_request(&mut self.stream, request)?;
+        match read_response(&mut self.stream)? {
+            Some(response) => Ok(response),
+            None => Err(FrameError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed before a response arrived",
+            ))),
+        }
+    }
+}

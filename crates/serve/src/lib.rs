@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! `semex-serve`: a concurrent query service over a SEMEX platform.
+//!
+//! The desktop SEMEX of the paper is single-user; this crate makes one
+//! platform instance serve many concurrent sessions with three ideas:
+//!
+//! 1. **Snapshot-isolated reads.** Reads never touch the live platform.
+//!    The writer publishes immutable [`semex_core::Snapshot`]s behind an
+//!    `Arc` (see [`SnapshotEngine`]); a reader pins one epoch per request
+//!    and queries it lock-free, so searches and browses proceed at full
+//!    parallelism while writes commit — and never observe a half-applied
+//!    batch.
+//! 2. **A serialized, coalescing write path.** All mutations funnel
+//!    through one writer thread that owns the [`Master`]. Queued writes
+//!    are drained in batches: N writes cost one index refresh, one journal
+//!    fsync, and one snapshot publication. Acks carry the publication
+//!    epoch and are sent only after the commit, so an acknowledged write
+//!    is both immediately readable and crash-durable.
+//! 3. **Admission control.** Bounded connection and write queues shed
+//!    excess load with typed `overloaded` responses instead of stalling or
+//!    growing without bound.
+//!
+//! The wire protocol ([`protocol`]) is length-prefixed JSON over TCP —
+//! std-only, like the whole crate (the [`json`] module is a self-contained
+//! codec). Start a server with [`serve`], talk to it with [`Client`] or
+//! the `semex serve` / `semex client` CLI subcommands, and stop it with a
+//! `shutdown` request or [`ServeHandle::shutdown`]; [`ServeHandle::join`]
+//! returns every thread and hands back the final [`Master`] state.
+
+pub mod json;
+pub mod protocol;
+
+mod client;
+mod engine;
+mod master;
+mod server;
+mod writer;
+
+pub use client::Client;
+pub use engine::{EpochSnapshot, SnapshotEngine};
+pub use master::Master;
+pub use server::{serve, ServeConfig, ServeHandle, ServeReport};
+pub use writer::{Applied, WriteCommand, WriterReport};

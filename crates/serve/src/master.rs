@@ -1,0 +1,75 @@
+//! The master platform the writer thread owns: either journal-backed
+//! (production) or ephemeral (tests, demos).
+
+use semex_core::{DurableSemex, JournalError, Semex, Snapshot};
+
+/// The single mutable copy of the platform behind the serving layer.
+///
+/// Only the writer thread ever touches it; everyone else sees published
+/// [`Snapshot`](semex_core::Snapshot)s. The two variants differ only in
+/// what [`Master::commit`] means: a durable master journals the batch's
+/// events and fsyncs (so an acked write survives a crash), an ephemeral
+/// master just folds them into the index.
+#[derive(Debug)]
+pub enum Master {
+    /// Journal-backed: commits are durable, journal failures degrade the
+    /// platform to read-only.
+    Durable(DurableSemex),
+    /// In-memory only: commits cannot fail and ack nothing durable.
+    Ephemeral(Semex),
+}
+
+impl Master {
+    /// The platform, read-only.
+    pub fn semex(&self) -> &Semex {
+        match self {
+            Master::Durable(d) => d,
+            Master::Ephemeral(s) => s,
+        }
+    }
+
+    /// The platform, mutable (writer thread only).
+    pub fn semex_mut(&mut self) -> &mut Semex {
+        match self {
+            Master::Durable(d) => d,
+            Master::Ephemeral(s) => s,
+        }
+    }
+
+    /// Commit the current write batch: flush buffered store events into the
+    /// index in one delta, and — on a durable master — append them to the
+    /// journal and fsync. Returns the number of events made durable (always
+    /// 0 for an ephemeral master).
+    pub fn commit(&mut self) -> Result<usize, JournalError> {
+        match self {
+            Master::Durable(d) => d.commit(),
+            Master::Ephemeral(s) => {
+                s.flush_index();
+                Ok(0)
+            }
+        }
+    }
+
+    /// Clone the current state for publication.
+    pub fn snapshot(&self) -> Snapshot {
+        self.semex().snapshot()
+    }
+
+    /// Unwrap back to the durable platform, if this master is one (used by
+    /// shutdown paths that want to compact or inspect the journal).
+    pub fn into_durable(self) -> Option<DurableSemex> {
+        match self {
+            Master::Durable(d) => Some(d),
+            Master::Ephemeral(_) => None,
+        }
+    }
+
+    /// Unwrap to the plain platform, detaching any journal (its files stay
+    /// valid on disk; everything committed so far is recoverable).
+    pub fn into_semex(self) -> Semex {
+        match self {
+            Master::Durable(d) => d.into_inner(),
+            Master::Ephemeral(s) => s,
+        }
+    }
+}

@@ -1,0 +1,927 @@
+//! The wire protocol: typed requests/responses, JSON codec, and the
+//! length-prefixed framing.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of compact JSON. Frames above [`MAX_FRAME`] are rejected *before*
+//! the payload is read (a hostile header cannot make the server allocate),
+//! a connection closed mid-frame surfaces as a typed
+//! [`FrameError::Truncated`], and malformed or mis-shaped JSON as
+//! [`FrameError::Malformed`] — mirroring the journal's checksummed record
+//! framing, every failure mode is a value, not a panic.
+
+use crate::json::Json;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on one frame's payload (requests carry whole source texts, so
+/// this is generous; anything larger is an attack or a bug).
+pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// What a client can ask of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Keyword search: top-`k` objects for a query string. `exhaustive`
+    /// routes through the reference scorer instead of the pruned top-k
+    /// evaluator (identical results; exists for verification).
+    Search {
+        /// The query text (supports the `class:Name` filter syntax).
+        query: String,
+        /// Result budget.
+        k: usize,
+        /// Bypass the pruned evaluator.
+        exhaustive: bool,
+    },
+    /// Triple-pattern query, e.g. `?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD"`.
+    Query {
+        /// The pattern text.
+        pattern: String,
+    },
+    /// Full display view (attributes, links, sources) of the top hit.
+    View {
+        /// Keyword query selecting the object.
+        query: String,
+    },
+    /// Neighbourhood summary (link label → count) of the top hit.
+    Browse {
+        /// Keyword query selecting the object.
+        query: String,
+    },
+    /// Ingest an inline source into the space (write).
+    Ingest {
+        /// Source format.
+        format: IngestFormat,
+        /// Provenance name.
+        name: String,
+        /// The source text.
+        content: String,
+    },
+    /// Integrate an external CSV table on the fly (write).
+    IntegrateCsv {
+        /// Provenance name.
+        name: String,
+        /// The CSV text.
+        csv: String,
+    },
+    /// User feedback: two objects denote the same entity (write).
+    AssertSame {
+        /// One object id.
+        a: u64,
+        /// The other object id.
+        b: u64,
+    },
+    /// User feedback: two objects denote different entities (write).
+    AssertDistinct {
+        /// One object id.
+        a: u64,
+        /// The other object id.
+        b: u64,
+    },
+    /// Store statistics of the current snapshot.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight requests, commit the
+    /// journal, stop accepting connections.
+    Shutdown,
+}
+
+/// Inline source formats accepted over the wire (directory walks are a
+/// server-side affair and deliberately not remoteable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestFormat {
+    /// An mbox archive or single RFC-2822 message.
+    Mbox,
+    /// A vCard file.
+    Vcard,
+    /// A BibTeX bibliography.
+    Bibtex,
+    /// A LaTeX source.
+    Latex,
+    /// An iCalendar source.
+    Ical,
+}
+
+impl IngestFormat {
+    fn name(self) -> &'static str {
+        match self {
+            IngestFormat::Mbox => "mbox",
+            IngestFormat::Vcard => "vcard",
+            IngestFormat::Bibtex => "bibtex",
+            IngestFormat::Latex => "latex",
+            IngestFormat::Ical => "ical",
+        }
+    }
+
+    /// Parse a format name (as used on the wire and by the CLI).
+    pub fn from_name(s: &str) -> Option<IngestFormat> {
+        Some(match s {
+            "mbox" => IngestFormat::Mbox,
+            "vcard" => IngestFormat::Vcard,
+            "bibtex" => IngestFormat::Bibtex,
+            "latex" => IngestFormat::Latex,
+            "ical" => IngestFormat::Ical,
+            _ => return None,
+        })
+    }
+}
+
+/// One search hit in wire form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHit {
+    /// Object id.
+    pub object: u64,
+    /// Display label.
+    pub label: String,
+    /// Class name.
+    pub class: String,
+    /// Relevance score.
+    pub score: f64,
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKindWire {
+    /// The request was malformed or referenced nonexistent ids.
+    BadRequest,
+    /// A query selected no object.
+    NotFound,
+    /// The store rejected the mutation.
+    Store,
+    /// Source extraction failed.
+    Extract,
+    /// The platform is in degraded read-only mode (journal failure).
+    Degraded,
+    /// The server is shutting down; the write was *not* applied.
+    ShuttingDown,
+    /// Internal error (the request may or may not have been applied).
+    Internal,
+}
+
+impl ErrorKindWire {
+    fn name(self) -> &'static str {
+        match self {
+            ErrorKindWire::BadRequest => "bad_request",
+            ErrorKindWire::NotFound => "not_found",
+            ErrorKindWire::Store => "store",
+            ErrorKindWire::Extract => "extract",
+            ErrorKindWire::Degraded => "degraded",
+            ErrorKindWire::ShuttingDown => "shutting_down",
+            ErrorKindWire::Internal => "internal",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<ErrorKindWire> {
+        Some(match s {
+            "bad_request" => ErrorKindWire::BadRequest,
+            "not_found" => ErrorKindWire::NotFound,
+            "store" => ErrorKindWire::Store,
+            "extract" => ErrorKindWire::Extract,
+            "degraded" => ErrorKindWire::Degraded,
+            "shutting_down" => ErrorKindWire::ShuttingDown,
+            "internal" => ErrorKindWire::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// What the service answers. Every success variant carries the `epoch` of
+/// the snapshot it was computed against (for writes: the epoch the write
+/// was published in), so clients — and the concurrency tests — can pin a
+/// response to exactly one published state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked search hits.
+    Hits {
+        /// Snapshot epoch served.
+        epoch: u64,
+        /// The hits.
+        hits: Vec<WireHit>,
+    },
+    /// Triple-pattern solutions as `variable = label` rows (capped; `total`
+    /// is the uncapped count).
+    Solutions {
+        /// Snapshot epoch served.
+        epoch: u64,
+        /// Total solutions found.
+        total: usize,
+        /// Up to 50 rendered rows.
+        rows: Vec<Vec<(String, String)>>,
+    },
+    /// A rendered object view.
+    View {
+        /// Snapshot epoch served.
+        epoch: u64,
+        /// The viewed object.
+        object: u64,
+        /// The rendered view text.
+        text: String,
+    },
+    /// A neighbourhood summary.
+    Links {
+        /// Snapshot epoch served.
+        epoch: u64,
+        /// The browsed object.
+        object: u64,
+        /// Its display label.
+        label: String,
+        /// `(link label, count)` pairs.
+        links: Vec<(String, usize)>,
+    },
+    /// An ingest was applied, journal-committed, and published.
+    Ingested {
+        /// The epoch the write became visible in.
+        epoch: u64,
+        /// Input records consumed.
+        records: usize,
+        /// References created.
+        objects: usize,
+        /// Triples asserted.
+        triples: usize,
+    },
+    /// A CSV integration was applied (`matched == false` means the table
+    /// was unusable or no schema mapping was found; nothing was applied).
+    Integrated {
+        /// The epoch the write became visible in.
+        epoch: u64,
+        /// Whether a usable mapping was found.
+        matched: bool,
+        /// Mapping quality score.
+        score: f64,
+        /// References created.
+        created: usize,
+        /// References merged into pre-existing objects.
+        merged: usize,
+    },
+    /// An assert-same / assert-distinct was applied. For assert-same,
+    /// `merged` says whether a merge actually happened; for
+    /// assert-distinct it says whether the constraint was accepted
+    /// (already-merged objects cannot be split).
+    Asserted {
+        /// The epoch the write became visible in.
+        epoch: u64,
+        /// See variant docs.
+        merged: bool,
+    },
+    /// Store statistics.
+    Stats {
+        /// Snapshot epoch served.
+        epoch: u64,
+        /// Live objects.
+        objects: usize,
+        /// Alias slots consumed by merges.
+        aliases: usize,
+        /// Distinct edges.
+        edges: usize,
+        /// Registered sources.
+        sources: usize,
+    },
+    /// Graceful shutdown has begun.
+    ShutdownAck {
+        /// The final published epoch.
+        epoch: u64,
+    },
+    /// Admission control shed this request instead of queueing it; retry
+    /// later. `queue` names the full queue (`"connections"` or
+    /// `"writes"`).
+    Overloaded {
+        /// Which bounded queue was full.
+        queue: String,
+    },
+    /// The request failed.
+    Error {
+        /// Failure class.
+        kind: ErrorKindWire,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// JSON encode/decode
+// ---------------------------------------------------------------------
+
+fn obj(tag: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("type".to_string(), Json::from(tag))];
+    all.extend(fields);
+    Json::Obj(all)
+}
+
+fn field(k: &str, v: impl Into<Json>) -> (String, Json) {
+    (k.to_string(), v.into())
+}
+
+/// Shape errors while decoding a parsed JSON value into a typed message.
+fn shape(what: &str) -> FrameError {
+    FrameError::Malformed(format!("protocol shape error: {what}"))
+}
+
+fn need_str(v: &Json, key: &str) -> Result<String, FrameError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| shape(&format!("missing string field {key:?}")))
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, FrameError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| shape(&format!("missing integer field {key:?}")))
+}
+
+fn need_usize(v: &Json, key: &str) -> Result<usize, FrameError> {
+    Ok(need_u64(v, key)? as usize)
+}
+
+fn need_f64(v: &Json, key: &str) -> Result<f64, FrameError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| shape(&format!("missing number field {key:?}")))
+}
+
+fn need_bool(v: &Json, key: &str) -> Result<bool, FrameError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| shape(&format!("missing bool field {key:?}")))
+}
+
+impl Request {
+    /// Encode to compact JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Search {
+                query,
+                k,
+                exhaustive,
+            } => obj(
+                "search",
+                vec![
+                    field("query", query.as_str()),
+                    field("k", *k),
+                    field("exhaustive", *exhaustive),
+                ],
+            ),
+            Request::Query { pattern } => obj("query", vec![field("pattern", pattern.as_str())]),
+            Request::View { query } => obj("view", vec![field("query", query.as_str())]),
+            Request::Browse { query } => obj("browse", vec![field("query", query.as_str())]),
+            Request::Ingest {
+                format,
+                name,
+                content,
+            } => obj(
+                "ingest",
+                vec![
+                    field("format", format.name()),
+                    field("name", name.as_str()),
+                    field("content", content.as_str()),
+                ],
+            ),
+            Request::IntegrateCsv { name, csv } => obj(
+                "integrate_csv",
+                vec![field("name", name.as_str()), field("csv", csv.as_str())],
+            ),
+            Request::AssertSame { a, b } => {
+                obj("assert_same", vec![field("a", *a), field("b", *b)])
+            }
+            Request::AssertDistinct { a, b } => {
+                obj("assert_distinct", vec![field("a", *a), field("b", *b)])
+            }
+            Request::Stats => obj("stats", vec![]),
+            Request::Shutdown => obj("shutdown", vec![]),
+        }
+    }
+
+    /// Decode from parsed JSON.
+    pub fn from_json(v: &Json) -> Result<Request, FrameError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("missing request type"))?;
+        Ok(match tag {
+            "search" => Request::Search {
+                query: need_str(v, "query")?,
+                k: need_usize(v, "k")?,
+                exhaustive: need_bool(v, "exhaustive")?,
+            },
+            "query" => Request::Query {
+                pattern: need_str(v, "pattern")?,
+            },
+            "view" => Request::View {
+                query: need_str(v, "query")?,
+            },
+            "browse" => Request::Browse {
+                query: need_str(v, "query")?,
+            },
+            "ingest" => Request::Ingest {
+                format: IngestFormat::from_name(&need_str(v, "format")?)
+                    .ok_or_else(|| shape("unknown ingest format"))?,
+                name: need_str(v, "name")?,
+                content: need_str(v, "content")?,
+            },
+            "integrate_csv" => Request::IntegrateCsv {
+                name: need_str(v, "name")?,
+                csv: need_str(v, "csv")?,
+            },
+            "assert_same" => Request::AssertSame {
+                a: need_u64(v, "a")?,
+                b: need_u64(v, "b")?,
+            },
+            "assert_distinct" => Request::AssertDistinct {
+                a: need_u64(v, "a")?,
+                b: need_u64(v, "b")?,
+            },
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(shape(&format!("unknown request type {other:?}"))),
+        })
+    }
+}
+
+fn pairs_to_json(rows: &[(String, String)]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|(k, v)| Json::Arr(vec![Json::from(k.as_str()), Json::from(v.as_str())]))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(v: &Json) -> Result<Vec<(String, String)>, FrameError> {
+    v.as_arr()
+        .ok_or_else(|| shape("expected array of pairs"))?
+        .iter()
+        .map(|p| {
+            let pair = p.as_arr().filter(|a| a.len() == 2);
+            match pair {
+                Some([a, b]) => match (a.as_str(), b.as_str()) {
+                    (Some(a), Some(b)) => Ok((a.to_string(), b.to_string())),
+                    _ => Err(shape("pair elements must be strings")),
+                },
+                _ => Err(shape("expected 2-element pair")),
+            }
+        })
+        .collect()
+}
+
+impl Response {
+    /// Encode to compact JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Hits { epoch, hits } => obj(
+                "hits",
+                vec![
+                    field("epoch", *epoch),
+                    (
+                        "hits".to_string(),
+                        Json::Arr(
+                            hits.iter()
+                                .map(|h| {
+                                    Json::Obj(vec![
+                                        field("object", h.object),
+                                        field("label", h.label.as_str()),
+                                        field("class", h.class.as_str()),
+                                        field("score", h.score),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+            Response::Solutions { epoch, total, rows } => obj(
+                "solutions",
+                vec![
+                    field("epoch", *epoch),
+                    field("total", *total),
+                    (
+                        "rows".to_string(),
+                        Json::Arr(rows.iter().map(|r| pairs_to_json(r)).collect()),
+                    ),
+                ],
+            ),
+            Response::View {
+                epoch,
+                object,
+                text,
+            } => obj(
+                "view",
+                vec![
+                    field("epoch", *epoch),
+                    field("object", *object),
+                    field("text", text.as_str()),
+                ],
+            ),
+            Response::Links {
+                epoch,
+                object,
+                label,
+                links,
+            } => obj(
+                "links",
+                vec![
+                    field("epoch", *epoch),
+                    field("object", *object),
+                    field("label", label.as_str()),
+                    (
+                        "links".to_string(),
+                        Json::Arr(
+                            links
+                                .iter()
+                                .map(|(l, c)| {
+                                    Json::Arr(vec![Json::from(l.as_str()), Json::from(*c)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+            Response::Ingested {
+                epoch,
+                records,
+                objects,
+                triples,
+            } => obj(
+                "ingested",
+                vec![
+                    field("epoch", *epoch),
+                    field("records", *records),
+                    field("objects", *objects),
+                    field("triples", *triples),
+                ],
+            ),
+            Response::Integrated {
+                epoch,
+                matched,
+                score,
+                created,
+                merged,
+            } => obj(
+                "integrated",
+                vec![
+                    field("epoch", *epoch),
+                    field("matched", *matched),
+                    field("score", *score),
+                    field("created", *created),
+                    field("merged", *merged),
+                ],
+            ),
+            Response::Asserted { epoch, merged } => obj(
+                "asserted",
+                vec![field("epoch", *epoch), field("merged", *merged)],
+            ),
+            Response::Stats {
+                epoch,
+                objects,
+                aliases,
+                edges,
+                sources,
+            } => obj(
+                "stats",
+                vec![
+                    field("epoch", *epoch),
+                    field("objects", *objects),
+                    field("aliases", *aliases),
+                    field("edges", *edges),
+                    field("sources", *sources),
+                ],
+            ),
+            Response::ShutdownAck { epoch } => obj("shutdown_ack", vec![field("epoch", *epoch)]),
+            Response::Overloaded { queue } => {
+                obj("overloaded", vec![field("queue", queue.as_str())])
+            }
+            Response::Error { kind, message } => obj(
+                "error",
+                vec![field("kind", kind.name()), field("message", message.as_str())],
+            ),
+        }
+    }
+
+    /// Decode from parsed JSON.
+    pub fn from_json(v: &Json) -> Result<Response, FrameError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("missing response type"))?;
+        Ok(match tag {
+            "hits" => Response::Hits {
+                epoch: need_u64(v, "epoch")?,
+                hits: v
+                    .get("hits")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| shape("missing hits array"))?
+                    .iter()
+                    .map(|h| {
+                        Ok(WireHit {
+                            object: need_u64(h, "object")?,
+                            label: need_str(h, "label")?,
+                            class: need_str(h, "class")?,
+                            score: need_f64(h, "score")?,
+                        })
+                    })
+                    .collect::<Result<_, FrameError>>()?,
+            },
+            "solutions" => Response::Solutions {
+                epoch: need_u64(v, "epoch")?,
+                total: need_usize(v, "total")?,
+                rows: v
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| shape("missing rows array"))?
+                    .iter()
+                    .map(pairs_from_json)
+                    .collect::<Result<_, FrameError>>()?,
+            },
+            "view" => Response::View {
+                epoch: need_u64(v, "epoch")?,
+                object: need_u64(v, "object")?,
+                text: need_str(v, "text")?,
+            },
+            "links" => Response::Links {
+                epoch: need_u64(v, "epoch")?,
+                object: need_u64(v, "object")?,
+                label: need_str(v, "label")?,
+                links: v
+                    .get("links")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| shape("missing links array"))?
+                    .iter()
+                    .map(|p| match p.as_arr() {
+                        Some([l, c]) => match (l.as_str(), c.as_u64()) {
+                            (Some(l), Some(c)) => Ok((l.to_string(), c as usize)),
+                            _ => Err(shape("bad link pair")),
+                        },
+                        _ => Err(shape("bad link pair")),
+                    })
+                    .collect::<Result<_, FrameError>>()?,
+            },
+            "ingested" => Response::Ingested {
+                epoch: need_u64(v, "epoch")?,
+                records: need_usize(v, "records")?,
+                objects: need_usize(v, "objects")?,
+                triples: need_usize(v, "triples")?,
+            },
+            "integrated" => Response::Integrated {
+                epoch: need_u64(v, "epoch")?,
+                matched: need_bool(v, "matched")?,
+                score: need_f64(v, "score")?,
+                created: need_usize(v, "created")?,
+                merged: need_usize(v, "merged")?,
+            },
+            "asserted" => Response::Asserted {
+                epoch: need_u64(v, "epoch")?,
+                merged: need_bool(v, "merged")?,
+            },
+            "stats" => Response::Stats {
+                epoch: need_u64(v, "epoch")?,
+                objects: need_usize(v, "objects")?,
+                aliases: need_usize(v, "aliases")?,
+                edges: need_usize(v, "edges")?,
+                sources: need_usize(v, "sources")?,
+            },
+            "shutdown_ack" => Response::ShutdownAck {
+                epoch: need_u64(v, "epoch")?,
+            },
+            "overloaded" => Response::Overloaded {
+                queue: need_str(v, "queue")?,
+            },
+            "error" => Response::Error {
+                kind: ErrorKindWire::from_name(&need_str(v, "kind")?)
+                    .ok_or_else(|| shape("unknown error kind"))?,
+                message: need_str(v, "message")?,
+            },
+            other => return Err(shape(&format!("unknown response type {other:?}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// A framing or codec failure. Every variant is a protocol-level value:
+/// the peer (or the operator) can tell apart an oversized frame, a torn
+/// connection, malformed JSON, and a plain I/O error.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The header announced a payload above [`MAX_FRAME`] (the payload was
+    /// not read).
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The connection closed mid-frame.
+    Truncated {
+        /// Bytes the frame still owed.
+        wanted: usize,
+        /// Bytes actually read.
+        got: usize,
+    },
+    /// The payload was not valid JSON, or valid JSON of the wrong shape.
+    Malformed(String),
+    /// An underlying socket/file error (including read/write timeouts).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated { wanted, got } => {
+                write!(f, "connection closed mid-frame ({got}/{wanted} bytes)")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this error is a read timeout (an idle, not broken, peer).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized {
+        len: u32::MAX,
+        max: MAX_FRAME,
+    })?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. `Ok(None)` is a clean close (EOF at a
+/// frame boundary); EOF anywhere else is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        0 => return Ok(None),
+        4 => {}
+        got => {
+            return Err(FrameError::Truncated {
+                wanted: 4,
+                got,
+            })
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_exact_or_eof(r, &mut payload)?;
+    if got != payload.len() {
+        return Err(FrameError::Truncated {
+            wanted: len as usize,
+            got,
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// Fill `buf`, returning how many bytes were read before EOF (a short
+/// count means EOF; errors pass through).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Json, FrameError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| FrameError::Malformed("payload is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Write one request frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), FrameError> {
+    write_frame(w, req.to_json().encode().as_bytes())
+}
+
+/// Read one request frame (`Ok(None)` on clean close).
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, FrameError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(Request::from_json(&decode_payload(&payload)?)?)),
+    }
+}
+
+/// Write one response frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), FrameError> {
+    write_frame(w, resp.to_json().encode().as_bytes())
+}
+
+/// Read one response frame (`Ok(None)` on clean close).
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, FrameError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(Response::from_json(&decode_payload(&payload)?)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Search {
+                query: "class:Person dong".into(),
+                k: 10,
+                exhaustive: false,
+            },
+            Request::Query {
+                pattern: "?p AuthoredBy ?x".into(),
+            },
+            Request::Ingest {
+                format: IngestFormat::Mbox,
+                name: "inbox".into(),
+                content: "From: a@b\n\nhello \"world\"".into(),
+            },
+            Request::AssertSame { a: 3, b: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).unwrap();
+            let back = read_request(&mut buf.as_slice()).unwrap().unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn clean_close_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_request(&mut &*empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        for cut in 1..buf.len() {
+            let err = read_request(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_reading() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        match read_frame(&mut buf.as_slice()).unwrap_err() {
+            FrameError::Oversized { len, max } => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_typed() {
+        let payload = b"{not json";
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        assert!(matches!(
+            read_request(&mut buf.as_slice()).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! The TCP front end: listener, worker pool, admission control, graceful
+//! shutdown.
+//!
+//! Two bounded queues implement admission control. The listener pushes
+//! accepted connections into a bounded channel with `try_send`; when the
+//! worker pool is saturated and the backlog full, the connection is
+//! answered with a typed `overloaded` response and closed instead of
+//! queueing unboundedly. Workers likewise `try_send` write jobs into the
+//! writer's bounded queue and answer `overloaded` when it is full. Under
+//! overload the server stays responsive and *says so* — it never stalls,
+//! OOMs, or silently drops work.
+//!
+//! Shutdown: a `shutdown` request sets the stop flag and wakes the
+//! listener with a self-connection. The listener stops accepting and hangs
+//! up its queue; workers drain the connections already admitted (reads
+//! keep being served), the writer rejects still-queued unacked writes with
+//! `shutting_down`, commits, and hands the master back through
+//! [`ServeHandle::join`].
+
+use crate::engine::{EpochSnapshot, SnapshotEngine};
+use crate::master::Master;
+use crate::protocol::{read_request, write_response, ErrorKindWire, Request, Response, WireHit};
+use crate::writer::{WriteCommand, WriteJob, WriterReport};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Solution rows returned per pattern query (the uncapped total is still
+/// reported).
+const MAX_SOLUTION_ROWS: usize = 50;
+
+/// Serving-layer tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests (readers; writes are forwarded to
+    /// the single writer thread).
+    pub threads: usize,
+    /// Bound on the admitted-connection backlog; beyond it, connections
+    /// are shed with `overloaded`.
+    pub conn_queue: usize,
+    /// Bound on the writer's job queue; beyond it, writes are shed with
+    /// `overloaded`.
+    pub write_queue: usize,
+    /// Most writes coalesced into one commit+publish cycle.
+    pub max_batch: usize,
+    /// Per-connection socket read timeout (an idle client is hung up on).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Record every applied [`WriteCommand`] in the report (test and
+    /// verification harnesses replay them sequentially).
+    pub record_writes: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 4,
+            conn_queue: 64,
+            write_queue: 64,
+            max_batch: 32,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            record_writes: false,
+        }
+    }
+}
+
+/// Shared request counters (all relaxed; they are metrics, not locks).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    shed_connections: AtomicU64,
+    shed_writes: AtomicU64,
+}
+
+/// What a serve session did, returned by [`ServeHandle::join`]: request
+/// and shed counters, the writer's batching report, and the master itself
+/// (so callers can verify or keep using the final state).
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Requests executed (shed connections are not requests).
+    pub requests: u64,
+    /// Connections answered `overloaded` at the door.
+    pub shed_connections: u64,
+    /// Writes answered `overloaded` at the writer queue.
+    pub shed_writes: u64,
+    /// The writer thread's report.
+    pub writer: WriterReport,
+    /// The master platform, final state, journal sealed.
+    pub master: Master,
+}
+
+/// A running server. Keep it to shut the server down and reclaim the
+/// master; dropping it without [`ServeHandle::join`] detaches the threads.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<(WriterReport, Master)>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin graceful shutdown without a client: set the stop flag and
+    /// wake the listener. Idempotent; [`ServeHandle::join`] calls it.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The listener is parked in accept(); a throwaway connection wakes
+        // it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Shut down (if not already begun), wait for every thread to finish,
+    /// and return the report with the final master state. All threads are
+    /// joined — none leak.
+    pub fn join(mut self) -> ServeReport {
+        self.shutdown();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let (writer, master) = self
+            .writer
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("writer thread panicked");
+        ServeReport {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            shed_connections: self.counters.shed_connections.load(Ordering::Relaxed),
+            shed_writes: self.counters.shed_writes.load(Ordering::Relaxed),
+            writer,
+            master,
+        }
+    }
+}
+
+/// Start serving `master` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). Spawns the listener, `config.threads` workers, and the writer
+/// thread, then returns immediately.
+pub fn serve(
+    master: Master,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters::default());
+    let engine = Arc::new(SnapshotEngine::new(master.snapshot()));
+
+    // Writer: owns the master; bounded job queue is the write-side
+    // admission valve.
+    let (job_tx, job_rx) = mpsc::sync_channel::<WriteJob>(config.write_queue.max(1));
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let (max_batch, record) = (config.max_batch, config.record_writes);
+        thread::Builder::new()
+            .name("semex-serve-writer".into())
+            .spawn(move || crate::writer::run(master, job_rx, engine, stop, max_batch, record))?
+    };
+
+    // Connection queue: the read-side admission valve.
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.conn_queue.max(1));
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let mut workers = Vec::with_capacity(config.threads.max(1));
+    for i in 0..config.threads.max(1) {
+        let ctx = WorkerCtx {
+            conn_rx: Arc::clone(&conn_rx),
+            job_tx: job_tx.clone(),
+            engine: Arc::clone(&engine),
+            stop: Arc::clone(&stop),
+            counters: Arc::clone(&counters),
+            addr,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+        };
+        workers.push(
+            thread::Builder::new()
+                .name(format!("semex-serve-worker-{i}"))
+                .spawn(move || worker_loop(ctx))?,
+        );
+    }
+    // The writer must see the channel disconnect once the workers exit:
+    // only the worker clones may keep it open.
+    drop(job_tx);
+
+    let listener_thread = {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let write_timeout = config.write_timeout;
+        thread::Builder::new()
+            .name("semex-serve-listener".into())
+            .spawn(move || listener_loop(listener, conn_tx, stop, counters, write_timeout))?
+    };
+
+    Ok(ServeHandle {
+        addr,
+        stop,
+        counters,
+        listener: Some(listener_thread),
+        workers,
+        writer: Some(writer),
+    })
+}
+
+fn listener_loop(
+    listener: TcpListener,
+    conn_tx: mpsc::SyncSender<TcpStream>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    write_timeout: Duration,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            // Woken to die (the accepted stream, if any, is the wake-up
+            // connection or a client that raced shutdown; drop it).
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(mut stream)) => {
+                // Admission control: answer at the door, don't queue.
+                counters.shed_connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(Some(write_timeout));
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Overloaded {
+                        queue: "connections".into(),
+                    },
+                );
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping conn_tx lets workers drain the backlog and then exit.
+}
+
+struct WorkerCtx {
+    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    job_tx: mpsc::SyncSender<WriteJob>,
+    engine: Arc<SnapshotEngine>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    addr: SocketAddr,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        // Hold the lock only to dequeue, never while serving.
+        let stream = match ctx.conn_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else { return };
+        serve_connection(&ctx, stream);
+    }
+}
+
+fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    loop {
+        let request = match read_request(&mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close
+            Err(e) => {
+                // Timeouts are idle clients; everything else gets a typed
+                // answer. Either way the stream may be desynced: hang up.
+                if !e.is_timeout() {
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            kind: ErrorKindWire::BadRequest,
+                            message: e.to_string(),
+                        },
+                    );
+                }
+                return;
+            }
+        };
+        ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = execute(ctx, &request);
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn execute(ctx: &WorkerCtx, request: &Request) -> Response {
+    if let Some(cmd) = WriteCommand::from_request(request) {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return Response::Error {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "server is shutting down; the write was not applied".into(),
+            };
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        return match ctx.job_tx.try_send(WriteJob {
+            cmd,
+            reply: reply_tx,
+        }) {
+            Ok(()) => reply_rx.recv().unwrap_or(Response::Error {
+                kind: ErrorKindWire::Internal,
+                message: "writer thread hung up before replying".into(),
+            }),
+            Err(mpsc::TrySendError::Full(_)) => {
+                ctx.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
+                Response::Overloaded {
+                    queue: "writes".into(),
+                }
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Response::Error {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "server is shutting down; the write was not applied".into(),
+            },
+        };
+    }
+    match request {
+        Request::Shutdown => {
+            ctx.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(ctx.addr); // wake the listener
+            Response::ShutdownAck {
+                epoch: ctx.engine.epoch(),
+            }
+        }
+        _ => execute_read(&ctx.engine.load(), request),
+    }
+}
+
+/// Execute a read request against one pinned epoch. Every piece of the
+/// answer comes from the same snapshot — store lookups, index scores, and
+/// the reported `epoch` can never mix publication states.
+fn execute_read(at: &EpochSnapshot, request: &Request) -> Response {
+    let (epoch, snap) = (at.epoch, &at.snap);
+    match request {
+        Request::Search {
+            query,
+            k,
+            exhaustive,
+        } => {
+            let results = if *exhaustive {
+                snap.search_exhaustive(query, *k)
+            } else {
+                snap.search(query, *k)
+            };
+            Response::Hits {
+                epoch,
+                hits: results
+                    .into_iter()
+                    .map(|r| WireHit {
+                        object: r.object.0,
+                        label: r.label,
+                        class: r.class,
+                        score: r.score,
+                    })
+                    .collect(),
+            }
+        }
+        Request::Query { pattern } => {
+            match semex_browse::pattern::query_str(snap.store(), pattern) {
+                Ok(bindings) => Response::Solutions {
+                    epoch,
+                    total: bindings.len(),
+                    rows: bindings
+                        .iter()
+                        .take(MAX_SOLUTION_ROWS)
+                        .map(|binding| {
+                            let mut row: Vec<(String, String)> = binding
+                                .iter()
+                                .map(|(var, &obj)| (var.clone(), snap.store().label(obj)))
+                                .collect();
+                            row.sort();
+                            row
+                        })
+                        .collect(),
+                },
+                Err(e) => Response::Error {
+                    kind: ErrorKindWire::BadRequest,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::View { query } => match snap.search(query, 1).into_iter().next() {
+            Some(hit) => Response::View {
+                epoch,
+                object: hit.object.0,
+                text: snap.view(hit.object).to_string(),
+            },
+            None => not_found(query),
+        },
+        Request::Browse { query } => match snap.search(query, 1).into_iter().next() {
+            Some(hit) => Response::Links {
+                epoch,
+                object: hit.object.0,
+                label: hit.label,
+                links: snap.browser().neighborhood_summary(hit.object),
+            },
+            None => not_found(query),
+        },
+        Request::Stats => {
+            let stats = snap.stats();
+            Response::Stats {
+                epoch,
+                objects: stats.objects,
+                aliases: stats.aliases,
+                edges: stats.edges,
+                sources: stats.sources,
+            }
+        }
+        // Writes and shutdown are routed before this point.
+        _ => Response::Error {
+            kind: ErrorKindWire::Internal,
+            message: "request routed to the read path by mistake".into(),
+        },
+    }
+}
+
+fn not_found(query: &str) -> Response {
+    Response::Error {
+        kind: ErrorKindWire::NotFound,
+        message: format!("no object matches {query:?}"),
+    }
+}

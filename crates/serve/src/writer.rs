@@ -1,0 +1,342 @@
+//! The serialized write path: one writer thread, batch coalescing, one
+//! journal commit and one snapshot publication per batch.
+//!
+//! Every mutation funnels through an mpsc queue into this thread, which
+//! owns the [`Master`]. The loop blocks for the first job, then drains
+//! whatever else is already queued (up to `max_batch`): under write
+//! pressure the queue naturally backs up while the previous batch commits,
+//! so N queued writes cost **one** index refresh and **one** fsync instead
+//! of N — without adding any artificial latency when the queue is idle.
+//!
+//! Acknowledgment order is the durability contract: apply → commit →
+//! publish → reply. A client that has its ack (a) can read its own write
+//! from the very next snapshot load, and (b) will find it after a crash
+//! and [`semex_core::Semex::open_durable`] recovery. Jobs dequeued after
+//! shutdown began are rejected with a typed `shutting_down` error — never
+//! silently dropped — so a client always learns the fate of its write.
+
+use crate::engine::SnapshotEngine;
+use crate::master::Master;
+use crate::protocol::{ErrorKindWire, IngestFormat, Request, Response};
+use semex_core::{Semex, SemexError, SourceSpec};
+use semex_store::ObjectId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// A mutation in queueable form. `Clone` so a recording server can return
+/// the exact applied sequence for sequential-replay verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteCommand {
+    /// Ingest an inline source.
+    Ingest {
+        /// Source format.
+        format: IngestFormat,
+        /// Provenance name.
+        name: String,
+        /// The source text.
+        content: String,
+    },
+    /// Integrate a CSV table.
+    IntegrateCsv {
+        /// Provenance name.
+        name: String,
+        /// The CSV text.
+        csv: String,
+    },
+    /// Merge two objects on user say-so.
+    AssertSame {
+        /// One object id.
+        a: u64,
+        /// The other object id.
+        b: u64,
+    },
+    /// Record a cannot-link constraint.
+    AssertDistinct {
+        /// One object id.
+        a: u64,
+        /// The other object id.
+        b: u64,
+    },
+}
+
+impl WriteCommand {
+    /// Lift a write request into a command; `None` for read requests.
+    pub fn from_request(req: &Request) -> Option<WriteCommand> {
+        Some(match req {
+            Request::Ingest {
+                format,
+                name,
+                content,
+            } => WriteCommand::Ingest {
+                format: *format,
+                name: name.clone(),
+                content: content.clone(),
+            },
+            Request::IntegrateCsv { name, csv } => WriteCommand::IntegrateCsv {
+                name: name.clone(),
+                csv: csv.clone(),
+            },
+            Request::AssertSame { a, b } => WriteCommand::AssertSame { a: *a, b: *b },
+            Request::AssertDistinct { a, b } => WriteCommand::AssertDistinct { a: *a, b: *b },
+            _ => return None,
+        })
+    }
+
+    /// Apply this command to a platform directly (the sequential-replay
+    /// oracle the concurrency tests compare the served state against).
+    /// Returns the success response minus its epoch.
+    pub fn apply(&self, semex: &mut Semex) -> Result<Applied, Response> {
+        match self {
+            WriteCommand::Ingest {
+                format,
+                name,
+                content,
+            } => {
+                let spec = match format {
+                    IngestFormat::Mbox => SourceSpec::Mbox {
+                        name: name.clone(),
+                        content: content.clone(),
+                    },
+                    IngestFormat::Vcard => SourceSpec::Vcard {
+                        name: name.clone(),
+                        content: content.clone(),
+                    },
+                    IngestFormat::Bibtex => SourceSpec::Bibtex {
+                        name: name.clone(),
+                        content: content.clone(),
+                    },
+                    IngestFormat::Latex => SourceSpec::Latex {
+                        name: name.clone(),
+                        content: content.clone(),
+                    },
+                    IngestFormat::Ical => SourceSpec::Ical {
+                        name: name.clone(),
+                        content: content.clone(),
+                    },
+                };
+                let stats = semex.ingest(spec).map_err(error_response)?;
+                Ok(Applied::Ingested {
+                    records: stats.records,
+                    objects: stats.objects,
+                    triples: stats.triples,
+                })
+            }
+            WriteCommand::IntegrateCsv { name, csv } => {
+                match semex.integrate(name, csv).map_err(error_response)? {
+                    Some((score, report)) => Ok(Applied::Integrated {
+                        matched: true,
+                        score,
+                        created: report.created,
+                        merged: report.merged_into_existing,
+                    }),
+                    None => Ok(Applied::Integrated {
+                        matched: false,
+                        score: 0.0,
+                        created: 0,
+                        merged: 0,
+                    }),
+                }
+            }
+            WriteCommand::AssertSame { a, b } => {
+                let (a, b) = (check_object(semex, *a)?, check_object(semex, *b)?);
+                let merges = semex.store().resolve(a) != semex.store().resolve(b);
+                semex.assert_same(a, b).map_err(error_response)?;
+                Ok(Applied::Asserted { merged: merges })
+            }
+            WriteCommand::AssertDistinct { a, b } => {
+                let (a, b) = (check_object(semex, *a)?, check_object(semex, *b)?);
+                let accepted = semex.assert_distinct(a, b);
+                Ok(Applied::Asserted { merged: accepted })
+            }
+        }
+    }
+}
+
+/// A successfully applied write, waiting for its batch to commit so the
+/// ack can carry the publication epoch.
+#[derive(Debug)]
+pub enum Applied {
+    /// An ingest's extraction stats.
+    Ingested {
+        /// Input records consumed.
+        records: usize,
+        /// References created.
+        objects: usize,
+        /// Triples asserted.
+        triples: usize,
+    },
+    /// A CSV integration's outcome.
+    Integrated {
+        /// Whether a usable mapping was found.
+        matched: bool,
+        /// Mapping quality.
+        score: f64,
+        /// References created.
+        created: usize,
+        /// References merged into existing objects.
+        merged: usize,
+    },
+    /// An assertion's outcome.
+    Asserted {
+        /// See [`Response::Asserted`].
+        merged: bool,
+    },
+}
+
+impl Applied {
+    fn into_response(self, epoch: u64) -> Response {
+        match self {
+            Applied::Ingested {
+                records,
+                objects,
+                triples,
+            } => Response::Ingested {
+                epoch,
+                records,
+                objects,
+                triples,
+            },
+            Applied::Integrated {
+                matched,
+                score,
+                created,
+                merged,
+            } => Response::Integrated {
+                epoch,
+                matched,
+                score,
+                created,
+                merged,
+            },
+            Applied::Asserted { merged } => Response::Asserted { epoch, merged },
+        }
+    }
+}
+
+fn check_object(semex: &Semex, id: u64) -> Result<ObjectId, Response> {
+    if (id as usize) < semex.store().slot_count() {
+        Ok(ObjectId(id))
+    } else {
+        Err(Response::Error {
+            kind: ErrorKindWire::BadRequest,
+            message: format!("no such object: {id}"),
+        })
+    }
+}
+
+fn error_response(e: SemexError) -> Response {
+    let kind = match &e {
+        SemexError::Extract { .. } => ErrorKindWire::Extract,
+        SemexError::Store(_) => ErrorKindWire::Store,
+        SemexError::Degraded { .. } => ErrorKindWire::Degraded,
+    };
+    Response::Error {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+/// One queued write: the command plus the channel its ack goes back on.
+pub(crate) struct WriteJob {
+    pub cmd: WriteCommand,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// What the writer thread did, returned by
+/// [`ServeHandle::join`](crate::ServeHandle::join).
+#[derive(Debug, Default)]
+pub struct WriterReport {
+    /// Commit+publish cycles (each one index refresh and one fsync).
+    pub batches: u64,
+    /// Writes applied, committed, and acked with an epoch.
+    pub writes_ok: u64,
+    /// Writes that failed to apply or whose batch failed to commit.
+    pub writes_failed: u64,
+    /// Writes rejected with `shutting_down` after shutdown began.
+    pub writes_rejected: u64,
+    /// The final published epoch.
+    pub final_epoch: u64,
+    /// The applied commands in order, when the server was configured with
+    /// `record_writes` (for sequential-replay verification).
+    pub applied: Vec<WriteCommand>,
+}
+
+/// The writer thread body. Owns the master; returns it (and the report)
+/// when every job sender has hung up.
+pub(crate) fn run(
+    mut master: Master,
+    jobs: mpsc::Receiver<WriteJob>,
+    engine: Arc<SnapshotEngine>,
+    stop: Arc<AtomicBool>,
+    max_batch: usize,
+    record_writes: bool,
+) -> (WriterReport, Master) {
+    let mut report = WriterReport::default();
+    // Batching on: per-mutation refreshes are suppressed; commit() is the
+    // one point each batch's events fold into the index.
+    master.semex_mut().set_index_batching(true);
+    while let Ok(first) = jobs.recv() {
+        // Coalesce: take everything already waiting, up to the cap.
+        let mut batch = vec![first];
+        while batch.len() < max_batch.max(1) {
+            match jobs.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for job in batch {
+            if stop.load(Ordering::SeqCst) {
+                // Queued but unacked when shutdown began: reject, don't
+                // drop — the client must learn its write did not happen.
+                report.writes_rejected += 1;
+                let _ = job.reply.send(Response::Error {
+                    kind: ErrorKindWire::ShuttingDown,
+                    message: "server is shutting down; the write was not applied".into(),
+                });
+                continue;
+            }
+            let outcome = job.cmd.apply(master.semex_mut());
+            if record_writes && outcome.is_ok() {
+                report.applied.push(job.cmd.clone());
+            }
+            outcomes.push((job.reply, outcome));
+        }
+        if outcomes.is_empty() {
+            continue;
+        }
+        report.batches += 1;
+        let commit_err = master.commit().err();
+        // Publish even on commit failure: readers must track the master's
+        // in-memory state (which, degraded, still serves the un-durable
+        // mutations — exactly the degraded-mode contract).
+        let epoch = engine.publish(master.snapshot());
+        report.final_epoch = epoch;
+        for (reply, outcome) in outcomes {
+            let response = match (&commit_err, outcome) {
+                (None, Ok(applied)) => {
+                    report.writes_ok += 1;
+                    applied.into_response(epoch)
+                }
+                (Some(e), Ok(_)) => {
+                    report.writes_failed += 1;
+                    Response::Error {
+                        kind: ErrorKindWire::Degraded,
+                        message: format!("applied but not durable — journal commit failed: {e}"),
+                    }
+                }
+                (_, Err(error)) => {
+                    report.writes_failed += 1;
+                    error
+                }
+            };
+            let _ = reply.send(response);
+        }
+    }
+    // Every sender hung up: the listener and all workers are gone. Leave
+    // batching mode (an implicit final flush) and commit any stragglers so
+    // the journal is sealed at exactly the acked state.
+    master.semex_mut().set_index_batching(false);
+    let _ = master.commit();
+    (report, master)
+}

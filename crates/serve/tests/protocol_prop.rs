@@ -1,0 +1,257 @@
+//! Property tests for the serve wire protocol.
+//!
+//! Three properties over arbitrary inputs:
+//! 1. Every request and response variant survives encode → frame →
+//!    unframe → decode byte-exactly.
+//! 2. Every strict prefix of a valid frame decodes to the typed
+//!    [`FrameError::Truncated`] (and an empty stream to a clean `None`) —
+//!    a torn connection is never confused with garbage.
+//! 3. Arbitrary bytes never panic the decoder: they come back as a typed
+//!    error or (if they happen to be a valid message) a value, and
+//!    oversized length headers are rejected before the payload is read.
+
+use proptest::prelude::*;
+use semex_serve::protocol::{
+    read_frame, read_request, read_response, write_request, write_response, ErrorKindWire,
+    FrameError, IngestFormat, Request, Response, WireHit, MAX_FRAME,
+};
+
+/// Integers that survive the JSON number representation exactly (the
+/// codec refuses to read integers above 2^53 rather than round them).
+fn wire_u64() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+fn wire_usize() -> impl Strategy<Value = usize> {
+    0usize..(1 << 48)
+}
+
+/// Finite scores (NaN has no JSON representation and breaks equality).
+fn wire_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e12f64..1.0e12,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn format_strategy() -> impl Strategy<Value = IngestFormat> {
+    prop_oneof![
+        Just(IngestFormat::Mbox),
+        Just(IngestFormat::Vcard),
+        Just(IngestFormat::Bibtex),
+        Just(IngestFormat::Latex),
+        Just(IngestFormat::Ical),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (".{0,60}", wire_usize(), any::<bool>()).prop_map(|(query, k, exhaustive)| {
+            Request::Search {
+                query,
+                k,
+                exhaustive,
+            }
+        }),
+        ".{0,60}".prop_map(|pattern| Request::Query { pattern }),
+        ".{0,60}".prop_map(|query| Request::View { query }),
+        ".{0,60}".prop_map(|query| Request::Browse { query }),
+        (format_strategy(), ".{0,20}", ".{0,200}").prop_map(|(format, name, content)| {
+            Request::Ingest {
+                format,
+                name,
+                content,
+            }
+        }),
+        (".{0,20}", ".{0,200}").prop_map(|(name, csv)| Request::IntegrateCsv { name, csv }),
+        (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertSame { a, b }),
+        (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertDistinct { a, b }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn hit_strategy() -> impl Strategy<Value = WireHit> {
+    (wire_u64(), ".{0,30}", ".{0,15}", wire_f64()).prop_map(|(object, label, class, score)| {
+        WireHit {
+            object,
+            label,
+            class,
+            score,
+        }
+    })
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((".{0,10}", ".{0,20}"), 0..4)
+}
+
+fn kind_strategy() -> impl Strategy<Value = ErrorKindWire> {
+    prop_oneof![
+        Just(ErrorKindWire::BadRequest),
+        Just(ErrorKindWire::NotFound),
+        Just(ErrorKindWire::Store),
+        Just(ErrorKindWire::Extract),
+        Just(ErrorKindWire::Degraded),
+        Just(ErrorKindWire::ShuttingDown),
+        Just(ErrorKindWire::Internal),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (wire_u64(), prop::collection::vec(hit_strategy(), 0..5))
+            .prop_map(|(epoch, hits)| Response::Hits { epoch, hits }),
+        (
+            wire_u64(),
+            wire_usize(),
+            prop::collection::vec(pairs_strategy(), 0..4)
+        )
+            .prop_map(|(epoch, total, rows)| Response::Solutions { epoch, total, rows }),
+        (wire_u64(), wire_u64(), ".{0,200}").prop_map(|(epoch, object, text)| Response::View {
+            epoch,
+            object,
+            text
+        }),
+        (
+            wire_u64(),
+            wire_u64(),
+            ".{0,30}",
+            prop::collection::vec((".{0,15}", wire_usize()), 0..5)
+        )
+            .prop_map(|(epoch, object, label, links)| Response::Links {
+                epoch,
+                object,
+                label,
+                links
+            }),
+        (wire_u64(), wire_usize(), wire_usize(), wire_usize()).prop_map(
+            |(epoch, records, objects, triples)| Response::Ingested {
+                epoch,
+                records,
+                objects,
+                triples
+            }
+        ),
+        (
+            wire_u64(),
+            any::<bool>(),
+            wire_f64(),
+            wire_usize(),
+            wire_usize()
+        )
+            .prop_map(|(epoch, matched, score, created, merged)| Response::Integrated {
+                epoch,
+                matched,
+                score,
+                created,
+                merged
+            }),
+        (wire_u64(), any::<bool>())
+            .prop_map(|(epoch, merged)| Response::Asserted { epoch, merged }),
+        (
+            wire_u64(),
+            wire_usize(),
+            wire_usize(),
+            wire_usize(),
+            wire_usize()
+        )
+            .prop_map(|(epoch, objects, aliases, edges, sources)| Response::Stats {
+                epoch,
+                objects,
+                aliases,
+                edges,
+                sources
+            }),
+        wire_u64().prop_map(|epoch| Response::ShutdownAck { epoch }),
+        ".{0,20}".prop_map(|queue| Response::Overloaded { queue }),
+        (kind_strategy(), ".{0,60}")
+            .prop_map(|(kind, message)| Response::Error { kind, message }),
+    ]
+}
+
+proptest! {
+    /// Every request variant round-trips through the framed wire format.
+    #[test]
+    fn requests_round_trip(req in request_strategy()) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let back = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(back, req);
+        // And the stream is fully consumed: a second read is a clean EOF.
+        let mut cursor = buf.as_slice();
+        read_request(&mut cursor).unwrap();
+        prop_assert!(read_request(&mut cursor).unwrap().is_none());
+    }
+
+    /// Every response variant round-trips through the framed wire format.
+    #[test]
+    fn responses_round_trip(resp in response_strategy()) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Cutting a valid frame anywhere strictly inside it surfaces as the
+    /// typed Truncated error; cutting at the boundary is a clean close.
+    #[test]
+    fn every_truncation_is_typed(req in request_strategy(), cut_fraction in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let cut = (((buf.len() - 1) as f64) * cut_fraction) as usize + 1;
+        prop_assert!(cut < buf.len());
+        match read_request(&mut &buf[..cut]) {
+            Err(FrameError::Truncated { wanted, got }) => prop_assert!(got < wanted),
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+        prop_assert!(read_request(&mut &buf[..0]).unwrap().is_none(), "empty stream closes cleanly");
+    }
+
+    /// Arbitrary framed bytes never panic the decoder: they produce a
+    /// typed error or a value, and a follow-up valid frame on the same
+    /// stream is unaffected when the garbage happened to parse.
+    #[test]
+    fn garbage_never_panics(payload in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        match read_request(&mut buf.as_slice()) {
+            Ok(_) | Err(FrameError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected outcome: {:?}", other),
+        }
+    }
+
+    /// Oversized length headers are rejected before any payload I/O, no
+    /// matter what follows them.
+    #[test]
+    fn oversized_headers_are_rejected(extra in 1u32..1000, trailing in prop::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = (MAX_FRAME + extra).to_be_bytes().to_vec();
+        buf.extend_from_slice(&trailing);
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Oversized { len, max }) => {
+                prop_assert_eq!(len, MAX_FRAME + extra);
+                prop_assert_eq!(max, MAX_FRAME);
+            }
+            other => prop_assert!(false, "unexpected outcome: {:?}", other),
+        }
+    }
+}
+
+/// Writing a payload above the cap is refused locally, symmetric with the
+/// read side.
+#[test]
+fn oversized_writes_are_refused() {
+    let huge = Request::Ingest {
+        format: IngestFormat::Mbox,
+        name: "big".into(),
+        content: "x".repeat(MAX_FRAME as usize + 1),
+    };
+    let mut buf = Vec::new();
+    match write_request(&mut buf, &huge) {
+        Err(FrameError::Oversized { .. }) => {}
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    assert!(buf.is_empty(), "nothing hit the wire");
+}

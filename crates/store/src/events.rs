@@ -175,6 +175,13 @@ impl Store {
         self.recorder.as_ref().map_or(0, Vec::len)
     }
 
+    /// The buffered events, without draining them (empty when recording is
+    /// disabled). Snapshot extraction peeks so the pending journal/flush
+    /// bookkeeping is untouched.
+    pub fn peek_events(&self) -> &[StoreEvent] {
+        self.recorder.as_deref().unwrap_or(&[])
+    }
+
     /// Drain the buffered events (empty when recording is disabled).
     /// Recording stays enabled.
     pub fn take_events(&mut self) -> Vec<StoreEvent> {

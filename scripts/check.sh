@@ -21,6 +21,11 @@ echo "==> index equivalence suite (parallel/incremental/pruned vs oracle)"
 cargo test -q -p semex-index --test index_equiv_prop
 cargo test -q -p semex-index --lib search::tests
 
+echo "==> serve smoke (live server on an ephemeral port: every request variant,"
+echo "    overload shedding, clean shutdown with zero leaked threads)"
+cargo test -q -p semex-serve --test smoke
+cargo test -q -p semex-serve --test shutdown
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

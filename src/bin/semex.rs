@@ -24,6 +24,12 @@
 //!                                         browse / query / quit)
 //! semex timeline <space.json> <name...>   monthly activity of a person
 //! semex communities <space.json>          CoAuthor communities
+//! semex serve <space> [--addr H:P] [--threads N]   serve the space over TCP
+//!                                         (snapshot-isolated reads, serialized
+//!                                         durable writes; see semex-serve)
+//! semex client <addr> <request...>        talk to a running server: search,
+//!                                         query, show, browse, stats, ingest,
+//!                                         integrate, same, distinct, shutdown
 //! ```
 //!
 //! Wherever a command takes a `<space.json>` snapshot, a journal directory
@@ -37,7 +43,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n\n<space> is a snapshot file or a --durable journal directory."
+        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N]\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
     );
     ExitCode::from(2)
 }
@@ -104,6 +110,8 @@ fn main() -> ExitCode {
         "repl" => cmd_repl(&args[1..]),
         "timeline" => cmd_timeline(&args[1..]),
         "communities" => cmd_communities(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -509,6 +517,223 @@ fn cmd_communities(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Serve a space over TCP until a client sends `shutdown` (or the process
+/// is killed). A journal directory serves durably — every acked write is
+/// committed; a plain snapshot serves ephemerally.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use semex::serve::{serve, Master, ServeConfig};
+    let [path, rest @ ..] = args else {
+        return Err("serve requires a snapshot path or journal directory".into());
+    };
+    let mut config = ServeConfig::default();
+    let mut addr = "127.0.0.1:7019".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--threads needs a positive number")?;
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let p = Path::new(path);
+    let master = if p.is_dir() {
+        let (durable, report) = Semex::open_durable(p, SemexConfig::default())
+            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+        print_recovery(&report);
+        Master::Durable(durable)
+    } else {
+        Master::Ephemeral(
+            Semex::load(p, SemexConfig::default())
+                .map_err(|e| format!("cannot load snapshot {path}: {e}"))?,
+        )
+    };
+    let durable = matches!(master, Master::Durable(_));
+    let objects = master.semex().store().object_count();
+    let handle = serve(master, addr.as_str(), config).map_err(|e| e.to_string())?;
+    println!(
+        "serving {objects} objects on {} ({}) — stop with: semex client {} shutdown",
+        handle.addr(),
+        if durable { "durable" } else { "ephemeral" },
+        handle.addr()
+    );
+    let report = handle.join();
+    println!(
+        "served {} request(s); writes: {} ok / {} failed / {} rejected in {} batch(es); \
+         shed: {} connection(s), {} write(s); final epoch {}",
+        report.requests,
+        report.writer.writes_ok,
+        report.writer.writes_failed,
+        report.writer.writes_rejected,
+        report.writer.batches,
+        report.shed_connections,
+        report.shed_writes,
+        report.writer.final_epoch
+    );
+    Ok(())
+}
+
+/// One-shot client: send a single request to a running server and render
+/// the response.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use semex::serve::protocol::{IngestFormat, Request};
+    use semex::serve::Client;
+    let [addr, cmd, rest @ ..] = args else {
+        return Err("client requires: <addr> <request...>".into());
+    };
+    let request = match cmd.as_str() {
+        "search" => {
+            let exhaustive = rest.iter().any(|a| a.as_str() == "--exhaustive");
+            let query: Vec<&str> = rest
+                .iter()
+                .map(String::as_str)
+                .filter(|a| *a != "--exhaustive")
+                .collect();
+            if query.is_empty() {
+                return Err("search requires a query".into());
+            }
+            Request::Search {
+                query: query.join(" "),
+                k: 10,
+                exhaustive,
+            }
+        }
+        "query" => Request::Query {
+            pattern: rest.join(" "),
+        },
+        "show" => Request::View {
+            query: rest.join(" "),
+        },
+        "browse" => Request::Browse {
+            query: rest.join(" "),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "ingest" => {
+            let [format, name, file] = rest else {
+                return Err("ingest requires: <mbox|vcard|bibtex|latex|ical> <name> <file>".into());
+            };
+            Request::Ingest {
+                format: IngestFormat::from_name(format)
+                    .ok_or_else(|| format!("unknown ingest format {format:?}"))?,
+                name: name.clone(),
+                content: std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?,
+            }
+        }
+        "integrate" => {
+            let [name, file] = rest else {
+                return Err("integrate requires: <name> <file.csv>".into());
+            };
+            Request::IntegrateCsv {
+                name: name.clone(),
+                csv: std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?,
+            }
+        }
+        "same" | "distinct" => {
+            let ids: Vec<u64> = rest.iter().filter_map(|s| s.parse().ok()).collect();
+            let [a, b] = ids.as_slice() else {
+                return Err(format!("{cmd} requires two object ids"));
+            };
+            if cmd == "same" {
+                Request::AssertSame { a: *a, b: *b }
+            } else {
+                Request::AssertDistinct { a: *a, b: *b }
+            }
+        }
+        other => return Err(format!("unknown client request {other:?}")),
+    };
+    let addr = addr
+        .parse()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let response = client
+        .request(&request)
+        .map_err(|e| format!("request failed: {e}"))?;
+    print_response(&response);
+    Ok(())
+}
+
+fn print_response(response: &semex::serve::protocol::Response) {
+    use semex::serve::protocol::Response;
+    match response {
+        Response::Hits { epoch, hits } => {
+            if hits.is_empty() {
+                println!("no results (epoch {epoch})");
+            }
+            for h in hits {
+                println!("{:>7.2}  [{}] {}  #{}", h.score, h.class, h.label, h.object);
+            }
+        }
+        Response::Solutions { epoch, total, rows } => {
+            println!("{total} solution(s) (epoch {epoch})");
+            for row in rows {
+                let rendered: Vec<String> =
+                    row.iter().map(|(k, v)| format!("?{k} = {v}")).collect();
+                println!("  {}", rendered.join("   "));
+            }
+        }
+        Response::View { text, .. } => print!("{text}"),
+        Response::Links {
+            label,
+            object,
+            links,
+            ..
+        } => {
+            println!("{label}  #{object}");
+            for (l, c) in links {
+                println!("  {l}: {c}");
+            }
+        }
+        Response::Ingested {
+            epoch,
+            records,
+            objects,
+            triples,
+        } => println!(
+            "ingested {records} record(s): {objects} reference(s), {triples} triple(s) — durable at epoch {epoch}"
+        ),
+        Response::Integrated {
+            epoch,
+            matched,
+            score,
+            created,
+            merged,
+        } => {
+            if *matched {
+                println!(
+                    "integrated (mapping score {score:.2}): {created} created, {merged} merged — durable at epoch {epoch}"
+                );
+            } else {
+                println!("table not integrated: no usable schema mapping");
+            }
+        }
+        Response::Asserted { epoch, merged } => {
+            println!("asserted (effective: {merged}) — durable at epoch {epoch}")
+        }
+        Response::Stats {
+            epoch,
+            objects,
+            aliases,
+            edges,
+            sources,
+        } => println!(
+            "epoch {epoch}: {objects} object(s), {aliases} alias(es), {edges} edge(s), {sources} source(s)"
+        ),
+        Response::ShutdownAck { epoch } => println!("server shutting down at epoch {epoch}"),
+        Response::Overloaded { queue } => {
+            println!("server overloaded ({queue} queue full); retry later")
+        }
+        Response::Error { kind, message } => println!("error ({kind:?}): {message}"),
+    }
 }
 
 fn cmd_path(args: &[String]) -> Result<(), String> {

@@ -6,7 +6,8 @@
 //! management and integration (Dong & Halevy, SIGMOD 2005). This crate is the
 //! single entry point a downstream application needs: it re-exports the
 //! domain model, the association database, extraction, reference
-//! reconciliation, indexing, browsing and on-the-fly integration.
+//! reconciliation, indexing, browsing, on-the-fly integration, and the
+//! concurrent query service.
 
 pub use semex_browse as browse;
 pub use semex_core as core;
@@ -17,6 +18,7 @@ pub use semex_integrate as integrate;
 pub use semex_journal as journal;
 pub use semex_model as model;
 pub use semex_recon as recon;
+pub use semex_serve as serve;
 pub use semex_similarity as similarity;
 pub use semex_store as store;
 
