@@ -45,7 +45,7 @@ fn bench_derived(c: &mut Criterion) {
     let ppl = people(&store, 50);
     let browser = Browser::new(&store);
     for name in [derived::CO_AUTHOR, derived::CORRESPONDED_WITH] {
-        c.bench_function(&format!("browse_derived_{name}"), |b| {
+        c.bench_function(format!("browse_derived_{name}"), |b| {
             b.iter(|| {
                 let mut total = 0;
                 for &p in &ppl {

@@ -69,6 +69,11 @@ fn main() {
     if want("e13") {
         e13_serve();
     }
+    if want("e14") {
+        e14_tenants(false);
+    } else if want("e14-smoke") {
+        e14_tenants(true);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -965,7 +970,7 @@ fn e12_fault_injection() {
         let recovered = store.to_json();
         let allowed = &bounds[run.acked..=run.attempted.max(run.acked)];
         assert!(
-            allowed.iter().any(|s| *s == recovered),
+            allowed.contains(&recovered),
             "crash at op {at}: recovered state is not an acked commit boundary"
         );
         crash_verified += 1;
@@ -1128,7 +1133,9 @@ fn e13_serve() {
     let corpus = generate_personal(&cfg);
     let scratch = std::env::temp_dir().join(format!("semex-e13-{}", std::process::id()));
     let corpus_dir = scratch.join("corpus");
-    corpus.write_to(&corpus_dir).expect("corpus renders to disk");
+    corpus
+        .write_to(&corpus_dir)
+        .expect("corpus renders to disk");
     let t0 = Instant::now();
     let semex = SemexBuilder::new()
         .add_directory("desktop", &corpus_dir)
@@ -1324,6 +1331,440 @@ fn e13_serve() {
         eprintln!("could not write BENCH_serve.json: {e}\n");
     } else {
         println!("wrote BENCH_serve.json ({} rounds, {shed} shed)\n", 3);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E14: multi-tenant serving — thousands of personal spaces, one process.
+// Resident set vs tenant count under an LRU memory budget, cold-open
+// (reactivation) latency, zipf-distributed cross-tenant traffic, and
+// throughput isolation against one abusive tenant.
+// ---------------------------------------------------------------------
+fn e14_tenants(smoke: bool) {
+    use semex_core::JournalConfig;
+    use semex_serve::protocol::{IngestFormat, Request, Response};
+    use semex_serve::{
+        serve_tenants, Client, PoolConfig, RetryPolicy, ServeConfig, TenantRegistry,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "## E14 — multi-tenant serving ({mode}): budgeted residency, zipf traffic, isolation\n"
+    );
+
+    // Full mode exercises the headline claim (>= 100 spaces in one
+    // process); smoke mode is the CI-sized version of the same shape.
+    let tenants: usize = if smoke { 8 } else { 120 };
+    let budget_tenants: usize = if smoke { 4 } else { 24 };
+    let zipf_clients: usize = if smoke { 2 } else { 4 };
+    let zipf_requests: usize = if smoke { 60 } else { 600 };
+    let victim_reads: usize = if smoke { 60 } else { 400 };
+
+    // Purely alphabetic tokens: digits could be split by the tokenizer.
+    let letter = |i: usize| char::from(b'a' + (i % 26) as u8);
+    let seed_token = |i: usize| format!("seed{}{}", letter(i / 26), letter(i % 26));
+    let name_of = |i: usize| format!("space-{i:03}");
+    let seed_ingest = |i: usize| Request::Ingest {
+        format: IngestFormat::Mbox,
+        name: "inbox".into(),
+        content: format!(
+            "From: owner@{t}.example\nSubject: {t} notes\n\n\
+             a personal note mentioning {t} twice: {t}",
+            t = seed_token(i)
+        ),
+    };
+    let journal = JournalConfig {
+        fsync: false,
+        ..JournalConfig::default()
+    };
+    let scratch = std::env::temp_dir().join(format!("semex-e14-{mode}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Probe round: one tenant with the standard payload, unlimited
+    // budget, to learn what a resident space costs. The real budget is a
+    // multiple of that, so eviction pressure is the same at every scale.
+    let per_tenant_cost = {
+        let registry = TenantRegistry::open(scratch.join("probe")).expect("probe registry");
+        let pool = PoolConfig {
+            journal: journal.clone(),
+            ..PoolConfig::default()
+        };
+        let handle = serve_tenants(registry, "127.0.0.1:0", ServeConfig::default(), pool)
+            .expect("probe bind");
+        let mut client = Client::connect(handle.addr())
+            .expect("probe client")
+            .with_tenant("probe");
+        assert!(matches!(
+            client.request(&seed_ingest(0)).expect("probe ingest"),
+            Response::Ingested { .. }
+        ));
+        let cost = handle.tenants().resident_bytes.max(1);
+        drop(client);
+        handle.join();
+        cost
+    };
+    let budget = per_tenant_cost * budget_tenants;
+    println!(
+        "one resident space costs ~{per_tenant_cost} bytes; \
+         budget {budget} bytes ({budget_tenants} spaces) for {tenants} tenants\n"
+    );
+
+    let registry = TenantRegistry::open(scratch.join("spaces")).expect("registry");
+    let config = ServeConfig {
+        threads: zipf_clients + 4,
+        ..ServeConfig::default()
+    };
+    let pool = PoolConfig {
+        memory_budget: budget,
+        journal: journal.clone(),
+        ..PoolConfig::default()
+    };
+    let handle = serve_tenants(registry, "127.0.0.1:0", config, pool).expect("bind");
+    let addr = handle.addr();
+
+    // Phase 1 — populate every space and chart residency as the tenant
+    // count passes the budget: the resident set must plateau, not grow.
+    let mut samples: Vec<(usize, usize, usize, u64)> = Vec::new();
+    let sample_every = (tenants / 12).max(1);
+    {
+        let mut client = Client::connect(addr).expect("populate client");
+        for i in 0..tenants {
+            client = client.with_tenant(name_of(i));
+            assert!(matches!(
+                client.request(&seed_ingest(i)).expect("seed ingest"),
+                Response::Ingested { .. }
+            ));
+            if (i + 1) % sample_every == 0 || i + 1 == tenants {
+                let snap = handle.tenants();
+                samples.push((
+                    i + 1,
+                    snap.resident_tenants,
+                    snap.resident_bytes,
+                    snap.evictions,
+                ));
+            }
+        }
+    }
+    let mut t = TextTable::new(&["tenants", "resident", "resident bytes", "evictions"]);
+    for &(created, resident, bytes, evictions) in &samples {
+        t.row(vec![
+            created.to_string(),
+            resident.to_string(),
+            bytes.to_string(),
+            evictions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let population: Vec<serde_json::Value> = samples
+        .iter()
+        .map(|&(created, resident, bytes, evictions)| {
+            serde_json::json!({
+                "tenants_created": created,
+                "resident_tenants": resident,
+                "resident_bytes": bytes,
+                "evictions": evictions,
+            })
+        })
+        .collect();
+
+    // Phase 2 — zipf-distributed traffic: a few hot spaces, a long cold
+    // tail, 1-in-10 requests a write. Cold-tail reads force eviction and
+    // journal reactivation mid-flight.
+    let zipf_cdf: Arc<Vec<f64>> = {
+        let weights: Vec<f64> = (0..tenants)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(1.1))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        Arc::new(
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect(),
+        )
+    };
+    let t0 = Instant::now();
+    let zipf_threads: Vec<_> = (0..zipf_clients)
+        .map(|cid| {
+            let cdf = Arc::clone(&zipf_cdf);
+            thread::spawn(move || {
+                let letter = |i: usize| char::from(b'a' + (i % 26) as u8);
+                let seed_token = |i: usize| format!("seed{}{}", letter(i / 26), letter(i % 26));
+                let mut client = Client::connect(addr).expect("zipf client");
+                let policy = RetryPolicy::default();
+                let mut state = 0xD1B5_4A32u64 ^ ((cid as u64) << 17) ^ 0x9E37_79B9;
+                let mut reads = Vec::new();
+                let mut writes_landed = 0u64;
+                for j in 0..zipf_requests {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    let pick = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+                    client = client.with_tenant(format!("space-{pick:03}"));
+                    if j % 10 == 9 {
+                        let response = client
+                            .request_with_retry(
+                                &Request::Ingest {
+                                    format: IngestFormat::Mbox,
+                                    name: format!("zipf-c{cid}-{j}"),
+                                    content: format!(
+                                        "From: load@{t}.example\nSubject: zipf load\n\nmore {t}",
+                                        t = seed_token(pick)
+                                    ),
+                                },
+                                &policy,
+                            )
+                            .expect("zipf write");
+                        if matches!(response, Response::Ingested { .. }) {
+                            writes_landed += 1;
+                        }
+                    } else {
+                        let r0 = Instant::now();
+                        let response = client
+                            .request_with_retry(
+                                &Request::Search {
+                                    query: seed_token(pick),
+                                    k: 5,
+                                    exhaustive: false,
+                                },
+                                &policy,
+                            )
+                            .expect("zipf read");
+                        reads.push(r0.elapsed().as_secs_f64() * 1e6);
+                        match response {
+                            Response::Hits { hits, .. } => {
+                                assert!(!hits.is_empty(), "space {pick} lost its seed data")
+                            }
+                            other => panic!("unexpected zipf response: {other:?}"),
+                        }
+                    }
+                }
+                (reads, writes_landed)
+            })
+        })
+        .collect();
+    let mut zipf_reads: Vec<f64> = Vec::new();
+    let mut zipf_writes = 0u64;
+    for thread in zipf_threads {
+        let (reads, writes) = thread.join().expect("zipf thread");
+        zipf_reads.extend(reads);
+        zipf_writes += writes;
+    }
+    let zipf_wall = t0.elapsed().as_secs_f64();
+    zipf_reads.sort_by(f64::total_cmp);
+    let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    let zipf_rps = (zipf_clients * zipf_requests) as f64 / zipf_wall;
+    let mid_zipf = handle.tenants();
+    println!(
+        "zipf: {} requests at {zipf_rps:.0} req/s, read p50 {:.0} us / p99 {:.0} us, \
+         {zipf_writes} writes; {} evictions, {} cold opens so far\n",
+        zipf_clients * zipf_requests,
+        pct(&zipf_reads, 0.50),
+        pct(&zipf_reads, 0.99),
+        mid_zipf.evictions,
+        mid_zipf.cold_opens,
+    );
+
+    // Phase 3 — throughput isolation: the victim's read p99 at a steady
+    // operating point (background readers over the hot spaces), measured
+    // twice — without and with one abusive tenant flooding the write
+    // path. Per-tenant queues must keep the abuse on the abuser; the
+    // background load is identical in both rounds, so the ratio charges
+    // the abuser alone. The working set (background + victim + abuser)
+    // fits the budget, so eviction churn does not confound the rounds.
+    let victim = tenants / 2;
+    let bg_spaces: Vec<usize> = (1..budget_tenants.saturating_sub(1)).collect();
+    let run_round = |abusive: bool, label: &'static str| -> (Vec<f64>, u64) {
+        let done = Arc::new(AtomicBool::new(false));
+        let background: Vec<_> = (0..2)
+            .map(|b| {
+                let done = Arc::clone(&done);
+                let spaces = bg_spaces.clone();
+                thread::spawn(move || {
+                    let letter = |i: usize| char::from(b'a' + (i % 26) as u8);
+                    let mut client = Client::connect(addr).expect("background client");
+                    let mut k = b;
+                    while !done.load(Ordering::Relaxed) {
+                        let pick = spaces[k % spaces.len()];
+                        k += 1;
+                        client = client.with_tenant(format!("space-{pick:03}"));
+                        let query = format!("seed{}{}", letter(pick / 26), letter(pick % 26));
+                        client
+                            .request(&Request::Search {
+                                query,
+                                k: 5,
+                                exhaustive: false,
+                            })
+                            .expect("background read");
+                    }
+                })
+            })
+            .collect();
+        let abuser = abusive.then(|| {
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr)
+                    .expect("abuser client")
+                    .with_tenant("space-000");
+                let flood: String = "spam words fill the journal and the index ".repeat(40);
+                let mut n = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    // Fire-and-forget flood: overloaded answers are fine,
+                    // they are the admission control doing its job.
+                    let response = client
+                        .request(&Request::Ingest {
+                            format: IngestFormat::Mbox,
+                            name: format!("abuse-{n}"),
+                            content: format!(
+                                "From: abuse@flood.example\nSubject: flood\n\n{flood}"
+                            ),
+                        })
+                        .expect("abuser framed answer");
+                    assert!(matches!(
+                        response,
+                        Response::Ingested { .. } | Response::Overloaded { .. }
+                    ));
+                    n += 1;
+                }
+                n
+            })
+        });
+
+        let mut client = Client::connect(addr)
+            .expect("victim client")
+            .with_tenant(name_of(victim));
+        client
+            .request(&Request::Stats)
+            .unwrap_or_else(|e| panic!("victim warm-up ({label}): {e}"));
+        let mut latencies = Vec::with_capacity(victim_reads);
+        for _ in 0..victim_reads {
+            let r0 = Instant::now();
+            let response = client
+                .request(&Request::Search {
+                    query: seed_token(victim),
+                    k: 5,
+                    exhaustive: false,
+                })
+                .unwrap_or_else(|e| panic!("victim read ({label}): {e}"));
+            latencies.push(r0.elapsed().as_secs_f64() * 1e6);
+            assert!(matches!(response, Response::Hits { .. }));
+        }
+        done.store(true, Ordering::Relaxed);
+        for thread in background {
+            thread.join().expect("background thread");
+        }
+        let abuser_requests = abuser
+            .map(|t| t.join().expect("abuser thread"))
+            .unwrap_or(0);
+        latencies.sort_by(f64::total_cmp);
+        (latencies, abuser_requests)
+    };
+
+    let (baseline, _) = run_round(false, "baseline");
+    let (under_abuse, abuser_requests) = run_round(true, "under abuse");
+
+    let base_p99 = pct(&baseline, 0.99);
+    let abuse_p99 = pct(&under_abuse, 0.99);
+    let ratio = abuse_p99 / base_p99.max(1e-9);
+    println!(
+        "isolation: victim read p99 {base_p99:.0} us with background load vs {abuse_p99:.0} us \
+         when one tenant floods {abuser_requests} writes on top — {ratio:.2}x degradation\n"
+    );
+
+    let report = handle.join();
+    let mut cold = report.tenants.cold_open_us.clone();
+    cold.sort_unstable();
+    let cold_pct = |p: f64| {
+        if cold.is_empty() {
+            0
+        } else {
+            cold[((cold.len() - 1) as f64 * p) as usize]
+        }
+    };
+    println!(
+        "pool lifetime: {} activations, {} cold opens (p50 {} us, p99 {} us), \
+         {} evictions, peak {} spaces / {} bytes resident (budget {budget})\n",
+        report.tenants.activations,
+        report.tenants.cold_opens,
+        cold_pct(0.50),
+        cold_pct(0.99),
+        report.tenants.evictions,
+        report.tenants.max_resident_tenants,
+        report.tenants.max_resident_bytes,
+    );
+
+    // The budget held: peak residency never exceeded budget plus the
+    // worst-case pinned slack (one in-service space per worker thread).
+    let slack = (zipf_clients + 4 + 2) * per_tenant_cost;
+    assert!(
+        report.tenants.max_resident_bytes <= budget + slack,
+        "resident memory broke the budget: {} > {budget} + {slack}",
+        report.tenants.max_resident_bytes
+    );
+    assert!(report.tenants.evictions > 0, "the budget never evicted");
+    assert!(
+        report.tenants.cold_opens > 0,
+        "no space was ever reactivated"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let bench = serde_json::json!({
+        "experiment": "e14-tenants",
+        "mode": mode,
+        "tenants": tenants,
+        "per_tenant_cost_bytes": per_tenant_cost,
+        "memory_budget_bytes": budget,
+        "population": population,
+        "zipf": {
+            "exponent": 1.1,
+            "clients": zipf_clients,
+            "requests": zipf_clients * zipf_requests,
+            "throughput_rps": zipf_rps,
+            "read_p50_us": pct(&zipf_reads, 0.50),
+            "read_p99_us": pct(&zipf_reads, 0.99),
+            "writes_landed": zipf_writes,
+        },
+        "pool": {
+            "activations": report.tenants.activations,
+            "cold_opens": report.tenants.cold_opens,
+            "cold_open_p50_us": cold_pct(0.50),
+            "cold_open_p99_us": cold_pct(0.99),
+            "evictions": report.tenants.evictions,
+            "max_resident_tenants": report.tenants.max_resident_tenants,
+            "max_resident_bytes": report.tenants.max_resident_bytes,
+            "shed_inflight": report.tenants.shed_inflight,
+        },
+        "isolation": {
+            "victim_reads": victim_reads,
+            "baseline_p99_us": base_p99,
+            "under_abuse_p99_us": abuse_p99,
+            "degradation_ratio": ratio,
+            "abuser_requests": abuser_requests,
+        },
+        "server": {
+            "requests": report.requests,
+            "shed_connections": report.shed_connections,
+            "shed_writes": report.shed_writes,
+            "writes_ok": report.writer.writes_ok,
+            "writes_failed": report.writer.writes_failed,
+            "batches": report.writer.batches,
+        },
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_tenants.json", record) {
+        eprintln!("could not write BENCH_tenants.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_tenants.json ({tenants} tenants, {} evictions, {ratio:.2}x isolation)\n",
+            report.tenants.evictions
+        );
     }
 }
 

@@ -1145,9 +1145,7 @@ mod tests {
             semex
                 .ingest(crate::SourceSpec::Mbox {
                     name: format!("batch-{i}"),
-                    content: format!(
-                        "From: w{i}@batch.example\nSubject: {token}\n\nbody {token}"
-                    ),
+                    content: format!("From: w{i}@batch.example\nSubject: {token}\n\nbody {token}"),
                 })
                 .unwrap();
         }

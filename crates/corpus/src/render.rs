@@ -253,7 +253,7 @@ fn render_mbox(
     let mut prev_ids: Vec<(String, String)> = Vec::new(); // (message-id, subject)
     let mut date = 1_075_000_000i64; // late Jan 2004
     for i in 0..cfg.messages {
-        date += rng.gen_range(600..40_000);
+        date += rng.gen_range(600..40_000i64);
         let sender = rng.gen_range(0..world.people.len());
         let colleagues = world.colleagues(sender);
         let mut recipients = Vec::new();
@@ -468,7 +468,7 @@ fn render_ics(
     let events = (cfg.messages / 20).max(2);
     let mut day = 0i64;
     for i in 0..events {
-        day += rng.gen_range(0..3);
+        day += rng.gen_range(0..3i64);
         let organizer = rng.gen_range(0..world.people.len());
         let colleagues = world.colleagues(organizer);
         let mut attendees = Vec::new();

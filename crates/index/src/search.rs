@@ -321,9 +321,9 @@ impl SearchIndex {
         let mut remap: Vec<u32> = vec![u32::MAX; self.docs.len()];
         let mut new_docs: Vec<DocEntry> = Vec::with_capacity(self.live_docs);
         let mut new_terms: Vec<Vec<(u32, f32)>> = Vec::with_capacity(self.live_docs);
-        for i in 0..self.docs.len() {
+        for (i, slot) in remap.iter_mut().enumerate() {
             if self.docs[i].live {
-                remap[i] = new_docs.len() as u32;
+                *slot = new_docs.len() as u32;
                 new_docs.push(self.docs[i]);
                 new_terms.push(std::mem::take(&mut self.doc_terms[i]));
             }

@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn segment_names_sort_in_replay_order() {
-        let mut names = vec![
+        let mut names = [
             segment_file_name(1, 10),
             segment_file_name(1, 2),
             segment_file_name(1, 0),

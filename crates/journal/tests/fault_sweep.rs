@@ -213,7 +213,7 @@ fn sweep_crash_at_every_op_preserves_acked_commits() {
         let recovered = store.to_json();
         let allowed = &boundaries[acked..=attempted];
         assert!(
-            allowed.iter().any(|s| *s == recovered),
+            allowed.contains(&recovered),
             "crash at op {at}: recovered state is not a commit boundary in \
              [acked {acked}, attempted {attempted}] (report {rep:?})"
         );
@@ -302,7 +302,7 @@ fn sweep_disk_full_at_every_op_converges_after_space_clears() {
         let recovered = store.to_json();
         let allowed = &boundaries[acked..=attempted];
         assert!(
-            allowed.iter().any(|s| *s == recovered),
+            allowed.contains(&recovered),
             "disk-full at op {at}: recovered state is not an allowed boundary"
         );
         let progress = boundaries.iter().position(|s| *s == recovered).unwrap();

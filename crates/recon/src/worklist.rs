@@ -146,7 +146,8 @@ pub(crate) fn run_shard<O: Oracle>(
     let mut queued = vec![true; k];
     let mut decided = vec![false; k];
     // Memo entries: (root_a, version_a, root_b, version_b, score).
-    let mut memo: Vec<Option<(u32, u32, u32, u32, f64)>> = vec![None; k];
+    type MemoEntry = (u32, u32, u32, u32, f64);
+    let mut memo: Vec<Option<MemoEntry>> = vec![None; k];
     let cap = k.saturating_mul(64).max(1024);
     let mut iterations = 0usize;
     let mut memo_hits = 0usize;

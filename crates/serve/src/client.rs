@@ -1,16 +1,69 @@
 //! A blocking client for the serve protocol: one request, one response,
 //! over a persistent connection.
+//!
+//! The client can address a tenant (every request it sends then carries
+//! the `tenant` field) and can retry typed `overloaded` refusals with
+//! capped exponential backoff and jitter — overload answers are explicit
+//! invitations to retry later, and the jitter keeps a thundering herd of
+//! shed clients from re-arriving in lockstep.
 
-use crate::protocol::{read_response, write_request, FrameError, Request, Response};
+use crate::protocol::{
+    read_response, write_request_frame, FrameError, Request, RequestFrame, Response,
+};
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// A connected client. Requests are answered in order on one connection;
 /// open several clients for concurrency.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    timeout: Duration,
+    tenant: Option<String>,
+}
+
+/// How [`Client::request_with_retry`] behaves when the server sheds a
+/// request with `overloaded`: up to `max_retries` retries, waiting
+/// `base * 2^attempt` (capped at `cap`) with jitter before each.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (0-based): a
+    /// uniform-ish draw from the upper half of the capped exponential
+    /// delay, so concurrent shed clients spread out instead of
+    /// re-stampeding together.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let delay = exp.min(self.cap);
+        // No RNG dependency down here: sub-microsecond clock bits are
+        // plenty de-correlated across processes for jitter purposes.
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0) as u64;
+        let half = delay.as_nanos().max(2) as u64 / 2;
+        Duration::from_nanos(half + nanos % half)
+    }
 }
 
 impl Client {
@@ -22,24 +75,78 @@ impl Client {
     /// Connect with an explicit timeout applied to the connection attempt
     /// and to every subsequent read and write.
     pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = Client::open(addr, timeout)?;
+        Ok(Client {
+            stream,
+            addr,
+            timeout,
+            tenant: None,
+        })
+    }
+
+    fn open(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(stream)
+    }
+
+    /// Address every subsequent request to `tenant` (the server's default
+    /// tenant when not set).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Client {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The tenant this client addresses, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// Send one request and wait for its response. The server closing the
     /// connection instead of answering surfaces as an `UnexpectedEof` I/O
     /// error.
     pub fn request(&mut self, request: &Request) -> Result<Response, FrameError> {
-        write_request(&mut self.stream, request)?;
+        let frame = RequestFrame {
+            v: crate::protocol::PROTOCOL_VERSION,
+            tenant: self.tenant.clone(),
+            request: request.clone(),
+        };
+        write_request_frame(&mut self.stream, &frame)?;
         match read_response(&mut self.stream)? {
             Some(response) => Ok(response),
             None => Err(FrameError::Io(io::Error::new(
                 ErrorKind::UnexpectedEof,
                 "connection closed before a response arrived",
             ))),
+        }
+    }
+
+    /// Send one request, transparently retrying typed `overloaded`
+    /// refusals with capped exponential backoff and jitter. Reconnects
+    /// before each retry — a connection shed at the door is closed after
+    /// its `overloaded` answer, and a fresh connection is the only way
+    /// back in. Exhausted retries return the last `overloaded` response so
+    /// the caller still sees a typed refusal, never a synthetic error.
+    pub fn request_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, FrameError> {
+        let mut attempt = 0u32;
+        loop {
+            let response = self.request(request)?;
+            let Response::Overloaded { .. } = &response else {
+                return Ok(response);
+            };
+            if attempt >= policy.max_retries {
+                return Ok(response);
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            attempt += 1;
+            // The server may have hung up after shedding; start clean.
+            self.stream = Client::open(self.addr, self.timeout)?;
         }
     }
 }

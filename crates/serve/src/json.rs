@@ -343,15 +343,13 @@ impl<'a> Parser<'a> {
                                 if !(0xdc00..0xe000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
                                 char::from_u32(cp)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else if (0xdc00..0xe000).contains(&hi) {
                                 return Err(self.err("lone low surrogate"));
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                         }
@@ -363,8 +361,7 @@ impl<'a> Parser<'a> {
                     // Advance one UTF-8 scalar: the input is a &str, so
                     // char boundaries are valid by construction.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().expect("non-empty checked above");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -420,8 +417,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
         if !n.is_finite() {
             return Err(self.err("number out of range"));
@@ -503,8 +500,16 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "tru", "01x", "{", "[1,", "\"abc", "{\"a\" 1}", "1 2",
-            "\"\\ud800\"", "{\"a\":}",
+            "",
+            "tru",
+            "01x",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\" 1}",
+            "1 2",
+            "\"\\ud800\"",
+            "{\"a\":}",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?}");
         }
@@ -519,6 +524,9 @@ mod tests {
     #[test]
     fn integers_stay_exact() {
         let v = Json::from(9_007_199_254_740_992u64);
-        assert_eq!(Json::parse(&v.encode()).unwrap().as_u64(), Some(9_007_199_254_740_992));
+        assert_eq!(
+            Json::parse(&v.encode()).unwrap().as_u64(),
+            Some(9_007_199_254_740_992)
+        );
     }
 }

@@ -17,6 +17,49 @@ use std::io::{ErrorKind, Read, Write};
 /// this is generous; anything larger is an attack or a bug).
 pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
 
+/// The protocol version this build speaks. Request frames carry a `v`
+/// field; a missing field means version 1 (the pre-versioning wire
+/// format), so old clients keep working. Frames announcing any other
+/// version are refused with a typed `unsupported_version` error rather
+/// than a shape error, so a newer client gets an actionable refusal
+/// instead of "malformed".
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A request envelope: the protocol version, the tenant the request is
+/// addressed to, and the request itself. On the wire this is the *same
+/// flat JSON object* as the request — `v` and `tenant` are optional
+/// top-level fields next to `"type"` — so a version-1 client that sends a
+/// bare [`Request`] decodes as a frame with `v = 1` and no tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Protocol version (absent on the wire ⇒ 1).
+    pub v: u64,
+    /// Addressed tenant; `None` means the server's default tenant.
+    pub tenant: Option<String>,
+    /// The request proper.
+    pub request: Request,
+}
+
+impl RequestFrame {
+    /// Wrap a request for the default tenant at the current version.
+    pub fn new(request: Request) -> RequestFrame {
+        RequestFrame {
+            v: PROTOCOL_VERSION,
+            tenant: None,
+            request,
+        }
+    }
+
+    /// Wrap a request addressed to a tenant.
+    pub fn for_tenant(tenant: impl Into<String>, request: Request) -> RequestFrame {
+        RequestFrame {
+            v: PROTOCOL_VERSION,
+            tenant: Some(tenant.into()),
+            request,
+        }
+    }
+}
+
 /// What a client can ask of the service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -151,6 +194,9 @@ pub enum ErrorKindWire {
     Degraded,
     /// The server is shutting down; the write was *not* applied.
     ShuttingDown,
+    /// The request frame announced a protocol version this server does
+    /// not speak; nothing was executed.
+    UnsupportedVersion,
     /// Internal error (the request may or may not have been applied).
     Internal,
 }
@@ -164,6 +210,7 @@ impl ErrorKindWire {
             ErrorKindWire::Extract => "extract",
             ErrorKindWire::Degraded => "degraded",
             ErrorKindWire::ShuttingDown => "shutting_down",
+            ErrorKindWire::UnsupportedVersion => "unsupported_version",
             ErrorKindWire::Internal => "internal",
         }
     }
@@ -176,6 +223,7 @@ impl ErrorKindWire {
             "extract" => ErrorKindWire::Extract,
             "degraded" => ErrorKindWire::Degraded,
             "shutting_down" => ErrorKindWire::ShuttingDown,
+            "unsupported_version" => ErrorKindWire::UnsupportedVersion,
             "internal" => ErrorKindWire::Internal,
             _ => return None,
         })
@@ -434,6 +482,51 @@ impl Request {
     }
 }
 
+impl RequestFrame {
+    /// Encode to compact JSON: the request's flat object with `v` (and
+    /// `tenant`, if addressed) prepended.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![field("v", self.v)];
+        if let Some(tenant) = &self.tenant {
+            fields.push(field("tenant", tenant.as_str()));
+        }
+        match self.request.to_json() {
+            Json::Obj(request_fields) => fields.extend(request_fields),
+            other => fields.push(("request".to_string(), other)),
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decode from parsed JSON. The version gate runs *before* request
+    /// shape validation: a frame from a future protocol may carry request
+    /// types this build has never heard of, and the peer deserves
+    /// [`FrameError::UnsupportedVersion`] — not "malformed" — for it.
+    pub fn from_json(v: &Json) -> Result<RequestFrame, FrameError> {
+        let version = match v.get("v") {
+            None => PROTOCOL_VERSION,
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| shape("field \"v\" must be an unsigned integer"))?,
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::UnsupportedVersion { v: version });
+        }
+        let tenant = match v.get("tenant") {
+            None => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| shape("field \"tenant\" must be a string"))?
+                    .to_string(),
+            ),
+        };
+        Ok(RequestFrame {
+            v: version,
+            tenant,
+            request: Request::from_json(v)?,
+        })
+    }
+}
+
 fn pairs_to_json(rows: &[(String, String)]) -> Json {
     Json::Arr(
         rows.iter()
@@ -587,7 +680,10 @@ impl Response {
             }
             Response::Error { kind, message } => obj(
                 "error",
-                vec![field("kind", kind.name()), field("message", message.as_str())],
+                vec![
+                    field("kind", kind.name()),
+                    field("message", message.as_str()),
+                ],
             ),
         }
     }
@@ -716,6 +812,12 @@ pub enum FrameError {
     },
     /// The payload was not valid JSON, or valid JSON of the wrong shape.
     Malformed(String),
+    /// The request frame announced a protocol version this peer does not
+    /// speak. Framing is intact — the connection can keep going.
+    UnsupportedVersion {
+        /// The version the frame announced.
+        v: u64,
+    },
     /// An underlying socket/file error (including read/write timeouts).
     Io(std::io::Error),
 }
@@ -730,6 +832,12 @@ impl fmt::Display for FrameError {
                 write!(f, "connection closed mid-frame ({got}/{wanted} bytes)")
             }
             FrameError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            FrameError::UnsupportedVersion { v } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {v}, this build speaks {PROTOCOL_VERSION}"
+                )
+            }
             FrameError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -778,12 +886,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     match read_exact_or_eof(r, &mut header)? {
         0 => return Ok(None),
         4 => {}
-        got => {
-            return Err(FrameError::Truncated {
-                wanted: 4,
-                got,
-            })
-        }
+        got => return Err(FrameError::Truncated { wanted: 4, got }),
     }
     let len = u32::from_be_bytes(header);
     if len > MAX_FRAME {
@@ -834,6 +937,21 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, FrameError> {
     match read_frame(r)? {
         None => Ok(None),
         Some(payload) => Ok(Some(Request::from_json(&decode_payload(&payload)?)?)),
+    }
+}
+
+/// Write one request-envelope frame (version + optional tenant + request).
+pub fn write_request_frame(w: &mut impl Write, frame: &RequestFrame) -> Result<(), FrameError> {
+    write_frame(w, frame.to_json().encode().as_bytes())
+}
+
+/// Read one request-envelope frame (`Ok(None)` on clean close). A payload
+/// without a `v` field decodes as version 1 with no tenant, so
+/// pre-versioning clients are indistinguishable from explicit-v1 ones.
+pub fn read_request_frame(r: &mut impl Read) -> Result<Option<RequestFrame>, FrameError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(RequestFrame::from_json(&decode_payload(&payload)?)?)),
     }
 }
 
@@ -923,5 +1041,68 @@ mod tests {
             read_request(&mut buf.as_slice()).unwrap_err(),
             FrameError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn request_frame_roundtrip_with_tenant() {
+        let frame = RequestFrame::for_tenant("alice", Request::Stats);
+        let mut buf = Vec::new();
+        write_request_frame(&mut buf, &frame).unwrap();
+        let back = read_request_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn bare_request_decodes_as_v1_default_tenant() {
+        // A pre-versioning client sends a plain request object; the
+        // server must see it as v=1 addressed to the default tenant.
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        let frame = read_request_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.v, PROTOCOL_VERSION);
+        assert_eq!(frame.tenant, None);
+        assert_eq!(frame.request, Request::Stats);
+    }
+
+    #[test]
+    fn unknown_version_is_typed_even_with_unknown_request_type() {
+        // A future protocol may carry request types this build cannot
+        // parse; the version gate must fire before shape validation.
+        let payload = br#"{"v":99,"type":"telepathy"}"#;
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        match read_request_frame(&mut buf.as_slice()).unwrap_err() {
+            FrameError::UnsupportedVersion { v } => assert_eq!(v, 99),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn frame_cap_boundary_is_exact() {
+        // Exactly MAX_FRAME bytes round-trips; one byte more is refused
+        // on write and on read, both as the typed Oversized error.
+        let at_cap = vec![b' '; MAX_FRAME as usize];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &at_cap).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.len(), MAX_FRAME as usize);
+
+        let over = vec![b' '; MAX_FRAME as usize + 1];
+        match write_frame(&mut Vec::new(), &over).unwrap_err() {
+            FrameError::Oversized { len, max } => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("{other}"),
+        }
+        let mut wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        wire.extend_from_slice(&over);
+        match read_frame(&mut wire.as_slice()).unwrap_err() {
+            FrameError::Oversized { len, max } => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("{other}"),
+        }
     }
 }

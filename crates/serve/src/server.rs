@@ -1,26 +1,41 @@
 //! The TCP front end: listener, worker pool, admission control, graceful
-//! shutdown.
+//! shutdown — now multi-tenant, serving every space in a
+//! [`TenantPool`].
 //!
-//! Two bounded queues implement admission control. The listener pushes
-//! accepted connections into a bounded channel with `try_send`; when the
-//! worker pool is saturated and the backlog full, the connection is
-//! answered with a typed `overloaded` response and closed instead of
-//! queueing unboundedly. Workers likewise `try_send` write jobs into the
-//! writer's bounded queue and answer `overloaded` when it is full. Under
+//! Three admission valves keep the server responsive under load. The
+//! listener pushes accepted connections into a bounded channel with
+//! `try_send`; when the worker pool is saturated and the backlog full, the
+//! connection is answered with a typed `overloaded` response and closed
+//! instead of queueing unboundedly. Each tenant has a bounded in-flight
+//! budget (one abusive tenant cannot occupy every worker), and each tenant
+//! has a bounded write queue drained by the shared writer workers. Under
 //! overload the server stays responsive and *says so* — it never stalls,
-//! OOMs, or silently drops work.
+//! OOMs, or silently drops work — and the `overloaded` answer names which
+//! valve shed the request.
+//!
+//! Requests address a tenant via the optional `tenant` field on the
+//! request frame; an absent field means the `"default"` tenant, so
+//! single-tenant clients from before multi-tenancy keep working
+//! unchanged. Non-resident tenants are recovered from their journal
+//! directory on first touch; idle ones are evicted when the pool exceeds
+//! its memory budget.
 //!
 //! Shutdown: a `shutdown` request sets the stop flag and wakes the
 //! listener with a self-connection. The listener stops accepting and hangs
 //! up its queue; workers drain the connections already admitted (reads
-//! keep being served), the writer rejects still-queued unacked writes with
-//! `shutting_down`, commits, and hands the master back through
-//! [`ServeHandle::join`].
+//! keep being served), the writer workers reject still-queued unacked
+//! writes with `shutting_down`, and every tenant is sealed (index flushed,
+//! journal committed) before [`ServeHandle::join`] returns.
 
-use crate::engine::{EpochSnapshot, SnapshotEngine};
-use crate::master::Master;
-use crate::protocol::{read_request, write_response, ErrorKindWire, Request, Response, WireHit};
-use crate::writer::{WriteCommand, WriteJob, WriterReport};
+use crate::protocol::{
+    read_request_frame, write_response, ErrorKindWire, FrameError, Request, RequestFrame, Response,
+    WireHit,
+};
+use crate::writer::{pool_worker, WriteCommand, WriteJob, WriterReport, WriterStats};
+use semex_tenant::{
+    EnqueueError, EpochSnapshot, Master, PoolConfig, PoolReport, PoolSnapshot, Tenant, TenantError,
+    TenantId, TenantPool, TenantRegistry,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,13 +50,17 @@ const MAX_SOLUTION_ROWS: usize = 50;
 /// Serving-layer tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing requests (readers; writes are forwarded to
-    /// the single writer thread).
+    /// Worker threads executing requests (readers; writes are queued for
+    /// the writer workers).
     pub threads: usize,
+    /// Writer worker threads draining tenant write queues. Each tenant is
+    /// serviced by at most one at a time; more threads let independent
+    /// tenants commit in parallel.
+    pub writer_threads: usize,
     /// Bound on the admitted-connection backlog; beyond it, connections
     /// are shed with `overloaded`.
     pub conn_queue: usize,
-    /// Bound on the writer's job queue; beyond it, writes are shed with
+    /// Bound on each tenant's write queue; beyond it, writes are shed with
     /// `overloaded`.
     pub write_queue: usize,
     /// Most writes coalesced into one commit+publish cycle.
@@ -51,7 +70,8 @@ pub struct ServeConfig {
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
     /// Record every applied [`WriteCommand`] in the report (test and
-    /// verification harnesses replay them sequentially).
+    /// verification harnesses replay them sequentially; meaningful for
+    /// single-tenant servers only — cross-tenant order is arbitrary).
     pub record_writes: bool,
 }
 
@@ -59,6 +79,7 @@ impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             threads: 4,
+            writer_threads: 2,
             conn_queue: 64,
             write_queue: 64,
             max_batch: 32,
@@ -78,20 +99,26 @@ struct Counters {
 }
 
 /// What a serve session did, returned by [`ServeHandle::join`]: request
-/// and shed counters, the writer's batching report, and the master itself
-/// (so callers can verify or keep using the final state).
+/// and shed counters, the writer's batching report, the pool's tenancy
+/// report, and — for single-tenant servers — the master itself (so
+/// callers can verify or keep using the final state).
 #[derive(Debug)]
 pub struct ServeReport {
     /// Requests executed (shed connections are not requests).
     pub requests: u64,
     /// Connections answered `overloaded` at the door.
     pub shed_connections: u64,
-    /// Writes answered `overloaded` at the writer queue.
+    /// Writes answered `overloaded` at a tenant's write queue.
     pub shed_writes: u64,
-    /// The writer thread's report.
+    /// The write path's report.
     pub writer: WriterReport,
-    /// The master platform, final state, journal sealed.
-    pub master: Master,
+    /// The tenant pool's lifetime report (activations, cold opens,
+    /// evictions, peak residency).
+    pub tenants: PoolReport,
+    /// The master platform, final state, journal sealed. `Some` only for a
+    /// server started with [`serve`] (whose single master is pinned);
+    /// multi-tenant masters live and die inside the pool.
+    pub master: Option<Master>,
 }
 
 /// A running server. Keep it to shut the server down and reclaim the
@@ -101,15 +128,29 @@ pub struct ServeHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    pool: Arc<TenantPool<WriteJob>>,
+    writer_stats: Arc<WriterStats>,
     listener: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    writer: Option<JoinHandle<(WriterReport, Master)>>,
+    writers: Vec<JoinHandle<()>>,
 }
 
 impl ServeHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Live tenant-pool metrics (resident set, cold opens, evictions);
+    /// cheap, safe to poll while serving.
+    pub fn tenants(&self) -> PoolSnapshot {
+        self.pool.snapshot_stats()
+    }
+
+    /// Forcibly evict a tenant now (operational hook). `false` when it is
+    /// not resident, pinned, or currently busy.
+    pub fn evict_tenant(&self, name: &str) -> bool {
+        self.pool.evict_now(name)
     }
 
     /// Begin graceful shutdown without a client: set the stop flag and
@@ -121,38 +162,95 @@ impl ServeHandle {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// Block until a shutdown is requested — by a client's `shutdown`
+    /// request or [`ServeHandle::shutdown`] from another thread — without
+    /// initiating one. This is what a foreground server process parks on;
+    /// [`ServeHandle::join`] alone would begin the shutdown itself.
+    pub fn wait(&mut self) {
+        // The listener thread exits exactly when the stop flag is set and
+        // it has been woken, so joining it is the blocking wait.
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+    }
+
     /// Shut down (if not already begun), wait for every thread to finish,
-    /// and return the report with the final master state. All threads are
-    /// joined — none leak.
+    /// seal every tenant, and return the report. All threads are joined —
+    /// none leak.
     pub fn join(mut self) -> ServeReport {
         self.shutdown();
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
         }
+        // Connection workers first: every admitted request gets its
+        // answer (the writer workers are still draining tenant queues).
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let (writer, master) = self
-            .writer
-            .take()
-            .expect("join called once")
-            .join()
-            .expect("writer thread panicked");
+        // No more request intake: close the dispatch channel so the
+        // writer workers drain the backlog and exit.
+        self.pool.close();
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+        let fin = self.pool.finalize();
+        // Jobs that never reached a worker (shutdown raced their
+        // dispatch) are rejected, not dropped — though their clients are
+        // usually gone by now.
+        for (_tenant, jobs) in fin.leftovers {
+            for job in jobs {
+                self.writer_stats.reject_shutting_down(job);
+            }
+        }
         ServeReport {
             requests: self.counters.requests.load(Ordering::Relaxed),
             shed_connections: self.counters.shed_connections.load(Ordering::Relaxed),
             shed_writes: self.counters.shed_writes.load(Ordering::Relaxed),
-            writer,
-            master,
+            writer: self.writer_stats.take_report(fin.final_epoch),
+            tenants: fin.report,
+            master: fin.pinned,
         }
     }
 }
 
-/// Start serving `master` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
-/// port). Spawns the listener, `config.threads` workers, and the writer
-/// thread, then returns immediately.
+/// Start serving a single `master` on `addr` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port) as the pinned `"default"` tenant. Spawns the listener,
+/// `config.threads` connection workers, and `config.writer_threads` writer
+/// workers, then returns immediately. The master is pinned — never evicted
+/// — and handed back through [`ServeHandle::join`].
 pub fn serve(
     master: Master,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServeHandle> {
+    let pool_config = PoolConfig {
+        queue_depth: config.write_queue,
+        max_batch: config.max_batch,
+        ..PoolConfig::default()
+    };
+    let pool = Arc::new(TenantPool::single(master, pool_config));
+    serve_pool(pool, addr, config)
+}
+
+/// Start serving every tenant under `registry`'s root on `addr`. Tenants
+/// are activated lazily (recovered from their journal directories on first
+/// request) and evicted LRU-first when the pool exceeds
+/// `pool_config.memory_budget`. `pool_config.queue_depth` and `max_batch`
+/// govern each tenant's write queue; `config` governs the TCP front end
+/// and the thread counts.
+pub fn serve_tenants(
+    registry: TenantRegistry,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+    pool_config: PoolConfig,
+) -> io::Result<ServeHandle> {
+    let pool = Arc::new(TenantPool::with_registry(registry, pool_config));
+    serve_pool(pool, addr, config)
+}
+
+/// The shared bring-up behind [`serve`] and [`serve_tenants`].
+fn serve_pool(
+    pool: Arc<TenantPool<WriteJob>>,
     addr: impl ToSocketAddrs,
     config: ServeConfig,
 ) -> io::Result<ServeHandle> {
@@ -160,19 +258,20 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(Counters::default());
-    let engine = Arc::new(SnapshotEngine::new(master.snapshot()));
+    let writer_stats = Arc::new(WriterStats::default());
 
-    // Writer: owns the master; bounded job queue is the write-side
-    // admission valve.
-    let (job_tx, job_rx) = mpsc::sync_channel::<WriteJob>(config.write_queue.max(1));
-    let writer = {
-        let engine = Arc::clone(&engine);
+    let mut writers = Vec::with_capacity(config.writer_threads.max(1));
+    for i in 0..config.writer_threads.max(1) {
+        let pool = Arc::clone(&pool);
+        let stats = Arc::clone(&writer_stats);
         let stop = Arc::clone(&stop);
-        let (max_batch, record) = (config.max_batch, config.record_writes);
-        thread::Builder::new()
-            .name("semex-serve-writer".into())
-            .spawn(move || crate::writer::run(master, job_rx, engine, stop, max_batch, record))?
-    };
+        let record = config.record_writes;
+        writers.push(
+            thread::Builder::new()
+                .name(format!("semex-serve-writer-{i}"))
+                .spawn(move || pool_worker(pool, stats, stop, record))?,
+        );
+    }
 
     // Connection queue: the read-side admission valve.
     let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.conn_queue.max(1));
@@ -182,8 +281,7 @@ pub fn serve(
     for i in 0..config.threads.max(1) {
         let ctx = WorkerCtx {
             conn_rx: Arc::clone(&conn_rx),
-            job_tx: job_tx.clone(),
-            engine: Arc::clone(&engine),
+            pool: Arc::clone(&pool),
             stop: Arc::clone(&stop),
             counters: Arc::clone(&counters),
             addr,
@@ -196,9 +294,6 @@ pub fn serve(
                 .spawn(move || worker_loop(ctx))?,
         );
     }
-    // The writer must see the channel disconnect once the workers exit:
-    // only the worker clones may keep it open.
-    drop(job_tx);
 
     let listener_thread = {
         let stop = Arc::clone(&stop);
@@ -213,9 +308,11 @@ pub fn serve(
         addr,
         stop,
         counters,
+        pool,
+        writer_stats,
         listener: Some(listener_thread),
         workers,
-        writer: Some(writer),
+        writers,
     })
 }
 
@@ -254,8 +351,7 @@ fn listener_loop(
 
 struct WorkerCtx {
     conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
-    job_tx: mpsc::SyncSender<WriteJob>,
-    engine: Arc<SnapshotEngine>,
+    pool: Arc<TenantPool<WriteJob>>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
     addr: SocketAddr,
@@ -278,10 +374,27 @@ fn worker_loop(ctx: WorkerCtx) {
 fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    // Replies are a small length prefix plus a payload; without nodelay,
+    // Nagle holds the second write for the peer's delayed ACK (~40 ms per
+    // request-response turn).
+    let _ = stream.set_nodelay(true);
     loop {
-        let request = match read_request(&mut stream) {
-            Ok(Some(request)) => request,
+        let frame = match read_request_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
             Ok(None) => return, // clean close
+            Err(FrameError::UnsupportedVersion { v }) => {
+                // The frame itself was well-formed — only the version is
+                // foreign. Refuse it in a way the peer can act on and keep
+                // the connection (framing is still in sync).
+                let refused = Response::Error {
+                    kind: ErrorKindWire::UnsupportedVersion,
+                    message: FrameError::UnsupportedVersion { v }.to_string(),
+                };
+                if write_response(&mut stream, &refused).is_err() {
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
                 // Timeouts are idle clients; everything else gets a typed
                 // answer. Either way the stream may be desynced: hang up.
@@ -298,51 +411,109 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             }
         };
         ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = execute(ctx, &request);
+        let response = execute(ctx, &frame);
         if write_response(&mut stream, &response).is_err() {
             return;
         }
     }
 }
 
-fn execute(ctx: &WorkerCtx, request: &Request) -> Response {
-    if let Some(cmd) = WriteCommand::from_request(request) {
-        if ctx.stop.load(Ordering::SeqCst) {
-            return Response::Error {
-                kind: ErrorKindWire::ShuttingDown,
-                message: "server is shutting down; the write was not applied".into(),
-            };
-        }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        return match ctx.job_tx.try_send(WriteJob {
-            cmd,
-            reply: reply_tx,
-        }) {
-            Ok(()) => reply_rx.recv().unwrap_or(Response::Error {
-                kind: ErrorKindWire::Internal,
-                message: "writer thread hung up before replying".into(),
-            }),
-            Err(mpsc::TrySendError::Full(_)) => {
-                ctx.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
-                Response::Overloaded {
-                    queue: "writes".into(),
-                }
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => Response::Error {
-                kind: ErrorKindWire::ShuttingDown,
-                message: "server is shutting down; the write was not applied".into(),
-            },
+fn shutting_down() -> Response {
+    Response::Error {
+        kind: ErrorKindWire::ShuttingDown,
+        message: "server is shutting down; the write was not applied".into(),
+    }
+}
+
+/// Map a tenant activation failure to its wire answer.
+fn tenant_error(e: TenantError) -> Response {
+    let kind = match &e {
+        TenantError::InvalidId { .. } => ErrorKindWire::BadRequest,
+        TenantError::Unknown(_) => ErrorKindWire::NotFound,
+        TenantError::Journal(_) | TenantError::Io(_) => ErrorKindWire::Store,
+        TenantError::ShuttingDown => ErrorKindWire::ShuttingDown,
+    };
+    Response::Error {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Response {
+    let name = frame.tenant.as_deref().unwrap_or(TenantId::DEFAULT);
+    let request = &frame.request;
+    if matches!(request, Request::Shutdown) {
+        ctx.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(ctx.addr); // wake the listener
+        return Response::ShutdownAck {
+            epoch: ctx.pool.epoch_of(name).unwrap_or(0),
         };
     }
-    match request {
-        Request::Shutdown => {
-            ctx.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(ctx.addr); // wake the listener
-            Response::ShutdownAck {
-                epoch: ctx.engine.epoch(),
+    let is_write = WriteCommand::from_request(request).is_some();
+    if is_write && ctx.stop.load(Ordering::SeqCst) {
+        return shutting_down();
+    }
+    let tenant = match ctx.pool.activate(name) {
+        Ok(tenant) => tenant,
+        Err(e) => return tenant_error(e),
+    };
+    // Per-tenant admission: one flooding tenant saturates its own
+    // in-flight budget and gets typed refusals, not the whole worker pool.
+    let Some(_permit) = ctx.pool.admit(&tenant) else {
+        return Response::Overloaded {
+            queue: "tenant".into(),
+        };
+    };
+    match WriteCommand::from_request(request) {
+        Some(cmd) => execute_write(ctx, name, tenant, cmd),
+        None => execute_read(&tenant.engine().load(), request),
+    }
+}
+
+/// Queue a write on its tenant and wait for the servicing worker's ack.
+/// Eviction can race activation (the LRU scan may retire the tenant
+/// between `activate` and `enqueue`); a retired queue bounces the job back
+/// and we re-activate — bounded, because a tenant with a queued job is
+/// never chosen for eviction again.
+fn execute_write(
+    ctx: &WorkerCtx,
+    name: &str,
+    tenant: Arc<Tenant<WriteJob>>,
+    cmd: WriteCommand,
+) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut job = WriteJob {
+        cmd,
+        reply: reply_tx,
+    };
+    let mut tenant = tenant;
+    for _attempt in 0..4 {
+        match ctx.pool.enqueue(&tenant, job) {
+            Ok(()) => {
+                return reply_rx.recv().unwrap_or(Response::Error {
+                    kind: ErrorKindWire::Internal,
+                    message: "writer worker hung up before replying".into(),
+                })
             }
+            Err(EnqueueError::Full(_)) => {
+                ctx.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
+                return Response::Overloaded {
+                    queue: "writes".into(),
+                };
+            }
+            Err(EnqueueError::Retired(bounced)) => {
+                job = bounced;
+                tenant = match ctx.pool.activate(name) {
+                    Ok(tenant) => tenant,
+                    Err(e) => return tenant_error(e),
+                };
+            }
+            Err(EnqueueError::ShuttingDown(_)) => return shutting_down(),
         }
-        _ => execute_read(&ctx.engine.load(), request),
+    }
+    Response::Error {
+        kind: ErrorKindWire::Internal,
+        message: "tenant kept retiring during enqueue".into(),
     }
 }
 

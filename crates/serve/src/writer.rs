@@ -1,27 +1,30 @@
-//! The serialized write path: one writer thread, batch coalescing, one
-//! journal commit and one snapshot publication per batch.
+//! The serialized write path: per-tenant single-writer servicing, batch
+//! coalescing, one journal commit and one snapshot publication per batch.
 //!
-//! Every mutation funnels through an mpsc queue into this thread, which
-//! owns the [`Master`]. The loop blocks for the first job, then drains
-//! whatever else is already queued (up to `max_batch`): under write
-//! pressure the queue naturally backs up while the previous batch commits,
-//! so N queued writes cost **one** index refresh and **one** fsync instead
-//! of N — without adding any artificial latency when the queue is idle.
+//! Every mutation funnels through its tenant's bounded queue in the
+//! [`TenantPool`]; a small pool of writer workers drains whichever tenants
+//! have work. The pool guarantees one worker per tenant at a time, so each
+//! tenant still has a serialized write path, while independent tenants
+//! commit in parallel. Within one servicing pass the batch is everything
+//! already queued (up to `max_batch`): under write pressure a tenant's
+//! queue naturally backs up while its previous batch commits, so N queued
+//! writes cost **one** index refresh and **one** fsync instead of N —
+//! without adding any artificial latency when the queue is idle.
 //!
 //! Acknowledgment order is the durability contract: apply → commit →
 //! publish → reply. A client that has its ack (a) can read its own write
 //! from the very next snapshot load, and (b) will find it after a crash
-//! and [`semex_core::Semex::open_durable`] recovery. Jobs dequeued after
-//! shutdown began are rejected with a typed `shutting_down` error — never
-//! silently dropped — so a client always learns the fate of its write.
+//! and [`semex_core::Semex::open_durable`] recovery — which is also what
+//! makes tenant eviction safe. Jobs dequeued after shutdown began are
+//! rejected with a typed `shutting_down` error — never silently dropped —
+//! so a client always learns the fate of its write.
 
-use crate::engine::SnapshotEngine;
-use crate::master::Master;
 use crate::protocol::{ErrorKindWire, IngestFormat, Request, Response};
 use semex_core::{Semex, SemexError, SourceSpec};
 use semex_store::ObjectId;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use semex_tenant::{Master, SnapshotEngine, TenantPool};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// A mutation in queueable form. `Clone` so a recording server can return
 /// the exact applied sequence for sequential-replay verification.
@@ -261,82 +264,120 @@ pub struct WriterReport {
     pub applied: Vec<WriteCommand>,
 }
 
-/// The writer thread body. Owns the master; returns it (and the report)
-/// when every job sender has hung up.
-pub(crate) fn run(
-    mut master: Master,
-    jobs: mpsc::Receiver<WriteJob>,
-    engine: Arc<SnapshotEngine>,
-    stop: Arc<AtomicBool>,
-    max_batch: usize,
-    record_writes: bool,
-) -> (WriterReport, Master) {
-    let mut report = WriterReport::default();
-    // Batching on: per-mutation refreshes are suppressed; commit() is the
-    // one point each batch's events fold into the index.
-    master.semex_mut().set_index_batching(true);
-    while let Ok(first) = jobs.recv() {
-        // Coalesce: take everything already waiting, up to the cap.
-        let mut batch = vec![first];
-        while batch.len() < max_batch.max(1) {
-            match jobs.try_recv() {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
-            }
-        }
-        let mut outcomes = Vec::with_capacity(batch.len());
-        for job in batch {
-            if stop.load(Ordering::SeqCst) {
-                // Queued but unacked when shutdown began: reject, don't
-                // drop — the client must learn its write did not happen.
-                report.writes_rejected += 1;
-                let _ = job.reply.send(Response::Error {
-                    kind: ErrorKindWire::ShuttingDown,
-                    message: "server is shutting down; the write was not applied".into(),
-                });
-                continue;
-            }
-            let outcome = job.cmd.apply(master.semex_mut());
-            if record_writes && outcome.is_ok() {
-                report.applied.push(job.cmd.clone());
-            }
-            outcomes.push((job.reply, outcome));
-        }
-        if outcomes.is_empty() {
-            continue;
-        }
-        report.batches += 1;
-        let commit_err = master.commit().err();
-        // Publish even on commit failure: readers must track the master's
-        // in-memory state (which, degraded, still serves the un-durable
-        // mutations — exactly the degraded-mode contract).
-        let epoch = engine.publish(master.snapshot());
-        report.final_epoch = epoch;
-        for (reply, outcome) in outcomes {
-            let response = match (&commit_err, outcome) {
-                (None, Ok(applied)) => {
-                    report.writes_ok += 1;
-                    applied.into_response(epoch)
-                }
-                (Some(e), Ok(_)) => {
-                    report.writes_failed += 1;
-                    Response::Error {
-                        kind: ErrorKindWire::Degraded,
-                        message: format!("applied but not durable — journal commit failed: {e}"),
-                    }
-                }
-                (_, Err(error)) => {
-                    report.writes_failed += 1;
-                    error
-                }
-            };
-            let _ = reply.send(response);
+/// Shared write-path counters, incremented by every writer worker and
+/// folded into the [`WriterReport`] at shutdown.
+#[derive(Debug, Default)]
+pub(crate) struct WriterStats {
+    pub batches: AtomicU64,
+    pub writes_ok: AtomicU64,
+    pub writes_failed: AtomicU64,
+    pub writes_rejected: AtomicU64,
+    /// Applied commands in order, when recording (single-tenant pools
+    /// only; cross-tenant order would be meaningless).
+    pub applied: Mutex<Vec<WriteCommand>>,
+}
+
+impl WriterStats {
+    /// Reject a job with the typed shutting-down error (used both by
+    /// workers draining after shutdown and by finalize-time leftovers).
+    pub fn reject_shutting_down(&self, job: WriteJob) {
+        self.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Response::Error {
+            kind: ErrorKindWire::ShuttingDown,
+            message: "server is shutting down; the write was not applied".into(),
+        });
+    }
+
+    /// Fold the counters into a report (the final epoch is supplied by the
+    /// pool, which knows every tenant's sealed state).
+    pub fn take_report(&self, final_epoch: u64) -> WriterReport {
+        WriterReport {
+            batches: self.batches.load(Ordering::Relaxed),
+            writes_ok: self.writes_ok.load(Ordering::Relaxed),
+            writes_failed: self.writes_failed.load(Ordering::Relaxed),
+            writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
+            final_epoch,
+            applied: std::mem::take(&mut self.applied.lock().expect("stats lock poisoned")),
         }
     }
-    // Every sender hung up: the listener and all workers are gone. Leave
-    // batching mode (an implicit final flush) and commit any stragglers so
-    // the journal is sealed at exactly the acked state.
-    master.semex_mut().set_index_batching(false);
-    let _ = master.commit();
-    (report, master)
+}
+
+/// A writer worker's body: service dispatched tenants until the pool
+/// closes and the dispatch backlog drains.
+pub(crate) fn pool_worker(
+    pool: Arc<TenantPool<WriteJob>>,
+    stats: Arc<WriterStats>,
+    stop: Arc<AtomicBool>,
+    record_writes: bool,
+) {
+    while let Some(tenant) = pool.next_dispatch() {
+        pool.service(&tenant, |master, engine, batch| {
+            service_batch(master, engine, batch, &stats, &stop, record_writes);
+        });
+    }
+}
+
+/// Apply, commit, publish, and ack one tenant's batch — the durability
+/// contract lives here. Runs with exclusive access to the tenant's master
+/// (the pool guarantees one servicing worker per tenant at a time).
+fn service_batch(
+    master: &mut Master,
+    engine: &SnapshotEngine,
+    batch: Vec<WriteJob>,
+    stats: &WriterStats,
+    stop: &AtomicBool,
+    record_writes: bool,
+) {
+    let mut outcomes = Vec::with_capacity(batch.len());
+    for job in batch {
+        if stop.load(Ordering::SeqCst) {
+            // Queued but unacked when shutdown began: reject, don't
+            // drop — the client must learn its write did not happen.
+            stats.reject_shutting_down(job);
+            continue;
+        }
+        let outcome = job.cmd.apply(master.semex_mut());
+        if record_writes && outcome.is_ok() {
+            stats
+                .applied
+                .lock()
+                .expect("stats lock poisoned")
+                .push(job.cmd.clone());
+        }
+        outcomes.push((job.reply, outcome));
+    }
+    if outcomes.is_empty() {
+        return;
+    }
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    let committed = master.commit();
+    // Publish even on commit failure: readers must track the master's
+    // in-memory state (which, degraded, still serves the un-durable
+    // mutations — exactly the degraded-mode contract). A failed commit
+    // advances the epoch by one so readers can still observe the changed
+    // state under a fresh epoch.
+    let epoch = match &committed {
+        Ok(n) => engine.publish_advance(master.snapshot(), *n as u64),
+        Err(_) => engine.publish_advance(master.snapshot(), 1),
+    };
+    for (reply, outcome) in outcomes {
+        let response = match (&committed, outcome) {
+            (Ok(_), Ok(applied)) => {
+                stats.writes_ok.fetch_add(1, Ordering::Relaxed);
+                applied.into_response(epoch)
+            }
+            (Err(e), Ok(_)) => {
+                stats.writes_failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    kind: ErrorKindWire::Degraded,
+                    message: format!("applied but not durable — journal commit failed: {e}"),
+                }
+            }
+            (_, Err(error)) => {
+                stats.writes_failed.fetch_add(1, Ordering::Relaxed);
+                error
+            }
+        };
+        let _ = reply.send(response);
+    }
 }

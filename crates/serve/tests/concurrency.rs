@@ -227,13 +227,16 @@ fn readers_never_observe_torn_epochs_and_writes_replay_sequentially() {
             .unwrap_or_else(|e| panic!("replay rejected {cmd:?}: {e:?}"));
     }
     replay.flush_index();
+    let master = report
+        .master
+        .expect("single-tenant serve hands back its pinned master");
     assert_eq!(
         canon(&replay.store().to_json()),
-        canon(&report.master.semex().store().to_json()),
+        canon(&master.semex().store().to_json()),
         "post-shutdown store must be byte-identical to the sequential replay"
     );
     // And the final store really contains every acked token.
-    let served = report.master.into_semex();
+    let served = master.into_semex();
     for i in 0..WRITES {
         assert_eq!(served.search(&token(i), 3).len(), 1, "write {i}");
     }

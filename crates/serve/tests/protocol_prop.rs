@@ -12,8 +12,9 @@
 
 use proptest::prelude::*;
 use semex_serve::protocol::{
-    read_frame, read_request, read_response, write_request, write_response, ErrorKindWire,
-    FrameError, IngestFormat, Request, Response, WireHit, MAX_FRAME,
+    read_frame, read_request, read_request_frame, read_response, write_frame, write_request,
+    write_request_frame, write_response, ErrorKindWire, FrameError, IngestFormat, Request,
+    RequestFrame, Response, WireHit, MAX_FRAME, PROTOCOL_VERSION,
 };
 
 /// Integers that survive the JSON number representation exactly (the
@@ -73,6 +74,24 @@ fn request_strategy() -> impl Strategy<Value = Request> {
     ]
 }
 
+/// Tenant names as they appear on the wire: present or absent, valid or
+/// not (the codec does not validate tenancy — the server does).
+fn tenant_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        "[a-z0-9_-]{1,20}".prop_map(Some),
+        ".{0,30}".prop_map(Some),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = RequestFrame> {
+    (tenant_strategy(), request_strategy()).prop_map(|(tenant, request)| RequestFrame {
+        v: PROTOCOL_VERSION,
+        tenant,
+        request,
+    })
+}
+
 fn hit_strategy() -> impl Strategy<Value = WireHit> {
     (wire_u64(), ".{0,30}", ".{0,15}", wire_f64()).prop_map(|(object, label, class, score)| {
         WireHit {
@@ -96,6 +115,7 @@ fn kind_strategy() -> impl Strategy<Value = ErrorKindWire> {
         Just(ErrorKindWire::Extract),
         Just(ErrorKindWire::Degraded),
         Just(ErrorKindWire::ShuttingDown),
+        Just(ErrorKindWire::UnsupportedVersion),
         Just(ErrorKindWire::Internal),
     ]
 }
@@ -142,13 +162,15 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             wire_usize(),
             wire_usize()
         )
-            .prop_map(|(epoch, matched, score, created, merged)| Response::Integrated {
-                epoch,
-                matched,
-                score,
-                created,
-                merged
-            }),
+            .prop_map(
+                |(epoch, matched, score, created, merged)| Response::Integrated {
+                    epoch,
+                    matched,
+                    score,
+                    created,
+                    merged
+                }
+            ),
         (wire_u64(), any::<bool>())
             .prop_map(|(epoch, merged)| Response::Asserted { epoch, merged }),
         (
@@ -158,17 +180,18 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             wire_usize(),
             wire_usize()
         )
-            .prop_map(|(epoch, objects, aliases, edges, sources)| Response::Stats {
-                epoch,
-                objects,
-                aliases,
-                edges,
-                sources
-            }),
+            .prop_map(
+                |(epoch, objects, aliases, edges, sources)| Response::Stats {
+                    epoch,
+                    objects,
+                    aliases,
+                    edges,
+                    sources
+                }
+            ),
         wire_u64().prop_map(|epoch| Response::ShutdownAck { epoch }),
         ".{0,20}".prop_map(|queue| Response::Overloaded { queue }),
-        (kind_strategy(), ".{0,60}")
-            .prop_map(|(kind, message)| Response::Error { kind, message }),
+        (kind_strategy(), ".{0,60}").prop_map(|(kind, message)| Response::Error { kind, message }),
     ]
 }
 
@@ -184,6 +207,53 @@ proptest! {
         let mut cursor = buf.as_slice();
         read_request(&mut cursor).unwrap();
         prop_assert!(read_request(&mut cursor).unwrap().is_none());
+    }
+
+    /// Every request frame — any tenant, any request — round-trips, and a
+    /// frame without a tenant decodes from the bare-request encoding too
+    /// (the envelope and the request share one flat JSON object).
+    #[test]
+    fn request_frames_round_trip(frame in frame_strategy()) {
+        let mut buf = Vec::new();
+        write_request_frame(&mut buf, &frame).unwrap();
+        let back = read_request_frame(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(&back, &frame);
+        // The inner request is still readable by a version-1 peer that
+        // ignores the envelope fields.
+        let inner = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(inner, frame.request);
+    }
+
+    /// A bare request (no `v`, no `tenant`) decodes as an explicit
+    /// version-1 frame for the default tenant — old clients cannot be
+    /// told apart from new ones that just use the defaults.
+    #[test]
+    fn bare_requests_decode_as_v1_frames(req in request_strategy()) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let frame = read_request_frame(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(frame.v, PROTOCOL_VERSION);
+        prop_assert_eq!(frame.tenant, None);
+        prop_assert_eq!(frame.request, req);
+    }
+
+    /// Every version other than the one this build speaks is refused with
+    /// the typed UnsupportedVersion error — before request-shape
+    /// validation, so even unparseable future payloads get the right
+    /// refusal.
+    #[test]
+    fn foreign_versions_are_typed(v in (0u64..(1 << 53)).prop_map(|v| if v == PROTOCOL_VERSION { 0 } else { v }), garbage_type in ".{0,20}") {
+        let payload = semex_serve::json::Json::Obj(vec![
+            ("v".to_string(), semex_serve::json::Json::from(v)),
+            ("type".to_string(), semex_serve::json::Json::from(garbage_type.as_str())),
+        ])
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload.as_bytes()).unwrap();
+        match read_request_frame(&mut buf.as_slice()) {
+            Err(FrameError::UnsupportedVersion { v: got }) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "unexpected outcome: {:?}", other),
+        }
     }
 
     /// Every response variant round-trips through the framed wire format.
@@ -237,6 +307,38 @@ proptest! {
             other => prop_assert!(false, "unexpected outcome: {:?}", other),
         }
     }
+}
+
+/// The frame cap is exact: a payload of exactly [`MAX_FRAME`] bytes
+/// round-trips, one more byte is the typed Oversized error on both the
+/// write and the read side.
+#[test]
+fn frame_cap_boundary_is_exact() {
+    let at_cap = vec![b'x'; MAX_FRAME as usize];
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &at_cap).unwrap();
+    assert_eq!(
+        read_frame(&mut buf.as_slice()).unwrap().unwrap().len(),
+        MAX_FRAME as usize
+    );
+
+    let over = vec![b'x'; MAX_FRAME as usize + 1];
+    assert!(matches!(
+        write_frame(&mut Vec::new(), &over),
+        Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME
+        }) if len == MAX_FRAME + 1
+    ));
+    let mut wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+    wire.extend_from_slice(&over);
+    assert!(matches!(
+        read_frame(&mut wire.as_slice()),
+        Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME
+        }) if len == MAX_FRAME + 1
+    ));
 }
 
 /// Writing a payload above the cap is refused locally, symmetric with the

@@ -44,20 +44,24 @@ fn every_request_variant_round_trips_through_a_live_server() {
         Response::Hits { hits, .. } => hits,
         other => panic!("unexpected response: {other:?}"),
     };
-    let pruned = hits(client
-        .request(&Request::Search {
-            query: "reconciliation".into(),
-            k: 5,
-            exhaustive: false,
-        })
-        .unwrap());
-    let exhaustive = hits(client
-        .request(&Request::Search {
-            query: "reconciliation".into(),
-            k: 5,
-            exhaustive: true,
-        })
-        .unwrap());
+    let pruned = hits(
+        client
+            .request(&Request::Search {
+                query: "reconciliation".into(),
+                k: 5,
+                exhaustive: false,
+            })
+            .unwrap(),
+    );
+    let exhaustive = hits(
+        client
+            .request(&Request::Search {
+                query: "reconciliation".into(),
+                k: 5,
+                exhaustive: true,
+            })
+            .unwrap(),
+    );
     assert_eq!(pruned.len(), 1);
     assert_eq!(pruned, exhaustive, "both evaluators agree over the wire");
 
@@ -129,9 +133,7 @@ fn every_request_variant_round_trips_through_a_live_server() {
 
     // Stats before the writes.
     let objects_before = match client.request(&Request::Stats).unwrap() {
-        Response::Stats {
-            epoch, objects, ..
-        } => {
+        Response::Stats { epoch, objects, .. } => {
             assert_eq!(epoch, 0, "no writes published yet");
             objects
         }
@@ -169,13 +171,15 @@ fn every_request_variant_round_trips_through_a_live_server() {
         other => panic!("unexpected response: {other:?}"),
     }
     assert_eq!(
-        hits(client
-            .request(&Request::Search {
-                query: "quokka".into(),
-                k: 5,
-                exhaustive: false
-            })
-            .unwrap())
+        hits(
+            client
+                .request(&Request::Search {
+                    query: "quokka".into(),
+                    k: 5,
+                    exhaustive: false
+                })
+                .unwrap()
+        )
         .len(),
         1,
         "read-your-writes"
@@ -333,10 +337,11 @@ fn overload_sheds_connections_with_a_typed_response() {
     // ...fill the one backlog slot...
     let queued = Client::connect(addr).unwrap();
     thread::sleep(Duration::from_millis(50)); // let the listener admit it
-    // ...and the next connection is answered `overloaded` unprompted and
-    // closed — nothing even needs to be sent on it.
+                                              // ...and the next connection is answered `overloaded` unprompted and
+                                              // closed — nothing even needs to be sent on it.
     let mut shed = TcpStream::connect(addr).unwrap();
-    shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     match read_response(&mut shed).unwrap().unwrap() {
         Response::Overloaded { queue } => assert_eq!(queue, "connections"),
         other => panic!("unexpected response: {other:?}"),

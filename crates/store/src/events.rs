@@ -29,6 +29,10 @@ use std::fmt;
 /// *original* argument ids (pre-merge-resolution); resolution is
 /// deterministic given the preceding events, so replay lands on the same
 /// live objects.
+// `SyncModel` dwarfs the other variants, but events are moved into a
+// `Vec` and replayed once — they are never held in bulk long-term, so
+// boxing the model would buy nothing and cost an allocation per sync.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum StoreEvent {
     /// A provenance source was registered ([`Store::register_source`]).

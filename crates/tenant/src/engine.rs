@@ -1,14 +1,23 @@
 //! The epoch snapshot engine: reads run against immutable published
 //! snapshots, never against the live master.
 //!
-//! The writer thread is the only publisher. After applying a write batch it
-//! clones the master's state into a [`Snapshot`](semex_core::Snapshot),
-//! wraps it with the next epoch number, and swaps it in behind an `Arc`.
+//! The servicing writer is the only publisher. After applying a write batch
+//! it clones the master's state into a [`Snapshot`](semex_core::Snapshot),
+//! tags it with the next epoch number, and swaps it in behind an `Arc`.
 //! Reader threads grab the current `Arc` under a briefly-held read lock and
 //! then query entirely lock-free: a reader holding epoch N keeps a
 //! consistent view of the whole platform (store *and* index) no matter how
 //! many batches publish behind it, and two reads through the same grabbed
 //! `Arc` can never observe different states — there is no torn epoch.
+//!
+//! Epochs are **event-sequence numbers**: each publication advances the
+//! epoch by the number of store events the batch committed, so on a
+//! journal-backed tenant the epoch always equals the journal's durable
+//! sequence. That makes epochs survive eviction — a tenant recovered from
+//! its journal reboots at exactly the epoch it was evicted at (see
+//! [`SnapshotEngine::with_epoch`]), which is what lets the
+//! eviction-equivalence suite demand byte-identical *epochs*, not just
+//! results.
 
 use semex_core::Snapshot;
 use std::sync::{Arc, RwLock};
@@ -17,7 +26,8 @@ use std::sync::{Arc, RwLock};
 /// with the epoch counter that identifies it on the wire.
 #[derive(Debug)]
 pub struct EpochSnapshot {
-    /// Monotonic publication number (0 is the boot state).
+    /// Monotonic publication number (the boot state carries the durable
+    /// event sequence recovered from the journal; 0 for a fresh space).
     pub epoch: u64,
     /// The state itself.
     pub snap: Snapshot,
@@ -37,9 +47,16 @@ pub struct SnapshotEngine {
 impl SnapshotEngine {
     /// Boot the engine with the initial state as epoch 0.
     pub fn new(initial: Snapshot) -> SnapshotEngine {
+        SnapshotEngine::with_epoch(initial, 0)
+    }
+
+    /// Boot the engine at an explicit epoch — the tenant activation path
+    /// seeds it with the journal's recovered event sequence so epochs are
+    /// continuous across evict/reactivate cycles.
+    pub fn with_epoch(initial: Snapshot, epoch: u64) -> SnapshotEngine {
         SnapshotEngine {
             current: RwLock::new(Arc::new(EpochSnapshot {
-                epoch: 0,
+                epoch,
                 snap: initial,
             })),
         }
@@ -56,11 +73,20 @@ impl SnapshotEngine {
         self.current.read().expect("snapshot lock poisoned").epoch
     }
 
-    /// Swap in a new state under the next epoch number, returning it.
+    /// Swap in a new state one epoch ahead, returning the new epoch.
     /// In-flight readers keep their old epoch alive until they drop it.
     pub fn publish(&self, snap: Snapshot) -> u64 {
+        self.publish_advance(snap, 1)
+    }
+
+    /// Swap in a new state, advancing the epoch by `by` (the number of
+    /// events the batch committed). `by == 0` republishes under the same
+    /// epoch — legal only when the state did not change (zero events means
+    /// zero store mutations), so readers still never see two states under
+    /// one epoch.
+    pub fn publish_advance(&self, snap: Snapshot, by: u64) -> u64 {
         let mut current = self.current.write().expect("snapshot lock poisoned");
-        let epoch = current.epoch + 1;
+        let epoch = current.epoch + by;
         *current = Arc::new(EpochSnapshot { epoch, snap });
         epoch
     }
@@ -85,5 +111,17 @@ mod tests {
         // The reader that grabbed epoch 0 still sees epoch 0.
         assert_eq!(held.epoch, 0);
         assert_eq!(engine.load().epoch, 2);
+    }
+
+    #[test]
+    fn seeded_boot_and_event_count_advance() {
+        let semex = SemexBuilder::new()
+            .add_mbox("inbox", "From: a@b.c\nSubject: first\n\nhello")
+            .build()
+            .unwrap();
+        let engine = SnapshotEngine::with_epoch(semex.snapshot(), 41);
+        assert_eq!(engine.epoch(), 41);
+        assert_eq!(engine.publish_advance(semex.snapshot(), 9), 50);
+        assert_eq!(engine.publish_advance(semex.snapshot(), 0), 50);
     }
 }

@@ -1,0 +1,93 @@
+//! Validated tenant identifiers.
+
+use crate::TenantError;
+use std::fmt;
+
+/// Longest accepted tenant id.
+const MAX_LEN: usize = 64;
+
+/// A validated tenant identifier.
+///
+/// Ids double as on-disk directory names under the registry root, so the
+/// alphabet is deliberately narrow: ASCII alphanumerics, `-`, and `_`, 1 to
+/// 64 characters. Anything else — separators, `..`, empty strings, hidden
+/// files — is rejected before it can touch the filesystem.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// The tenant a request without a `tenant` field is routed to.
+    pub const DEFAULT: &'static str = "default";
+
+    /// Validate and construct an id.
+    pub fn new(name: &str) -> Result<TenantId, TenantError> {
+        let invalid = |reason: &'static str| TenantError::InvalidId {
+            name: name.to_string(),
+            reason,
+        };
+        if name.is_empty() {
+            return Err(invalid("empty"));
+        }
+        if name.len() > MAX_LEN {
+            return Err(invalid("longer than 64 characters"));
+        }
+        if !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(invalid(
+                "only ASCII letters, digits, '-' and '_' are allowed",
+            ));
+        }
+        Ok(TenantId(name.to_string()))
+    }
+
+    /// The default tenant's id.
+    pub fn default_tenant() -> TenantId {
+        TenantId(TenantId::DEFAULT.to_string())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_and_invalid_ids() {
+        for ok in ["default", "alice", "user-042", "A_b-9", &"x".repeat(64)] {
+            assert!(TenantId::new(ok).is_ok(), "{ok:?} must be accepted");
+        }
+        for bad in [
+            "",
+            ".",
+            "..",
+            "a/b",
+            "a\\b",
+            "a b",
+            "café",
+            ".hidden",
+            &"x".repeat(65),
+        ] {
+            assert!(TenantId::new(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(
+            TenantId::new(TenantId::DEFAULT).unwrap(),
+            TenantId::default_tenant()
+        );
+    }
+}

@@ -1,15 +1,15 @@
-//! The master platform the writer thread owns: either journal-backed
-//! (production) or ephemeral (tests, demos).
+//! The master platform a tenant's servicing writer owns: either
+//! journal-backed (production) or ephemeral (tests, demos).
 
 use semex_core::{DurableSemex, JournalError, Semex, Snapshot};
 
-/// The single mutable copy of the platform behind the serving layer.
+/// The single mutable copy of one tenant's platform.
 ///
-/// Only the writer thread ever touches it; everyone else sees published
-/// [`Snapshot`](semex_core::Snapshot)s. The two variants differ only in
-/// what [`Master::commit`] means: a durable master journals the batch's
-/// events and fsyncs (so an acked write survives a crash), an ephemeral
-/// master just folds them into the index.
+/// Only the worker currently servicing the tenant ever touches it; everyone
+/// else sees published [`Snapshot`](semex_core::Snapshot)s. The two
+/// variants differ only in what [`Master::commit`] means: a durable master
+/// journals the batch's events and fsyncs (so an acked write survives a
+/// crash), an ephemeral master just folds them into the index.
 #[derive(Debug)]
 pub enum Master {
     /// Journal-backed: commits are durable, journal failures degrade the
@@ -28,7 +28,7 @@ impl Master {
         }
     }
 
-    /// The platform, mutable (writer thread only).
+    /// The platform, mutable (servicing worker only).
     pub fn semex_mut(&mut self) -> &mut Semex {
         match self {
             Master::Durable(d) => d,
@@ -38,15 +38,27 @@ impl Master {
 
     /// Commit the current write batch: flush buffered store events into the
     /// index in one delta, and — on a durable master — append them to the
-    /// journal and fsync. Returns the number of events made durable (always
-    /// 0 for an ephemeral master).
+    /// journal and fsync. Returns the number of events committed (for an
+    /// ephemeral master, the number folded into the index), which is also
+    /// how far the publication epoch advances.
     pub fn commit(&mut self) -> Result<usize, JournalError> {
         match self {
             Master::Durable(d) => d.commit(),
             Master::Ephemeral(s) => {
+                let n = s.store().pending_events();
                 s.flush_index();
-                Ok(0)
+                Ok(n)
             }
+        }
+    }
+
+    /// The epoch this master's snapshot engine should boot at: the
+    /// journal's durable event sequence for a durable master (so epochs
+    /// survive eviction and recovery), 0 for an ephemeral one.
+    pub fn boot_epoch(&self) -> u64 {
+        match self {
+            Master::Durable(d) => d.journal().next_seq(),
+            Master::Ephemeral(_) => 0,
         }
     }
 

@@ -1,0 +1,87 @@
+//! The tenant registry: tenant id → journal directory.
+//!
+//! One root directory holds one journal directory per tenant (the
+//! directory-per-space layout the durability layer already uses), named by
+//! the tenant id. The registry is pure path arithmetic plus a directory
+//! scan — activation, recovery, and eviction live in
+//! [`TenantPool`](crate::TenantPool).
+
+use crate::id::TenantId;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Maps tenant ids to their journal directories under one root.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    root: PathBuf,
+}
+
+impl TenantRegistry {
+    /// Open (creating if needed) a registry rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<TenantRegistry> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(TenantRegistry { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The journal directory for `id` (whether or not it exists yet).
+    pub fn dir(&self, id: &TenantId) -> PathBuf {
+        self.root.join(id.as_str())
+    }
+
+    /// Whether `id` already has a journal directory.
+    pub fn exists(&self, id: &TenantId) -> bool {
+        self.dir(id).is_dir()
+    }
+
+    /// Every provisioned tenant, sorted by id. Entries that are not valid
+    /// tenant ids (stray files, foreign directories) are skipped.
+    pub fn list(&self) -> io::Result<Vec<TenantId>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                if let Ok(id) = TenantId::new(name) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_only_valid_tenant_dirs() {
+        let root = std::env::temp_dir().join(format!("semex-registry-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let registry = TenantRegistry::open(&root).unwrap();
+        assert!(registry.list().unwrap().is_empty());
+
+        std::fs::create_dir(registry.root().join("alice")).unwrap();
+        std::fs::create_dir(registry.root().join("bob")).unwrap();
+        std::fs::create_dir(registry.root().join("not a tenant")).unwrap();
+        std::fs::write(registry.root().join("stray-file"), b"x").unwrap();
+
+        let ids = registry.list().unwrap();
+        assert_eq!(
+            ids.iter().map(TenantId::as_str).collect::<Vec<_>>(),
+            vec!["alice", "bob"]
+        );
+        assert!(registry.exists(&TenantId::new("alice").unwrap()));
+        assert!(!registry.exists(&TenantId::new("carol").unwrap()));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

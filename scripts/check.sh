@@ -26,6 +26,14 @@ echo "    overload shedding, clean shutdown with zero leaked threads)"
 cargo test -q -p semex-serve --test smoke
 cargo test -q -p semex-serve --test shutdown
 
+echo "==> tenancy suite (isolation over sockets, version handshake, budget"
+echo "    eviction, and evict/reactivate equivalence vs a never-evicted twin)"
+cargo test -q -p semex-serve --test tenants
+cargo test -q -p semex-serve --test eviction_equiv
+
+echo "==> e14 smoke (multi-tenant serving at CI scale -> BENCH_tenants.json)"
+cargo run --release -q -p semex-bench --bin experiments -- e14-smoke
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

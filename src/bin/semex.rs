@@ -27,7 +27,12 @@
 //! semex serve <space> [--addr H:P] [--threads N]   serve the space over TCP
 //!                                         (snapshot-isolated reads, serialized
 //!                                         durable writes; see semex-serve)
-//! semex client <addr> <request...>        talk to a running server: search,
+//! semex serve --tenants <root> [--budget-mb N] [--writers N]   serve every
+//!                                         space under <root>, one journal
+//!                                         directory per tenant, LRU-evicted
+//!                                         under the resident-memory budget
+//! semex client <addr> [--tenant NAME] [--retries N] <request...>
+//!                                         talk to a running server: search,
 //!                                         query, show, browse, stats, ingest,
 //!                                         integrate, same, distinct, shutdown
 //! ```
@@ -43,7 +48,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N]\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
+        "usage:\n  semex build <dir> [--durable] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir>\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N]\n  semex serve --tenants <root> [--budget-mb N] [--addr HOST:PORT] [--threads N] [--writers N]\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
     );
     ExitCode::from(2)
 }
@@ -158,7 +163,7 @@ fn persist(semex: Semex, out: &Path, durable: bool) -> Result<(), String> {
 
 /// Parse `--recon-threads N` out of an argument list, returning the
 /// remaining arguments and the configuration to build with.
-fn recon_threads_flag<'a>(args: Vec<&'a String>) -> Result<(Vec<&'a String>, SemexConfig), String> {
+fn recon_threads_flag(args: Vec<&String>) -> Result<(Vec<&String>, SemexConfig), String> {
     let mut config = SemexConfig::default();
     let mut rest = Vec::new();
     let mut it = args.into_iter();
@@ -519,17 +524,20 @@ fn cmd_communities(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Serve a space over TCP until a client sends `shutdown` (or the process
-/// is killed). A journal directory serves durably — every acked write is
-/// committed; a plain snapshot serves ephemerally.
+/// Serve one space — or, with `--tenants`, a whole registry of them —
+/// over TCP until a client sends `shutdown` (or the process is killed).
+/// A journal directory serves durably — every acked write is committed;
+/// a plain snapshot serves ephemerally. Tenant spaces are always durable:
+/// each is a journal directory under the registry root, activated on
+/// demand and evicted LRU under `--budget-mb`.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use semex::serve::{serve, Master, ServeConfig};
-    let [path, rest @ ..] = args else {
-        return Err("serve requires a snapshot path or journal directory".into());
-    };
+    use semex::serve::{serve, serve_tenants, Master, PoolConfig, ServeConfig, TenantRegistry};
     let mut config = ServeConfig::default();
+    let mut pool = PoolConfig::default();
     let mut addr = "127.0.0.1:7019".to_string();
-    let mut it = rest.iter();
+    let mut tenants: Option<String> = None;
+    let mut path: Option<&String> = None;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
@@ -540,31 +548,85 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .filter(|&n: &usize| n >= 1)
                     .ok_or("--threads needs a positive number")?;
             }
-            other => return Err(format!("unknown serve flag {other:?}")),
+            "--writers" => {
+                config.writer_threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--writers needs a positive number")?;
+            }
+            "--tenants" => {
+                tenants = Some(
+                    it.next()
+                        .ok_or("--tenants needs a registry directory")?
+                        .clone(),
+                );
+            }
+            "--budget-mb" => {
+                pool.memory_budget = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .map(|n| n << 20)
+                    .ok_or("--budget-mb needs a positive number of MiB")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown serve flag {other:?}"));
+            }
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected serve argument {other:?}")),
         }
     }
-    let p = Path::new(path);
-    let master = if p.is_dir() {
-        let (durable, report) = Semex::open_durable(p, SemexConfig::default())
-            .map_err(|e| format!("cannot open journal {path}: {e}"))?;
-        print_recovery(&report);
-        Master::Durable(durable)
+
+    let multi = tenants.is_some();
+    let report = if let Some(root) = tenants {
+        if path.is_some() {
+            return Err("serve takes either a space path or --tenants, not both".into());
+        }
+        let registry =
+            TenantRegistry::open(&root).map_err(|e| format!("cannot open registry {root}: {e}"))?;
+        let known = registry
+            .list()
+            .map_err(|e| format!("cannot list registry {root}: {e}"))?;
+        let mut handle =
+            serve_tenants(registry, addr.as_str(), config, pool).map_err(|e| e.to_string())?;
+        println!(
+            "serving tenant spaces from {root} ({} known, created on demand) on {} — \
+             stop with: semex client {} shutdown",
+            known.len(),
+            handle.addr(),
+            handle.addr()
+        );
+        handle.wait();
+        handle.join()
     } else {
-        Master::Ephemeral(
-            Semex::load(p, SemexConfig::default())
-                .map_err(|e| format!("cannot load snapshot {path}: {e}"))?,
-        )
+        let Some(path) = path else {
+            return Err("serve requires a snapshot path, journal directory, or --tenants".into());
+        };
+        let p = Path::new(path);
+        let master = if p.is_dir() {
+            let (durable, report) = Semex::open_durable(p, SemexConfig::default())
+                .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+            print_recovery(&report);
+            Master::Durable(durable)
+        } else {
+            Master::Ephemeral(
+                Semex::load(p, SemexConfig::default())
+                    .map_err(|e| format!("cannot load snapshot {path}: {e}"))?,
+            )
+        };
+        let durable = matches!(master, Master::Durable(_));
+        let objects = master.semex().store().object_count();
+        let mut handle = serve(master, addr.as_str(), config).map_err(|e| e.to_string())?;
+        println!(
+            "serving {objects} objects on {} ({}) — stop with: semex client {} shutdown",
+            handle.addr(),
+            if durable { "durable" } else { "ephemeral" },
+            handle.addr()
+        );
+        handle.wait();
+        handle.join()
     };
-    let durable = matches!(master, Master::Durable(_));
-    let objects = master.semex().store().object_count();
-    let handle = serve(master, addr.as_str(), config).map_err(|e| e.to_string())?;
-    println!(
-        "serving {objects} objects on {} ({}) — stop with: semex client {} shutdown",
-        handle.addr(),
-        if durable { "durable" } else { "ephemeral" },
-        handle.addr()
-    );
-    let report = handle.join();
     println!(
         "served {} request(s); writes: {} ok / {} failed / {} rejected in {} batch(es); \
          shed: {} connection(s), {} write(s); final epoch {}",
@@ -577,6 +639,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.shed_writes,
         report.writer.final_epoch
     );
+    if multi {
+        println!(
+            "tenants: {} activation(s), {} cold open(s), {} eviction(s); \
+             peak {} resident ({} KiB)",
+            report.tenants.activations,
+            report.tenants.cold_opens,
+            report.tenants.evictions,
+            report.tenants.max_resident_tenants,
+            report.tenants.max_resident_bytes >> 10
+        );
+    }
     Ok(())
 }
 
@@ -584,9 +657,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// the response.
 fn cmd_client(args: &[String]) -> Result<(), String> {
     use semex::serve::protocol::{IngestFormat, Request};
-    use semex::serve::Client;
-    let [addr, cmd, rest @ ..] = args else {
-        return Err("client requires: <addr> <request...>".into());
+    use semex::serve::{Client, RetryPolicy};
+    let [addr, rest @ ..] = args else {
+        return Err("client requires: <addr> [--tenant NAME] [--retries N] <request...>".into());
+    };
+    let mut tenant: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut rest = rest;
+    loop {
+        match rest {
+            [flag, value, more @ ..] if flag == "--tenant" => {
+                tenant = Some(value.clone());
+                rest = more;
+            }
+            [flag, value, more @ ..] if flag == "--retries" => {
+                retries = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--retries needs a number: {e}"))?,
+                );
+                rest = more;
+            }
+            _ => break,
+        }
+    }
+    let [cmd, rest @ ..] = rest else {
+        return Err("client requires: <addr> [--tenant NAME] [--retries N] <request...>".into());
     };
     let request = match cmd.as_str() {
         "search" => {
@@ -655,9 +751,22 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("bad address {addr:?}: {e}"))?;
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
-    let response = client
-        .request(&request)
-        .map_err(|e| format!("request failed: {e}"))?;
+    if let Some(tenant) = tenant {
+        client = client.with_tenant(tenant);
+    }
+    let response = match retries {
+        // Retrying turns a typed `overloaded` shed into a capped
+        // exponential backoff loop instead of a final answer.
+        Some(max_retries) => client.request_with_retry(
+            &request,
+            &RetryPolicy {
+                max_retries,
+                ..RetryPolicy::default()
+            },
+        ),
+        None => client.request(&request),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
     print_response(&response);
     Ok(())
 }
