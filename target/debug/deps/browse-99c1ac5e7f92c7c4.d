@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/browse-99c1ac5e7f92c7c4.d: crates/bench/benches/browse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbrowse-99c1ac5e7f92c7c4.rmeta: crates/bench/benches/browse.rs Cargo.toml
+
+crates/bench/benches/browse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/browse-d685a450a49d553a.d: crates/bench/benches/browse.rs
+
+/root/repo/target/debug/deps/libbrowse-d685a450a49d553a.rmeta: crates/bench/benches/browse.rs
+
+crates/bench/benches/browse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5a8f33f7c85eb90c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5a8f33f7c85eb90c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_semex=/root/repo/target/debug/semex

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-92bcef3464a3d026.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-92bcef3464a3d026.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_semex=placeholder:semex
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

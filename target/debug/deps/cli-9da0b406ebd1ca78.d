@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9da0b406ebd1ca78.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9da0b406ebd1ca78: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_semex=/root/repo/target/debug/semex

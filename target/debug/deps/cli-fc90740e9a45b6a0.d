@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-fc90740e9a45b6a0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-fc90740e9a45b6a0.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_semex=placeholder:semex

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-2466d80bd0437074.d: crates/serve/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-2466d80bd0437074: crates/serve/tests/concurrency.rs
+
+crates/serve/tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-33209ca129caf149.d: crates/serve/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-33209ca129caf149.rmeta: crates/serve/tests/concurrency.rs Cargo.toml
+
+crates/serve/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

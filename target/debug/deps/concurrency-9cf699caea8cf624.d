@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-9cf699caea8cf624.d: crates/serve/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-9cf699caea8cf624: crates/serve/tests/concurrency.rs
+
+crates/serve/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-9f032f959d10c7ae.d: crates/serve/tests/concurrency.rs
+
+/root/repo/target/debug/deps/libconcurrency-9f032f959d10c7ae.rmeta: crates/serve/tests/concurrency.rs
+
+crates/serve/tests/concurrency.rs:

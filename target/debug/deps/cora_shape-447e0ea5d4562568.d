@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cora_shape-447e0ea5d4562568.d: tests/cora_shape.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/cora_shape-447e0ea5d4562568: tests/cora_shape.rs tests/common/mod.rs
+
+tests/cora_shape.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cora_shape-52e627b31b68be37.d: tests/cora_shape.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcora_shape-52e627b31b68be37.rmeta: tests/cora_shape.rs tests/common/mod.rs Cargo.toml
+
+tests/cora_shape.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

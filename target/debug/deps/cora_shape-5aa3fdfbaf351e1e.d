@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cora_shape-5aa3fdfbaf351e1e.d: tests/cora_shape.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libcora_shape-5aa3fdfbaf351e1e.rmeta: tests/cora_shape.rs tests/common/mod.rs
+
+tests/cora_shape.rs:
+tests/common/mod.rs:

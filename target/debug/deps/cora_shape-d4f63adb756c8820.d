@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cora_shape-d4f63adb756c8820.d: tests/cora_shape.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/cora_shape-d4f63adb756c8820: tests/cora_shape.rs tests/common/mod.rs
+
+tests/cora_shape.rs:
+tests/common/mod.rs:

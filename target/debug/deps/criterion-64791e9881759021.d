@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-64791e9881759021.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-64791e9881759021.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-af1ff428131bc01b.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-af1ff428131bc01b.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-af1ff428131bc01b.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

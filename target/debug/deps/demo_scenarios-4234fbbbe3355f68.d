@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/demo_scenarios-4234fbbbe3355f68.d: tests/demo_scenarios.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/demo_scenarios-4234fbbbe3355f68: tests/demo_scenarios.rs tests/common/mod.rs
+
+tests/demo_scenarios.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/demo_scenarios-69841df47245bd0c.d: tests/demo_scenarios.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libdemo_scenarios-69841df47245bd0c.rmeta: tests/demo_scenarios.rs tests/common/mod.rs
+
+tests/demo_scenarios.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/demo_scenarios-79552cab416a546d.d: tests/demo_scenarios.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/demo_scenarios-79552cab416a546d: tests/demo_scenarios.rs tests/common/mod.rs
+
+tests/demo_scenarios.rs:
+tests/common/mod.rs:

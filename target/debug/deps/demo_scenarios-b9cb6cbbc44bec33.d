@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/demo_scenarios-b9cb6cbbc44bec33.d: tests/demo_scenarios.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdemo_scenarios-b9cb6cbbc44bec33.rmeta: tests/demo_scenarios.rs tests/common/mod.rs Cargo.toml
+
+tests/demo_scenarios.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

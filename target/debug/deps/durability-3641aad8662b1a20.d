@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-3641aad8662b1a20.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-3641aad8662b1a20: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-52c52a725c2f2098.d: tests/durability.rs
+
+/root/repo/target/debug/deps/libdurability-52c52a725c2f2098.rmeta: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durability-aecbe704765f1a20.d: tests/durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-aecbe704765f1a20.rmeta: tests/durability.rs Cargo.toml
+
+tests/durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

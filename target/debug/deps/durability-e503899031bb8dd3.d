@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-e503899031bb8dd3.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-e503899031bb8dd3: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_equiv-110a7ad30a8295ee.d: crates/serve/tests/eviction_equiv.rs
+
+/root/repo/target/debug/deps/eviction_equiv-110a7ad30a8295ee: crates/serve/tests/eviction_equiv.rs
+
+crates/serve/tests/eviction_equiv.rs:

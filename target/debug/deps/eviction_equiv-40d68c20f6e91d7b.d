@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eviction_equiv-40d68c20f6e91d7b.d: crates/serve/tests/eviction_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeviction_equiv-40d68c20f6e91d7b.rmeta: crates/serve/tests/eviction_equiv.rs Cargo.toml
+
+crates/serve/tests/eviction_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

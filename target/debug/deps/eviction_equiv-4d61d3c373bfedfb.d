@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_equiv-4d61d3c373bfedfb.d: crates/serve/tests/eviction_equiv.rs
+
+/root/repo/target/debug/deps/libeviction_equiv-4d61d3c373bfedfb.rmeta: crates/serve/tests/eviction_equiv.rs
+
+crates/serve/tests/eviction_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-144d2c8fdf454f5c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-144d2c8fdf454f5c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

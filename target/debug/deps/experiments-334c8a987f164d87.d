@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-334c8a987f164d87.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-334c8a987f164d87.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

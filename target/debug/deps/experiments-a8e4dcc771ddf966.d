@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a8e4dcc771ddf966.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a8e4dcc771ddf966: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

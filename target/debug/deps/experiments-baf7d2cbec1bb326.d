@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-baf7d2cbec1bb326.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-baf7d2cbec1bb326.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

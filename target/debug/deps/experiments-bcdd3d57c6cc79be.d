@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bcdd3d57c6cc79be.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bcdd3d57c6cc79be: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

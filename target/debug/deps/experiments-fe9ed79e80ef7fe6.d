@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fe9ed79e80ef7fe6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fe9ed79e80ef7fe6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

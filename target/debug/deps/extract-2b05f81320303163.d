@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extract-2b05f81320303163.d: crates/bench/benches/extract.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextract-2b05f81320303163.rmeta: crates/bench/benches/extract.rs Cargo.toml
+
+crates/bench/benches/extract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extract-45622a08dc0db181.d: crates/bench/benches/extract.rs
+
+/root/repo/target/debug/deps/libextract-45622a08dc0db181.rmeta: crates/bench/benches/extract.rs
+
+crates/bench/benches/extract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-372d39a9a6361b61.d: crates/journal/tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/libfault_sweep-372d39a9a6361b61.rmeta: crates/journal/tests/fault_sweep.rs
+
+crates/journal/tests/fault_sweep.rs:

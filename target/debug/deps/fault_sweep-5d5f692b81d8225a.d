@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-5d5f692b81d8225a.d: crates/journal/tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-5d5f692b81d8225a: crates/journal/tests/fault_sweep.rs
+
+crates/journal/tests/fault_sweep.rs:

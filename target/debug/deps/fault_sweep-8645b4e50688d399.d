@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-8645b4e50688d399.d: crates/journal/tests/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-8645b4e50688d399.rmeta: crates/journal/tests/fault_sweep.rs Cargo.toml
+
+crates/journal/tests/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

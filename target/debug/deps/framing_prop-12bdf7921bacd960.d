@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framing_prop-12bdf7921bacd960.d: crates/journal/tests/framing_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframing_prop-12bdf7921bacd960.rmeta: crates/journal/tests/framing_prop.rs Cargo.toml
+
+crates/journal/tests/framing_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framing_prop-257e6dea73ebb249.d: crates/journal/tests/framing_prop.rs
+
+/root/repo/target/debug/deps/framing_prop-257e6dea73ebb249: crates/journal/tests/framing_prop.rs
+
+crates/journal/tests/framing_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framing_prop-bd5d965fac1f21a0.d: crates/journal/tests/framing_prop.rs
+
+/root/repo/target/debug/deps/libframing_prop-bd5d965fac1f21a0.rmeta: crates/journal/tests/framing_prop.rs
+
+crates/journal/tests/framing_prop.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/incremental_recon-65ef2d0af253522d.d: tests/incremental_recon.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libincremental_recon-65ef2d0af253522d.rmeta: tests/incremental_recon.rs tests/common/mod.rs
+
+tests/incremental_recon.rs:
+tests/common/mod.rs:

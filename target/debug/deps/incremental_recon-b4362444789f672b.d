@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/incremental_recon-b4362444789f672b.d: tests/incremental_recon.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/incremental_recon-b4362444789f672b: tests/incremental_recon.rs tests/common/mod.rs
+
+tests/incremental_recon.rs:
+tests/common/mod.rs:

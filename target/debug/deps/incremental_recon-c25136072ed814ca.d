@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/incremental_recon-c25136072ed814ca.d: tests/incremental_recon.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_recon-c25136072ed814ca.rmeta: tests/incremental_recon.rs tests/common/mod.rs Cargo.toml
+
+tests/incremental_recon.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

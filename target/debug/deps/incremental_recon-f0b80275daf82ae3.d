@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/incremental_recon-f0b80275daf82ae3.d: tests/incremental_recon.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/incremental_recon-f0b80275daf82ae3: tests/incremental_recon.rs tests/common/mod.rs
+
+tests/incremental_recon.rs:
+tests/common/mod.rs:

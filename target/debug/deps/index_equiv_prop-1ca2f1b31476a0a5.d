@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_equiv_prop-1ca2f1b31476a0a5.d: crates/index/tests/index_equiv_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_equiv_prop-1ca2f1b31476a0a5.rmeta: crates/index/tests/index_equiv_prop.rs Cargo.toml
+
+crates/index/tests/index_equiv_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_equiv_prop-38bd615246b6ef4f.d: crates/index/tests/index_equiv_prop.rs
+
+/root/repo/target/debug/deps/libindex_equiv_prop-38bd615246b6ef4f.rmeta: crates/index/tests/index_equiv_prop.rs
+
+crates/index/tests/index_equiv_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_equiv_prop-5285021eb33b7951.d: crates/index/tests/index_equiv_prop.rs
+
+/root/repo/target/debug/deps/index_equiv_prop-5285021eb33b7951: crates/index/tests/index_equiv_prop.rs
+
+crates/index/tests/index_equiv_prop.rs:

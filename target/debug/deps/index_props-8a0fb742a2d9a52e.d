@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_props-8a0fb742a2d9a52e.d: crates/index/tests/index_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_props-8a0fb742a2d9a52e.rmeta: crates/index/tests/index_props.rs Cargo.toml
+
+crates/index/tests/index_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_props-9bbddf4cc2b9cb3b.d: crates/index/tests/index_props.rs
+
+/root/repo/target/debug/deps/libindex_props-9bbddf4cc2b9cb3b.rmeta: crates/index/tests/index_props.rs
+
+crates/index/tests/index_props.rs:

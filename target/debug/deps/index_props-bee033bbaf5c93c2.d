@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_props-bee033bbaf5c93c2.d: crates/index/tests/index_props.rs
+
+/root/repo/target/debug/deps/index_props-bee033bbaf5c93c2: crates/index/tests/index_props.rs
+
+crates/index/tests/index_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integrate-490462fea65bec9c.d: crates/bench/benches/integrate.rs
+
+/root/repo/target/debug/deps/libintegrate-490462fea65bec9c.rmeta: crates/bench/benches/integrate.rs
+
+crates/bench/benches/integrate.rs:

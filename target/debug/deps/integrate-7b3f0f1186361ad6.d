@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integrate-7b3f0f1186361ad6.d: crates/bench/benches/integrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegrate-7b3f0f1186361ad6.rmeta: crates/bench/benches/integrate.rs Cargo.toml
+
+crates/bench/benches/integrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

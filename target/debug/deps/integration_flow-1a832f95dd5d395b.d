@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/integration_flow-1a832f95dd5d395b.d: tests/integration_flow.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/integration_flow-1a832f95dd5d395b: tests/integration_flow.rs tests/common/mod.rs
+
+tests/integration_flow.rs:
+tests/common/mod.rs:

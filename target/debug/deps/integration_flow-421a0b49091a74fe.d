@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/integration_flow-421a0b49091a74fe.d: tests/integration_flow.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/integration_flow-421a0b49091a74fe: tests/integration_flow.rs tests/common/mod.rs
+
+tests/integration_flow.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/integration_flow-c4ff39e464ab5ef4.d: tests/integration_flow.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_flow-c4ff39e464ab5ef4.rmeta: tests/integration_flow.rs tests/common/mod.rs Cargo.toml
+
+tests/integration_flow.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

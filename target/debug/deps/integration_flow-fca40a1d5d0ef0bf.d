@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/integration_flow-fca40a1d5d0ef0bf.d: tests/integration_flow.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libintegration_flow-fca40a1d5d0ef0bf.rmeta: tests/integration_flow.rs tests/common/mod.rs
+
+tests/integration_flow.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal-823af09b63cb315e.d: crates/bench/benches/journal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal-823af09b63cb315e.rmeta: crates/bench/benches/journal.rs Cargo.toml
+
+crates/bench/benches/journal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal-d29e880fdd59d5d9.d: crates/bench/benches/journal.rs
+
+/root/repo/target/debug/deps/libjournal-d29e880fdd59d5d9.rmeta: crates/bench/benches/journal.rs
+
+crates/bench/benches/journal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malleable_model-6a76b9bf7d0b4c5c.d: tests/malleable_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalleable_model-6a76b9bf7d0b4c5c.rmeta: tests/malleable_model.rs Cargo.toml
+
+tests/malleable_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/malleable_model-74cbc3a61a52011d.d: tests/malleable_model.rs
+
+/root/repo/target/debug/deps/malleable_model-74cbc3a61a52011d: tests/malleable_model.rs
+
+tests/malleable_model.rs:

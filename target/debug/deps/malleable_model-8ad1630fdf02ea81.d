@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/malleable_model-8ad1630fdf02ea81.d: tests/malleable_model.rs
+
+/root/repo/target/debug/deps/libmalleable_model-8ad1630fdf02ea81.rmeta: tests/malleable_model.rs
+
+tests/malleable_model.rs:

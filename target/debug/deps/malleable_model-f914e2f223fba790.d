@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/malleable_model-f914e2f223fba790.d: tests/malleable_model.rs
+
+/root/repo/target/debug/deps/malleable_model-f914e2f223fba790: tests/malleable_model.rs
+
+tests/malleable_model.rs:

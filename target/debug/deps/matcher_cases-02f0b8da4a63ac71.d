@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher_cases-02f0b8da4a63ac71.d: crates/integrate/tests/matcher_cases.rs
+
+/root/repo/target/debug/deps/libmatcher_cases-02f0b8da4a63ac71.rmeta: crates/integrate/tests/matcher_cases.rs
+
+crates/integrate/tests/matcher_cases.rs:

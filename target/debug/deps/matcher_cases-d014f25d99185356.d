@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matcher_cases-d014f25d99185356.d: crates/integrate/tests/matcher_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatcher_cases-d014f25d99185356.rmeta: crates/integrate/tests/matcher_cases.rs Cargo.toml
+
+crates/integrate/tests/matcher_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matcher_cases-ff1621ad21b3ea8e.d: crates/integrate/tests/matcher_cases.rs
+
+/root/repo/target/debug/deps/matcher_cases-ff1621ad21b3ea8e: crates/integrate/tests/matcher_cases.rs
+
+crates/integrate/tests/matcher_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merge_props-5e16e86779f9f9dd.d: crates/store/tests/merge_props.rs
+
+/root/repo/target/debug/deps/libmerge_props-5e16e86779f9f9dd.rmeta: crates/store/tests/merge_props.rs
+
+crates/store/tests/merge_props.rs:

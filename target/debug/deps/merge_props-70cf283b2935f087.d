@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merge_props-70cf283b2935f087.d: crates/store/tests/merge_props.rs
+
+/root/repo/target/debug/deps/merge_props-70cf283b2935f087: crates/store/tests/merge_props.rs
+
+crates/store/tests/merge_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merge_props-a590cc530f5649bd.d: crates/store/tests/merge_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerge_props-a590cc530f5649bd.rmeta: crates/store/tests/merge_props.rs Cargo.toml
+
+crates/store/tests/merge_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

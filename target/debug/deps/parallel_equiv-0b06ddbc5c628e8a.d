@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equiv-0b06ddbc5c628e8a.d: crates/recon/tests/parallel_equiv.rs
+
+/root/repo/target/debug/deps/libparallel_equiv-0b06ddbc5c628e8a.rmeta: crates/recon/tests/parallel_equiv.rs
+
+crates/recon/tests/parallel_equiv.rs:

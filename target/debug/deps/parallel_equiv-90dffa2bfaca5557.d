@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equiv-90dffa2bfaca5557.d: crates/recon/tests/parallel_equiv.rs
+
+/root/repo/target/debug/deps/parallel_equiv-90dffa2bfaca5557: crates/recon/tests/parallel_equiv.rs
+
+crates/recon/tests/parallel_equiv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equiv-957311a209be46d1.d: crates/recon/tests/parallel_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equiv-957311a209be46d1.rmeta: crates/recon/tests/parallel_equiv.rs Cargo.toml
+
+crates/recon/tests/parallel_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz_prop-39be572f6716836a.d: crates/extract/tests/parser_fuzz_prop.rs
+
+/root/repo/target/debug/deps/parser_fuzz_prop-39be572f6716836a: crates/extract/tests/parser_fuzz_prop.rs
+
+crates/extract/tests/parser_fuzz_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_fuzz_prop-92acc7494b550dc9.d: crates/extract/tests/parser_fuzz_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_fuzz_prop-92acc7494b550dc9.rmeta: crates/extract/tests/parser_fuzz_prop.rs Cargo.toml
+
+crates/extract/tests/parser_fuzz_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

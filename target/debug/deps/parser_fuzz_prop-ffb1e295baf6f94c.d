@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz_prop-ffb1e295baf6f94c.d: crates/extract/tests/parser_fuzz_prop.rs
+
+/root/repo/target/debug/deps/libparser_fuzz_prop-ffb1e295baf6f94c.rmeta: crates/extract/tests/parser_fuzz_prop.rs
+
+crates/extract/tests/parser_fuzz_prop.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pipeline_e2e-303c3ace8fb4982e.d: tests/pipeline_e2e.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-303c3ace8fb4982e: tests/pipeline_e2e.rs tests/common/mod.rs
+
+tests/pipeline_e2e.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_e2e-cdec390fc47f96e6.d: tests/pipeline_e2e.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_e2e-cdec390fc47f96e6.rmeta: tests/pipeline_e2e.rs tests/common/mod.rs Cargo.toml
+
+tests/pipeline_e2e.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

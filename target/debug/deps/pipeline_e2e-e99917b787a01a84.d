@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pipeline_e2e-e99917b787a01a84.d: tests/pipeline_e2e.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-e99917b787a01a84: tests/pipeline_e2e.rs tests/common/mod.rs
+
+tests/pipeline_e2e.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pipeline_e2e-f8581274f8c3cfb5.d: tests/pipeline_e2e.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libpipeline_e2e-f8581274f8c3cfb5.rmeta: tests/pipeline_e2e.rs tests/common/mod.rs
+
+tests/pipeline_e2e.rs:
+tests/common/mod.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d424892307d3b784.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d424892307d3b784.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d424892307d3b784.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-da1635d535faac69.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-da1635d535faac69.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

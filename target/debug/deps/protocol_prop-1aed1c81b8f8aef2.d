@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_prop-1aed1c81b8f8aef2.d: crates/serve/tests/protocol_prop.rs
+
+/root/repo/target/debug/deps/protocol_prop-1aed1c81b8f8aef2: crates/serve/tests/protocol_prop.rs
+
+crates/serve/tests/protocol_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_prop-63f022b49471d913.d: crates/serve/tests/protocol_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_prop-63f022b49471d913.rmeta: crates/serve/tests/protocol_prop.rs Cargo.toml
+
+crates/serve/tests/protocol_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

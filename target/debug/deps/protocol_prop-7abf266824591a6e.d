@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_prop-7abf266824591a6e.d: crates/serve/tests/protocol_prop.rs
+
+/root/repo/target/debug/deps/protocol_prop-7abf266824591a6e: crates/serve/tests/protocol_prop.rs
+
+crates/serve/tests/protocol_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_prop-9e6d97f6db045040.d: crates/serve/tests/protocol_prop.rs
+
+/root/repo/target/debug/deps/libprotocol_prop-9e6d97f6db045040.rmeta: crates/serve/tests/protocol_prop.rs
+
+crates/serve/tests/protocol_prop.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1ec4c20dce514899.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1ec4c20dce514899.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1ec4c20dce514899.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b57a65db98e3c9ed.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b57a65db98e3c9ed.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recon-498faa8300402afb.d: crates/bench/benches/recon.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecon-498faa8300402afb.rmeta: crates/bench/benches/recon.rs Cargo.toml
+
+crates/bench/benches/recon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recon-dcdbc04e946b578b.d: crates/bench/benches/recon.rs
+
+/root/repo/target/debug/deps/librecon-dcdbc04e946b578b.rmeta: crates/bench/benches/recon.rs
+
+crates/bench/benches/recon.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_parallel_equiv-1b7b498511453532.d: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/librecon_parallel_equiv-1b7b498511453532.rmeta: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+tests/recon_parallel_equiv.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_parallel_equiv-77c1fc1bdc887eeb.d: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/recon_parallel_equiv-77c1fc1bdc887eeb: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+tests/recon_parallel_equiv.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/recon_parallel_equiv-af1bca719c2f76c3.d: tests/recon_parallel_equiv.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecon_parallel_equiv-af1bca719c2f76c3.rmeta: tests/recon_parallel_equiv.rs tests/common/mod.rs Cargo.toml
+
+tests/recon_parallel_equiv.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

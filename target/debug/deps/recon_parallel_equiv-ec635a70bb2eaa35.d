@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_parallel_equiv-ec635a70bb2eaa35.d: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/recon_parallel_equiv-ec635a70bb2eaa35: tests/recon_parallel_equiv.rs tests/common/mod.rs
+
+tests/recon_parallel_equiv.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/recon_quality-2ae1fa7f78d8c746.d: tests/recon_quality.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecon_quality-2ae1fa7f78d8c746.rmeta: tests/recon_quality.rs tests/common/mod.rs Cargo.toml
+
+tests/recon_quality.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

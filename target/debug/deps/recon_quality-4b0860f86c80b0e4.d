@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_quality-4b0860f86c80b0e4.d: tests/recon_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/librecon_quality-4b0860f86c80b0e4.rmeta: tests/recon_quality.rs tests/common/mod.rs
+
+tests/recon_quality.rs:
+tests/common/mod.rs:

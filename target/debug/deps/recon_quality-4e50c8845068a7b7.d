@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_quality-4e50c8845068a7b7.d: tests/recon_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/recon_quality-4e50c8845068a7b7: tests/recon_quality.rs tests/common/mod.rs
+
+tests/recon_quality.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/recon_quality-efc77a7bc5209b0d.d: tests/recon_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/recon_quality-efc77a7bc5209b0d: tests/recon_quality.rs tests/common/mod.rs
+
+tests/recon_quality.rs:
+tests/common/mod.rs:

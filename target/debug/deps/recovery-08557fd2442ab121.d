@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-08557fd2442ab121.d: crates/journal/tests/recovery.rs
+
+/root/repo/target/debug/deps/librecovery-08557fd2442ab121.rmeta: crates/journal/tests/recovery.rs
+
+crates/journal/tests/recovery.rs:

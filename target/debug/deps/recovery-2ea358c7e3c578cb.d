@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-2ea358c7e3c578cb.d: crates/journal/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-2ea358c7e3c578cb: crates/journal/tests/recovery.rs
+
+crates/journal/tests/recovery.rs:

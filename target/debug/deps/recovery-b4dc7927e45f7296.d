@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-b4dc7927e45f7296.d: crates/journal/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-b4dc7927e45f7296.rmeta: crates/journal/tests/recovery.rs Cargo.toml
+
+crates/journal/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-5a0c4406beb5df6e.d: crates/extract/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-5a0c4406beb5df6e: crates/extract/tests/roundtrip.rs
+
+crates/extract/tests/roundtrip.rs:

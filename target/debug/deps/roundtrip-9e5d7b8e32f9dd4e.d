@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-9e5d7b8e32f9dd4e.d: crates/extract/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-9e5d7b8e32f9dd4e.rmeta: crates/extract/tests/roundtrip.rs Cargo.toml
+
+crates/extract/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-d44627e17cc08a4a.d: crates/extract/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/libroundtrip-d44627e17cc08a4a.rmeta: crates/extract/tests/roundtrip.rs
+
+crates/extract/tests/roundtrip.rs:

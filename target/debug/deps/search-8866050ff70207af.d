@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search-8866050ff70207af.d: crates/bench/benches/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch-8866050ff70207af.rmeta: crates/bench/benches/search.rs Cargo.toml
+
+crates/bench/benches/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search-a3bd1be82ed6efd8.d: crates/bench/benches/search.rs
+
+/root/repo/target/debug/deps/libsearch-a3bd1be82ed6efd8.rmeta: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

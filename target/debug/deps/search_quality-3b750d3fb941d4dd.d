@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/search_quality-3b750d3fb941d4dd.d: tests/search_quality.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_quality-3b750d3fb941d4dd.rmeta: tests/search_quality.rs tests/common/mod.rs Cargo.toml
+
+tests/search_quality.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/search_quality-a74101c100f2807a.d: tests/search_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/search_quality-a74101c100f2807a: tests/search_quality.rs tests/common/mod.rs
+
+tests/search_quality.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/search_quality-dcbd995417a2bfe6.d: tests/search_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/search_quality-dcbd995417a2bfe6: tests/search_quality.rs tests/common/mod.rs
+
+tests/search_quality.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/search_quality-ed46085618395cff.d: tests/search_quality.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libsearch_quality-ed46085618395cff.rmeta: tests/search_quality.rs tests/common/mod.rs
+
+tests/search_quality.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-07818bac3ffdbd4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/semex-07818bac3ffdbd4b: src/lib.rs
+
+src/lib.rs:

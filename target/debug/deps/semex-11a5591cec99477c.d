@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex-11a5591cec99477c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-11a5591cec99477c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-11a5591cec99477c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-1e03d13fca25515b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-1e03d13fca25515b.rmeta: src/lib.rs
+
+src/lib.rs:

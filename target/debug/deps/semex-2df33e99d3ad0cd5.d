@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-2df33e99d3ad0cd5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-2df33e99d3ad0cd5.rmeta: src/lib.rs
+
+src/lib.rs:

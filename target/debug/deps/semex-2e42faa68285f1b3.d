@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-2e42faa68285f1b3.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/semex-2e42faa68285f1b3: src/bin/semex.rs
+
+src/bin/semex.rs:

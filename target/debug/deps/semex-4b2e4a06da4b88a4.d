@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semex-4b2e4a06da4b88a4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex-4b2e4a06da4b88a4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

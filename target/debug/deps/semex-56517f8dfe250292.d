@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semex-56517f8dfe250292.d: src/bin/semex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex-56517f8dfe250292.rmeta: src/bin/semex.rs Cargo.toml
+
+src/bin/semex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

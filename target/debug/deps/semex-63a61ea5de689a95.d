@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-63a61ea5de689a95.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/libsemex-63a61ea5de689a95.rmeta: src/bin/semex.rs
+
+src/bin/semex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-7a6ca25ad4f07991.d: src/lib.rs
+
+/root/repo/target/debug/deps/semex-7a6ca25ad4f07991: src/lib.rs
+
+src/lib.rs:

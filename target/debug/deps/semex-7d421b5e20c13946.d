@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-7d421b5e20c13946.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/libsemex-7d421b5e20c13946.rmeta: src/bin/semex.rs
+
+src/bin/semex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-b40d20b69c7055f7.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/semex-b40d20b69c7055f7: src/bin/semex.rs
+
+src/bin/semex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semex-bcb0784cfae1b80b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex-bcb0784cfae1b80b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex-d6152430f0a1f9b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-d6152430f0a1f9b6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemex-d6152430f0a1f9b6.rmeta: src/lib.rs
+
+src/lib.rs:

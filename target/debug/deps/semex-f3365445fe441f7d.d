@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-f3365445fe441f7d.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/semex-f3365445fe441f7d: src/bin/semex.rs
+
+src/bin/semex.rs:

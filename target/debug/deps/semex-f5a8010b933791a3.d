@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex-f5a8010b933791a3.d: src/bin/semex.rs
+
+/root/repo/target/debug/deps/semex-f5a8010b933791a3: src/bin/semex.rs
+
+src/bin/semex.rs:

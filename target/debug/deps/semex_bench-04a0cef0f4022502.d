@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex_bench-04a0cef0f4022502.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/semex_bench-04a0cef0f4022502: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

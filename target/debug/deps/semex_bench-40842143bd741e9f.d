@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex_bench-40842143bd741e9f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-40842143bd741e9f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

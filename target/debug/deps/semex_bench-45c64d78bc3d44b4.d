@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_bench-45c64d78bc3d44b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-45c64d78bc3d44b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-45c64d78bc3d44b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

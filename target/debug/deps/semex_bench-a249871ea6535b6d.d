@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex_bench-a249871ea6535b6d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-a249871ea6535b6d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_bench-d245642dc6753149.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-d245642dc6753149.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsemex_bench-d245642dc6753149.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semex_bench-d89fb207bd786f21.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/semex_bench-d89fb207bd786f21: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semex_browse-1e4dec02753c35d4.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_browse-1e4dec02753c35d4.rmeta: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs Cargo.toml
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

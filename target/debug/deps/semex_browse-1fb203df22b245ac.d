@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semex_browse-1fb203df22b245ac.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/debug/deps/libsemex_browse-1fb203df22b245ac.rlib: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/debug/deps/libsemex_browse-1fb203df22b245ac.rmeta: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_browse-8d4a0a885f5b3264.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/debug/deps/semex_browse-8d4a0a885f5b3264: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_browse-e02cfe0f69a4fb37.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/debug/deps/libsemex_browse-e02cfe0f69a4fb37.rmeta: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semex_core-5c5041d3ce23d8f5.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsemex_core-5c5041d3ce23d8f5.rlib: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsemex_core-5c5041d3ce23d8f5.rmeta: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_core-7ba1181fa93eb704.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsemex_core-7ba1181fa93eb704.rmeta: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semex_core-bbcc415502fa1675.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_core-bbcc415502fa1675.rmeta: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_core-cfe9f4a7ddaeb4ff.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/semex_core-cfe9f4a7ddaeb4ff: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semex_core-d0d7bebb304f42cd.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsemex_core-d0d7bebb304f42cd.rmeta: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

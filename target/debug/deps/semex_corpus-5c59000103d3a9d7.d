@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_corpus-5c59000103d3a9d7.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+/root/repo/target/debug/deps/libsemex_corpus-5c59000103d3a9d7.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/cora.rs:
+crates/corpus/src/names.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/render.rs:
+crates/corpus/src/truth.rs:
+crates/corpus/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_corpus-a33abd8e5a0b9975.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+/root/repo/target/debug/deps/libsemex_corpus-a33abd8e5a0b9975.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/cora.rs:
+crates/corpus/src/names.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/render.rs:
+crates/corpus/src/truth.rs:
+crates/corpus/src/world.rs:

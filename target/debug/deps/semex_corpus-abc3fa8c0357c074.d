@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/semex_corpus-abc3fa8c0357c074.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_corpus-abc3fa8c0357c074.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/cora.rs:
+crates/corpus/src/names.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/render.rs:
+crates/corpus/src/truth.rs:
+crates/corpus/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/semex_extract-dd6ff3063ac0e6ff.d: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_extract-dd6ff3063ac0e6ff.rmeta: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs Cargo.toml
+
+crates/extract/src/lib.rs:
+crates/extract/src/bibtex.rs:
+crates/extract/src/context.rs:
+crates/extract/src/csv.rs:
+crates/extract/src/date.rs:
+crates/extract/src/email.rs:
+crates/extract/src/fswalk.rs:
+crates/extract/src/html.rs:
+crates/extract/src/ical.rs:
+crates/extract/src/latex.rs:
+crates/extract/src/vcard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

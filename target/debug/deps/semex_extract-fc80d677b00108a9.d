@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/semex_extract-fc80d677b00108a9.d: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+/root/repo/target/debug/deps/libsemex_extract-fc80d677b00108a9.rmeta: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+crates/extract/src/lib.rs:
+crates/extract/src/bibtex.rs:
+crates/extract/src/context.rs:
+crates/extract/src/csv.rs:
+crates/extract/src/date.rs:
+crates/extract/src/email.rs:
+crates/extract/src/fswalk.rs:
+crates/extract/src/html.rs:
+crates/extract/src/ical.rs:
+crates/extract/src/latex.rs:
+crates/extract/src/vcard.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_index-73f9a6ead67d6066.d: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs
+
+/root/repo/target/debug/deps/semex_index-73f9a6ead67d6066: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bm25.rs:
+crates/index/src/dict.rs:
+crates/index/src/postings.rs:
+crates/index/src/query.rs:
+crates/index/src/search.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/topk.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/semex_index-f18efafe62f01c94.d: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_index-f18efafe62f01c94.rmeta: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs Cargo.toml
+
+crates/index/src/lib.rs:
+crates/index/src/bm25.rs:
+crates/index/src/dict.rs:
+crates/index/src/postings.rs:
+crates/index/src/query.rs:
+crates/index/src/search.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semex_integrate-38700bc27a087b91.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_integrate-38700bc27a087b91.rmeta: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs Cargo.toml
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/semex_integrate-427b326e2d420f05.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/debug/deps/libsemex_integrate-427b326e2d420f05.rmeta: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

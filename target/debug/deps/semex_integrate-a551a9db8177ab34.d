@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/semex_integrate-a551a9db8177ab34.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/debug/deps/libsemex_integrate-a551a9db8177ab34.rlib: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/debug/deps/libsemex_integrate-a551a9db8177ab34.rmeta: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

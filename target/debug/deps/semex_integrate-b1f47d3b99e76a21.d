@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/semex_integrate-b1f47d3b99e76a21.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/debug/deps/semex_integrate-b1f47d3b99e76a21: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

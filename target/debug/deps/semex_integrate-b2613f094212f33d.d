@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/semex_integrate-b2613f094212f33d.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/debug/deps/libsemex_integrate-b2613f094212f33d.rmeta: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

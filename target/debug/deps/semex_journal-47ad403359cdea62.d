@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_journal-47ad403359cdea62.d: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_journal-47ad403359cdea62.rmeta: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs Cargo.toml
+
+crates/journal/src/lib.rs:
+crates/journal/src/crc32.rs:
+crates/journal/src/io.rs:
+crates/journal/src/journal.rs:
+crates/journal/src/record.rs:
+crates/journal/src/segment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_journal-c205b1bcfb769663.d: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/debug/deps/libsemex_journal-c205b1bcfb769663.rlib: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/debug/deps/libsemex_journal-c205b1bcfb769663.rmeta: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+crates/journal/src/lib.rs:
+crates/journal/src/crc32.rs:
+crates/journal/src/io.rs:
+crates/journal/src/journal.rs:
+crates/journal/src/record.rs:
+crates/journal/src/segment.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semex_journal-f2d173b557b2977c.d: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/debug/deps/libsemex_journal-f2d173b557b2977c.rmeta: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+crates/journal/src/lib.rs:
+crates/journal/src/crc32.rs:
+crates/journal/src/io.rs:
+crates/journal/src/journal.rs:
+crates/journal/src/record.rs:
+crates/journal/src/segment.rs:

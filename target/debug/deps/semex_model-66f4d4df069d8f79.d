@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semex_model-66f4d4df069d8f79.d: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+/root/repo/target/debug/deps/semex_model-66f4d4df069d8f79: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attribute.rs:
+crates/model/src/class.rs:
+crates/model/src/derived.rs:
+crates/model/src/model.rs:
+crates/model/src/relation.rs:
+crates/model/src/value.rs:

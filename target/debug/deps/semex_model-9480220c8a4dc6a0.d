@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semex_model-9480220c8a4dc6a0.d: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+/root/repo/target/debug/deps/libsemex_model-9480220c8a4dc6a0.rmeta: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attribute.rs:
+crates/model/src/class.rs:
+crates/model/src/derived.rs:
+crates/model/src/model.rs:
+crates/model/src/relation.rs:
+crates/model/src/value.rs:

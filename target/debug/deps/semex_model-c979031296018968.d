@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/semex_model-c979031296018968.d: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_model-c979031296018968.rmeta: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/attribute.rs:
+crates/model/src/class.rs:
+crates/model/src/derived.rs:
+crates/model/src/model.rs:
+crates/model/src/relation.rs:
+crates/model/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/semex_recon-43953b6ff04bc8c8.d: crates/recon/src/lib.rs crates/recon/src/blocking.rs crates/recon/src/config.rs crates/recon/src/engine.rs crates/recon/src/eval.rs crates/recon/src/refs.rs crates/recon/src/score.rs crates/recon/src/shard.rs crates/recon/src/union_find.rs crates/recon/src/worklist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_recon-43953b6ff04bc8c8.rmeta: crates/recon/src/lib.rs crates/recon/src/blocking.rs crates/recon/src/config.rs crates/recon/src/engine.rs crates/recon/src/eval.rs crates/recon/src/refs.rs crates/recon/src/score.rs crates/recon/src/shard.rs crates/recon/src/union_find.rs crates/recon/src/worklist.rs Cargo.toml
+
+crates/recon/src/lib.rs:
+crates/recon/src/blocking.rs:
+crates/recon/src/config.rs:
+crates/recon/src/engine.rs:
+crates/recon/src/eval.rs:
+crates/recon/src/refs.rs:
+crates/recon/src/score.rs:
+crates/recon/src/shard.rs:
+crates/recon/src/union_find.rs:
+crates/recon/src/worklist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

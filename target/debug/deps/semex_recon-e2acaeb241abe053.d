@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_recon-e2acaeb241abe053.d: crates/recon/src/lib.rs crates/recon/src/blocking.rs crates/recon/src/config.rs crates/recon/src/engine.rs crates/recon/src/eval.rs crates/recon/src/refs.rs crates/recon/src/score.rs crates/recon/src/shard.rs crates/recon/src/union_find.rs crates/recon/src/worklist.rs
+
+/root/repo/target/debug/deps/libsemex_recon-e2acaeb241abe053.rmeta: crates/recon/src/lib.rs crates/recon/src/blocking.rs crates/recon/src/config.rs crates/recon/src/engine.rs crates/recon/src/eval.rs crates/recon/src/refs.rs crates/recon/src/score.rs crates/recon/src/shard.rs crates/recon/src/union_find.rs crates/recon/src/worklist.rs
+
+crates/recon/src/lib.rs:
+crates/recon/src/blocking.rs:
+crates/recon/src/config.rs:
+crates/recon/src/engine.rs:
+crates/recon/src/eval.rs:
+crates/recon/src/refs.rs:
+crates/recon/src/score.rs:
+crates/recon/src/shard.rs:
+crates/recon/src/union_find.rs:
+crates/recon/src/worklist.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_serve-117454821a3bd4e9.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_serve-117454821a3bd4e9.rmeta: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semex_serve-28133f5e2bbd6758.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/debug/deps/semex_serve-28133f5e2bbd6758: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_serve-371fe530c9ea8e1c.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/debug/deps/libsemex_serve-371fe530c9ea8e1c.rlib: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/debug/deps/libsemex_serve-371fe530c9ea8e1c.rmeta: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/master.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

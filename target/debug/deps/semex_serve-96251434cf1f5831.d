@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_serve-96251434cf1f5831.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/debug/deps/semex_serve-96251434cf1f5831: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/master.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

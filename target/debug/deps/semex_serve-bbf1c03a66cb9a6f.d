@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_serve-bbf1c03a66cb9a6f.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_serve-bbf1c03a66cb9a6f.rmeta: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/semex_similarity-c7cdb315ea21d46a.d: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_similarity-c7cdb315ea21d46a.rmeta: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs Cargo.toml
+
+crates/similarity/src/lib.rs:
+crates/similarity/src/corpus.rs:
+crates/similarity/src/edit.rs:
+crates/similarity/src/email.rs:
+crates/similarity/src/jaro.rs:
+crates/similarity/src/name.rs:
+crates/similarity/src/phonetic.rs:
+crates/similarity/src/title.rs:
+crates/similarity/src/tokens.rs:
+crates/similarity/src/venue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_similarity-f7b805c97109f17d.d: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs
+
+/root/repo/target/debug/deps/semex_similarity-f7b805c97109f17d: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs
+
+crates/similarity/src/lib.rs:
+crates/similarity/src/corpus.rs:
+crates/similarity/src/edit.rs:
+crates/similarity/src/email.rs:
+crates/similarity/src/jaro.rs:
+crates/similarity/src/name.rs:
+crates/similarity/src/phonetic.rs:
+crates/similarity/src/title.rs:
+crates/similarity/src/tokens.rs:
+crates/similarity/src/venue.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_store-8cca9caed4cd35d0.d: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/debug/deps/semex_store-8cca9caed4cd35d0: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+crates/store/src/lib.rs:
+crates/store/src/events.rs:
+crates/store/src/object.rs:
+crates/store/src/provenance.rs:
+crates/store/src/snapshot.rs:
+crates/store/src/stats.rs:
+crates/store/src/store.rs:
+crates/store/src/triple.rs:

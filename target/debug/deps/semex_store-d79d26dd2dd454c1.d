@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/semex_store-d79d26dd2dd454c1.d: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_store-d79d26dd2dd454c1.rmeta: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/events.rs:
+crates/store/src/object.rs:
+crates/store/src/provenance.rs:
+crates/store/src/snapshot.rs:
+crates/store/src/stats.rs:
+crates/store/src/store.rs:
+crates/store/src/triple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_store-d827709a677894f0.d: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/debug/deps/libsemex_store-d827709a677894f0.rlib: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/debug/deps/libsemex_store-d827709a677894f0.rmeta: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+crates/store/src/lib.rs:
+crates/store/src/events.rs:
+crates/store/src/object.rs:
+crates/store/src/provenance.rs:
+crates/store/src/snapshot.rs:
+crates/store/src/stats.rs:
+crates/store/src/store.rs:
+crates/store/src/triple.rs:

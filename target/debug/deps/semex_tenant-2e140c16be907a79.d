@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semex_tenant-2e140c16be907a79.d: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/debug/deps/libsemex_tenant-2e140c16be907a79.rmeta: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+crates/tenant/src/lib.rs:
+crates/tenant/src/engine.rs:
+crates/tenant/src/id.rs:
+crates/tenant/src/master.rs:
+crates/tenant/src/pool.rs:
+crates/tenant/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semex_tenant-8f281d87be8e51b8.d: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/debug/deps/libsemex_tenant-8f281d87be8e51b8.rlib: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/debug/deps/libsemex_tenant-8f281d87be8e51b8.rmeta: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+crates/tenant/src/lib.rs:
+crates/tenant/src/engine.rs:
+crates/tenant/src/id.rs:
+crates/tenant/src/master.rs:
+crates/tenant/src/pool.rs:
+crates/tenant/src/registry.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semex_tenant-ebfba11bdbcac888.d: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemex_tenant-ebfba11bdbcac888.rmeta: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs Cargo.toml
+
+crates/tenant/src/lib.rs:
+crates/tenant/src/engine.rs:
+crates/tenant/src/id.rs:
+crates/tenant/src/master.rs:
+crates/tenant/src/pool.rs:
+crates/tenant/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0f63823b2b0233d8.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0f63823b2b0233d8.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3de29ad527e7bfa9.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3de29ad527e7bfa9.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3de29ad527e7bfa9.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

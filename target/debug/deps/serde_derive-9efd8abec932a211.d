@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9efd8abec932a211.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-9efd8abec932a211.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

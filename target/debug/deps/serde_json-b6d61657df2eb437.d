@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b6d61657df2eb437.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b6d61657df2eb437.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b6d61657df2eb437.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

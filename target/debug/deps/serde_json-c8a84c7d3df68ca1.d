@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c8a84c7d3df68ca1.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c8a84c7d3df68ca1.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

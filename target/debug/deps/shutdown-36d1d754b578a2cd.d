@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shutdown-36d1d754b578a2cd.d: crates/serve/tests/shutdown.rs
+
+/root/repo/target/debug/deps/shutdown-36d1d754b578a2cd: crates/serve/tests/shutdown.rs
+
+crates/serve/tests/shutdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shutdown-90177f34eb8fcf3a.d: crates/serve/tests/shutdown.rs
+
+/root/repo/target/debug/deps/libshutdown-90177f34eb8fcf3a.rmeta: crates/serve/tests/shutdown.rs
+
+crates/serve/tests/shutdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shutdown-a055955de9ffcfd4.d: crates/serve/tests/shutdown.rs
+
+/root/repo/target/debug/deps/shutdown-a055955de9ffcfd4: crates/serve/tests/shutdown.rs
+
+crates/serve/tests/shutdown.rs:

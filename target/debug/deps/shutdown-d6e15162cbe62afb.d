@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shutdown-d6e15162cbe62afb.d: crates/serve/tests/shutdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshutdown-d6e15162cbe62afb.rmeta: crates/serve/tests/shutdown.rs Cargo.toml
+
+crates/serve/tests/shutdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-0568d5eafb0f42a5.d: crates/serve/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-0568d5eafb0f42a5: crates/serve/tests/smoke.rs
+
+crates/serve/tests/smoke.rs:

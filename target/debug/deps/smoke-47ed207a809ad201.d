@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-47ed207a809ad201.d: crates/serve/tests/smoke.rs
+
+/root/repo/target/debug/deps/libsmoke-47ed207a809ad201.rmeta: crates/serve/tests/smoke.rs
+
+crates/serve/tests/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-6eb4e98ac538dc72.d: crates/serve/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-6eb4e98ac538dc72.rmeta: crates/serve/tests/smoke.rs Cargo.toml
+
+crates/serve/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-7c59f0c691a63f9d.d: crates/serve/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-7c59f0c691a63f9d: crates/serve/tests/smoke.rs
+
+crates/serve/tests/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tenants-1c9832dc6edb3687.d: crates/serve/tests/tenants.rs
+
+/root/repo/target/debug/deps/libtenants-1c9832dc6edb3687.rmeta: crates/serve/tests/tenants.rs
+
+crates/serve/tests/tenants.rs:

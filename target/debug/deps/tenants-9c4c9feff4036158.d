@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tenants-9c4c9feff4036158.d: crates/serve/tests/tenants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtenants-9c4c9feff4036158.rmeta: crates/serve/tests/tenants.rs Cargo.toml
+
+crates/serve/tests/tenants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

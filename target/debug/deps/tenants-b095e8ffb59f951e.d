@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tenants-b095e8ffb59f951e.d: crates/serve/tests/tenants.rs
+
+/root/repo/target/debug/deps/tenants-b095e8ffb59f951e: crates/serve/tests/tenants.rs
+
+crates/serve/tests/tenants.rs:

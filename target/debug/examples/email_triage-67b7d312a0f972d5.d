@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/email_triage-67b7d312a0f972d5.d: examples/email_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libemail_triage-67b7d312a0f972d5.rmeta: examples/email_triage.rs Cargo.toml
+
+examples/email_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/email_triage-7624596b133c67ff.d: examples/email_triage.rs
+
+/root/repo/target/debug/examples/email_triage-7624596b133c67ff: examples/email_triage.rs
+
+examples/email_triage.rs:

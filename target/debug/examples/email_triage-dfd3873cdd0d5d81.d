@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/email_triage-dfd3873cdd0d5d81.d: examples/email_triage.rs
+
+/root/repo/target/debug/examples/email_triage-dfd3873cdd0d5d81: examples/email_triage.rs
+
+examples/email_triage.rs:

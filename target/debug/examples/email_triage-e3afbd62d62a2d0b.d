@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/email_triage-e3afbd62d62a2d0b.d: examples/email_triage.rs
+
+/root/repo/target/debug/examples/libemail_triage-e3afbd62d62a2d0b.rmeta: examples/email_triage.rs
+
+examples/email_triage.rs:

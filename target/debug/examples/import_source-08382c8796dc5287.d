@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/import_source-08382c8796dc5287.d: examples/import_source.rs
+
+/root/repo/target/debug/examples/import_source-08382c8796dc5287: examples/import_source.rs
+
+examples/import_source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/import_source-105a743a2b417b25.d: examples/import_source.rs
+
+/root/repo/target/debug/examples/libimport_source-105a743a2b417b25.rmeta: examples/import_source.rs
+
+examples/import_source.rs:

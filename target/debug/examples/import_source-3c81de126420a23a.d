@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/import_source-3c81de126420a23a.d: examples/import_source.rs
+
+/root/repo/target/debug/examples/import_source-3c81de126420a23a: examples/import_source.rs
+
+examples/import_source.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/import_source-fbcb0f5cf5d8c653.d: examples/import_source.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimport_source-fbcb0f5cf5d8c653.rmeta: examples/import_source.rs Cargo.toml
+
+examples/import_source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

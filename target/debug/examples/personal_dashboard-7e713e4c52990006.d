@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personal_dashboard-7e713e4c52990006.d: examples/personal_dashboard.rs
+
+/root/repo/target/debug/examples/personal_dashboard-7e713e4c52990006: examples/personal_dashboard.rs
+
+examples/personal_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personal_dashboard-989186baa85650ad.d: examples/personal_dashboard.rs
+
+/root/repo/target/debug/examples/personal_dashboard-989186baa85650ad: examples/personal_dashboard.rs
+
+examples/personal_dashboard.rs:

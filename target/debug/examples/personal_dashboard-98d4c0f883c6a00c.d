@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personal_dashboard-98d4c0f883c6a00c.d: examples/personal_dashboard.rs
+
+/root/repo/target/debug/examples/libpersonal_dashboard-98d4c0f883c6a00c.rmeta: examples/personal_dashboard.rs
+
+examples/personal_dashboard.rs:

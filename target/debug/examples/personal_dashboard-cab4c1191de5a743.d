@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/personal_dashboard-cab4c1191de5a743.d: examples/personal_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersonal_dashboard-cab4c1191de5a743.rmeta: examples/personal_dashboard.rs Cargo.toml
+
+examples/personal_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

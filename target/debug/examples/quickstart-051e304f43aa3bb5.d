@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-051e304f43aa3bb5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-051e304f43aa3bb5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

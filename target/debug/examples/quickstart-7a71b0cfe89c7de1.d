@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7a71b0cfe89c7de1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-7a71b0cfe89c7de1.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

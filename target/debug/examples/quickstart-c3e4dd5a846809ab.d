@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c3e4dd5a846809ab.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c3e4dd5a846809ab: examples/quickstart.rs
+
+examples/quickstart.rs:

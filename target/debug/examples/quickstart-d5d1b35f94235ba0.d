@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d5d1b35f94235ba0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d5d1b35f94235ba0: examples/quickstart.rs
+
+examples/quickstart.rs:

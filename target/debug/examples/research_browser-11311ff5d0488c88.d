@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/research_browser-11311ff5d0488c88.d: examples/research_browser.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresearch_browser-11311ff5d0488c88.rmeta: examples/research_browser.rs Cargo.toml
+
+examples/research_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

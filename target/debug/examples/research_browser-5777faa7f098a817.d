@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/research_browser-5777faa7f098a817.d: examples/research_browser.rs
+
+/root/repo/target/debug/examples/libresearch_browser-5777faa7f098a817.rmeta: examples/research_browser.rs
+
+examples/research_browser.rs:

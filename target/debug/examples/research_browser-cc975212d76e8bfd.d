@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/research_browser-cc975212d76e8bfd.d: examples/research_browser.rs
+
+/root/repo/target/debug/examples/research_browser-cc975212d76e8bfd: examples/research_browser.rs
+
+examples/research_browser.rs:

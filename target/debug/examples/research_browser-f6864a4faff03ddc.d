@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/research_browser-f6864a4faff03ddc.d: examples/research_browser.rs
+
+/root/repo/target/debug/examples/research_browser-f6864a4faff03ddc: examples/research_browser.rs
+
+examples/research_browser.rs:

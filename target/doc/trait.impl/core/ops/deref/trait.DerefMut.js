@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["semex_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/deref/trait.DerefMut.html\" title=\"trait core::ops::deref::DerefMut\">DerefMut</a> for <a class=\"struct\" href=\"semex_core/struct.DurableSemex.html\" title=\"struct semex_core::DurableSemex\">DurableSemex</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[307]}

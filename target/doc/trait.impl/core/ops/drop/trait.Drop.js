@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["semex_tenant",[["impl&lt;J&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"semex_tenant/struct.InflightPermit.html\" title=\"struct semex_tenant::InflightPermit\">InflightPermit</a>&lt;J&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[323]}

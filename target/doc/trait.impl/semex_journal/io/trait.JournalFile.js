@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["semex_journal",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[20]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/browse-41970d6ddc561837.d: crates/bench/benches/browse.rs
+
+/root/repo/target/release/deps/browse-41970d6ddc561837: crates/bench/benches/browse.rs
+
+crates/bench/benches/browse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b8f4b588f947cfe0.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b8f4b588f947cfe0.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b8f4b588f947cfe0.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

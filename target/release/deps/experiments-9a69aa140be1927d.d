@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-9a69aa140be1927d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-9a69aa140be1927d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ecf982cc4b015eb5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ecf982cc4b015eb5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

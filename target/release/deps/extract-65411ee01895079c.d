@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extract-65411ee01895079c.d: crates/bench/benches/extract.rs
+
+/root/repo/target/release/deps/extract-65411ee01895079c: crates/bench/benches/extract.rs
+
+crates/bench/benches/extract.rs:

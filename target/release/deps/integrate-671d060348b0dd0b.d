@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integrate-671d060348b0dd0b.d: crates/bench/benches/integrate.rs
+
+/root/repo/target/release/deps/integrate-671d060348b0dd0b: crates/bench/benches/integrate.rs
+
+crates/bench/benches/integrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/journal-17c6f5ec750c88b8.d: crates/bench/benches/journal.rs
+
+/root/repo/target/release/deps/journal-17c6f5ec750c88b8: crates/bench/benches/journal.rs
+
+crates/bench/benches/journal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9117ba185a1f3a0d.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9117ba185a1f3a0d.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9117ba185a1f3a0d.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b73864f9edb6397a.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b73864f9edb6397a.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b73864f9edb6397a.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recon-5685ab8b5f7b278d.d: crates/bench/benches/recon.rs
+
+/root/repo/target/release/deps/recon-5685ab8b5f7b278d: crates/bench/benches/recon.rs
+
+crates/bench/benches/recon.rs:

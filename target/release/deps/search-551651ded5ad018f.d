@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search-551651ded5ad018f.d: crates/bench/benches/search.rs
+
+/root/repo/target/release/deps/search-551651ded5ad018f: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

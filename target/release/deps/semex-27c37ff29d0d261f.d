@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semex-27c37ff29d0d261f.d: src/bin/semex.rs
+
+/root/repo/target/release/deps/semex-27c37ff29d0d261f: src/bin/semex.rs
+
+src/bin/semex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex-b6ab7413ba78ac30.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemex-b6ab7413ba78ac30.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemex-b6ab7413ba78ac30.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semex-d269689fa627a173.d: src/bin/semex.rs
+
+/root/repo/target/release/deps/semex-d269689fa627a173: src/bin/semex.rs
+
+src/bin/semex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex-d46179d8da3b0e40.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemex-d46179d8da3b0e40.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemex-d46179d8da3b0e40.rmeta: src/lib.rs
+
+src/lib.rs:

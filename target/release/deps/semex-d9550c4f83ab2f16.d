@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semex-d9550c4f83ab2f16.d: src/lib.rs
+
+/root/repo/target/release/deps/semex-d9550c4f83ab2f16: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex_bench-319f4be798c7c0ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsemex_bench-319f4be798c7c0ae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsemex_bench-319f4be798c7c0ae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex_bench-5a2346b512321dee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsemex_bench-5a2346b512321dee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsemex_bench-5a2346b512321dee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semex_bench-eb9b717bd76c04ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/semex_bench-eb9b717bd76c04ba: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex_browse-78270acebb6a4ed1.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/release/deps/semex_browse-78270acebb6a4ed1: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:

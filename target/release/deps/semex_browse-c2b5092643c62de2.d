@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/semex_browse-c2b5092643c62de2.d: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/release/deps/libsemex_browse-c2b5092643c62de2.rlib: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+/root/repo/target/release/deps/libsemex_browse-c2b5092643c62de2.rmeta: crates/browse/src/lib.rs crates/browse/src/analyze.rs crates/browse/src/pattern.rs
+
+crates/browse/src/lib.rs:
+crates/browse/src/analyze.rs:
+crates/browse/src/pattern.rs:

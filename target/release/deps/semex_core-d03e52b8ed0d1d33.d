@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semex_core-d03e52b8ed0d1d33.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/semex_core-d03e52b8ed0d1d33: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/semex_core-db244dd44d8d1917.d: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libsemex_core-db244dd44d8d1917.rlib: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libsemex_core-db244dd44d8d1917.rmeta: crates/core/src/lib.rs crates/core/src/facade.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/facade.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/semex_corpus-0a567c821578406f.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+/root/repo/target/release/deps/libsemex_corpus-0a567c821578406f.rlib: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+/root/repo/target/release/deps/libsemex_corpus-0a567c821578406f.rmeta: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/cora.rs:
+crates/corpus/src/names.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/render.rs:
+crates/corpus/src/truth.rs:
+crates/corpus/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_corpus-8979eabfc7c214db.d: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+/root/repo/target/release/deps/semex_corpus-8979eabfc7c214db: crates/corpus/src/lib.rs crates/corpus/src/config.rs crates/corpus/src/cora.rs crates/corpus/src/names.rs crates/corpus/src/noise.rs crates/corpus/src/render.rs crates/corpus/src/truth.rs crates/corpus/src/world.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/config.rs:
+crates/corpus/src/cora.rs:
+crates/corpus/src/names.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/render.rs:
+crates/corpus/src/truth.rs:
+crates/corpus/src/world.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/semex_extract-0bff7f49e2a2d238.d: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+/root/repo/target/release/deps/libsemex_extract-0bff7f49e2a2d238.rlib: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+/root/repo/target/release/deps/libsemex_extract-0bff7f49e2a2d238.rmeta: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+crates/extract/src/lib.rs:
+crates/extract/src/bibtex.rs:
+crates/extract/src/context.rs:
+crates/extract/src/csv.rs:
+crates/extract/src/date.rs:
+crates/extract/src/email.rs:
+crates/extract/src/fswalk.rs:
+crates/extract/src/html.rs:
+crates/extract/src/ical.rs:
+crates/extract/src/latex.rs:
+crates/extract/src/vcard.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/semex_extract-ab8fc484cb5b1a39.d: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+/root/repo/target/release/deps/semex_extract-ab8fc484cb5b1a39: crates/extract/src/lib.rs crates/extract/src/bibtex.rs crates/extract/src/context.rs crates/extract/src/csv.rs crates/extract/src/date.rs crates/extract/src/email.rs crates/extract/src/fswalk.rs crates/extract/src/html.rs crates/extract/src/ical.rs crates/extract/src/latex.rs crates/extract/src/vcard.rs
+
+crates/extract/src/lib.rs:
+crates/extract/src/bibtex.rs:
+crates/extract/src/context.rs:
+crates/extract/src/csv.rs:
+crates/extract/src/date.rs:
+crates/extract/src/email.rs:
+crates/extract/src/fswalk.rs:
+crates/extract/src/html.rs:
+crates/extract/src/ical.rs:
+crates/extract/src/latex.rs:
+crates/extract/src/vcard.rs:

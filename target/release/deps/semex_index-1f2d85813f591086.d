@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_index-1f2d85813f591086.d: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs
+
+/root/repo/target/release/deps/semex_index-1f2d85813f591086: crates/index/src/lib.rs crates/index/src/bm25.rs crates/index/src/dict.rs crates/index/src/postings.rs crates/index/src/query.rs crates/index/src/search.rs crates/index/src/tokenizer.rs crates/index/src/topk.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bm25.rs:
+crates/index/src/dict.rs:
+crates/index/src/postings.rs:
+crates/index/src/query.rs:
+crates/index/src/search.rs:
+crates/index/src/tokenizer.rs:
+crates/index/src/topk.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/semex_integrate-49415e8352591faf.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/release/deps/libsemex_integrate-49415e8352591faf.rlib: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/release/deps/libsemex_integrate-49415e8352591faf.rmeta: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

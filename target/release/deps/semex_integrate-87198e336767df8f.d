@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/semex_integrate-87198e336767df8f.d: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+/root/repo/target/release/deps/semex_integrate-87198e336767df8f: crates/integrate/src/lib.rs crates/integrate/src/matcher.rs
+
+crates/integrate/src/lib.rs:
+crates/integrate/src/matcher.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/semex_journal-212923375beeb250.d: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/release/deps/semex_journal-212923375beeb250: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+crates/journal/src/lib.rs:
+crates/journal/src/crc32.rs:
+crates/journal/src/io.rs:
+crates/journal/src/journal.rs:
+crates/journal/src/record.rs:
+crates/journal/src/segment.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_journal-b66fa1ad389a0c81.d: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/release/deps/libsemex_journal-b66fa1ad389a0c81.rlib: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+/root/repo/target/release/deps/libsemex_journal-b66fa1ad389a0c81.rmeta: crates/journal/src/lib.rs crates/journal/src/crc32.rs crates/journal/src/io.rs crates/journal/src/journal.rs crates/journal/src/record.rs crates/journal/src/segment.rs
+
+crates/journal/src/lib.rs:
+crates/journal/src/crc32.rs:
+crates/journal/src/io.rs:
+crates/journal/src/journal.rs:
+crates/journal/src/record.rs:
+crates/journal/src/segment.rs:

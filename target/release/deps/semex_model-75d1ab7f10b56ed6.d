@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/semex_model-75d1ab7f10b56ed6.d: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libsemex_model-75d1ab7f10b56ed6.rlib: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libsemex_model-75d1ab7f10b56ed6.rmeta: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attribute.rs:
+crates/model/src/class.rs:
+crates/model/src/derived.rs:
+crates/model/src/model.rs:
+crates/model/src/relation.rs:
+crates/model/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/semex_model-f4b1135b93a0c91f.d: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/semex_model-f4b1135b93a0c91f: crates/model/src/lib.rs crates/model/src/attribute.rs crates/model/src/class.rs crates/model/src/derived.rs crates/model/src/model.rs crates/model/src/relation.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attribute.rs:
+crates/model/src/class.rs:
+crates/model/src/derived.rs:
+crates/model/src/model.rs:
+crates/model/src/relation.rs:
+crates/model/src/value.rs:

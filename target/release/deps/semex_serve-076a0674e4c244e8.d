@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/semex_serve-076a0674e4c244e8.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/release/deps/semex_serve-076a0674e4c244e8: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/semex_serve-5682cd94e33c4071.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/release/deps/libsemex_serve-5682cd94e33c4071.rlib: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/release/deps/libsemex_serve-5682cd94e33c4071.rmeta: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/engine.rs crates/serve/src/master.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/master.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_serve-dc4509e592d6d173.d: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/release/deps/libsemex_serve-dc4509e592d6d173.rlib: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+/root/repo/target/release/deps/libsemex_serve-dc4509e592d6d173.rmeta: crates/serve/src/lib.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/client.rs crates/serve/src/server.rs crates/serve/src/writer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/client.rs:
+crates/serve/src/server.rs:
+crates/serve/src/writer.rs:

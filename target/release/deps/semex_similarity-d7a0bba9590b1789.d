@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/semex_similarity-d7a0bba9590b1789.d: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs
+
+/root/repo/target/release/deps/libsemex_similarity-d7a0bba9590b1789.rlib: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs
+
+/root/repo/target/release/deps/libsemex_similarity-d7a0bba9590b1789.rmeta: crates/similarity/src/lib.rs crates/similarity/src/corpus.rs crates/similarity/src/edit.rs crates/similarity/src/email.rs crates/similarity/src/jaro.rs crates/similarity/src/name.rs crates/similarity/src/phonetic.rs crates/similarity/src/title.rs crates/similarity/src/tokens.rs crates/similarity/src/venue.rs
+
+crates/similarity/src/lib.rs:
+crates/similarity/src/corpus.rs:
+crates/similarity/src/edit.rs:
+crates/similarity/src/email.rs:
+crates/similarity/src/jaro.rs:
+crates/similarity/src/name.rs:
+crates/similarity/src/phonetic.rs:
+crates/similarity/src/title.rs:
+crates/similarity/src/tokens.rs:
+crates/similarity/src/venue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/semex_store-47d684f091eedf92.d: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/release/deps/libsemex_store-47d684f091eedf92.rlib: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/release/deps/libsemex_store-47d684f091eedf92.rmeta: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+crates/store/src/lib.rs:
+crates/store/src/events.rs:
+crates/store/src/object.rs:
+crates/store/src/provenance.rs:
+crates/store/src/snapshot.rs:
+crates/store/src/stats.rs:
+crates/store/src/store.rs:
+crates/store/src/triple.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_store-efb036109539c8d2.d: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+/root/repo/target/release/deps/semex_store-efb036109539c8d2: crates/store/src/lib.rs crates/store/src/events.rs crates/store/src/object.rs crates/store/src/provenance.rs crates/store/src/snapshot.rs crates/store/src/stats.rs crates/store/src/store.rs crates/store/src/triple.rs
+
+crates/store/src/lib.rs:
+crates/store/src/events.rs:
+crates/store/src/object.rs:
+crates/store/src/provenance.rs:
+crates/store/src/snapshot.rs:
+crates/store/src/stats.rs:
+crates/store/src/store.rs:
+crates/store/src/triple.rs:

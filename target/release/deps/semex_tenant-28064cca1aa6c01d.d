@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semex_tenant-28064cca1aa6c01d.d: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/release/deps/libsemex_tenant-28064cca1aa6c01d.rlib: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/release/deps/libsemex_tenant-28064cca1aa6c01d.rmeta: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+crates/tenant/src/lib.rs:
+crates/tenant/src/engine.rs:
+crates/tenant/src/id.rs:
+crates/tenant/src/master.rs:
+crates/tenant/src/pool.rs:
+crates/tenant/src/registry.rs:

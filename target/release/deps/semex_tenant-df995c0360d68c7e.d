@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/semex_tenant-df995c0360d68c7e.d: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+/root/repo/target/release/deps/semex_tenant-df995c0360d68c7e: crates/tenant/src/lib.rs crates/tenant/src/engine.rs crates/tenant/src/id.rs crates/tenant/src/master.rs crates/tenant/src/pool.rs crates/tenant/src/registry.rs
+
+crates/tenant/src/lib.rs:
+crates/tenant/src/engine.rs:
+crates/tenant/src/id.rs:
+crates/tenant/src/master.rs:
+crates/tenant/src/pool.rs:
+crates/tenant/src/registry.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7b99b9f9a3c46df7.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7b99b9f9a3c46df7.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7b99b9f9a3c46df7.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-62e847904b5d9d7a.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-62e847904b5d9d7a.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-07617e3fa6d9f8f1.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-07617e3fa6d9f8f1.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-07617e3fa6d9f8f1.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

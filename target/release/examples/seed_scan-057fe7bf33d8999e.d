@@ -1,0 +1,6 @@
+/root/repo/target/release/examples/seed_scan-057fe7bf33d8999e.d: examples/seed_scan.rs examples/../tests/common/mod.rs
+
+/root/repo/target/release/examples/seed_scan-057fe7bf33d8999e: examples/seed_scan.rs examples/../tests/common/mod.rs
+
+examples/seed_scan.rs:
+examples/../tests/common/mod.rs:

@@ -1,0 +1,672 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`, tuple/range/`Just`/`any`
+//! strategies, regex-subset string strategies (`".{0,60}"`,
+//! `"[a-z]{2,8}"`, ...), `prop::collection::vec`, [`prop_oneof!`],
+//! [`proptest!`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints its
+//! inputs and panics as-is), and deterministic seeding per test name so CI
+//! failures reproduce. Case count defaults to 64; override with
+//! `PROPTEST_CASES` or `#![proptest_config(...)]`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (the fields this workspace references).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Test cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A property-test failure raised with `?` from a test body (no
+/// shrinking; carried straight to the failure report).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic generator driving sampling (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from a test's name and the case index.
+    pub fn deterministic(name: &str, case: u32) -> TestRng {
+        let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRng(seed ^ ((case as u64) << 32 | case as u64))
+    }
+
+    /// The next 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A uniform value in `[lo, hi]`.
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            self.next_u64()
+        } else {
+            lo + self.below(span)
+        }
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// A union of strategies; each sample picks one arm uniformly.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.0.len() as u64) as usize;
+        self.0[arm].sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.between(0, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---- regex-subset string strategies ----
+
+enum Atom {
+    /// Any printable char (regex `.`): drawn from a pool with a unicode tail.
+    Dot,
+    /// A character class.
+    Class(Vec<char>),
+    /// A parenthesized group: one alternative is chosen per repetition.
+    Group(Vec<Vec<Piece>>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// The pool `.` draws from: printable ASCII plus a few multi-byte chars so
+/// encoders meet real UTF-8 (never `\n`, matching regex `.`).
+const DOT_EXTRAS: &[char] = &['é', 'π', '→', '❤', '爱', '🦀', '\t', '\u{7f}'];
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut pool = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in regex strategy {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing escape in {pattern:?}"));
+                pool.push(match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                });
+            }
+            c => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // '-'
+                    match ahead.peek() {
+                        Some(&']') | None => pool.push(c), // literal '-' handled next loop
+                        Some(&hi) => {
+                            chars.next(); // '-'
+                            chars.next(); // hi
+                            for v in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    pool.push(ch);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    pool.push(c);
+                }
+            }
+        }
+    }
+    assert!(
+        !pool.is_empty(),
+        "empty class in regex strategy {pattern:?}"
+    );
+    pool
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let alts = parse_alternatives(&mut chars, pattern, false);
+    if alts.len() == 1 {
+        alts.into_iter().next().unwrap()
+    } else {
+        vec![Piece {
+            atom: Atom::Group(alts),
+            min: 1,
+            max: 1,
+        }]
+    }
+}
+
+/// Parse `|`-separated piece sequences up to a closing `)` (inside a
+/// group) or end of input (at the top level).
+fn parse_alternatives(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+    in_group: bool,
+) -> Vec<Vec<Piece>> {
+    let mut alternatives = Vec::new();
+    let mut pieces = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(c) => c,
+            None if in_group => panic!("unterminated group in regex strategy {pattern:?}"),
+            None => break,
+        };
+        let atom = match c {
+            ')' if in_group => break,
+            '|' => {
+                alternatives.push(std::mem::take(&mut pieces));
+                continue;
+            }
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => Atom::Group(parse_alternatives(chars, pattern, true)),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing escape in {pattern:?}"));
+                Atom::Class(vec![match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                }])
+            }
+            ')' | '^' | '$' => {
+                panic!("regex feature {c:?} unsupported by the offline proptest stand-in")
+            }
+            c => Atom::Class(vec![c]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad quantifier");
+                        let hi = hi.trim().parse().expect("bad quantifier");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    alternatives.push(pieces);
+    alternatives
+}
+
+fn sample_dot(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, sometimes a multi-byte or edge char.
+    if rng.below(5) == 0 {
+        DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]
+    } else {
+        char::from_u32(rng.between(0x20, 0x7E) as u32).unwrap()
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        sample_pieces(&pieces, rng, &mut out);
+        out
+    }
+}
+
+fn sample_pieces(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let n = rng.between(piece.min as u64, piece.max as u64);
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Dot => out.push(sample_dot(rng)),
+                Atom::Class(pool) => {
+                    out.push(pool[rng.below(pool.len() as u64) as usize]);
+                }
+                Atom::Group(alternatives) => {
+                    let pick = rng.below(alternatives.len() as u64) as usize;
+                    sample_pieces(&alternatives[pick], rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace mirrored from the real crate.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Element-count bounds for [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: u64,
+            hi: u64,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start as u64,
+                    hi: r.end as u64 - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    lo: *r.start() as u64,
+                    hi: *r.end() as u64,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange {
+                    lo: n as u64,
+                    hi: n as u64,
+                }
+            }
+        }
+
+        /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generate vectors of `element` with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.between(self.size.lo, self.size.hi);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Combine strategies of one value type; each case picks an arm uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Assert inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test running `cases` sampled inputs. A failing case prints
+/// its sampled inputs before propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$attr:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::deterministic(stringify!($name), __case);
+                    let __vals = ( $( $crate::Strategy::sample(&($strat), &mut __rng), )+ );
+                    let __desc = format!("{:?}", __vals);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                let ( $($pat,)+ ) = __vals;
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(__err)) => {
+                            panic!(
+                                "proptest {}: case {}/{} failed with inputs {}: {}",
+                                stringify!($name),
+                                __case + 1,
+                                __config.cases,
+                                __desc,
+                                __err
+                            );
+                        }
+                        Err(__panic) => {
+                            eprintln!(
+                                "proptest {}: case {}/{} failed with inputs {}",
+                                stringify!($name),
+                                __case + 1,
+                                __config.cases,
+                                __desc
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("regex", 1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::sample(&".{0,5}", &mut rng);
+            assert!(t.chars().count() <= 5);
+            assert!(!t.contains('\n'));
+            let u = Strategy::sample(&"[A-Z][a-z]{1,3}", &mut rng);
+            assert!(u.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_map_and_vec_work(
+            v in prop::collection::vec(prop_oneof![Just(1u32), 5u32..10], 0..6),
+            s in ".{0,10}".prop_map(|s| s.len()),
+            (a, b) in (any::<bool>(), 0u64..4),
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 1 || (5..10).contains(&x)));
+            prop_assert!(s <= 40); // 10 chars, up to 4 bytes each
+            prop_assert!(b < 4);
+            let _ = a;
+        }
+    }
+}

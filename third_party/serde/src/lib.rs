@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network and no crates.io cache, so this
+//! workspace vendors the handful of external crates it relies on as minimal
+//! reimplementations of exactly the API surface the workspace uses. This
+//! one covers `serde`: the `Serialize`/`Deserialize` traits, a
+//! self-describing [`Content`] tree as the data model (instead of serde's
+//! visitor machinery), and the derive macros re-exported from
+//! `serde_derive`.
+//!
+//! Unlike real serde, maps serialize with their keys **sorted**, so two
+//! structurally equal values always produce byte-identical encodings —
+//! a property the eviction-equivalence tests lean on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A serialized value: the data model both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The text if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (any numeric representation).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Content) -> Error {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        Error(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up a struct field in a serialized map.
+pub fn field<'a>(map: &'a [(String, Content)], key: &str) -> Result<&'a Content, Error> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{key}`")))
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from `content`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", content))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", content))?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = content
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", content))?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(f64::from_content(content)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", content))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| Error::expected("single-character string", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single character, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("tuple sequence", content))?;
+                let want = [$($idx),+].len();
+                if seq.len() != want {
+                    return Err(Error(format!(
+                        "expected tuple of {want}, found sequence of {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_map()
+            .ok_or_else(|| Error::expected("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+// Conversions used by `serde_json::json!` value interpolation.
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Content {
+            fn from(v: $t) -> Content {
+                (&v).to_content()
+            }
+        }
+    )*};
+}
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl From<&str> for Content {
+    fn from(v: &str) -> Content {
+        Content::Str(v.to_string())
+    }
+}
+
+impl From<String> for Content {
+    fn from(v: String) -> Content {
+        Content::Str(v)
+    }
+}
+
+impl From<&String> for Content {
+    fn from(v: &String) -> Content {
+        Content::Str(v.clone())
+    }
+}
+
+impl<T: Into<Content>> From<Vec<T>> for Content {
+    fn from(v: Vec<T>) -> Content {
+        Content::Seq(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Serialize> From<&[T]> for Content {
+    fn from(v: &[T]) -> Content {
+        Content::Seq(v.iter().map(Serialize::to_content).collect())
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's [`Content`] data model, parsing the item
+//! definition directly from the token stream (no `syn`/`quote` — the build
+//! environment has no network, so this crate must be dependency-free).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! plain (non-generic) structs with named fields, unit structs, tuple
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Encodings follow serde's externally-tagged JSON conventions, so
+//! `Name::Unit` → `"Unit"`, `Name::NewType(x)` → `{"NewType": x}`, etc.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list: named fields carry their identifiers, tuple
+/// fields only a count.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip `#[...]` attributes and doc comments at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len()
+            && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Count comma-separated segments at angle-bracket depth zero (commas
+/// inside `(...)`/`[...]`/`{...}` are invisible here because groups are
+/// single token trees; only `<...>` needs explicit depth tracking).
+fn count_fields(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut seen = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if seen {
+                        fields += 1;
+                        seen = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen = true;
+    }
+    if seen {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse named fields out of a brace group's tokens.
+fn parse_named(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[i]);
+        };
+        names.push(name.to_string());
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected ':' after field name"
+        );
+        i += 1;
+        // Skip the type: to the next comma at angle-depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let TokenTree::Ident(kind) = &tokens[i] else {
+        panic!("serde_derive: expected `struct` or `enum`");
+    };
+    let kind = kind.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ';' => Fields::Unit,
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named(&g.stream().into_iter().collect::<Vec<_>>()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                }
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let TokenTree::Group(g) = &tokens[i] else {
+                panic!("serde_derive: expected enum body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                skip_attrs(&body, &mut j);
+                if j >= body.len() {
+                    break;
+                }
+                let TokenTree::Ident(vname) = &body[j] else {
+                    panic!("serde_derive: expected variant name, got {:?}", body[j]);
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = if j < body.len() {
+                    match &body[j] {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            j += 1;
+                            Fields::Tuple(count_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            j += 1;
+                            Fields::Named(parse_named(&g.stream().into_iter().collect::<Vec<_>>()))
+                        }
+                        _ => Fields::Unit,
+                    }
+                } else {
+                    Fields::Unit
+                };
+                if j < body.len() {
+                    assert!(
+                        matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ','),
+                        "serde_derive: expected ',' after variant (discriminants unsupported)"
+                    );
+                    j += 1;
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `("a", x0)`-style bindings for an n-field tuple pattern.
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("x{k}")).collect()
+}
+
+fn serialize_fields_named(path: &str, names: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_content({access_prefix}{f}))")
+        })
+        .collect();
+    format!("{path}(vec![{}])", entries.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => "::serde::Content::Null".to_string(),
+            Fields::Named(names) => {
+                serialize_fields_named("::serde::Content::Map", names, "&self.")
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+            }
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_content(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders = tuple_binders(*n);
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner =
+                                serialize_fields_named("::serde::Content::Map", fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+fn deserialize_named(ty_path: &str, names: &[String]) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_content(::serde::field(__map, \"{f}\")?)?,")
+        })
+        .collect();
+    format!("Ok({ty_path} {{ {} }})", fields.join(" "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = match &item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => format!("Ok({name})"),
+            Fields::Named(names) => format!(
+                "let __map = __content.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map for struct {name}\", __content))?;\n{}",
+                deserialize_named(&name, names)
+            ),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_content(__content)?))")
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?"))
+                    .collect();
+                format!(
+                    "let __seq = __content.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"sequence for {name}\", __content))?;\n\
+                     if __seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                     format!(\"expected {n} elements for {name}, found {{}}\", __seq.len()))); }}\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        },
+        Item::Enum { variants, .. } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__value)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __seq = __value.as_seq().ok_or_else(|| \
+                                 ::serde::Error::expected(\"sequence for {name}::{vn}\", __value))?;\n\
+                                 if __seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 format!(\"expected {n} elements for {name}::{vn}, found {{}}\", __seq.len()))); }}\n\
+                                 Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{ let __map = __value.as_map().ok_or_else(|| \
+                             ::serde::Error::expected(\"map for {name}::{vn}\", __value))?;\n{} }}",
+                            deserialize_named(&format!("{name}::{vn}"), fields)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => Err(::serde::Error::custom(format!(\
+                             \"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __value) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => Err(::serde::Error::custom(format!(\
+                                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::Error::expected(\"{name} variant\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}

@@ -1,0 +1,486 @@
+//! Offline stand-in for `serde_json`: serializes the vendored `serde`
+//! crate's [`Content`](serde::Content) data model to JSON text and parses
+//! it back. Covers exactly the workspace's usage: `to_string`,
+//! `to_string_pretty`, `to_vec`, `from_str`, `from_slice`, the [`json!`]
+//! macro, [`Value`], and [`Error`].
+//!
+//! Map keys from `HashMap`s serialize sorted (see the serde stand-in), so
+//! equal values always encode byte-identically.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically-typed JSON value.
+pub type Value = Content;
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Parse a value from JSON text. Trailing non-whitespace is an error.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+/// Parse a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Keys are string literals;
+/// values are JSON literals, arrays, objects, or any Rust expression
+/// convertible into a [`Value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($entries:tt)* }) => {
+        $crate::json_object!(@obj [] $($entries)*)
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-entry muncher behind [`json!`]: values may be nested objects,
+/// `null`, or arbitrary multi-token Rust expressions ending at the next
+/// top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // All entries consumed: build the map.
+    (@obj [$(($k:literal, $v:expr))*]) => {
+        $crate::Value::Map(vec![ $( ($k.to_string(), $v) ),* ])
+    };
+    // Next entry: shift to value munching.
+    (@obj [$($done:tt)*] $key:literal : $($rest:tt)*) => {
+        $crate::json_object!(@val [$($done)*] $key [] $($rest)*)
+    };
+    // Nested object value (must be the first token of the value).
+    (@val [$($done:tt)*] $key:literal [] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!({ $($inner)* }))] $($rest)*)
+    };
+    (@val [$($done:tt)*] $key:literal [] { $($inner:tt)* }) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!({ $($inner)* }))])
+    };
+    // `null` value.
+    (@val [$($done:tt)*] $key:literal [] null , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::Null)] $($rest)*)
+    };
+    (@val [$($done:tt)*] $key:literal [] null) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::Null)])
+    };
+    // A top-level comma (or running out of tokens) ends the value.
+    (@val [$($done:tt)*] $key:literal [$($v:tt)+] , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::from($($v)+))] $($rest)*)
+    };
+    (@val [$($done:tt)*] $key:literal [$($v:tt)+]) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::from($($v)+))])
+    };
+    // Otherwise keep accumulating value tokens.
+    (@val [$($done:tt)*] $key:literal [$($v:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object!(@val [$($done)*] $key [$($v)* $next] $($rest)*)
+    };
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Keep the float type recognizable on re-parse.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_content(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_content(out, item, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_word("null") => Ok(Content::Null),
+            Some(b't') if self.eat_word("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(Error::new(format!("bad object at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!(
+                "unexpected value at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'"'
+                && self.bytes[self.pos] != b'\\'
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat_word("\\u")) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("bad number {text:?}")))
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Content::I64(v)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Content::F64)
+                    .map_err(|_| Error::new(format!("bad number {text:?}"))),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Ok(Content::U64(v)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Content::F64)
+                    .map_err(|_| Error::new(format!("bad number {text:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for json in [
+            "null",
+            "true",
+            "0",
+            "42",
+            "-7",
+            "1.5",
+            "\"hi\\n\"",
+            "[]",
+            "{}",
+        ] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json.replace("1.5", "1.5"));
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip_and_unicode() {
+        let json = r#"{"a":[1,2.5,"π \"q\" \\"],"b":{"c":null,"d":false}}"#;
+        let v: Value = from_str(json).unwrap();
+        let back = to_string(&v).unwrap();
+        let v2: Value = from_str(&back).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        let v: String = from_str(r#""🦀""#).unwrap();
+        assert_eq!(v, "🦀");
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let count = 3u64;
+        let v = json!({ "name": "e2", "count": count, "items": vec![json!(1), json!("x")] });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"name":"e2","count":3,"items":[1,"x"]}"#);
+    }
+}
