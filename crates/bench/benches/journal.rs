@@ -133,7 +133,7 @@ fn bench_snapshot_baseline(c: &mut Criterion) {
     let (store, _) = durable.into_parts();
     std::fs::remove_dir_all(&dir).ok();
 
-    let json = store.to_json();
+    let json = store.to_json().unwrap();
     group.bench_function("load_from_json", |b| {
         b.iter(|| Store::from_json(&json).unwrap().object_count());
     });

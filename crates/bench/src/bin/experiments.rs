@@ -17,6 +17,69 @@ use semex_recon::{pair_metrics, reconcile, Metrics, ReconConfig, Variant};
 use semex_store::{Store, StoreStats};
 use std::time::Instant;
 
+/// Allocation meter backing E15's resident-bytes numbers: a thin wrapper
+/// over the system allocator tracking live bytes and the high-water mark.
+/// The two atomics cost nothing measurable on the other experiments.
+mod alloc_meter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct Meter;
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    fn add(n: usize) {
+        let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for Meter {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                add(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    add(new_size - layout.size());
+                } else {
+                    LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn live() -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current live size.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// High-water mark since the last [`reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_meter::Meter = alloc_meter::Meter;
+
 /// The corpus every experiment uses unless it sweeps a parameter: sized
 /// like the personal dataset the papers describe (a single researcher's
 /// desktop).
@@ -73,6 +136,11 @@ fn main() {
         e14_tenants(false);
     } else if want("e14-smoke") {
         e14_tenants(true);
+    }
+    if want("e15") {
+        e15_snapshot(false);
+    } else if want("e15-smoke") {
+        e15_snapshot(true);
     }
 }
 
@@ -887,12 +955,12 @@ fn e12_fault_injection() {
     // is ever allowed to surface.
     fn boundaries() -> [String; 3] {
         let mut st = Store::with_builtin_model();
-        let mut states = vec![st.to_json()];
+        let mut states = vec![st.to_json().unwrap()];
         for batch in &batches() {
             for e in batch {
                 st.apply_event(e).unwrap();
             }
-            states.push(st.to_json());
+            states.push(st.to_json().unwrap());
         }
         states.try_into().unwrap()
     }
@@ -939,7 +1007,7 @@ fn e12_fault_injection() {
         run.retries = j.retry_count();
         drop(j);
         if let Some((store, _, _)) = recover_step(io) {
-            run.converged = store.to_json() == reference;
+            run.converged = store.to_json().unwrap() == reference;
         }
         run
     }
@@ -967,7 +1035,7 @@ fn e12_fault_injection() {
         io.clear_faults();
         let (store, _, _) = recover_with_io(&dir, jcfg(), Arc::new(io))
             .unwrap_or_else(|e| panic!("crash at op {at}: recovery failed: {e}"));
-        let recovered = store.to_json();
+        let recovered = store.to_json().unwrap();
         let allowed = &bounds[run.acked..=run.attempted.max(run.acked)];
         assert!(
             allowed.contains(&recovered),
@@ -1764,6 +1832,185 @@ fn e14_tenants(smoke: bool) {
         println!(
             "wrote BENCH_tenants.json ({tenants} tenants, {} evictions, {ratio:.2}x isolation)\n",
             report.tenants.evictions
+        );
+    }
+}
+
+fn e15_snapshot(smoke: bool) {
+    use semex_core::{JournalConfig, Semex, SemexBuilder, SemexConfig, SnapshotFormat};
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("## E15 — binary snapshots: cold-open latency and memory, JSON vs binary ({mode})\n");
+
+    let scales: &[(&str, f64)] = if smoke {
+        &[("small", 0.25)]
+    } else {
+        &[("small", 0.25), ("medium", 1.0), ("large", 2.5)]
+    };
+    let iterations: usize = if smoke { 3 } else { 7 };
+    let queries = [
+        "garcia",
+        "class:Person data",
+        "class:Publication integration",
+        "class:Message meeting",
+    ];
+
+    let scratch = std::env::temp_dir().join(format!("semex-e15-{mode}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    // Full-precision hit rendering: equivalence means *byte*-identical.
+    let answers = |s: &Semex| -> Vec<String> {
+        queries
+            .iter()
+            .flat_map(|q| {
+                s.search(q, 10)
+                    .into_iter()
+                    .map(move |h| format!("{q}|{}|{}|{}|{}", h.object.0, h.label, h.class, h.score))
+            })
+            .collect()
+    };
+
+    let mut table = TextTable::new(&[
+        "scale",
+        "format",
+        "disk bytes",
+        "open p50 ms",
+        "open p99 ms",
+        "peak MiB",
+        "resident MiB",
+        "speedup",
+    ]);
+    let mut records = Vec::new();
+    for &(label, scale) in scales {
+        let cfg = paper_corpus().scaled_size(scale);
+        let corpus = generate_personal(&cfg);
+        let corpus_dir = scratch.join(format!("corpus-{label}"));
+        corpus.write_to(&corpus_dir).expect("corpus renders");
+        let semex = SemexBuilder::new()
+            .add_directory("desktop", &corpus_dir)
+            .build()
+            .expect("build the platform");
+        std::fs::remove_dir_all(&corpus_dir).ok();
+        let objects = semex.stats().objects;
+        let snap = scratch.join(format!("{label}.snapshot"));
+        semex.save(&snap).expect("seed snapshot");
+        drop(semex);
+
+        // Seed one journal directory per format with the identical space.
+        let mut per_format = Vec::new();
+        for format in [SnapshotFormat::Json, SnapshotFormat::Binary] {
+            let journal = JournalConfig {
+                fsync: false,
+                snapshot_format: format,
+                ..JournalConfig::default()
+            };
+            let dir = scratch.join(format!("{label}-{}", format.extension()));
+            Semex::load(&snap, SemexConfig::default())
+                .expect("reload seed")
+                .into_durable(&dir, journal.clone())
+                .expect("seed journal dir");
+
+            // On-disk footprint: snapshot plus (for binary) the sidecar.
+            let disk_bytes: u64 = std::fs::read_dir(&dir)
+                .expect("journal dir")
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_str().unwrap_or("");
+                    name.contains("snapshot-") || name.ends_with(".idx")
+                })
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum();
+
+            let mut opens_ms = Vec::with_capacity(iterations);
+            let mut peaks = Vec::with_capacity(iterations);
+            let mut residents = Vec::with_capacity(iterations);
+            let mut sample = None;
+            for _ in 0..iterations {
+                let live_before = alloc_meter::live();
+                alloc_meter::reset_peak();
+                let t0 = Instant::now();
+                let (open, report) =
+                    Semex::open_durable_with(&dir, SemexConfig::default(), journal.clone())
+                        .expect("cold open");
+                opens_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert!(report.damage.is_none(), "clean space: {report:?}");
+                peaks.push(alloc_meter::peak().saturating_sub(live_before));
+                residents.push(alloc_meter::live().saturating_sub(live_before));
+                sample = Some(answers(&open));
+            }
+            opens_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            per_format.push((
+                format,
+                disk_bytes,
+                opens_ms,
+                *peaks.iter().max().unwrap(),
+                *residents.iter().max().unwrap(),
+                sample.unwrap(),
+            ));
+        }
+        std::fs::remove_file(&snap).ok();
+
+        // Dual-read equivalence: the binary space answers every query
+        // byte-identically to the JSON space it was seeded from.
+        assert_eq!(
+            per_format[0].5, per_format[1].5,
+            "binary answers diverged from JSON at scale {label}"
+        );
+
+        let json_p50 = pct(&per_format[0].2, 0.5);
+        let bin_p50 = pct(&per_format[1].2, 0.5);
+        let speedup = json_p50 / bin_p50;
+        for (format, disk_bytes, opens_ms, peak, resident, _) in &per_format {
+            let binary = matches!(format, SnapshotFormat::Binary);
+            table.row(vec![
+                label.to_string(),
+                format.extension().to_string(),
+                disk_bytes.to_string(),
+                format!("{:.2}", pct(opens_ms, 0.5)),
+                format!("{:.2}", pct(opens_ms, 0.99)),
+                format!("{:.1}", *peak as f64 / (1024.0 * 1024.0)),
+                format!("{:.1}", *resident as f64 / (1024.0 * 1024.0)),
+                if binary {
+                    format!("{speedup:.1}x")
+                } else {
+                    "1.0x".to_string()
+                },
+            ]);
+            records.push(serde_json::json!({
+                "scale": label,
+                "objects": objects,
+                "format": format.extension(),
+                "disk_bytes": *disk_bytes,
+                "cold_open_p50_ms": pct(opens_ms, 0.5),
+                "cold_open_p99_ms": pct(opens_ms, 0.99),
+                "peak_transient_bytes": *peak,
+                "resident_bytes": *resident,
+                "cold_open_speedup_p50": if binary { speedup } else { 1.0 },
+            }));
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "peak = high-water allocation during the open (decode scratch); \
+         resident = bytes still live with the space held open\n"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let bench = serde_json::json!({
+        "experiment": "e15-snapshot",
+        "mode": mode,
+        "iterations": iterations,
+        "scales": records,
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_snapshot.json", record) {
+        eprintln!("could not write BENCH_snapshot.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_snapshot.json ({mode}, {} rows)\n",
+            scales.len() * 2
         );
     }
 }

@@ -6,7 +6,8 @@ use semex_extract::csv::{parse_csv, Table};
 use semex_index::SearchIndex;
 use semex_integrate::{import, ImportReport, SchemaMatcher};
 use semex_journal::{
-    CompactionReport, DurableStore, Journal, JournalConfig, JournalError, JournalIo, RecoveryReport,
+    CompactionReport, DurableStore, Journal, JournalConfig, JournalError, JournalIo,
+    RecoveryReport, SnapshotFormat,
 };
 use semex_store::{ObjectId, SnapshotError, Store, StoreEvent, StoreStats};
 use std::fmt;
@@ -563,7 +564,7 @@ impl Semex {
         journal_config: JournalConfig,
     ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
         let (durable, report) = DurableStore::open(dir, journal_config)?;
-        Ok((Semex::assemble_durable(durable, config), report))
+        Ok((Semex::assemble_durable(durable, config, &report), report))
     }
 
     /// [`Semex::open_durable_with`] through an explicit [`JournalIo`]
@@ -575,16 +576,62 @@ impl Semex {
         io: std::sync::Arc<dyn JournalIo>,
     ) -> Result<(DurableSemex, RecoveryReport), JournalError> {
         let (durable, report) = DurableStore::open_with_io(dir, journal_config, io)?;
-        Ok((Semex::assemble_durable(durable, config), report))
+        Ok((Semex::assemble_durable(durable, config, &report), report))
     }
 
-    fn assemble_durable(durable: DurableStore, config: SemexConfig) -> DurableSemex {
+    fn assemble_durable(
+        durable: DurableStore,
+        config: SemexConfig,
+        report: &RecoveryReport,
+    ) -> DurableSemex {
         let (store, journal) = durable.into_parts();
-        let index = SearchIndex::build_threaded(&store, config.recon.threads.max(1));
+        let restored = Semex::restore_index(&store, &journal, report);
+        // `fresh` = the sidecar already matches the recovered position
+        // byte-for-byte, so re-writing it would only add an fsync to the
+        // cold-open path the sidecar exists to make cheap.
+        let fresh = matches!(restored, Some((_, true)));
+        let index = restored
+            .map(|(index, _)| index)
+            .unwrap_or_else(|| SearchIndex::build_threaded(&store, config.recon.threads.max(1)));
         let indexed = index.doc_count();
         let mut semex = Semex::assemble(store, index, config, BuildReport::restored(indexed));
         semex.retain_events = true;
-        DurableSemex { semex, journal }
+        let durable = DurableSemex { semex, journal };
+        if !fresh {
+            durable.refresh_index_sidecar();
+        }
+        durable
+    }
+
+    /// Try to restore the keyword index from the epoch's binary sidecar
+    /// instead of rebuilding it from the store. The sidecar is *advisory*:
+    /// it is used only when intact (CRC-verified) and stamped inside the
+    /// recovered journal position — at `(epoch, seq)` with `seq` on the
+    /// replayed prefix — and the journal tail past its seq is folded in
+    /// with the same delta path live commits use (equivalence-tested
+    /// against a scratch build). Anything else returns `None` and the
+    /// caller rebuilds.
+    fn restore_index(
+        store: &Store,
+        journal: &Journal,
+        report: &RecoveryReport,
+    ) -> Option<(SearchIndex, bool)> {
+        if journal.config().snapshot_format != SnapshotFormat::Binary {
+            // The JSON gate keeps the original full-rebuild path.
+            return None;
+        }
+        let bytes = journal.read_index_sidecar().ok()??;
+        let sidecar = SearchIndex::from_sidecar(&bytes).ok()?;
+        if sidecar.epoch != report.epoch || sidecar.seq < report.base_seq {
+            return None;
+        }
+        let already_folded = usize::try_from(sidecar.seq - report.base_seq).ok()?;
+        let tail = report.replayed.get(already_folded..)?;
+        let mut index = sidecar.index;
+        if !tail.is_empty() {
+            index.apply_events(store, tail);
+        }
+        Some((index, tail.is_empty()))
     }
 
     /// Put an already-built platform under journal protection: the
@@ -614,10 +661,12 @@ impl Semex {
         self.store.enable_events();
         self.retain_events = true;
         self.pending_events.clear();
-        Ok(DurableSemex {
+        let durable = DurableSemex {
             semex: self,
             journal,
-        })
+        };
+        durable.refresh_index_sidecar();
+        Ok(durable)
     }
 }
 
@@ -736,10 +785,32 @@ impl DurableSemex {
     }
 
     /// Commit, then fold the whole journal into a new snapshot and delete
-    /// the old epoch's files.
+    /// the old epoch's files. Under the binary snapshot format the keyword
+    /// index is also persisted as the new epoch's sidecar, so the next
+    /// open skips the rebuild.
     pub fn compact(&mut self) -> Result<CompactionReport, JournalError> {
         self.commit()?;
-        self.journal.compact(&self.semex.store)
+        let report = self.journal.compact(&self.semex.store)?;
+        self.refresh_index_sidecar();
+        Ok(report)
+    }
+
+    /// Persist the current keyword index as the epoch's binary sidecar.
+    /// Best-effort and binary-format only: the sidecar is advisory (any
+    /// damage just costs the next open a rebuild), so failures are
+    /// swallowed rather than failing the commit path that triggered it.
+    fn refresh_index_sidecar(&self) {
+        if self.journal.config().snapshot_format != SnapshotFormat::Binary {
+            return;
+        }
+        // Stamp the position the index actually reflects. The index has
+        // folded every journaled event in (callers flush first), so that
+        // is the journal's next sequence number.
+        let bytes = self
+            .semex
+            .index
+            .to_sidecar(self.journal.epoch(), self.journal.next_seq());
+        self.journal.write_index_sidecar(&bytes).ok();
     }
 
     /// Detach the platform from its journal (for read-only use of a

@@ -22,6 +22,15 @@ impl TermDict {
         TermDict::default()
     }
 
+    /// An empty dictionary pre-sized for `n` terms — sidecar restore knows
+    /// the exact count up front and skips every rehash on the way there.
+    pub fn with_capacity(n: usize) -> Self {
+        TermDict {
+            ids: HashMap::with_capacity(n),
+            terms: Vec::with_capacity(n),
+        }
+    }
+
     /// Intern a term, returning its dense id (allocating the next id when
     /// the term is new). The hit path allocates nothing.
     pub fn intern(&mut self, term: &str) -> u32 {

@@ -32,6 +32,7 @@ mod dict;
 mod postings;
 mod query;
 mod search;
+mod sidecar;
 mod tokenizer;
 mod topk;
 
@@ -40,4 +41,5 @@ pub use dict::TermDict;
 pub use postings::{Posting, PostingList};
 pub use query::Query;
 pub use search::{Hit, SearchIndex};
+pub use sidecar::{PostingsReader, Sidecar, SIDECAR_MAGIC, SIDECAR_VERSION};
 pub use tokenizer::{index_tokens, index_tokens_into, STOPWORDS};

@@ -372,6 +372,61 @@ impl SearchIndex {
         self.apply_calls
     }
 
+    /// Every piece of state the binary sidecar format persists, borrowed.
+    /// (`doc_of` is derivable from `docs`; `apply_calls` restarts at zero.)
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn sidecar_parts(
+        &self,
+    ) -> (
+        &TermDict,
+        &[PostingList],
+        &[DocEntry],
+        &[Vec<(u32, f32)>],
+        usize,
+        f64,
+        Bm25Params,
+    ) {
+        (
+            &self.dict,
+            &self.postings,
+            &self.docs,
+            &self.doc_terms,
+            self.live_docs,
+            self.total_len,
+            self.params,
+        )
+    }
+
+    /// Reassemble an index from decoded sidecar state: `doc_of` is rebuilt
+    /// from the live doc slots, `apply_calls` restarts at zero.
+    pub(crate) fn from_sidecar_parts(
+        dict: TermDict,
+        postings: Vec<PostingList>,
+        docs: Vec<DocEntry>,
+        doc_terms: Vec<Vec<(u32, f32)>>,
+        live_docs: usize,
+        total_len: f64,
+        params: Bm25Params,
+    ) -> Self {
+        let doc_of = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.live)
+            .map(|(i, d)| (d.object, i as u32))
+            .collect();
+        SearchIndex {
+            dict,
+            postings,
+            docs,
+            doc_terms,
+            doc_of,
+            live_docs,
+            total_len,
+            params,
+            apply_calls: 0,
+        }
+    }
+
     /// Number of distinct terms with at least one live posting.
     pub fn term_count(&self) -> usize {
         self.postings.iter().filter(|l| l.live > 0).count()

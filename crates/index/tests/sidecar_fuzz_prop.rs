@@ -1,0 +1,106 @@
+//! Property tests for the index sidecar codec: arbitrary corpora round-trip
+//! to byte-identical search results, and arbitrary corruption of the image
+//! (truncation, bit flips) is a typed error — the decoder never panics.
+
+use proptest::prelude::*;
+use semex_index::{Query, SearchIndex};
+use semex_model::Value;
+use semex_store::{SourceInfo, SourceKind, Store};
+
+const WORDS: [&str; 12] = [
+    "garcia",
+    "halevy",
+    "semex",
+    "integration",
+    "database",
+    "query",
+    "association",
+    "snapshot",
+    "journal",
+    "tenant",
+    "postings",
+    "recovery",
+];
+
+/// Build a store whose people carry fuzz-chosen word salads, plus an index
+/// that has absorbed a few merges (tombstones + pooled docs).
+fn build(names: &[Vec<usize>], merges: &[(usize, usize)]) -> (Store, SearchIndex) {
+    let mut st = Store::with_builtin_model();
+    let person = st.model().class("Person").unwrap();
+    let name = st.model().attr("name").unwrap();
+    st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+    let objs: Vec<_> = names
+        .iter()
+        .map(|words| {
+            let p = st.add_object(person);
+            let text = words
+                .iter()
+                .map(|&w| WORDS[w % WORDS.len()])
+                .collect::<Vec<_>>()
+                .join(" ");
+            st.add_attr(p, name, Value::from(text.as_str())).unwrap();
+            p
+        })
+        .collect();
+    st.enable_events();
+    let mut idx = SearchIndex::build(&st);
+    for &(w, l) in merges {
+        let (w, l) = (objs[w % objs.len()], objs[l % objs.len()]);
+        if st.resolve(w) != st.resolve(l) {
+            st.merge(w, l).unwrap();
+        }
+    }
+    let events = st.take_events();
+    idx.apply_events(&st, &events);
+    (st, idx)
+}
+
+fn results(idx: &SearchIndex, st: &Store, q: &str) -> Vec<(u64, String)> {
+    idx.search(st, &Query::parse(q), 10)
+        .into_iter()
+        .map(|h| (h.object.0, format!("{:.6}", h.score)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_indexes_round_trip(
+        names in prop::collection::vec(prop::collection::vec(0usize..12, 1..6), 1..16),
+        merges in prop::collection::vec((0usize..16, 0usize..16), 0..4),
+        epoch in 0u64..1000,
+        seq in 0u64..100_000,
+    ) {
+        let (st, idx) = build(&names, &merges);
+        let bytes = idx.to_sidecar(epoch, seq);
+        let side = SearchIndex::from_sidecar(&bytes).unwrap();
+        prop_assert_eq!(side.epoch, epoch);
+        prop_assert_eq!(side.seq, seq);
+        for q in ["garcia", "semex journal", "query database", "missingword"] {
+            prop_assert_eq!(results(&side.index, &st, q), results(&idx, &st, q), "{}", q);
+        }
+    }
+
+    #[test]
+    fn corrupted_sidecars_are_typed_errors(
+        names in prop::collection::vec(prop::collection::vec(0usize..12, 1..5), 1..8),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (_st, idx) = build(&names, &[]);
+        let bytes = idx.to_sidecar(3, 9);
+        // Truncation never decodes.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(SearchIndex::from_sidecar(&bytes[..cut]).is_err(), "cut {}", cut);
+        // A single bit flip never decodes (every byte is CRC-guarded).
+        let mut bad = bytes.clone();
+        let pos = ((bytes.len() as f64) * flip_frac) as usize % bytes.len();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            SearchIndex::from_sidecar(&bad).is_err(),
+            "flip at {} bit {}", pos, bit
+        );
+    }
+}

@@ -1,13 +1,16 @@
 //! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), hand-rolled so the journal
-//! adds no dependencies. Table-driven, one byte per step — plenty for
-//! journal records, whose cost is dominated by serialization and I/O.
+//! adds no dependencies. Slice-by-8 table-driven: eight bytes per step, so
+//! checksumming a multi-megabyte snapshot costs a fraction of a millisecond
+//! on the cold-open path instead of dominating it.
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, computed at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Eight 256-entry lookup tables, computed at compile time. `TABLES[0]` is
+/// the classic byte-at-a-time table; `TABLES[k]` advances a byte `k` extra
+/// positions, letting eight bytes fold in per iteration.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -20,17 +23,40 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
 /// CRC-32 checksum of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes(c[..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -56,5 +82,24 @@ mod tests {
         let mut flipped = b"semex journal record".to_vec();
         flipped[7] ^= 0x01;
         assert_ne!(crc32(&flipped), base);
+    }
+
+    #[test]
+    fn sliced_path_matches_byte_at_a_time() {
+        // Cross-check every length 0..64 so the 8-byte fast path and the
+        // remainder loop agree with the reference definition.
+        let reference = |bytes: &[u8]| -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            !crc
+        };
+        let data: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 }

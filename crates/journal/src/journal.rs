@@ -17,11 +17,12 @@
 //! the rollback fails the journal marks itself *wedged* and refuses further
 //! appends until [`Journal::reopen`] re-establishes a clean tail.
 
+use crate::crc32::crc32;
 use crate::io::{JournalFile, JournalIo, RealIo};
 use crate::record::{self, Decoded, COMMIT_MARKER};
 use crate::segment::{
-    parse_segment_name, parse_snapshot_name, segment_file_name, snapshot_file_name, SegmentHeader,
-    FORMAT_VERSION, SEGMENT_HEADER_LEN,
+    index_file_name, parse_index_name, parse_segment_name, parse_snapshot_name, segment_file_name,
+    snapshot_file_name, SegmentHeader, SnapshotFormat, FORMAT_VERSION, SEGMENT_HEADER_LEN,
 };
 use semex_store::{SnapshotError, Store, StoreEvent};
 use serde::{Deserialize, Serialize};
@@ -160,6 +161,10 @@ pub struct JournalConfig {
     /// Base delay of the exponential backoff between retries (doubled per
     /// attempt). Zero disables sleeping, which tests use.
     pub retry_backoff: Duration,
+    /// On-disk format new snapshots are written in. Both formats are
+    /// always *read*; a space migrates to the configured format at its
+    /// next compaction.
+    pub snapshot_format: SnapshotFormat,
 }
 
 impl Default for JournalConfig {
@@ -169,6 +174,7 @@ impl Default for JournalConfig {
             fsync: true,
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
+            snapshot_format: SnapshotFormat::Json,
         }
     }
 }
@@ -229,6 +235,11 @@ pub struct RecoveryReport {
     /// truncations, undeletable stale files). The recovered *state* is
     /// unaffected, but the next recovery may re-report the same damage.
     pub warnings: Vec<String>,
+    /// The committed events replayed on top of the snapshot, in order
+    /// (`events_applied` of them). A caller holding a persisted view of
+    /// the snapshot state — the index sidecar — folds exactly these in to
+    /// catch up without a rebuild.
+    pub replayed: Vec<StoreEvent>,
 }
 
 /// What compaction did.
@@ -422,6 +433,7 @@ impl Journal {
                 self.next_seq,
                 store,
                 self.config.fsync,
+                self.config.snapshot_format,
             ) {
                 Ok(()) => break,
                 Err(e) if e.is_transient() && attempt < self.config.max_retries => {
@@ -483,12 +495,16 @@ impl Journal {
 
     fn count_current_epoch_events(&self) -> u64 {
         // next_seq minus the base of the current snapshot; read it back
-        // lazily (compaction is rare).
-        let path = self.dir.join(snapshot_file_name(self.epoch));
-        match read_snapshot_meta(self.io.as_ref(), &path) {
-            Ok(meta) => self.next_seq.saturating_sub(meta.seq),
-            Err(_) => 0,
+        // lazily (compaction is rare). The snapshot may be in either
+        // format — the configured one is only guaranteed from the next
+        // compaction on.
+        for format in [SnapshotFormat::Binary, SnapshotFormat::Json] {
+            let path = self.dir.join(snapshot_file_name(self.epoch, format));
+            if let Ok(meta) = read_snapshot_meta(self.io.as_ref(), &path, format) {
+                return self.next_seq.saturating_sub(meta.seq);
+            }
         }
+        0
     }
 
     /// One attempt at appending the payload batch plus its commit marker.
@@ -642,10 +658,14 @@ impl Journal {
             return (0, 0);
         };
         for (name, len) in entries {
-            let stale = match (parse_snapshot_name(&name), parse_segment_name(&name)) {
-                (Some(epoch), _) => epoch < keep_epoch,
-                (_, Some((epoch, _))) => epoch < keep_epoch,
-                _ => name.ends_with(".tmp"),
+            let stale = if let Some((epoch, _)) = parse_snapshot_name(&name) {
+                epoch < keep_epoch
+            } else if let Some((epoch, _)) = parse_segment_name(&name) {
+                epoch < keep_epoch
+            } else if let Some(epoch) = parse_index_name(&name) {
+                epoch < keep_epoch
+            } else {
+                name.ends_with(".tmp")
             };
             if stale && self.io.remove_file(&self.dir.join(&name)).is_ok() {
                 removed += 1;
@@ -654,34 +674,102 @@ impl Journal {
         }
         (removed, bytes)
     }
+
+    /// Atomically write the search-index sidecar for the current epoch.
+    /// The sidecar is advisory — any damage makes the opener fall back to
+    /// rebuilding the index from the store — so callers usually treat
+    /// failures as warnings, not fatal.
+    pub fn write_index_sidecar(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        write_file_atomic(
+            self.io.as_ref(),
+            &self.dir,
+            &index_file_name(self.epoch),
+            bytes,
+            self.config.fsync,
+        )
+    }
+
+    /// Read the current epoch's search-index sidecar, if one exists.
+    /// `Ok(None)` when absent; the caller validates contents and CRCs.
+    pub fn read_index_sidecar(&self) -> Result<Option<Vec<u8>>, JournalError> {
+        let path = self.dir.join(index_file_name(self.epoch));
+        match self.io.read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(JournalError::io(&path, e)),
+        }
+    }
 }
 
-/// Atomically write the `epoch` snapshot of `store` (meta line + store
-/// JSON) via a temp file and rename. On failure the temp file is removed
-/// best-effort and the previous snapshot is untouched.
-pub(crate) fn write_snapshot(
+/// Magic bytes of a binary snapshot's journal wrapper header.
+const BIN_SNAPSHOT_MAGIC: &[u8; 8] = b"SEMEXSNJ";
+
+/// Size of the binary snapshot's journal wrapper header: magic +
+/// journal version (u32) + epoch (u64) + seq (u64) + CRC32 of the
+/// preceding 28 bytes. The store's own binary image follows.
+const BIN_SNAPSHOT_HEADER: usize = 32;
+
+/// Serialize the journal wrapper header of a binary snapshot.
+fn encode_bin_snapshot_header(meta: &SnapshotMeta) -> [u8; BIN_SNAPSHOT_HEADER] {
+    let mut h = [0u8; BIN_SNAPSHOT_HEADER];
+    h[..8].copy_from_slice(BIN_SNAPSHOT_MAGIC);
+    h[8..12].copy_from_slice(&meta.journal_version.to_le_bytes());
+    h[12..20].copy_from_slice(&meta.epoch.to_le_bytes());
+    h[20..28].copy_from_slice(&meta.seq.to_le_bytes());
+    let crc = crc32(&h[..28]);
+    h[28..32].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Parse and verify the journal wrapper header of a binary snapshot.
+fn decode_bin_snapshot_header(bytes: &[u8], path: &Path) -> Result<SnapshotMeta, JournalError> {
+    let invalid = |reason: String| JournalError::Invalid {
+        dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+        reason,
+    };
+    if bytes.len() < BIN_SNAPSHOT_HEADER || &bytes[..8] != BIN_SNAPSHOT_MAGIC {
+        return Err(invalid(format!(
+            "snapshot {} is not a binary snapshot (bad magic)",
+            path.display()
+        )));
+    }
+    let declared = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    if crc32(&bytes[..28]) != declared {
+        return Err(invalid(format!(
+            "snapshot {} has a corrupt header (CRC mismatch)",
+            path.display()
+        )));
+    }
+    let journal_version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if journal_version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "snapshot {} has journal format version {journal_version}, this build reads {FORMAT_VERSION}",
+            path.display()
+        )));
+    }
+    Ok(SnapshotMeta {
+        journal_version,
+        epoch: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        seq: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+    })
+}
+
+/// Atomically write `contents` via a temp file and rename. On failure the
+/// temp file is removed best-effort and the destination is untouched.
+pub(crate) fn write_file_atomic(
     io: &dyn JournalIo,
     dir: &Path,
-    epoch: u64,
-    seq: u64,
-    store: &Store,
+    name: &str,
+    contents: &[u8],
     fsync: bool,
 ) -> Result<(), JournalError> {
-    let final_path = dir.join(snapshot_file_name(epoch));
-    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
-    let meta = SnapshotMeta {
-        journal_version: FORMAT_VERSION,
-        epoch,
-        seq,
-    };
-    let mut contents = serde_json::to_string(&meta)?;
-    contents.push('\n');
-    contents.push_str(&store.to_json());
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
     let written = (|| -> Result<(), JournalError> {
         let mut f = io
             .create_truncate(&tmp_path)
             .map_err(|e| JournalError::io(&tmp_path, e))?;
-        f.write_all(contents.as_bytes())
+        f.write_all(contents)
             .map_err(|e| JournalError::io(&tmp_path, e))?;
         if fsync {
             f.sync_all().map_err(|e| JournalError::io(&tmp_path, e))?;
@@ -700,6 +788,45 @@ pub(crate) fn write_snapshot(
     Ok(())
 }
 
+/// Atomically write the `epoch` snapshot of `store` in the given format.
+pub(crate) fn write_snapshot(
+    io: &dyn JournalIo,
+    dir: &Path,
+    epoch: u64,
+    seq: u64,
+    store: &Store,
+    fsync: bool,
+    format: SnapshotFormat,
+) -> Result<(), JournalError> {
+    let meta = SnapshotMeta {
+        journal_version: FORMAT_VERSION,
+        epoch,
+        seq,
+    };
+    let contents: Vec<u8> = match format {
+        SnapshotFormat::Json => {
+            let mut s = serde_json::to_string(&meta)?;
+            s.push('\n');
+            s.push_str(&store.to_json()?);
+            s.into_bytes()
+        }
+        SnapshotFormat::Binary => {
+            let image = store.to_binary()?;
+            let mut bytes = Vec::with_capacity(BIN_SNAPSHOT_HEADER + image.len());
+            bytes.extend_from_slice(&encode_bin_snapshot_header(&meta));
+            bytes.extend_from_slice(&image);
+            bytes
+        }
+    };
+    write_file_atomic(
+        io,
+        dir,
+        &snapshot_file_name(epoch, format),
+        &contents,
+        fsync,
+    )
+}
+
 /// Read a whole file as UTF-8.
 fn read_utf8(io: &dyn JournalIo, path: &Path) -> Result<String, JournalError> {
     let bytes = io.read(path).map_err(|e| JournalError::io(path, e))?;
@@ -709,37 +836,73 @@ fn read_utf8(io: &dyn JournalIo, path: &Path) -> Result<String, JournalError> {
     })
 }
 
-/// Read just the meta line of a snapshot file.
-fn read_snapshot_meta(io: &dyn JournalIo, path: &Path) -> Result<SnapshotMeta, JournalError> {
-    let contents = read_utf8(io, path)?;
-    let meta_line = contents.lines().next().unwrap_or("");
-    Ok(serde_json::from_str(meta_line)?)
+/// Read just the meta of a snapshot file.
+fn read_snapshot_meta(
+    io: &dyn JournalIo,
+    path: &Path,
+    format: SnapshotFormat,
+) -> Result<SnapshotMeta, JournalError> {
+    match format {
+        SnapshotFormat::Json => {
+            let contents = read_utf8(io, path)?;
+            let meta_line = contents.lines().next().unwrap_or("");
+            Ok(serde_json::from_str(meta_line)?)
+        }
+        SnapshotFormat::Binary => {
+            let bytes = io.read(path).map_err(|e| JournalError::io(path, e))?;
+            decode_bin_snapshot_header(&bytes, path)
+        }
+    }
 }
 
-/// Load a snapshot file: meta line, then the store image.
-fn read_snapshot(io: &dyn JournalIo, path: &Path) -> Result<(SnapshotMeta, Store), JournalError> {
-    let contents = read_utf8(io, path)?;
-    let (meta_line, store_json) =
-        contents
-            .split_once('\n')
-            .ok_or_else(|| JournalError::Invalid {
-                dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
-                reason: format!("snapshot {} has no meta line", path.display()),
-            })?;
-    let meta: SnapshotMeta = serde_json::from_str(meta_line)?;
-    if meta.journal_version != FORMAT_VERSION {
-        return Err(JournalError::Invalid {
-            dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
-            reason: format!(
-                "snapshot {} has journal format version {}, this build reads {}",
-                path.display(),
-                meta.journal_version,
-                FORMAT_VERSION
-            ),
-        });
+/// Load a snapshot file: journal meta, then the store image.
+fn read_snapshot(
+    io: &dyn JournalIo,
+    path: &Path,
+    format: SnapshotFormat,
+) -> Result<(SnapshotMeta, Store), JournalError> {
+    match format {
+        SnapshotFormat::Json => {
+            let contents = read_utf8(io, path)?;
+            let (meta_line, store_json) =
+                contents
+                    .split_once('\n')
+                    .ok_or_else(|| JournalError::Invalid {
+                        dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+                        reason: format!("snapshot {} has no meta line", path.display()),
+                    })?;
+            let meta: SnapshotMeta = serde_json::from_str(meta_line)?;
+            if meta.journal_version != FORMAT_VERSION {
+                return Err(JournalError::Invalid {
+                    dir: path.parent().unwrap_or(Path::new("")).to_path_buf(),
+                    reason: format!(
+                        "snapshot {} has journal format version {}, this build reads {}",
+                        path.display(),
+                        meta.journal_version,
+                        FORMAT_VERSION
+                    ),
+                });
+            }
+            let store = Store::from_json(store_json)?;
+            Ok((meta, store))
+        }
+        SnapshotFormat::Binary => {
+            let bytes = io.read(path).map_err(|e| JournalError::io(path, e))?;
+            let meta = decode_bin_snapshot_header(&bytes, path)?;
+            let store = Store::from_binary(&bytes[BIN_SNAPSHOT_HEADER..])?;
+            Ok((meta, store))
+        }
     }
-    let store = Store::from_json(store_json)?;
-    Ok((meta, store))
+}
+
+/// Whether a snapshot-read failure is *damage to the file itself* —
+/// eligible for falling back to the previous epoch — as opposed to a hard
+/// I/O error that would affect any file in the directory.
+fn is_snapshot_damage(e: &JournalError) -> bool {
+    matches!(
+        e,
+        JournalError::Snapshot(_) | JournalError::Invalid { .. } | JournalError::Encode(_)
+    )
 }
 
 /// Open a journal directory: load the newest snapshot, replay its epoch's
@@ -799,17 +962,17 @@ fn recover_inner(
         .map_err(|e| JournalError::io(dir, e))?;
 
     // Inventory the directory.
-    let mut snapshot_epochs: Vec<u64> = Vec::new();
+    let mut snapshots: Vec<(u64, SnapshotFormat)> = Vec::new();
     let mut segments: Vec<(u64, u64)> = Vec::new();
     for (name, _) in io.list_dir(dir).map_err(|e| JournalError::io(dir, e))? {
-        if let Some(epoch) = parse_snapshot_name(&name) {
-            snapshot_epochs.push(epoch);
+        if let Some(key) = parse_snapshot_name(&name) {
+            snapshots.push(key);
         } else if let Some(key) = parse_segment_name(&name) {
             segments.push(key);
         }
     }
 
-    let Some(&epoch) = snapshot_epochs.iter().max() else {
+    if snapshots.is_empty() {
         if !segments.is_empty() {
             return Err(JournalError::Invalid {
                 dir: dir.to_path_buf(),
@@ -818,7 +981,15 @@ fn recover_inner(
         }
         // Fresh directory: initialize epoch 0.
         let store = initial.unwrap_or_else(Store::with_builtin_model);
-        write_snapshot(io.as_ref(), dir, 0, 0, &store, config.fsync)?;
+        write_snapshot(
+            io.as_ref(),
+            dir,
+            0,
+            0,
+            &store,
+            config.fsync,
+            config.snapshot_format,
+        )?;
         let journal = Journal {
             dir: dir.to_path_buf(),
             config,
@@ -838,20 +1009,53 @@ fn recover_inner(
             damage: None,
             initialized: true,
             warnings: Vec::new(),
+            replayed: Vec::new(),
         };
         return Ok((store, journal, report));
-    };
+    }
 
-    let (meta, mut store) = read_snapshot(io.as_ref(), &dir.join(snapshot_file_name(epoch)))?;
-    if meta.epoch != epoch {
+    // Newest epoch first; within an epoch prefer the binary image (the
+    // format a migrating compaction writes last). A snapshot with typed
+    // damage — torn section, bad CRC, truncated offset table — falls back
+    // to the next candidate; the damaged file is removed so segments of
+    // its epoch are not replayed onto the wrong base. Hard I/O errors
+    // propagate: they would affect every candidate alike.
+    snapshots.sort_by_key(|&(epoch, format)| {
+        (std::cmp::Reverse(epoch), format != SnapshotFormat::Binary)
+    });
+    let mut fallback_warnings: Vec<String> = Vec::new();
+    let mut chosen: Option<(u64, SnapshotFormat, SnapshotMeta, Store)> = None;
+    for &(epoch, format) in &snapshots {
+        let path = dir.join(snapshot_file_name(epoch, format));
+        match read_snapshot(io.as_ref(), &path, format) {
+            Ok((meta, store)) if meta.epoch == epoch => {
+                chosen = Some((epoch, format, meta, store));
+                break;
+            }
+            Ok((meta, _)) => {
+                fallback_warnings.push(format!(
+                    "snapshot {} records epoch {} inside; falling back",
+                    path.display(),
+                    meta.epoch
+                ));
+                io.remove_file(&path).ok();
+            }
+            Err(e) if is_snapshot_damage(&e) => {
+                fallback_warnings.push(format!(
+                    "snapshot {} is damaged ({e}); falling back",
+                    path.display()
+                ));
+                io.remove_file(&path).ok();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let Some((epoch, format, meta, mut store)) = chosen else {
         return Err(JournalError::Invalid {
             dir: dir.to_path_buf(),
-            reason: format!(
-                "snapshot file for epoch {epoch} records epoch {} inside",
-                meta.epoch
-            ),
+            reason: format!("no usable snapshot: {}", fallback_warnings.join("; ")),
         });
-    }
+    };
 
     let mut report = RecoveryReport {
         epoch,
@@ -860,20 +1064,24 @@ fn recover_inner(
         segments_replayed: 0,
         damage: None,
         initialized: false,
-        warnings: Vec::new(),
+        warnings: fallback_warnings,
+        replayed: Vec::new(),
     };
 
-    // Clean up files a crashed compaction left behind: older snapshots,
-    // other-epoch segments, temp files. Failures become warnings — the
-    // files are ignored by replay either way.
-    for e in &snapshot_epochs {
-        if *e < epoch {
-            let path = dir.join(snapshot_file_name(*e));
+    // Clean up files a crashed compaction left behind: older (or damaged
+    // same-epoch, other-format) snapshots, other-epoch segments, stale
+    // index sidecars, temp files. Failures become warnings — the files
+    // are ignored by replay either way.
+    for &(e, f) in &snapshots {
+        if e < epoch || (e == epoch && f != format) {
+            let path = dir.join(snapshot_file_name(e, f));
             if let Err(err) = io.remove_file(&path) {
-                report.warnings.push(format!(
-                    "stale snapshot {} not removed: {err}",
-                    path.display()
-                ));
+                if err.kind() != std::io::ErrorKind::NotFound {
+                    report.warnings.push(format!(
+                        "stale snapshot {} not removed: {err}",
+                        path.display()
+                    ));
+                }
             }
         }
     }
@@ -885,6 +1093,13 @@ fn recover_inner(
                     "stale segment {} not removed: {err}",
                     path.display()
                 ));
+            }
+        }
+    }
+    if let Ok(entries) = io.list_dir(dir) {
+        for (name, _) in entries {
+            if parse_index_name(&name).is_some_and(|e| e != epoch) {
+                io.remove_file(&dir.join(&name)).ok();
             }
         }
     }
@@ -951,6 +1166,7 @@ fn recover_inner(
                             }
                             committed_seq += 1;
                             report.events_applied += 1;
+                            report.replayed.push(event);
                         }
                         watermark = Some((pos, offset as u64));
                     } else {

@@ -83,14 +83,62 @@ pub fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
     Some((epoch.parse().ok()?, index.parse().ok()?))
 }
 
-/// File name of the `epoch` snapshot.
-pub fn snapshot_file_name(epoch: u64) -> String {
-    format!("snapshot-{epoch:010}.json")
+/// On-disk encoding of an epoch snapshot.
+///
+/// Both formats are read transparently on recovery (the directory is
+/// inventoried by file name); the configured format decides what new
+/// snapshots are written in, so a space migrates at its next compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// Line-oriented JSON: a meta line, then the store's JSON snapshot.
+    /// The original format, kept alive behind this gate.
+    #[default]
+    Json,
+    /// Versioned little-endian binary image (`semex_store::binary`) behind
+    /// a fixed journal header; opened lazily and CRC-verified per section.
+    Binary,
 }
 
-/// Parse the epoch out of a snapshot file name.
-pub fn parse_snapshot_name(name: &str) -> Option<u64> {
-    let epoch = name.strip_prefix("snapshot-")?.strip_suffix(".json")?;
+impl SnapshotFormat {
+    /// The file extension this format uses.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            SnapshotFormat::Json => "json",
+            SnapshotFormat::Binary => "bin",
+        }
+    }
+}
+
+/// File name of the `epoch` snapshot in the given format.
+pub fn snapshot_file_name(epoch: u64, format: SnapshotFormat) -> String {
+    format!("snapshot-{epoch:010}.{}", format.extension())
+}
+
+/// Parse the epoch and format out of a snapshot file name.
+pub fn parse_snapshot_name(name: &str) -> Option<(u64, SnapshotFormat)> {
+    let rest = name.strip_prefix("snapshot-")?;
+    let (epoch, format) = if let Some(e) = rest.strip_suffix(".json") {
+        (e, SnapshotFormat::Json)
+    } else if let Some(e) = rest.strip_suffix(".bin") {
+        (e, SnapshotFormat::Binary)
+    } else {
+        return None;
+    };
+    if epoch.len() != 10 {
+        return None;
+    }
+    Some((epoch.parse().ok()?, format))
+}
+
+/// File name of the `epoch` search-index sidecar (written next to binary
+/// snapshots so a durable open can skip the index rebuild).
+pub fn index_file_name(epoch: u64) -> String {
+    format!("index-{epoch:010}.idx")
+}
+
+/// Parse the epoch out of an index sidecar file name.
+pub fn parse_index_name(name: &str) -> Option<u64> {
+    let epoch = name.strip_prefix("index-")?.strip_suffix(".idx")?;
     if epoch.len() != 10 {
         return None;
     }
@@ -110,10 +158,29 @@ mod tests {
         );
         assert_eq!(parse_segment_name("wal-3-12.log"), None);
         assert_eq!(parse_segment_name("snapshot-0000000003.json"), None);
-        assert_eq!(snapshot_file_name(0), "snapshot-0000000000.json");
-        assert_eq!(parse_snapshot_name("snapshot-0000000007.json"), Some(7));
+        assert_eq!(
+            snapshot_file_name(0, SnapshotFormat::Json),
+            "snapshot-0000000000.json"
+        );
+        assert_eq!(
+            snapshot_file_name(0, SnapshotFormat::Binary),
+            "snapshot-0000000000.bin"
+        );
+        assert_eq!(
+            parse_snapshot_name("snapshot-0000000007.json"),
+            Some((7, SnapshotFormat::Json))
+        );
+        assert_eq!(
+            parse_snapshot_name("snapshot-0000000007.bin"),
+            Some((7, SnapshotFormat::Binary))
+        );
         assert_eq!(parse_snapshot_name("snapshot-0000000007.json.tmp"), None);
+        assert_eq!(parse_snapshot_name("snapshot-0000000007.bin.tmp"), None);
         assert_eq!(parse_snapshot_name("wal-0000000003-0000000012.log"), None);
+        assert_eq!(index_file_name(7), "index-0000000007.idx");
+        assert_eq!(parse_index_name("index-0000000007.idx"), Some(7));
+        assert_eq!(parse_index_name("index-0000000007.idx.tmp"), None);
+        assert_eq!(parse_index_name("snapshot-0000000007.json"), None);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Integration tests for binary-format snapshots: round trips through
+//! commit/compact/reopen, migration from JSON spaces, and epoch fallback
+//! when a binary snapshot is damaged.
+
+use semex_journal::{segment, DurableStore, JournalConfig, SnapshotFormat};
+use semex_model::names::{assoc, attr, class};
+use semex_model::Value;
+use semex_store::{ObjectId, SourceInfo, SourceKind, Store};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("semex-binfmt-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(format: SnapshotFormat) -> JournalConfig {
+    JournalConfig {
+        fsync: false,
+        snapshot_format: format,
+        ..JournalConfig::default()
+    }
+}
+
+/// Deterministic mutation scenario (mirrors the recovery suite).
+fn scenario(st: &mut Store) {
+    let person = st.model().class(class::PERSON).unwrap();
+    let publication = st.model().class(class::PUBLICATION).unwrap();
+    let authored = st.model().assoc(assoc::AUTHORED_BY).unwrap();
+    let name = st.model().attr(attr::NAME).unwrap();
+    let title = st.model().attr(attr::TITLE).unwrap();
+    let src = st.register_source(SourceInfo::new("inbox", SourceKind::Synthetic));
+    let ann = st.add_object(person);
+    let smith = st.add_object(person);
+    st.add_attr(ann, name, Value::from("Ann Smith")).unwrap();
+    st.add_attr(smith, name, Value::from("A. Smith")).unwrap();
+    st.add_source_to(ann, src);
+    let paper = st.add_object(publication);
+    st.add_attr(paper, title, Value::from("On Binary Snapshots"))
+        .unwrap();
+    st.add_triple(paper, authored, smith, src).unwrap();
+    st.merge(ann, smith).unwrap();
+}
+
+fn assert_same_store(recovered: &Store, expected: &Store) {
+    assert_eq!(recovered.slot_count(), expected.slot_count(), "slot count");
+    assert_eq!(recovered.triples_raw(), expected.triples_raw(), "triples");
+    for i in 0..expected.slot_count() {
+        let id = ObjectId(i as u64);
+        assert_eq!(
+            recovered.object_raw(id),
+            expected.object_raw(id),
+            "slot {i}"
+        );
+        assert_eq!(recovered.resolve(id), expected.resolve(id), "alias {i}");
+    }
+}
+
+/// Names of all snapshot files in a journal directory.
+fn snapshot_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+        .filter(|n| segment::parse_snapshot_name(n).is_some())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn binary_space_round_trips_through_commit_compact_reopen() {
+    let dir = scratch("roundtrip");
+    let (mut durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert!(report.initialized);
+    // The fresh epoch-0 snapshot is already binary.
+    assert_eq!(
+        snapshot_names(&dir),
+        vec![segment::snapshot_file_name(0, SnapshotFormat::Binary)]
+    );
+
+    scenario(durable.store_mut());
+    durable.commit().unwrap();
+    let live = durable.store().clone();
+    drop(durable);
+
+    // Reopen: recover from binary snapshot + WAL replay.
+    let (mut durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert!(report.damage.is_none(), "{report:?}");
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    assert_same_store(durable.store(), &live);
+
+    // Compact folds everything into a binary epoch-1 snapshot.
+    let c = durable.compact().unwrap();
+    assert_eq!(c.epoch, 1);
+    assert_eq!(
+        snapshot_names(&dir),
+        vec![segment::snapshot_file_name(1, SnapshotFormat::Binary)]
+    );
+    drop(durable);
+
+    let (durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert_eq!(report.epoch, 1);
+    assert!(report.damage.is_none(), "{report:?}");
+    assert_same_store(durable.store(), &live);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_space_migrates_to_binary_at_compaction() {
+    let dir = scratch("migrate");
+    // Build a JSON-format space first.
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Json)).unwrap();
+    scenario(durable.store_mut());
+    durable.commit().unwrap();
+    let live = durable.store().clone();
+    drop(durable);
+    assert_eq!(
+        snapshot_names(&dir),
+        vec![segment::snapshot_file_name(0, SnapshotFormat::Json)]
+    );
+
+    // Reopen with the binary config: the JSON snapshot is still read
+    // (formats are a read-both, write-configured gate) …
+    let (mut durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert!(report.damage.is_none(), "{report:?}");
+    assert_same_store(durable.store(), &live);
+
+    // … and the next compaction rewrites the space in binary.
+    let c = durable.compact().unwrap();
+    assert_eq!(c.epoch, 1);
+    assert_eq!(
+        snapshot_names(&dir),
+        vec![segment::snapshot_file_name(1, SnapshotFormat::Binary)]
+    );
+    drop(durable);
+
+    let (durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert_same_store(durable.store(), &live);
+
+    // And back: a JSON-configured compaction migrates the space again.
+    drop(durable);
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Json)).unwrap();
+    let person = durable.store().model().class(class::PERSON).unwrap();
+    durable.store_mut().add_object(person);
+    durable.commit().unwrap();
+    let live = durable.store().clone();
+    durable.compact().unwrap();
+    drop(durable);
+    assert_eq!(
+        snapshot_names(&dir),
+        vec![segment::snapshot_file_name(2, SnapshotFormat::Json)]
+    );
+    let (durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Json)).unwrap();
+    assert_same_store(durable.store(), &live);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_binary_snapshot_falls_back_to_previous_epoch() {
+    let dir = scratch("fallback");
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    scenario(durable.store_mut());
+    durable.commit().unwrap();
+    let live = durable.store().clone();
+    drop(durable);
+
+    // Save the epoch-0 files, compact to epoch 1, then put the epoch-0
+    // files back: exactly the directory a crash between "write new
+    // snapshot" and "delete old epoch" leaves behind.
+    let saved: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| {
+            let name = e.file_name().to_str().unwrap().to_owned();
+            (name.clone(), fs::read(dir.join(&name)).unwrap())
+        })
+        .collect();
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    durable.compact().unwrap();
+    drop(durable);
+    for (name, bytes) in &saved {
+        if !dir.join(name).exists() {
+            fs::write(dir.join(name), bytes).unwrap();
+        }
+    }
+
+    // Corrupt the epoch-1 binary snapshot.
+    let snap1 = dir.join(segment::snapshot_file_name(1, SnapshotFormat::Binary));
+    let mut bytes = fs::read(&snap1).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&snap1, &bytes).unwrap();
+
+    // Recovery reports the damage as a warning, falls back to epoch 0, and
+    // still reaches the full committed state by replaying epoch 0's WAL.
+    let (durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert_eq!(report.epoch, 0, "fell back to the previous epoch");
+    assert!(
+        report.warnings.iter().any(|w| w.contains("snapshot")),
+        "damage surfaced as a warning: {:?}",
+        report.warnings
+    );
+    assert!(!snap1.exists(), "damaged snapshot removed");
+    assert_same_store(durable.store(), &live);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_sole_binary_snapshot_is_a_typed_error() {
+    let dir = scratch("sole");
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    scenario(durable.store_mut());
+    durable.commit().unwrap();
+    durable.compact().unwrap();
+    drop(durable);
+
+    let snap = dir.join(segment::snapshot_file_name(1, SnapshotFormat::Binary));
+    let mut bytes = fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&snap, &bytes).unwrap();
+
+    let err = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("no usable snapshot"), "typed error: {msg}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_binary_snapshot_falls_back_too() {
+    let dir = scratch("truncated");
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    scenario(durable.store_mut());
+    durable.commit().unwrap();
+    let live = durable.store().clone();
+    drop(durable);
+
+    let saved: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| {
+            let name = e.file_name().to_str().unwrap().to_owned();
+            (name.clone(), fs::read(dir.join(&name)).unwrap())
+        })
+        .collect();
+    let (mut durable, _) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    durable.compact().unwrap();
+    drop(durable);
+    for (name, bytes) in &saved {
+        if !dir.join(name).exists() {
+            fs::write(dir.join(name), bytes).unwrap();
+        }
+    }
+
+    // Tear the epoch-1 snapshot in half (torn write at compaction).
+    let snap1 = dir.join(segment::snapshot_file_name(1, SnapshotFormat::Binary));
+    let bytes = fs::read(&snap1).unwrap();
+    fs::write(&snap1, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (durable, report) = DurableStore::open(&dir, config(SnapshotFormat::Binary)).unwrap();
+    assert_eq!(report.epoch, 0);
+    assert!(!report.warnings.is_empty());
+    assert_same_store(durable.store(), &live);
+    fs::remove_dir_all(&dir).ok();
+}

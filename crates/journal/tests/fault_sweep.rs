@@ -20,7 +20,7 @@
 
 use semex_journal::{
     recover_with_io, FaultIo, FaultPlan, Journal, JournalConfig, JournalError, JournalIo,
-    RecoveryReport,
+    RecoveryReport, SnapshotFormat,
 };
 use semex_model::names::{assoc, attr, class};
 use semex_model::Value;
@@ -41,11 +41,13 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 /// Sweep config: fsync on (sync ops are fault points too), no backoff
-/// sleeping.
-fn cfg() -> JournalConfig {
+/// sleeping. Both snapshot formats are swept — the binary writer is on the
+/// same fault surface as the JSON one.
+fn cfg(format: SnapshotFormat) -> JournalConfig {
     JournalConfig {
         fsync: true,
         retry_backoff: Duration::ZERO,
+        snapshot_format: format,
         ..JournalConfig::default()
     }
 }
@@ -88,12 +90,12 @@ fn batches() -> [Vec<StoreEvent>; 3] {
 fn boundary_states() -> [String; 4] {
     let b = batches();
     let mut st = Store::with_builtin_model();
-    let mut states = vec![st.to_json()];
+    let mut states = vec![st.to_json().unwrap()];
     for batch in &b {
         for e in batch {
             st.apply_event(e).unwrap();
         }
-        states.push(st.to_json());
+        states.push(st.to_json().unwrap());
     }
     states.try_into().unwrap()
 }
@@ -117,7 +119,12 @@ struct WorkloadRun {
 /// re-runs a failed *recovery* step once when its error is transient (the
 /// workload-level analog of the journal's internal retry, for the one
 /// operation class that has none).
-fn run_workload(dir: &Path, io: Arc<dyn JournalIo>, retry_transient_steps: bool) -> WorkloadRun {
+fn run_workload(
+    dir: &Path,
+    io: Arc<dyn JournalIo>,
+    retry_transient_steps: bool,
+    format: SnapshotFormat,
+) -> WorkloadRun {
     let b = batches();
     let mut run = WorkloadRun {
         append_outcomes: [StepOutcome::Skipped; 3],
@@ -127,10 +134,10 @@ fn run_workload(dir: &Path, io: Arc<dyn JournalIo>, retry_transient_steps: bool)
     };
 
     let recover_step = || -> Option<(Store, Journal, RecoveryReport)> {
-        match recover_with_io(dir, cfg(), io.clone()) {
+        match recover_with_io(dir, cfg(format), io.clone()) {
             Ok(v) => Some(v),
             Err(e) if retry_transient_steps && e.is_transient() => {
-                recover_with_io(dir, cfg(), io.clone()).ok()
+                recover_with_io(dir, cfg(format), io.clone()).ok()
             }
             Err(_) => None,
         }
@@ -170,23 +177,22 @@ fn run_workload(dir: &Path, io: Arc<dyn JournalIo>, retry_transient_steps: bool)
 
 /// Fault-free pass: returns the workload's total I/O op count and the
 /// reference final state.
-fn fault_free_op_count() -> (u64, String) {
+fn fault_free_op_count(format: SnapshotFormat) -> (u64, String) {
     let dir = scratch("ref");
     let io = FaultIo::new(FaultPlan::None);
-    let run = run_workload(&dir, Arc::new(io.clone()), false);
+    let run = run_workload(&dir, Arc::new(io.clone()), false, format);
     assert_eq!(run.append_outcomes, [StepOutcome::Ok; 3]);
     assert_eq!(run.compact_ok, Some(true));
     let (store, rep) = run.final_recover.expect("fault-free run must recover");
     assert!(rep.damage.is_none(), "{rep:?}");
-    let reference = store.to_json();
+    let reference = store.to_json().unwrap();
     assert_eq!(reference, boundary_states()[3]);
     std::fs::remove_dir_all(&dir).ok();
     (io.op_count(), reference)
 }
 
-#[test]
-fn sweep_crash_at_every_op_preserves_acked_commits() {
-    let (total_ops, _) = fault_free_op_count();
+fn sweep_crash(format: SnapshotFormat) {
+    let (total_ops, _) = fault_free_op_count(format);
     let boundaries = boundary_states();
     assert!(
         total_ops > 20,
@@ -196,7 +202,7 @@ fn sweep_crash_at_every_op_preserves_acked_commits() {
     for at in 0..total_ops {
         let dir = scratch("crash");
         let io = FaultIo::new(FaultPlan::Crash { at });
-        let run = run_workload(&dir, Arc::new(io.clone()), false);
+        let run = run_workload(&dir, Arc::new(io.clone()), false, format);
 
         let acked = run
             .append_outcomes
@@ -208,9 +214,9 @@ fn sweep_crash_at_every_op_preserves_acked_commits() {
         // Power comes back: recovery must land on a commit boundary no
         // earlier than the last ack.
         io.clear_faults();
-        let (store, _, rep) = recover_with_io(&dir, cfg(), Arc::new(io.clone()))
+        let (store, _, rep) = recover_with_io(&dir, cfg(format), Arc::new(io.clone()))
             .unwrap_or_else(|e| panic!("recovery after crash at op {at} failed: {e}"));
-        let recovered = store.to_json();
+        let recovered = store.to_json().unwrap();
         let allowed = &boundaries[acked..=attempted];
         assert!(
             allowed.contains(&recovered),
@@ -218,22 +224,33 @@ fn sweep_crash_at_every_op_preserves_acked_commits() {
              [acked {acked}, attempted {attempted}] (report {rep:?})"
         );
         // Repair round-trips byte-identically and cleanly.
-        let (store2, _, rep2) = recover_with_io(&dir, cfg(), Arc::new(io.clone())).unwrap();
+        let (store2, _, rep2) = recover_with_io(&dir, cfg(format), Arc::new(io.clone())).unwrap();
         assert!(
             rep2.damage.is_none(),
             "crash at op {at}: damage survived repair: {rep2:?} (first: {rep:?})"
         );
-        assert_eq!(store2.to_json(), recovered, "crash at op {at}");
+        assert_eq!(store2.to_json().unwrap(), recovered, "crash at op {at}");
         survived += 1;
         std::fs::remove_dir_all(&dir).ok();
     }
-    println!("fault sweep [crash]: {total_ops} ops swept, {survived} recoveries verified");
+    println!(
+        "fault sweep [crash, {format:?}]: {total_ops} ops swept, {survived} recoveries verified"
+    );
     assert_eq!(survived, total_ops);
 }
 
 #[test]
-fn sweep_transient_fault_at_every_op_is_absorbed() {
-    let (total_ops, reference) = fault_free_op_count();
+fn sweep_crash_at_every_op_preserves_acked_commits() {
+    sweep_crash(SnapshotFormat::Json);
+}
+
+#[test]
+fn sweep_crash_at_every_op_preserves_acked_commits_binary() {
+    sweep_crash(SnapshotFormat::Binary);
+}
+
+fn sweep_transient(format: SnapshotFormat) {
+    let (total_ops, reference) = fault_free_op_count(format);
     let mut survived = 0u64;
     let mut injected = 0u64;
     for at in 0..total_ops {
@@ -250,7 +267,7 @@ fn sweep_transient_fault_at_every_op_is_absorbed() {
         ] {
             let dir = scratch("transient");
             let io = FaultIo::new(plan);
-            let run = run_workload(&dir, Arc::new(io.clone()), true);
+            let run = run_workload(&dir, Arc::new(io.clone()), true, format);
             assert_eq!(
                 run.append_outcomes,
                 [StepOutcome::Ok; 3],
@@ -265,29 +282,38 @@ fn sweep_transient_fault_at_every_op_is_absorbed() {
                 .final_recover
                 .unwrap_or_else(|| panic!("transient {plan:?}: no final recovery"));
             assert!(rep.damage.is_none(), "transient {plan:?}: {rep:?}");
-            assert_eq!(store.to_json(), reference, "transient {plan:?}");
+            assert_eq!(store.to_json().unwrap(), reference, "transient {plan:?}");
             injected += io.faults_injected();
             survived += 1;
             std::fs::remove_dir_all(&dir).ok();
         }
     }
     println!(
-        "fault sweep [transient]: {total_ops} ops × 3 kinds swept, \
+        "fault sweep [transient, {format:?}]: {total_ops} ops × 3 kinds swept, \
          {survived} runs converged, {injected} faults injected"
     );
     assert_eq!(survived, total_ops * 3);
 }
 
 #[test]
-fn sweep_disk_full_at_every_op_converges_after_space_clears() {
-    let (total_ops, reference) = fault_free_op_count();
+fn sweep_transient_fault_at_every_op_is_absorbed() {
+    sweep_transient(SnapshotFormat::Json);
+}
+
+#[test]
+fn sweep_transient_fault_at_every_op_is_absorbed_binary() {
+    sweep_transient(SnapshotFormat::Binary);
+}
+
+fn sweep_disk_full(format: SnapshotFormat) {
+    let (total_ops, reference) = fault_free_op_count(format);
     let boundaries = boundary_states();
     let b = batches();
     let mut survived = 0u64;
     for at in 0..total_ops {
         let dir = scratch("full");
         let io = FaultIo::new(FaultPlan::DiskFull { at });
-        let run = run_workload(&dir, Arc::new(io.clone()), false);
+        let run = run_workload(&dir, Arc::new(io.clone()), false, format);
         let acked = run
             .append_outcomes
             .iter()
@@ -297,9 +323,9 @@ fn sweep_disk_full_at_every_op_converges_after_space_clears() {
 
         // Operator frees space; the journal must converge to the reference.
         io.clear_faults();
-        let (store, mut j, _) = recover_with_io(&dir, cfg(), Arc::new(io.clone()))
+        let (store, mut j, _) = recover_with_io(&dir, cfg(format), Arc::new(io.clone()))
             .unwrap_or_else(|e| panic!("disk-full at op {at}: recovery failed: {e}"));
-        let recovered = store.to_json();
+        let recovered = store.to_json().unwrap();
         let allowed = &boundaries[acked..=attempted];
         assert!(
             allowed.contains(&recovered),
@@ -311,14 +337,26 @@ fn sweep_disk_full_at_every_op_converges_after_space_clears() {
                 .unwrap_or_else(|e| panic!("disk-full at op {at}: re-append failed: {e}"));
         }
         drop(j);
-        let (fin, _, rep) = recover_with_io(&dir, cfg(), Arc::new(io.clone())).unwrap();
+        let (fin, _, rep) = recover_with_io(&dir, cfg(format), Arc::new(io.clone())).unwrap();
         assert!(rep.damage.is_none(), "disk-full at op {at}: {rep:?}");
-        assert_eq!(fin.to_json(), reference, "disk-full at op {at}");
+        assert_eq!(fin.to_json().unwrap(), reference, "disk-full at op {at}");
         survived += 1;
         std::fs::remove_dir_all(&dir).ok();
     }
-    println!("fault sweep [disk-full]: {total_ops} ops swept, {survived} runs converged");
+    println!(
+        "fault sweep [disk-full, {format:?}]: {total_ops} ops swept, {survived} runs converged"
+    );
     assert_eq!(survived, total_ops);
+}
+
+#[test]
+fn sweep_disk_full_at_every_op_converges_after_space_clears() {
+    sweep_disk_full(SnapshotFormat::Json);
+}
+
+#[test]
+fn sweep_disk_full_at_every_op_converges_after_space_clears_binary() {
+    sweep_disk_full(SnapshotFormat::Binary);
 }
 
 // ------------------------------------------------- retry & wedge units --
@@ -328,7 +366,7 @@ fn transient_append_fault_is_retried_and_absorbed() {
     let dir = scratch("retry");
     let io = FaultIo::new(FaultPlan::None);
     let arc: Arc<dyn JournalIo> = Arc::new(io.clone());
-    let (_, mut j, _) = recover_with_io(&dir, cfg(), arc).unwrap();
+    let (_, mut j, _) = recover_with_io(&dir, cfg(SnapshotFormat::Json), arc).unwrap();
     let b = batches();
     j.append_commit(&b[0]).unwrap();
     assert_eq!(j.retry_count(), 0);
@@ -344,9 +382,9 @@ fn transient_append_fault_is_retried_and_absorbed() {
     drop(j);
 
     io.clear_faults();
-    let (rs, _, rep) = recover_with_io(&dir, cfg(), Arc::new(io)).unwrap();
+    let (rs, _, rep) = recover_with_io(&dir, cfg(SnapshotFormat::Json), Arc::new(io)).unwrap();
     assert!(rep.damage.is_none(), "{rep:?}");
-    assert_eq!(rs.to_json(), boundary_states()[2]);
+    assert_eq!(rs.to_json().unwrap(), boundary_states()[2]);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -355,7 +393,7 @@ fn permanent_fault_mid_commit_wedges_and_reopen_recovers() {
     let dir = scratch("wedge");
     let io = FaultIo::new(FaultPlan::None);
     let arc: Arc<dyn JournalIo> = Arc::new(io.clone());
-    let (_, mut j, _) = recover_with_io(&dir, cfg(), arc).unwrap();
+    let (_, mut j, _) = recover_with_io(&dir, cfg(SnapshotFormat::Json), arc).unwrap();
     let b = batches();
     j.append_commit(&b[0]).unwrap();
 
@@ -375,16 +413,16 @@ fn permanent_fault_mid_commit_wedges_and_reopen_recovers() {
     let (recovered, rep) = j.reopen().unwrap();
     assert!(!j.is_wedged());
     assert_eq!(
-        recovered.to_json(),
+        recovered.to_json().unwrap(),
         boundary_states()[1],
         "failed commit leaked into recovery: {rep:?}"
     );
     j.append_commit(&b[1]).unwrap();
     drop(j);
 
-    let (rs, _, rep) = recover_with_io(&dir, cfg(), Arc::new(io)).unwrap();
+    let (rs, _, rep) = recover_with_io(&dir, cfg(SnapshotFormat::Json), Arc::new(io)).unwrap();
     assert!(rep.damage.is_none(), "{rep:?}");
-    assert_eq!(rs.to_json(), boundary_states()[2]);
+    assert_eq!(rs.to_json().unwrap(), boundary_states()[2]);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -392,7 +430,12 @@ fn permanent_fault_mid_commit_wedges_and_reopen_recovers() {
 fn unsealed_tail_is_discarded_on_recovery() {
     use std::io::Write;
     let dir = scratch("unsealed");
-    let (_, mut j, _) = recover_with_io(&dir, cfg(), Arc::new(semex_journal::RealIo)).unwrap();
+    let (_, mut j, _) = recover_with_io(
+        &dir,
+        cfg(SnapshotFormat::Json),
+        Arc::new(semex_journal::RealIo),
+    )
+    .unwrap();
     let b = batches();
     j.append_commit(&b[0]).unwrap();
     drop(j);
@@ -408,16 +451,26 @@ fn unsealed_tail_is_discarded_on_recovery() {
     f.write_all(&extra).unwrap();
     drop(f);
 
-    let (rs, _, rep) = recover_with_io(&dir, cfg(), Arc::new(semex_journal::RealIo)).unwrap();
+    let (rs, _, rep) = recover_with_io(
+        &dir,
+        cfg(SnapshotFormat::Json),
+        Arc::new(semex_journal::RealIo),
+    )
+    .unwrap();
     let damage = rep.damage.expect("unsealed tail must be reported");
     assert_eq!(damage.kind, semex_journal::DamageKind::Uncommitted);
     assert_eq!(damage.offset, len_sealed);
-    assert_eq!(rs.to_json(), boundary_states()[1]);
+    assert_eq!(rs.to_json().unwrap(), boundary_states()[1]);
 
     // Repaired: second recovery is clean, the file is back to sealed size.
-    let (rs2, _, rep2) = recover_with_io(&dir, cfg(), Arc::new(semex_journal::RealIo)).unwrap();
+    let (rs2, _, rep2) = recover_with_io(
+        &dir,
+        cfg(SnapshotFormat::Json),
+        Arc::new(semex_journal::RealIo),
+    )
+    .unwrap();
     assert!(rep2.damage.is_none(), "{rep2:?}");
-    assert_eq!(rs2.to_json(), rs.to_json());
+    assert_eq!(rs2.to_json().unwrap(), rs.to_json().unwrap());
     assert_eq!(std::fs::metadata(&seg).unwrap().len(), len_sealed);
     std::fs::remove_dir_all(&dir).ok();
 }

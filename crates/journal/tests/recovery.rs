@@ -318,10 +318,16 @@ fn compaction_folds_journal_and_state_survives() {
     assert_eq!(durable.journal().epoch(), 1);
     // Old-epoch files are gone; the new snapshot exists.
     assert!(!dir
-        .join(semex_journal::segment::snapshot_file_name(0))
+        .join(semex_journal::segment::snapshot_file_name(
+            0,
+            semex_journal::SnapshotFormat::Json
+        ))
         .exists());
     assert!(dir
-        .join(semex_journal::segment::snapshot_file_name(1))
+        .join(semex_journal::segment::snapshot_file_name(
+            1,
+            semex_journal::SnapshotFormat::Json
+        ))
         .exists());
 
     // Keep writing after compaction.

@@ -231,8 +231,8 @@ fn readers_never_observe_torn_epochs_and_writes_replay_sequentially() {
         .master
         .expect("single-tenant serve hands back its pinned master");
     assert_eq!(
-        canon(&replay.store().to_json()),
-        canon(&master.semex().store().to_json()),
+        canon(&replay.store().to_json().unwrap()),
+        canon(&master.semex().store().to_json().unwrap()),
         "post-shutdown store must be byte-identical to the sequential replay"
     );
     // And the final store really contains every acked token.

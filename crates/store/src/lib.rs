@@ -48,6 +48,7 @@
 //! assert_eq!(store.object(ann).strs(name).count(), 2);
 //! ```
 
+pub mod binary;
 mod events;
 mod object;
 mod provenance;
@@ -56,6 +57,7 @@ mod stats;
 mod store;
 mod triple;
 
+pub use binary::{BinaryError, SnapshotReader};
 pub use events::StoreEvent;
 pub use object::{Object, ObjectId};
 pub use provenance::{SourceId, SourceInfo, SourceKind};

@@ -25,6 +25,8 @@ pub enum SnapshotError {
         /// The version this build understands.
         expected: u32,
     },
+    /// Malformed binary snapshot image.
+    Binary(crate::BinaryError),
 }
 
 impl SnapshotError {
@@ -50,6 +52,7 @@ impl fmt::Display for SnapshotError {
                     "snapshot version {found} is not supported (expected {expected})"
                 )
             }
+            SnapshotError::Binary(e) => write!(f, "{e}"),
         }
     }
 }
@@ -60,6 +63,7 @@ impl std::error::Error for SnapshotError {
             SnapshotError::Json(e) => Some(e),
             SnapshotError::Io { error, .. } => Some(error),
             SnapshotError::Version { .. } => None,
+            SnapshotError::Binary(e) => Some(e),
         }
     }
 }
@@ -67,6 +71,12 @@ impl std::error::Error for SnapshotError {
 impl From<serde_json::Error> for SnapshotError {
     fn from(e: serde_json::Error) -> Self {
         SnapshotError::Json(e)
+    }
+}
+
+impl From<crate::BinaryError> for SnapshotError {
+    fn from(e: crate::BinaryError) -> Self {
+        SnapshotError::Binary(e)
     }
 }
 
@@ -86,8 +96,9 @@ const SNAPSHOT_VERSION: u32 = 1;
 
 impl Store {
     /// Serialize the store (model, objects including merge aliases, triples
-    /// with original provenance, sources) to JSON.
-    pub fn to_json(&self) -> String {
+    /// with original provenance, sources) to JSON. Serialization failure is
+    /// a typed error, not a panic, so save paths degrade gracefully.
+    pub fn to_json(&self) -> Result<String, SnapshotError> {
         let (model, objects, triples, sources) = self.parts();
         let snap = Snapshot {
             version: SNAPSHOT_VERSION,
@@ -96,7 +107,7 @@ impl Store {
             triples: triples.to_vec(),
             sources: sources.to_vec(),
         };
-        serde_json::to_string(&snap).expect("store snapshot serialization cannot fail")
+        Ok(serde_json::to_string(&snap)?)
     }
 
     /// Load a store from a JSON snapshot, rebuilding all indexes. A snapshot
@@ -130,7 +141,7 @@ impl Store {
         use std::io::Write;
         let file = std::fs::File::create(path).map_err(|e| SnapshotError::io(path, e))?;
         let mut f = std::io::BufWriter::new(file);
-        f.write_all(self.to_json().as_bytes())
+        f.write_all(self.to_json()?.as_bytes())
             .and_then(|()| f.flush())
             .map_err(|e| SnapshotError::io(path, e))?;
         Ok(())
@@ -165,7 +176,7 @@ mod tests {
         st.add_triple(pb, authored, p2, src).unwrap();
         st.merge(p1, p2).unwrap();
 
-        let json = st.to_json();
+        let json = st.to_json().unwrap();
         let st2 = Store::from_json(&json).unwrap();
         assert_eq!(st2.object_count(), st.object_count());
         assert_eq!(st2.alias_count(), 1);
@@ -199,7 +210,10 @@ mod tests {
     #[test]
     fn version_mismatch_is_distinct() {
         let st = Store::with_builtin_model();
-        let future = st.to_json().replacen("\"version\":1", "\"version\":2", 1);
+        let future = st
+            .to_json()
+            .unwrap()
+            .replacen("\"version\":1", "\"version\":2", 1);
         match Store::from_json(&future) {
             Err(crate::SnapshotError::Version {
                 found: 2,

@@ -751,7 +751,7 @@ mod tests {
         assert_eq!(st.neighbors(p, wears), &[b]);
         assert_eq!(st.class_count(badge), 1);
         // Snapshot round-trips the extended vocabulary and data.
-        let st2 = Store::from_json(&st.to_json()).unwrap();
+        let st2 = Store::from_json(&st.to_json().unwrap()).unwrap();
         assert_eq!(st2.neighbors(p, wears), &[b]);
         assert_eq!(st2.model().attr("nickname"), Some(a_nick));
     }
@@ -777,7 +777,7 @@ mod tests {
         assert_eq!(compact.object(new_p).strs(name).count(), 2);
         assert_eq!(compact.source(src).unwrap().name, "test");
         // The snapshot of the compacted store is smaller.
-        assert!(compact.to_json().len() < st.to_json().len());
+        assert!(compact.to_json().unwrap().len() < st.to_json().unwrap().len());
         // Only live ids appear in the mapping.
         assert!(!mapping.contains_key(&p2) || st.resolve(p2) == p1);
     }

@@ -1,0 +1,227 @@
+//! Property tests for the binary snapshot codec.
+//!
+//! Two families of properties back the zero-copy read path:
+//!
+//! 1. **Round trip** — an arbitrary store (all five value kinds, unicode
+//!    strings, merges, shared sources) encodes to binary and decodes back
+//!    to a semantically identical store (compared via the canonical JSON
+//!    snapshot).
+//! 2. **Decoder robustness** — arbitrary corruption of a valid image
+//!    (truncation, bit flips, section-table reordering, random splices)
+//!    yields a typed [`BinaryError`]; the decoder never panics and never
+//!    silently accepts damaged bytes.
+
+use proptest::prelude::*;
+use semex_model::{AssocDef, AttrDef, ClassDef, DomainModel, Value, ValueKind};
+use semex_store::{SnapshotReader, SourceInfo, SourceKind, Store};
+
+const KINDS: [SourceKind; 9] = [
+    SourceKind::Email,
+    SourceKind::Contacts,
+    SourceKind::Calendar,
+    SourceKind::Bibliography,
+    SourceKind::Latex,
+    SourceKind::FileSystem,
+    SourceKind::Spreadsheet,
+    SourceKind::External,
+    SourceKind::Synthetic,
+];
+
+/// Strings stressing the arena: empty, ascii, multi-byte UTF-8, long runs.
+const PALETTE: [&str; 8] = [
+    "",
+    "ann",
+    "Ann Smith",
+    "héloïse",
+    "データベース",
+    "𝒮ℰℳℰ𝒳",
+    "a b c d e f g h i j k l m n o p",
+    "x\u{0}y", // NUL inside a string must survive the arena
+];
+
+/// A model with an attribute of every [`ValueKind`], so the fuzz covers all
+/// five value tags (the builtin model has no Float/Bool attributes).
+fn fuzz_model() -> (DomainModel, [semex_model::AttrId; 5]) {
+    let mut m = DomainModel::empty();
+    let s = m.add_attr(AttrDef::new("s", ValueKind::Str)).unwrap();
+    let i = m.add_attr(AttrDef::new("i", ValueKind::Int)).unwrap();
+    let f = m.add_attr(AttrDef::new("f", ValueKind::Float)).unwrap();
+    let d = m.add_attr(AttrDef::new("d", ValueKind::Date)).unwrap();
+    let b = m.add_attr(AttrDef::new("b", ValueKind::Bool)).unwrap();
+    let thing = m
+        .add_class(
+            ClassDef::new("Thing")
+                .with_attrs(vec![s, i, f, d, b])
+                .with_label(s),
+        )
+        .unwrap();
+    m.add_assoc(AssocDef::new("Linked", thing, thing, "LinkedFrom"))
+        .unwrap();
+    (m, [s, i, f, d, b])
+}
+
+/// Deterministically build a store from fuzz choices. `attrs` entries are
+/// `(object, kind selector, payload)`; `edges` link objects; `merges`
+/// collapse them.
+fn build_store(
+    objects: usize,
+    attrs: &[(usize, usize, i64)],
+    edges: &[(usize, usize, usize)],
+    merges: &[(usize, usize)],
+    sources: &[(usize, usize)],
+) -> Store {
+    let (model, [a_s, a_i, a_f, a_d, a_b]) = fuzz_model();
+    let thing = model.class("Thing").unwrap();
+    let linked = model.assoc("Linked").unwrap();
+    let mut st = Store::new(model);
+    let srcs: Vec<_> = sources
+        .iter()
+        .enumerate()
+        .map(|(n, &(kind, loc))| {
+            let info = SourceInfo::new(format!("src-{n}"), KINDS[kind % KINDS.len()]);
+            let info = if loc % 3 == 0 {
+                info.at(PALETTE[loc % PALETTE.len()])
+            } else {
+                info
+            };
+            st.register_source(info)
+        })
+        .collect();
+    let objs: Vec<_> = (0..objects).map(|_| st.add_object(thing)).collect();
+    for &(o, sel, payload) in attrs {
+        let o = objs[o % objs.len()];
+        match sel % 5 {
+            0 => {
+                let s = format!(
+                    "{} {payload}",
+                    PALETTE[payload.unsigned_abs() as usize % PALETTE.len()]
+                );
+                st.add_attr(o, a_s, Value::Str(s)).unwrap()
+            }
+            1 => st.add_attr(o, a_i, Value::Int(payload)).unwrap(),
+            2 => st
+                .add_attr(o, a_f, Value::Float(payload as f64 / 3.0))
+                .unwrap(),
+            3 => st.add_attr(o, a_d, Value::Date(payload)).unwrap(),
+            4 => st.add_attr(o, a_b, Value::Bool(payload & 1 == 0)).unwrap(),
+            _ => unreachable!(),
+        };
+        if payload % 7 == 0 {
+            st.add_source_to(o, srcs[payload.unsigned_abs() as usize % srcs.len()]);
+        }
+    }
+    for &(a, b, s) in edges {
+        st.add_triple(
+            objs[a % objs.len()],
+            linked,
+            objs[b % objs.len()],
+            srcs[s % srcs.len()],
+        )
+        .unwrap();
+    }
+    for &(w, l) in merges {
+        let (w, l) = (objs[w % objs.len()], objs[l % objs.len()]);
+        if st.resolve(w) != st.resolve(l) {
+            st.merge(w, l).unwrap();
+        }
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_stores_round_trip(
+        objects in 1usize..10,
+        attrs in prop::collection::vec((0usize..10, 0usize..5, -1000i64..1000), 0..48),
+        edges in prop::collection::vec((0usize..10, 0usize..10, 0usize..4), 0..24),
+        merges in prop::collection::vec((0usize..10, 0usize..10), 0..6),
+        sources in prop::collection::vec((0usize..9, 0usize..8), 1..5),
+    ) {
+        let st = build_store(objects, &attrs, &edges, &merges, &sources);
+        let bytes = st.to_binary().unwrap();
+        let st2 = Store::from_binary(&bytes).unwrap();
+        prop_assert_eq!(st.to_json().unwrap(), st2.to_json().unwrap());
+        // The lazy reader agrees with the eager decode.
+        let r = SnapshotReader::open(&bytes).unwrap();
+        prop_assert_eq!(r.object_count(), st.slot_count());
+        prop_assert_eq!(r.triple_count(), st.triples_raw().len());
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_decodes(
+        attrs in prop::collection::vec((0usize..6, 0usize..5, -100i64..100), 0..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let st = build_store(6, &attrs, &[], &[], &[(0, 0)]);
+        let bytes = st.to_binary().unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        let r = SnapshotReader::open(&bytes[..cut]).map(|r| r.read_store());
+        prop_assert!(matches!(r, Err(_) | Ok(Err(_))), "truncation at {} accepted", cut);
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_never_decode(
+        attrs in prop::collection::vec((0usize..6, 0usize..5, -100i64..100), 0..16),
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0usize..2), 0..8),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let st = build_store(6, &attrs, &edges, &[], &[(1, 1), (2, 2)]);
+        let mut bytes = st.to_binary().unwrap();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let r = SnapshotReader::open(&bytes).map(|r| r.read_store());
+        prop_assert!(matches!(r, Err(_) | Ok(Err(_))), "flip at {} bit {} accepted", pos, bit);
+    }
+
+    #[test]
+    fn section_reordering_is_rejected(
+        attrs in prop::collection::vec((0usize..6, 0usize..5, -100i64..100), 1..16),
+        a in 0usize..5,
+        b in 0usize..5,
+        fix_crc in any::<bool>(),
+    ) {
+        if a == b {
+            return Ok(());
+        }
+        let st = build_store(6, &attrs, &[], &[], &[(0, 1)]);
+        let mut bytes = st.to_binary().unwrap();
+        // Swap two 24-byte section-table entries (table starts after the
+        // 16-byte fixed header). Optionally re-stamp the header CRC so the
+        // contiguity check, not just the checksum, must catch the swap.
+        let (ea, eb) = (16 + 24 * a, 16 + 24 * b);
+        for k in 0..24 {
+            bytes.swap(ea + k, eb + k);
+        }
+        if fix_crc {
+            let end = 16 + 24 * 5;
+            let crc = semex_store::binary::crc32(&bytes[..end]);
+            bytes[end..end + 4].copy_from_slice(&crc.to_le_bytes());
+        }
+        let r = SnapshotReader::open(&bytes).map(|r| r.read_store());
+        prop_assert!(matches!(r, Err(_) | Ok(Err(_))), "section swap {}<->{} accepted", a, b);
+    }
+
+    #[test]
+    fn random_splices_never_panic(
+        attrs in prop::collection::vec((0usize..6, 0usize..5, -100i64..100), 0..16),
+        at_frac in 0.0f64..1.0,
+        splice in prop::collection::vec(0u8..=255, 0..12),
+    ) {
+        let st = build_store(6, &attrs, &[], &[], &[(3, 0)]);
+        let mut bytes = st.to_binary().unwrap();
+        let at = ((bytes.len() as f64) * at_frac) as usize % bytes.len();
+        // Overwrite a run of bytes; whatever happens must be a typed error
+        // or a clean decode (a splice can be a no-op if it writes back the
+        // same bytes) — never a panic.
+        for (k, &v) in splice.iter().enumerate() {
+            if at + k < bytes.len() {
+                bytes[at + k] = v;
+            }
+        }
+        let _ = SnapshotReader::open(&bytes).map(|r| r.read_store());
+    }
+}

@@ -90,7 +90,7 @@ proptest! {
         }
 
         // Snapshot round-trip preserves the merged state exactly.
-        let st2 = Store::from_json(&st.to_json()).unwrap();
+        let st2 = Store::from_json(&st.to_json().unwrap()).unwrap();
         prop_assert_eq!(st2.object_count(), st.object_count());
         prop_assert_eq!(st2.assoc_count(authored), edges_after);
         for &p in &ps {

@@ -14,8 +14,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> durability fault sweep (a fault injected at every journal I/O op)"
+echo "==> durability fault sweep (a fault injected at every journal I/O op,"
+echo "    swept once per snapshot format: JSON and binary)"
 cargo test -q -p semex-journal --test fault_sweep -- --nocapture
+
+echo "==> binary snapshot suite (round trips, format migration, epoch fallback"
+echo "    on damage, and JSON/binary dual-read equivalence)"
+cargo test -q -p semex-journal --test binary_format
+cargo test -q --test format_equiv
+
+echo "==> decoder fuzz (hostile bytes -> typed errors, never panics; arbitrary"
+echo "    stores and indexes round-trip byte-identically)"
+cargo test -q -p semex-store --test binary_fuzz_prop
+cargo test -q -p semex-index --test sidecar_fuzz_prop
 
 echo "==> index equivalence suite (parallel/incremental/pruned vs oracle)"
 cargo test -q -p semex-index --test index_equiv_prop
@@ -33,6 +44,9 @@ cargo test -q -p semex-serve --test eviction_equiv
 
 echo "==> e14 smoke (multi-tenant serving at CI scale -> BENCH_tenants.json)"
 cargo run --release -q -p semex-bench --bin experiments -- e14-smoke
+
+echo "==> e15 smoke (binary vs JSON cold opens at CI scale -> BENCH_snapshot.json)"
+cargo run --release -q -p semex-bench --bin experiments -- e15-smoke
 
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

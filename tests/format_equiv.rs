@@ -1,0 +1,246 @@
+//! Dual-read equivalence: a space served from a binary snapshot (and its
+//! index sidecar) must answer every query byte-identically to the same
+//! space served from the JSON heap path, across commits, reopens, and
+//! compactions — and the epochs must march in lockstep.
+
+use semex::core::SourceSpec;
+use semex::corpus::{generate_personal, CorpusConfig};
+use semex::{JournalConfig, Semex, SemexBuilder, SemexConfig, SnapshotFormat};
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    // Tests in this binary run concurrently: a pid-keyed path alone would
+    // let two tests clobber each other's directories.
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let p = std::env::temp_dir().join(format!("semex-fmt-equiv-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn config(format: SnapshotFormat) -> JournalConfig {
+    JournalConfig {
+        fsync: false,
+        snapshot_format: format,
+        ..JournalConfig::default()
+    }
+}
+
+/// Render the corpus exactly once per process: extraction records absolute
+/// paths and file mtimes, so twins must be built from the *same* rendered
+/// tree to be byte-identical.
+fn corpus_dir() -> &'static Path {
+    static DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    DIR.get_or_init(|| {
+        let p = std::env::temp_dir().join(format!("semex-fmt-equiv-corpus-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        generate_personal(&CorpusConfig::tiny(2005))
+            .write_to(&p)
+            .unwrap();
+        p
+    })
+}
+
+fn built() -> Semex {
+    SemexBuilder::new()
+        .add_directory("demo", corpus_dir())
+        .build()
+        .unwrap()
+}
+
+const QUERIES: [&str; 6] = [
+    "garcia",
+    "class:Person data",
+    "class:Publication integration",
+    "semex personal information",
+    "class:Message meeting",
+    "nothingmatchesthis",
+];
+
+/// Full-precision rendering: hits must be *byte*-identical, scores included.
+fn results(semex: &Semex, query: &str) -> Vec<String> {
+    semex
+        .search(query, 10)
+        .into_iter()
+        .map(|h| format!("{}|{}|{}|{}", h.object.0, h.label, h.class, h.score))
+        .collect()
+}
+
+fn assert_equiv(a: &Semex, b: &Semex, at: &str) {
+    for q in QUERIES {
+        assert_eq!(results(a, q), results(b, q), "{at}: query {q:?}");
+    }
+    assert_eq!(
+        a.store().to_json().unwrap(),
+        b.store().to_json().unwrap(),
+        "{at}: store state"
+    );
+}
+
+fn sidecar_files(dir: &Path) -> Vec<String> {
+    let mut v: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+        .filter(|n| n.starts_with("index-") && n.ends_with(".idx"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn binary_and_json_twins_stay_byte_identical() {
+    let json_dir = scratch("twin-json");
+    let bin_dir = scratch("twin-bin");
+    let semex = built();
+    let twin = built();
+
+    // Seed twin journals, one per format.
+    let d_json = semex
+        .into_durable(&json_dir, config(SnapshotFormat::Json))
+        .unwrap();
+    let d_bin = twin
+        .into_durable(&bin_dir, config(SnapshotFormat::Binary))
+        .unwrap();
+    assert_eq!(d_json.journal().epoch(), d_bin.journal().epoch());
+    assert_equiv(&d_json, &d_bin, "after init");
+    assert_eq!(
+        sidecar_files(&bin_dir),
+        vec!["index-0000000000.idx".to_string()],
+        "binary init writes the index sidecar"
+    );
+    assert!(
+        sidecar_files(&json_dir).is_empty(),
+        "the JSON path has no sidecar"
+    );
+    drop(d_json);
+    drop(d_bin);
+
+    // Cold reopen: JSON recovers via the heap decode + index rebuild;
+    // binary maps the snapshot and restores the sidecar. Same answers.
+    let (mut d_json, r1) = Semex::open_durable_with(
+        &json_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Json),
+    )
+    .unwrap();
+    let (mut d_bin, r2) = Semex::open_durable_with(
+        &bin_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Binary),
+    )
+    .unwrap();
+    assert_eq!(r1.epoch, r2.epoch);
+    assert_equiv(&d_json, &d_bin, "after cold reopen");
+
+    // Identical writes on both twins, committed.
+    let vcf = "BEGIN:VCARD\nFN:Nova Garcia\nEMAIL:nova@example.edu\nEND:VCARD\n";
+    for d in [&mut d_json, &mut d_bin] {
+        d.ingest(SourceSpec::Vcard {
+            name: "late-contacts".into(),
+            content: vcf.into(),
+        })
+        .unwrap();
+        d.commit().unwrap();
+    }
+    assert_equiv(&d_json, &d_bin, "after identical writes");
+    drop(d_json);
+    drop(d_bin);
+
+    // Reopen again: binary's sidecar is now *behind* the journal tail, so
+    // the restore must fold the replayed events in — still identical.
+    let (mut d_json, _) = Semex::open_durable_with(
+        &json_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Json),
+    )
+    .unwrap();
+    let (mut d_bin, _) = Semex::open_durable_with(
+        &bin_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Binary),
+    )
+    .unwrap();
+    assert_equiv(&d_json, &d_bin, "after reopen with journal tail");
+
+    // Compaction advances the epochs in lockstep and re-stamps the sidecar.
+    let c1 = d_json.compact().unwrap();
+    let c2 = d_bin.compact().unwrap();
+    assert_eq!(c1.epoch, c2.epoch);
+    assert_eq!(d_json.journal().epoch(), d_bin.journal().epoch());
+    assert_equiv(&d_json, &d_bin, "after compaction");
+    assert_eq!(
+        sidecar_files(&bin_dir),
+        vec![format!("index-{:010}.idx", c2.epoch)],
+        "compaction replaces the sidecar"
+    );
+    drop(d_json);
+    drop(d_bin);
+
+    let (d_json, _) = Semex::open_durable_with(
+        &json_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Json),
+    )
+    .unwrap();
+    let (d_bin, _) = Semex::open_durable_with(
+        &bin_dir,
+        SemexConfig::default(),
+        config(SnapshotFormat::Binary),
+    )
+    .unwrap();
+    assert_equiv(&d_json, &d_bin, "after post-compaction reopen");
+
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::remove_dir_all(&bin_dir).ok();
+}
+
+#[test]
+fn sidecar_restore_equals_index_rebuild() {
+    let dir = scratch("restore-vs-rebuild");
+    let semex = built();
+    let d = semex
+        .into_durable(&dir, config(SnapshotFormat::Binary))
+        .unwrap();
+    drop(d);
+
+    // Opening the same binary space with the JSON config still reads the
+    // binary snapshot but skips the sidecar, forcing a full index rebuild:
+    // the restored index must be indistinguishable from the rebuilt one.
+    let (restored, _) =
+        Semex::open_durable_with(&dir, SemexConfig::default(), config(SnapshotFormat::Binary))
+            .unwrap();
+    let (rebuilt, _) =
+        Semex::open_durable_with(&dir, SemexConfig::default(), config(SnapshotFormat::Json))
+            .unwrap();
+    assert_equiv(&restored, &rebuilt, "sidecar restore vs rebuild");
+    drop(rebuilt);
+
+    // A stale (deleted) sidecar is only advisory: the open falls back to a
+    // rebuild and answers identically.
+    let side = dir.join("index-0000000000.idx");
+    assert!(side.exists());
+    std::fs::remove_file(&side).unwrap();
+    let (fallback, _) =
+        Semex::open_durable_with(&dir, SemexConfig::default(), config(SnapshotFormat::Binary))
+            .unwrap();
+    assert_equiv(&restored, &fallback, "missing sidecar falls back");
+
+    // A corrupted sidecar must never poison the open either.
+    let bytes = {
+        let d2 = fallback;
+        // The fallback open rebuilt and re-wrote the sidecar; corrupt it.
+        drop(d2);
+        let mut b = std::fs::read(&side).unwrap();
+        let mid = b.len() / 2;
+        b[mid] ^= 0xFF;
+        b
+    };
+    std::fs::write(&side, &bytes).unwrap();
+    let (corrupted, _) =
+        Semex::open_durable_with(&dir, SemexConfig::default(), config(SnapshotFormat::Binary))
+            .unwrap();
+    assert_equiv(&restored, &corrupted, "corrupt sidecar falls back");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -94,7 +94,7 @@ fn snapshot_preserves_extended_model() {
     let d = st.add_object(dataset);
     st.add_attr(d, a_name, "Cora".into()).unwrap();
 
-    let st2 = Store::from_json(&st.to_json()).unwrap();
+    let st2 = Store::from_json(&st.to_json().unwrap()).unwrap();
     assert_eq!(st2.model().class("Dataset"), Some(dataset));
     assert!(st2.model().derived("SharedDataset").is_some());
     assert_eq!(st2.class_count(dataset), 1);
