@@ -28,8 +28,10 @@ mod alloc_meter {
 
     static LIVE: AtomicUsize = AtomicUsize::new(0);
     static PEAK: AtomicUsize = AtomicUsize::new(0);
+    static TOTAL: AtomicUsize = AtomicUsize::new(0);
 
     fn add(n: usize) {
+        TOTAL.fetch_add(n, Ordering::Relaxed);
         let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
         PEAK.fetch_max(live, Ordering::Relaxed);
     }
@@ -74,6 +76,12 @@ mod alloc_meter {
     /// High-water mark since the last [`reset_peak`].
     pub fn peak() -> usize {
         PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes ever allocated (monotone; deltas measure the
+    /// allocation cost of a code region regardless of frees).
+    pub fn total() -> usize {
+        TOTAL.load(Ordering::Relaxed)
     }
 }
 
@@ -141,6 +149,11 @@ fn main() {
         e15_snapshot(false);
     } else if want("e15-smoke") {
         e15_snapshot(true);
+    }
+    if want("e16") {
+        e16_cache(false);
+    } else if want("e16-smoke") {
+        e16_cache(true);
     }
 }
 
@@ -2011,6 +2024,363 @@ fn e15_snapshot(smoke: bool) {
         println!(
             "wrote BENCH_snapshot.json ({mode}, {} rows)\n",
             scales.len() * 2
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// E16: epoch-keyed read caching & single-flight coalescing. A zipf query
+// log replayed against two twin servers — one with the read cache, one
+// without — over identically seeded tenants: hit rate, cached vs
+// uncached latency, allocation per request, and the 8-reader herd that
+// must collapse to a single evaluation.
+// ---------------------------------------------------------------------
+fn e16_cache(smoke: bool) {
+    use semex_core::JournalConfig;
+    use semex_serve::protocol::{IngestFormat, Request, Response};
+    use semex_serve::{serve_tenants, Client, PoolConfig, ServeConfig, TenantRegistry};
+    use std::sync::Arc;
+    use std::thread;
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("## E16 — read caching ({mode}): hit rate, latency, coalescing under zipf replay\n");
+
+    let tenants: usize = if smoke { 10 } else { 120 };
+    let replay_clients: usize = if smoke { 2 } else { 4 };
+    let replay_requests: usize = if smoke { 250 } else { 900 };
+    let queries_per_tenant: usize = 5;
+    let alloc_reads: usize = if smoke { 30 } else { 100 };
+
+    // One shared per-tenant payload: the synthetic personal mailbox. The
+    // same bytes go into every space (tenancy isolates them anyway), so
+    // uncached reads cost the same everywhere.
+    // Heavy enough that recomputing a read dwarfs the socket round trip
+    // (pattern joins and exhaustive searches over hundreds of messages).
+    let corpus = generate_personal(&CorpusConfig {
+        people: 40,
+        organizations: 8,
+        venues: 6,
+        publications: 60,
+        messages: if smoke { 120 } else { 240 },
+        ..CorpusConfig::default()
+    });
+    let seed_files: Vec<(IngestFormat, String, String)> = corpus
+        .files
+        .iter()
+        .filter_map(|(path, content)| {
+            let format = if path.ends_with(".mbox") {
+                IngestFormat::Mbox
+            } else if path.ends_with(".bib") {
+                IngestFormat::Bibtex
+            } else {
+                return None;
+            };
+            Some((format, path.clone(), content.clone()))
+        })
+        .collect();
+    assert!(seed_files.len() >= 2, "mailboxes and a bibliography");
+
+    let name_of = |i: usize| format!("space-{i:03}");
+    // The per-tenant query set: every shape the cache serves, heavy
+    // enough (pattern joins, exhaustive search) that a recomputation is
+    // worth skipping.
+    let query_of = |q: usize| -> Request {
+        match q % 5 {
+            0 => Request::Query {
+                pattern: "?a Sender ?p . ?b Recipient ?p".into(),
+            },
+            1 => Request::Query {
+                pattern: "?m Sender ?p . ?pub AuthoredBy ?p".into(),
+            },
+            2 => Request::Query {
+                pattern: "?pub AuthoredBy ?p . ?pub PublishedIn ?v . ?m Recipient ?p".into(),
+            },
+            3 => Request::Browse {
+                query: "class:Person".into(),
+            },
+            _ => Request::Search {
+                query: "draft review meeting".into(),
+                k: 10,
+                exhaustive: true,
+            },
+        }
+    };
+    let journal = JournalConfig {
+        fsync: false,
+        ..JournalConfig::default()
+    };
+    let scratch = std::env::temp_dir().join(format!("semex-e16-{mode}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let start = |tag: &str, cache_budget: usize| {
+        let registry = TenantRegistry::open(scratch.join(tag)).expect("registry");
+        let config = ServeConfig {
+            threads: replay_clients + 10,
+            ..ServeConfig::default()
+        };
+        let pool = PoolConfig {
+            cache_budget,
+            journal: journal.clone(),
+            ..PoolConfig::default()
+        };
+        serve_tenants(registry, "127.0.0.1:0", config, pool).expect("bind")
+    };
+    let cached = start("cached", 64 << 20);
+    let plain = start("plain", 0);
+
+    // Seed both servers identically; epochs match tenant by tenant, so
+    // every replayed read hits the same (tenant, epoch, request) key on
+    // the cached side each time it recurs.
+    for handle in [&cached, &plain] {
+        let mut client = Client::connect(handle.addr()).expect("seed client");
+        for i in 0..tenants {
+            client = client.with_tenant(name_of(i));
+            for (format, path, content) in &seed_files {
+                let response = client
+                    .request(&Request::Ingest {
+                        format: *format,
+                        name: path.clone(),
+                        content: content.clone(),
+                    })
+                    .expect("seed ingest");
+                assert!(matches!(response, Response::Ingested { .. }));
+            }
+        }
+    }
+
+    // Zipf replay: hot spaces and hot queries recur, the cold tail keeps
+    // missing. The same deterministic request log runs against both
+    // servers, so the latency columns differ only by the cache.
+    let zipf_cdf: Arc<Vec<f64>> = {
+        let weights: Vec<f64> = (0..tenants)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(1.1))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        Arc::new(
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect(),
+        )
+    };
+    let replay = |addr: std::net::SocketAddr| -> Vec<f64> {
+        let threads: Vec<_> = (0..replay_clients)
+            .map(|cid| {
+                let cdf = Arc::clone(&zipf_cdf);
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("replay client");
+                    let mut state = 0xC0FF_EE11u64 ^ ((cid as u64) << 21) ^ 0x9E37_79B9;
+                    let mut latencies = Vec::with_capacity(replay_requests);
+                    for _ in 0..replay_requests {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                        let pick = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+                        // Hot queries recur more, and the hot ones are the
+                        // expensive joins — the reads worth caching.
+                        let q = match (state as usize >> 3) % 10 {
+                            0..=3 => 0,
+                            4..=6 => 1,
+                            7..=8 => 2,
+                            _ => 3 + (state as usize >> 13) % (queries_per_tenant - 3),
+                        };
+                        client = client.with_tenant(format!("space-{pick:03}"));
+                        let r0 = Instant::now();
+                        client.request(&query_of(q)).expect("replay read");
+                        latencies.push(r0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("replay thread"))
+            .collect();
+        all.sort_by(f64::total_cmp);
+        all
+    };
+    let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+
+    let uncached_lat = replay(plain.addr());
+    let cached_lat = replay(cached.addr());
+    let speedup = pct(&uncached_lat, 0.50) / pct(&cached_lat, 0.50).max(1e-9);
+
+    // Allocation per request (the global allocator meter sees the server
+    // threads too): a warm hit replays stored bytes through the reused
+    // connection buffers, so it must allocate less than a recomputation.
+    let alloc_per_request = |addr: std::net::SocketAddr| -> f64 {
+        let mut client = Client::connect(addr)
+            .expect("alloc client")
+            .with_tenant("space-000");
+        let request = query_of(0);
+        client.request(&request).expect("alloc warm-up");
+        let before = alloc_meter::total();
+        for _ in 0..alloc_reads {
+            client.request(&request).expect("alloc read");
+        }
+        (alloc_meter::total() - before) as f64 / alloc_reads as f64
+    };
+    let uncached_alloc = alloc_per_request(plain.addr());
+    let cached_alloc = alloc_per_request(cached.addr());
+
+    // The 8-reader herd on a fresh tenant: everyone asks the same
+    // uncached question at once; the per-tenant counters must show one
+    // evaluation and seven shared answers.
+    const HERD: usize = 8;
+    let herd_addr = cached.addr();
+    {
+        let mut client = Client::connect(herd_addr)
+            .expect("herd client")
+            .with_tenant("herd");
+        for (format, path, content) in &seed_files {
+            let response = client
+                .request(&Request::Ingest {
+                    format: *format,
+                    name: path.clone(),
+                    content: content.clone(),
+                })
+                .expect("herd seed");
+            assert!(matches!(response, Response::Ingested { .. }));
+        }
+    }
+    let barrier = Arc::new(std::sync::Barrier::new(HERD));
+    let readers: Vec<_> = (0..HERD)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(herd_addr)
+                    .expect("herd reader")
+                    .with_tenant("herd");
+                barrier.wait();
+                client.request(&query_of(0)).expect("herd read")
+            })
+        })
+        .collect();
+    let answers: Vec<Response> = readers
+        .into_iter()
+        .map(|r| r.join().expect("herd join"))
+        .collect();
+    assert!(
+        answers.iter().all(|a| a == &answers[0]),
+        "one shared answer"
+    );
+    let herd_stats = {
+        let mut client = Client::connect(herd_addr)
+            .expect("herd stats")
+            .with_tenant("herd");
+        match client.request(&Request::Stats).expect("herd stats read") {
+            Response::Stats {
+                cache: Some(cache), ..
+            } => cache,
+            other => panic!("expected cached stats, got {other:?}"),
+        }
+    };
+    assert_eq!(herd_stats.misses, 1, "the herd cost one evaluation");
+    assert_eq!(
+        herd_stats.hits + herd_stats.coalesced,
+        (HERD - 1) as u64,
+        "seven readers shared the flight: {herd_stats:?}"
+    );
+
+    plain.join();
+    let report = cached.join();
+    let totals = report.cache.expect("the cached server reports totals");
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Hit rate over reads the cache saw (the herd segment included).
+    let hit_rate = totals.hits as f64 / (totals.hits + totals.misses).max(1) as f64;
+
+    let mut t = TextTable::new(&["metric", "uncached", "cached"]);
+    t.row(vec![
+        "read p50 (us)".into(),
+        format!("{:.1}", pct(&uncached_lat, 0.50)),
+        format!("{:.1}", pct(&cached_lat, 0.50)),
+    ]);
+    t.row(vec![
+        "read p99 (us)".into(),
+        format!("{:.1}", pct(&uncached_lat, 0.99)),
+        format!("{:.1}", pct(&cached_lat, 0.99)),
+    ]);
+    t.row(vec![
+        "alloc/request (bytes)".into(),
+        format!("{uncached_alloc:.0}"),
+        format!("{cached_alloc:.0}"),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "replay: {} requests over {tenants} tenants, hit rate {:.1}%, p50 speedup {speedup:.1}x; \
+         herd: {HERD} readers -> {} miss, {} hit(s), {} coalesced; \
+         cache totals: {} hits / {} misses / {} evictions, {} bytes resident\n",
+        2 * replay_clients * replay_requests,
+        hit_rate * 100.0,
+        herd_stats.misses,
+        herd_stats.hits,
+        herd_stats.coalesced,
+        totals.hits,
+        totals.misses,
+        totals.evictions,
+        totals.resident_bytes,
+    );
+
+    assert!(
+        hit_rate >= 0.60,
+        "zipf replay must hit at least 60%, got {:.1}%",
+        hit_rate * 100.0
+    );
+    let wanted = if smoke { 2.0 } else { 5.0 };
+    assert!(
+        speedup >= wanted,
+        "cached p50 must be at least {wanted}x faster, got {speedup:.2}x"
+    );
+    assert!(
+        cached_alloc < uncached_alloc,
+        "a warm hit must allocate less than a recomputation: {cached_alloc:.0} vs {uncached_alloc:.0}"
+    );
+
+    let bench = serde_json::json!({
+        "experiment": "e16-cache",
+        "mode": mode,
+        "tenants": tenants,
+        "replay_requests": 2 * replay_clients * replay_requests,
+        "hit_rate": hit_rate,
+        "latency_us": {
+            "uncached_p50": pct(&uncached_lat, 0.50),
+            "uncached_p99": pct(&uncached_lat, 0.99),
+            "cached_p50": pct(&cached_lat, 0.50),
+            "cached_p99": pct(&cached_lat, 0.99),
+            "p50_speedup": speedup,
+        },
+        "alloc_bytes_per_request": {
+            "uncached": uncached_alloc,
+            "cached": cached_alloc,
+        },
+        "herd": {
+            "readers": HERD,
+            "misses": herd_stats.misses,
+            "hits": herd_stats.hits,
+            "coalesced": herd_stats.coalesced,
+        },
+        "totals": {
+            "hits": totals.hits,
+            "misses": totals.misses,
+            "coalesced": totals.coalesced,
+            "evictions": totals.evictions,
+            "resident_bytes": totals.resident_bytes,
+        },
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_cache.json", record) {
+        eprintln!("could not write BENCH_cache.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_cache.json ({mode}, {:.1}% hits, {speedup:.1}x p50)\n",
+            hit_rate * 100.0
         );
     }
 }

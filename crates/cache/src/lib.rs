@@ -1,0 +1,608 @@
+#![warn(missing_docs)]
+
+//! Epoch-keyed read cache with single-flight miss coalescing.
+//!
+//! The serve layer publishes immutable epoch snapshots per tenant, so a
+//! read result keyed on `(tenant, epoch, canonicalized request)` can never
+//! be stale: a write produces a new epoch and therefore a new key, and the
+//! old generation's entries become dead weight rather than a correctness
+//! hazard. This crate exploits that invariant:
+//!
+//! * [`ReadCache`] is a sharded, byte-budgeted LRU over *encoded response
+//!   payloads* (the exact frame bytes the server would write), so a hit
+//!   skips both evaluation and re-encoding.
+//! * **Single-flight coalescing** — concurrent identical misses on one
+//!   [`CacheKey`] share a per-key in-flight latch: one caller evaluates,
+//!   the rest block on the latch and reuse its payload. A thundering herd
+//!   of N readers costs one evaluation.
+//! * **Generation invalidation** — [`ReadCache::note_epoch`] records the
+//!   newest published epoch per tenant under its own lock; writers never
+//!   touch the shard locks. Entries from older epochs are swept lazily, a
+//!   few per insert, from the cold end of each shard's LRU order.
+//! * **Per-tenant counters** — hits, misses, coalesced waits, evictions
+//!   and resident bytes, surfaced through the serving stats path.
+//!
+//! The cache holds no references into any snapshot: keys are strings and
+//! values are `Arc<Vec<u8>>`, so dropping a tenant's entries (on tenant
+//! eviction) is a plain map purge.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Construction parameters for a [`ReadCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards. Entry sizes are measured
+    /// (key + payload + bookkeeping overhead); the budget is divided
+    /// evenly into per-shard slices.
+    pub budget_bytes: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            budget_bytes: 64 << 20,
+            shards: 16,
+        }
+    }
+}
+
+/// What a cached result is keyed on. Epochs are per-tenant event-sequence
+/// numbers (durable across tenant eviction), and `request` is the
+/// canonical encoding of the request (deterministic field order), so two
+/// textually different but semantically identical frames still collide
+/// only when they canonicalize identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Tenant the result belongs to.
+    pub tenant: String,
+    /// Epoch of the snapshot the result was computed against.
+    pub epoch: u64,
+    /// Canonicalized request text.
+    pub request: String,
+}
+
+/// Cumulative per-tenant cache counters. `resident_bytes` is a gauge (the
+/// tenant's currently cached bytes); everything else is monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Reads answered from the cache.
+    pub hits: u64,
+    /// Reads that evaluated against the snapshot (single-flight leaders).
+    pub misses: u64,
+    /// Reads that waited on another caller's in-flight evaluation.
+    pub coalesced: u64,
+    /// Entries removed: budget pressure, stale-epoch sweeps, or purges.
+    pub evictions: u64,
+    /// Bytes currently cached for this tenant.
+    pub resident_bytes: u64,
+}
+
+impl TenantCacheStats {
+    fn accumulate(&mut self, other: &TenantCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+    }
+}
+
+/// Fixed per-entry bookkeeping charge (map nodes, ticks, Arc headers) on
+/// top of the measured key and payload bytes.
+const ENTRY_OVERHEAD: usize = 160;
+
+/// How many cold-end entries an insert inspects for stale epochs.
+const STALE_SWEEP_PER_INSERT: usize = 16;
+
+fn entry_size(key: &CacheKey, payload: &[u8]) -> usize {
+    key.tenant.len() + key.request.len() + payload.len() + ENTRY_OVERHEAD
+}
+
+enum FlightState {
+    Pending,
+    Done(Arc<Vec<u8>>),
+    /// The leader unwound (panicked) without producing a payload; waiters
+    /// go back to the shard and elect a new leader.
+    Abandoned,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<Arc<Vec<u8>>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.cv.wait(state).unwrap(),
+                FlightState::Done(payload) => return Some(Arc::clone(payload)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn finish(&self, result: Option<Arc<Vec<u8>>>) {
+        *self.state.lock().unwrap() = match result {
+            Some(payload) => FlightState::Done(payload),
+            None => FlightState::Abandoned,
+        };
+        self.cv.notify_all();
+    }
+}
+
+struct Entry {
+    payload: Arc<Vec<u8>>,
+    size: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<Arc<CacheKey>, Entry>,
+    /// LRU order: ascending tick = coldest first. Ticks are unique within
+    /// a shard, so this doubles as the eviction queue.
+    order: BTreeMap<u64, Arc<CacheKey>>,
+    inflight: HashMap<CacheKey, Arc<Flight>>,
+    tenants: HashMap<String, TenantCacheStats>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn tenant(&mut self, name: &str) -> &mut TenantCacheStats {
+        self.tenants.entry(name.to_string()).or_default()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Remove the entry at `tick` (if still present), charging an eviction
+    /// to its tenant. Returns the freed bytes.
+    fn evict_tick(&mut self, tick: u64) -> usize {
+        let Some(key) = self.order.remove(&tick) else {
+            return 0;
+        };
+        let Some(entry) = self.entries.remove(&*key) else {
+            return 0;
+        };
+        self.bytes -= entry.size;
+        let stats = self.tenant(&key.tenant);
+        stats.evictions += 1;
+        stats.resident_bytes -= entry.size as u64;
+        entry.size
+    }
+}
+
+enum Role {
+    Hit(Arc<Vec<u8>>),
+    Lead(Arc<Flight>),
+    Follow(Arc<Flight>),
+}
+
+/// Removes the in-flight latch and wakes waiters with `Abandoned` if the
+/// leader's evaluation unwinds instead of completing.
+struct AbandonGuard<'a> {
+    cache: &'a ReadCache,
+    idx: usize,
+    key: &'a CacheKey,
+    flight: &'a Flight,
+    armed: bool,
+}
+
+impl Drop for AbandonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut shard = self.cache.shards[self.idx].lock().unwrap();
+            shard.inflight.remove(self.key);
+            drop(shard);
+            self.flight.finish(None);
+        }
+    }
+}
+
+/// A process-wide, sharded, epoch-keyed read cache. One instance serves
+/// every tenant in a pool; per-tenant accounting lives inside the shards.
+pub struct ReadCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget. Entries larger than a slice are never
+    /// cached (they still coalesce through the in-flight latch).
+    slice: usize,
+    budget: usize,
+    /// Newest published epoch per tenant. Writers only touch this lock,
+    /// so publication never contends with the shard LRUs.
+    live: RwLock<HashMap<String, u64>>,
+}
+
+impl ReadCache {
+    /// Build a cache with `config.shards` independent LRU shards.
+    pub fn new(config: CacheConfig) -> ReadCache {
+        let shards = config.shards.max(1);
+        ReadCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            slice: config.budget_bytes / shards,
+            budget: config.budget_bytes,
+            live: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Total configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Return the cached payload for `key`, or evaluate `compute` exactly
+    /// once across all concurrent callers of the same key and cache its
+    /// result. Panics in `compute` propagate to the leader; waiters then
+    /// re-elect a leader among themselves.
+    pub fn get_or_compute<F>(&self, key: CacheKey, compute: F) -> Arc<Vec<u8>>
+    where
+        F: FnOnce() -> Arc<Vec<u8>>,
+    {
+        let idx = self.shard_of(&key);
+        let mut compute = Some(compute);
+        loop {
+            match self.lookup(idx, &key) {
+                Role::Hit(payload) => return payload,
+                Role::Follow(flight) => match flight.wait() {
+                    Some(payload) => {
+                        let mut shard = self.shards[idx].lock().unwrap();
+                        shard.tenant(&key.tenant).coalesced += 1;
+                        return payload;
+                    }
+                    // The leader unwound; go around and elect a new one.
+                    None => continue,
+                },
+                Role::Lead(flight) => {
+                    let mut guard = AbandonGuard {
+                        cache: self,
+                        idx,
+                        key: &key,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    let payload = (compute.take().expect("a caller leads at most once"))();
+                    guard.armed = false;
+                    drop(guard);
+                    self.complete(idx, &key, &payload);
+                    flight.finish(Some(Arc::clone(&payload)));
+                    return payload;
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, idx: usize, key: &CacheKey) -> Role {
+        let mut shard = self.shards[idx].lock().unwrap();
+        if let Some((arc, entry)) = shard.entries.get_key_value(key) {
+            let arc = Arc::clone(arc);
+            let payload = Arc::clone(&entry.payload);
+            let old_tick = entry.tick;
+            let tick = shard.next_tick();
+            shard.order.remove(&old_tick);
+            shard.order.insert(tick, arc);
+            shard.entries.get_mut(key).unwrap().tick = tick;
+            shard.tenant(&key.tenant).hits += 1;
+            return Role::Hit(payload);
+        }
+        if let Some(flight) = shard.inflight.get(key) {
+            return Role::Follow(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        shard.inflight.insert(key.clone(), Arc::clone(&flight));
+        shard.tenant(&key.tenant).misses += 1;
+        Role::Lead(flight)
+    }
+
+    /// Leader post-processing: drop the latch, insert the entry if it fits
+    /// the shard slice, sweep a few stale-epoch entries, and enforce the
+    /// byte budget from the cold end.
+    fn complete(&self, idx: usize, key: &CacheKey, payload: &Arc<Vec<u8>>) {
+        let mut shard = self.shards[idx].lock().unwrap();
+        shard.inflight.remove(key);
+        let size = entry_size(key, payload);
+        if size > self.slice {
+            return;
+        }
+        let arc = Arc::new(key.clone());
+        let tick = shard.next_tick();
+        shard.order.insert(tick, Arc::clone(&arc));
+        shard.entries.insert(
+            arc,
+            Entry {
+                payload: Arc::clone(payload),
+                size,
+                tick,
+            },
+        );
+        shard.bytes += size;
+        let stats = shard.tenant(&key.tenant);
+        stats.resident_bytes += size as u64;
+        self.sweep_stale(&mut shard);
+        while shard.bytes > self.slice {
+            let coldest = *shard
+                .order
+                .keys()
+                .next()
+                .expect("over budget implies entries");
+            shard.evict_tick(coldest);
+        }
+    }
+
+    /// Inspect up to [`STALE_SWEEP_PER_INSERT`] cold-end entries and drop
+    /// those whose epoch predates their tenant's newest published epoch.
+    /// Lock order: shard, then `live` (readers); `note_epoch` takes only
+    /// `live`, so writers never wait on a shard.
+    fn sweep_stale(&self, shard: &mut Shard) {
+        let live = self.live.read().unwrap();
+        let stale: Vec<u64> = shard
+            .order
+            .iter()
+            .take(STALE_SWEEP_PER_INSERT)
+            .filter(|(_, key)| live.get(&key.tenant).is_some_and(|&e| key.epoch < e))
+            .map(|(&tick, _)| tick)
+            .collect();
+        drop(live);
+        for tick in stale {
+            shard.evict_tick(tick);
+        }
+    }
+
+    /// Record that `tenant` published `epoch`. Entries keyed on older
+    /// epochs become sweepable dead weight; nothing blocks here beyond the
+    /// epoch-map write lock.
+    pub fn note_epoch(&self, tenant: &str, epoch: u64) {
+        let mut live = self.live.write().unwrap();
+        match live.get_mut(tenant) {
+            Some(newest) => *newest = (*newest).max(epoch),
+            None => {
+                live.insert(tenant.to_string(), epoch);
+            }
+        }
+    }
+
+    /// Drop every cached entry belonging to `tenant` (called when the
+    /// tenant itself is evicted from the pool). Counters stay cumulative;
+    /// the purged entries are charged as evictions and the tenant's
+    /// resident gauge returns to zero. Returns the number of entries
+    /// dropped.
+    pub fn purge_tenant(&self, tenant: &str) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let victims: Vec<u64> = shard
+                .entries
+                .iter()
+                .filter(|(key, _)| key.tenant == tenant)
+                .map(|(_, entry)| entry.tick)
+                .collect();
+            for tick in victims {
+                if shard.evict_tick(tick) > 0 {
+                    dropped += 1;
+                }
+            }
+        }
+        self.live.write().unwrap().remove(tenant);
+        dropped
+    }
+
+    /// Cumulative counters for one tenant, summed across shards.
+    pub fn stats_for(&self, tenant: &str) -> TenantCacheStats {
+        let mut total = TenantCacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            if let Some(stats) = shard.tenants.get(tenant) {
+                total.accumulate(stats);
+            }
+        }
+        total
+    }
+
+    /// Counters summed over every tenant.
+    pub fn totals(&self) -> TenantCacheStats {
+        let mut total = TenantCacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            for stats in shard.tenants.values() {
+                total.accumulate(stats);
+            }
+        }
+        total
+    }
+
+    /// Bytes currently held across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn entry_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+
+    fn key(tenant: &str, epoch: u64, request: &str) -> CacheKey {
+        CacheKey {
+            tenant: tenant.to_string(),
+            epoch,
+            request: request.to_string(),
+        }
+    }
+
+    fn payload(len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; len])
+    }
+
+    fn one_shard(budget: usize) -> ReadCache {
+        ReadCache::new(CacheConfig {
+            budget_bytes: budget,
+            shards: 1,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_same_payload_and_counts() {
+        let cache = one_shard(1 << 20);
+        let first = cache.get_or_compute(key("t", 1, "q"), || payload(10));
+        let second = cache.get_or_compute(key("t", 1, "q"), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats_for("t");
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(stats.resident_bytes as usize, cache.resident_bytes());
+    }
+
+    #[test]
+    fn byte_budget_evicts_the_coldest_entry() {
+        // Budget fits exactly two entries; touching "a" makes "b" coldest.
+        let size = entry_size(&key("t", 1, "a"), &payload(100));
+        let cache = one_shard(2 * size);
+        cache.get_or_compute(key("t", 1, "a"), || payload(100));
+        cache.get_or_compute(key("t", 1, "b"), || payload(100));
+        cache.get_or_compute(key("t", 1, "a"), || unreachable!("hot entry"));
+        cache.get_or_compute(key("t", 1, "c"), || payload(100));
+        assert_eq!(cache.entry_count(), 2);
+        cache.get_or_compute(key("t", 1, "a"), || unreachable!("survivor"));
+        cache.get_or_compute(key("t", 1, "b"), || payload(100)); // evicted: recomputes
+        let stats = cache.stats_for("t");
+        assert_eq!(stats.evictions, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached_but_still_served() {
+        let cache = one_shard(64); // slice smaller than any real entry
+        let first = cache.get_or_compute(key("t", 1, "big"), || payload(1000));
+        assert_eq!(first.len(), 1000);
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn epoch_publication_sweeps_stale_entries() {
+        let cache = one_shard(1 << 20);
+        cache.get_or_compute(key("t", 1, "a"), || payload(10));
+        cache.get_or_compute(key("t", 1, "b"), || payload(10));
+        cache.note_epoch("t", 2);
+        assert_eq!(cache.entry_count(), 2, "sweep is lazy");
+        // The next insert sweeps the old generation from the cold end.
+        cache.get_or_compute(key("t", 2, "a"), || payload(10));
+        assert_eq!(cache.entry_count(), 1);
+        let stats = cache.stats_for("t");
+        assert_eq!(stats.evictions, 2);
+        // Old-epoch keys still answer if recomputed (never wrong, just cold).
+        let again = cache.get_or_compute(key("t", 1, "a"), || payload(10));
+        assert_eq!(again.len(), 10);
+    }
+
+    #[test]
+    fn purge_drops_one_tenant_and_spares_the_rest() {
+        let cache = ReadCache::new(CacheConfig {
+            budget_bytes: 1 << 20,
+            shards: 4,
+        });
+        for i in 0..16 {
+            cache.get_or_compute(key("gone", 1, &format!("q{i}")), || payload(10));
+            cache.get_or_compute(key("stays", 1, &format!("q{i}")), || payload(10));
+        }
+        assert_eq!(cache.purge_tenant("gone"), 16);
+        assert_eq!(cache.entry_count(), 16);
+        assert_eq!(cache.stats_for("gone").resident_bytes, 0);
+        assert_eq!(cache.stats_for("gone").evictions, 16);
+        assert!(cache.stats_for("stays").resident_bytes > 0);
+        cache.get_or_compute(key("stays", 1, "q0"), || unreachable!("spared"));
+    }
+
+    #[test]
+    fn identical_miss_herd_coalesces_to_one_evaluation() {
+        const HERD: usize = 8;
+        let cache = Arc::new(one_shard(1 << 20));
+        let evaluations = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(HERD));
+        let workers: Vec<_> = (0..HERD)
+            .map(|_| {
+                let (cache, evaluations, barrier) = (
+                    Arc::clone(&cache),
+                    Arc::clone(&evaluations),
+                    Arc::clone(&barrier),
+                );
+                thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compute(key("t", 7, "herd"), || {
+                        evaluations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough that the rest of
+                        // the herd arrives while it is pending.
+                        thread::sleep(std::time::Duration::from_millis(50));
+                        payload(10)
+                    })
+                })
+            })
+            .collect();
+        for worker in workers {
+            assert_eq!(worker.join().unwrap().len(), 10);
+        }
+        assert_eq!(evaluations.load(Ordering::SeqCst), 1);
+        let stats = cache.stats_for("t");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits + stats.coalesced, (HERD - 1) as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn abandoned_leader_lets_a_waiter_take_over() {
+        let cache = Arc::new(one_shard(1 << 20));
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+            thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(key("t", 1, "q"), || {
+                        barrier.wait(); // follower is now queued behind us
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("evaluation failed");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        let follower = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_compute(key("t", 1, "q"), || payload(10))
+            })
+        };
+        leader.join().unwrap();
+        assert_eq!(follower.join().unwrap().len(), 10);
+        let stats = cache.stats_for("t");
+        assert_eq!(stats.misses, 2, "retry elects a second leader: {stats:?}");
+    }
+}

@@ -108,6 +108,13 @@ impl Json {
         out
     }
 
+    /// Serialize to compact JSON text, appending to `out`. The buffer-reuse
+    /// path: a connection loop clears and refills one `String` per frame
+    /// instead of allocating a fresh one.
+    pub fn encode_into(&self, out: &mut String) {
+        self.write(out)
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),

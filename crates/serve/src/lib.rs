@@ -35,6 +35,13 @@
 //!    `overloaded` responses instead of stalling or growing without
 //!    bound; [`Client::request_with_retry`] turns those refusals into
 //!    jittered, capped exponential backoff.
+//! 5. **Epoch-keyed read caching.** With a cache budget configured
+//!    ([`PoolConfig::cache_budget`] / [`ServeConfig::cache_budget`]),
+//!    read answers are cached as encoded frame payloads keyed on
+//!    `(tenant, epoch, canonical request)` — immutable snapshots make
+//!    such entries *provably* fresh — and concurrent identical misses
+//!    coalesce into one evaluation (see [`semex_cache`]). A cached server
+//!    answers byte-identically to a cacheless one, epochs included.
 //!
 //! The wire protocol ([`protocol`]) is length-prefixed JSON over TCP —
 //! std-only (the [`json`] module is a self-contained codec) — and
@@ -54,6 +61,7 @@ mod server;
 mod writer;
 
 pub use client::{Client, RetryPolicy};
+pub use semex_cache::{ReadCache, TenantCacheStats};
 pub use semex_tenant::{
     EpochSnapshot, Master, PoolConfig, PoolReport, PoolSnapshot, SnapshotEngine, TenantId,
     TenantRegistry,

@@ -179,6 +179,22 @@ pub struct WireHit {
     pub score: f64,
 }
 
+/// Per-tenant read-cache counters in wire form (see the `cache` field of
+/// [`Response::Stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsWire {
+    /// Reads answered from the cache.
+    pub hits: u64,
+    /// Reads evaluated against the snapshot.
+    pub misses: u64,
+    /// Reads that shared another caller's in-flight evaluation.
+    pub coalesced: u64,
+    /// Entries dropped (budget pressure, stale epochs, tenant eviction).
+    pub evictions: u64,
+    /// Bytes currently cached for this tenant.
+    pub resident_bytes: u64,
+}
+
 /// Why a request was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKindWire {
@@ -320,6 +336,10 @@ pub enum Response {
         edges: usize,
         /// Registered sources.
         sources: usize,
+        /// Read-cache counters for this tenant, when the server runs with
+        /// a cache. Absent on the wire for cacheless servers, so
+        /// pre-cache clients decode unchanged.
+        cache: Option<CacheStatsWire>,
     },
     /// Graceful shutdown has begun.
     ShutdownAck {
@@ -664,16 +684,29 @@ impl Response {
                 aliases,
                 edges,
                 sources,
-            } => obj(
-                "stats",
-                vec![
+                cache,
+            } => {
+                let mut fields = vec![
                     field("epoch", *epoch),
                     field("objects", *objects),
                     field("aliases", *aliases),
                     field("edges", *edges),
                     field("sources", *sources),
-                ],
-            ),
+                ];
+                if let Some(cache) = cache {
+                    fields.push((
+                        "cache".to_string(),
+                        Json::Obj(vec![
+                            field("hits", cache.hits),
+                            field("misses", cache.misses),
+                            field("coalesced", cache.coalesced),
+                            field("evictions", cache.evictions),
+                            field("resident_bytes", cache.resident_bytes),
+                        ]),
+                    ));
+                }
+                obj("stats", fields)
+            }
             Response::ShutdownAck { epoch } => obj("shutdown_ack", vec![field("epoch", *epoch)]),
             Response::Overloaded { queue } => {
                 obj("overloaded", vec![field("queue", queue.as_str())])
@@ -769,6 +802,18 @@ impl Response {
                 aliases: need_usize(v, "aliases")?,
                 edges: need_usize(v, "edges")?,
                 sources: need_usize(v, "sources")?,
+                // Absent on servers without a cache: pre-cache frames stay
+                // decodable, mirroring the `v`/`tenant` envelope fields.
+                cache: match v.get("cache") {
+                    None => None,
+                    Some(c) => Some(CacheStatsWire {
+                        hits: need_u64(c, "hits")?,
+                        misses: need_u64(c, "misses")?,
+                        coalesced: need_u64(c, "coalesced")?,
+                        evictions: need_u64(c, "evictions")?,
+                        resident_bytes: need_u64(c, "resident_bytes")?,
+                    }),
+                },
             },
             "shutdown_ack" => Response::ShutdownAck {
                 epoch: need_u64(v, "epoch")?,
@@ -882,9 +927,18 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
 /// Read one length-prefixed frame. `Ok(None)` is a clean close (EOF at a
 /// frame boundary); EOF anywhere else is [`FrameError::Truncated`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.then_some(payload))
+}
+
+/// Read one length-prefixed frame into a caller-owned buffer (cleared
+/// first), so a connection loop reuses one allocation across frames.
+/// Returns `false` on a clean close at a frame boundary.
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<bool, FrameError> {
+    payload.clear();
     let mut header = [0u8; 4];
     match read_exact_or_eof(r, &mut header)? {
-        0 => return Ok(None),
+        0 => return Ok(false),
         4 => {}
         got => return Err(FrameError::Truncated { wanted: 4, got }),
     }
@@ -895,15 +949,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
             max: MAX_FRAME,
         });
     }
-    let mut payload = vec![0u8; len as usize];
-    let got = read_exact_or_eof(r, &mut payload)?;
+    payload.resize(len as usize, 0);
+    let got = read_exact_or_eof(r, payload)?;
     if got != payload.len() {
         return Err(FrameError::Truncated {
             wanted: len as usize,
             got,
         });
     }
-    Ok(Some(payload))
+    Ok(true)
 }
 
 /// Fill `buf`, returning how many bytes were read before EOF (a short
@@ -949,15 +1003,38 @@ pub fn write_request_frame(w: &mut impl Write, frame: &RequestFrame) -> Result<(
 /// without a `v` field decodes as version 1 with no tenant, so
 /// pre-versioning clients are indistinguishable from explicit-v1 ones.
 pub fn read_request_frame(r: &mut impl Read) -> Result<Option<RequestFrame>, FrameError> {
-    match read_frame(r)? {
-        None => Ok(None),
-        Some(payload) => Ok(Some(RequestFrame::from_json(&decode_payload(&payload)?)?)),
+    let mut payload = Vec::new();
+    read_request_frame_into(r, &mut payload)
+}
+
+/// [`read_request_frame`] with a caller-owned payload buffer: the server's
+/// per-connection loop reuses one buffer instead of allocating per frame.
+pub fn read_request_frame_into(
+    r: &mut impl Read,
+    payload: &mut Vec<u8>,
+) -> Result<Option<RequestFrame>, FrameError> {
+    if !read_frame_into(r, payload)? {
+        return Ok(None);
     }
+    Ok(Some(RequestFrame::from_json(&decode_payload(payload)?)?))
 }
 
 /// Write one response frame.
 pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), FrameError> {
-    write_frame(w, resp.to_json().encode().as_bytes())
+    let mut scratch = String::new();
+    write_response_into(w, resp, &mut scratch)
+}
+
+/// [`write_response`] encoding into a caller-owned scratch buffer (cleared
+/// first), so a connection loop reuses one allocation per response frame.
+pub fn write_response_into(
+    w: &mut impl Write,
+    resp: &Response,
+    scratch: &mut String,
+) -> Result<(), FrameError> {
+    scratch.clear();
+    resp.to_json().encode_into(scratch);
+    write_frame(w, scratch.as_bytes())
 }
 
 /// Read one response frame (`Ok(None)` on clean close).
@@ -1075,6 +1152,82 @@ mod tests {
             FrameError::UnsupportedVersion { v } => assert_eq!(v, 99),
             other => panic!("{other}"),
         }
+    }
+
+    #[test]
+    fn stats_cache_counters_roundtrip() {
+        let stats = Response::Stats {
+            epoch: 9,
+            objects: 120,
+            aliases: 4,
+            edges: 310,
+            sources: 3,
+            cache: Some(CacheStatsWire {
+                hits: 1000,
+                misses: 41,
+                coalesced: 7,
+                evictions: 2,
+                resident_bytes: 65536,
+            }),
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &stats).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap().unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_without_cache_field_stays_backward_compatible() {
+        // A pre-cache server's stats frame has no `cache` key at all;
+        // it must decode as `cache: None`, and a cacheless Stats must
+        // encode without the key (so pre-cache *clients* decode it too).
+        let payload =
+            br#"{"type":"stats","epoch":3,"objects":5,"aliases":1,"edges":9,"sources":2}"#;
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        let decoded = read_response(&mut buf.as_slice()).unwrap().unwrap();
+        let expected = Response::Stats {
+            epoch: 3,
+            objects: 5,
+            aliases: 1,
+            edges: 9,
+            sources: 2,
+            cache: None,
+        };
+        assert_eq!(decoded, expected);
+        assert!(
+            !expected.to_json().encode().contains("cache"),
+            "cacheless stats must omit the field on the wire"
+        );
+    }
+
+    #[test]
+    fn buffer_reuse_framing_matches_the_allocating_paths() {
+        // The `_into` codecs are the same wire format, just without the
+        // per-frame allocation: interleave frames of different sizes
+        // through one reused buffer pair.
+        let responses = [
+            Response::ShutdownAck { epoch: 1 },
+            Response::Error {
+                kind: ErrorKindWire::NotFound,
+                message: "x".repeat(300),
+            },
+            Response::ShutdownAck { epoch: 2 },
+        ];
+        let mut wire = Vec::new();
+        let mut scratch = String::new();
+        for resp in &responses {
+            write_response_into(&mut wire, resp, &mut scratch).unwrap();
+        }
+        let mut cursor = wire.as_slice();
+        let mut payload = Vec::new();
+        for resp in &responses {
+            assert!(read_frame_into(&mut cursor, &mut payload).unwrap());
+            let decoded =
+                Response::from_json(&Json::parse(std::str::from_utf8(&payload).unwrap()).unwrap())
+                    .unwrap();
+            assert_eq!(&decoded, resp);
+        }
+        assert!(!read_frame_into(&mut cursor, &mut payload).unwrap());
     }
 
     #[test]

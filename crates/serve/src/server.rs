@@ -28,10 +28,11 @@
 //! journal committed) before [`ServeHandle::join`] returns.
 
 use crate::protocol::{
-    read_request_frame, write_response, ErrorKindWire, FrameError, Request, RequestFrame, Response,
-    WireHit,
+    read_request_frame_into, write_frame, write_response, write_response_into, CacheStatsWire,
+    ErrorKindWire, FrameError, Request, RequestFrame, Response, WireHit,
 };
 use crate::writer::{pool_worker, WriteCommand, WriteJob, WriterReport, WriterStats};
+use semex_cache::{CacheKey, TenantCacheStats};
 use semex_tenant::{
     EnqueueError, EpochSnapshot, Master, PoolConfig, PoolReport, PoolSnapshot, Tenant, TenantError,
     TenantId, TenantPool, TenantRegistry,
@@ -73,6 +74,11 @@ pub struct ServeConfig {
     /// verification harnesses replay them sequentially; meaningful for
     /// single-tenant servers only — cross-tenant order is arbitrary).
     pub record_writes: bool,
+    /// Byte budget for the epoch-keyed read cache; `0` (the default)
+    /// serves every read from the snapshot. Only [`serve`] consumes this
+    /// (it builds the pool internally); [`serve_tenants`] callers set
+    /// [`PoolConfig::cache_budget`] directly.
+    pub cache_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +92,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             record_writes: false,
+            cache_budget: 0,
         }
     }
 }
@@ -119,6 +126,9 @@ pub struct ServeReport {
     /// server started with [`serve`] (whose single master is pinned);
     /// multi-tenant masters live and die inside the pool.
     pub master: Option<Master>,
+    /// Read-cache counters summed over every tenant; `None` when the
+    /// server ran without a cache.
+    pub cache: Option<TenantCacheStats>,
 }
 
 /// A running server. Keep it to shut the server down and reclaim the
@@ -193,6 +203,7 @@ impl ServeHandle {
         for writer in self.writers.drain(..) {
             let _ = writer.join();
         }
+        let cache_totals = self.pool.read_cache().map(|cache| cache.totals());
         let fin = self.pool.finalize();
         // Jobs that never reached a worker (shutdown raced their
         // dispatch) are rejected, not dropped — though their clients are
@@ -209,6 +220,7 @@ impl ServeHandle {
             writer: self.writer_stats.take_report(fin.final_epoch),
             tenants: fin.report,
             master: fin.pinned,
+            cache: cache_totals,
         }
     }
 }
@@ -226,6 +238,7 @@ pub fn serve(
     let pool_config = PoolConfig {
         queue_depth: config.write_queue,
         max_batch: config.max_batch,
+        cache_budget: config.cache_budget,
         ..PoolConfig::default()
     };
     let pool = Arc::new(TenantPool::single(master, pool_config));
@@ -378,8 +391,13 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
     // Nagle holds the second write for the peer's delayed ACK (~40 ms per
     // request-response turn).
     let _ = stream.set_nodelay(true);
+    // Connection-owned frame buffers: the read payload and the response
+    // encoding are each one allocation amortized over the connection's
+    // lifetime, not one per frame.
+    let mut read_buf = Vec::new();
+    let mut encode_buf = String::new();
     loop {
-        let frame = match read_request_frame(&mut stream) {
+        let frame = match read_request_frame_into(&mut stream, &mut read_buf) {
             Ok(Some(frame)) => frame,
             Ok(None) => return, // clean close
             Err(FrameError::UnsupportedVersion { v }) => {
@@ -390,7 +408,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
                     kind: ErrorKindWire::UnsupportedVersion,
                     message: FrameError::UnsupportedVersion { v }.to_string(),
                 };
-                if write_response(&mut stream, &refused).is_err() {
+                if write_response_into(&mut stream, &refused, &mut encode_buf).is_err() {
                     return;
                 }
                 continue;
@@ -411,8 +429,13 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             }
         };
         ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = execute(ctx, &frame);
-        if write_response(&mut stream, &response).is_err() {
+        let written = match execute(ctx, &frame) {
+            Reply::Typed(response) => write_response_into(&mut stream, &response, &mut encode_buf),
+            // A cached payload is already the encoded frame body: write it
+            // verbatim, skipping the whole encode.
+            Reply::Encoded(payload) => write_frame(&mut stream, &payload),
+        };
+        if written.is_err() {
             return;
         }
     }
@@ -439,7 +462,36 @@ fn tenant_error(e: TenantError) -> Response {
     }
 }
 
-fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Response {
+/// What a request produces: a typed response to encode, or — on the cached
+/// read path — the already-encoded frame body.
+enum Reply {
+    Typed(Response),
+    Encoded(Arc<Vec<u8>>),
+}
+
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply::Typed(response)
+    }
+}
+
+/// The canonical cache key text for a cacheable read, `None` for
+/// everything else. Cacheable reads are the pure snapshot functions;
+/// `Stats` is excluded because its answer carries the live cache counters
+/// themselves. Canonicalization is the protocol encoder: deterministic
+/// field order and number formatting, so two frames that differ only in
+/// JSON whitespace or key order share an entry.
+fn canonical_read_key(request: &Request) -> Option<String> {
+    match request {
+        Request::Search { .. }
+        | Request::Query { .. }
+        | Request::View { .. }
+        | Request::Browse { .. } => Some(request.to_json().encode()),
+        _ => None,
+    }
+}
+
+fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Reply {
     let name = frame.tenant.as_deref().unwrap_or(TenantId::DEFAULT);
     let request = &frame.request;
     if matches!(request, Request::Shutdown) {
@@ -447,26 +499,69 @@ fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Response {
         let _ = TcpStream::connect(ctx.addr); // wake the listener
         return Response::ShutdownAck {
             epoch: ctx.pool.epoch_of(name).unwrap_or(0),
-        };
+        }
+        .into();
     }
     let is_write = WriteCommand::from_request(request).is_some();
     if is_write && ctx.stop.load(Ordering::SeqCst) {
-        return shutting_down();
+        return shutting_down().into();
     }
     let tenant = match ctx.pool.activate(name) {
         Ok(tenant) => tenant,
-        Err(e) => return tenant_error(e),
+        Err(e) => return tenant_error(e).into(),
     };
     // Per-tenant admission: one flooding tenant saturates its own
     // in-flight budget and gets typed refusals, not the whole worker pool.
     let Some(_permit) = ctx.pool.admit(&tenant) else {
         return Response::Overloaded {
             queue: "tenant".into(),
-        };
+        }
+        .into();
     };
-    match WriteCommand::from_request(request) {
-        Some(cmd) => execute_write(ctx, name, tenant, cmd),
-        None => execute_read(&tenant.engine().load(), request),
+    if let Some(cmd) = WriteCommand::from_request(request) {
+        return execute_write(ctx, name, tenant, cmd).into();
+    }
+    // Reads pin one epoch snapshot. With a cache, the epoch becomes part
+    // of the key, so a cached answer is exactly what evaluating against
+    // this snapshot would produce — a write publishes a new epoch and
+    // thereby a new key, never a stale hit.
+    let at = tenant.engine().load();
+    match (ctx.pool.read_cache(), canonical_read_key(request)) {
+        (Some(cache), Some(canonical)) => {
+            let key = CacheKey {
+                tenant: name.to_string(),
+                epoch: at.epoch,
+                request: canonical,
+            };
+            // Misses on the same key coalesce: one worker evaluates,
+            // concurrent identical readers wait on the flight and share
+            // the encoded payload.
+            Reply::Encoded(cache.get_or_compute(key, || {
+                Arc::new(
+                    execute_read(&at, request, None)
+                        .to_json()
+                        .encode()
+                        .into_bytes(),
+                )
+            }))
+        }
+        (cache, _) => {
+            let cache_stats = match (cache, request) {
+                (Some(cache), Request::Stats) => Some(wire_cache_stats(cache.stats_for(name))),
+                _ => None,
+            };
+            execute_read(&at, request, cache_stats).into()
+        }
+    }
+}
+
+fn wire_cache_stats(stats: TenantCacheStats) -> CacheStatsWire {
+    CacheStatsWire {
+        hits: stats.hits,
+        misses: stats.misses,
+        coalesced: stats.coalesced,
+        evictions: stats.evictions,
+        resident_bytes: stats.resident_bytes,
     }
 }
 
@@ -517,10 +612,22 @@ fn execute_write(
     }
 }
 
+/// One top-1 search resolves the target object for both the `View` and
+/// `Browse` arms, so each of those requests costs exactly one search.
+fn top1(snap: &semex_core::Snapshot, query: &str) -> Option<semex_core::SearchResult> {
+    snap.search(query, 1).into_iter().next()
+}
+
 /// Execute a read request against one pinned epoch. Every piece of the
 /// answer comes from the same snapshot — store lookups, index scores, and
-/// the reported `epoch` can never mix publication states.
-fn execute_read(at: &EpochSnapshot, request: &Request) -> Response {
+/// the reported `epoch` can never mix publication states. `cache_stats`
+/// is this tenant's live cache counters, attached to the `Stats` answer
+/// on cache-enabled servers.
+fn execute_read(
+    at: &EpochSnapshot,
+    request: &Request,
+    cache_stats: Option<CacheStatsWire>,
+) -> Response {
     let (epoch, snap) = (at.epoch, &at.snap);
     match request {
         Request::Search {
@@ -570,7 +677,7 @@ fn execute_read(at: &EpochSnapshot, request: &Request) -> Response {
                 },
             }
         }
-        Request::View { query } => match snap.search(query, 1).into_iter().next() {
+        Request::View { query } => match top1(snap, query) {
             Some(hit) => Response::View {
                 epoch,
                 object: hit.object.0,
@@ -578,7 +685,7 @@ fn execute_read(at: &EpochSnapshot, request: &Request) -> Response {
             },
             None => not_found(query),
         },
-        Request::Browse { query } => match snap.search(query, 1).into_iter().next() {
+        Request::Browse { query } => match top1(snap, query) {
             Some(hit) => Response::Links {
                 epoch,
                 object: hit.object.0,
@@ -595,6 +702,7 @@ fn execute_read(at: &EpochSnapshot, request: &Request) -> Response {
                 aliases: stats.aliases,
                 edges: stats.edges,
                 sources: stats.sources,
+                cache: cache_stats,
             }
         }
         // Writes and shutdown are routed before this point.

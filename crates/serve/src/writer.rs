@@ -314,6 +314,12 @@ pub(crate) fn pool_worker(
         pool.service(&tenant, |master, engine, batch| {
             service_batch(master, engine, batch, &stats, &stop, record_writes);
         });
+        // Publication bumps the tenant's cache generation: results keyed
+        // on older epochs become sweepable dead weight. This only takes
+        // the cache's epoch-map lock — a write never waits on the LRU.
+        if let Some(cache) = pool.read_cache() {
+            cache.note_epoch(tenant.id().as_str(), tenant.engine().epoch());
+        }
     }
 }
 

@@ -1,0 +1,310 @@
+//! Cache correctness: a server with the epoch-keyed read cache enabled
+//! must be *observationally identical* to a cache-disabled twin — same
+//! results AND same epochs — across random interleavings of writes, reads
+//! (every cacheable variant plus `Stats`), and tenant evictions. The only
+//! tolerated difference is the `cache` counter block on `Stats` answers,
+//! which the cacheless twin omits by design.
+//!
+//! Also here: the deterministic single-flight herd test (8 identical
+//! concurrent misses cost exactly one evaluation), the tenant-eviction
+//! interplay test (evicting a tenant drops its cache; reactivation starts
+//! cold and still answers identically), and a raw-socket check that a
+//! cache hit's frame bytes equal the uncached frame bytes.
+
+use proptest::prelude::*;
+use semex_core::JournalConfig;
+use semex_serve::protocol::{
+    read_frame, write_request_frame, IngestFormat, Request, RequestFrame, Response,
+};
+use semex_serve::{serve_tenants, Client, PoolConfig, ServeConfig, ServeHandle, TenantRegistry};
+use std::path::PathBuf;
+
+const TOKENS: [&str; 3] = ["apples", "bananas", "cherries"];
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("semex-cache-equiv-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    root
+}
+
+fn start(root: &PathBuf, cache_budget: usize, threads: usize) -> ServeHandle {
+    let registry = TenantRegistry::open(root).expect("registry root");
+    let config = ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    };
+    let pool = PoolConfig {
+        cache_budget,
+        journal: JournalConfig {
+            fsync: false,
+            ..JournalConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+    serve_tenants(registry, "127.0.0.1:0", config, pool).expect("bind")
+}
+
+/// Evict with a bounded spin: an eviction requested right after a write's
+/// ack can race the writer worker still clearing the in-service flag.
+fn evict_soon(handle: &ServeHandle, name: &str) -> bool {
+    for _ in 0..2000 {
+        if handle.evict_tenant(name) {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    false
+}
+
+fn ingest(token: &str) -> Request {
+    Request::Ingest {
+        format: IngestFormat::Mbox,
+        name: "inbox".into(),
+        content: format!("From: {token}@example.com\nSubject: {token}\n\nbody about {token}"),
+    }
+}
+
+/// Map a read index to one of the cacheable request shapes plus `Stats`.
+fn read_request(i: u8) -> Request {
+    let token = TOKENS[(i as usize / 5) % TOKENS.len()].to_string();
+    match i % 5 {
+        0 => Request::Search {
+            query: token,
+            k: 10,
+            exhaustive: false,
+        },
+        1 => Request::Query {
+            pattern: "?m MentionsPerson ?p".into(),
+        },
+        2 => Request::View { query: token },
+        3 => Request::Browse { query: token },
+        _ => Request::Stats,
+    }
+}
+
+/// Strip the cache counter block: it is the one field a cached server
+/// legitimately answers differently from its cacheless twin.
+fn normalize(mut response: Response) -> Response {
+    if let Response::Stats { cache, .. } = &mut response {
+        *cache = None;
+    }
+    response
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8),
+    Read(u8),
+    Evict,
+}
+
+// The vendored proptest has no weighted `prop_oneof`; bias the mix by
+// hand — mostly reads, some writes, occasional evictions.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..9, 0u8..30).prop_map(|(kind, i)| match kind {
+        0 | 1 => Op::Write(i % 6),
+        8 => Op::Evict,
+        _ => Op::Read(i),
+    })
+}
+
+proptest! {
+    // Each case boots two live servers; keep the case count modest.
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The cached server and its cache-disabled twin answer identically —
+    /// results and epochs — under random writes, reads, and evictions.
+    /// Every read is issued twice so the second one exercises the hit
+    /// path (same tenant, same epoch, same canonical request).
+    #[test]
+    fn cached_server_is_identical_to_cacheless_twin(ops in prop::collection::vec(op_strategy(), 1..18)) {
+        let cached_root = temp_root("prop-cached");
+        let plain_root = temp_root("prop-plain");
+        let cached = start(&cached_root, 8 << 20, 4);
+        let plain = start(&plain_root, 0, 4);
+        let mut cached_client = Client::connect(cached.addr()).unwrap().with_tenant("t");
+        let mut plain_client = Client::connect(plain.addr()).unwrap().with_tenant("t");
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Write(i) => {
+                    let token = TOKENS[*i as usize % TOKENS.len()];
+                    let a = cached_client.request(&ingest(token)).unwrap();
+                    let b = plain_client.request(&ingest(token)).unwrap();
+                    prop_assert_eq!(a, b, "write acks (epochs included) diverged at step {}", step);
+                }
+                Op::Read(i) => {
+                    let request = read_request(*i);
+                    // Twice: a miss (or re-miss) followed by a hit on the
+                    // cached server; the twin recomputes both times.
+                    for round in 0..2 {
+                        let a = normalize(cached_client.request(&request).unwrap());
+                        let b = normalize(plain_client.request(&request).unwrap());
+                        prop_assert_eq!(
+                            a, b,
+                            "read {:?} diverged at step {} round {}", request, step, round
+                        );
+                    }
+                }
+                Op::Evict => {
+                    // Eviction is observationally invisible on both sides,
+                    // so success on one and a busy-miss on the other must
+                    // not matter; just attempt it on both.
+                    evict_soon(&cached, "t");
+                    evict_soon(&plain, "t");
+                }
+            }
+        }
+
+        drop((cached_client, plain_client));
+        cached.join();
+        plain.join();
+        std::fs::remove_dir_all(&cached_root).ok();
+        std::fs::remove_dir_all(&plain_root).ok();
+    }
+}
+
+/// Read the cache counter block out of a `Stats` answer.
+fn cache_counters(client: &mut Client) -> semex_serve::protocol::CacheStatsWire {
+    match client.request(&Request::Stats).unwrap() {
+        Response::Stats {
+            cache: Some(cache), ..
+        } => cache,
+        other => panic!("expected cached stats, got {other:?}"),
+    }
+}
+
+/// An 8-reader herd issuing the same uncached read concurrently costs
+/// exactly one evaluation: one leader misses, the other seven share its
+/// flight (as coalesced waits or — arriving after completion — hits).
+#[test]
+fn identical_miss_herd_collapses_to_one_evaluation() {
+    const HERD: usize = 8;
+    let root = temp_root("herd");
+    let handle = start(&root, 8 << 20, HERD + 2);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap().with_tenant("t");
+    assert!(matches!(
+        client.request(&ingest("apples")).unwrap(),
+        Response::Ingested { .. }
+    ));
+    let before = cache_counters(&mut client);
+    assert_eq!(before.misses, 0, "stats itself must not touch the cache");
+
+    let request = Request::Query {
+        pattern: "?m MentionsPerson ?p".into(),
+    };
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(HERD));
+    let readers: Vec<_> = (0..HERD)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            let request = request.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap().with_tenant("t");
+                barrier.wait();
+                client.request(&request).unwrap()
+            })
+        })
+        .collect();
+    let answers: Vec<Response> = readers.into_iter().map(|r| r.join().unwrap()).collect();
+    for answer in &answers {
+        assert_eq!(answer, &answers[0], "the herd shares one answer");
+    }
+
+    let after = cache_counters(&mut client);
+    assert_eq!(after.misses, 1, "one evaluation for the whole herd");
+    assert_eq!(
+        after.hits + after.coalesced,
+        (HERD - 1) as u64,
+        "everyone else shared it: {after:?}"
+    );
+    drop(client);
+    handle.join();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Evicting a tenant drops its cache entries with it; reactivation starts
+/// cold (a fresh miss, zero resident bytes) and still answers
+/// byte-identically — epoch included — to the pre-eviction hit.
+#[test]
+fn tenant_eviction_drops_the_cache_and_reactivates_cold_and_identical() {
+    let root = temp_root("evict");
+    let handle = start(&root, 8 << 20, 4);
+    let mut client = Client::connect(handle.addr()).unwrap().with_tenant("t");
+    assert!(matches!(
+        client.request(&ingest("bananas")).unwrap(),
+        Response::Ingested { .. }
+    ));
+    let search = Request::Search {
+        query: "bananas".into(),
+        k: 10,
+        exhaustive: false,
+    };
+    let miss = client.request(&search).unwrap();
+    let hit = client.request(&search).unwrap();
+    assert_eq!(miss, hit, "hit equals the evaluation it cached");
+    let warm = cache_counters(&mut client);
+    assert!(warm.resident_bytes > 0, "{warm:?}");
+    assert_eq!((warm.hits, warm.misses), (1, 1), "{warm:?}");
+
+    assert!(evict_soon(&handle, "t"), "tenant evicts");
+    // The next request reactivates the tenant from its journal. Its cache
+    // is gone: zero resident bytes, and the same search misses again.
+    let cold = cache_counters(&mut client);
+    assert_eq!(
+        cold.resident_bytes, 0,
+        "eviction purged the cache: {cold:?}"
+    );
+    assert_eq!(cold.evictions, warm.evictions + 1, "{cold:?}");
+    let after = client.request(&search).unwrap();
+    assert_eq!(
+        after, miss,
+        "reactivated answer matches pre-eviction, epoch included"
+    );
+    let refilled = cache_counters(&mut client);
+    assert_eq!(refilled.misses, warm.misses + 1, "cold start re-evaluates");
+    assert!(refilled.resident_bytes > 0, "{refilled:?}");
+
+    drop(client);
+    handle.join();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The hit path writes the cached payload verbatim; assert at the socket
+/// level that miss, hit, and a cacheless server produce byte-identical
+/// frames for the same request.
+#[test]
+fn cached_frame_bytes_equal_uncached_frame_bytes() {
+    let cached_root = temp_root("bytes-cached");
+    let plain_root = temp_root("bytes-plain");
+    let cached = start(&cached_root, 8 << 20, 4);
+    let plain = start(&plain_root, 0, 4);
+
+    let mut frames = Vec::new();
+    for (handle, rounds) in [(&cached, 2), (&plain, 1)] {
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let frame = RequestFrame::for_tenant("t", ingest("cherries"));
+        write_request_frame(&mut stream, &frame).unwrap();
+        read_frame(&mut stream).unwrap().unwrap(); // ack
+        let read = RequestFrame::for_tenant(
+            "t",
+            Request::Browse {
+                query: "cherries".into(),
+            },
+        );
+        // Two rounds on the cached server: the first evaluates and the
+        // second must replay the exact same bytes from the cache.
+        for _ in 0..rounds {
+            write_request_frame(&mut stream, &read).unwrap();
+            frames.push(read_frame(&mut stream).unwrap().unwrap());
+        }
+    }
+    assert_eq!(frames.len(), 3);
+    assert_eq!(frames[0], frames[1], "hit bytes == miss bytes");
+    assert_eq!(frames[0], frames[2], "cached bytes == cacheless bytes");
+
+    cached.join();
+    plain.join();
+    std::fs::remove_dir_all(&cached_root).ok();
+    std::fs::remove_dir_all(&plain_root).ok();
+}

@@ -143,6 +143,7 @@ fn readers_never_observe_torn_epochs_and_writes_replay_sequentially() {
                             aliases,
                             edges,
                             sources,
+                            ..
                         } => {
                             assert!(epoch >= last_epoch, "no time travel on one connection");
                             last_epoch = epoch;

@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use semex_serve::protocol::{
     read_frame, read_request, read_request_frame, read_response, write_frame, write_request,
-    write_request_frame, write_response, ErrorKindWire, FrameError, IngestFormat, Request,
-    RequestFrame, Response, WireHit, MAX_FRAME, PROTOCOL_VERSION,
+    write_request_frame, write_response, CacheStatsWire, ErrorKindWire, FrameError, IngestFormat,
+    Request, RequestFrame, Response, WireHit, MAX_FRAME, PROTOCOL_VERSION,
 };
 
 /// Integers that survive the JSON number representation exactly (the
@@ -178,20 +178,39 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             wire_usize(),
             wire_usize(),
             wire_usize(),
-            wire_usize()
+            wire_usize(),
+            cache_stats_strategy()
         )
             .prop_map(
-                |(epoch, objects, aliases, edges, sources)| Response::Stats {
+                |(epoch, objects, aliases, edges, sources, cache)| Response::Stats {
                     epoch,
                     objects,
                     aliases,
                     edges,
-                    sources
+                    sources,
+                    cache
                 }
             ),
         wire_u64().prop_map(|epoch| Response::ShutdownAck { epoch }),
         ".{0,20}".prop_map(|queue| Response::Overloaded { queue }),
         (kind_strategy(), ".{0,60}").prop_map(|(kind, message)| Response::Error { kind, message }),
+    ]
+}
+
+/// `None` half the time: cacheless servers omit the field entirely, and
+/// the round-trip property must hold on both shapes.
+fn cache_stats_strategy() -> impl Strategy<Value = Option<CacheStatsWire>> {
+    prop_oneof![
+        Just(None),
+        (wire_u64(), wire_u64(), wire_u64(), wire_u64(), wire_u64()).prop_map(
+            |(hits, misses, coalesced, evictions, resident_bytes)| Some(CacheStatsWire {
+                hits,
+                misses,
+                coalesced,
+                evictions,
+                resident_bytes,
+            })
+        ),
     ]
 }
 

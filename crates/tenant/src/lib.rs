@@ -35,6 +35,7 @@ pub use pool::{
     Tenant, TenantPool,
 };
 pub use registry::TenantRegistry;
+pub use semex_cache::{CacheConfig, CacheKey, ReadCache, TenantCacheStats};
 
 use semex_core::JournalError;
 use std::fmt;

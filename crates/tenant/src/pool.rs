@@ -26,6 +26,7 @@ use crate::id::TenantId;
 use crate::master::Master;
 use crate::registry::TenantRegistry;
 use crate::TenantError;
+use semex_cache::{CacheConfig, ReadCache};
 use semex_core::{JournalConfig, Semex, SemexConfig};
 use semex_journal::JournalIo;
 use std::collections::{HashMap, VecDeque};
@@ -57,6 +58,12 @@ pub struct PoolConfig {
     /// Journal I/O override for cold activations (fault injection and
     /// instrumentation; `None` uses the real filesystem).
     pub journal_io: Option<Arc<dyn JournalIo>>,
+    /// Byte budget for the shared epoch-keyed read cache; `0` disables
+    /// caching entirely. This budget is *in addition to* `memory_budget`
+    /// (which bounds resident tenant state): the cache holds encoded
+    /// response payloads, not snapshots, and is purged per tenant when
+    /// the tenant itself is evicted.
+    pub cache_budget: usize,
 }
 
 impl Default for PoolConfig {
@@ -70,6 +77,7 @@ impl Default for PoolConfig {
             semex: SemexConfig::default(),
             journal: JournalConfig::default(),
             journal_io: None,
+            cache_budget: 0,
         }
     }
 }
@@ -83,6 +91,7 @@ impl fmt::Debug for PoolConfig {
             .field("max_inflight", &self.max_inflight)
             .field("create_missing", &self.create_missing)
             .field("journal_io", &self.journal_io.is_some())
+            .field("cache_budget", &self.cache_budget)
             .finish_non_exhaustive()
     }
 }
@@ -318,6 +327,11 @@ pub struct TenantPool<J> {
     dispatch_tx: Mutex<Option<mpsc::Sender<Arc<Tenant<J>>>>>,
     dispatch_rx: Mutex<mpsc::Receiver<Arc<Tenant<J>>>>,
     stats: PoolStats,
+    /// Shared epoch-keyed read cache (`None` when `cache_budget == 0`).
+    /// One instance spans every tenant; a tenant's entries are purged when
+    /// the tenant is evicted, and its epoch publications are recorded here
+    /// so stale generations can be swept lazily.
+    read_cache: Option<Arc<ReadCache>>,
 }
 
 impl<J> fmt::Debug for TenantPool<J> {
@@ -335,6 +349,12 @@ impl<J> fmt::Debug for TenantPool<J> {
 impl<J> TenantPool<J> {
     fn with_parts(registry: Option<TenantRegistry>, config: PoolConfig) -> TenantPool<J> {
         let (tx, rx) = mpsc::channel();
+        let read_cache = (config.cache_budget > 0).then(|| {
+            Arc::new(ReadCache::new(CacheConfig {
+                budget_bytes: config.cache_budget,
+                ..CacheConfig::default()
+            }))
+        });
         TenantPool {
             registry,
             config,
@@ -348,6 +368,7 @@ impl<J> TenantPool<J> {
             dispatch_tx: Mutex::new(Some(tx)),
             dispatch_rx: Mutex::new(rx),
             stats: PoolStats::default(),
+            read_cache,
         }
     }
 
@@ -382,6 +403,11 @@ impl<J> TenantPool<J> {
     /// The pool configuration.
     pub fn config(&self) -> &PoolConfig {
         &self.config
+    }
+
+    /// The shared read cache, when caching is enabled.
+    pub fn read_cache(&self) -> Option<&Arc<ReadCache>> {
+        self.read_cache.as_ref()
     }
 
     /// Resolve `name` to a resident tenant: a warm hit just bumps the LRU
@@ -553,6 +579,13 @@ impl<J> TenantPool<J> {
             }
         }
         *guard = None;
+        drop(guard);
+        // The tenant's cached results go with it: reactivation starts
+        // cold. (Entries are epoch-keyed and thus never *wrong* to keep,
+        // but an evicted tenant should not hold cache budget hostage.)
+        if let Some(cache) = &self.read_cache {
+            cache.purge_tenant(tenant.id.as_str());
+        }
     }
 
     /// Take one slot of the tenant's inflight budget, or `None` when the

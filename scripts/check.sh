@@ -42,11 +42,20 @@ echo "    eviction, and evict/reactivate equivalence vs a never-evicted twin)"
 cargo test -q -p semex-serve --test tenants
 cargo test -q -p semex-serve --test eviction_equiv
 
+echo "==> cache equivalence suite (cached server vs cacheless twin: identical"
+echo "    answers under random writes/reads/evictions, byte-identical frames,"
+echo "    and the 8-reader miss herd collapsing to one evaluation)"
+cargo test -q -p semex-serve --test cache_equiv_prop
+
 echo "==> e14 smoke (multi-tenant serving at CI scale -> BENCH_tenants.json)"
 cargo run --release -q -p semex-bench --bin experiments -- e14-smoke
 
 echo "==> e15 smoke (binary vs JSON cold opens at CI scale -> BENCH_snapshot.json)"
 cargo run --release -q -p semex-bench --bin experiments -- e15-smoke
+
+echo "==> e16 smoke (read-cache hit rate, latency, and coalescing at CI scale"
+echo "    -> BENCH_cache.json)"
+cargo run --release -q -p semex-bench --bin experiments -- e16-smoke
 
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

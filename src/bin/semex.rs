@@ -27,9 +27,11 @@
 //!                                         browse / query / quit)
 //! semex timeline <space.json> <name...>   monthly activity of a person
 //! semex communities <space.json>          CoAuthor communities
-//! semex serve <space> [--addr H:P] [--threads N]   serve the space over TCP
-//!                                         (snapshot-isolated reads, serialized
-//!                                         durable writes; see semex-serve)
+//! semex serve <space> [--addr H:P] [--threads N] [--cache-mb N]   serve the
+//!                                         space over TCP (snapshot-isolated
+//!                                         reads, serialized durable writes,
+//!                                         optional epoch-keyed read cache;
+//!                                         see semex-serve)
 //! semex serve --tenants <root> [--budget-mb N] [--writers N]   serve every
 //!                                         space under <root>, one journal
 //!                                         directory per tenant, LRU-evicted
@@ -51,7 +53,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
+        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--cache-mb N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--cache-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
     );
     ExitCode::from(2)
 }
@@ -648,6 +650,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map(|n| n << 20)
                     .ok_or("--budget-mb needs a positive number of MiB")?;
             }
+            "--cache-mb" => {
+                let budget = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .map(|n| n << 20)
+                    .ok_or("--cache-mb needs a number of MiB (0 disables)")?;
+                config.cache_budget = budget;
+                pool.cache_budget = budget;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown serve flag {other:?}"));
             }
@@ -734,6 +745,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.tenants.evictions,
             report.tenants.max_resident_tenants,
             report.tenants.max_resident_bytes >> 10
+        );
+    }
+    if let Some(cache) = &report.cache {
+        println!(
+            "read cache: {} hit(s) / {} miss(es), {} coalesced, {} eviction(s), \
+             {} KiB resident",
+            cache.hits,
+            cache.misses,
+            cache.coalesced,
+            cache.evictions,
+            cache.resident_bytes >> 10
         );
     }
     Ok(())
@@ -920,9 +942,18 @@ fn print_response(response: &semex::serve::protocol::Response) {
             aliases,
             edges,
             sources,
-        } => println!(
-            "epoch {epoch}: {objects} object(s), {aliases} alias(es), {edges} edge(s), {sources} source(s)"
-        ),
+            cache,
+        } => {
+            println!(
+                "epoch {epoch}: {objects} object(s), {aliases} alias(es), {edges} edge(s), {sources} source(s)"
+            );
+            if let Some(cache) = cache {
+                println!(
+                    "cache: {} hit(s), {} miss(es), {} coalesced, {} eviction(s), {} resident byte(s)",
+                    cache.hits, cache.misses, cache.coalesced, cache.evictions, cache.resident_bytes
+                );
+            }
+        }
         Response::ShutdownAck { epoch } => println!("server shutting down at epoch {epoch}"),
         Response::Overloaded { queue } => {
             println!("server overloaded ({queue} queue full); retry later")
