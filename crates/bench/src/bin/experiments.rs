@@ -155,6 +155,11 @@ fn main() {
     } else if want("e16-smoke") {
         e16_cache(true);
     }
+    if want("e17") {
+        e17_replica(false);
+    } else if want("e17-smoke") {
+        e17_replica(true);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -2383,6 +2388,340 @@ fn e16_cache(smoke: bool) {
             hit_rate * 100.0
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// E17: replication — read scale-out across follower processes, catch-up
+// latency, and the synchronous-ack cost of no-lost-acks durability.
+// Writes BENCH_replica.json for CI tracking.
+// ---------------------------------------------------------------------
+fn e17_replica(smoke: bool) {
+    use semex_core::{JournalConfig, Semex, SemexConfig};
+    use semex_replica::{follow, replicate, Follower, HubConfig};
+    use semex_serve::protocol::{IngestFormat, Request, Response};
+    use semex_serve::{serve, Client, Master, ServeConfig, TenantId};
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "## E17 — replication ({mode}): follower catch-up, byte-identical reads, \
+         and read scale-out\n"
+    );
+
+    // Follower counts per measured scale; scale 0 (primary alone) is the
+    // baseline every other row is normalized against.
+    let scales: Vec<usize> = if smoke { vec![0, 1] } else { vec![0, 1, 2, 4] };
+    let max_followers = *scales.iter().max().unwrap();
+    let replay_clients: usize = if smoke { 2 } else { 6 };
+    let reads_per_client: usize = if smoke { 60 } else { 300 };
+
+    let corpus = generate_personal(&CorpusConfig {
+        people: 40,
+        organizations: 8,
+        venues: 6,
+        publications: 60,
+        messages: if smoke { 120 } else { 240 },
+        ..CorpusConfig::default()
+    });
+    let seed_files: Vec<(IngestFormat, String, String)> = corpus
+        .files
+        .iter()
+        .filter_map(|(path, content)| {
+            let format = if path.ends_with(".mbox") {
+                IngestFormat::Mbox
+            } else if path.ends_with(".bib") {
+                IngestFormat::Bibtex
+            } else {
+                return None;
+            };
+            Some((format, path.clone(), content.clone()))
+        })
+        .collect();
+    assert!(seed_files.len() >= 2, "mailboxes and a bibliography");
+
+    // The read mix: the expensive association joins a replica exists to
+    // absorb, plus a pruned search (same shapes as E16's hot set).
+    let query_of = |q: usize| -> Request {
+        match q % 4 {
+            0 => Request::Query {
+                pattern: "?a Sender ?p . ?b Recipient ?p".into(),
+            },
+            1 => Request::Query {
+                pattern: "?m Sender ?p . ?pub AuthoredBy ?p".into(),
+            },
+            2 => Request::Query {
+                pattern: "?pub AuthoredBy ?p . ?pub PublishedIn ?v".into(),
+            },
+            _ => Request::Search {
+                query: "draft review meeting".into(),
+                k: 10,
+                exhaustive: true,
+            },
+        }
+    };
+    let journal = JournalConfig {
+        fsync: false,
+        ..JournalConfig::default()
+    };
+    let scratch = std::env::temp_dir().join(format!("semex-e17-{mode}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // The primary: a durable single-space serve stack with a replication
+    // hub tapping its write path, exactly the `semex serve
+    // --listen-replication` wiring.
+    let primary_dir = scratch.join("primary");
+    let (durable, _) =
+        Semex::open_durable_with(&primary_dir, SemexConfig::default(), journal.clone())
+            .expect("open primary journal");
+    let master = Master::Durable(durable);
+    let mut config = ServeConfig {
+        threads: replay_clients + 4,
+        ..ServeConfig::default()
+    };
+    let hub = replicate(
+        &primary_dir,
+        master.boot_epoch(),
+        "127.0.0.1:0",
+        &mut config,
+        HubConfig::default(),
+    )
+    .expect("start replication hub");
+    let primary = serve(master, "127.0.0.1:0", config).expect("serve primary");
+
+    // Seed before any follower exists: the late followers must bootstrap
+    // the whole history (snapshot or journal tail) rather than watch it
+    // happen.
+    {
+        let mut client = Client::connect(primary.addr()).expect("seed client");
+        for (format, path, content) in &seed_files {
+            let response = client
+                .request(&Request::Ingest {
+                    format: *format,
+                    name: path.clone(),
+                    content: content.clone(),
+                })
+                .expect("seed ingest");
+            assert!(matches!(response, Response::Ingested { .. }));
+        }
+    }
+    let seeded_head = primary.epoch_of(TenantId::DEFAULT).expect("primary epoch");
+
+    // One timed throughput pass: `replay_clients` threads, each pinned
+    // round-robin to one read endpoint, burning through the same
+    // deterministic request mix. Returns (reads/sec, p50 us, p99 us).
+    let throughput = |endpoints: &[SocketAddr]| -> (f64, f64, f64) {
+        let endpoints: Arc<Vec<SocketAddr>> = Arc::new(endpoints.to_vec());
+        let t0 = Instant::now();
+        let threads: Vec<_> = (0..replay_clients)
+            .map(|cid| {
+                let endpoints = Arc::clone(&endpoints);
+                thread::spawn(move || {
+                    let addr = endpoints[cid % endpoints.len()];
+                    let mut client = Client::connect(addr).expect("replay client");
+                    let mut latencies = Vec::with_capacity(reads_per_client);
+                    for i in 0..reads_per_client {
+                        let r0 = Instant::now();
+                        let response = client.request(&query_of(cid + i)).expect("replay read");
+                        assert!(
+                            !matches!(response, Response::Error { .. }),
+                            "replay read refused: {response:?}"
+                        );
+                        latencies.push(r0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("replay thread"))
+            .collect();
+        let elapsed = t0.elapsed().as_secs_f64();
+        all.sort_by(f64::total_cmp);
+        let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
+        (all.len() as f64 / elapsed, pct(0.50), pct(0.99))
+    };
+
+    // The write a scale row times: one more bibliography entry. With n
+    // connected followers its ack waits for all n (the no-lost-acks
+    // gate), so the delta over the baseline is the price of synchronous
+    // replication.
+    let timed_write = |tag: &str| -> f64 {
+        let mut client = Client::connect(primary.addr()).expect("write client");
+        let t0 = Instant::now();
+        let response = client
+            .request(&Request::Ingest {
+                format: IngestFormat::Bibtex,
+                name: format!("extra-{tag}"),
+                content: format!(
+                    "@article{{x{tag}, title={{Replication Benchmarks {tag}}}, \
+                     author={{Index, Semantic}}, year=2026}}"
+                ),
+            })
+            .expect("timed write");
+        assert!(matches!(response, Response::Ingested { .. }));
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    let mut followers: Vec<Follower> = Vec::new();
+    let mut follower_addrs: Vec<SocketAddr> = Vec::new();
+    let mut catchup_ms: Vec<f64> = Vec::new();
+    let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+
+    for &n in &scales {
+        // Grow the follower set to n, timing each catch-up: follow() is
+        // bootstrap + recover + serve + pull, and the ack at the
+        // primary's head is the moment the replica is serviceable.
+        while followers.len() < n {
+            let i = followers.len();
+            let name = format!("f{i}");
+            let dir = scratch.join(&name);
+            let f0 = Instant::now();
+            let follower = follow(
+                hub.addr(),
+                &dir,
+                "127.0.0.1:0",
+                ServeConfig {
+                    threads: replay_clients + 2,
+                    ..ServeConfig::default()
+                },
+                journal.clone(),
+                1 << 20,
+                name.clone(),
+            )
+            .expect("stand up follower");
+            let head = primary.epoch_of(TenantId::DEFAULT).expect("primary epoch");
+            assert!(
+                hub.wait_for_ack(&name, head, Duration::from_secs(60)),
+                "{name} never caught up to head {head}"
+            );
+            catchup_ms.push(f0.elapsed().as_secs_f64() * 1e3);
+            follower_addrs.push(follower.serve.addr());
+            followers.push(follower);
+        }
+        let mut endpoints = vec![primary.addr()];
+        endpoints.extend(follower_addrs.iter().take(n));
+        let (rps, p50, p99) = throughput(&endpoints);
+        let write_ms = timed_write(&format!("s{n}"));
+        rows.push((n, rps, p50, p99, write_ms));
+    }
+
+    // Byte-identity: after the last gated write, every follower holds the
+    // primary's head (its ack released the write), so the same request
+    // must produce the same answer — epoch included — on every node.
+    let head = primary.epoch_of(TenantId::DEFAULT).expect("primary epoch");
+    assert!(head > seeded_head, "the timed writes advanced the head");
+    let probes = [
+        Request::Search {
+            query: "replication benchmarks".into(),
+            k: 5,
+            exhaustive: false,
+        },
+        Request::Query {
+            pattern: "?pub AuthoredBy ?p".into(),
+        },
+        Request::View {
+            query: "replication benchmarks".into(),
+        },
+        Request::Stats,
+    ];
+    let mut primary_client = Client::connect(primary.addr()).expect("probe client");
+    let mut identical = 0usize;
+    for request in &probes {
+        let want = primary_client.request(request).expect("primary probe");
+        assert!(
+            !matches!(want, Response::Error { .. }),
+            "primary probe errored: {want:?}"
+        );
+        for (i, addr) in follower_addrs.iter().enumerate() {
+            let mut client = Client::connect(*addr).expect("follower probe");
+            let got = client.request(request).expect("follower probe read");
+            assert_eq!(got, want, "follower f{i} diverges on {request:?}");
+            identical += 1;
+        }
+    }
+
+    let mut t = TextTable::new(&[
+        "followers",
+        "reads/sec",
+        "read p50 (us)",
+        "read p99 (us)",
+        "write ack (ms)",
+    ]);
+    let base_rps = rows[0].1;
+    for (n, rps, p50, p99, write_ms) in &rows {
+        t.row(vec![
+            n.to_string(),
+            format!("{rps:.0}"),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+            format!("{write_ms:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    let max_rps = rows.last().unwrap().1;
+    let scaling = max_rps / base_rps.max(1e-9);
+    println!(
+        "catch-up: {} follower(s), first at {:.1} ms (bootstrap + tail to epoch {seeded_head}); \
+         {identical} probe(s) byte-identical across {} replica(s); \
+         {max_followers}-replica throughput {scaling:.2}x the primary alone\n",
+        catchup_ms.len(),
+        catchup_ms.first().copied().unwrap_or(0.0),
+        follower_addrs.len(),
+    );
+
+    // Scale-out headroom is hardware-bound (this harness runs every
+    // replica in one process); the invariants are not. Catch-up and
+    // byte-identity are asserted above. Guard against the replica path
+    // actively costing throughput: distributing the same offered load
+    // over more serve stacks must not halve it.
+    assert!(
+        scaling >= 0.5,
+        "read throughput collapsed when replicas were added: {scaling:.2}x"
+    );
+
+    let verdicts = serde_json::json!({
+        "experiment": "e17-replica",
+        "mode": mode,
+        "seeded_head": seeded_head,
+        "final_head": head,
+        "replay_clients": replay_clients,
+        "scales": rows
+            .iter()
+            .map(|&(n, rps, p50, p99, write_ms)| {
+                serde_json::json!({
+                    "followers": n,
+                    "reads_per_sec": rps,
+                    "read_p50_us": p50,
+                    "read_p99_us": p99,
+                    "write_ack_ms": write_ms,
+                })
+            })
+            .collect::<Vec<_>>(),
+        "catchup_ms": catchup_ms,
+        "identical_probes": identical,
+        "throughput_scaling_at_max": scaling,
+    });
+    let record = serde_json::to_string_pretty(&verdicts).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_replica.json", record) {
+        eprintln!("could not write BENCH_replica.json: {e}\n");
+    } else {
+        println!(
+            "wrote BENCH_replica.json ({mode}, {max_followers} follower(s), \
+             {scaling:.2}x at max scale)\n"
+        );
+    }
+
+    for follower in followers {
+        follower.serve.shutdown();
+        follower.serve.join();
+    }
+    primary.join();
+    hub.shutdown();
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 // Quiet the unused-import warning when a subset of experiments runs.

@@ -784,6 +784,54 @@ impl DurableSemex {
         }
     }
 
+    /// Apply one sealed commit batch shipped from a replication primary:
+    /// journal it first (a follower's acknowledgment must never run ahead
+    /// of its own durability), then fold the events into the store and
+    /// the keyword index. Returns the new durable head — the journal's
+    /// next sequence number, which is the epoch the batch is acked at.
+    ///
+    /// The facade must have no local mutations buffered: a follower that
+    /// wrote locally has diverged from the primary, and interleaving its
+    /// events with shipped ones would corrupt both histories. Such a call
+    /// is refused with [`JournalError::Invalid`] and nothing is applied.
+    /// An event that fails to apply after journaling is logical
+    /// divergence; the platform degrades to read-only.
+    pub fn apply_replicated(&mut self, events: &[StoreEvent]) -> Result<u64, JournalError> {
+        if let Some(cause) = &self.semex.degraded {
+            return Err(JournalError::Invalid {
+                dir: self.journal.dir().to_path_buf(),
+                reason: format!("follower is degraded: {cause}"),
+            });
+        }
+        if self.semex.store.pending_events() > 0 || !self.semex.pending_events.is_empty() {
+            return Err(JournalError::Invalid {
+                dir: self.journal.dir().to_path_buf(),
+                reason: "follower has local uncommitted mutations; it has diverged \
+                         from the primary"
+                    .into(),
+            });
+        }
+        self.journal.append_commit(events)?;
+        for event in events {
+            if let Err(e) = self.semex.store.apply_event(event) {
+                // The journal already sealed the batch but the store
+                // cannot represent it: logical divergence. Degrade —
+                // serving reads of a half-applied batch is worse than
+                // refusing writes.
+                let reason = format!("replicated event failed to apply: {e}");
+                self.semex.degraded = Some(reason.clone());
+                return Err(JournalError::Invalid {
+                    dir: self.journal.dir().to_path_buf(),
+                    reason,
+                });
+            }
+        }
+        self.semex.index.apply_events(&self.semex.store, events);
+        // `apply_event` replays outside the recorder, so nothing is
+        // buffered — the batch is fully folded and fully durable.
+        Ok(self.journal.next_seq())
+    }
+
     /// Commit, then fold the whole journal into a new snapshot and delete
     /// the old epoch's files. Under the binary snapshot format the keyword
     /// index is also persisted as the new epoch's sidecar, so the next

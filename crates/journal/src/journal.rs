@@ -258,13 +258,13 @@ pub struct CompactionReport {
 /// First line of a snapshot file: journal bookkeeping for the store
 /// snapshot that follows on the second line.
 #[derive(Debug, Serialize, Deserialize)]
-struct SnapshotMeta {
+pub(crate) struct SnapshotMeta {
     /// Journal format version.
     journal_version: u32,
     /// Compaction epoch of this snapshot.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Global event sequence number the snapshot folds in.
-    seq: u64,
+    pub(crate) seq: u64,
 }
 
 /// An open, append-position segment file.
@@ -856,7 +856,7 @@ fn read_snapshot_meta(
 }
 
 /// Load a snapshot file: journal meta, then the store image.
-fn read_snapshot(
+pub(crate) fn read_snapshot(
     io: &dyn JournalIo,
     path: &Path,
     format: SnapshotFormat,

@@ -36,11 +36,16 @@
 #![warn(missing_docs)]
 
 mod crc32;
+pub mod export;
 pub mod io;
 pub mod journal;
 pub mod record;
 pub mod segment;
 
+pub use export::{
+    export_bootstrap, export_tail, install_snapshot, read_ack_cursors, write_ack_cursors,
+    ExportedBatch, JournalTail,
+};
 pub use io::{FaultIo, FaultPlan, JournalFile, JournalIo, RealIo};
 pub use journal::{
     recover, recover_or_adopt, recover_or_adopt_with_io, recover_with_io, CompactionReport, Damage,

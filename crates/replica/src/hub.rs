@@ -1,0 +1,501 @@
+//! The primary's replication hub: journal shipping to followers and the
+//! ack gate that makes client acknowledgments replication-durable.
+//!
+//! The hub owns a TCP listener. Each follower connects, says
+//! [`ReplicaRequest::Hello`] with the sequence it already holds, and gets
+//! the journal shipped to it: a snapshot frame when the primary compacted
+//! past the follower's position, then sealed commit batches in lock-step
+//! (one [`ReplicaFrame::Batch`], one [`ReplicaRequest::Ack`]). The unit
+//! of shipping is the *journal's own* commit batch — physical
+//! replication — so a follower that applies the stream through the
+//! recovery path is byte-identical to the primary at every acked epoch.
+//!
+//! The hub is also a [`CommitTap`]: the write path announces every
+//! durable head advance before releasing client acks, and
+//! [`ReplicationHub::on_commit`] blocks until every *connected* follower
+//! has acknowledged that head (or the ack timeout evicts a dead one from
+//! the synchronous set). No connected follower, no wait — a standalone
+//! primary acks on local durability alone, exactly as before.
+//!
+//! Every frame send passes a [`SendGate`], the fault-injection seam the
+//! cluster crash sweep uses to kill the primary at every stream-send
+//! point and then prove that promotion loses no client-acked write.
+
+use semex_journal::{export_bootstrap, export_tail, read_ack_cursors, write_ack_cursors, RealIo};
+use semex_serve::protocol::{
+    read_replica_request, write_replica_frame, ReplicaFrame, ReplicaRequest,
+};
+use semex_serve::CommitTap;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fault-injection seam on the replication stream: every frame the hub
+/// sends first passes the gate, and send number `crash_at` (0-based,
+/// counted hub-wide) "crashes" the hub — the frame is not sent, every
+/// later send fails, and [`ReplicationHub::on_commit`] refuses forever,
+/// so no client ack can be released past the crash point. Pass
+/// `u64::MAX` to only count sends (the sweep's calibration run).
+#[derive(Debug)]
+pub struct SendGate {
+    crash_at: u64,
+    sends: AtomicU64,
+}
+
+impl SendGate {
+    /// A gate that crashes the hub at send number `crash_at`.
+    pub fn new(crash_at: u64) -> Arc<SendGate> {
+        Arc::new(SendGate {
+            crash_at,
+            sends: AtomicU64::new(0),
+        })
+    }
+
+    /// Total sends attempted so far (calibration).
+    pub fn sends(&self) -> u64 {
+        self.sends.load(Ordering::SeqCst)
+    }
+
+    /// Count one send; `true` means this send crashes the hub.
+    fn fires(&self) -> bool {
+        self.sends.fetch_add(1, Ordering::SeqCst) == self.crash_at
+    }
+}
+
+/// Hub tunables.
+#[derive(Debug, Clone)]
+pub struct HubConfig {
+    /// How long [`ReplicationHub::on_commit`] waits for a connected
+    /// follower's ack before evicting it from the synchronous set (the
+    /// production escape hatch for a dead follower; it never fires in the
+    /// fault sweep).
+    pub ack_timeout: Duration,
+    /// Per-follower socket timeout for the lock-step ack read.
+    pub io_timeout: Duration,
+    /// Optional send-fault gate (tests); `None` sends unconditionally.
+    pub send_gate: Option<Arc<SendGate>>,
+}
+
+impl Default for HubConfig {
+    fn default() -> HubConfig {
+        HubConfig {
+            ack_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            send_gate: None,
+        }
+    }
+}
+
+/// Everything the condvar guards.
+#[derive(Debug)]
+struct HubState {
+    /// The primary's durable head as last announced (or observed in an
+    /// export, whichever is further).
+    head: u64,
+    /// Connected followers and the sequence each has acknowledged — the
+    /// synchronous set [`ReplicationHub::on_commit`] waits on.
+    connected: HashMap<String, u64>,
+    /// Acknowledged cursors for every follower ever seen, persisted to
+    /// the journal directory so they survive a primary restart.
+    cursors: HashMap<String, u64>,
+    /// Set when the send gate fired: the hub is "crashed" and every ack
+    /// gate refuses from here on.
+    crashed: Option<String>,
+    /// Graceful drain has begun.
+    draining: bool,
+}
+
+/// The primary-side replication endpoint. See the module docs.
+pub struct ReplicationHub {
+    dir: PathBuf,
+    config: HubConfig,
+    addr: SocketAddr,
+    state: Mutex<HubState>,
+    // One condvar for every hub event: head advance, ack arrival,
+    // follower churn, crash, drain. Waiters re-check their own predicate.
+    changed: Condvar,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    listener: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ReplicationHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationHub")
+            .field("dir", &self.dir)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicationHub {
+    /// Start a hub shipping the journal under `dir`, listening on `addr`
+    /// (use port 0 for an ephemeral port). `initial_head` is the
+    /// journal's durable head at start (the master's boot epoch) — what
+    /// followers are entitled to before the first commit.
+    pub fn start(
+        dir: PathBuf,
+        addr: impl ToSocketAddrs,
+        initial_head: u64,
+        config: HubConfig,
+    ) -> io::Result<Arc<ReplicationHub>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let hub = Arc::new(ReplicationHub {
+            state: Mutex::new(HubState {
+                head: initial_head,
+                connected: HashMap::new(),
+                cursors: read_ack_cursors(&dir),
+                crashed: None,
+                draining: false,
+            }),
+            dir,
+            config,
+            addr,
+            changed: Condvar::new(),
+            threads: Mutex::new(Vec::new()),
+            listener: Mutex::new(None),
+        });
+        let accept_hub = Arc::clone(&hub);
+        let handle = std::thread::Builder::new()
+            .name("semex-replica-hub".into())
+            .spawn(move || accept_loop(accept_hub, listener))?;
+        *hub.listener.lock().expect("hub lock poisoned") = Some(handle);
+        Ok(hub)
+    }
+
+    /// The replication endpoint's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The sequence every follower named in `names` has acknowledged
+    /// (`0` for one never heard from).
+    pub fn acked(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("hub state poisoned")
+            .cursors
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Block until follower `name` is connected (in the synchronous set),
+    /// or `deadline` elapses. The no-lost-acks guarantee covers writes
+    /// acked *after* a follower joined the set — a primary that starts
+    /// taking writes before any follower connects acks on local
+    /// durability alone, so an operator (or test) that wants the cluster
+    /// guarantee waits on this first.
+    pub fn wait_for_follower(&self, name: &str, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut state = self.state.lock().expect("hub state poisoned");
+        while !state.connected.contains_key(name) {
+            let Some(left) = deadline.checked_sub(start.elapsed()) else {
+                return false;
+            };
+            state = self
+                .changed
+                .wait_timeout(state, left)
+                .expect("hub state poisoned")
+                .0;
+        }
+        true
+    }
+
+    /// Block until follower `name` has acknowledged `seq`, or `deadline`
+    /// elapses. `true` when the ack arrived.
+    pub fn wait_for_ack(&self, name: &str, seq: u64, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut state = self.state.lock().expect("hub state poisoned");
+        loop {
+            if state.cursors.get(name).copied().unwrap_or(0) >= seq {
+                return true;
+            }
+            let Some(left) = deadline.checked_sub(start.elapsed()) else {
+                return false;
+            };
+            let (next, timeout) = self
+                .changed
+                .wait_timeout(state, left)
+                .expect("hub state poisoned");
+            state = next;
+            if timeout.timed_out() && state.cursors.get(name).copied().unwrap_or(0) < seq {
+                return false;
+            }
+        }
+    }
+
+    /// Graceful drain: stop accepting followers, send each a typed
+    /// [`ReplicaFrame::End`], and join every hub thread.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.state.lock().expect("hub state poisoned");
+            state.draining = true;
+            self.changed.notify_all();
+        }
+        // Wake the accept loop so it observes the drain flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(listener) = self.listener.lock().expect("hub lock poisoned").take() {
+            let _ = listener.join();
+        }
+        let threads: Vec<_> = self
+            .threads
+            .lock()
+            .expect("hub lock poisoned")
+            .drain(..)
+            .collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Persist and publish an ack from `name`.
+    fn record_ack(&self, name: &str, seq: u64) {
+        let cursors = {
+            let mut state = self.state.lock().expect("hub state poisoned");
+            let slot = state.connected.entry(name.to_string()).or_insert(0);
+            *slot = (*slot).max(seq);
+            let cur = state.cursors.entry(name.to_string()).or_insert(0);
+            *cur = (*cur).max(seq);
+            self.changed.notify_all();
+            state.cursors.clone()
+        };
+        // Cursor persistence is plain `std::fs` on purpose: it must not
+        // perturb the journal I/O op counts the fault sweep enumerates,
+        // and losing it costs only a re-ship, never correctness.
+        let _ = write_ack_cursors(&self.dir, &cursors);
+    }
+
+    /// Mark the hub crashed (send gate fired) and wake everyone.
+    fn crash(&self, reason: String) {
+        let mut state = self.state.lock().expect("hub state poisoned");
+        if state.crashed.is_none() {
+            state.crashed = Some(reason);
+        }
+        self.changed.notify_all();
+    }
+
+    /// Send one frame through the gate. An `Err` means the hub crashed —
+    /// the caller must stop its stream.
+    fn send(&self, stream: &mut TcpStream, frame: &ReplicaFrame) -> Result<(), String> {
+        if let Some(gate) = &self.config.send_gate {
+            if gate.fires() {
+                let reason = "injected crash at replication send".to_string();
+                self.crash(reason.clone());
+                let _ = stream.shutdown(Shutdown::Both);
+                return Err(reason);
+            }
+        }
+        if self
+            .state
+            .lock()
+            .expect("hub state poisoned")
+            .crashed
+            .is_some()
+        {
+            return Err("replication hub already crashed".into());
+        }
+        write_replica_frame(stream, frame).map_err(|e| e.to_string())
+    }
+}
+
+impl CommitTap for ReplicationHub {
+    /// Announce a durable head advance and block until the synchronous
+    /// follower set has acknowledged it. Followers that stay silent past
+    /// the ack timeout are evicted from the set (and will re-enter it on
+    /// their next ack); a crashed hub refuses, which withholds the
+    /// batch's client acks.
+    fn on_commit(&self, head: u64) -> Result<(), String> {
+        let mut state = self.state.lock().expect("hub state poisoned");
+        state.head = state.head.max(head);
+        self.changed.notify_all();
+        let deadline = Instant::now() + self.config.ack_timeout;
+        loop {
+            if let Some(reason) = &state.crashed {
+                return Err(format!("replication stream crashed: {reason}"));
+            }
+            let laggards: Vec<String> = state
+                .connected
+                .iter()
+                .filter(|(_, &acked)| acked < head)
+                .map(|(name, _)| name.clone())
+                .collect();
+            if laggards.is_empty() {
+                return Ok(());
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                // Production escape: a dead follower must not wedge the
+                // primary's write path. Evict it from the synchronous set;
+                // it re-enters when it acks again.
+                for name in laggards {
+                    state.connected.remove(&name);
+                }
+                self.changed.notify_all();
+                return Ok(());
+            };
+            state = self
+                .changed
+                .wait_timeout(state, left)
+                .expect("hub state poisoned")
+                .0;
+        }
+    }
+}
+
+fn accept_loop(hub: Arc<ReplicationHub>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if hub.state.lock().expect("hub state poisoned").draining {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let follower_hub = Arc::clone(&hub);
+        let spawned = std::thread::Builder::new()
+            .name("semex-replica-sender".into())
+            .spawn(move || {
+                let _ = serve_follower(&follower_hub, stream);
+            });
+        if let Ok(handle) = spawned {
+            hub.threads.lock().expect("hub lock poisoned").push(handle);
+        }
+    }
+}
+
+/// One follower's stream: hello, catch-up, then tail-following in
+/// lock-step until drain, crash, or disconnect.
+fn serve_follower(hub: &ReplicationHub, mut stream: TcpStream) -> Result<(), String> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(hub.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(hub.config.io_timeout));
+    let hello = match read_replica_request(&mut stream) {
+        Ok(Some(ReplicaRequest::Hello {
+            follower,
+            have_seq,
+            fresh,
+        })) => (follower, have_seq, fresh),
+        Ok(Some(other)) => return Err(format!("expected hello, got {other:?}")),
+        Ok(None) => return Ok(()), // probe connection (e.g. the drain wake-up)
+        Err(e) => return Err(e.to_string()),
+    };
+    let (name, have_seq, fresh) = hello;
+    // Resume from wherever the follower says it is; the persisted cursor
+    // only ever lags the follower's own durable head.
+    let mut from = have_seq;
+    {
+        let mut state = hub.state.lock().expect("hub state poisoned");
+        state.connected.insert(name.clone(), from);
+        hub.changed.notify_all();
+    }
+    let result = follower_stream(hub, &mut stream, &name, &mut from, fresh);
+    let mut state = hub.state.lock().expect("hub state poisoned");
+    state.connected.remove(&name);
+    hub.changed.notify_all();
+    result
+}
+
+fn follower_stream(
+    hub: &ReplicationHub,
+    stream: &mut TcpStream,
+    name: &str,
+    from: &mut u64,
+    mut fresh: bool,
+) -> Result<(), String> {
+    let io = RealIo;
+    loop {
+        // Wait for work (or a reason to stop) without holding the lock
+        // during any I/O. A fresh follower has no state at all, so the
+        // base snapshot itself is work — ship it without waiting for the
+        // head to move past the follower's (meaningless) position.
+        let head = {
+            let mut state = hub.state.lock().expect("hub state poisoned");
+            loop {
+                if state.crashed.is_some() {
+                    return Err("hub crashed".into());
+                }
+                if state.draining {
+                    let _ = write_replica_frame(
+                        stream,
+                        &ReplicaFrame::End {
+                            reason: "primary is draining".into(),
+                        },
+                    );
+                    return Ok(());
+                }
+                if fresh || state.head > *from {
+                    break state.head;
+                }
+                state = self_wait(hub, state);
+            }
+        };
+        // Ship everything between `from` and the announced head straight
+        // from disk — the journal is the replication log; there is no
+        // second in-memory copy to drift from it.
+        let tail = if fresh {
+            export_bootstrap(&hub.dir, &io).map_err(|e| format!("bootstrap export failed: {e}"))?
+        } else {
+            export_tail(&hub.dir, &io, *from)
+                .map_err(|e| format!("export from {from} failed: {e}"))?
+        };
+        fresh = false;
+        if let Some((base_seq, store)) = &tail.snapshot {
+            let store_json = store
+                .to_json()
+                .map_err(|e| format!("snapshot encode failed: {e}"))?;
+            hub.send(
+                stream,
+                &ReplicaFrame::Snapshot {
+                    base_seq: *base_seq,
+                    store_json,
+                },
+            )?;
+            *from = *base_seq;
+        }
+        let announce_head = head.max(tail.head);
+        for batch in &tail.batches {
+            let mut events_json = Vec::with_capacity(batch.events.len());
+            for event in &batch.events {
+                events_json.push(serde_json::to_string(event).map_err(|e| e.to_string())?);
+            }
+            hub.send(
+                stream,
+                &ReplicaFrame::Batch {
+                    start_seq: batch.start_seq,
+                    head: announce_head,
+                    events_json,
+                },
+            )?;
+            // Lock-step: one batch in flight, acked before the next. The
+            // ack carries the follower's new durable head.
+            match read_replica_request(stream) {
+                Ok(Some(ReplicaRequest::Ack { seq })) => {
+                    hub.record_ack(name, seq);
+                    *from = seq.max(batch.end_seq());
+                }
+                Ok(Some(other)) => return Err(format!("expected ack, got {other:?}")),
+                Ok(None) => return Ok(()), // follower hung up
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        if tail.batches.is_empty() && tail.snapshot.is_none() {
+            // Head says there is more but the exportable tail is empty:
+            // the last batch is still being sealed. Re-check shortly.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// One bounded condvar wait (bounded so drain/crash flags are never
+/// missed for long even without a notify).
+fn self_wait<'a>(
+    hub: &'a ReplicationHub,
+    state: std::sync::MutexGuard<'a, HubState>,
+) -> std::sync::MutexGuard<'a, HubState> {
+    hub.changed
+        .wait_timeout(state, Duration::from_millis(50))
+        .expect("hub state poisoned")
+        .0
+}

@@ -124,11 +124,16 @@ impl Client {
     }
 
     /// Send one request, transparently retrying typed `overloaded`
-    /// refusals with capped exponential backoff and jitter. Reconnects
-    /// before each retry — a connection shed at the door is closed after
-    /// its `overloaded` answer, and a fresh connection is the only way
-    /// back in. Exhausted retries return the last `overloaded` response so
-    /// the caller still sees a typed refusal, never a synthetic error.
+    /// refusals *and* transport failures — a connection dropped
+    /// mid-stream (reset, timeout, a frame cut off by a dying server) —
+    /// with the same capped exponential backoff and jitter. Reconnects
+    /// before each retry: a connection shed at the door is closed after
+    /// its `overloaded` answer, and a broken one is useless anyway, so a
+    /// fresh connection is the only way back in. Decode-layer errors
+    /// (malformed, oversized, foreign version) are protocol bugs that a
+    /// retry cannot fix; they surface immediately. Exhausted retries
+    /// return the last `overloaded` response or transport error so the
+    /// caller still sees the real refusal, never a synthetic error.
     pub fn request_with_retry(
         &mut self,
         request: &Request,
@@ -136,7 +141,19 @@ impl Client {
     ) -> Result<Response, FrameError> {
         let mut attempt = 0u32;
         loop {
-            let response = self.request(request)?;
+            let response = match self.request(request) {
+                Ok(response) => response,
+                Err(e) if retryable(&e) => {
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                    self.reconnect_with_backoff(policy, &mut attempt)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let Response::Overloaded { .. } = &response else {
                 return Ok(response);
             };
@@ -145,8 +162,40 @@ impl Client {
             }
             std::thread::sleep(policy.backoff(attempt));
             attempt += 1;
-            // The server may have hung up after shedding; start clean.
-            self.stream = Client::open(self.addr, self.timeout)?;
+            self.reconnect_with_backoff(policy, &mut attempt)?;
         }
     }
+
+    /// Replace the connection, burning retry attempts (with their backoff
+    /// sleeps) on refused connects until one succeeds or the budget runs
+    /// out — so a restarting server is waited for, not given up on after
+    /// a single refused SYN.
+    fn reconnect_with_backoff(
+        &mut self,
+        policy: &RetryPolicy,
+        attempt: &mut u32,
+    ) -> Result<(), FrameError> {
+        loop {
+            match Client::open(self.addr, self.timeout) {
+                Ok(stream) => {
+                    self.stream = stream;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if *attempt >= policy.max_retries {
+                        return Err(FrameError::Io(e));
+                    }
+                    std::thread::sleep(policy.backoff(*attempt));
+                    *attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Transport-level failures worth a reconnect-and-resend: I/O errors and
+/// frames cut off mid-read. Everything else in [`FrameError`] means the
+/// peer spoke the protocol wrong.
+fn retryable(e: &FrameError) -> bool {
+    matches!(e, FrameError::Io(_) | FrameError::Truncated { .. })
 }

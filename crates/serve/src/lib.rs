@@ -57,14 +57,16 @@ pub mod json;
 pub mod protocol;
 
 mod client;
+mod role;
 mod server;
 mod writer;
 
 pub use client::{Client, RetryPolicy};
+pub use role::{CommitTap, ReplicaRole};
 pub use semex_cache::{ReadCache, TenantCacheStats};
 pub use semex_tenant::{
     EpochSnapshot, Master, PoolConfig, PoolReport, PoolSnapshot, SnapshotEngine, TenantId,
     TenantRegistry,
 };
-pub use server::{serve, serve_tenants, ServeConfig, ServeHandle, ServeReport};
+pub use server::{serve, serve_tenants, ReplicationSink, ServeConfig, ServeHandle, ServeReport};
 pub use writer::{Applied, WriteCommand, WriterReport};

@@ -17,6 +17,12 @@ use std::io::{ErrorKind, Read, Write};
 /// this is generous; anything larger is an attack or a bug).
 pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
 
+/// Frame cap on the replication stream. Replication frames carry whole
+/// bootstrap snapshots and sealed commit batches, which dwarf client
+/// requests; the cap matches the journal's own record payload ceiling so
+/// anything the journal can seal, the wire can ship.
+pub const REPLICA_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
 /// The protocol version this build speaks. Request frames carry a `v`
 /// field; a missing field means version 1 (the pre-versioning wire
 /// format), so old clients keep working. Frames announcing any other
@@ -121,6 +127,11 @@ pub enum Request {
     },
     /// Store statistics of the current snapshot.
     Stats,
+    /// Promote a follower to primary after primary loss: stop pulling,
+    /// finish applying every frame already received (the wait-for-
+    /// durable-prefix handshake), and start accepting writes. A no-op
+    /// with a typed answer on a server that is already primary.
+    Promote,
     /// Begin graceful shutdown: drain in-flight requests, commit the
     /// journal, stop accepting connections.
     Shutdown,
@@ -213,6 +224,12 @@ pub enum ErrorKindWire {
     /// The request frame announced a protocol version this server does
     /// not speak; nothing was executed.
     UnsupportedVersion,
+    /// This server is a replication follower: writes must go to the
+    /// primary (or wait for a promotion).
+    NotPrimary,
+    /// This follower's replication lag exceeds its `--max-lag` bound;
+    /// the read was refused rather than served from stale state.
+    StaleReplica,
     /// Internal error (the request may or may not have been applied).
     Internal,
 }
@@ -227,6 +244,8 @@ impl ErrorKindWire {
             ErrorKindWire::Degraded => "degraded",
             ErrorKindWire::ShuttingDown => "shutting_down",
             ErrorKindWire::UnsupportedVersion => "unsupported_version",
+            ErrorKindWire::NotPrimary => "not_primary",
+            ErrorKindWire::StaleReplica => "stale_replica",
             ErrorKindWire::Internal => "internal",
         }
     }
@@ -240,6 +259,8 @@ impl ErrorKindWire {
             "degraded" => ErrorKindWire::Degraded,
             "shutting_down" => ErrorKindWire::ShuttingDown,
             "unsupported_version" => ErrorKindWire::UnsupportedVersion,
+            "not_primary" => ErrorKindWire::NotPrimary,
+            "stale_replica" => ErrorKindWire::StaleReplica,
             "internal" => ErrorKindWire::Internal,
             _ => return None,
         })
@@ -341,6 +362,22 @@ pub enum Response {
         /// pre-cache clients decode unchanged.
         cache: Option<CacheStatsWire>,
     },
+    /// This server is (now) the primary: a `promote` finished its
+    /// wait-for-durable-prefix handshake, or the server was already
+    /// primary (promotion is idempotent).
+    Promoted {
+        /// The epoch the new primary serves and accepts writes from —
+        /// every acknowledged write at or below it survived the failover.
+        epoch: u64,
+    },
+    /// A replicated batch was folded into this follower. Internal to the
+    /// replication pull path — it never answers a client request, but it
+    /// rides the same `Response` channel as every other write ack.
+    Replicated {
+        /// The follower's new durable head — the sequence it acknowledges
+        /// back to the primary.
+        epoch: u64,
+    },
     /// Graceful shutdown has begun.
     ShutdownAck {
         /// The final published epoch.
@@ -359,6 +396,82 @@ pub enum Response {
         kind: ErrorKindWire,
         /// Human-readable detail.
         message: String,
+    },
+}
+
+/// What a follower sends up the replication stream.
+///
+/// The stream opens with exactly one `Hello` announcing who the follower
+/// is and where its own journal's durable head stands; after that the
+/// follower only ever sends `Ack`s, one per applied batch, carrying its
+/// new durable head. The primary's per-follower sender uses the acked
+/// sequence for the no-lost-acks wait and for lag accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaRequest {
+    /// Stream opener: identity + resume position.
+    Hello {
+        /// Stable follower name (ack cursors are tracked under it).
+        follower: String,
+        /// The follower's durable head: the global sequence number it
+        /// wants the stream to resume from.
+        have_seq: u64,
+        /// This follower holds no journal state at all — not even the
+        /// state at sequence 0. The primary must open the stream with its
+        /// base snapshot even when `have_seq` equals the snapshot's base
+        /// (a journal initialized from a pre-populated store folds that
+        /// whole store into its sequence-0 snapshot, which batches alone
+        /// can never reproduce).
+        fresh: bool,
+    },
+    /// The follower journaled and applied everything below `seq`.
+    Ack {
+        /// The follower's new durable head.
+        seq: u64,
+    },
+}
+
+/// What the primary ships down the replication stream.
+///
+/// Store events cross the wire in their canonical `serde_json` encoding —
+/// the exact bytes the journal itself seals — carried as strings inside
+/// the frame envelope, so the follower applies byte-for-byte what the
+/// primary journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaFrame {
+    /// Bootstrap image: the follower's position predates the primary's
+    /// compacted base, so segments alone cannot catch it up. The follower
+    /// installs this as its initial journal snapshot and re-announces
+    /// from `base_seq`.
+    Snapshot {
+        /// Global sequence number the image folds in.
+        base_seq: u64,
+        /// The store image (`Store::to_json`).
+        store_json: String,
+    },
+    /// One sealed commit batch.
+    Batch {
+        /// Global sequence number of the first event.
+        start_seq: u64,
+        /// The primary's durable head at send time — the follower's lag
+        /// is `head - its own position`, tracked without extra round
+        /// trips.
+        head: u64,
+        /// The batch's events, each one `serde_json`-encoded.
+        events_json: Vec<String>,
+    },
+    /// The follower's announced position is incompatible with this
+    /// primary's journal (an acked boundary the journal never produced).
+    /// The stream ends; operator intervention (re-seed the follower) is
+    /// required.
+    Diverged {
+        /// What was incompatible.
+        reason: String,
+    },
+    /// Graceful end of stream (primary drain or shutdown). The follower
+    /// should reconnect with backoff rather than treat it as an error.
+    End {
+        /// Why the stream ended.
+        reason: String,
     },
 }
 
@@ -452,6 +565,7 @@ impl Request {
                 obj("assert_distinct", vec![field("a", *a), field("b", *b)])
             }
             Request::Stats => obj("stats", vec![]),
+            Request::Promote => obj("promote", vec![]),
             Request::Shutdown => obj("shutdown", vec![]),
         }
     }
@@ -496,6 +610,7 @@ impl Request {
                 b: need_u64(v, "b")?,
             },
             "stats" => Request::Stats,
+            "promote" => Request::Promote,
             "shutdown" => Request::Shutdown,
             other => return Err(shape(&format!("unknown request type {other:?}"))),
         })
@@ -707,6 +822,8 @@ impl Response {
                 }
                 obj("stats", fields)
             }
+            Response::Promoted { epoch } => obj("promoted", vec![field("epoch", *epoch)]),
+            Response::Replicated { epoch } => obj("replicated", vec![field("epoch", *epoch)]),
             Response::ShutdownAck { epoch } => obj("shutdown_ack", vec![field("epoch", *epoch)]),
             Response::Overloaded { queue } => {
                 obj("overloaded", vec![field("queue", queue.as_str())])
@@ -815,6 +932,12 @@ impl Response {
                     }),
                 },
             },
+            "promoted" => Response::Promoted {
+                epoch: need_u64(v, "epoch")?,
+            },
+            "replicated" => Response::Replicated {
+                epoch: need_u64(v, "epoch")?,
+            },
             "shutdown_ack" => Response::ShutdownAck {
                 epoch: need_u64(v, "epoch")?,
             },
@@ -827,6 +950,121 @@ impl Response {
                 message: need_str(v, "message")?,
             },
             other => return Err(shape(&format!("unknown response type {other:?}"))),
+        })
+    }
+}
+
+impl ReplicaRequest {
+    /// Encode to compact JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ReplicaRequest::Hello {
+                follower,
+                have_seq,
+                fresh,
+            } => obj(
+                "hello",
+                vec![
+                    field("follower", follower.as_str()),
+                    field("have_seq", *have_seq),
+                    field("fresh", *fresh),
+                ],
+            ),
+            ReplicaRequest::Ack { seq } => obj("ack", vec![field("seq", *seq)]),
+        }
+    }
+
+    /// Decode from parsed JSON.
+    pub fn from_json(v: &Json) -> Result<ReplicaRequest, FrameError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("missing replica request type"))?;
+        Ok(match tag {
+            "hello" => ReplicaRequest::Hello {
+                follower: need_str(v, "follower")?,
+                have_seq: need_u64(v, "have_seq")?,
+                // Absent on the wire from pre-`fresh` followers, which
+                // always held journal state by the time they said hello.
+                fresh: v.get("fresh").and_then(Json::as_bool).unwrap_or(false),
+            },
+            "ack" => ReplicaRequest::Ack {
+                seq: need_u64(v, "seq")?,
+            },
+            other => return Err(shape(&format!("unknown replica request type {other:?}"))),
+        })
+    }
+}
+
+impl ReplicaFrame {
+    /// Encode to compact JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ReplicaFrame::Snapshot {
+                base_seq,
+                store_json,
+            } => obj(
+                "snapshot",
+                vec![
+                    field("base_seq", *base_seq),
+                    field("store_json", store_json.as_str()),
+                ],
+            ),
+            ReplicaFrame::Batch {
+                start_seq,
+                head,
+                events_json,
+            } => obj(
+                "batch",
+                vec![
+                    field("start_seq", *start_seq),
+                    field("head", *head),
+                    (
+                        "events".to_string(),
+                        Json::Arr(events_json.iter().map(|e| Json::from(e.as_str())).collect()),
+                    ),
+                ],
+            ),
+            ReplicaFrame::Diverged { reason } => {
+                obj("diverged", vec![field("reason", reason.as_str())])
+            }
+            ReplicaFrame::End { reason } => obj("end", vec![field("reason", reason.as_str())]),
+        }
+    }
+
+    /// Decode from parsed JSON.
+    pub fn from_json(v: &Json) -> Result<ReplicaFrame, FrameError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("missing replica frame type"))?;
+        Ok(match tag {
+            "snapshot" => ReplicaFrame::Snapshot {
+                base_seq: need_u64(v, "base_seq")?,
+                store_json: need_str(v, "store_json")?,
+            },
+            "batch" => ReplicaFrame::Batch {
+                start_seq: need_u64(v, "start_seq")?,
+                head: need_u64(v, "head")?,
+                events_json: v
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| shape("missing events array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| shape("event must be a string"))
+                    })
+                    .collect::<Result<_, FrameError>>()?,
+            },
+            "diverged" => ReplicaFrame::Diverged {
+                reason: need_str(v, "reason")?,
+            },
+            "end" => ReplicaFrame::End {
+                reason: need_str(v, "reason")?,
+            },
+            other => return Err(shape(&format!("unknown replica frame type {other:?}"))),
         })
     }
 }
@@ -908,15 +1146,16 @@ impl FrameError {
 
 /// Write one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
-    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized {
-        len: u32::MAX,
-        max: MAX_FRAME,
-    })?;
-    if len > MAX_FRAME {
-        return Err(FrameError::Oversized {
-            len,
-            max: MAX_FRAME,
-        });
+    write_frame_capped(w, payload, MAX_FRAME)
+}
+
+/// [`write_frame`] under an explicit payload cap (the replication stream
+/// runs the same framing with [`REPLICA_MAX_FRAME`]).
+pub fn write_frame_capped(w: &mut impl Write, payload: &[u8], max: u32) -> Result<(), FrameError> {
+    let len =
+        u32::try_from(payload.len()).map_err(|_| FrameError::Oversized { len: u32::MAX, max })?;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
     }
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
@@ -935,6 +1174,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
 /// first), so a connection loop reuses one allocation across frames.
 /// Returns `false` on a clean close at a frame boundary.
 pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<bool, FrameError> {
+    read_frame_into_capped(r, payload, MAX_FRAME)
+}
+
+/// [`read_frame_into`] under an explicit payload cap. The cap is enforced
+/// against the announced length *before* any payload byte is read.
+pub fn read_frame_into_capped(
+    r: &mut impl Read,
+    payload: &mut Vec<u8>,
+    max: u32,
+) -> Result<bool, FrameError> {
     payload.clear();
     let mut header = [0u8; 4];
     match read_exact_or_eof(r, &mut header)? {
@@ -943,11 +1192,8 @@ pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<bool,
         got => return Err(FrameError::Truncated { wanted: 4, got }),
     }
     let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME {
-        return Err(FrameError::Oversized {
-            len,
-            max: MAX_FRAME,
-        });
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
     }
     payload.resize(len as usize, 0);
     let got = read_exact_or_eof(r, payload)?;
@@ -1043,6 +1289,34 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, FrameError> 
         None => Ok(None),
         Some(payload) => Ok(Some(Response::from_json(&decode_payload(&payload)?)?)),
     }
+}
+
+/// Write one replication-stream request (follower → primary).
+pub fn write_replica_request(w: &mut impl Write, req: &ReplicaRequest) -> Result<(), FrameError> {
+    write_frame_capped(w, req.to_json().encode().as_bytes(), REPLICA_MAX_FRAME)
+}
+
+/// Read one replication-stream request (`Ok(None)` on clean close).
+pub fn read_replica_request(r: &mut impl Read) -> Result<Option<ReplicaRequest>, FrameError> {
+    let mut payload = Vec::new();
+    if !read_frame_into_capped(r, &mut payload, REPLICA_MAX_FRAME)? {
+        return Ok(None);
+    }
+    Ok(Some(ReplicaRequest::from_json(&decode_payload(&payload)?)?))
+}
+
+/// Write one replication-stream frame (primary → follower).
+pub fn write_replica_frame(w: &mut impl Write, frame: &ReplicaFrame) -> Result<(), FrameError> {
+    write_frame_capped(w, frame.to_json().encode().as_bytes(), REPLICA_MAX_FRAME)
+}
+
+/// Read one replication-stream frame (`Ok(None)` on clean close).
+pub fn read_replica_frame(r: &mut impl Read) -> Result<Option<ReplicaFrame>, FrameError> {
+    let mut payload = Vec::new();
+    if !read_frame_into_capped(r, &mut payload, REPLICA_MAX_FRAME)? {
+        return Ok(None);
+    }
+    Ok(Some(ReplicaFrame::from_json(&decode_payload(&payload)?)?))
 }
 
 #[cfg(test)]

@@ -1,0 +1,162 @@
+//! Replication roles for a serving process: primary or follower.
+//!
+//! The serve stack itself stays role-agnostic — it asks two small hooks
+//! for the answers that differ between roles. A [`ReplicaRole`] gates the
+//! request path (a follower refuses writes with `not_primary`, refuses
+//! reads beyond its configured lag bound with `stale_replica`, and turns
+//! a `promote` request into a wait-for-durable-prefix handshake). A
+//! [`CommitTap`] hooks the write path's commit boundary on a primary, so
+//! the replication hub learns of every durable head advance *before* the
+//! client ack is released — which is what makes "no client-acked write is
+//! ever lost" hold across failover: an ack only exists once the
+//! synchronous follower set has the batch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The write path's commit-boundary hook on a replicating primary.
+///
+/// Called after a batch's journal commit succeeds and before any client
+/// ack is sent. The implementation (the replication hub) wakes its
+/// per-follower senders and blocks until the synchronous follower set has
+/// acknowledged `head` (or a policy timeout evicts a dead follower from
+/// the set). An `Err` withholds the batch's client acks: the writes are
+/// durable locally but were never acknowledged, so losing them in a
+/// failover breaks no promise.
+pub trait CommitTap: Send + Sync {
+    /// The primary's durable head advanced to `head`; return once the
+    /// ack-gating replication policy is satisfied.
+    fn on_commit(&self, head: u64) -> Result<(), String>;
+}
+
+/// Shared role state for one serving process.
+///
+/// A process starts as either primary (no `ReplicaRole` at all, the
+/// common case) or follower ([`ReplicaRole::follower`]); a follower
+/// becomes primary exactly once, through [`ReplicaRole::promote`]. The
+/// flag is monotonic — there is deliberately no way back to follower.
+pub struct ReplicaRole {
+    /// True while following; flipped (once) by promotion.
+    follower: AtomicBool,
+    /// Most events a served read may trail the primary's announced head.
+    max_lag: u64,
+    /// The primary's durable head as last announced on the stream.
+    primary_head: AtomicU64,
+    /// The promotion handshake: stop the puller, finish applying every
+    /// frame already received, return the final durable epoch. Installed
+    /// by the replication client once it is running; consumed by the
+    /// first promote.
+    #[allow(clippy::type_complexity)]
+    promote_hook: Mutex<Option<Box<dyn FnOnce() -> u64 + Send>>>,
+}
+
+impl std::fmt::Debug for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaRole")
+            .field("follower", &self.is_follower())
+            .field("max_lag", &self.max_lag)
+            .field("primary_head", &self.primary_head())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaRole {
+    /// A follower role with the given read-lag bound.
+    pub fn follower(max_lag: u64) -> ReplicaRole {
+        ReplicaRole {
+            follower: AtomicBool::new(true),
+            max_lag,
+            primary_head: AtomicU64::new(0),
+            promote_hook: Mutex::new(None),
+        }
+    }
+
+    /// True while this process is a follower.
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// The configured read-lag bound.
+    pub fn max_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    /// Record the primary's durable head, as announced on a stream frame.
+    /// Monotonic: a reconnect announcing an older head (the primary
+    /// restarted and is re-syncing) never makes the lag look smaller.
+    pub fn note_primary_head(&self, head: u64) {
+        self.primary_head.fetch_max(head, Ordering::SeqCst);
+    }
+
+    /// The primary's durable head as last announced.
+    pub fn primary_head(&self) -> u64 {
+        self.primary_head.load(Ordering::SeqCst)
+    }
+
+    /// How many events a snapshot at `epoch` trails the announced head.
+    pub fn lag(&self, epoch: u64) -> u64 {
+        self.primary_head().saturating_sub(epoch)
+    }
+
+    /// Install the promotion handshake (the replication client does this
+    /// once its pull loop is running).
+    pub fn set_promote_hook(&self, hook: Box<dyn FnOnce() -> u64 + Send>) {
+        *self
+            .promote_hook
+            .lock()
+            .expect("promote hook lock poisoned") = Some(hook);
+    }
+
+    /// Promote this process: run the wait-for-durable-prefix handshake
+    /// (stop pulling, apply everything already received) and start
+    /// accepting writes. Returns the final epoch when this call performed
+    /// the promotion, `None` when the process was already primary (the
+    /// caller answers with its current epoch — promotion is idempotent).
+    pub fn promote(&self) -> Option<u64> {
+        let hook = self
+            .promote_hook
+            .lock()
+            .expect("promote hook lock poisoned")
+            .take();
+        // Flip after taking the hook: a concurrent second promote sees
+        // `None` and reports idempotent success, never a double drain.
+        let epoch = hook.map(|h| h());
+        self.follower.store(false, Ordering::SeqCst);
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_tracks_monotonic_head() {
+        let role = ReplicaRole::follower(8);
+        assert_eq!(role.lag(0), 0);
+        role.note_primary_head(100);
+        role.note_primary_head(40); // stale announcement must not rewind
+        assert_eq!(role.primary_head(), 100);
+        assert_eq!(role.lag(90), 10);
+        assert_eq!(role.lag(120), 0);
+    }
+
+    #[test]
+    fn promote_runs_hook_once_and_flips_role() {
+        let role = ReplicaRole::follower(0);
+        role.set_promote_hook(Box::new(|| 77));
+        assert!(role.is_follower());
+        assert_eq!(role.promote(), Some(77));
+        assert!(!role.is_follower());
+        // Second promotion is idempotent: no hook left, still primary.
+        assert_eq!(role.promote(), None);
+        assert!(!role.is_follower());
+    }
+
+    #[test]
+    fn promote_without_hook_still_becomes_primary() {
+        let role = ReplicaRole::follower(0);
+        assert_eq!(role.promote(), None);
+        assert!(!role.is_follower());
+    }
+}

@@ -31,6 +31,7 @@ use crate::protocol::{
     read_request_frame_into, write_frame, write_response, write_response_into, CacheStatsWire,
     ErrorKindWire, FrameError, Request, RequestFrame, Response, WireHit,
 };
+use crate::role::{CommitTap, ReplicaRole};
 use crate::writer::{pool_worker, WriteCommand, WriteJob, WriterReport, WriterStats};
 use semex_cache::{CacheKey, TenantCacheStats};
 use semex_tenant::{
@@ -49,7 +50,7 @@ use std::time::Duration;
 const MAX_SOLUTION_ROWS: usize = 50;
 
 /// Serving-layer tunables.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads executing requests (readers; writes are queued for
     /// the writer workers).
@@ -79,6 +80,34 @@ pub struct ServeConfig {
     /// (it builds the pool internally); [`serve_tenants`] callers set
     /// [`PoolConfig::cache_budget`] directly.
     pub cache_budget: usize,
+    /// Replication role. `None` (the default) is a standalone primary;
+    /// [`ReplicaRole::follower`] makes this server a read replica —
+    /// writes are refused with `not_primary`, reads beyond the role's lag
+    /// bound with `stale_replica`, and a `promote` request flips it to
+    /// primary through the role's handshake.
+    pub role: Option<Arc<ReplicaRole>>,
+    /// Commit-boundary hook for a replicating primary: called with the
+    /// new durable head after every journal commit, *before* the client
+    /// acks release. `None` acks as soon as the local commit is durable.
+    pub commit_tap: Option<Arc<dyn CommitTap>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("threads", &self.threads)
+            .field("writer_threads", &self.writer_threads)
+            .field("conn_queue", &self.conn_queue)
+            .field("write_queue", &self.write_queue)
+            .field("max_batch", &self.max_batch)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("record_writes", &self.record_writes)
+            .field("cache_budget", &self.cache_budget)
+            .field("role", &self.role)
+            .field("commit_tap", &self.commit_tap.as_ref().map(|_| "<tap>"))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -93,6 +122,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(30),
             record_writes: false,
             cache_budget: 0,
+            role: None,
+            commit_tap: None,
         }
     }
 }
@@ -163,6 +194,21 @@ impl ServeHandle {
         self.pool.evict_now(name)
     }
 
+    /// A tenant's current published epoch, if it is resident.
+    pub fn epoch_of(&self, name: &str) -> Option<u64> {
+        self.pool.epoch_of(name)
+    }
+
+    /// A detachable handle the replication puller applies batches
+    /// through. Cheap to clone; it stays valid while the server runs and
+    /// reports shutdown afterward.
+    pub fn replication_sink(&self) -> ReplicationSink {
+        ReplicationSink {
+            pool: Arc::clone(&self.pool),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
     /// Begin graceful shutdown without a client: set the stop flag and
     /// wake the listener. Idempotent; [`ServeHandle::join`] calls it.
     pub fn shutdown(&self) {
@@ -225,6 +271,77 @@ impl ServeHandle {
     }
 }
 
+/// The replication puller's write-path entry: applies replicated commit
+/// batches to a tenant through the ordinary serialized write path (so
+/// they interleave correctly with everything else the writer workers do)
+/// and blocks for each ack. Obtained from
+/// [`ServeHandle::replication_sink`].
+#[derive(Clone)]
+pub struct ReplicationSink {
+    pool: Arc<TenantPool<WriteJob>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ReplicationSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationSink").finish_non_exhaustive()
+    }
+}
+
+impl ReplicationSink {
+    /// Apply one replicated commit batch to `tenant` and block for the
+    /// ack. `events_json` is one serialized
+    /// [`StoreEvent`](semex_store::StoreEvent) per element, as shipped on
+    /// the wire; `start_seq` must equal the follower's durable head.
+    /// Returns the follower's new durable head. A full write queue is
+    /// waited out rather than shed — replication must never silently drop
+    /// a batch — but shutdown aborts the wait.
+    pub fn apply(
+        &self,
+        tenant: &str,
+        start_seq: u64,
+        events_json: Vec<String>,
+    ) -> Result<u64, String> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut job = WriteJob {
+            cmd: WriteCommand::Replicate {
+                start_seq,
+                events_json,
+            },
+            reply: reply_tx,
+        };
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Err("server is shutting down".into());
+            }
+            let handle = match self.pool.activate(tenant) {
+                Ok(handle) => handle,
+                Err(e) => return Err(e.to_string()),
+            };
+            match self.pool.enqueue(&handle, job) {
+                Ok(()) => break,
+                Err(EnqueueError::Full(bounced)) => {
+                    job = bounced;
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(EnqueueError::Retired(bounced)) => job = bounced,
+                Err(EnqueueError::ShuttingDown(_)) => return Err("server is shutting down".into()),
+            }
+        }
+        match reply_rx.recv() {
+            Ok(Response::Replicated { epoch }) => Ok(epoch),
+            Ok(Response::Error { message, .. }) => Err(message),
+            Ok(other) => Err(format!("unexpected replicate ack: {other:?}")),
+            Err(_) => Err("writer worker hung up before acking the replicated batch".into()),
+        }
+    }
+
+    /// A tenant's current published epoch, if it is resident.
+    pub fn epoch_of(&self, tenant: &str) -> Option<u64> {
+        self.pool.epoch_of(tenant)
+    }
+}
+
 /// Start serving a single `master` on `addr` (e.g. `"127.0.0.1:0"` for an
 /// ephemeral port) as the pinned `"default"` tenant. Spawns the listener,
 /// `config.threads` connection workers, and `config.writer_threads` writer
@@ -279,10 +396,11 @@ fn serve_pool(
         let stats = Arc::clone(&writer_stats);
         let stop = Arc::clone(&stop);
         let record = config.record_writes;
+        let tap = config.commit_tap.clone();
         writers.push(
             thread::Builder::new()
                 .name(format!("semex-serve-writer-{i}"))
-                .spawn(move || pool_worker(pool, stats, stop, record))?,
+                .spawn(move || pool_worker(pool, stats, stop, record, tap))?,
         );
     }
 
@@ -300,6 +418,7 @@ fn serve_pool(
             addr,
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
+            role: config.role.clone(),
         };
         workers.push(
             thread::Builder::new()
@@ -370,6 +489,7 @@ struct WorkerCtx {
     addr: SocketAddr,
     read_timeout: Duration,
     write_timeout: Duration,
+    role: Option<Arc<ReplicaRole>>,
 }
 
 fn worker_loop(ctx: WorkerCtx) {
@@ -502,9 +622,31 @@ fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Reply {
         }
         .into();
     }
+    if matches!(request, Request::Promote) {
+        // Promotion through the role's wait-for-durable-prefix handshake;
+        // idempotent on a server that is already primary (including one
+        // that never had a role), which answers its current epoch.
+        let epoch = ctx
+            .role
+            .as_ref()
+            .and_then(|role| role.promote())
+            .unwrap_or_else(|| ctx.pool.epoch_of(name).unwrap_or(0));
+        return Response::Promoted { epoch }.into();
+    }
     let is_write = WriteCommand::from_request(request).is_some();
     if is_write && ctx.stop.load(Ordering::SeqCst) {
         return shutting_down().into();
+    }
+    if is_write {
+        if let Some(role) = &ctx.role {
+            if role.is_follower() {
+                return Response::Error {
+                    kind: ErrorKindWire::NotPrimary,
+                    message: "this server is a read replica; send writes to the primary".into(),
+                }
+                .into();
+            }
+        }
     }
     let tenant = match ctx.pool.activate(name) {
         Ok(tenant) => tenant,
@@ -526,6 +668,27 @@ fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Reply {
     // this snapshot would produce — a write publishes a new epoch and
     // thereby a new key, never a stale hit.
     let at = tenant.engine().load();
+    // A follower bounds how stale an answer may be: reads past the lag
+    // budget are refused with a typed error rather than silently served
+    // old. `Stats` stays exempt — it is the observability endpoint an
+    // operator uses to *watch* a replica catch up.
+    if !matches!(request, Request::Stats) {
+        if let Some(role) = &ctx.role {
+            if role.is_follower() {
+                let lag = role.lag(at.epoch);
+                if lag > role.max_lag() {
+                    return Response::Error {
+                        kind: ErrorKindWire::StaleReplica,
+                        message: format!(
+                            "replica is {lag} events behind the primary (max lag {})",
+                            role.max_lag()
+                        ),
+                    }
+                    .into();
+                }
+            }
+        }
+    }
     match (ctx.pool.read_cache(), canonical_read_key(request)) {
         (Some(cache), Some(canonical)) => {
             let key = CacheKey {

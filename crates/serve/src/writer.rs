@@ -20,6 +20,7 @@
 //! so a client always learns the fate of its write.
 
 use crate::protocol::{ErrorKindWire, IngestFormat, Request, Response};
+use crate::role::CommitTap;
 use semex_core::{Semex, SemexError, SourceSpec};
 use semex_store::ObjectId;
 use semex_tenant::{Master, SnapshotEngine, TenantPool};
@@ -59,6 +60,18 @@ pub enum WriteCommand {
         a: u64,
         /// The other object id.
         b: u64,
+    },
+    /// Apply one replicated commit batch (follower mode only). Never
+    /// built from a client request — the replication puller enqueues it
+    /// directly, so replicated applies share the tenant's serialized
+    /// write path with everything else.
+    Replicate {
+        /// Global sequence of the batch's first event; must equal the
+        /// follower's durable head or the batch is refused as divergent.
+        start_seq: u64,
+        /// The batch's store events, one JSON document each (kept encoded
+        /// so the command stays comparable and cheap to clone).
+        events_json: Vec<String>,
     },
 }
 
@@ -151,8 +164,41 @@ impl WriteCommand {
                 let accepted = semex.assert_distinct(a, b);
                 Ok(Applied::Asserted { merged: accepted })
             }
+            WriteCommand::Replicate { .. } => Err(Response::Error {
+                kind: ErrorKindWire::BadRequest,
+                message: "a replicated batch applies through a journal-backed master, \
+                          not a bare platform"
+                    .into(),
+            }),
         }
     }
+}
+
+/// Apply a replicated batch through the master's journal-first path.
+/// Returns the number of events applied (how far the publication epoch
+/// advances beyond what [`Master::commit`] reports, since replicated
+/// events are journaled and folded in directly rather than recorded as
+/// local pending mutations).
+fn apply_replicate(
+    master: &mut Master,
+    start_seq: u64,
+    events_json: &[String],
+) -> Result<u64, Response> {
+    let mut events = Vec::with_capacity(events_json.len());
+    for json in events_json {
+        let event = serde_json::from_str(json).map_err(|e| Response::Error {
+            kind: ErrorKindWire::BadRequest,
+            message: format!("undecodable replicated event: {e}"),
+        })?;
+        events.push(event);
+    }
+    master
+        .apply_replicated(start_seq, &events)
+        .map(|_| events.len() as u64)
+        .map_err(|e| Response::Error {
+            kind: ErrorKindWire::Internal,
+            message: format!("replicated batch refused: {e}"),
+        })
 }
 
 /// A successfully applied write, waiting for its batch to commit so the
@@ -184,6 +230,9 @@ pub enum Applied {
         /// See [`Response::Asserted`].
         merged: bool,
     },
+    /// A replicated batch folded into the follower (the ack epoch is the
+    /// follower's new durable head).
+    Replicated,
 }
 
 impl Applied {
@@ -212,6 +261,7 @@ impl Applied {
                 merged,
             },
             Applied::Asserted { merged } => Response::Asserted { epoch, merged },
+            Applied::Replicated => Response::Replicated { epoch },
         }
     }
 }
@@ -309,10 +359,19 @@ pub(crate) fn pool_worker(
     stats: Arc<WriterStats>,
     stop: Arc<AtomicBool>,
     record_writes: bool,
+    tap: Option<Arc<dyn CommitTap>>,
 ) {
     while let Some(tenant) = pool.next_dispatch() {
         pool.service(&tenant, |master, engine, batch| {
-            service_batch(master, engine, batch, &stats, &stop, record_writes);
+            service_batch(
+                master,
+                engine,
+                batch,
+                &stats,
+                &stop,
+                record_writes,
+                tap.as_deref(),
+            );
         });
         // Publication bumps the tenant's cache generation: results keyed
         // on older epochs become sweepable dead weight. This only takes
@@ -333,8 +392,10 @@ fn service_batch(
     stats: &WriterStats,
     stop: &AtomicBool,
     record_writes: bool,
+    tap: Option<&dyn CommitTap>,
 ) {
     let mut outcomes = Vec::with_capacity(batch.len());
+    let mut replicated: u64 = 0;
     for job in batch {
         if stop.load(Ordering::SeqCst) {
             // Queued but unacked when shutdown began: reject, don't
@@ -342,8 +403,17 @@ fn service_batch(
             stats.reject_shutting_down(job);
             continue;
         }
-        let outcome = job.cmd.apply(master.semex_mut());
-        if record_writes && outcome.is_ok() {
+        let outcome = match &job.cmd {
+            WriteCommand::Replicate {
+                start_seq,
+                events_json,
+            } => apply_replicate(master, *start_seq, events_json).map(|n| {
+                replicated += n;
+                Applied::Replicated
+            }),
+            _ => job.cmd.apply(master.semex_mut()),
+        };
+        if record_writes && outcome.is_ok() && !matches!(job.cmd, WriteCommand::Replicate { .. }) {
             stats
                 .applied
                 .lock()
@@ -357,21 +427,44 @@ fn service_batch(
     }
     stats.batches.fetch_add(1, Ordering::Relaxed);
     let committed = master.commit();
+    // A replicating primary announces the new durable head to its hub
+    // *before* any ack is released; the hub blocks until the synchronous
+    // follower set has it. A tap failure withholds the acks below — the
+    // batch is durable locally but the client never saw an ack, so losing
+    // it in a failover breaks no promise.
+    let tap_err = match (&committed, tap) {
+        (Ok(n), Some(tap)) if *n > 0 => tap.on_commit(master.boot_epoch()).err(),
+        _ => None,
+    };
     // Publish even on commit failure: readers must track the master's
     // in-memory state (which, degraded, still serves the un-durable
     // mutations — exactly the degraded-mode contract). A failed commit
     // advances the epoch by one so readers can still observe the changed
-    // state under a fresh epoch.
+    // state under a fresh epoch. Replicated events are journaled outside
+    // the commit's count, so they advance the epoch separately — keeping
+    // a follower's epoch identical to the primary's at the same state.
     let epoch = match &committed {
-        Ok(n) => engine.publish_advance(master.snapshot(), *n as u64),
+        Ok(n) => engine.publish_advance(master.snapshot(), *n as u64 + replicated),
         Err(_) => engine.publish_advance(master.snapshot(), 1),
     };
     for (reply, outcome) in outcomes {
         let response = match (&committed, outcome) {
-            (Ok(_), Ok(applied)) => {
-                stats.writes_ok.fetch_add(1, Ordering::Relaxed);
-                applied.into_response(epoch)
-            }
+            (Ok(_), Ok(applied)) => match &tap_err {
+                None => {
+                    stats.writes_ok.fetch_add(1, Ordering::Relaxed);
+                    applied.into_response(epoch)
+                }
+                Some(err) => {
+                    stats.writes_failed.fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        kind: ErrorKindWire::Degraded,
+                        message: format!(
+                            "write journaled locally but not acknowledged by the \
+                             replica set: {err}"
+                        ),
+                    }
+                }
+            },
             (Err(e), Ok(_)) => {
                 stats.writes_failed.fetch_add(1, Ordering::Relaxed);
                 Response::Error {

@@ -12,9 +12,11 @@
 
 use proptest::prelude::*;
 use semex_serve::protocol::{
-    read_frame, read_request, read_request_frame, read_response, write_frame, write_request,
-    write_request_frame, write_response, CacheStatsWire, ErrorKindWire, FrameError, IngestFormat,
-    Request, RequestFrame, Response, WireHit, MAX_FRAME, PROTOCOL_VERSION,
+    read_frame, read_frame_into_capped, read_replica_frame, read_replica_request, read_request,
+    read_request_frame, read_response, write_frame, write_frame_capped, write_replica_frame,
+    write_replica_request, write_request, write_request_frame, write_response, CacheStatsWire,
+    ErrorKindWire, FrameError, IngestFormat, ReplicaFrame, ReplicaRequest, Request, RequestFrame,
+    Response, WireHit, MAX_FRAME, PROTOCOL_VERSION, REPLICA_MAX_FRAME,
 };
 
 /// Integers that survive the JSON number representation exactly (the
@@ -70,6 +72,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertSame { a, b }),
         (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertDistinct { a, b }),
         Just(Request::Stats),
+        Just(Request::Promote),
         Just(Request::Shutdown),
     ]
 }
@@ -116,6 +119,8 @@ fn kind_strategy() -> impl Strategy<Value = ErrorKindWire> {
         Just(ErrorKindWire::Degraded),
         Just(ErrorKindWire::ShuttingDown),
         Just(ErrorKindWire::UnsupportedVersion),
+        Just(ErrorKindWire::NotPrimary),
+        Just(ErrorKindWire::StaleReplica),
         Just(ErrorKindWire::Internal),
     ]
 }
@@ -191,6 +196,8 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     cache
                 }
             ),
+        wire_u64().prop_map(|epoch| Response::Promoted { epoch }),
+        wire_u64().prop_map(|epoch| Response::Replicated { epoch }),
         wire_u64().prop_map(|epoch| Response::ShutdownAck { epoch }),
         ".{0,20}".prop_map(|queue| Response::Overloaded { queue }),
         (kind_strategy(), ".{0,60}").prop_map(|(kind, message)| Response::Error { kind, message }),
@@ -211,6 +218,43 @@ fn cache_stats_strategy() -> impl Strategy<Value = Option<CacheStatsWire>> {
                 resident_bytes,
             })
         ),
+    ]
+}
+
+/// Follower identities and event payloads as they cross the replication
+/// stream: the codec does not validate either, so the strategies roam
+/// beyond what a well-behaved peer would send.
+fn replica_request_strategy() -> impl Strategy<Value = ReplicaRequest> {
+    prop_oneof![
+        (".{0,30}", wire_u64(), any::<bool>()).prop_map(|(follower, have_seq, fresh)| {
+            ReplicaRequest::Hello {
+                follower,
+                have_seq,
+                fresh,
+            }
+        }),
+        wire_u64().prop_map(|seq| ReplicaRequest::Ack { seq }),
+    ]
+}
+
+fn replica_frame_strategy() -> impl Strategy<Value = ReplicaFrame> {
+    prop_oneof![
+        (wire_u64(), ".{0,200}").prop_map(|(base_seq, store_json)| ReplicaFrame::Snapshot {
+            base_seq,
+            store_json
+        }),
+        (
+            wire_u64(),
+            wire_u64(),
+            prop::collection::vec(".{0,60}", 0..5)
+        )
+            .prop_map(|(start_seq, head, events_json)| ReplicaFrame::Batch {
+                start_seq,
+                head,
+                events_json
+            }),
+        ".{0,60}".prop_map(|reason| ReplicaFrame::Diverged { reason }),
+        ".{0,60}".prop_map(|reason| ReplicaFrame::End { reason }),
     ]
 }
 
@@ -326,6 +370,85 @@ proptest! {
             other => prop_assert!(false, "unexpected outcome: {:?}", other),
         }
     }
+
+    /// Every follower-to-primary message round-trips byte-exactly, and the
+    /// stream is fully consumed (a second read is a clean close).
+    #[test]
+    fn replica_requests_round_trip(req in replica_request_strategy()) {
+        let mut buf = Vec::new();
+        write_replica_request(&mut buf, &req).unwrap();
+        let mut cursor = buf.as_slice();
+        let back = read_replica_request(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(back, req);
+        prop_assert!(read_replica_request(&mut cursor).unwrap().is_none());
+    }
+
+    /// Every primary-to-follower frame — snapshot, batch, divergence, end
+    /// of stream — round-trips byte-exactly.
+    #[test]
+    fn replica_frames_round_trip(frame in replica_frame_strategy()) {
+        let mut buf = Vec::new();
+        write_replica_frame(&mut buf, &frame).unwrap();
+        let mut cursor = buf.as_slice();
+        let back = read_replica_frame(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(back, frame);
+        prop_assert!(read_replica_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// Cutting a replication frame anywhere strictly inside it surfaces as
+    /// the typed Truncated error — a torn stream mid-batch is told apart
+    /// from garbage, so the follower reconnects instead of degrading.
+    #[test]
+    fn replica_truncation_is_typed(frame in replica_frame_strategy(), cut_fraction in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_replica_frame(&mut buf, &frame).unwrap();
+        let cut = (((buf.len() - 1) as f64) * cut_fraction) as usize + 1;
+        prop_assert!(cut < buf.len());
+        match read_replica_frame(&mut &buf[..cut]) {
+            Err(FrameError::Truncated { wanted, got }) => prop_assert!(got < wanted),
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+        prop_assert!(read_replica_frame(&mut &buf[..0]).unwrap().is_none(), "empty stream closes cleanly");
+    }
+
+    /// Arbitrary framed bytes never panic the replication decoders: typed
+    /// error or value, on both directions of the stream.
+    #[test]
+    fn replica_garbage_never_panics(payload in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        match read_replica_frame(&mut buf.as_slice()) {
+            Ok(_) | Err(FrameError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected frame outcome: {:?}", other),
+        }
+        match read_replica_request(&mut buf.as_slice()) {
+            Ok(_) | Err(FrameError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected request outcome: {:?}", other),
+        }
+    }
+
+    /// Length headers above the replication cap are rejected before any
+    /// payload I/O. The cap is 8x the client cap: a header that is fine
+    /// for a batch frame must still be refused on the client port.
+    #[test]
+    fn replica_oversized_headers_are_rejected(extra in 1u32..1000, trailing in prop::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = (REPLICA_MAX_FRAME + extra).to_be_bytes().to_vec();
+        buf.extend_from_slice(&trailing);
+        let mut payload = Vec::new();
+        match read_frame_into_capped(&mut buf.as_slice(), &mut payload, REPLICA_MAX_FRAME) {
+            Err(FrameError::Oversized { len, max }) => {
+                prop_assert_eq!(len, REPLICA_MAX_FRAME + extra);
+                prop_assert_eq!(max, REPLICA_MAX_FRAME);
+            }
+            other => prop_assert!(false, "unexpected outcome: {:?}", other),
+        }
+        // The same header on the client-facing codec: refused against the
+        // smaller cap, because REPLICA_MAX_FRAME + extra > MAX_FRAME too.
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Oversized { max, .. }) => prop_assert_eq!(max, MAX_FRAME),
+            other => prop_assert!(false, "unexpected client-cap outcome: {:?}", other),
+        }
+    }
 }
 
 /// The frame cap is exact: a payload of exactly [`MAX_FRAME`] bytes
@@ -358,6 +481,52 @@ fn frame_cap_boundary_is_exact() {
             max: MAX_FRAME
         }) if len == MAX_FRAME + 1
     ));
+}
+
+/// The replication frame cap is exact too: a payload of exactly
+/// [`REPLICA_MAX_FRAME`] bytes round-trips, one more byte is the typed
+/// Oversized error on both the write and the read side.
+#[test]
+fn replica_frame_cap_boundary_is_exact() {
+    let at_cap = vec![b'x'; REPLICA_MAX_FRAME as usize];
+    let mut buf = Vec::new();
+    write_frame_capped(&mut buf, &at_cap, REPLICA_MAX_FRAME).unwrap();
+    let mut payload = Vec::new();
+    assert!(read_frame_into_capped(&mut buf.as_slice(), &mut payload, REPLICA_MAX_FRAME).unwrap());
+    assert_eq!(payload.len(), REPLICA_MAX_FRAME as usize);
+
+    assert!(matches!(
+        write_frame_capped(&mut Vec::new(), &buf[..at_cap.len() + 1], REPLICA_MAX_FRAME),
+        Err(FrameError::Oversized {
+            len,
+            max: REPLICA_MAX_FRAME
+        }) if len == REPLICA_MAX_FRAME + 1
+    ));
+    let wire = (REPLICA_MAX_FRAME + 1).to_be_bytes().to_vec();
+    assert!(matches!(
+        read_frame_into_capped(&mut wire.as_slice(), &mut payload, REPLICA_MAX_FRAME),
+        Err(FrameError::Oversized {
+            len,
+            max: REPLICA_MAX_FRAME
+        }) if len == REPLICA_MAX_FRAME + 1
+    ));
+}
+
+/// An oversized batch is refused by the primary's own writer before any
+/// bytes hit the stream — the follower never sees a torn frame.
+#[test]
+fn oversized_replica_writes_are_refused() {
+    let huge = ReplicaFrame::Batch {
+        start_seq: 1,
+        head: 1,
+        events_json: vec!["x".repeat(REPLICA_MAX_FRAME as usize + 1)],
+    };
+    let mut buf = Vec::new();
+    match write_replica_frame(&mut buf, &huge) {
+        Err(FrameError::Oversized { .. }) => {}
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    assert!(buf.is_empty(), "nothing hit the wire");
 }
 
 /// Writing a payload above the cap is refused locally, symmetric with the

@@ -52,6 +52,41 @@ impl Master {
         }
     }
 
+    /// Apply one replicated commit batch starting at global sequence
+    /// `start_seq`. Only a durable master can host a follower (the
+    /// journal is both the durability and the position-tracking
+    /// mechanism); the batch must continue exactly at the journal's
+    /// durable head, else the follower and primary have diverged and the
+    /// batch is refused. Returns the new durable head — the epoch the
+    /// batch is acknowledged at.
+    pub fn apply_replicated(
+        &mut self,
+        start_seq: u64,
+        events: &[semex_journal::Event],
+    ) -> Result<u64, JournalError> {
+        match self {
+            Master::Durable(d) => {
+                let head = d.journal().next_seq();
+                if start_seq != head {
+                    return Err(JournalError::Invalid {
+                        dir: d.journal().dir().to_path_buf(),
+                        reason: format!(
+                            "replicated batch starts at {start_seq} but the follower's \
+                             durable head is {head}"
+                        ),
+                    });
+                }
+                d.apply_replicated(events)
+            }
+            Master::Ephemeral(_) => Err(JournalError::Invalid {
+                dir: std::path::PathBuf::new(),
+                reason: "an ephemeral master cannot follow a primary (no journal to \
+                         track the replicated position)"
+                    .into(),
+            }),
+        }
+    }
+
     /// The epoch this master's snapshot engine should boot at: the
     /// journal's durable event sequence for a durable master (so epochs
     /// survive eviction and recovery), 0 for an ephemeral one.

@@ -57,6 +57,16 @@ echo "==> e16 smoke (read-cache hit rate, latency, and coalescing at CI scale"
 echo "    -> BENCH_cache.json)"
 cargo run --release -q -p semex-bench --bin experiments -- e16-smoke
 
+echo "==> cluster fault sweep (primary crashed at every journal I/O op and every"
+echo "    replication-stream send; promotion must land on an acked boundary, and"
+echo "    follower reads must be byte-identical to the primary at equal epochs)"
+cargo test -q -p semex-replica --test cluster_sweep -- --nocapture
+cargo test -q -p semex-replica --test replica_e2e
+
+echo "==> e17 smoke (1 primary + 1 follower over sockets: catch-up, byte-identical"
+echo "    replica reads, synchronous write-ack cost -> BENCH_replica.json)"
+cargo run --release -q -p semex-bench --bin experiments -- e17-smoke
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

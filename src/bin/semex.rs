@@ -36,10 +36,21 @@
 //!                                         space under <root>, one journal
 //!                                         directory per tenant, LRU-evicted
 //!                                         under the resident-memory budget
+//! semex serve <journal-dir> --listen-replication H:P   additionally ship the
+//!                                         journal to followers; client acks
+//!                                         wait for the connected follower set
+//! semex serve <journal-dir> --replicate-from H:P [--max-lag N]   run as a
+//!                                         read replica of the primary at H:P
+//!                                         (bootstraps via snapshot + journal
+//!                                         tail; writes answer `not_primary`)
+//! semex promote <addr>                    promote a follower to primary after
+//!                                         primary loss (wait-for-durable-
+//!                                         prefix handshake; idempotent)
 //! semex client <addr> [--tenant NAME] [--retries N] <request...>
 //!                                         talk to a running server: search,
 //!                                         query, show, browse, stats, ingest,
-//!                                         integrate, same, distinct, shutdown
+//!                                         integrate, same, distinct, promote,
+//!                                         shutdown
 //! ```
 //!
 //! Wherever a command takes a `<space.json>` snapshot, a journal directory
@@ -53,7 +64,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--cache-mb N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--cache-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
+        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--cache-mb N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--cache-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex serve <journal-dir> --listen-replication HOST:PORT [serve flags...]\n  semex serve <journal-dir> --replicate-from HOST:PORT [--max-lag N] [--follower-name NAME] [serve flags...]\n  semex promote <addr>\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> promote\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
     );
     ExitCode::from(2)
 }
@@ -127,6 +138,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(&args[1..]),
         "communities" => cmd_communities(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "promote" => cmd_promote(&args[1..]),
         "client" => cmd_client(&args[1..]),
         _ => return usage(),
     };
@@ -610,10 +622,37 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut tenants: Option<String> = None;
     let mut path: Option<&String> = None;
     let mut format: Option<SnapshotFormat> = None;
+    let mut listen_replication: Option<String> = None;
+    let mut replicate_from: Option<String> = None;
+    let mut max_lag: u64 = 1024;
+    let mut follower_name: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--listen-replication" => {
+                listen_replication = Some(
+                    it.next()
+                        .ok_or("--listen-replication needs HOST:PORT")?
+                        .clone(),
+                );
+            }
+            "--replicate-from" => {
+                replicate_from = Some(
+                    it.next()
+                        .ok_or("--replicate-from needs the primary's replication HOST:PORT")?
+                        .clone(),
+                );
+            }
+            "--max-lag" => {
+                max_lag = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-lag needs a number of events")?;
+            }
+            "--follower-name" => {
+                follower_name = Some(it.next().ok_or("--follower-name needs a name")?.clone());
+            }
             "--format" => {
                 format = Some(match it.next().map(String::as_str) {
                     Some("json") => SnapshotFormat::Json,
@@ -667,6 +706,62 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if (listen_replication.is_some() || replicate_from.is_some()) && tenants.is_some() {
+        return Err("replication serves a single space, not --tenants".into());
+    }
+    if listen_replication.is_some() && replicate_from.is_some() {
+        return Err("a server is a replication primary or a follower, not both".into());
+    }
+
+    // Follower mode: bootstrap from the primary (snapshot + journal tail),
+    // serve snapshot-isolated reads under the lag bound, refuse writes with
+    // `not_primary` until a `promote`.
+    if let Some(primary) = replicate_from {
+        use std::net::ToSocketAddrs;
+        let Some(path) = path else {
+            return Err("--replicate-from requires a journal directory to follow into".into());
+        };
+        let p = Path::new(path);
+        if p.is_file() {
+            return Err(format!(
+                "--replicate-from needs a journal directory, not a snapshot file: {path}"
+            ));
+        }
+        let primary_addr = primary
+            .to_socket_addrs()
+            .map_err(|e| format!("bad primary address {primary:?}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("primary address {primary:?} resolves to nothing"))?;
+        let journal_config = JournalConfig {
+            snapshot_format: format.unwrap_or_else(|| detect_format(p)),
+            ..JournalConfig::default()
+        };
+        let name = follower_name.unwrap_or_else(|| format!("follower-{}", std::process::id()));
+        let follower = semex::replica::follow(
+            primary_addr,
+            p,
+            addr.as_str(),
+            config,
+            journal_config,
+            max_lag,
+            name.clone(),
+        )?;
+        let mut handle = follower.serve;
+        println!(
+            "following {primary_addr} as {name:?} (max lag {max_lag}) on {} — \
+             reads only; promote with: semex promote {}",
+            handle.addr(),
+            handle.addr()
+        );
+        handle.wait();
+        let report = handle.join();
+        println!(
+            "served {} request(s); final epoch {}",
+            report.requests, report.writer.final_epoch
+        );
+        return Ok(());
+    }
+
     let multi = tenants.is_some();
     let report = if let Some(root) = tenants {
         if path.is_some() {
@@ -713,6 +808,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             )
         };
         let durable = matches!(master, Master::Durable(_));
+        // A replicating primary: the hub ships the journal straight from
+        // disk and gates every client ack on the connected follower set,
+        // so it must be wired into the config before the writers start.
+        let hub = if let Some(listen) = &listen_replication {
+            if !durable {
+                return Err(
+                    "--listen-replication requires a journal directory (the journal \
+                     is the replication log)"
+                        .into(),
+                );
+            }
+            let hub = semex::replica::replicate(
+                p,
+                master.boot_epoch(),
+                listen.as_str(),
+                &mut config,
+                semex::replica::HubConfig::default(),
+            )
+            .map_err(|e| format!("cannot start replication hub: {e}"))?;
+            println!(
+                "shipping the journal to followers on {} — client acks wait for \
+                 the connected follower set",
+                hub.addr()
+            );
+            Some(hub)
+        } else {
+            None
+        };
         let objects = master.semex().store().object_count();
         let mut handle = serve(master, addr.as_str(), config).map_err(|e| e.to_string())?;
         println!(
@@ -722,7 +845,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             handle.addr()
         );
         handle.wait();
-        handle.join()
+        let report = handle.join();
+        if let Some(hub) = hub {
+            hub.shutdown();
+        }
+        report
     };
     println!(
         "served {} request(s); writes: {} ok / {} failed / {} rejected in {} batch(es); \
@@ -759,6 +886,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Promote a follower to primary after primary loss: the server runs its
+/// wait-for-durable-prefix handshake (stop pulling, finish applying the
+/// in-flight batch) and starts accepting writes. Idempotent — promoting a
+/// server that is already primary answers its current epoch.
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    use semex::serve::protocol::{Request, Response};
+    use semex::serve::Client;
+    let [addr] = args else {
+        return Err("promote requires: <addr>".into());
+    };
+    let addr = addr
+        .parse()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    match client
+        .request(&Request::Promote)
+        .map_err(|e| format!("promote failed: {e}"))?
+    {
+        Response::Promoted { epoch } => {
+            println!(
+                "promoted: {addr} is primary at epoch {epoch} — every acknowledged \
+                 write at or below it survived"
+            );
+            Ok(())
+        }
+        other => {
+            print_response(&other);
+            Err("server did not confirm the promotion".into())
+        }
+    }
 }
 
 /// One-shot client: send a single request to a running server and render
@@ -819,6 +978,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             query: rest.join(" "),
         },
         "stats" => Request::Stats,
+        "promote" => Request::Promote,
         "shutdown" => Request::Shutdown,
         "ingest" => {
             let [format, name, file] = rest else {
@@ -953,6 +1113,12 @@ fn print_response(response: &semex::serve::protocol::Response) {
                     cache.hits, cache.misses, cache.coalesced, cache.evictions, cache.resident_bytes
                 );
             }
+        }
+        Response::Promoted { epoch } => {
+            println!("promoted: server is primary at epoch {epoch}")
+        }
+        Response::Replicated { epoch } => {
+            println!("replicated batch folded; durable head {epoch}")
         }
         Response::ShutdownAck { epoch } => println!("server shutting down at epoch {epoch}"),
         Response::Overloaded { queue } => {
