@@ -160,6 +160,11 @@ fn main() {
     } else if want("e17-smoke") {
         e17_replica(true);
     }
+    if want("e18") {
+        e18_query(false);
+    } else if want("e18-smoke") {
+        e18_query(true);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -2722,6 +2727,336 @@ fn e17_replica(smoke: bool) {
     primary.join();
     hub.shutdown();
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+// ---------------------------------------------------------------------
+// E18: the association-path query engine — multi-hop latency vs graph
+// size and hop count, worker-thread scaling on large frontiers, and the
+// over-the-wire cache uplift for a repeated path query.
+// Writes BENCH_query.json for CI tracking.
+// ---------------------------------------------------------------------
+fn e18_query(smoke: bool) {
+    use semex_core::JournalConfig;
+    use semex_model::names::assoc;
+    use semex_query::exec::run;
+    use semex_query::{ExecConfig, PathQuery};
+    use semex_serve::protocol::{IngestFormat, Request, Response};
+    use semex_serve::{serve_tenants, Client, PoolConfig, ServeConfig, TenantRegistry};
+    use semex_store::{SourceInfo, SourceKind};
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("## E18 — path queries ({mode}): hop latency, thread scaling, cache uplift\n");
+
+    let sizes: &[usize] = if smoke {
+        &[100, 300]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    let sweep_reps: usize = if smoke { 10 } else { 40 };
+    let thread_reps: usize = if smoke { 8 } else { 30 };
+    let wire_reads: usize = if smoke { 40 } else { 200 };
+
+    // A synthetic email-and-papers graph shaped like the personal store:
+    // `persons` people, 4x as many messages (one sender, 1-2 recipients,
+    // a date), half as many papers (1-3 authors). Deterministic xorshift
+    // wiring so every run measures the same graph.
+    let build_graph = |persons: usize| -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("e18", SourceKind::Synthetic));
+        let m = st.model();
+        let c_person = m.class(class::PERSON).unwrap();
+        let c_message = m.class(class::MESSAGE).unwrap();
+        let c_paper = m.class(class::PUBLICATION).unwrap();
+        let a_sender = m.assoc(assoc::SENDER).unwrap();
+        let a_recipient = m.assoc(assoc::RECIPIENT).unwrap();
+        let a_authored = m.assoc(assoc::AUTHORED_BY).unwrap();
+        let a_date = m.attr(attr::DATE).unwrap();
+        let mut state = 0xE18_0000u64 | persons as u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let people: Vec<_> = (0..persons).map(|_| st.add_object(c_person)).collect();
+        let papers: Vec<_> = (0..persons.div_ceil(2))
+            .map(|_| st.add_object(c_paper))
+            .collect();
+        for _ in 0..persons * 4 {
+            let msg = st.add_object(c_message);
+            st.add_triple(msg, a_sender, people[next() as usize % persons], src)
+                .unwrap();
+            for _ in 0..1 + next() as usize % 2 {
+                st.add_triple(msg, a_recipient, people[next() as usize % persons], src)
+                    .unwrap();
+            }
+            let date = 1_000_000_000 + (next() % 300_000_000) as i64;
+            st.add_attr(msg, a_date, Value::Date(date)).unwrap();
+        }
+        for &paper in &papers {
+            for _ in 0..1 + next() as usize % 3 {
+                st.add_triple(paper, a_authored, people[next() as usize % persons], src)
+                    .unwrap();
+            }
+        }
+        st
+    };
+    let plan_of = |st: &Store, text: &str| -> PathQuery {
+        semex_query::parse::parse(st, text)
+            .expect("e18 plan parses")
+            .optimize()
+    };
+    let time_runs = |st: &Store, plan: &PathQuery, cfg: &ExecConfig, reps: usize| {
+        let mut lat = Vec::with_capacity(reps);
+        let mut results = 0usize;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            results = run(st, plan, cfg).expect("e18 run").len();
+            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        lat.sort_by(f64::total_cmp);
+        (lat, results)
+    };
+    let pct = |v: &[f64], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    let one = ExecConfig::default();
+
+    // The acceptance-style three-hop question ("papers by coauthors of
+    // the people emailed in a window"), expressed over the raw assocs so
+    // it runs on the synthetic graph; the date filter exercises the
+    // attribute-eval path.
+    let three_hop = "* :Person <-Sender [date in 1000000000..1200000000] ->Recipient <-AuthoredBy";
+
+    // ---- latency vs graph size ---------------------------------------
+    let mut size_rows = Vec::new();
+    let mut t = TextTable::new(&["persons", "objects", "results", "p50 (us)", "p99 (us)"]);
+    for &persons in sizes {
+        let st = build_graph(persons);
+        let plan = plan_of(&st, three_hop);
+        let (lat, results) = time_runs(&st, &plan, &one, sweep_reps);
+        assert!(results > 0, "the three-hop sweep must return something");
+        let objects = st.objects().count();
+        t.row(vec![
+            format!("{persons}"),
+            format!("{objects}"),
+            format!("{results}"),
+            format!("{:.1}", pct(&lat, 0.50)),
+            format!("{:.1}", pct(&lat, 0.99)),
+        ]);
+        size_rows.push(serde_json::json!({
+            "persons": persons,
+            "objects": objects,
+            "results": results,
+            "p50_us": pct(&lat, 0.50),
+            "p99_us": pct(&lat, 0.99),
+        }));
+    }
+    println!(
+        "three hops vs graph size ({sweep_reps} reps, 1 thread):\n{}",
+        t.render()
+    );
+
+    // ---- latency vs hop count (largest graph) ------------------------
+    let st = build_graph(*sizes.last().unwrap());
+    let hop_texts = [
+        "* :Person <-Sender",
+        "* :Person <-Sender ->Recipient",
+        "* :Person <-Sender ->Recipient <-AuthoredBy",
+        "* :Person <-Sender ->Recipient <-AuthoredBy ->AuthoredBy",
+    ];
+    let mut hop_rows = Vec::new();
+    let mut t = TextTable::new(&["hops", "results", "p50 (us)", "p99 (us)"]);
+    for (hops, text) in hop_texts.iter().enumerate() {
+        let plan = plan_of(&st, text);
+        let (lat, results) = time_runs(&st, &plan, &one, sweep_reps);
+        assert!(
+            results > 0,
+            "hop sweep must return something at {} hops",
+            hops + 1
+        );
+        t.row(vec![
+            format!("{}", hops + 1),
+            format!("{results}"),
+            format!("{:.1}", pct(&lat, 0.50)),
+            format!("{:.1}", pct(&lat, 0.99)),
+        ]);
+        hop_rows.push(serde_json::json!({
+            "hops": hops + 1,
+            "results": results,
+            "p50_us": pct(&lat, 0.50),
+            "p99_us": pct(&lat, 0.99),
+        }));
+    }
+    println!("hop count on the largest graph:\n{}", t.render());
+
+    // ---- worker-thread scaling ---------------------------------------
+    // The frontier after hop one is every message (well past
+    // PAR_MIN_FRONTIER), so the batched expansion actually parallelises;
+    // determinism demands bit-identical answers at every thread count.
+    let deep = plan_of(&st, hop_texts[3]);
+    let baseline = run(&st, &deep, &one).expect("e18 baseline");
+    let mut thread_rows = Vec::new();
+    let mut base_p50 = 0.0f64;
+    let mut t = TextTable::new(&["threads", "p50 (us)", "speedup"]);
+    for &threads in &[1usize, 2, 4, 8] {
+        let cfg = ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        };
+        assert_eq!(
+            run(&st, &deep, &cfg).expect("e18 threaded run"),
+            baseline,
+            "answers are a pure function of (snapshot, plan) at {threads} threads"
+        );
+        let (lat, _) = time_runs(&st, &deep, &cfg, thread_reps);
+        let p50 = pct(&lat, 0.50);
+        if threads == 1 {
+            base_p50 = p50;
+        }
+        let speedup = base_p50 / p50.max(1e-9);
+        t.row(vec![
+            format!("{threads}"),
+            format!("{p50:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        thread_rows.push(serde_json::json!({
+            "threads": threads,
+            "p50_us": p50,
+            "speedup": speedup,
+        }));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "four hops, thread scaling ({thread_reps} reps, {cores} core(s) available; \
+         expect slowdown when threads exceed cores):\n{}",
+        t.render()
+    );
+
+    // ---- over-the-wire cache uplift ----------------------------------
+    // Twin servers over an identically seeded personal space: the cached
+    // one replays stored bytes for a recurring path query, the plain one
+    // re-plans and re-walks every time.
+    let corpus = generate_personal(&CorpusConfig {
+        people: 80,
+        organizations: 8,
+        venues: 6,
+        publications: 120,
+        messages: if smoke { 400 } else { 800 },
+        ..CorpusConfig::default()
+    });
+    let seed_files: Vec<(IngestFormat, String, String)> = corpus
+        .files
+        .iter()
+        .filter_map(|(path, content)| {
+            let format = if path.ends_with(".mbox") {
+                IngestFormat::Mbox
+            } else if path.ends_with(".bib") {
+                IngestFormat::Bibtex
+            } else {
+                return None;
+            };
+            Some((format, path.clone(), content.clone()))
+        })
+        .collect();
+    let scratch = std::env::temp_dir().join(format!("semex-e18-{mode}-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let start = |tag: &str, cache_budget: usize| {
+        let registry = TenantRegistry::open(scratch.join(tag)).expect("registry");
+        let pool = PoolConfig {
+            cache_budget,
+            journal: JournalConfig {
+                fsync: false,
+                ..JournalConfig::default()
+            },
+            ..PoolConfig::default()
+        };
+        serve_tenants(registry, "127.0.0.1:0", ServeConfig::default(), pool).expect("bind")
+    };
+    let cached = start("cached", 32 << 20);
+    let plain = start("plain", 0);
+    for handle in [&cached, &plain] {
+        let mut client = Client::connect(handle.addr())
+            .expect("seed client")
+            .with_tenant("pim");
+        for (format, path, content) in &seed_files {
+            let response = client
+                .request(&Request::Ingest {
+                    format: *format,
+                    name: path.clone(),
+                    content: content.clone(),
+                })
+                .expect("seed ingest");
+            assert!(matches!(response, Response::Ingested { .. }));
+        }
+    }
+    // Four hops and a small page: the uncached side re-plans and re-walks
+    // the whole traversal every time, the cached side replays a few
+    // hundred bytes.
+    let wire_request = Request::PathQuery {
+        path: "* :Person <-Sender ->Recipient <-AuthoredBy ->AuthoredBy".into(),
+        page: 10,
+        cursor: None,
+    };
+    let measure = |addr: std::net::SocketAddr| -> (Response, Vec<f64>) {
+        let mut client = Client::connect(addr)
+            .expect("wire client")
+            .with_tenant("pim");
+        let first = client.request(&wire_request).expect("wire warm-up");
+        let mut lat = Vec::with_capacity(wire_reads);
+        for _ in 0..wire_reads {
+            let t0 = Instant::now();
+            client.request(&wire_request).expect("wire read");
+            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        lat.sort_by(f64::total_cmp);
+        (first, lat)
+    };
+    let (plain_first, plain_lat) = measure(plain.addr());
+    let (cached_first, cached_lat) = measure(cached.addr());
+    assert!(
+        matches!(plain_first, Response::PathPage { .. }),
+        "the wire query answers: {plain_first:?}"
+    );
+    assert_eq!(cached_first, plain_first, "twins agree on the path page");
+    let uplift = pct(&plain_lat, 0.50) / pct(&cached_lat, 0.50).max(1e-9);
+    println!(
+        "wire replay ({wire_reads} reads): uncached p50 {:.1}us, cached p50 {:.1}us, \
+         {uplift:.1}x uplift\n",
+        pct(&plain_lat, 0.50),
+        pct(&cached_lat, 0.50),
+    );
+    cached.join();
+    plain.join();
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let wanted = if smoke { 1.5 } else { 2.0 };
+    assert!(
+        uplift >= wanted,
+        "a cached path query must replay at least {wanted}x faster, got {uplift:.2}x"
+    );
+
+    let bench = serde_json::json!({
+        "experiment": "e18-query",
+        "mode": mode,
+        "sweep_reps": sweep_reps,
+        "graph_size": size_rows,
+        "hops": hop_rows,
+        "cores_available": cores,
+        "threads": thread_rows,
+        "wire_cache": {
+            "reads": wire_reads,
+            "uncached_p50_us": pct(&plain_lat, 0.50),
+            "uncached_p99_us": pct(&plain_lat, 0.99),
+            "cached_p50_us": pct(&cached_lat, 0.50),
+            "cached_p99_us": pct(&cached_lat, 0.99),
+            "p50_uplift": uplift,
+        },
+    });
+    let record = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    if let Err(e) = std::fs::write("BENCH_query.json", record) {
+        eprintln!("could not write BENCH_query.json: {e}\n");
+    } else {
+        println!("wrote BENCH_query.json ({mode}, {uplift:.1}x cached uplift)\n");
+    }
 }
 
 // Quiet the unused-import warning when a subset of experiments runs.

@@ -56,26 +56,36 @@ impl Pattern {
 /// A variable binding set for one solution.
 pub type Binding = HashMap<String, ObjectId>;
 
-fn resolve(term: &Term, binding: &Binding) -> Option<ObjectId> {
+/// The in-flight binding environment: a stack of `(variable, value)`
+/// frames. Binding pushes, backtracking truncates — no per-step map
+/// clones or removals, and the join never hashes. Values are stored
+/// alias-resolved, so lookups compare ids directly.
+type Stack = Vec<(String, ObjectId)>;
+
+fn lookup(stack: &[(String, ObjectId)], name: &str) -> Option<ObjectId> {
+    stack.iter().rev().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+fn resolve(store: &Store, term: &Term, stack: &[(String, ObjectId)]) -> Option<ObjectId> {
     match term {
-        Term::Const(o) => Some(*o),
-        Term::Var(v) => binding.get(v).copied(),
+        Term::Const(o) => Some(store.resolve(*o)),
+        Term::Var(v) => lookup(stack, v),
     }
 }
 
 /// How bound a pattern is under the current bindings (higher = cheaper).
-fn boundness(p: &Pattern, binding: &Binding) -> u32 {
-    u32::from(resolve(&p.subject, binding).is_some())
-        + u32::from(resolve(&p.object, binding).is_some())
+fn boundness(store: &Store, p: &Pattern, stack: &[(String, ObjectId)]) -> u32 {
+    u32::from(resolve(store, &p.subject, stack).is_some())
+        + u32::from(resolve(store, &p.object, stack).is_some())
 }
 
 /// Evaluate a conjunctive pattern query, returning all variable bindings.
 /// Solutions are deduplicated and returned in a deterministic order.
 pub fn query(store: &Store, patterns: &[Pattern]) -> Vec<Binding> {
     let mut results = Vec::new();
-    let mut binding = Binding::new();
+    let mut stack = Stack::new();
     let mut used = vec![false; patterns.len()];
-    solve(store, patterns, &mut used, &mut binding, &mut results);
+    solve(store, patterns, &mut used, &mut stack, &mut results);
     // Deterministic order: sort by the rendered binding.
     results.sort_by_key(|b| {
         let mut items: Vec<(&String, &ObjectId)> = b.iter().collect();
@@ -93,26 +103,35 @@ fn solve(
     store: &Store,
     patterns: &[Pattern],
     used: &mut [bool],
-    binding: &mut Binding,
+    stack: &mut Stack,
     results: &mut Vec<Binding>,
 ) {
     // Pick the most-bound unused pattern.
     let next = (0..patterns.len())
         .filter(|&i| !used[i])
-        .max_by_key(|&i| boundness(&patterns[i], binding));
+        .max_by_key(|&i| boundness(store, &patterns[i], stack));
     let Some(i) = next else {
-        results.push(binding.clone());
+        results.push(stack.iter().cloned().collect());
         return;
     };
     used[i] = true;
     let p = &patterns[i];
-    let s = resolve(&p.subject, binding);
-    let o = resolve(&p.object, binding);
+    let s = resolve(store, &p.subject, stack);
+    let o = resolve(store, &p.object, stack);
+    // Cycle guard: a pattern whose subject and object name the same
+    // (still-unbound) variable — a variable revisited within one clause,
+    // e.g. after returning to it through an inverse hop — can only match
+    // self-loops. Enumerating only those keeps the revisit from fanning
+    // out into pairs the bind check below would reject one by one.
+    let self_loop = match (&p.subject, &p.object) {
+        (Term::Var(a), Term::Var(b)) => a == b,
+        _ => false,
+    };
 
     // Enumerate matching (subject, object) pairs for this pattern.
     let candidates: Vec<(ObjectId, ObjectId)> = match (s, o) {
         (Some(s), Some(o)) => {
-            if store.neighbors(s, p.assoc).contains(&store.resolve(o)) {
+            if store.neighbors(s, p.assoc).contains(&o) {
                 vec![(s, o)]
             } else {
                 Vec::new()
@@ -121,11 +140,13 @@ fn solve(
         (Some(s), None) => store
             .neighbors(s, p.assoc)
             .iter()
+            .filter(|&&t| !self_loop || t == s)
             .map(|&t| (s, t))
             .collect(),
         (None, Some(o)) => store
             .inverse_neighbors(o, p.assoc)
             .iter()
+            .filter(|&&t| !self_loop || t == o)
             .map(|&t| (t, o))
             .collect(),
         (None, None) => {
@@ -133,8 +154,11 @@ fn solve(
             let domain = store.model().assoc_def(p.assoc).domain;
             let mut out = Vec::new();
             for s in store.objects_of_class(domain) {
+                let s = store.resolve(s);
                 for &t in store.neighbors(s, p.assoc) {
-                    out.push((s, t));
+                    if !self_loop || t == s {
+                        out.push((s, t));
+                    }
                 }
             }
             out
@@ -142,29 +166,25 @@ fn solve(
     };
 
     for (sv, ov) in candidates {
-        let mut added: Vec<String> = Vec::new();
+        let depth = stack.len();
         let mut ok = true;
         for (term, value) in [(&p.subject, sv), (&p.object, ov)] {
             if let Term::Var(name) = term {
-                match binding.get(name) {
-                    Some(&bound) if store.resolve(bound) != store.resolve(value) => {
+                let value = store.resolve(value);
+                match lookup(stack, name) {
+                    Some(bound) if bound != value => {
                         ok = false;
                         break;
                     }
                     Some(_) => {}
-                    None => {
-                        binding.insert(name.clone(), store.resolve(value));
-                        added.push(name.clone());
-                    }
+                    None => stack.push((name.clone(), value)),
                 }
             }
         }
         if ok {
-            solve(store, patterns, used, binding, results);
+            solve(store, patterns, used, stack, results);
         }
-        for name in added {
-            binding.remove(&name);
-        }
+        stack.truncate(depth);
     }
     used[i] = false;
 }

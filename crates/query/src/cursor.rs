@@ -1,0 +1,158 @@
+//! Epoch-pinned pagination cursors.
+//!
+//! A cursor is `(epoch, plan fingerprint, position)`: the epoch the page
+//! was computed at, the FNV-1a fingerprint of the plan's canonical
+//! encoding, and the last object id already delivered. Because the
+//! engine's result order is a deterministic function of the snapshot and
+//! the plan, replaying a cursor against the *same* epoch reproduces the
+//! next page byte-for-byte; replaying it against a different epoch is
+//! refused as expired rather than silently returning a torn result set.
+
+use std::fmt;
+
+/// An opaque-over-the-wire, structured-in-memory pagination cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Epoch the result set was computed at.
+    pub epoch: u64,
+    /// Fingerprint of the plan's canonical encoding.
+    pub plan: u64,
+    /// Last object id already delivered; the next page starts strictly
+    /// after it.
+    pub pos: u64,
+}
+
+/// Why a cursor was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorError {
+    /// The token does not parse as a cursor.
+    Malformed(String),
+    /// The cursor was minted by a different plan.
+    PlanMismatch,
+    /// The cursor pins an epoch that is no longer the served snapshot.
+    Expired {
+        /// Epoch the cursor pins.
+        cursor: u64,
+        /// Epoch currently served.
+        current: u64,
+    },
+}
+
+impl fmt::Display for CursorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::Malformed(t) => write!(f, "malformed cursor token {t:?}"),
+            CursorError::PlanMismatch => write!(f, "cursor was minted by a different query"),
+            CursorError::Expired { cursor, current } => write!(
+                f,
+                "cursor pinned epoch {cursor} but the snapshot has advanced to {current}; \
+                 re-issue the query without a cursor"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CursorError {}
+
+impl Cursor {
+    /// Render the wire token, e.g. `c1.42.00c5f2a31b9e8d11.107`.
+    pub fn encode(&self) -> String {
+        format!("c1.{}.{:016x}.{}", self.epoch, self.plan, self.pos)
+    }
+
+    /// Parse a wire token.
+    pub fn decode(token: &str) -> Result<Cursor, CursorError> {
+        let bad = || CursorError::Malformed(token.to_owned());
+        let rest = token.strip_prefix("c1.").ok_or_else(bad)?;
+        let mut parts = rest.split('.');
+        let epoch = parts.next().and_then(|p| p.parse::<u64>().ok());
+        let plan = parts.next().and_then(|p| {
+            (p.len() == 16)
+                .then(|| u64::from_str_radix(p, 16).ok())
+                .flatten()
+        });
+        let pos = parts.next().and_then(|p| p.parse::<u64>().ok());
+        match (epoch, plan, pos, parts.next()) {
+            (Some(epoch), Some(plan), Some(pos), None) => Ok(Cursor { epoch, plan, pos }),
+            _ => Err(bad()),
+        }
+    }
+
+    /// Refuse the cursor unless it was minted by this plan at this epoch.
+    pub fn check(&self, plan_fingerprint: u64, current_epoch: u64) -> Result<(), CursorError> {
+        if self.plan != plan_fingerprint {
+            return Err(CursorError::PlanMismatch);
+        }
+        if self.epoch != current_epoch {
+            return Err(CursorError::Expired {
+                cursor: self.epoch,
+                current: current_epoch,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for c in [
+            Cursor {
+                epoch: 0,
+                plan: 0,
+                pos: 0,
+            },
+            Cursor {
+                epoch: 42,
+                plan: u64::MAX,
+                pos: 107,
+            },
+            Cursor {
+                epoch: u64::MAX,
+                plan: 1,
+                pos: u64::MAX,
+            },
+        ] {
+            assert_eq!(Cursor::decode(&c.encode()), Ok(c));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for t in [
+            "",
+            "c1.",
+            "c2.1.0000000000000000.0",
+            "c1.x.0000000000000000.0",
+            "c1.1.abc.0",
+            "c1.1.0000000000000000.0.9",
+            "c1.1.0000000000000000.",
+        ] {
+            assert!(
+                matches!(Cursor::decode(t), Err(CursorError::Malformed(_))),
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_distinguishes_mismatch_and_expiry() {
+        let c = Cursor {
+            epoch: 5,
+            plan: 9,
+            pos: 0,
+        };
+        assert_eq!(c.check(9, 5), Ok(()));
+        assert_eq!(c.check(8, 5), Err(CursorError::PlanMismatch));
+        assert_eq!(
+            c.check(9, 6),
+            Err(CursorError::Expired {
+                cursor: 5,
+                current: 6
+            })
+        );
+    }
+}

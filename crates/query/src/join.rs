@@ -1,0 +1,190 @@
+//! Engine-side evaluation of the legacy triple-pattern surface.
+//!
+//! The serve layer's `Request::Query` (and the `semex query` command)
+//! speak conjunctive triple patterns ([`semex_browse::pattern`]). This
+//! module evaluates them on the path engine's traversal core: every
+//! candidate enumeration is a one-object `expand_hop` call — the same
+//! primitive path plans execute — with a most-bound-first pattern order
+//! and a binding *stack* (push to bind, truncate to undo) instead of
+//! hash-map snapshots. Output is bit-identical to
+//! [`semex_browse::pattern::query`]; `query_equiv_prop.rs` pins that.
+
+use crate::exec::expand_hop;
+use crate::step::Dir;
+use semex_browse::pattern::{parse_patterns, Binding, ParseError, Pattern, Term};
+use semex_store::{ObjectId, Store};
+
+/// Evaluate a conjunctive pattern query, returning all variable bindings,
+/// deduplicated and deterministically ordered — the same contract (and
+/// answers) as [`semex_browse::pattern::query`].
+pub fn query(store: &Store, patterns: &[Pattern]) -> Vec<Binding> {
+    let mut results = Vec::new();
+    let mut stack: Vec<(String, ObjectId)> = Vec::new();
+    let mut used = vec![false; patterns.len()];
+    solve(store, patterns, &mut used, &mut stack, &mut results);
+    results.sort_by_key(|b| {
+        let mut items: Vec<(&String, &ObjectId)> = b.iter().collect();
+        items.sort();
+        items
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v};"))
+            .collect::<String>()
+    });
+    results.dedup();
+    results
+}
+
+/// Parse and run a textual pattern query in one call.
+pub fn query_str(store: &Store, text: &str) -> Result<Vec<Binding>, ParseError> {
+    Ok(query(store, &parse_patterns(store, text)?))
+}
+
+fn lookup(stack: &[(String, ObjectId)], name: &str) -> Option<ObjectId> {
+    stack.iter().rev().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// The value a term denotes under the current stack, alias-resolved.
+fn term_value(store: &Store, term: &Term, stack: &[(String, ObjectId)]) -> Option<ObjectId> {
+    match term {
+        Term::Const(o) => Some(store.resolve(*o)),
+        Term::Var(v) => lookup(stack, v),
+    }
+}
+
+fn boundness(store: &Store, p: &Pattern, stack: &[(String, ObjectId)]) -> u32 {
+    u32::from(term_value(store, &p.subject, stack).is_some())
+        + u32::from(term_value(store, &p.object, stack).is_some())
+}
+
+fn solve(
+    store: &Store,
+    patterns: &[Pattern],
+    used: &mut [bool],
+    stack: &mut Vec<(String, ObjectId)>,
+    results: &mut Vec<Binding>,
+) {
+    // Most-bound-first: constants and already-bound variables make the
+    // candidate set a (near-)point lookup instead of a scan.
+    let next = (0..patterns.len())
+        .filter(|&i| !used[i])
+        .max_by_key(|&i| boundness(store, &patterns[i], stack));
+    let Some(i) = next else {
+        results.push(stack.iter().cloned().collect());
+        return;
+    };
+    used[i] = true;
+    let p = &patterns[i];
+    let s = term_value(store, &p.subject, stack);
+    let o = term_value(store, &p.object, stack);
+    // Both positions naming the same still-unbound variable force a
+    // self-loop; the guard keeps revisited variables (e.g. a variable
+    // re-reached through an inverse hop) from enumerating pairs that a
+    // later bind check would reject anyway.
+    let self_loop = match (&p.subject, &p.object) {
+        (Term::Var(a), Term::Var(b)) => a == b,
+        _ => false,
+    };
+
+    let candidates: Vec<(ObjectId, ObjectId)> = match (s, o) {
+        (Some(s), Some(o)) => {
+            if expand_hop(store, &[s], Dir::Forward, p.assoc, None, 1).contains(&o) {
+                vec![(s, o)]
+            } else {
+                Vec::new()
+            }
+        }
+        (Some(s), None) => expand_hop(store, &[s], Dir::Forward, p.assoc, None, 1)
+            .into_iter()
+            .filter(|&t| !self_loop || t == s)
+            .map(|t| (s, t))
+            .collect(),
+        (None, Some(o)) => expand_hop(store, &[o], Dir::Inverse, p.assoc, None, 1)
+            .into_iter()
+            .filter(|&t| !self_loop || t == o)
+            .map(|t| (t, o))
+            .collect(),
+        (None, None) => {
+            let domain = store.model().assoc_def(p.assoc).domain;
+            let mut out = Vec::new();
+            for s in store.objects_of_class(domain) {
+                let s = store.resolve(s);
+                for t in expand_hop(store, &[s], Dir::Forward, p.assoc, None, 1) {
+                    if !self_loop || t == s {
+                        out.push((s, t));
+                    }
+                }
+            }
+            out
+        }
+    };
+
+    for (sv, ov) in candidates {
+        let depth = stack.len();
+        let mut ok = true;
+        for (term, value) in [(&p.subject, sv), (&p.object, ov)] {
+            if let Term::Var(name) = term {
+                let value = store.resolve(value);
+                match lookup(stack, name) {
+                    Some(bound) if bound != value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => stack.push((name.clone(), value)),
+                }
+            }
+        }
+        if ok {
+            solve(store, patterns, used, stack, results);
+        }
+        stack.truncate(depth);
+    }
+    used[i] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_browse::pattern;
+    use semex_extract::{bibtex::extract_bibtex, ExtractContext};
+    use semex_store::{SourceInfo, SourceKind};
+
+    fn store() -> Store {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{a, title={Paper One}, author={Ann Walker and Bob Fisher}, booktitle={SIGMOD}, year=2004}\n\
+             @inproceedings{b, title={Paper Two}, author={Ann Walker}, booktitle={SIGMOD}, year=2005}\n\
+             @inproceedings{c, title={Paper Three}, author={Bob Fisher}, booktitle={VLDB}, year=2005}",
+            &mut ctx,
+        )
+        .unwrap();
+        st
+    }
+
+    #[test]
+    fn matches_browse_pattern_answers() {
+        let st = store();
+        for text in [
+            r#"?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD""#,
+            "?pub AuthoredBy ?x . ?pub AuthoredBy ?y",
+            "?a AuthoredBy ?b",
+            "?m RepliedTo ?m",
+            "",
+        ] {
+            let engine = query_str(&st, text).unwrap();
+            let legacy = pattern::query_str(&st, text).unwrap();
+            assert_eq!(engine, legacy, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_pass_through() {
+        let st = store();
+        assert!(matches!(
+            query_str(&st, "?a Bogus ?b"),
+            Err(ParseError::UnknownAssoc(_))
+        ));
+    }
+}

@@ -1,0 +1,437 @@
+//! Path-query plans: start set + step sequence, validation, a
+//! most-bound-first planner pass, and the canonical encoding that keys
+//! caches and fingerprints cursors.
+
+use crate::step::{Dir, Filter, Step};
+use semex_model::DomainModel;
+use semex_store::ObjectId;
+
+/// Maximum `Repeat` depth a plan may request.
+pub const MAX_REPEAT_DEPTH: usize = 64;
+/// Maximum nesting depth of structured steps (union/optional/repeat).
+pub const MAX_NESTING: usize = 16;
+
+/// How a path query seeds its first frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Start {
+    /// Every live object in the store.
+    All,
+    /// Every live instance of a class.
+    Class(semex_model::ClassId),
+    /// Instances of a class whose display label equals the string exactly.
+    Labeled(semex_model::ClassId, String),
+    /// One specific object.
+    Object(ObjectId),
+}
+
+/// A complete path query: a start set and a sequence of steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathQuery {
+    /// Seed of the traversal.
+    pub start: Start,
+    /// Steps applied left to right.
+    pub steps: Vec<Step>,
+}
+
+/// A plan that fails structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A class id is outside the domain model.
+    UnknownClass(u16),
+    /// An association id is outside the domain model.
+    UnknownAssoc(u16),
+    /// An attribute id is outside the domain model.
+    UnknownAttr(u16),
+    /// A hop requested a fan-out bound of zero.
+    ZeroFanout,
+    /// A union step with no branches.
+    EmptyUnion,
+    /// A repeat depth of zero or beyond [`MAX_REPEAT_DEPTH`].
+    BadRepeatDepth(usize),
+    /// Structured steps nested beyond [`MAX_NESTING`].
+    TooDeep,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownClass(c) => write!(f, "plan references unknown class id c{c}"),
+            PlanError::UnknownAssoc(a) => write!(f, "plan references unknown association id r{a}"),
+            PlanError::UnknownAttr(a) => write!(f, "plan references unknown attribute id a{a}"),
+            PlanError::ZeroFanout => write!(f, "hop fan-out bound must be at least 1"),
+            PlanError::EmptyUnion => write!(f, "union step has no branches"),
+            PlanError::BadRepeatDepth(d) => {
+                write!(f, "repeat depth {d} outside 1..={MAX_REPEAT_DEPTH}")
+            }
+            PlanError::TooDeep => write!(f, "steps nested deeper than {MAX_NESTING}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl PathQuery {
+    /// A new plan.
+    pub fn new(start: Start, steps: Vec<Step>) -> Self {
+        PathQuery { start, steps }
+    }
+
+    /// Check every id against the model and every bound for sanity.
+    pub fn validate(&self, model: &DomainModel) -> Result<(), PlanError> {
+        match &self.start {
+            Start::Class(c) | Start::Labeled(c, _) => check_class(model, *c)?,
+            Start::All | Start::Object(_) => {}
+        }
+        validate_steps(model, &self.steps, 0)
+    }
+
+    /// The planner pass. Reorders each maximal run of frontier-narrowing
+    /// steps (class constraints and filters commute with each other, never
+    /// with hops) so the most-bound — cheapest, most selective — check
+    /// runs first: class membership (an id comparison) before numeric
+    /// ranges before string equality before substring scans. Also fuses a
+    /// leading class constraint into an unbound start, so `* :Person …`
+    /// seeds from the Person extent instead of scanning every object.
+    /// Semantics are unchanged: set intersection commutes.
+    pub fn optimize(mut self) -> PathQuery {
+        if let (Start::All, Some(Step::Class(c))) = (&self.start, self.steps.first()) {
+            self.start = Start::Class(*c);
+            self.steps.remove(0);
+        }
+        order_narrowing_runs(&mut self.steps);
+        self
+    }
+
+    /// Canonical textual encoding of the plan. Two plans answering
+    /// identically at an epoch encode identically (modulo planner-visible
+    /// rewrites), so this string keys the read cache and is hashed into
+    /// cursors. Uses model names, so it is stable across model growth.
+    pub fn canonical(&self, model: &DomainModel) -> String {
+        let mut out = String::from("pathq1 ");
+        match &self.start {
+            Start::All => out.push('*'),
+            Start::Class(c) => out.push_str(&model.class_def(*c).name),
+            Start::Labeled(c, label) => {
+                out.push_str(&model.class_def(*c).name);
+                out.push_str("(\"");
+                escape_into(label, &mut out);
+                out.push_str("\")");
+            }
+            Start::Object(o) => out.push_str(&o.to_string()),
+        }
+        encode_steps(model, &self.steps, &mut out);
+        out
+    }
+
+    /// 64-bit FNV-1a fingerprint of the canonical encoding; cursors carry
+    /// it so a cursor is only ever replayed against the plan that minted
+    /// it.
+    pub fn fingerprint(&self, model: &DomainModel) -> u64 {
+        fnv1a(self.canonical(model).as_bytes())
+    }
+}
+
+/// FNV-1a over a byte string.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn check_class(model: &DomainModel, c: semex_model::ClassId) -> Result<(), PlanError> {
+    if c.index() >= model.class_count() {
+        return Err(PlanError::UnknownClass(c.0));
+    }
+    Ok(())
+}
+
+fn validate_steps(model: &DomainModel, steps: &[Step], depth: usize) -> Result<(), PlanError> {
+    if depth > MAX_NESTING {
+        return Err(PlanError::TooDeep);
+    }
+    for step in steps {
+        match step {
+            Step::Hop { assoc, fanout, .. } => {
+                if assoc.index() >= model.assoc_count() {
+                    return Err(PlanError::UnknownAssoc(assoc.0));
+                }
+                if *fanout == Some(0) {
+                    return Err(PlanError::ZeroFanout);
+                }
+            }
+            Step::Class(c) => check_class(model, *c)?,
+            Step::Filter(f) => {
+                let attr = match f {
+                    Filter::AttrEq(a, _) | Filter::AttrContains(a, _) => *a,
+                    Filter::Range { attr, .. } => *attr,
+                };
+                if attr.index() >= model.attr_count() {
+                    return Err(PlanError::UnknownAttr(attr.0));
+                }
+            }
+            Step::Union(branches) => {
+                if branches.is_empty() {
+                    return Err(PlanError::EmptyUnion);
+                }
+                for b in branches {
+                    validate_steps(model, b, depth + 1)?;
+                }
+            }
+            Step::Optional(branch) => validate_steps(model, branch, depth + 1)?,
+            Step::Repeat { steps, max_depth } => {
+                if *max_depth == 0 || *max_depth > MAX_REPEAT_DEPTH {
+                    return Err(PlanError::BadRepeatDepth(*max_depth));
+                }
+                validate_steps(model, steps, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Selectivity rank of a narrowing step (lower runs first).
+fn narrowing_rank(step: &Step) -> Option<u8> {
+    match step {
+        Step::Class(_) => Some(0),
+        Step::Filter(Filter::Range { .. }) => Some(1),
+        Step::Filter(Filter::AttrEq(..)) => Some(2),
+        Step::Filter(Filter::AttrContains(..)) => Some(3),
+        _ => None,
+    }
+}
+
+fn order_narrowing_runs(steps: &mut [Step]) {
+    let mut i = 0;
+    while i < steps.len() {
+        match &mut steps[i] {
+            Step::Union(branches) => {
+                for b in branches {
+                    order_narrowing_runs(b);
+                }
+            }
+            Step::Optional(branch) => order_narrowing_runs(branch),
+            Step::Repeat { steps, .. } => order_narrowing_runs(steps),
+            _ => {}
+        }
+        if narrowing_rank(&steps[i]).is_none() {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < steps.len() && narrowing_rank(&steps[j]).is_some() {
+            j += 1;
+        }
+        // Stable sort keeps the written order among equally-ranked checks.
+        steps[i..j].sort_by_key(|s| narrowing_rank(s).unwrap_or(u8::MAX));
+        i = j;
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
+fn encode_steps(model: &DomainModel, steps: &[Step], out: &mut String) {
+    for step in steps {
+        out.push(' ');
+        encode_step(model, step, out);
+    }
+}
+
+fn encode_step(model: &DomainModel, step: &Step, out: &mut String) {
+    match step {
+        Step::Hop { dir, assoc, fanout } => {
+            out.push_str(match dir {
+                Dir::Forward => "->",
+                Dir::Inverse => "<-",
+            });
+            out.push_str(&model.assoc_def(*assoc).name);
+            if let Some(k) = fanout {
+                out.push('#');
+                out.push_str(&k.to_string());
+            }
+        }
+        Step::Class(c) => {
+            out.push(':');
+            out.push_str(&model.class_def(*c).name);
+        }
+        Step::Filter(f) => {
+            out.push('[');
+            match f {
+                Filter::AttrEq(a, v) => {
+                    out.push_str(&model.attr_def(*a).name);
+                    out.push_str("=\"");
+                    escape_into(v, out);
+                    out.push('"');
+                }
+                Filter::AttrContains(a, v) => {
+                    out.push_str(&model.attr_def(*a).name);
+                    out.push_str("~\"");
+                    escape_into(v, out);
+                    out.push('"');
+                }
+                Filter::Range { attr, min, max } => {
+                    out.push_str(&model.attr_def(*attr).name);
+                    out.push_str(" in ");
+                    if let Some(m) = min {
+                        out.push_str(&m.to_string());
+                    }
+                    out.push_str("..");
+                    if let Some(m) = max {
+                        out.push_str(&m.to_string());
+                    }
+                }
+            }
+            out.push(']');
+        }
+        Step::Union(branches) => {
+            out.push('(');
+            for (i, b) in branches.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                encode_branch(model, b, out);
+            }
+            out.push(')');
+        }
+        Step::Optional(branch) => {
+            out.push_str("?(");
+            encode_branch(model, branch, out);
+            out.push(')');
+        }
+        Step::Repeat { steps, max_depth } => {
+            out.push('{');
+            encode_branch(model, steps, out);
+            out.push_str("}*");
+            out.push_str(&max_depth.to_string());
+        }
+    }
+}
+
+fn encode_branch(model: &DomainModel, steps: &[Step], out: &mut String) {
+    for (i, step) in steps.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        encode_step(model, step, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_model::names::{assoc, attr, class};
+    use semex_model::{AssocId, AttrId, ClassId};
+
+    fn model() -> DomainModel {
+        DomainModel::builtin()
+    }
+
+    #[test]
+    fn canonical_is_deterministic_and_readable() {
+        let m = model();
+        let person = m.class(class::PERSON).unwrap();
+        let sender = m.assoc(assoc::SENDER).unwrap();
+        let date = m.attr(attr::DATE).unwrap();
+        let plan = PathQuery::new(
+            Start::Labeled(person, "Ann \"A\" Walker".into()),
+            vec![
+                Step::Hop {
+                    dir: Dir::Inverse,
+                    assoc: sender,
+                    fanout: Some(8),
+                },
+                Step::Filter(Filter::Range {
+                    attr: date,
+                    min: Some(100),
+                    max: None,
+                }),
+            ],
+        );
+        let c = plan.canonical(&m);
+        assert_eq!(
+            c,
+            "pathq1 Person(\"Ann \\\"A\\\" Walker\") <-Sender#8 [date in 100..]"
+        );
+        assert_eq!(plan.canonical(&m), c);
+        assert_eq!(
+            plan.fingerprint(&m),
+            PathQuery::new(plan.start.clone(), plan.steps.clone()).fingerprint(&m)
+        );
+    }
+
+    #[test]
+    fn optimize_fuses_start_and_orders_filters() {
+        let m = model();
+        let person = m.class(class::PERSON).unwrap();
+        let name = m.attr(attr::NAME).unwrap();
+        let plan = PathQuery::new(
+            Start::All,
+            vec![
+                Step::Class(person),
+                Step::Filter(Filter::AttrContains(name, "ann".into())),
+                Step::Filter(Filter::AttrEq(name, "Ann".into())),
+            ],
+        )
+        .optimize();
+        assert_eq!(plan.start, Start::Class(person));
+        // Equality check ordered before the substring scan.
+        assert!(matches!(
+            plan.steps.as_slice(),
+            [
+                Step::Filter(Filter::AttrEq(..)),
+                Step::Filter(Filter::AttrContains(..))
+            ]
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let m = model();
+        let bad_assoc = PathQuery::new(Start::All, vec![Step::forward(AssocId(u16::MAX))]);
+        assert_eq!(
+            bad_assoc.validate(&m),
+            Err(PlanError::UnknownAssoc(u16::MAX))
+        );
+        let bad_class = PathQuery::new(Start::Class(ClassId(u16::MAX)), vec![]);
+        assert_eq!(
+            bad_class.validate(&m),
+            Err(PlanError::UnknownClass(u16::MAX))
+        );
+        let zero = PathQuery::new(
+            Start::All,
+            vec![Step::Hop {
+                dir: Dir::Forward,
+                assoc: AssocId(0),
+                fanout: Some(0),
+            }],
+        );
+        assert_eq!(zero.validate(&m), Err(PlanError::ZeroFanout));
+        let deep_repeat = PathQuery::new(
+            Start::All,
+            vec![Step::Repeat {
+                steps: vec![Step::forward(AssocId(0))],
+                max_depth: MAX_REPEAT_DEPTH + 1,
+            }],
+        );
+        assert!(matches!(
+            deep_repeat.validate(&m),
+            Err(PlanError::BadRepeatDepth(_))
+        ));
+        let bad_attr = PathQuery::new(
+            Start::All,
+            vec![Step::Filter(Filter::AttrEq(AttrId(u16::MAX), "x".into()))],
+        );
+        assert_eq!(bad_attr.validate(&m), Err(PlanError::UnknownAttr(u16::MAX)));
+        let empty_union = PathQuery::new(Start::All, vec![Step::Union(vec![])]);
+        assert_eq!(empty_union.validate(&m), Err(PlanError::EmptyUnion));
+    }
+}

@@ -1,0 +1,101 @@
+//! Typed path steps: the algebra the engine executes.
+//!
+//! A path query is a start set plus a sequence of [`Step`]s. Every step
+//! maps a *frontier* (a sorted, deduplicated, alias-resolved set of
+//! objects) to a new frontier, so steps compose freely: hops traverse
+//! associations, constraints and filters shrink the frontier in place,
+//! and the structured steps ([`Step::Union`], [`Step::Optional`],
+//! [`Step::Repeat`]) combine sub-paths.
+
+use semex_model::{AssocId, AttrId, ClassId};
+
+/// Direction of an association hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Follow the association from subject to object (`->`).
+    Forward,
+    /// Follow the association from object back to subject (`<-`).
+    Inverse,
+}
+
+/// An attribute predicate applied to every object in the frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Keep objects where some value of the attribute renders exactly to
+    /// the given string (numbers and dates use their display rendering).
+    AttrEq(AttrId, String),
+    /// Keep objects where some value of the attribute contains the needle,
+    /// case-insensitively.
+    AttrContains(AttrId, String),
+    /// Keep objects where some `Int` or `Date` value of the attribute lies
+    /// in the inclusive range; an open bound is `None`. This is the
+    /// time-window filter (`Date` values are epoch seconds).
+    Range {
+        /// Attribute holding the numeric or date value.
+        attr: AttrId,
+        /// Inclusive lower bound, if any.
+        min: Option<i64>,
+        /// Inclusive upper bound, if any.
+        max: Option<i64>,
+    },
+}
+
+/// One step of an association path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Traverse an association in one direction. `fanout`, when set,
+    /// bounds how many neighbours each frontier object contributes (the
+    /// first `fanout` in stored — hence deterministic — order).
+    Hop {
+        /// Direction of traversal.
+        dir: Dir,
+        /// The association to traverse.
+        assoc: AssocId,
+        /// Per-source expansion bound; `None` means unbounded.
+        fanout: Option<usize>,
+    },
+    /// Keep only instances of the given class.
+    Class(ClassId),
+    /// Keep only objects passing the predicate.
+    Filter(Filter),
+    /// Evaluate every branch from the current frontier and union the
+    /// results.
+    Union(Vec<Vec<Step>>),
+    /// Union of the current frontier with the branch applied to it — the
+    /// branch's matches are added, objects without matches survive.
+    Optional(Vec<Step>),
+    /// Bounded transitive closure: apply the body up to `max_depth` times
+    /// breadth-first, accumulating every *newly* reached object. A visited
+    /// set is the cycle guard — no object is expanded twice, so cyclic
+    /// graphs (citation loops, reply chains) terminate. The start frontier
+    /// is pre-seeded into the visited set, so it is never part of the
+    /// result: `Repeat` is strictly "what the closure reaches", mirroring
+    /// the irreflexive reading of derived associations.
+    Repeat {
+        /// The path body applied at each depth.
+        steps: Vec<Step>,
+        /// Maximum number of applications (≥ 1).
+        max_depth: usize,
+    },
+}
+
+impl Step {
+    /// An unbounded hop.
+    pub fn hop(dir: Dir, assoc: AssocId) -> Step {
+        Step::Hop {
+            dir,
+            assoc,
+            fanout: None,
+        }
+    }
+
+    /// A forward hop.
+    pub fn forward(assoc: AssocId) -> Step {
+        Step::hop(Dir::Forward, assoc)
+    }
+
+    /// An inverse hop.
+    pub fn inverse(assoc: AssocId) -> Step {
+        Step::hop(Dir::Inverse, assoc)
+    }
+}

@@ -1,0 +1,70 @@
+//! Engine-side neighbourhood summaries.
+//!
+//! `Request::Browse` answers "what surrounds this object" as `(label,
+//! count)` pairs. Re-expressed on the engine, each association becomes a
+//! pair of one-hop expansions from a singleton frontier — the same
+//! `expand_hop` primitive path plans use — so the serve layer has one
+//! traversal core. Answers are proven identical to
+//! [`semex_browse::Browser::neighborhood_summary`] by unit and property
+//! tests.
+
+use crate::exec::expand_hop;
+use crate::step::Dir;
+use semex_store::{ObjectId, Store};
+
+/// Group an object's neighbourhood by link label: `(label, count)` pairs,
+/// sorted by label — forward associations under their own name, inverse
+/// associations under their `inverse_label`.
+pub fn neighborhood_summary(store: &Store, obj: ObjectId) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for (assoc, def) in store.model().assocs() {
+        let fwd = expand_hop(store, &[obj], Dir::Forward, assoc, None, 1).len();
+        if fwd > 0 {
+            counts.push((def.name.clone(), fwd));
+        }
+        let inv = expand_hop(store, &[obj], Dir::Inverse, assoc, None, 1).len();
+        if inv > 0 {
+            counts.push((def.inverse_label.clone(), inv));
+        }
+    }
+    counts.sort_by(|a, b| a.0.cmp(&b.0));
+    // Distinct associations sharing a display label collapse into one
+    // entry, exactly as the browser's sorted-link grouping does.
+    let mut out: Vec<(String, usize)> = Vec::new();
+    for (label, c) in counts {
+        match out.last_mut() {
+            Some((l, n)) if *l == label => *n += c,
+            _ => out.push((label, c)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semex_browse::Browser;
+    use semex_extract::{bibtex::extract_bibtex, ExtractContext};
+    use semex_store::{SourceInfo, SourceKind};
+
+    #[test]
+    fn matches_browser_summaries() {
+        let mut st = Store::with_builtin_model();
+        let src = st.register_source(SourceInfo::new("t", SourceKind::Synthetic));
+        let mut ctx = ExtractContext::new(&mut st, src);
+        extract_bibtex(
+            "@inproceedings{a, title={Paper One}, author={Ann Walker and Bob Fisher}, booktitle={SIGMOD}, year=2004}\n\
+             @inproceedings{b, title={Paper Two}, author={Ann Walker}, booktitle={SIGMOD}, year=2005}",
+            &mut ctx,
+        )
+        .unwrap();
+        let browser = Browser::new(&st);
+        for obj in st.objects() {
+            assert_eq!(
+                neighborhood_summary(&st, obj),
+                browser.neighborhood_summary(obj),
+                "object {obj}"
+            );
+        }
+    }
+}

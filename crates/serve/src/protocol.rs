@@ -85,6 +85,21 @@ pub enum Request {
         /// The pattern text.
         pattern: String,
     },
+    /// Association-path query in `semex-query`'s textual syntax, e.g.
+    /// `Person("Ann") <-Sender [date in 100..200] ->Recipient`. Results
+    /// stream in pages: `page` bounds the page size and `cursor` resumes
+    /// from an earlier page's [`Response::PathPage`] cursor. Bad plans are
+    /// refused with the typed `invalid_query` error and a cursor whose
+    /// epoch the server no longer serves with `expired_cursor` — both keep
+    /// the connection open.
+    PathQuery {
+        /// The path text.
+        path: String,
+        /// Maximum results per page (clamped to at least 1).
+        page: usize,
+        /// Resume cursor from a previous page, if any.
+        cursor: Option<String>,
+    },
     /// Full display view (attributes, links, sources) of the top hit.
     View {
         /// Keyword query selecting the object.
@@ -190,6 +205,18 @@ pub struct WireHit {
     pub score: f64,
 }
 
+/// One association-path result in wire form (a [`Response::PathPage`]
+/// row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathItemWire {
+    /// Object id.
+    pub object: u64,
+    /// Display label.
+    pub label: String,
+    /// Class name.
+    pub class: String,
+}
+
 /// Per-tenant read-cache counters in wire form (see the `cache` field of
 /// [`Response::Stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +257,14 @@ pub enum ErrorKindWire {
     /// This follower's replication lag exceeds its `--max-lag` bound;
     /// the read was refused rather than served from stale state.
     StaleReplica,
+    /// A query text (path or pattern) failed to parse or validate against
+    /// the domain model; nothing was executed and the connection stays
+    /// open.
+    InvalidQuery,
+    /// A pagination cursor pinned an epoch the server no longer serves
+    /// (or was minted by a different plan); re-issue the query without a
+    /// cursor. The connection stays open.
+    ExpiredCursor,
     /// Internal error (the request may or may not have been applied).
     Internal,
 }
@@ -246,6 +281,8 @@ impl ErrorKindWire {
             ErrorKindWire::UnsupportedVersion => "unsupported_version",
             ErrorKindWire::NotPrimary => "not_primary",
             ErrorKindWire::StaleReplica => "stale_replica",
+            ErrorKindWire::InvalidQuery => "invalid_query",
+            ErrorKindWire::ExpiredCursor => "expired_cursor",
             ErrorKindWire::Internal => "internal",
         }
     }
@@ -261,6 +298,8 @@ impl ErrorKindWire {
             "unsupported_version" => ErrorKindWire::UnsupportedVersion,
             "not_primary" => ErrorKindWire::NotPrimary,
             "stale_replica" => ErrorKindWire::StaleReplica,
+            "invalid_query" => ErrorKindWire::InvalidQuery,
+            "expired_cursor" => ErrorKindWire::ExpiredCursor,
             "internal" => ErrorKindWire::Internal,
             _ => return None,
         })
@@ -289,6 +328,22 @@ pub enum Response {
         total: usize,
         /// Up to 50 rendered rows.
         rows: Vec<Vec<(String, String)>>,
+    },
+    /// One page of an association-path query's deterministic result
+    /// order. At a fixed epoch the page sequence is byte-identical on
+    /// every replay — cursors are `(epoch, plan, position)` and refuse to
+    /// resume anywhere else.
+    PathPage {
+        /// Snapshot epoch served (every page of one result set carries —
+        /// and was computed at — the same epoch).
+        epoch: u64,
+        /// Size of the full result set.
+        total: usize,
+        /// This page's rows.
+        items: Vec<PathItemWire>,
+        /// Opaque resume token for the next page; `None` on the last
+        /// page.
+        cursor: Option<String>,
     },
     /// A rendered object view.
     View {
@@ -540,6 +595,13 @@ impl Request {
                 ],
             ),
             Request::Query { pattern } => obj("query", vec![field("pattern", pattern.as_str())]),
+            Request::PathQuery { path, page, cursor } => {
+                let mut fields = vec![field("path", path.as_str()), field("page", *page)];
+                if let Some(cursor) = cursor {
+                    fields.push(field("cursor", cursor.as_str()));
+                }
+                obj("path_query", fields)
+            }
             Request::View { query } => obj("view", vec![field("query", query.as_str())]),
             Request::Browse { query } => obj("browse", vec![field("query", query.as_str())]),
             Request::Ingest {
@@ -584,6 +646,18 @@ impl Request {
             },
             "query" => Request::Query {
                 pattern: need_str(v, "pattern")?,
+            },
+            "path_query" => Request::PathQuery {
+                path: need_str(v, "path")?,
+                page: need_usize(v, "page")?,
+                cursor: match v.get("cursor") {
+                    None => None,
+                    Some(j) => Some(
+                        j.as_str()
+                            .ok_or_else(|| shape("field \"cursor\" must be a string"))?
+                            .to_string(),
+                    ),
+                },
             },
             "view" => Request::View {
                 query: need_str(v, "query")?,
@@ -723,6 +797,36 @@ impl Response {
                     ),
                 ],
             ),
+            Response::PathPage {
+                epoch,
+                total,
+                items,
+                cursor,
+            } => {
+                let mut fields = vec![
+                    field("epoch", *epoch),
+                    field("total", *total),
+                    (
+                        "items".to_string(),
+                        Json::Arr(
+                            items
+                                .iter()
+                                .map(|i| {
+                                    Json::Obj(vec![
+                                        field("object", i.object),
+                                        field("label", i.label.as_str()),
+                                        field("class", i.class.as_str()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Some(cursor) = cursor {
+                    fields.push(field("cursor", cursor.as_str()));
+                }
+                obj("path_page", fields)
+            }
             Response::View {
                 epoch,
                 object,
@@ -872,6 +976,31 @@ impl Response {
                     .iter()
                     .map(pairs_from_json)
                     .collect::<Result<_, FrameError>>()?,
+            },
+            "path_page" => Response::PathPage {
+                epoch: need_u64(v, "epoch")?,
+                total: need_usize(v, "total")?,
+                items: v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| shape("missing items array"))?
+                    .iter()
+                    .map(|i| {
+                        Ok(PathItemWire {
+                            object: need_u64(i, "object")?,
+                            label: need_str(i, "label")?,
+                            class: need_str(i, "class")?,
+                        })
+                    })
+                    .collect::<Result<_, FrameError>>()?,
+                cursor: match v.get("cursor") {
+                    None => None,
+                    Some(j) => Some(
+                        j.as_str()
+                            .ok_or_else(|| shape("field \"cursor\" must be a string"))?
+                            .to_string(),
+                    ),
+                },
             },
             "view" => Response::View {
                 epoch: need_u64(v, "epoch")?,
@@ -1340,6 +1469,16 @@ mod tests {
                 content: "From: a@b\n\nhello \"world\"".into(),
             },
             Request::AssertSame { a: 3, b: 9 },
+            Request::PathQuery {
+                path: "Person(\"Ann\") <-Sender ->Recipient".into(),
+                page: 25,
+                cursor: None,
+            },
+            Request::PathQuery {
+                path: "* :Publication".into(),
+                page: 1,
+                cursor: Some("c1.7.00deadbeef0155aa.42".into()),
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -1502,6 +1641,66 @@ mod tests {
             assert_eq!(&decoded, resp);
         }
         assert!(!read_frame_into(&mut cursor, &mut payload).unwrap());
+    }
+
+    #[test]
+    fn path_page_roundtrip_and_cursor_field_is_optional() {
+        let page = Response::PathPage {
+            epoch: 12,
+            total: 97,
+            items: vec![
+                PathItemWire {
+                    object: 4,
+                    label: "Ann \"The Ant\" Walker".into(),
+                    class: "Person".into(),
+                },
+                PathItemWire {
+                    object: 9,
+                    label: "Paper One".into(),
+                    class: "Publication".into(),
+                },
+            ],
+            cursor: Some("c1.12.00deadbeef0155aa.9".into()),
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &page).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap().unwrap(), page);
+
+        // A final page carries no cursor key at all, so pre-pagination
+        // decoders (and strict ones) never see a null.
+        let last = Response::PathPage {
+            epoch: 12,
+            total: 2,
+            items: Vec::new(),
+            cursor: None,
+        };
+        assert!(!last.to_json().encode().contains("cursor"));
+        let mut buf = Vec::new();
+        write_response(&mut buf, &last).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap().unwrap(), last);
+
+        // Same for the request side: an initial request omits the key.
+        let first = Request::PathQuery {
+            path: "* :Person".into(),
+            page: 10,
+            cursor: None,
+        };
+        assert!(!first.to_json().encode().contains("cursor"));
+    }
+
+    #[test]
+    fn query_error_kinds_roundtrip() {
+        for kind in [ErrorKindWire::InvalidQuery, ErrorKindWire::ExpiredCursor] {
+            let resp = Response::Error {
+                kind,
+                message: "cursor pinned epoch 3, snapshot at 5".into(),
+            };
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).unwrap();
+            assert_eq!(read_response(&mut buf.as_slice()).unwrap().unwrap(), resp);
+        }
+        assert_eq!(ErrorKindWire::InvalidQuery.name(), "invalid_query");
+        assert_eq!(ErrorKindWire::ExpiredCursor.name(), "expired_cursor");
     }
 
     #[test]

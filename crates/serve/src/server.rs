@@ -29,11 +29,13 @@
 
 use crate::protocol::{
     read_request_frame_into, write_frame, write_response, write_response_into, CacheStatsWire,
-    ErrorKindWire, FrameError, Request, RequestFrame, Response, WireHit,
+    ErrorKindWire, FrameError, PathItemWire, Request, RequestFrame, Response, WireHit,
 };
 use crate::role::{CommitTap, ReplicaRole};
 use crate::writer::{pool_worker, WriteCommand, WriteJob, WriterReport, WriterStats};
 use semex_cache::{CacheKey, TenantCacheStats};
+use semex_query::exec::run_page;
+use semex_query::{Cursor, CursorError, ExecConfig, PageError};
 use semex_tenant::{
     EnqueueError, EpochSnapshot, Master, PoolConfig, PoolReport, PoolSnapshot, Tenant, TenantError,
     TenantId, TenantPool, TenantRegistry,
@@ -48,6 +50,11 @@ use std::time::Duration;
 /// Solution rows returned per pattern query (the uncapped total is still
 /// reported).
 const MAX_SOLUTION_ROWS: usize = 50;
+
+/// Page-size ceiling for path queries; larger asks are clamped. The
+/// reported `total` still counts the whole answer, and the cursor resumes
+/// from wherever the clamped page ended.
+const MAX_PATH_PAGE: usize = 500;
 
 /// Serving-layer tunables.
 #[derive(Clone)]
@@ -601,12 +608,26 @@ impl From<Response> for Reply {
 /// themselves. Canonicalization is the protocol encoder: deterministic
 /// field order and number formatting, so two frames that differ only in
 /// JSON whitespace or key order share an entry.
-fn canonical_read_key(request: &Request) -> Option<String> {
+fn canonical_read_key(at: &EpochSnapshot, request: &Request) -> Option<String> {
     match request {
         Request::Search { .. }
         | Request::Query { .. }
         | Request::View { .. }
         | Request::Browse { .. } => Some(request.to_json().encode()),
+        // Path queries are keyed on the *canonical plan encoding*, not the
+        // request text: two spellings that optimize to the same plan (extra
+        // whitespace, reordered filters) share a cache entry. Unparsable
+        // paths get no key — their typed error is computed (cheaply) each
+        // time rather than occupying cache residency.
+        Request::PathQuery { path, page, cursor } => {
+            let plan = semex_query::parse::parse(at.snap.store(), path)
+                .ok()?
+                .optimize();
+            let canon = plan.canonical(at.snap.store().model());
+            let page = (*page).clamp(1, MAX_PATH_PAGE);
+            let cursor = cursor.as_deref().unwrap_or("-");
+            Some(format!("pathq {canon} page={page} cursor={cursor}"))
+        }
         _ => None,
     }
 }
@@ -689,7 +710,7 @@ fn execute(ctx: &WorkerCtx, frame: &RequestFrame) -> Reply {
             }
         }
     }
-    match (ctx.pool.read_cache(), canonical_read_key(request)) {
+    match (ctx.pool.read_cache(), canonical_read_key(&at, request)) {
         (Some(cache), Some(canonical)) => {
             let key = CacheKey {
                 tenant: name.to_string(),
@@ -816,30 +837,30 @@ fn execute_read(
                     .collect(),
             }
         }
-        Request::Query { pattern } => {
-            match semex_browse::pattern::query_str(snap.store(), pattern) {
-                Ok(bindings) => Response::Solutions {
-                    epoch,
-                    total: bindings.len(),
-                    rows: bindings
-                        .iter()
-                        .take(MAX_SOLUTION_ROWS)
-                        .map(|binding| {
-                            let mut row: Vec<(String, String)> = binding
-                                .iter()
-                                .map(|(var, &obj)| (var.clone(), snap.store().label(obj)))
-                                .collect();
-                            row.sort();
-                            row
-                        })
-                        .collect(),
-                },
-                Err(e) => Response::Error {
-                    kind: ErrorKindWire::BadRequest,
-                    message: e.to_string(),
-                },
-            }
-        }
+        // Pattern queries evaluate on the path engine's traversal core
+        // (`semex_query::join`), answer-identical to the original
+        // `semex_browse::pattern` evaluator — the equivalence suites pin
+        // that. A malformed pattern is a typed `invalid_query`.
+        Request::Query { pattern } => match semex_query::join::query_str(snap.store(), pattern) {
+            Ok(bindings) => Response::Solutions {
+                epoch,
+                total: bindings.len(),
+                rows: bindings
+                    .iter()
+                    .take(MAX_SOLUTION_ROWS)
+                    .map(|binding| {
+                        let mut row: Vec<(String, String)> = binding
+                            .iter()
+                            .map(|(var, &obj)| (var.clone(), snap.store().label(obj)))
+                            .collect();
+                        row.sort();
+                        row
+                    })
+                    .collect(),
+            },
+            Err(e) => invalid_query(format!("bad pattern query: {e}")),
+        },
+        Request::PathQuery { path, page, cursor } => path_query(at, path, *page, cursor.as_deref()),
         Request::View { query } => match top1(snap, query) {
             Some(hit) => Response::View {
                 epoch,
@@ -853,7 +874,9 @@ fn execute_read(
                 epoch,
                 object: hit.object.0,
                 label: hit.label,
-                links: snap.browser().neighborhood_summary(hit.object),
+                // Same traversal core as path queries; proven identical
+                // to `Browser::neighborhood_summary`.
+                links: semex_query::summary::neighborhood_summary(snap.store(), hit.object),
             },
             None => not_found(query),
         },
@@ -873,6 +896,82 @@ fn execute_read(
             kind: ErrorKindWire::Internal,
             message: "request routed to the read path by mistake".into(),
         },
+    }
+}
+
+/// Evaluate a path query against one pinned snapshot: parse the path at
+/// this snapshot's model, run the engine, slice one deterministic page.
+/// Bad plans and malformed or plan-mismatched cursors answer
+/// `invalid_query`; a cursor minted at a different epoch answers
+/// `expired_cursor` — both keep the connection open, so a client can fix
+/// the query (or restart the cursor) on the same socket.
+fn path_query(at: &EpochSnapshot, path: &str, page: usize, cursor: Option<&str>) -> Response {
+    let (epoch, snap) = (at.epoch, &at.snap);
+    let store = snap.store();
+    let plan = match semex_query::parse::parse(store, path) {
+        Ok(plan) => plan.optimize(),
+        Err(e) => return invalid_query(format!("bad path query: {e}")),
+    };
+    let after = match cursor {
+        None => None,
+        Some(token) => match Cursor::decode(token) {
+            Ok(c) => Some(c),
+            Err(e) => return invalid_query(format!("bad cursor: {e}")),
+        },
+    };
+    let cfg = ExecConfig {
+        threads: path_threads(),
+        ..ExecConfig::default()
+    };
+    match run_page(
+        store,
+        &plan,
+        &cfg,
+        epoch,
+        page.clamp(1, MAX_PATH_PAGE),
+        after.as_ref(),
+    ) {
+        Ok(out) => Response::PathPage {
+            epoch,
+            total: out.total,
+            items: out
+                .items
+                .iter()
+                .map(|&obj| PathItemWire {
+                    object: obj.0,
+                    label: store.label(obj),
+                    class: store.model().class_def(store.class_of(obj)).name.clone(),
+                })
+                .collect(),
+            cursor: out.next.map(|c| c.encode()),
+        },
+        Err(PageError::Cursor(CursorError::Expired { cursor, current })) => Response::Error {
+            kind: ErrorKindWire::ExpiredCursor,
+            message: format!(
+                "cursor pinned epoch {cursor} but the snapshot is at epoch {current}; \
+                 restart the query to get fresh pages"
+            ),
+        },
+        Err(PageError::Cursor(e)) => invalid_query(format!("bad cursor: {e}")),
+        Err(PageError::Exec(e)) => invalid_query(format!("query refused: {e}")),
+    }
+}
+
+/// Threads for one path query's frontier expansion. Results are identical
+/// at any count, so this only trades latency against worker contention; a
+/// small cap keeps one giant query from monopolizing the machine under
+/// concurrent load.
+fn path_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+fn invalid_query(message: String) -> Response {
+    Response::Error {
+        kind: ErrorKindWire::InvalidQuery,
+        message,
     }
 }
 

@@ -66,8 +66,8 @@ fn ingest(token: &str) -> Request {
 
 /// Map a read index to one of the cacheable request shapes plus `Stats`.
 fn read_request(i: u8) -> Request {
-    let token = TOKENS[(i as usize / 5) % TOKENS.len()].to_string();
-    match i % 5 {
+    let token = TOKENS[(i as usize / 7) % TOKENS.len()].to_string();
+    match i % 7 {
         0 => Request::Search {
             query: token,
             k: 10,
@@ -78,6 +78,18 @@ fn read_request(i: u8) -> Request {
         },
         2 => Request::View { query: token },
         3 => Request::Browse { query: token },
+        4 => Request::PathQuery {
+            path: "* :Person <-Sender ->Recipient".into(),
+            page: 3,
+            cursor: None,
+        },
+        // An unparsable path: the typed refusal must also be identical
+        // (and on the cached side, identically uncached).
+        5 => Request::PathQuery {
+            path: "Person(".into(),
+            page: 3,
+            cursor: None,
+        },
         _ => Request::Stats,
     }
 }

@@ -1,0 +1,302 @@
+//! End-to-end path queries over the wire: the motivating three-hop
+//! question — *papers by coauthors of the people Ann emailed in a time
+//! window* — executed through `Request::PathQuery` against a live server,
+//! with resumable epoch-pinned cursors, typed `invalid_query` /
+//! `expired_cursor` refusals that keep the connection open, and cached
+//! answers byte-identical to a cacheless twin's.
+
+use semex_core::JournalConfig;
+use semex_serve::protocol::{
+    read_frame, write_request_frame, ErrorKindWire, IngestFormat, PathItemWire, Request,
+    RequestFrame, Response,
+};
+use semex_serve::{serve_tenants, Client, PoolConfig, ServeConfig, ServeHandle, TenantRegistry};
+use std::path::PathBuf;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("semex-pathq-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    root
+}
+
+fn start(root: &PathBuf, cache_budget: usize) -> ServeHandle {
+    let registry = TenantRegistry::open(root).expect("registry root");
+    let config = ServeConfig {
+        threads: 4,
+        ..ServeConfig::default()
+    };
+    let pool = PoolConfig {
+        cache_budget,
+        journal: JournalConfig {
+            fsync: false,
+            ..JournalConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+    serve_tenants(registry, "127.0.0.1:0", config, pool).expect("bind")
+}
+
+/// Ann emails Bob inside the window and Carol outside it; Bob coauthors
+/// with Dave; Dave also writes alone; Carol coauthors with Eve. The
+/// three-hop answer must be exactly Dave's papers — Carol's thread (and
+/// Eve's paper with her) is filtered out by the date range.
+const MBOX: &str = "From: Ann Walker <ann@example.com>\n\
+To: Bob Fisher <bob@example.com>\n\
+Date: Tue, 15 Mar 2005 10:00:00 +0000\n\
+Subject: joins\n\
+\n\
+about joins\n\
+From: Ann Walker <ann@example.com>\n\
+To: Carol Price <carol@example.com>\n\
+Date: Thu, 15 Jun 2006 10:00:00 +0000\n\
+Subject: later\n\
+\n\
+out of the window\n";
+
+const BIBTEX: &str = "@inproceedings{dj, title={Deep Joins}, author={Bob Fisher and Dave Moore}, booktitle={SIGMOD}, year=2004}\n\
+@inproceedings{sm, title={Stream Mining}, author={Dave Moore}, booktitle={VLDB}, year=2005}\n\
+@inproceedings{rh, title={Red Herring}, author={Carol Price and Eve Stone}, booktitle={ICDE}, year=2005}";
+
+/// 15 Mar 2005 is ~1.11e9 seconds; the window covers 2005 and excludes
+/// the June 2006 message.
+const THREE_HOP: &str = "Person(\"Ann Walker\") <-Sender [date in 1100000000..1130000000] \
+                         ->Recipient ->CoAuthor <-AuthoredBy";
+
+fn seed(client: &mut Client) {
+    for (format, content) in [(IngestFormat::Mbox, MBOX), (IngestFormat::Bibtex, BIBTEX)] {
+        match client
+            .request(&Request::Ingest {
+                format,
+                name: "seed".into(),
+                content: content.into(),
+            })
+            .unwrap()
+        {
+            Response::Ingested { .. } => {}
+            other => panic!("seed ingest failed: {other:?}"),
+        }
+    }
+}
+
+fn labels(items: &[PathItemWire]) -> Vec<(String, String)> {
+    items
+        .iter()
+        .map(|i| (i.label.clone(), i.class.clone()))
+        .collect()
+}
+
+#[test]
+fn three_hop_query_with_resumable_cursors_and_typed_errors() {
+    let root = temp_root("wire");
+    let handle = start(&root, 0);
+    let mut client = Client::connect(handle.addr()).unwrap().with_tenant("ann");
+    seed(&mut client);
+
+    // The whole answer in one page: Dave Moore's papers, nothing of
+    // Carol's out-of-window thread.
+    let (full_epoch, full_items) = match client
+        .request(&Request::PathQuery {
+            path: THREE_HOP.into(),
+            page: 100,
+            cursor: None,
+        })
+        .unwrap()
+    {
+        Response::PathPage {
+            epoch,
+            total,
+            items,
+            cursor,
+        } => {
+            assert_eq!(total, 2, "{items:?}");
+            assert!(cursor.is_none(), "everything fit on one page");
+            assert_eq!(
+                labels(&items),
+                vec![
+                    ("Deep Joins".to_string(), "Publication".to_string()),
+                    ("Stream Mining".to_string(), "Publication".to_string()),
+                ]
+            );
+            (epoch, items)
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+
+    // The same answer one item at a time, resuming by cursor; stitched
+    // pages equal the unpaginated run, every page pinned to one epoch.
+    let mut stitched = Vec::new();
+    let mut cursor: Option<String> = None;
+    let mut saved_cursor = None;
+    loop {
+        match client
+            .request(&Request::PathQuery {
+                path: THREE_HOP.into(),
+                page: 1,
+                cursor: cursor.clone(),
+            })
+            .unwrap()
+        {
+            Response::PathPage {
+                epoch,
+                total,
+                mut items,
+                cursor: next,
+            } => {
+                assert_eq!(epoch, full_epoch, "pages never mix epochs");
+                assert_eq!(total, 2, "total counts the whole answer on every page");
+                assert!(items.len() <= 1);
+                stitched.append(&mut items);
+                if saved_cursor.is_none() {
+                    saved_cursor = next.clone();
+                }
+                match next {
+                    Some(next) => cursor = Some(next),
+                    None => break,
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(stitched, full_items, "stitched pages equal one big page");
+    let saved_cursor = saved_cursor.expect("page-size-1 run yields a cursor");
+
+    // A malformed path is a typed invalid_query…
+    match client
+        .request(&Request::PathQuery {
+            path: "Person(".into(),
+            page: 10,
+            cursor: None,
+        })
+        .unwrap()
+    {
+        Response::Error {
+            kind: ErrorKindWire::InvalidQuery,
+            ..
+        } => {}
+        other => panic!("unexpected response: {other:?}"),
+    }
+    // …as are a garbage cursor token and a cursor minted by a different
+    // plan.
+    for (path, cursor) in [
+        (THREE_HOP, "not-a-cursor".to_string()),
+        ("* :Person", saved_cursor.clone()),
+    ] {
+        match client
+            .request(&Request::PathQuery {
+                path: path.into(),
+                page: 10,
+                cursor: Some(cursor),
+            })
+            .unwrap()
+        {
+            Response::Error {
+                kind: ErrorKindWire::InvalidQuery,
+                ..
+            } => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    // A write publishes a new epoch; the old cursor is now expired —
+    // typed, on the same still-open connection.
+    match client
+        .request(&Request::Ingest {
+            format: IngestFormat::Mbox,
+            name: "more".into(),
+            content: "From: Frank <frank@example.com>\n\nhi".into(),
+        })
+        .unwrap()
+    {
+        Response::Ingested { epoch, .. } => assert!(epoch > full_epoch),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    match client
+        .request(&Request::PathQuery {
+            path: THREE_HOP.into(),
+            page: 1,
+            cursor: Some(saved_cursor),
+        })
+        .unwrap()
+    {
+        Response::Error {
+            kind: ErrorKindWire::ExpiredCursor,
+            message,
+        } => assert!(message.contains("epoch"), "{message}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    // The connection survived every refusal: a fresh first page works and
+    // reports the new epoch.
+    match client
+        .request(&Request::PathQuery {
+            path: THREE_HOP.into(),
+            page: 100,
+            cursor: None,
+        })
+        .unwrap()
+    {
+        Response::PathPage { epoch, items, .. } => {
+            assert!(epoch > full_epoch);
+            assert_eq!(labels(&items), labels(&full_items));
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    drop(client);
+    handle.join();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The cached server's path-query frames are byte-identical to a
+/// cacheless twin's — miss, hit, and twin all produce the same bytes —
+/// and two spellings of the same plan share one cache entry.
+#[test]
+fn cached_path_query_bytes_equal_uncached_bytes() {
+    let cached_root = temp_root("bytes-cached");
+    let plain_root = temp_root("bytes-plain");
+    let cached = start(&cached_root, 8 << 20);
+    let plain = start(&plain_root, 0);
+
+    let mut frames = Vec::new();
+    for (handle, rounds) in [(&cached, 2), (&plain, 1)] {
+        let mut client = Client::connect(handle.addr()).unwrap().with_tenant("ann");
+        seed(&mut client);
+        drop(client);
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let read = RequestFrame::for_tenant(
+            "ann",
+            Request::PathQuery {
+                path: THREE_HOP.into(),
+                page: 10,
+                cursor: None,
+            },
+        );
+        for _ in 0..rounds {
+            write_request_frame(&mut stream, &read).unwrap();
+            frames.push(read_frame(&mut stream).unwrap().unwrap());
+        }
+        // A differently-spelled but plan-identical path (extra spaces)
+        // must replay the exact same bytes — the cache key is the
+        // canonical plan, not the request text.
+        let respaced = format!("  {}  ", THREE_HOP.replace(" ->", "   ->"));
+        let read = RequestFrame::for_tenant(
+            "ann",
+            Request::PathQuery {
+                path: respaced,
+                page: 10,
+                cursor: None,
+            },
+        );
+        write_request_frame(&mut stream, &read).unwrap();
+        frames.push(read_frame(&mut stream).unwrap().unwrap());
+    }
+    assert_eq!(frames.len(), 5);
+    assert_eq!(frames[0], frames[1], "hit bytes == miss bytes");
+    assert_eq!(frames[0], frames[2], "respaced plan shares the entry");
+    assert_eq!(frames[0], frames[3], "cached bytes == cacheless bytes");
+    assert_eq!(frames[0], frames[4], "respaced on the twin matches too");
+
+    cached.join();
+    plain.join();
+    std::fs::remove_dir_all(&cached_root).ok();
+    std::fs::remove_dir_all(&plain_root).ok();
+}

@@ -15,8 +15,8 @@ use semex_serve::protocol::{
     read_frame, read_frame_into_capped, read_replica_frame, read_replica_request, read_request,
     read_request_frame, read_response, write_frame, write_frame_capped, write_replica_frame,
     write_replica_request, write_request, write_request_frame, write_response, CacheStatsWire,
-    ErrorKindWire, FrameError, IngestFormat, ReplicaFrame, ReplicaRequest, Request, RequestFrame,
-    Response, WireHit, MAX_FRAME, PROTOCOL_VERSION, REPLICA_MAX_FRAME,
+    ErrorKindWire, FrameError, IngestFormat, PathItemWire, ReplicaFrame, ReplicaRequest, Request,
+    RequestFrame, Response, WireHit, MAX_FRAME, PROTOCOL_VERSION, REPLICA_MAX_FRAME,
 };
 
 /// Integers that survive the JSON number representation exactly (the
@@ -69,6 +69,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             }
         }),
         (".{0,20}", ".{0,200}").prop_map(|(name, csv)| Request::IntegrateCsv { name, csv }),
+        (".{0,60}", wire_usize(), cursor_strategy())
+            .prop_map(|(path, page, cursor)| { Request::PathQuery { path, page, cursor } }),
         (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertSame { a, b }),
         (wire_u64(), wire_u64()).prop_map(|(a, b)| Request::AssertDistinct { a, b }),
         Just(Request::Stats),
@@ -110,9 +112,23 @@ fn pairs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
     prop::collection::vec((".{0,10}", ".{0,20}"), 0..4)
 }
 
+/// Cursor tokens as they appear on the wire: absent (first page),
+/// well-formed, or arbitrary junk — the codec carries them opaquely; only
+/// the engine validates them.
+fn cursor_strategy() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        (wire_u64(), wire_u64(), wire_u64())
+            .prop_map(|(e, f, p)| Some(format!("c1.{e}.{f:016x}.{p}"))),
+        ".{0,20}".prop_map(Some),
+    ]
+}
+
 fn kind_strategy() -> impl Strategy<Value = ErrorKindWire> {
     prop_oneof![
         Just(ErrorKindWire::BadRequest),
+        Just(ErrorKindWire::InvalidQuery),
+        Just(ErrorKindWire::ExpiredCursor),
         Just(ErrorKindWire::NotFound),
         Just(ErrorKindWire::Store),
         Just(ErrorKindWire::Extract),
@@ -200,8 +216,28 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         wire_u64().prop_map(|epoch| Response::Replicated { epoch }),
         wire_u64().prop_map(|epoch| Response::ShutdownAck { epoch }),
         ".{0,20}".prop_map(|queue| Response::Overloaded { queue }),
+        (
+            wire_u64(),
+            wire_usize(),
+            prop::collection::vec(path_item_strategy(), 0..5),
+            cursor_strategy()
+        )
+            .prop_map(|(epoch, total, items, cursor)| Response::PathPage {
+                epoch,
+                total,
+                items,
+                cursor
+            }),
         (kind_strategy(), ".{0,60}").prop_map(|(kind, message)| Response::Error { kind, message }),
     ]
+}
+
+fn path_item_strategy() -> impl Strategy<Value = PathItemWire> {
+    (wire_u64(), ".{0,30}", ".{0,15}").prop_map(|(object, label, class)| PathItemWire {
+        object,
+        label,
+        class,
+    })
 }
 
 /// `None` half the time: cacheless servers omit the field entirely, and

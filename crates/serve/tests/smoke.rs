@@ -79,7 +79,8 @@ fn every_request_variant_round_trips_through_a_live_server() {
         }
         other => panic!("unexpected response: {other:?}"),
     }
-    // A bad pattern is a typed client error.
+    // A bad pattern is a typed client error that keeps the connection
+    // usable.
     match client
         .request(&Request::Query {
             pattern: "?x ?y".into(),
@@ -87,7 +88,7 @@ fn every_request_variant_round_trips_through_a_live_server() {
         .unwrap()
     {
         Response::Error {
-            kind: ErrorKindWire::BadRequest,
+            kind: ErrorKindWire::InvalidQuery,
             ..
         } => {}
         other => panic!("unexpected response: {other:?}"),

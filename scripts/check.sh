@@ -67,6 +67,18 @@ echo "==> e17 smoke (1 primary + 1 follower over sockets: catch-up, byte-identic
 echo "    replica reads, synchronous write-ack cost -> BENCH_replica.json)"
 cargo run --release -q -p semex-bench --bin experiments -- e17-smoke
 
+echo "==> query equivalence suite (path engine vs brute-force reference at every"
+echo "    thread count, cursor pages stitching to the unpaginated run, engine-side"
+echo "    joins vs the original browser, and the three-hop wire query with"
+echo "    resumable cursors and typed errors)"
+cargo test -q -p semex-query --test query_equiv_prop
+cargo test -q -p semex-serve --test path_query
+cargo test -q -p semex-serve --test protocol_prop
+
+echo "==> e18 smoke (path-query latency vs size/hops, thread scaling, and the"
+echo "    over-the-wire cache uplift at CI scale -> BENCH_query.json)"
+cargo run --release -q -p semex-bench --bin experiments -- e18-smoke
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -22,6 +22,11 @@
 //! semex path <space.json> <from> <to>    association path between two people
 //! semex query <space.json> '<patterns>'  triple-pattern query, e.g.
 //!                                        '?pub AuthoredBy ?p . ?pub PublishedIn "SIGMOD"'
+//! semex query <space.json> --path '<path>' [--page N] [--cursor TOK] [--threads N]
+//!                                        association-path query, e.g.
+//!                                        'Person("Ann") <-Sender ->Recipient ->CoAuthor <-AuthoredBy'
+//!                                        (pages are deterministic; resume
+//!                                        with the printed cursor)
 //! semex top <space.json>                 importance-ranked people
 //! semex repl <space.json>                 interactive session (search / show /
 //!                                         browse / query / quit)
@@ -48,9 +53,9 @@
 //!                                         prefix handshake; idempotent)
 //! semex client <addr> [--tenant NAME] [--retries N] <request...>
 //!                                         talk to a running server: search,
-//!                                         query, show, browse, stats, ingest,
-//!                                         integrate, same, distinct, promote,
-//!                                         shutdown
+//!                                         query, pathq, show, browse, stats,
+//!                                         ingest, integrate, same, distinct,
+//!                                         promote, shutdown
 //! ```
 //!
 //! Wherever a command takes a `<space.json>` snapshot, a journal directory
@@ -64,7 +69,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--cache-mb N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--cache-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex serve <journal-dir> --listen-replication HOST:PORT [serve flags...]\n  semex serve <journal-dir> --replicate-from HOST:PORT [--max-lag N] [--follower-name NAME] [serve flags...]\n  semex promote <addr>\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> promote\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
+        "usage:\n  semex build <dir> [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir>\n  semex demo [--durable] [--format json|binary] [--recon-threads N] -o <snapshot.json | journal-dir> [--seed N] [--scale F]\n  semex journal-compact <journal-dir> [--format json|binary]\n  semex stats <space>\n  semex search <space> [--exhaustive] <query...>\n  semex show <space> <query...>\n  semex explain <space> <query...>\n  semex coauthors <space> <person name...>\n  semex path <space> <from name> -- <to name>\n  semex query <space> '<pattern query>'\n  semex query <space> --path '<path query>' [--page N] [--cursor TOK] [--threads N]\n  semex top <space>\n  semex repl <space>\n  semex timeline <space> <person>\n  semex communities <space>\n  semex serve <space> [--addr HOST:PORT] [--threads N] [--writers N] [--cache-mb N] [--format json|binary]\n  semex serve --tenants <root> [--budget-mb N] [--cache-mb N] [--addr HOST:PORT] [--threads N] [--writers N] [--format json|binary]\n  semex serve <journal-dir> --listen-replication HOST:PORT [serve flags...]\n  semex serve <journal-dir> --replicate-from HOST:PORT [--max-lag N] [--follower-name NAME] [serve flags...]\n  semex promote <addr>\n  semex client <addr> [--tenant NAME] [--retries N] <request...>\n  semex client <addr> search [--exhaustive] <query...>\n  semex client <addr> query '<patterns>'\n  semex client <addr> pathq '<path query>' [--page N] [--cursor TOK]\n  semex client <addr> show <query...>\n  semex client <addr> browse <query...>\n  semex client <addr> stats\n  semex client <addr> ingest <mbox|vcard|bibtex|latex|ical> <name> <file>\n  semex client <addr> integrate <name> <file.csv>\n  semex client <addr> same <id> <id>\n  semex client <addr> distinct <id> <id>\n  semex client <addr> promote\n  semex client <addr> shutdown\n\n<space> is a snapshot file or a --durable journal directory.\nserve on a journal directory commits every acked write; on a snapshot,\nwrites live only for the session."
     );
     ExitCode::from(2)
 }
@@ -456,13 +461,46 @@ fn cmd_pattern_query(args: &[String]) -> Result<(), String> {
     let [path, rest @ ..] = args else {
         return Err("missing snapshot path".into());
     };
-    if rest.is_empty() {
-        return Err("missing query text".into());
+    // `--path` switches from triple patterns to the association-path
+    // engine; `--page` / `--cursor` / `--threads` only apply there.
+    let mut path_text: Option<String> = None;
+    let mut page = 50usize;
+    let mut cursor: Option<String> = None;
+    let mut threads = 1usize;
+    let mut pattern_parts: Vec<&str> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--path" => path_text = Some(flag_value("--path")?),
+            "--cursor" => cursor = Some(flag_value("--cursor")?),
+            "--page" => {
+                page = flag_value("--page")?
+                    .parse()
+                    .map_err(|e| format!("--page needs a number: {e}"))?
+            }
+            "--threads" => {
+                threads = flag_value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads needs a number: {e}"))?
+            }
+            _ => pattern_parts.push(a),
+        }
     }
     let semex = load(path)?;
-    let text = rest.join(" ");
+    if let Some(text) = path_text {
+        return run_path_query(&semex, &text, page, cursor.as_deref(), threads);
+    }
+    if pattern_parts.is_empty() {
+        return Err("missing query text".into());
+    }
+    let text = pattern_parts.join(" ");
     let solutions =
-        semex::browse::pattern::query_str(semex.store(), &text).map_err(|e| e.to_string())?;
+        semex::query::join::query_str(semex.store(), &text).map_err(|e| e.to_string())?;
     println!("{} solution(s)", solutions.len());
     for b in solutions.iter().take(50) {
         let mut items: Vec<(&String, _)> = b.iter().collect();
@@ -472,6 +510,42 @@ fn cmd_pattern_query(args: &[String]) -> Result<(), String> {
             .map(|(k, v)| format!("?{k} = {}", semex.store().label(*v)))
             .collect();
         println!("  {}", rendered.join("   "));
+    }
+    Ok(())
+}
+
+/// Run one page of an association-path query against a local space. Local
+/// one-shot runs have no published epoch, so cursors are minted at (and
+/// checked against) epoch 0: resuming works as long as the snapshot file
+/// is unchanged, which is exactly when the page sequence is still valid.
+fn run_path_query(
+    semex: &Semex,
+    text: &str,
+    page: usize,
+    cursor: Option<&str>,
+    threads: usize,
+) -> Result<(), String> {
+    let store = semex.store();
+    let plan = semex::query::parse::parse(store, text)
+        .map_err(|e| e.to_string())?
+        .optimize();
+    let after = cursor
+        .map(semex::query::Cursor::decode)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let cfg = semex::query::ExecConfig {
+        threads: threads.max(1),
+        ..semex::query::ExecConfig::default()
+    };
+    let out = semex::query::exec::run_page(store, &plan, &cfg, 0, page, after.as_ref())
+        .map_err(|e| e.to_string())?;
+    println!("{} result(s)", out.total);
+    for obj in &out.items {
+        let class = store.model().class_def(store.class_of(*obj)).name.clone();
+        println!("  [{class}] {}  #{obj}", store.label(*obj));
+    }
+    if let Some(next) = out.next {
+        println!("next page: --cursor {}", next.encode());
     }
     Ok(())
 }
@@ -971,6 +1045,33 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         "query" => Request::Query {
             pattern: rest.join(" "),
         },
+        "pathq" => {
+            let mut page = 50usize;
+            let mut cursor: Option<String> = None;
+            let mut parts: Vec<&str> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--page" => {
+                        page = it
+                            .next()
+                            .ok_or("--page needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--page needs a number: {e}"))?
+                    }
+                    "--cursor" => cursor = Some(it.next().ok_or("--cursor needs a value")?.clone()),
+                    _ => parts.push(a),
+                }
+            }
+            if parts.is_empty() {
+                return Err("pathq requires a path query".into());
+            }
+            Request::PathQuery {
+                path: parts.join(" "),
+                page,
+                cursor,
+            }
+        }
         "show" => Request::View {
             query: rest.join(" "),
         },
@@ -1056,6 +1157,20 @@ fn print_response(response: &semex::serve::protocol::Response) {
                 let rendered: Vec<String> =
                     row.iter().map(|(k, v)| format!("?{k} = {v}")).collect();
                 println!("  {}", rendered.join("   "));
+            }
+        }
+        Response::PathPage {
+            epoch,
+            total,
+            items,
+            cursor,
+        } => {
+            println!("{total} result(s) (epoch {epoch})");
+            for i in items {
+                println!("  [{}] {}  #{}", i.class, i.label, i.object);
+            }
+            if let Some(cursor) = cursor {
+                println!("next page: --cursor {cursor}");
             }
         }
         Response::View { text, .. } => print!("{text}"),

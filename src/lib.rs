@@ -17,6 +17,7 @@ pub use semex_index as index;
 pub use semex_integrate as integrate;
 pub use semex_journal as journal;
 pub use semex_model as model;
+pub use semex_query as query;
 pub use semex_recon as recon;
 pub use semex_replica as replica;
 pub use semex_serve as serve;
